@@ -1,0 +1,74 @@
+// Ablation: the photonic activation + LDSU vs an ADC-based output path.
+//
+// §III.C argues the GST activation cell and LDSU remove the ADCs between
+// PEs — the bottleneck HolyLight [23] identified.  This bench builds a
+// "Trident-with-ADCs" variant: identical GST-tuned weight bank, but the
+// output path digitises every partial sum, runs the activation digitally,
+// and stores/reloads the result — then compares per-model latency/energy
+// and attributes the delta to the output path.
+#include <iostream>
+
+#include "arch/peripherals.hpp"
+#include "arch/photonic.hpp"
+#include "common/table.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+#include "photonics/constants.hpp"
+
+int main() {
+  using namespace trident;
+
+  const arch::PhotonicAccelerator trident = arch::make_trident();
+
+  arch::PhotonicAccelerator adc_variant = arch::make_trident();
+  adc_variant.name = "Trident+ADC (ablation)";
+  adc_variant.array.name = adc_variant.name;
+  adc_variant.array.output_adc_energy = arch::adc_energy_per_conversion();
+  adc_variant.array.activation_energy = arch::kDigitalActivationEnergy;
+  adc_variant.array.activation_memory_bytes = 2.0;  // store + reload
+  adc_variant.array.output_path_delay = units::period(phot::kClockRate);
+  // The ADC/DAC arrays also cost power, shrinking the PE count under 30 W.
+  adc_variant.pe_power.conversion =
+      arch::kAdcPower * static_cast<double>(phot::kWeightBankRows) +
+      arch::kDacPower * static_cast<double>(phot::kWeightBankCols);
+  adc_variant.pe_count = arch::pes_for_budget(phot::kEdgePowerBudget,
+                                              adc_variant.pe_power.total());
+  adc_variant.array.pe_count = adc_variant.pe_count;
+
+  std::cout << "=== Ablation: photonic activation + LDSU vs ADC output path "
+               "===\n\n";
+  std::cout << "PE count under 30 W: photonic-activation "
+            << trident.pe_count << ", with ADCs " << adc_variant.pe_count
+            << "\n\n";
+
+  Table t({"NN Model", "Trident latency (ms)", "+ADC latency (ms)",
+           "latency cost", "Trident energy (mJ)", "+ADC energy (mJ)",
+           "energy cost"});
+  for (const auto& model : nn::zoo::evaluation_models()) {
+    const auto a = dataflow::analyze_model(model, trident.array);
+    const auto b = dataflow::analyze_model(model, adc_variant.array);
+    t.add_row({model.name, Table::num(a.latency.ms(), 3),
+               Table::num(b.latency.ms(), 3),
+               Table::pct((b.latency / a.latency - 1.0) * 100.0),
+               Table::num(a.energy.total().mJ(), 2),
+               Table::num(b.energy.total().mJ(), 2),
+               Table::pct((b.energy.total() / a.energy.total() - 1.0) *
+                          100.0)});
+  }
+  std::cout << t;
+
+  // Where does the ADC energy actually go?
+  const auto cost = dataflow::analyze_model(nn::zoo::vgg16(),
+                                            adc_variant.array);
+  std::cout << "\nVGG-16 on the ADC variant: conversion energy "
+            << Table::num(cost.energy.conversion.mJ(), 2)
+            << " mJ, activation-path memory traffic folded into memory = "
+            << Table::num(cost.energy.memory.mJ(), 2) << " mJ\n";
+  std::cout << "The photonic-activation design pays "
+            << Table::num(dataflow::analyze_model(nn::zoo::vgg16(),
+                                                  trident.array)
+                              .energy.conversion.mJ(),
+                          3)
+            << " mJ on its whole conversion path (E/O lasers only).\n";
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Ablation: open-loop vs write-verify weight programming on noisy GST.
+//
+// The 255-level / 8-bit programming the architecture assumes (§III.B)
+// needs closed-loop write-verify once realistic level-placement jitter is
+// present.  This bench sweeps the jitter and reports open-loop error,
+// post-calibration error, and the extra write cost (energy + pulses) the
+// verify loop spends — the practical price of the paper's 8-bit claim.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/calibration.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::core;
+
+  std::cout << "=== Ablation: open-loop vs write-verify GST programming ===\n";
+  std::cout << "(16x16 bank, random weight targets, tolerance = device "
+               "placement floor)\n\n";
+
+  Table t({"Jitter (levels)", "Open-loop max err", "Calibrated max err",
+           "Verify iterations", "Extra writes", "Extra energy (nJ)",
+           "Converged cells"});
+  for (double jitter : {0.0, 1.0, 2.0, 4.0, 8.0}) {
+    Rng rng(42);
+    WeightBankConfig cfg;
+    cfg.rows = 16;
+    cfg.cols = 16;
+    cfg.plan = phot::ChannelPlan(16);
+    cfg.gst.programming_noise_levels = jitter;
+    cfg.rng = &rng;
+    WeightBank bank(cfg);
+
+    Rng target_rng(7);
+    nn::Matrix targets(16, 16);
+    for (double& v : targets.data()) {
+      v = target_rng.uniform(-0.95, 0.95);
+    }
+
+    const CalibrationResult r = calibrate_program(bank, targets);
+    t.add_row({Table::num(jitter, 0),
+               Table::num(r.initial_max_error, 4),
+               Table::num(r.final_max_error, 4),
+               std::to_string(r.iterations),
+               std::to_string(r.extra_writes),
+               Table::num(static_cast<double>(r.extra_writes) * 0.66, 1),
+               std::to_string(r.cells_converged) + "/" +
+                   std::to_string(r.cells_total)});
+  }
+  std::cout << t;
+  std::cout << "\nReading: trim pulses are precise (noise scales with move "
+               "distance), so a few\nverify iterations pull even heavily "
+               "jittered programming back to the device's\nquantization "
+               "floor — at the cost of extra 660 pJ pulses that the energy "
+               "model\nbooks against deployment, not inference.\n";
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Ablation: backpropagation vs Direct Feedback Alignment — the §VI
+// comparison with the DFA-based photonic training baseline [9].
+//
+// Trident's Table II encodings support true backprop (the weight bank can
+// be re-encoded with Wᵀ); the [9] architecture avoids that requirement
+// with DFA.  The paper's counter is that "DFA is not effective for
+// training convolutional layers" [35].  We measure both rules on a dense
+// task (where they tie) and on a translation-invariant conv task (where
+// DFA trails), on the float reference and on the 8-bit photonic model.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/photonic_backend.hpp"
+#include "nn/dfa.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::nn;
+
+  std::cout << "=== Ablation: backprop vs Direct Feedback Alignment ===\n\n";
+  Table t({"Task", "Backend", "Backprop acc", "DFA acc", "Gap"});
+
+  // --- dense task ------------------------------------------------------
+  auto dense_run = [&](MatvecBackend& bp_backend, MatvecBackend& dfa_backend,
+                       const char* backend_name) {
+    Rng rng(7);
+    Dataset data = two_moons(300, 0.12, rng);
+    data.augment_bias();
+    TrainConfig cfg;
+    cfg.epochs = 80;
+    cfg.learning_rate = 0.1;
+    Rng ia(11);
+    Mlp bp_net({3, 24, 2}, Activation::kReLU, ia);
+    const double bp = fit(bp_net, data, cfg, bp_backend).final_accuracy();
+    Rng ib(11);
+    Mlp dfa_net({3, 24, 2}, Activation::kReLU, ib);
+    Rng frng(99);
+    const double dfa =
+        fit_dfa(dfa_net, data, cfg, dfa_backend, frng).final_accuracy();
+    t.add_row({"two-moons MLP", backend_name,
+               Table::num(bp * 100.0, 1) + "%",
+               Table::num(dfa * 100.0, 1) + "%",
+               Table::num((bp - dfa) * 100.0, 1) + " pts"});
+  };
+  FloatBackend f1, f2;
+  dense_run(f1, f2, "float");
+  core::PhotonicBackend p1, p2;
+  dense_run(p1, p2, "photonic 8-bit");
+
+  // --- conv task -------------------------------------------------------
+  auto conv_run = [&](MatvecBackend& bp_backend, MatvecBackend& dfa_backend,
+                      const char* backend_name) {
+    Rng rng(8);
+    const ImageDataset train = shape_images(300, 12, 0.05, rng);
+    const ImageDataset test = shape_images(120, 12, 0.05, rng);
+    SmallCnn::Config cfg;
+    cfg.classes = 3;
+    cfg.activation = Activation::kReLU;
+    cfg.conv1_channels = 8;
+    cfg.conv2_channels = 16;
+    Rng ia(7);
+    SmallCnn bp_net(cfg, ia);
+    for (int e = 0; e < 15; ++e) {
+      for (std::size_t i = 0; i < train.size(); ++i) {
+        (void)bp_net.train_step(train.images[i], train.labels[i], 0.05,
+                                bp_backend);
+      }
+    }
+    Rng ib(7);
+    SmallCnn dfa_net(cfg, ib);
+    Rng frng(99);
+    CnnDfaFeedback fb(dfa_net, frng);
+    for (int e = 0; e < 15; ++e) {
+      for (std::size_t i = 0; i < train.size(); ++i) {
+        (void)dfa_cnn_step(dfa_net, fb, train.images[i], train.labels[i],
+                           0.05, dfa_backend);
+      }
+    }
+    const double bp = bp_net.evaluate(test.images, test.labels, bp_backend);
+    const double dfa =
+        dfa_net.evaluate(test.images, test.labels, dfa_backend);
+    t.add_row({"shape-detection CNN", backend_name,
+               Table::num(bp * 100.0, 1) + "%",
+               Table::num(dfa * 100.0, 1) + "%",
+               Table::num((bp - dfa) * 100.0, 1) + " pts"});
+  };
+  FloatBackend f3, f4;
+  conv_run(f3, f4, "float");
+  core::PhotonicBackend p3, p4;
+  conv_run(p3, p4, "photonic 8-bit");
+
+  std::cout << t;
+  std::cout << "\nReading: DFA ties backprop on the dense task (the [9] "
+               "result) and trails on\nthe conv task (the [35] result the "
+               "paper cites) — supporting Trident's choice to\nsupport true "
+               "backprop via Wᵀ re-encoding rather than fixed feedback.\n";
+  return 0;
+}

@@ -1,0 +1,48 @@
+// Ablation: stuck-cell faults and in-situ route-around.
+//
+// PCM cells die (stuck-SET / stuck-RESET) as the endurance budget is
+// consumed.  This bench sweeps the dead-cell fraction and compares the
+// deployed accuracy of an offline-trained model against the same model
+// after in-situ retraining on the SAME faulty hardware — dead cells are
+// frozen, but the healthy ones learn to compensate.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/faults.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::core;
+
+  Rng data_rng(31);
+  nn::Dataset data = nn::pattern_classes(480, 8, 16, 0.05, data_rng);
+  data.augment_bias();
+  const auto [train_set, test_set] = data.split(0.25);
+
+  std::cout << "=== Ablation: stuck PCM cells vs in-situ route-around ===\n";
+  std::cout << "(8-class pattern task, 17-24-8 network; faults split "
+               "stuck-SET / stuck-RESET)\n\n";
+
+  Table t({"Dead cells", "Clean acc", "Deployed acc", "Retrained acc",
+           "Recovered"});
+  for (double rate : {0.0, 0.02, 0.05, 0.10, 0.20}) {
+    FaultConfig cfg;
+    cfg.fault_rate = rate;
+    const FaultStudy s =
+        fault_study(train_set, test_set, {17, 24, 8}, cfg, 30, 10, 0.05);
+    const double gap = s.clean_accuracy - s.faulty_accuracy;
+    const double recovered =
+        gap > 1e-9 ? (s.retrained_accuracy - s.faulty_accuracy) / gap : 1.0;
+    t.add_row({Table::num(rate * 100.0, 0) + "%",
+               Table::num(s.clean_accuracy * 100.0, 1) + "%",
+               Table::num(s.faulty_accuracy * 100.0, 1) + "%",
+               Table::num(s.retrained_accuracy * 100.0, 1) + "%",
+               Table::num(recovered * 100.0, 0) + "%"});
+  }
+  std::cout << t;
+  std::cout << "\nReading: in-situ training — the capability the paper "
+               "builds Trident around —\ndoubles as a reliability mechanism: "
+               "it routes around dead cells that would\npermanently degrade "
+               "an inference-only deployment.\n";
+  return 0;
+}

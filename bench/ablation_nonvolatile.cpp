@@ -1,0 +1,75 @@
+// Ablation: what exactly does non-volatility buy?
+//
+// §IV: "Once the weights are tuned in a PE, the power draw is reduced by
+// 83.34% from 0.67 W to 0.11 W for the next MAC that uses the same
+// weights."  This bench quantifies that claim as a weight-reuse curve:
+// energy per inference vs the number of inferences sharing one programmed
+// weight set, for GST (non-volatile) against a hypothetical Trident that
+// tunes with thermal heaters (volatile hold power + 2x write time).
+#include <iostream>
+
+#include "arch/photonic.hpp"
+#include "common/table.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+#include "photonics/constants.hpp"
+#include "photonics/tuning.hpp"
+
+int main() {
+  using namespace trident;
+
+  // A thermally tuned Trident: identical everywhere except Table I rows.
+  arch::PhotonicAccelerator gst = arch::make_trident();
+  arch::PhotonicAccelerator thermal = arch::make_trident();
+  thermal.name = "Trident-thermal (ablation)";
+  thermal.array.name = thermal.name;
+  thermal.array.weight_write_time = phot::kThermalTuningTime;
+  thermal.array.weight_write_energy = phot::kThermalTuningEnergy;
+  thermal.array.weight_hold_power = phot::kThermalHoldPower;
+
+  const auto model = nn::zoo::resnet50();
+  std::cout << "=== Ablation: non-volatile (GST) vs volatile (thermal) "
+               "tuning ===\nWorkload: " << model.name << "\n\n";
+
+  Table t({"Inferences per programming", "GST energy/inf (mJ)",
+           "Thermal energy/inf (mJ)", "GST advantage"});
+  for (int reuse : {1, 2, 4, 8, 16, 32, 64}) {
+    dataflow::AnalyzerOptions opt;
+    opt.batch = reuse;
+    const auto g = dataflow::analyze_model(model, gst.array, opt);
+    const auto h = dataflow::analyze_model(model, thermal.array, opt);
+    const double g_mj = g.energy.total().mJ() / reuse;
+    const double h_mj = h.energy.total().mJ() / reuse;
+    t.add_row({std::to_string(reuse), Table::num(g_mj, 2),
+               Table::num(h_mj, 2),
+               Table::pct((h_mj / g_mj - 1.0) * 100.0)});
+  }
+  std::cout << t;
+
+  // The §IV power-drop claim, directly.
+  std::cout << "\nSteady-state PE power:\n";
+  std::cout << "  while programming: "
+            << phot::kPePowerTotal.W() << " W\n";
+  std::cout << "  weights resident (GST):     "
+            << (phot::kPePowerTotal - phot::kGstMrrTuningPowerPerPe).W()
+            << " W (paper: 0.11 W)\n";
+  const units::Power thermal_hold =
+      phot::kThermalHoldPower * static_cast<double>(phot::kMrrsPerPe);
+  std::cout << "  weights resident (thermal): "
+            << (phot::kPePowerTotal - phot::kGstMrrTuningPowerPerPe +
+                thermal_hold)
+                   .W()
+            << " W (hold power never goes away)\n";
+
+  // Latency side: the 2x write-speed edge on reprogram-heavy workloads.
+  std::cout << "\nBatch-1 latency (reprogramming every inference):\n";
+  for (const auto& m : nn::zoo::evaluation_models()) {
+    const auto g = dataflow::analyze_model(m, gst.array);
+    const auto h = dataflow::analyze_model(m, thermal.array);
+    std::cout << "  " << m.name << ": GST " << Table::num(g.latency.ms(), 3)
+              << " ms vs thermal " << Table::num(h.latency.ms(), 3)
+              << " ms (" << Table::pct((h.latency / g.latency - 1.0) * 100.0)
+              << ")\n";
+  }
+  return 0;
+}

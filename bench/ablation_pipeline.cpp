@@ -1,0 +1,74 @@
+// Ablation: layer-pipelined vs tiled execution.
+//
+// §III.A sketches the one-PE-per-layer pipeline where "inference can be
+// completed at the speed of light ... without any delay for fetching
+// weights from memory or tuning the MRRs."  This bench plans that mode for
+// every evaluation CNN plus a small resident MLP, and compares steady-state
+// throughput against the tiled (weight-rotating) execution of Fig 6.
+#include <algorithm>
+#include <iostream>
+
+#include "arch/photonic.hpp"
+#include "common/table.hpp"
+#include "dataflow/analyzer.hpp"
+#include "dataflow/pipeline.hpp"
+#include "nn/zoo.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::dataflow;
+
+  const auto array = arch::make_trident().array;
+
+  std::cout << "=== Ablation: pipelined (PE-per-layer) vs tiled execution "
+               "===\n\n";
+  Table t({"Workload", "Stages", "Resident?", "Tiled IPS", "Pipelined IPS",
+           "Speedup", "Fill latency"});
+
+  auto add = [&](const nn::ModelSpec& model) {
+    const PipelinePlan plan = plan_pipeline(model, array);
+    const ModelCost tiled = analyze_model(model, array);
+    t.add_row({model.name, std::to_string(plan.stages.size()),
+               plan.fully_resident ? "yes" : "no",
+               Table::num(tiled.inferences_per_second(), 0),
+               Table::num(plan.inferences_per_second(), 0),
+               Table::num(pipeline_speedup(model, array), 1) + "x",
+               Table::num(plan.fill_latency.us(), 1) + " us"});
+  };
+
+  // A fully resident MLP: the §III.A ideal case.
+  nn::ModelSpec mlp;
+  mlp.name = "MLP 16-16-16 (resident)";
+  mlp.layers.push_back(nn::LayerSpec::dense("fc1", 16, 16));
+  mlp.layers.push_back(nn::LayerSpec::dense("fc2", 16, 16));
+  mlp.layers.push_back(nn::LayerSpec::dense("fc3", 16, 16));
+  add(mlp);
+
+  for (const auto& model : nn::zoo::evaluation_models()) {
+    add(model);
+  }
+  std::cout << t;
+
+  // Stage balance detail for one CNN.
+  const PipelinePlan plan = plan_pipeline(nn::zoo::mobilenet_v2(), array);
+  std::cout << "\nMobileNetV2 stage balance (slowest five stages):\n";
+  std::vector<StagePlan> sorted = plan.stages;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const StagePlan& a, const StagePlan& b) {
+              return a.stage_time.s() > b.stage_time.s();
+            });
+  for (std::size_t i = 0; i < 5 && i < sorted.size(); ++i) {
+    std::cout << "  " << sorted[i].layer << ": " << sorted[i].tiles
+              << " tiles on " << sorted[i].pes << " PEs -> "
+              << sorted[i].stage_time.us() << " us"
+              << (sorted[i].resident ? " (resident)" : "") << "\n";
+  }
+  std::cout << "\nReading: resident pipelines hit the symbol-rate bound — "
+               "the paper's \"speed of\nlight\" ideal, three orders of "
+               "magnitude past tiled mode.  For ImageNet-scale\nCNNs the "
+               "picture inverts: 44 PEs hold 11k weights against millions, "
+               "so per-stage\nallocation strands PEs on light layers and "
+               "tiled execution (every layer across\nall PEs) wins.  The "
+               "one-PE-per-layer story is a small-model story.\n";
+  return 0;
+}

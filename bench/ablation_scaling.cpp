@@ -1,0 +1,56 @@
+// Ablation: PE-count scaling under different edge power budgets.
+//
+// §V.A: "the more energy efficient tuning method allows Trident to scale
+// to more PEs than other photonic accelerators while remaining within the
+// 30 W power requirement."  This bench sweeps the power budget from 2 W
+// (Coral-class) to 60 W and reports, for each photonic architecture, the
+// PE count that fits and the resulting ResNet-50 latency — showing both
+// the scaling advantage and where extra PEs stop helping (tile shortage).
+#include <iostream>
+
+#include "arch/photonic.hpp"
+#include "common/table.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+
+int main() {
+  using namespace trident;
+
+  const auto model = nn::zoo::resnet50();
+  std::cout << "=== Ablation: PE scaling vs power budget ===\nWorkload: "
+            << model.name << "\n\n";
+
+  Table t({"Budget (W)", "DEAP PEs", "CrossLight PEs", "PIXEL PEs",
+           "Trident PEs", "Trident latency (ms)", "DEAP latency (ms)"});
+  for (double watts : {2.0, 5.0, 10.0, 20.0, 30.0, 45.0, 60.0}) {
+    const units::Power budget = units::Power::watts(watts);
+    auto resize = [&](arch::PhotonicAccelerator acc) {
+      acc.pe_count = arch::pes_for_budget(budget, acc.pe_power.total());
+      acc.array.pe_count = acc.pe_count;
+      return acc;
+    };
+    const auto deap = resize(arch::make_deap_cnn());
+    const auto crosslight = resize(arch::make_crosslight());
+    const auto pixel = resize(arch::make_pixel());
+    const auto trident = resize(arch::make_trident());
+
+    const auto t_cost = dataflow::analyze_model(model, trident.array);
+    const auto d_cost = dataflow::analyze_model(model, deap.array);
+    t.add_row({Table::num(watts, 0), std::to_string(deap.pe_count),
+               std::to_string(crosslight.pe_count),
+               std::to_string(pixel.pe_count),
+               std::to_string(trident.pe_count),
+               Table::num(t_cost.latency.ms(), 3),
+               Table::num(d_cost.latency.ms(), 3)});
+  }
+  std::cout << t;
+
+  std::cout << "\nPer-watt PE density (PEs per W):\n";
+  for (const auto& acc : arch::photonic_contenders()) {
+    std::cout << "  " << acc.name << ": "
+              << Table::num(1.0 / acc.pe_power.total().W(), 2)
+              << " PEs/W (PE draws "
+              << Table::num(acc.pe_power.total().W(), 2) << " W)\n";
+  }
+  return 0;
+}

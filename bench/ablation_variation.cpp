@@ -1,0 +1,51 @@
+// Ablation: offline training vs in-situ training under fabrication
+// variation — the paper's §I motivation, quantified.
+//
+// "Digital models used at the time of training cannot capture all the
+// manufacturing imperfections and variations of the physical hardware.
+// The resulting mismatch between trained and implemented weights leads to
+// sub-optimal accuracy at inference time."  We sweep the variation
+// strength and report the offline model's deployed accuracy against the
+// same model after in-situ fine-tuning on the varied hardware.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/variation.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::core;
+
+  Rng data_rng(31);
+  nn::Dataset data = nn::pattern_classes(480, 8, 16, 0.05, data_rng);
+  data.augment_bias();
+  const auto [train_set, test_set] = data.split(0.25);
+
+  std::cout << "=== Ablation: offline deployment vs in-situ fine-tuning "
+               "under device variation ===\n";
+  std::cout << "(8-class pattern task, 17-24-8 network, 8-bit photonic "
+               "hardware)\n\n";
+
+  Table t({"Weight-offset sigma", "Float acc", "Deployed acc",
+           "Fine-tuned acc", "Gap recovered"});
+  for (double sigma : {0.00, 0.10, 0.15, 0.20, 0.25, 0.30}) {
+    VariationConfig cfg;
+    cfg.gain_sigma = 0.10;
+    cfg.weight_offset_sigma = sigma;
+    cfg.row_offset_sigma = 0.05;
+    const DeploymentStudy s =
+        deployment_study(train_set, test_set, {17, 24, 8}, cfg, 30, 10, 0.05);
+    t.add_row({Table::num(sigma, 2),
+               Table::num(s.float_accuracy * 100.0, 1) + "%",
+               Table::num(s.deployed_accuracy * 100.0, 1) + "%",
+               Table::num(s.finetuned_accuracy * 100.0, 1) + "%",
+               Table::num(s.recovered_fraction * 100.0, 0) + "%"});
+  }
+  std::cout << t;
+  std::cout << "\nReading: as variation grows, offline weights lose accuracy "
+               "on the physical\nhardware; fine-tuning *on that same "
+               "hardware* (unified train+infer, Trident's\ndesign point) "
+               "recovers the gap because the backward pass sees the same "
+               "device\nerrors the forward pass does.\n";
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Regenerates Fig 3: the output transfer function of the GST activation
+// cell at 1553.4 nm — near-zero transmission below the 430 pJ switching
+// threshold, a steep rise, then a saturating ceiling — plus the §III.C
+// linearisation used for training (f' = 0.34 above threshold, 0 below).
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "photonics/activation_cell.hpp"
+#include "photonics/constants.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::phot;
+  using namespace trident::units::literals;
+
+  GstActivationCell cell;
+  std::cout << "=== Fig 3: GST Activation Cell Output Function ===\n";
+  std::cout << "(measured-style curve at "
+            << cell.params().wavelength.nm() << " nm; threshold "
+            << cell.params().threshold.pJ() << " pJ)\n\n";
+
+  // Sweep input pulse energy through the switching region and print an
+  // ASCII rendering of the output-vs-input curve.
+  Table t({"Input (pJ)", "Transmission", "Output (pJ)", "curve"});
+  const double start_pj = 300.0;
+  const double stop_pj = 600.0;
+  const int points = 31;
+  for (int i = 0; i < points; ++i) {
+    const double in_pj =
+        start_pj + (stop_pj - start_pj) * i / (points - 1);
+    const units::Energy in = units::Energy::picojoules(in_pj);
+    const double trans = cell.transmission(in);
+    const double out_pj = cell.transfer(in).pJ();
+    const int bars = static_cast<int>(out_pj / 10.0);
+    t.add_row({Table::num(in_pj, 0), Table::num(trans, 4),
+               Table::num(out_pj, 1), std::string(static_cast<size_t>(bars), '#')});
+  }
+  std::cout << t;
+
+  std::cout << "\nLinearised training view (§III.C):\n";
+  std::cout << "  f'(h) above threshold: "
+            << GstActivationCell::derivative(0.5)
+            << " (paper: 0.34)\n";
+  std::cout << "  f'(h) below threshold: "
+            << GstActivationCell::derivative(-0.5) << " (paper: 0)\n";
+
+  // Firing / reset accounting across a pulse train.
+  GstActivationCell counter;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    const units::Energy e =
+        units::Energy::picojoules(i < 50 ? 400.0 : 500.0);
+    const units::Energy out = counter.process(e);
+    if (out.pJ() > 50.0) {
+      ++fired;
+    }
+  }
+  std::cout << "\nPulse-train accounting (50 sub- + 50 supra-threshold):\n";
+  std::cout << "  firings: " << counter.firings()
+            << ", mandatory resets: " << counter.resets()
+            << ", reset energy: " << counter.total_reset_energy().nJ()
+            << " nJ\n";
+  std::cout << "  endurance consumed: " << counter.wear() * 100.0
+            << "% of " << counter.params().endurance_cycles
+            << " cycles [17]\n";
+  return 0;
+}

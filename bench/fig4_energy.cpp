@@ -1,0 +1,85 @@
+// Regenerates Fig 4: total inference energy of the four photonic
+// accelerators (DEAP-CNN, CrossLight, PIXEL, Trident) on the five CNN
+// models, plus the §V.A average improvement claims (+16.4% vs DEAP-CNN,
+// +43.5% vs CrossLight, +43.4% vs PIXEL).
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "arch/photonic.hpp"
+#include "common/stats.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+
+int main(int argc, char** argv) {
+  const trident::CliArgs cli_args(argc, argv);
+  using namespace trident;
+
+  const auto models = nn::zoo::evaluation_models();
+  const auto contenders = arch::photonic_contenders();
+
+  std::cout << "=== Fig 4: Photonic Accelerators Total Energy per Inference "
+               "(mJ) ===\n\n";
+  std::vector<std::string> header{"NN Model"};
+  for (const auto& acc : contenders) {
+    header.push_back(acc.name);
+  }
+  Table t(header);
+
+  // energy[accelerator][model]
+  std::map<std::string, std::vector<double>> energy;
+  for (const auto& model : models) {
+    std::vector<std::string> row{model.name};
+    for (const auto& acc : contenders) {
+      const auto cost = dataflow::analyze_model(model, acc.array);
+      const double mj = cost.energy.total().mJ();
+      energy[acc.name].push_back(mj);
+      row.push_back(Table::num(mj, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  if (cli_args.csv()) {
+    std::cout << t.to_csv();
+    return 0;
+  }
+  std::cout << t;
+
+  // Per-accelerator average improvement of Trident, paper-style:
+  // (theirs - ours) / ours per model, then averaged.
+  std::cout << "\nTrident energy-efficiency improvement (average across "
+               "models):\n";
+  struct Ref {
+    const char* name;
+    double paper;
+  };
+  const Ref refs[] = {{"DEAP-CNN", 16.4}, {"CrossLight", 43.5},
+                      {"PIXEL", 43.4}};
+  const auto& ours = energy["Trident"];
+  for (const auto& ref : refs) {
+    const auto& theirs = energy[ref.name];
+    std::vector<double> imps;
+    for (std::size_t i = 0; i < ours.size(); ++i) {
+      imps.push_back(improvement_percent(ours[i], theirs[i]));
+    }
+    std::cout << "  vs " << ref.name << ": " << Table::pct(mean(imps))
+              << " (paper: +" << ref.paper << "%)\n";
+  }
+
+  std::cout << "\nEnergy decomposition for Trident vs DEAP-CNN (VGG-16):\n";
+  for (const auto& acc : contenders) {
+    if (acc.name != "Trident" && acc.name != "DEAP-CNN") {
+      continue;
+    }
+    const auto cost = dataflow::analyze_model(nn::zoo::vgg16(), acc.array);
+    const auto& e = cost.energy;
+    std::cout << "  " << acc.name << ": programming " << e.weight_programming.mJ()
+              << " mJ, hold " << e.weight_holding.mJ() << " mJ, optical "
+              << e.optical_compute.mJ() << " mJ, conversion "
+              << e.conversion.mJ() << " mJ, activation " << e.activation.mJ()
+              << " mJ, memory " << e.memory.mJ() << " mJ, static "
+              << e.static_overhead.mJ() << " mJ\n";
+  }
+  return 0;
+}

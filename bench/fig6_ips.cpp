@@ -1,0 +1,78 @@
+// Regenerates Fig 6: inferences per second across all seven edge
+// accelerators (four photonic + three electronic) on the five CNN models,
+// plus the §V.A average latency-improvement claims:
+//   vs AGX Xavier +107.7%, vs Coral +1413.1%, vs TB96-AI +594.7%,
+//   vs DEAP-CNN +27.9%, vs CrossLight +150.2%, vs PIXEL +143.6%.
+#include <iostream>
+#include <map>
+#include <vector>
+
+#include "arch/electronic.hpp"
+#include "arch/photonic.hpp"
+#include "common/stats.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+
+int main(int argc, char** argv) {
+  const trident::CliArgs cli_args(argc, argv);
+  using namespace trident;
+
+  const auto models = nn::zoo::evaluation_models();
+  const auto photonic = arch::photonic_contenders();
+  const auto electronic = arch::electronic_contenders();
+
+  std::cout << "=== Fig 6: Edge Accelerators Inferences per Second ===\n\n";
+  std::vector<std::string> header{"NN Model"};
+  for (const auto& acc : photonic) {
+    header.push_back(acc.name);
+  }
+  for (const auto& acc : electronic) {
+    header.push_back(acc.name);
+  }
+  Table t(header);
+
+  std::map<std::string, std::vector<double>> latency;  // seconds per inference
+  for (const auto& model : models) {
+    std::vector<std::string> row{model.name};
+    for (const auto& acc : photonic) {
+      const auto cost = dataflow::analyze_model(model, acc.array);
+      latency[acc.name].push_back(cost.latency.s());
+      row.push_back(Table::num(cost.inferences_per_second(), 1));
+    }
+    for (const auto& acc : electronic) {
+      const double s = acc.inference_latency(model).s();
+      latency[acc.name].push_back(s);
+      row.push_back(Table::num(1.0 / s, 1));
+    }
+    t.add_row(std::move(row));
+  }
+  if (cli_args.csv()) {
+    std::cout << t.to_csv();
+    return 0;
+  }
+  std::cout << t;
+
+  std::cout << "\nTrident latency improvement (average across models):\n";
+  struct Ref {
+    const char* name;
+    double paper;
+  };
+  const Ref refs[] = {
+      {"DEAP-CNN", 27.9},          {"CrossLight", 150.2},
+      {"PIXEL", 143.6},            {"NVIDIA AGX Xavier", 107.7},
+      {"Bearkey TB96-AI", 594.7},  {"Google Coral", 1413.1},
+  };
+  const auto& ours = latency["Trident"];
+  for (const auto& ref : refs) {
+    const auto& theirs = latency[ref.name];
+    std::vector<double> imps;
+    for (std::size_t i = 0; i < ours.size(); ++i) {
+      imps.push_back(improvement_percent(ours[i], theirs[i]));
+    }
+    std::cout << "  vs " << ref.name << ": " << Table::pct(mean(imps))
+              << " (paper: +" << ref.paper << "%)\n";
+  }
+  return 0;
+}

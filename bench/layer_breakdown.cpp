@@ -1,0 +1,82 @@
+// Per-layer latency/energy breakdown of any evaluation model on Trident.
+//
+// Usage:
+//   layer_breakdown                       # GoogleNet, ASCII table
+//   layer_breakdown --model=vgg16 --csv   # machine-readable
+//   layer_breakdown --model=resnet50 --batch=8 --top=10
+#include <algorithm>
+#include <iostream>
+
+#include "arch/photonic.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+
+namespace {
+
+trident::nn::ModelSpec pick_model(const std::string& name) {
+  using namespace trident::nn::zoo;
+  if (name == "alexnet") return alexnet();
+  if (name == "vgg16") return vgg16();
+  if (name == "googlenet") return googlenet();
+  if (name == "resnet50") return resnet50();
+  if (name == "mobilenetv2") return mobilenet_v2();
+  throw trident::Error(
+      "unknown --model '" + name +
+      "' (alexnet|vgg16|googlenet|resnet50|mobilenetv2)");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace trident;
+  const CliArgs args(argc, argv);
+  if (args.has_flag("help")) {
+    std::cout << "usage: " << args.program()
+              << " [--model=name] [--batch=N] [--top=N] [--csv]\n";
+    return 0;
+  }
+
+  const auto model = pick_model(args.value("model").value_or("googlenet"));
+  dataflow::AnalyzerOptions opt;
+  opt.batch = args.batch();
+  const auto trident_acc = arch::make_trident();
+  const dataflow::ModelCost cost =
+      dataflow::analyze_model(model, trident_acc.array, opt);
+
+  // Sort layers by latency and keep the top-N (default all).
+  std::vector<const dataflow::LayerCost*> layers;
+  for (const auto& lc : cost.layers) {
+    layers.push_back(&lc);
+  }
+  std::sort(layers.begin(), layers.end(),
+            [](const auto* a, const auto* b) {
+              return a->latency.s() > b->latency.s();
+            });
+  const int top = args.value_int("top", static_cast<int>(layers.size()));
+  if (top < static_cast<int>(layers.size())) {
+    layers.resize(static_cast<std::size_t>(top));
+  }
+
+  Table t({"Layer", "MACs (M)", "Tiles", "Latency (us)", "Programming (us)",
+           "Energy (uJ)", "Share of latency"});
+  for (const auto* lc : layers) {
+    t.add_row({lc->name, Table::num(static_cast<double>(lc->macs) / 1e6, 1),
+               std::to_string(lc->tiles), Table::num(lc->latency.us(), 2),
+               Table::num(lc->programming_time.us(), 2),
+               Table::num(lc->energy.total().uJ(), 1),
+               Table::num(lc->latency / cost.latency * 100.0, 1) + "%"});
+  }
+
+  if (args.csv()) {
+    std::cout << t.to_csv();
+  } else {
+    std::cout << "Per-layer breakdown: " << model.name << " on Trident (batch "
+              << opt.batch << ")\n\n"
+              << t << "\nModel totals: " << cost.latency.ms() << " ms, "
+              << cost.energy.total().mJ() << " mJ, "
+              << cost.effective_tops() << " sustained TOPS\n";
+  }
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Monte-Carlo robustness of the functional claims.
+//
+// The single-seed experiments (bit-resolution cliff, deployment gap) are
+// re-run over independently seeded trials so the claims come with means
+// and spreads, not anecdotes.  Trials run in parallel across the host's
+// cores via the library's thread pool.
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/monte_carlo.hpp"
+
+int main(int argc, char** argv) {
+  using namespace trident;
+  using namespace trident::core;
+  const CliArgs args(argc, argv);
+  const int trials = args.value_int("trials", 8);
+
+  std::cout << "=== Monte-Carlo robustness (" << trials
+            << " seeds per cell) ===\n\n";
+
+  std::cout << "In-situ training accuracy vs weight resolution "
+               "(two-moons MLP):\n\n";
+  Table t({"Bits", "Mean accuracy", "Std dev", "Min", "Max"});
+  for (int bits : {4, 6, 8, 10}) {
+    const McSummary s = mc_training_accuracy(bits, trials, 40);
+    t.add_row({std::to_string(bits),
+               Table::num(s.mean * 100.0, 1) + "%",
+               Table::num(s.stddev * 100.0, 1) + " pts",
+               Table::num(s.min * 100.0, 1) + "%",
+               Table::num(s.max * 100.0, 1) + "%"});
+  }
+  std::cout << t;
+
+  std::cout << "\nOffline-deployment accuracy gap vs fabrication variation "
+               "(8-class patterns):\n\n";
+  Table d({"Weight-offset sigma", "Mean gap", "Std dev", "Worst seed"});
+  for (double sigma : {0.0, 0.15, 0.25}) {
+    const McSummary s = mc_deployment_gap(sigma, std::max(3, trials / 2));
+    d.add_row({Table::num(sigma, 2),
+               Table::num(s.mean * 100.0, 1) + " pts",
+               Table::num(s.stddev * 100.0, 1) + " pts",
+               Table::num(s.max * 100.0, 1) + " pts"});
+  }
+  std::cout << d;
+  std::cout << "\nReading: the 8-vs-6-bit separation and the variation-"
+               "induced deployment gap\nhold in distribution, not just for "
+               "the seeds the tests happen to use.\n";
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Google-benchmark microbenchmarks of the simulator's hot kernels:
+// device-model evaluation, weight-bank programming/apply, the photonic
+// functional backend, and the whole-model dataflow analysis.
+#include <benchmark/benchmark.h>
+
+#include "arch/photonic.hpp"
+#include "core/array_sim.hpp"
+#include "core/photonic_backend.hpp"
+#include "core/queueing.hpp"
+#include "core/spectral_bank.hpp"
+#include "core/weight_bank.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace {
+
+using namespace trident;
+using namespace trident::units::literals;
+
+void BM_MrrResponse(benchmark::State& state) {
+  phot::Mrr ring(phot::MrrDesign{}, 1550.0_nm);
+  const units::Length probe = units::Length::nanometers(1550.1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(ring.response(probe, 0.8));
+  }
+}
+BENCHMARK(BM_MrrResponse);
+
+void BM_MrrSpectrum(benchmark::State& state) {
+  phot::Mrr ring(phot::MrrDesign{}, 1550.0_nm);
+  const auto points = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ring.spectrum(1548.0_nm, 1552.0_nm, points));
+  }
+  state.SetItemsProcessed(state.iterations() * points);
+}
+BENCHMARK(BM_MrrSpectrum)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_GstProgram(benchmark::State& state) {
+  phot::GstCell cell;
+  int level = 0;
+  for (auto _ : state) {
+    cell.program(level);
+    level = (level + 37) % 255;
+  }
+}
+BENCHMARK(BM_GstProgram);
+
+void BM_WeightBankProgram(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  core::WeightBankConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.plan = phot::ChannelPlan(n);
+  core::WeightBank bank(cfg);
+  Rng rng(1);
+  nn::Matrix w(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (double& v : w.data()) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(bank.program(w));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_WeightBankProgram)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_WeightBankApply(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  core::WeightBankConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.plan = phot::ChannelPlan(n);
+  core::WeightBank bank(cfg);
+  nn::Matrix w(static_cast<std::size_t>(n), static_cast<std::size_t>(n), 0.4);
+  bank.program(w);
+  nn::Vector x(static_cast<std::size_t>(n), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.apply_const(x));
+  }
+  state.SetItemsProcessed(state.iterations() * n * n);
+}
+BENCHMARK(BM_WeightBankApply)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_PhotonicBackendMatvec(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::PhotonicBackend backend;
+  Rng rng(2);
+  const nn::Matrix w = nn::Matrix::xavier(n, n, rng);
+  nn::Vector x(n, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.matvec(w, x));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_PhotonicBackendMatvec)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PhotonicBackendRank1(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  core::PhotonicBackend backend;
+  Rng rng(3);
+  nn::Matrix w = nn::Matrix::xavier(n, n, rng);
+  nn::Vector dh(n, 0.05), y(n, 0.4);
+  for (auto _ : state) {
+    backend.rank1_update(w, dh, y, 0.05);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n));
+}
+BENCHMARK(BM_PhotonicBackendRank1)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_AnalyzeModel(benchmark::State& state) {
+  const auto models = nn::zoo::evaluation_models();
+  const auto& model = models[static_cast<std::size_t>(state.range(0))];
+  const auto trident = arch::make_trident();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(dataflow::analyze_model(model, trident.array));
+  }
+  state.SetLabel(model.name);
+}
+BENCHMARK(BM_AnalyzeModel)->DenseRange(0, 4);
+
+void BM_ParallelForScaling(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  std::vector<double> out(n);
+  for (auto _ : state) {
+    parallel_for(0, n, [&](std::size_t i) {
+      double acc = 0.0;
+      for (int k = 0; k < 200; ++k) {
+        acc += static_cast<double>(i * static_cast<std::size_t>(k) % 7);
+      }
+      out[i] = acc;
+    });
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_ParallelForScaling)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_SpectralTransferMatrix(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  core::SpectralBankConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.mrr.radius = units::Length::micrometers(3.0);
+  cfg.mrr.self_coupling_1 = 0.98;
+  cfg.mrr.self_coupling_2 = 0.98;
+  cfg.plan = phot::ChannelPlan(n);
+  cfg.placement = core::GstPlacement::kPostDrop;
+  core::SpectralWeightBank bank(cfg);
+  Rng rng(4);
+  nn::Matrix w(static_cast<std::size_t>(n), static_cast<std::size_t>(n));
+  for (double& v : w.data()) {
+    v = rng.uniform(-0.9, 0.9);
+  }
+  bank.program(w);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.transfer_matrix());
+  }
+  state.SetItemsProcessed(state.iterations() * n * n * n);
+}
+BENCHMARK(BM_SpectralTransferMatrix)->Arg(4)->Arg(8)->Arg(16);
+
+void BM_SimulateArray(benchmark::State& state) {
+  const auto trident = arch::make_trident();
+  const auto model = nn::zoo::mobilenet_v2();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::simulate_array(model, trident.array));
+  }
+}
+BENCHMARK(BM_SimulateArray);
+
+void BM_QueueingSim(benchmark::State& state) {
+  core::QueueingConfig cfg;
+  cfg.requests = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::simulate_service(units::Time::milliseconds(1.0), cfg));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_QueueingSim)->Arg(1000)->Arg(20000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

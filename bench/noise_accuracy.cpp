@@ -1,0 +1,66 @@
+// Read-out noise vs application accuracy.
+//
+// The ENOB analysis (photonics/enob) prices noise in bits; this bench
+// prices it in the currency that matters — classification accuracy.  A
+// network is trained once on clean 8-bit hardware, then evaluated (and
+// separately trained) under increasing analog read-out noise.
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/photonic_backend.hpp"
+#include "nn/train.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::core;
+
+  Rng data_rng(99);
+  nn::Dataset data = nn::two_moons(300, 0.12, data_rng);
+  data.augment_bias();
+  const auto [train_set, test_set] = data.split(0.25);
+
+  // Reference network trained on clean hardware.
+  Rng init(7);
+  nn::Mlp net({3, 16, 2}, nn::Activation::kGstPhotonic, init);
+  PhotonicBackend clean;
+  nn::TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.learning_rate = 0.05;
+  (void)nn::fit(net, train_set, cfg, clean);
+
+  std::cout << "=== Read-out noise vs accuracy (two-moons, 8-bit weights) "
+               "===\n\n";
+  Table t({"Noise (sigma, normalized)", "Inference accuracy",
+           "Noise-trained accuracy"});
+  for (double sigma : {0.0, 0.01, 0.02, 0.05, 0.10, 0.20}) {
+    PhotonicBackendConfig noisy_cfg;
+    noisy_cfg.readout_noise = sigma;
+    // Average the stochastic evaluation over several noise realisations.
+    double infer_acc = 0.0;
+    const int trials = 8;
+    for (int trial = 0; trial < trials; ++trial) {
+      noisy_cfg.seed = 100 + static_cast<std::uint64_t>(trial);
+      PhotonicBackend noisy(noisy_cfg);
+      infer_acc += nn::evaluate(net, test_set, noisy);
+    }
+    infer_acc /= trials;
+
+    // Training *with* the noise (noise-aware training adapts partially).
+    Rng init2(7);
+    nn::Mlp trained_net({3, 16, 2}, nn::Activation::kGstPhotonic, init2);
+    PhotonicBackend trainer(noisy_cfg);
+    (void)nn::fit(trained_net, train_set, cfg, trainer);
+    const double trained_acc = nn::evaluate(trained_net, test_set, trainer);
+
+    t.add_row({Table::num(sigma, 2),
+               Table::num(infer_acc * 100.0, 1) + "%",
+               Table::num(trained_acc * 100.0, 1) + "%"});
+  }
+  std::cout << t;
+  std::cout << "\nReading: the regime the ENOB analysis predicts for the "
+               "paper's power budget\n(sigma of a few percent) is benign — "
+               "mild analog noise even acts as a dither\nnear the decision "
+               "boundary — while heavy noise (sigma ~ 0.2 of full scale) "
+               "starts\nto cost accuracy, trained-with-noise or not.\n";
+  return 0;
+}

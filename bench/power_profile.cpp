@@ -1,0 +1,69 @@
+// Time-resolved power profile: the 30 W edge budget, checked dynamically.
+//
+// §IV sizes the accelerator statically (44 × 0.67 W ≤ 30 W assumes every
+// PE programs simultaneously).  This bench simulates real schedules and
+// shows the instantaneous draw: programming bursts near the static bound,
+// long streaming plateaus near 44 × 0.11 W — the non-volatility dividend
+// as a power *waveform*.
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "common/table.hpp"
+#include "core/power_trace.hpp"
+#include "nn/zoo.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::core;
+
+  const auto acc = arch::make_trident();
+  const PeStatePower state = PeStatePower::from(acc);
+  std::cout << "=== Instantaneous power of the 44-PE Trident ===\n";
+  std::cout << "PE states: programming " << state.programming.W()
+            << " W, streaming " << state.streaming.W() << " W, idle "
+            << state.idle.mW() << " mW\n\n";
+
+  Table t({"Workload", "Peak (W)", "Average (W)", "Within 30 W?",
+           "Peak / static bound"});
+  auto profile_of = [&](const nn::ModelSpec& model) {
+    ArraySimConfig cfg;
+    cfg.record_trace = true;
+    cfg.trace_limit = 5'000'000;
+    const ArraySimResult run = simulate_array(model, acc.array, cfg);
+    return power_profile(run, acc);
+  };
+
+  nn::ModelSpec mlp;
+  mlp.name = "MLP 256-256-64";
+  mlp.layers.push_back(nn::LayerSpec::dense("fc1", 256, 256));
+  mlp.layers.push_back(nn::LayerSpec::dense("fc2", 256, 64));
+  const double static_bound =
+      state.programming.W() * static_cast<double>(acc.pe_count);
+  for (const auto& model :
+       {mlp, nn::zoo::mobilenet_v2(), nn::zoo::googlenet()}) {
+    const PowerProfile p = profile_of(model);
+    t.add_row({model.name, Table::num(p.peak.W(), 2),
+               Table::num(p.average.W(), 2),
+               p.within(phot::kEdgePowerBudget) ? "yes" : "NO",
+               Table::num(p.peak.W() / static_bound * 100.0, 1) + "%"});
+  }
+  std::cout << t;
+
+  // ASCII waveform of the MLP's first microseconds.
+  const PowerProfile p = profile_of(mlp);
+  std::cout << "\nPower waveform (" << mlp.name << "):\n";
+  const std::size_t steps = std::min<std::size_t>(p.timeline.size(), 24);
+  for (std::size_t i = 0; i < steps; ++i) {
+    const auto bars =
+        static_cast<std::size_t>(p.timeline[i].total.W() / 0.5);
+    std::cout << "  t=" << Table::num(p.timeline[i].at.us(), 3) << " us  "
+              << Table::num(p.timeline[i].total.W(), 2) << " W |"
+              << std::string(bars, '#') << "\n";
+  }
+  std::cout << "\nReading: programming bursts spike toward the static "
+               "sizing bound; the long\nstreaming plateaus sit at ~1/6 of "
+               "it.  A power-aware scheduler could stagger\nprogramming "
+               "across layers to trade peak for latency.\n";
+  return 0;
+}

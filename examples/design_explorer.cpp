@@ -1,0 +1,106 @@
+// Design explorer: size your own Trident-style accelerator.
+//
+// Composes the library's design tools end-to-end for a custom
+// configuration: ring geometry feasibility (FSR / linewidth), the optical
+// link budget, PE count under a power budget, and the resulting
+// latency/energy on a chosen workload.
+//
+// Run:  ./build/examples/design_explorer [--watts=30] [--rows=16]
+//         [--cols=16] [--model=resnet50]
+#include <iostream>
+
+#include "arch/photonic.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+#include "photonics/link_budget.hpp"
+#include "photonics/ring_design.hpp"
+
+namespace {
+
+trident::nn::ModelSpec pick_model(const std::string& name) {
+  using namespace trident::nn::zoo;
+  if (name == "lenet5") return lenet5();
+  if (name == "alexnet") return alexnet();
+  if (name == "vgg16") return vgg16();
+  if (name == "googlenet") return googlenet();
+  if (name == "resnet50") return resnet50();
+  if (name == "mobilenetv2") return mobilenet_v2();
+  throw trident::Error("unknown --model '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace trident;
+  const CliArgs args(argc, argv);
+  const double watts = args.value_double("watts", 30.0);
+  const int rows = args.value_int("rows", 16);
+  const int cols = args.value_int("cols", 16);
+  const auto model = pick_model(args.value("model").value_or("resnet50"));
+
+  std::cout << "=== Design explorer: " << rows << "x" << cols
+            << " banks under " << watts << " W, workload " << model.name
+            << " ===\n\n";
+
+  // 1. Photonics feasibility: can a ring serve `cols` wavelengths?
+  phot::RingRequirements ring_req;
+  ring_req.channels = cols;
+  const auto ring = phot::recommend(ring_req);
+  if (ring) {
+    std::cout << "Ring design: R = " << ring->radius.um() << " um, t = "
+              << ring->coupling << " (FSR " << ring->fsr.nm() << " nm, FWHM "
+              << ring->fwhm.nm() << " nm, Q "
+              << static_cast<int>(ring->quality_factor)
+              << ", neighbour leakage "
+              << ring->neighbour_leakage * 100.0 << "%)\n";
+  } else {
+    std::cout << "Ring design: NO feasible ring for " << cols
+              << " channels at 1.6 nm — reduce the bank width.\n";
+  }
+
+  // 2. Link budget: does the bus close at 1 mW launch?
+  phot::LinkBudget budget;
+  const auto link = budget.analyze_pe(units::Power::milliwatts(1.0), cols,
+                                      units::Length::millimeters(5.0));
+  std::cout << "Link budget: worst-channel loss " << link.total_loss_db
+            << " dB, margin " << link.margin_db << " dB ("
+            << (link.feasible ? "closes" : "DOES NOT close") << ")\n";
+
+  // 3. Power scaling: PEs in the budget, with the requested geometry.
+  arch::PhotonicAccelerator acc = arch::make_trident();
+  acc.array.rows_per_pe = rows;
+  acc.array.cols_per_pe = cols;
+  // Table III's per-PE power scales with the MRR count and rows.
+  const double mrr_scale = static_cast<double>(rows * cols) / 256.0;
+  const double row_scale = static_cast<double>(rows) / 16.0;
+  auto& p = acc.pe_power;
+  p.tuning *= mrr_scale;
+  p.readout *= mrr_scale;
+  p.activation *= row_scale;
+  p.bpd_tia *= row_scale;
+  p.control *= row_scale;
+  acc.pe_count =
+      arch::pes_for_budget(units::Power::watts(watts), p.total());
+  acc.array.pe_count = acc.pe_count;
+  std::cout << "Power scaling: PE draws " << p.total().W() << " W -> "
+            << acc.pe_count << " PEs in " << watts << " W\n\n";
+
+  // 4. Workload cost.
+  const auto cost = dataflow::analyze_model(model, acc.array);
+  std::cout << model.name << " on this design:\n";
+  std::cout << "  latency " << cost.latency.ms() << " ms ("
+            << cost.inferences_per_second() << " IPS)\n";
+  std::cout << "  energy  " << cost.energy.total().mJ() << " mJ/inference\n";
+  std::cout << "  sustained " << cost.effective_tops() << " TOPS ("
+            << cost.effective_tops() / watts << " TOPS/W)\n";
+
+  // Reference point.
+  const auto reference = arch::make_trident();
+  const auto ref_cost = dataflow::analyze_model(model, reference.array);
+  std::cout << "\nReference (paper config, 16x16 @ 30 W, 44 PEs): "
+            << ref_cost.latency.ms() << " ms, "
+            << ref_cost.energy.total().mJ() << " mJ\n";
+  return 0;
+}

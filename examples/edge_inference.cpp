@@ -1,0 +1,101 @@
+// Edge-inference survey: every CNN of the paper's evaluation on every
+// accelerator (four photonic + three electronic boards), batch 1 — the
+// scenario the paper's introduction motivates: on-device inference with a
+// 30 W edge budget.
+//
+// Run:  ./build/examples/edge_inference
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "arch/electronic.hpp"
+#include "arch/photonic.hpp"
+#include "common/table.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+
+int main() {
+  using namespace trident;
+
+  const auto models = nn::zoo::evaluation_models();
+  const auto photonic = arch::photonic_contenders();
+  const auto boards = arch::electronic_contenders();
+
+  std::cout << "Latency per inference (ms), batch 1, 224x224x3 input\n\n";
+  std::vector<std::string> header{"NN Model"};
+  for (const auto& acc : photonic) {
+    header.push_back(acc.name);
+  }
+  for (const auto& b : boards) {
+    header.push_back(b.name);
+  }
+  Table latency(header);
+  Table energy(header);
+
+  for (const auto& model : models) {
+    std::vector<std::string> lrow{model.name};
+    std::vector<std::string> erow{model.name};
+    for (const auto& acc : photonic) {
+      const auto cost = dataflow::analyze_model(model, acc.array);
+      lrow.push_back(Table::num(cost.latency.ms(), 3));
+      erow.push_back(Table::num(cost.energy.total().mJ(), 2));
+    }
+    for (const auto& b : boards) {
+      lrow.push_back(Table::num(b.inference_latency(model).ms(), 3));
+      erow.push_back(Table::num(b.inference_energy(model).mJ(), 2));
+    }
+    latency.add_row(std::move(lrow));
+    energy.add_row(std::move(erow));
+  }
+  std::cout << latency << "\nEnergy per inference (mJ)\n\n" << energy;
+
+  // A concrete deployment decision: pick the best accelerator for a
+  // latency-bound and an energy-bound scenario on each model.
+  std::cout << "\nBest accelerator per model:\n";
+  for (const auto& model : models) {
+    std::string best_lat_name, best_en_name;
+    double best_lat = 1e30, best_en = 1e30;
+    for (const auto& acc : photonic) {
+      const auto cost = dataflow::analyze_model(model, acc.array);
+      if (cost.latency.s() < best_lat) {
+        best_lat = cost.latency.s();
+        best_lat_name = acc.name;
+      }
+      if (cost.energy.total().J() < best_en) {
+        best_en = cost.energy.total().J();
+        best_en_name = acc.name;
+      }
+    }
+    for (const auto& b : boards) {
+      const double s = b.inference_latency(model).s();
+      if (s < best_lat) {
+        best_lat = s;
+        best_lat_name = b.name;
+      }
+      const double j = b.inference_energy(model).J();
+      if (j < best_en) {
+        best_en = j;
+        best_en_name = b.name;
+      }
+    }
+    std::cout << "  " << model.name << ": fastest = " << best_lat_name
+              << ", most frugal = " << best_en_name << "\n";
+  }
+
+  // Batch amortisation: how streaming frames changes Trident's picture.
+  std::cout << "\nTrident per-frame latency vs streaming window "
+               "(weight-programming amortisation):\n";
+  const auto trident = arch::make_trident();
+  for (const auto& model : models) {
+    std::cout << "  " << model.name << ":";
+    for (int batch : {1, 4, 16, 64}) {
+      dataflow::AnalyzerOptions opt;
+      opt.batch = batch;
+      const auto cost = dataflow::analyze_model(model, trident.array, opt);
+      std::cout << "  b" << batch << "="
+                << Table::num(cost.latency.ms() / batch, 3) << "ms";
+    }
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,77 @@
+// A day in the life of an edge device: deploy, drift, retrain on-device.
+//
+// Uses the TrainingSession facade to tell the §I story end to end:
+//   1. a model is trained offline (float) and deployed to a chip whose
+//      fabrication variation the offline model never saw;
+//   2. accuracy on the chip is measured (it drops);
+//   3. the device retrains itself in situ — same hardware, Table II
+//      encodings — and the session reports the recovered accuracy plus
+//      the complete hardware bill (optical energy, GST pulses, wear).
+//
+// Run:  ./build/examples/edge_retraining
+#include <iostream>
+
+#include "core/insitu_trainer.hpp"
+#include "nn/train.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::core;
+
+  Rng data_rng(31);
+  nn::Dataset data = nn::pattern_classes(480, 8, 16, 0.05, data_rng);
+  data.augment_bias();
+
+  std::cout << "Scenario: 8-class pattern recogniser on a fabricated chip "
+               "with unknown variation\n\n";
+
+  // 1. Offline model (the vendor's "digital twin").
+  Rng init(7);
+  nn::Mlp offline({17, 24, 8}, nn::Activation::kGstPhotonic, init);
+  nn::FloatBackend exact;
+  nn::TrainConfig cfg;
+  cfg.epochs = 30;
+  cfg.learning_rate = 0.05;
+  const auto [train_set, test_set] = data.split(0.25);
+  (void)nn::fit(offline, train_set, cfg, exact);
+  std::cout << "1. offline training:      "
+            << nn::evaluate(offline, test_set, exact) * 100.0
+            << "% on the digital twin\n";
+
+  // 2. The same weights on this particular chip.
+  VariationConfig chip;
+  chip.gain_sigma = 0.10;
+  chip.weight_offset_sigma = 0.25;
+  chip.row_offset_sigma = 0.05;
+  VariationBackend hardware(chip);
+  std::cout << "2. deployed to the chip:  "
+            << nn::evaluate(offline, test_set, hardware) * 100.0
+            << "% (fabrication variation the twin never saw)\n";
+
+  // 3. On-device retraining through a TrainingSession.
+  SessionConfig session_cfg;
+  session_cfg.layer_sizes = {17, 24, 8};
+  session_cfg.schedule.epochs = 15;
+  session_cfg.schedule.learning_rate = 0.05;
+  session_cfg.variation = chip;
+  TrainingSession session(session_cfg);
+  const SessionReport report = session.run(data);
+
+  std::cout << "3. in-situ retraining:    " << report.test_accuracy * 100.0
+            << "% on the same chip\n\n";
+  std::cout << "Hardware bill for the retraining session:\n";
+  std::cout << "  GST write pulses:   " << report.ledger.weight_writes
+            << " (" << report.writes_per_weight << " per weight cell)\n";
+  std::cout << "  optical symbols:    " << report.ledger.symbols << "\n";
+  std::cout << "  optical energy:     " << report.optical_energy.uJ()
+            << " uJ\n";
+  std::cout << "  accelerator time:   " << report.optical_time.ms()
+            << " ms\n";
+  std::cout << "  endurance consumed: "
+            << report.writes_per_weight / 1e12 * 100.0
+            << "% of the rated 1e12 cycles\n";
+  std::cout << "\nThe capability the paper argues for — training on the "
+               "inference hardware —\nis what turns an unusable deployment "
+               "back into a working one, for microjoules.\n";
+  return 0;
+}

@@ -1,0 +1,105 @@
+// In-situ training demo: the paper's core capability claim, live.
+//
+// The same network and schedule are trained three ways:
+//   * exact float arithmetic (the digital reference);
+//   * the photonic backend at GST resolution (8-bit weights) — Trident;
+//   * the photonic backend at thermal-tuning resolution (6-bit) — what a
+//     DEAP-CNN-style accelerator would have to work with (§II.B).
+//
+// Expected outcome: 8-bit tracks float closely, 6-bit stalls — the
+// reason the paper insists on PCM tuning for trainable photonics.
+//
+// Run:  ./build/examples/insitu_training
+#include <iomanip>
+#include <iostream>
+
+#include "core/photonic_backend.hpp"
+#include "nn/train.hpp"
+
+int main() {
+  using namespace trident;
+
+  // Two interleaving moons: non-linearly-separable 2-class task.
+  Rng data_rng(42);
+  nn::Dataset data = nn::two_moons(300, 0.12, data_rng);
+  data.augment_bias();
+  const auto [train_set, test_set] = data.split(0.2);
+
+  nn::TrainConfig cfg;
+  cfg.epochs = 60;
+  cfg.learning_rate = 0.05;
+
+  struct Run {
+    const char* label;
+    nn::TrainResult result;
+    double test_accuracy;
+    core::PhotonicLedger ledger;
+    bool has_ledger;
+  };
+  std::vector<Run> runs;
+
+  auto train_once = [&](const char* label, nn::MatvecBackend& backend,
+                        const core::PhotonicBackend* photonic) {
+    Rng init_rng(7);
+    nn::Mlp net({3, 16, 2}, nn::Activation::kGstPhotonic, init_rng);
+    const nn::TrainResult r = nn::fit(net, train_set, cfg, backend);
+    runs.push_back({label, r, nn::evaluate(net, test_set, backend),
+                    photonic ? photonic->ledger() : core::PhotonicLedger{},
+                    photonic != nullptr});
+  };
+
+  nn::FloatBackend float_backend;
+  train_once("float reference      ", float_backend, nullptr);
+
+  core::PhotonicBackendConfig cfg8;
+  cfg8.weight_bits = 8;
+  core::PhotonicBackend gst_backend(cfg8);
+  train_once("Trident GST (8-bit)  ", gst_backend, &gst_backend);
+
+  core::PhotonicBackendConfig cfg6;
+  cfg6.weight_bits = 6;
+  core::PhotonicBackend thermal_backend(cfg6);
+  train_once("thermal-grade (6-bit)", thermal_backend, &thermal_backend);
+
+  std::cout << "Loss by epoch (two-moons, 240 train / 60 test samples):\n\n";
+  std::cout << "epoch";
+  for (const auto& run : runs) {
+    std::cout << "  " << run.label;
+  }
+  std::cout << "\n";
+  for (int epoch = 0; epoch < cfg.epochs; epoch += 6) {
+    std::cout << std::setw(5) << epoch;
+    for (const auto& run : runs) {
+      std::cout << "  " << std::setw(21) << std::fixed << std::setprecision(4)
+                << run.result.epoch_loss[static_cast<std::size_t>(epoch)];
+    }
+    std::cout << "\n";
+  }
+
+  std::cout << "\nFinal results:\n";
+  for (const auto& run : runs) {
+    std::cout << "  " << run.label << "  train acc "
+              << run.result.final_accuracy() * 100.0 << "%  test acc "
+              << run.test_accuracy * 100.0 << "%\n";
+  }
+
+  std::cout << "\nPhotonic hardware ledger (8-bit run):\n";
+  for (const auto& run : runs) {
+    if (!run.has_ledger) {
+      continue;
+    }
+    std::cout << "  " << run.label << ": " << run.ledger.weight_writes
+              << " GST writes, " << run.ledger.symbols << " symbols, "
+              << run.ledger.macs / 1000 << "k ring read-outs -> "
+              << run.ledger.energy().uJ() << " uJ, "
+              << run.ledger.time().ms() << " ms optical time\n";
+  }
+
+  std::cout << "\nTakeaway: at the GST resolution the in-situ loss keeps "
+               "falling alongside the\nfloat reference; at thermal-tuning "
+               "resolution most SGD updates fall below half\nan LSB and are "
+               "lost — the loss freezes near its chance floor within a few\n"
+               "epochs, exactly the paper's §II.B argument for why 6-bit "
+               "photonics cannot train.\n";
+  return 0;
+}

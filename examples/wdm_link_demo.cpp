@@ -1,0 +1,77 @@
+// Device-level WDM link demo: the photonics under the accelerator.
+//
+//  * sweeps an add-drop MRR's spectrum and renders the drop resonance;
+//  * shows how the embedded GST cell's state reshapes the drop/through
+//    split (the weighting mechanism of Fig 2b);
+//  * quantifies inter-channel crosstalk for shift-based (thermal) vs
+//    attenuation-based (GST) weighting — the 6-bit vs 8-bit story.
+//
+// Run:  ./build/examples/wdm_link_demo
+#include <iomanip>
+#include <iostream>
+#include <string>
+
+#include "photonics/gst.hpp"
+#include "photonics/mrr.hpp"
+#include "photonics/wdm.hpp"
+
+int main() {
+  using namespace trident;
+  using namespace trident::units::literals;
+  using namespace trident::phot;
+
+  Mrr ring(MrrDesign{}, 1550.0_nm);
+  std::cout << "Add-drop MRR: resonance " << ring.resonance().nm()
+            << " nm, FSR " << ring.free_spectral_range().nm()
+            << " nm, FWHM " << ring.fwhm().nm() << " nm, Q "
+            << static_cast<int>(ring.quality_factor()) << "\n\n";
+
+  std::cout << "Drop-port spectrum (GST fully amorphous — transmissive):\n";
+  const Length start = Length::meters(ring.resonance().m() - 1.0e-9);
+  const Length stop = Length::meters(ring.resonance().m() + 1.0e-9);
+  const auto spectrum = ring.spectrum(start, stop, 41);
+  for (int i = 0; i < 41; ++i) {
+    const double nm = start.nm() + (stop.nm() - start.nm()) * i / 40.0;
+    const auto bars = static_cast<std::size_t>(spectrum[static_cast<std::size_t>(i)].drop * 50);
+    std::cout << "  " << std::fixed << std::setprecision(3) << nm << " nm |"
+              << std::string(bars, '#') << "\n";
+  }
+
+  std::cout << "\nGST weighting: drop/through split vs programmed level\n";
+  std::cout << "(level 0 = crystalline/absorbing = w ~ -1; "
+               "level 254 = amorphous = w ~ +1)\n\n";
+  GstCell cell;
+  std::cout << "  level  transmit  drop   through  (drop - through)\n";
+  for (int level : {0, 32, 64, 96, 128, 160, 192, 224, 254}) {
+    cell.program(level);
+    const MrrResponse r =
+        ring.response(ring.resonance(), cell.amplitude_transmittance());
+    std::cout << "  " << std::setw(5) << level << "  " << std::setw(8)
+              << std::setprecision(3) << cell.transmittance() << "  "
+              << std::setw(5) << r.drop << "  " << std::setw(7) << r.through
+              << "  " << std::setw(8) << r.drop - r.through << "\n";
+  }
+
+  std::cout << "\nCrosstalk analysis on a 16-channel, 1.6 nm grid:\n\n";
+  ChannelPlan plan(16);
+  const CrosstalkReport thermal =
+      analyze_crosstalk(plan, MrrDesign{}, 0.2, 16);
+  const CrosstalkReport gst = analyze_crosstalk(plan, MrrDesign{}, 0.0, 8);
+  std::cout << "  thermal weighting (rings detuned +/-0.2 x spacing):\n"
+            << "    worst-case leakage " << thermal.worst_case_leakage
+            << ", weight-dependent part " << thermal.dynamic_leakage
+            << " -> usable bits: " << thermal.effective_bits
+            << "  (paper: 6)\n";
+  std::cout << "  GST weighting (rings stay on-grid, loss-based):\n"
+            << "    worst-case leakage " << gst.worst_case_leakage
+            << " (static, calibratable), dynamic part "
+            << gst.dynamic_leakage << " -> usable bits: "
+            << gst.effective_bits << "  (paper: 8)\n";
+
+  std::cout << "\nWrite/read economics per ring:\n";
+  std::cout << "  program: " << cell.params().write_energy.pJ() << " pJ / "
+            << cell.params().write_time.ns() << " ns, hold power 0 "
+            << "(non-volatile, ~" << kGstRetentionYears << "-year retention)\n";
+  std::cout << "  thermal equivalent: 1020 pJ / 600 ns + 1.7 mW continuous\n";
+  return 0;
+}

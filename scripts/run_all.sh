@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every paper
+# table/figure plus the ablations.  Outputs land in ./results/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p results
+ctest --test-dir build --output-on-failure 2>&1 | tee results/tests.txt
+
+for b in build/bench/*; do
+  # Skip CMake bookkeeping entries in the build directory.
+  [ -f "$b" ] && [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "== $name =="
+  "$b" | tee "results/$name.txt"
+done
+
+for e in quickstart edge_inference insitu_training cnn_insitu wdm_link_demo \
+         design_explorer edge_retraining; do
+  echo "== example: $e =="
+  "./build/examples/$e" | tee "results/example_$e.txt"
+done
+
+echo "All outputs written to ./results/"

@@ -1,0 +1,101 @@
+#include "arch/comparison.hpp"
+
+#include "common/error.hpp"
+#include "common/stats.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace trident::arch {
+
+EvaluationSuite::EvaluationSuite(std::vector<nn::ModelSpec> models)
+    : models_(std::move(models)) {
+  if (models_.empty()) {
+    models_ = nn::zoo::evaluation_models();
+  }
+  for (auto& m : models_) {
+    m.validate();
+  }
+
+  const auto photonic = photonic_contenders();
+  const auto boards = electronic_contenders();
+  for (const auto& acc : photonic) {
+    accelerator_names_.push_back(acc.name);
+  }
+  for (const auto& b : boards) {
+    accelerator_names_.push_back(b.name);
+  }
+
+  grid_.resize(accelerator_names_.size() * models_.size());
+  const std::size_t n_models = models_.size();
+  parallel_for(0, grid_.size(), [&](std::size_t idx) {
+    const std::size_t a = idx / n_models;
+    const std::size_t m = idx % n_models;
+    CellResult& cell = grid_[idx];
+    cell.model = models_[m].name;
+    cell.accelerator = accelerator_names_[a];
+    if (a < photonic.size()) {
+      const auto cost =
+          dataflow::analyze_model(models_[m], photonic[a].array);
+      cell.latency = cost.latency;
+      cell.energy = cost.energy.total();
+    } else {
+      const auto& board = boards[a - photonic.size()];
+      cell.latency = board.inference_latency(models_[m]);
+      cell.energy = board.inference_energy(models_[m]);
+    }
+  });
+}
+
+const CellResult& EvaluationSuite::cell(const std::string& accelerator,
+                                        const std::string& model) const {
+  for (const CellResult& c : grid_) {
+    if (c.accelerator == accelerator && c.model == model) {
+      return c;
+    }
+  }
+  throw Error("unknown accelerator/model pair: " + accelerator + " / " +
+              model);
+}
+
+double EvaluationSuite::latency_improvement(const std::string& ours,
+                                            const std::string& theirs) const {
+  std::vector<double> imps;
+  for (const auto& m : models_) {
+    imps.push_back(improvement_percent(cell(ours, m.name).latency.s(),
+                                       cell(theirs, m.name).latency.s()));
+  }
+  return mean(imps);
+}
+
+double EvaluationSuite::energy_improvement(const std::string& ours,
+                                           const std::string& theirs) const {
+  std::vector<double> imps;
+  for (const auto& m : models_) {
+    imps.push_back(improvement_percent(cell(ours, m.name).energy.J(),
+                                       cell(theirs, m.name).energy.J()));
+  }
+  return mean(imps);
+}
+
+bool EvaluationSuite::dominates_latency(const std::string& ours,
+                                        const std::string& theirs) const {
+  for (const auto& m : models_) {
+    if (cell(ours, m.name).latency.s() >= cell(theirs, m.name).latency.s()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool EvaluationSuite::dominates_energy(const std::string& ours,
+                                       const std::string& theirs) const {
+  for (const auto& m : models_) {
+    if (cell(ours, m.name).energy.J() >= cell(theirs, m.name).energy.J()) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace trident::arch

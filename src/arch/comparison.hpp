@@ -1,0 +1,68 @@
+// The complete evaluation suite as one query.
+//
+// Figs 4 & 6 and the §V.A prose all derive from the same grid: every
+// evaluation CNN on every contender, energy and latency.  This facade
+// computes the grid once (accelerators × models in parallel) and exposes
+// the paper's derived statistics — per-pair averages in the paper's
+// improvement convention — so benches and tests share one source of truth.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/electronic.hpp"
+#include "arch/photonic.hpp"
+#include "dataflow/cost.hpp"
+#include "nn/layer.hpp"
+
+namespace trident::arch {
+
+struct CellResult {
+  std::string accelerator;
+  std::string model;
+  units::Time latency;
+  units::Energy energy;
+  [[nodiscard]] double inferences_per_second() const {
+    return 1.0 / latency.s();
+  }
+};
+
+class EvaluationSuite {
+ public:
+  /// Runs the full grid: the four photonic contenders and three boards on
+  /// `models` (defaults to the paper's five CNNs).
+  explicit EvaluationSuite(std::vector<nn::ModelSpec> models = {});
+
+  [[nodiscard]] const std::vector<std::string>& accelerators() const {
+    return accelerator_names_;
+  }
+  [[nodiscard]] const std::vector<nn::ModelSpec>& models() const {
+    return models_;
+  }
+
+  /// The grid cell for (accelerator, model); throws on unknown names.
+  [[nodiscard]] const CellResult& cell(const std::string& accelerator,
+                                       const std::string& model) const;
+
+  /// Mean latency improvement of `ours` over `theirs` across the models,
+  /// in the paper's convention ((theirs − ours)/ours · 100, averaged).
+  [[nodiscard]] double latency_improvement(const std::string& ours,
+                                           const std::string& theirs) const;
+  [[nodiscard]] double energy_improvement(const std::string& ours,
+                                          const std::string& theirs) const;
+
+  /// True iff `ours` beats `theirs` on every single model (the Fig 4/6
+  /// per-model dominance the paper claims for Trident vs the photonic
+  /// baselines).
+  [[nodiscard]] bool dominates_latency(const std::string& ours,
+                                       const std::string& theirs) const;
+  [[nodiscard]] bool dominates_energy(const std::string& ours,
+                                      const std::string& theirs) const;
+
+ private:
+  std::vector<nn::ModelSpec> models_;
+  std::vector<std::string> accelerator_names_;
+  std::vector<CellResult> grid_;  ///< accelerator-major
+};
+
+}  // namespace trident::arch

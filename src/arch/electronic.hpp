@@ -1,0 +1,85 @@
+// Electronic edge-AI accelerator models (§IV-V): NVIDIA AGX Xavier,
+// Bearkey TB96-AI, and the Google Coral Dev Board.
+//
+// The paper compares against these boards using their datasheet peak TOPS /
+// power (Table IV) and measured inference behaviour (Fig 6, Table V).  We
+// model a board with a per-layer roofline that captures the three effects
+// dominating measured CNN latency:
+//
+//   1. sustained compute:  2·MACs / (utilization × peak TOPS);
+//   2. activation movement: each layer's input and output feature maps
+//      cross the memory system (the traffic Trident keeps inside its PEs);
+//   3. weight streaming:  models whose weights exceed on-chip SRAM re-load
+//      them every inference (the Edge TPU's 8 MB is the classic example —
+//      this is why Coral collapses on VGG-16-class models [29]).
+//
+// Per layer, compute and memory overlap: t = max(compute, movement).
+// Training (Xavier only) runs forward + input-gradient + weight-gradient
+// passes (≈3× compute) plus an extra weight-traffic round trip for the
+// gradient/update.  Utilization factors are calibrated against the paper's
+// measured ratios; see EXPERIMENTS.md.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "nn/layer.hpp"
+
+namespace trident::arch {
+
+using units::Power;
+using units::Time;
+
+struct ElectronicAccelerator {
+  std::string name;
+  double peak_tops = 0.0;  ///< int8 peak (Table IV)
+  Power board_power;
+  bool supports_training = false;
+
+  /// Fraction of peak compute sustained on CNN layers.
+  double utilization = 0.3;
+  /// Effective bandwidth for inter-layer activation traffic (bytes/s).
+  double activation_bandwidth = 10e9;
+  /// On-chip weight storage; larger models stream weights per inference.
+  double onchip_weight_bytes = 8e6;
+  /// Bandwidth for streaming spilled weights (bytes/s).
+  double weight_stream_bandwidth = 3e9;
+  /// Compute passes per training step (fwd + bwd-data + bwd-weight).
+  double training_passes = 3.0;
+
+  [[nodiscard]] double tops_per_watt() const {
+    return peak_tops / board_power.W();
+  }
+
+  /// Roofline latency of one layer.  `weights_spill` marks models whose
+  /// parameters exceed on-chip storage (then this layer's weights stream).
+  [[nodiscard]] Time layer_latency(const nn::LayerSpec& layer,
+                                   bool weights_spill) const;
+
+  /// Batch-1 inference latency for `model` (8-bit weights/activations).
+  [[nodiscard]] Time inference_latency(const nn::ModelSpec& model) const;
+
+  [[nodiscard]] double inferences_per_second(const nn::ModelSpec& model) const {
+    return 1.0 / inference_latency(model).s();
+  }
+
+  /// Per-image training-step latency (fwd + bwd + update).
+  [[nodiscard]] Time training_step_latency(const nn::ModelSpec& model) const;
+
+  /// Energy per inference ≈ board power × latency (edge boards do not idle
+  /// meaningfully mid-inference).
+  [[nodiscard]] units::Energy inference_energy(
+      const nn::ModelSpec& model) const {
+    return board_power * inference_latency(model);
+  }
+};
+
+[[nodiscard]] ElectronicAccelerator make_agx_xavier();
+[[nodiscard]] ElectronicAccelerator make_tb96_ai();
+[[nodiscard]] ElectronicAccelerator make_coral();
+
+/// The three boards of Table IV, in the paper's order.
+[[nodiscard]] std::vector<ElectronicAccelerator> electronic_contenders();
+
+}  // namespace trident::arch

@@ -1,0 +1,44 @@
+// Electronic peripheral device constants shared by the accelerator models.
+//
+// The baselines (DEAP-CNN, CrossLight, PIXEL) need ADC/DAC stages that
+// Trident's photonic activation eliminates (§III.C, HolyLight [23] calls
+// ADCs "a serious bottleneck"), and PIXEL/CrossLight add MZMs / VCSELs.
+// Values are typical published figures for ~1.4 GS/s 8-bit converters and
+// C-band devices; they enter the comparison identically for all baselines.
+#pragma once
+
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::arch {
+
+using namespace trident::units::literals;
+using units::Energy;
+using units::Power;
+
+/// 8-bit ~1.4 GS/s SAR ADC (one per weight-bank row in the baselines).
+inline constexpr Power kAdcPower = 20.0_mW;
+/// 8-bit DAC / modulator driver (one per wavelength channel).
+inline constexpr Power kDacPower = 5.0_mW;
+/// Mach-Zehnder modulator drive power (PIXEL's accumulation stage).
+inline constexpr Power kMzmPower = 25.0_mW;
+/// VCSEL per summation row (CrossLight's summation stage).
+inline constexpr Power kVcselPower = 5.0_mW;
+/// Digital activation-kernel energy per element (8-bit ReLU in logic).
+inline constexpr Energy kDigitalActivationEnergy = Energy::picojoules(0.1);
+
+/// Per-conversion energies at the shared modulation clock.
+[[nodiscard]] inline Energy adc_energy_per_conversion() {
+  return kAdcPower * units::period(phot::kClockRate);
+}
+[[nodiscard]] inline Energy dac_energy_per_conversion() {
+  return kDacPower * units::period(phot::kClockRate);
+}
+
+/// Optical input energy per modulated element: the channel's share of the
+/// laser power for one symbol (≈1 mW peak per channel at 1.37 GHz).
+[[nodiscard]] inline Energy laser_energy_per_symbol() {
+  return Power::milliwatts(1.0) * units::period(phot::kClockRate);
+}
+
+}  // namespace trident::arch

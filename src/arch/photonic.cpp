@@ -1,0 +1,224 @@
+#include "arch/photonic.hpp"
+
+#include <cmath>
+
+#include "arch/peripherals.hpp"
+#include "common/error.hpp"
+#include "photonics/constants.hpp"
+#include "photonics/tuning.hpp"
+
+namespace trident::arch {
+
+using namespace trident::units::literals;
+using units::Energy;
+using units::Time;
+
+namespace {
+
+constexpr int kRows = phot::kWeightBankRows;
+constexpr int kCols = phot::kWeightBankCols;
+constexpr int kMrrs = phot::kMrrsPerPe;
+
+/// Detection/readout energy per MAC implied by Table III's GST-read power:
+/// 17.1 mW across a 256-MRR PE running at the modulation clock.
+[[nodiscard]] Energy readout_energy_per_mac() {
+  return phot::kGstMrrReadPowerPerPe * units::period(phot::kClockRate) /
+         static_cast<double>(kMrrs);
+}
+
+/// Fills the fields every broadcast-and-weight contender shares.
+void fill_common(PhotonicArrayDesc& a) {
+  a.rows_per_pe = kRows;
+  a.cols_per_pe = kCols;
+  a.symbol_rate = phot::kClockRate;
+  a.mac_energy = readout_energy_per_mac();
+}
+
+}  // namespace
+
+int pes_for_budget(Power budget, Power per_pe) {
+  TRIDENT_REQUIRE(per_pe.W() > 0.0, "PE power must be positive");
+  const int pes = static_cast<int>(std::floor(budget / per_pe));
+  TRIDENT_REQUIRE(pes >= 1, "power budget does not fit a single PE");
+  return pes;
+}
+
+PhotonicAccelerator make_trident() {
+  PhotonicAccelerator acc;
+  acc.name = "Trident";
+  acc.weight_bits = phot::kGstBits;
+  acc.supports_training = true;  // 8-bit weights + LDSU + photonic activation
+
+  // Table III, verbatim.
+  auto& p = acc.pe_power;
+  p.name = acc.name;
+  p.tuning = phot::kGstMrrTuningPowerPerPe;
+  p.readout = phot::kGstMrrReadPowerPerPe;
+  p.activation = phot::kGstActivationResetPower;
+  p.conversion = Power::watts(0.0);  // no ADCs (§III.C)
+  p.summation = Power::watts(0.0);
+  p.bpd_tia = phot::kBpdTiaPower;
+  p.cache = phot::kCachePowerPerPe;
+  p.control = phot::kLdsuPower + phot::kEoLaserPower;
+
+  acc.pe_count = pes_for_budget(phot::kEdgePowerBudget, p.total());
+
+  auto& a = acc.array;
+  a.name = acc.name;
+  fill_common(a);
+  a.pe_count = acc.pe_count;
+  a.weight_write_time = phot::kGstWriteTime;
+  a.weight_write_energy = phot::kGstWriteEnergy;
+  a.weight_hold_power = Power::watts(0.0);  // non-volatile
+  // Inputs arrive optically from the previous PE; only the E/O laser and
+  // the channel's laser share are charged per modulated element.
+  a.input_dac_energy =
+      laser_energy_per_symbol() +
+      phot::kEoLaserPower * units::period(phot::kClockRate);
+  a.output_adc_energy = Energy::joules(0.0);  // LDSU removes ADCs
+  // GST activation reset, amortised per activated element from Table III's
+  // 53.3 mW across 16 rows at the clock.
+  a.activation_energy = phot::kGstActivationResetPower *
+                        units::period(phot::kClockRate) /
+                        static_cast<double>(kRows);
+  a.activation_memory_bytes = 0.0;  // activation never leaves the PE
+  a.output_path_delay = Time::seconds(0.0);
+  a.static_power =
+      (p.bpd_tia + p.cache + p.control) * static_cast<double>(acc.pe_count);
+  a.validate();
+  return acc;
+}
+
+PhotonicAccelerator make_deap_cnn() {
+  PhotonicAccelerator acc;
+  acc.name = "DEAP-CNN";
+  acc.weight_bits = phot::kThermalBits;  // crosstalk-limited [10]
+  acc.supports_training = false;
+
+  auto& p = acc.pe_power;
+  p.name = acc.name;
+  p.tuning = phot::kThermalHoldPower * static_cast<double>(kMrrs);
+  p.readout = phot::kGstMrrReadPowerPerPe;  // same detection stage
+  p.activation = 5.0_mW;                    // digital activation kernel
+  p.conversion = kAdcPower * static_cast<double>(kRows) +
+                 kDacPower * static_cast<double>(kCols);
+  p.summation = Power::watts(0.0);
+  p.bpd_tia = phot::kBpdTiaPower;
+  p.cache = phot::kCachePowerPerPe;
+  p.control = 0.1_mW;
+
+  acc.pe_count = pes_for_budget(phot::kEdgePowerBudget, p.total());
+
+  auto& a = acc.array;
+  a.name = acc.name;
+  fill_common(a);
+  a.pe_count = acc.pe_count;
+  a.weight_write_time = phot::kThermalTuningTime;   // 0.6 µs: 2× GST
+  a.weight_write_energy = phot::kThermalTuningEnergy;  // 1.02 nJ
+  a.weight_hold_power = phot::kThermalHoldPower;    // volatile!
+  a.input_dac_energy = laser_energy_per_symbol() + dac_energy_per_conversion();
+  a.output_adc_energy = adc_energy_per_conversion();
+  a.activation_energy = kDigitalActivationEnergy;
+  a.activation_memory_bytes = 2.0;  // store result, reload next layer
+  a.output_path_delay = units::period(phot::kClockRate);  // ADC+ReLU pipe
+  a.static_power = (p.bpd_tia + p.cache + p.activation + p.control) *
+                   static_cast<double>(acc.pe_count);
+  a.validate();
+  return acc;
+}
+
+PhotonicAccelerator make_crosslight() {
+  PhotonicAccelerator acc;
+  acc.name = "CrossLight";
+  acc.weight_bits = phot::kThermalBits + 1;  // hybrid tuning buys one bit
+  acc.supports_training = false;
+
+  auto& p = acc.pe_power;
+  p.name = acc.name;
+  // Thermal coarse stage plus an electro-optic fine stage per MRR.
+  p.tuning = phot::kThermalHoldPower * static_cast<double>(kMrrs) +
+             0.05_mW * static_cast<double>(kMrrs);
+  p.readout = phot::kGstMrrReadPowerPerPe;
+  p.activation = 5.0_mW;
+  p.conversion = kAdcPower * static_cast<double>(kRows) +
+                 kDacPower * static_cast<double>(kCols);
+  // VCSEL + summation MRR (with its own heater) per row.
+  p.summation = (kVcselPower + phot::kThermalHoldPower) *
+                static_cast<double>(kRows);
+  p.bpd_tia = phot::kBpdTiaPower * 2.0;  // second detector bank after VCSELs
+  p.cache = phot::kCachePowerPerPe;
+  p.control = 0.1_mW;
+
+  acc.pe_count = pes_for_budget(phot::kEdgePowerBudget, p.total());
+
+  auto& a = acc.array;
+  a.name = acc.name;
+  fill_common(a);
+  a.pe_count = acc.pe_count;
+  // Sequential coarse (thermal) + fine (EO) tuning per reprogramming.
+  a.weight_write_time = phot::kThermalTuningTime + phot::kElectroOpticTime;
+  a.weight_write_energy =
+      phot::kThermalTuningEnergy + Energy::picojoules(50.0);
+  a.weight_hold_power = phot::kThermalHoldPower;
+  a.input_dac_energy = laser_energy_per_symbol() + dac_energy_per_conversion();
+  a.output_adc_energy = adc_energy_per_conversion();
+  // The VCSEL summation stage spends laser energy per MAC on top of
+  // detection.
+  a.mac_energy += kVcselPower * units::period(phot::kClockRate) /
+                  static_cast<double>(kCols);
+  a.activation_energy = kDigitalActivationEnergy;
+  a.activation_memory_bytes = 2.0;
+  // Extra E/O-O/E hop through the VCSEL stage before the ADC.
+  a.output_path_delay = 2.0 * units::period(phot::kClockRate);
+  a.static_power = (p.bpd_tia + p.cache + p.activation + p.control) *
+                   static_cast<double>(acc.pe_count);
+  a.validate();
+  return acc;
+}
+
+PhotonicAccelerator make_pixel() {
+  PhotonicAccelerator acc;
+  acc.name = "PIXEL";
+  acc.weight_bits = 8;  // the 8-bit OO optical MAC unit (§IV)
+  acc.supports_training = false;
+
+  auto& p = acc.pe_power;
+  p.name = acc.name;
+  p.tuning = phot::kThermalHoldPower * static_cast<double>(kMrrs);
+  p.readout = phot::kGstMrrReadPowerPerPe;
+  p.activation = 5.0_mW;
+  p.conversion = kAdcPower * static_cast<double>(kRows) +
+                 kDacPower * static_cast<double>(kCols);
+  p.summation = kMzmPower * static_cast<double>(kRows);  // MZM accumulation
+  p.bpd_tia = phot::kBpdTiaPower;
+  p.cache = phot::kCachePowerPerPe;
+  p.control = 0.1_mW;
+
+  acc.pe_count = pes_for_budget(phot::kEdgePowerBudget, p.total());
+
+  auto& a = acc.array;
+  a.name = acc.name;
+  fill_common(a);
+  a.pe_count = acc.pe_count;
+  a.weight_write_time = phot::kThermalTuningTime;
+  a.weight_write_energy = phot::kThermalTuningEnergy;
+  a.weight_hold_power = phot::kThermalHoldPower;
+  a.input_dac_energy = laser_energy_per_symbol() + dac_energy_per_conversion();
+  a.output_adc_energy = adc_energy_per_conversion();
+  // MZM accumulation burns modulator drive energy on every MAC.
+  a.mac_energy += kMzmPower * units::period(phot::kClockRate) /
+                  static_cast<double>(kCols);
+  a.activation_energy = kDigitalActivationEnergy;
+  a.activation_memory_bytes = 2.0;
+  a.output_path_delay = units::period(phot::kClockRate);
+  a.static_power = (p.bpd_tia + p.cache + p.activation + p.control) *
+                   static_cast<double>(acc.pe_count);
+  a.validate();
+  return acc;
+}
+
+std::vector<PhotonicAccelerator> photonic_contenders() {
+  return {make_deap_cnn(), make_crosslight(), make_pixel(), make_trident()};
+}
+
+}  // namespace trident::arch

@@ -1,0 +1,75 @@
+// Photonic accelerator models: Trident and the three published baselines.
+//
+// Following §IV, all four architectures are built from the same device
+// parameters (Table III + peripherals.hpp) and scaled to the same 30 W edge
+// power budget; they differ in exactly the design choices their papers
+// made:
+//
+//   DEAP-CNN  [2]  thermal MRR tuning (volatile, 1.02 nJ / 0.6 µs / 1.7 mW
+//                  hold), ADC per row, digital activation with a memory
+//                  round-trip.
+//   CrossLight[31] hybrid thermo-/electro-optic tuning (+1 bit, extra fine-
+//                  tune stage), VCSEL + MRR summation (an extra E/O-O/E hop
+//                  on the output path), ADC per row, digital activation.
+//   PIXEL     [30] thermally tuned MRRs for bitwise products + MZM analog
+//                  accumulation (the power-hungry part), ADC per row,
+//                  digital activation.  We compare against its 8-bit OO
+//                  optical MAC unit, as the paper does.
+//   Trident        GST-tuned MRRs (non-volatile, 660 pJ / 0.3 µs / 0 hold),
+//                  photonic GST activation + LDSU: no ADCs, no activation
+//                  memory traffic.
+//
+// Each model exposes its per-PE power breakdown, the PE count that fits
+// 30 W, and the PhotonicArrayDesc consumed by the dataflow analyzer.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/array.hpp"
+
+namespace trident::arch {
+
+using dataflow::PhotonicArrayDesc;
+using units::Power;
+
+/// Per-PE power decomposition used for the 30 W scaling (§IV).
+struct PePowerModel {
+  std::string name;
+  Power tuning;       ///< weight write/hold while programming
+  Power readout;      ///< optical read / detection
+  Power activation;   ///< activation stage (GST reset or digital+ADC share)
+  Power conversion;   ///< ADC + DAC arrays
+  Power summation;    ///< extra summation devices (VCSEL / MZM)
+  Power bpd_tia;      ///< receivers
+  Power cache;        ///< per-PE scratchpad
+  Power control;      ///< LDSU, E/O lasers, misc
+
+  [[nodiscard]] Power total() const {
+    return tuning + readout + activation + conversion + summation + bpd_tia +
+           cache + control;
+  }
+};
+
+/// A fully-specified photonic accelerator under the 30 W budget.
+struct PhotonicAccelerator {
+  std::string name;
+  PePowerModel pe_power;
+  int pe_count = 0;  ///< floor(30 W / PE power)
+  PhotonicArrayDesc array;
+  int weight_bits = 8;
+  bool supports_training = false;
+};
+
+/// Number of PEs of power `per_pe` that fit `budget`.
+[[nodiscard]] int pes_for_budget(Power budget, Power per_pe);
+
+[[nodiscard]] PhotonicAccelerator make_trident();
+[[nodiscard]] PhotonicAccelerator make_deap_cnn();
+[[nodiscard]] PhotonicAccelerator make_crosslight();
+[[nodiscard]] PhotonicAccelerator make_pixel();
+
+/// The four photonic contenders of Figs 4 & 6, in the paper's order.
+[[nodiscard]] std::vector<PhotonicAccelerator> photonic_contenders();
+
+}  // namespace trident::arch

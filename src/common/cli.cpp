@@ -1,0 +1,77 @@
+#include "common/cli.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace trident {
+
+CliArgs::CliArgs(int argc, const char* const* argv) {
+  TRIDENT_REQUIRE(argc >= 1, "argv must contain the program name");
+  program_ = argv[0];
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg.erase(0, 2);
+    const std::size_t eq = arg.find('=');
+    if (eq != std::string::npos) {
+      options_.emplace_back(arg.substr(0, eq), arg.substr(eq + 1));
+      continue;
+    }
+    // `--name value` when the next token is not itself a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      options_.emplace_back(arg, argv[i + 1]);
+      ++i;
+    } else {
+      flags_.push_back(std::move(arg));
+    }
+  }
+}
+
+bool CliArgs::has_flag(const std::string& name) const {
+  if (std::find(flags_.begin(), flags_.end(), name) != flags_.end()) {
+    return true;
+  }
+  // `--csv=1` style also counts as the flag being present.
+  return value(name).has_value();
+}
+
+std::optional<std::string> CliArgs::value(const std::string& name) const {
+  for (const auto& [key, val] : options_) {
+    if (key == name) {
+      return val;
+    }
+  }
+  return std::nullopt;
+}
+
+int CliArgs::value_int(const std::string& name, int fallback) const {
+  const auto v = value(name);
+  if (!v) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const long parsed = std::strtol(v->c_str(), &end, 10);
+  TRIDENT_REQUIRE(end != nullptr && *end == '\0' && !v->empty(),
+                  "option --" + name + " expects an integer, got '" + *v +
+                      "'");
+  return static_cast<int>(parsed);
+}
+
+double CliArgs::value_double(const std::string& name, double fallback) const {
+  const auto v = value(name);
+  if (!v) {
+    return fallback;
+  }
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  TRIDENT_REQUIRE(end != nullptr && *end == '\0' && !v->empty(),
+                  "option --" + name + " expects a number, got '" + *v + "'");
+  return parsed;
+}
+
+}  // namespace trident

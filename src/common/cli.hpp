@@ -1,0 +1,54 @@
+// Minimal command-line parsing for the bench binaries.
+//
+// Every experiment binary accepts a common set of flags:
+//   --csv            emit machine-readable CSV instead of ASCII tables
+//   --batch N        batch size for the dataflow analyses
+//   --help           print usage
+// plus free-form key=value overrides.  Deliberately tiny — the benches
+// are reproducibility artefacts, not a CLI framework showcase.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace trident {
+
+class CliArgs {
+ public:
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if `--name` was passed.
+  [[nodiscard]] bool has_flag(const std::string& name) const;
+
+  /// Value of `--name value` or `--name=value`, if present.
+  [[nodiscard]] std::optional<std::string> value(
+      const std::string& name) const;
+
+  /// Integer value of an option, or `fallback` when absent.  Throws
+  /// trident::Error on malformed numbers.
+  [[nodiscard]] int value_int(const std::string& name, int fallback) const;
+
+  /// Double value of an option, or `fallback` when absent.
+  [[nodiscard]] double value_double(const std::string& name,
+                                    double fallback) const;
+
+  /// Positional (non-flag) arguments in order.
+  [[nodiscard]] const std::vector<std::string>& positional() const {
+    return positional_;
+  }
+
+  [[nodiscard]] const std::string& program() const { return program_; }
+
+  /// The benches' shared convention.
+  [[nodiscard]] bool csv() const { return has_flag("csv"); }
+  [[nodiscard]] int batch() const { return value_int("batch", 1); }
+
+ private:
+  std::string program_;
+  std::vector<std::pair<std::string, std::string>> options_;  // name, value
+  std::vector<std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace trident

@@ -1,0 +1,56 @@
+// Error handling for the Trident simulator.
+//
+// Following the C++ Core Guidelines (E.2, I.6): preconditions on public API
+// boundaries are checked and violations throw a typed exception carrying the
+// failing expression and location.  Internal invariants use TRIDENT_ASSERT,
+// which compiles to a check in all build types (the simulator is not
+// performance-critical enough to justify silent UB in release builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace trident {
+
+/// Exception thrown on precondition / invariant violations inside the library.
+class Error : public std::logic_error {
+ public:
+  explicit Error(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void raise(std::string_view kind, std::string_view expr,
+                               std::string_view file, int line,
+                               std::string_view msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) {
+    os << " — " << msg;
+  }
+  throw Error(os.str());
+}
+
+}  // namespace detail
+
+}  // namespace trident
+
+/// Precondition check on a public API boundary.  Throws trident::Error.
+#define TRIDENT_REQUIRE(expr, msg)                                          \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::trident::detail::raise("precondition", #expr, __FILE__, __LINE__,   \
+                               (msg));                                      \
+    }                                                                       \
+  } while (false)
+
+/// Internal invariant check.  Throws trident::Error.
+#define TRIDENT_ASSERT(expr, msg)                                           \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::trident::detail::raise("invariant", #expr, __FILE__, __LINE__,      \
+                               (msg));                                      \
+    }                                                                       \
+  } while (false)

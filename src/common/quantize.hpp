@@ -1,0 +1,116 @@
+// Symmetric fixed-point quantization helpers.
+//
+// The paper's central device argument is about *bit resolution*: GST cells
+// provide 255 distinguishable transmission levels (8-bit weights, enough for
+// training per Wang et al. [34]); thermally tuned MRRs are limited to 6 bits
+// by inter-channel crosstalk, which is *not* enough.  This module provides
+// the shared symmetric quantizer used by both the photonic functional model
+// (weight programming, signal modulation) and the 6-vs-8-bit training
+// ablation.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace trident {
+
+/// A symmetric uniform quantizer over [-range, +range] with `bits` of
+/// resolution: 2^bits - 1 levels, level 0 at the midpoint, zero exactly
+/// representable.  With bits = 8 this matches the paper's 255-level GST cell.
+class SymmetricQuantizer {
+ public:
+  SymmetricQuantizer(int bits, double range = 1.0) : bits_(bits), range_(range) {
+    TRIDENT_REQUIRE(bits >= 1 && bits <= 16, "bit width must be in [1, 16]");
+    TRIDENT_REQUIRE(range > 0.0, "quantizer range must be positive");
+    // 2^bits - 1 levels → (levels - 1)/2 steps on each side of zero.
+    levels_ = (1 << bits) - 1;
+    half_steps_ = (levels_ - 1) / 2;
+    step_ = range_ / static_cast<double>(half_steps_);
+  }
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] int levels() const { return levels_; }
+  /// Quantization step between adjacent levels.
+  [[nodiscard]] double step() const { return step_; }
+  [[nodiscard]] double range() const { return range_; }
+
+  /// Signed level index in [-half_steps, +half_steps]; values outside
+  /// [-range, range] saturate.
+  [[nodiscard]] int to_level(double x) const {
+    const double clamped = std::clamp(x, -range_, range_);
+    return static_cast<int>(std::lround(clamped / step_));
+  }
+
+  /// Reconstruction value of a level index.
+  [[nodiscard]] double from_level(int level) const {
+    TRIDENT_REQUIRE(std::abs(level) <= half_steps_, "level index out of range");
+    return static_cast<double>(level) * step_;
+  }
+
+  /// Round-trip quantization of a single value.
+  [[nodiscard]] double quantize(double x) const { return from_level(to_level(x)); }
+
+  /// Quantize a whole vector in place.
+  void quantize(std::span<double> xs) const {
+    for (double& x : xs) {
+      x = quantize(x);
+    }
+  }
+
+  /// Quantize into a fresh vector.
+  [[nodiscard]] std::vector<double> quantized(std::span<const double> xs) const {
+    std::vector<double> out(xs.begin(), xs.end());
+    quantize(out);
+    return out;
+  }
+
+  /// Worst-case absolute rounding error for in-range inputs (= step / 2).
+  [[nodiscard]] double max_rounding_error() const { return step_ / 2.0; }
+
+ private:
+  int bits_;
+  double range_;
+  int levels_;
+  int half_steps_;
+  double step_;
+};
+
+/// Unsigned quantizer over [0, range]: `2^bits - 1` levels above zero.
+/// Used for the optical signal amplitudes (light intensity is non-negative);
+/// signed values are carried by the add-drop/balanced-photodetector pair.
+class UnsignedQuantizer {
+ public:
+  UnsignedQuantizer(int bits, double range = 1.0) : bits_(bits), range_(range) {
+    TRIDENT_REQUIRE(bits >= 1 && bits <= 16, "bit width must be in [1, 16]");
+    TRIDENT_REQUIRE(range > 0.0, "quantizer range must be positive");
+    levels_ = (1 << bits) - 1;
+    step_ = range_ / static_cast<double>(levels_);
+  }
+
+  [[nodiscard]] int bits() const { return bits_; }
+  [[nodiscard]] int levels() const { return levels_; }
+  [[nodiscard]] double step() const { return step_; }
+
+  [[nodiscard]] int to_level(double x) const {
+    const double clamped = std::clamp(x, 0.0, range_);
+    return static_cast<int>(std::lround(clamped / step_));
+  }
+  [[nodiscard]] double from_level(int level) const {
+    TRIDENT_REQUIRE(level >= 0 && level <= levels_, "level index out of range");
+    return static_cast<double>(level) * step_;
+  }
+  [[nodiscard]] double quantize(double x) const { return from_level(to_level(x)); }
+
+ private:
+  int bits_;
+  double range_;
+  int levels_;
+  double step_;
+};
+
+}  // namespace trident

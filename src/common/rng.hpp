@@ -1,0 +1,59 @@
+// Deterministic random number generation.
+//
+// Every stochastic element of the simulator (photodetector shot noise,
+// GST level programming error, synthetic datasets, weight init) draws from
+// an Rng that is explicitly seeded, so every experiment in EXPERIMENTS.md is
+// bit-reproducible.  `split()` derives an independent stream, which lets
+// parallel workers consume randomness without sharing (or locking) a
+// generator — the standard counter-based-stream idiom for HPC codes.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace trident {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x5eedu) : engine_(seed), seed_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  [[nodiscard]] double uniform(double lo = 0.0, double hi = 1.0) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Normal with the given mean / standard deviation.
+  [[nodiscard]] double normal(double mean = 0.0, double stddev = 1.0) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  [[nodiscard]] std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Derive an independent child stream.  Mixing with splitmix64 keeps child
+  /// seeds decorrelated even for consecutive indices.
+  [[nodiscard]] Rng split(std::uint64_t index) const {
+    std::uint64_t z = seed_ + 0x9e3779b97f4a7c15ull * (index + 1);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Access to the raw engine for use with std:: distributions.
+  [[nodiscard]] std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace trident

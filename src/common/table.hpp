@@ -1,0 +1,46 @@
+// ASCII table / CSV rendering for benchmark and experiment output.
+//
+// Every bench binary regenerating a paper table or figure prints a
+// human-readable table to stdout and can optionally emit machine-readable
+// CSV, so EXPERIMENTS.md entries can be checked by eye and by script.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace trident {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Append one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 2);
+  /// Scientific notation (for energies spanning pJ..J).
+  static std::string sci(double v, int precision = 3);
+  /// Percentage with a leading sign, e.g. "+16.4%" / "-8.5%".
+  static std::string pct(double v, int precision = 1);
+
+  [[nodiscard]] std::size_t rows() const { return rows_.size(); }
+  [[nodiscard]] std::size_t columns() const { return headers_.size(); }
+  [[nodiscard]] const std::vector<std::string>& header() const { return headers_; }
+  [[nodiscard]] const std::vector<std::string>& row(std::size_t i) const;
+
+  /// Render as an aligned ASCII table.
+  [[nodiscard]] std::string to_string() const;
+  /// Render as CSV (RFC-4180-ish; quotes cells containing commas/quotes).
+  [[nodiscard]] std::string to_csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace trident

@@ -1,0 +1,252 @@
+// Strongly-typed physical quantities used throughout the Trident simulator.
+//
+// The evaluation model of the paper is driven entirely by device constants
+// expressed in mixed units (pJ, nJ, mW, ns, µs, nm, GHz, mm²).  Mixing those
+// up silently is the classic failure mode of analytical architecture models,
+// so every quantity in the public API is a distinct arithmetic type with
+// explicit construction and unit-named accessors.  Arithmetic that crosses
+// dimensions (energy = power × time, …) is provided only where physically
+// meaningful.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <cstdint>
+#include <ostream>
+
+namespace trident::units {
+
+namespace detail {
+
+// CRTP base for a double-backed quantity of a single dimension.
+template <class Derived>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+
+  [[nodiscard]] constexpr double raw() const { return value_; }
+
+  friend constexpr auto operator<=>(const Derived& a, const Derived& b) {
+    return a.value_ <=> b.value_;
+  }
+  friend constexpr bool operator==(const Derived& a, const Derived& b) {
+    return a.value_ == b.value_;
+  }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived::from_raw(a.value_ + b.value_);
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived::from_raw(a.value_ - b.value_);
+  }
+  friend constexpr Derived operator*(Derived a, double s) {
+    return Derived::from_raw(a.value_ * s);
+  }
+  friend constexpr Derived operator*(double s, Derived a) {
+    return Derived::from_raw(a.value_ * s);
+  }
+  friend constexpr Derived operator/(Derived a, double s) {
+    return Derived::from_raw(a.value_ / s);
+  }
+  // Ratio of two like quantities is dimensionless.
+  friend constexpr double operator/(Derived a, Derived b) {
+    return a.value_ / b.value_;
+  }
+  constexpr Derived& operator+=(Derived o) {
+    value_ += o.value_;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator-=(Derived o) {
+    value_ -= o.value_;
+    return static_cast<Derived&>(*this);
+  }
+  constexpr Derived& operator*=(double s) {
+    value_ *= s;
+    return static_cast<Derived&>(*this);
+  }
+
+  [[nodiscard]] static constexpr Derived from_raw(double v) {
+    Derived d;
+    d.value_ = v;
+    return d;
+  }
+
+ protected:
+  explicit constexpr Quantity(double v) : value_(v) {}
+  double value_ = 0.0;
+};
+
+}  // namespace detail
+
+/// Time, stored in seconds.
+class Time : public detail::Quantity<Time> {
+ public:
+  constexpr Time() = default;
+  [[nodiscard]] static constexpr Time seconds(double s) { return from_raw(s); }
+  [[nodiscard]] static constexpr Time milliseconds(double ms) { return from_raw(ms * 1e-3); }
+  [[nodiscard]] static constexpr Time microseconds(double us) { return from_raw(us * 1e-6); }
+  [[nodiscard]] static constexpr Time nanoseconds(double ns) { return from_raw(ns * 1e-9); }
+  [[nodiscard]] static constexpr Time picoseconds(double ps) { return from_raw(ps * 1e-12); }
+  [[nodiscard]] constexpr double s() const { return raw(); }
+  [[nodiscard]] constexpr double ms() const { return raw() * 1e3; }
+  [[nodiscard]] constexpr double us() const { return raw() * 1e6; }
+  [[nodiscard]] constexpr double ns() const { return raw() * 1e9; }
+  [[nodiscard]] constexpr double ps() const { return raw() * 1e12; }
+};
+
+/// Energy, stored in joules.
+class Energy : public detail::Quantity<Energy> {
+ public:
+  constexpr Energy() = default;
+  [[nodiscard]] static constexpr Energy joules(double j) { return from_raw(j); }
+  [[nodiscard]] static constexpr Energy millijoules(double mj) { return from_raw(mj * 1e-3); }
+  [[nodiscard]] static constexpr Energy microjoules(double uj) { return from_raw(uj * 1e-6); }
+  [[nodiscard]] static constexpr Energy nanojoules(double nj) { return from_raw(nj * 1e-9); }
+  [[nodiscard]] static constexpr Energy picojoules(double pj) { return from_raw(pj * 1e-12); }
+  [[nodiscard]] static constexpr Energy femtojoules(double fj) { return from_raw(fj * 1e-15); }
+  [[nodiscard]] constexpr double J() const { return raw(); }
+  [[nodiscard]] constexpr double mJ() const { return raw() * 1e3; }
+  [[nodiscard]] constexpr double uJ() const { return raw() * 1e6; }
+  [[nodiscard]] constexpr double nJ() const { return raw() * 1e9; }
+  [[nodiscard]] constexpr double pJ() const { return raw() * 1e12; }
+  [[nodiscard]] constexpr double fJ() const { return raw() * 1e15; }
+};
+
+/// Power, stored in watts.
+class Power : public detail::Quantity<Power> {
+ public:
+  constexpr Power() = default;
+  [[nodiscard]] static constexpr Power watts(double w) { return from_raw(w); }
+  [[nodiscard]] static constexpr Power milliwatts(double mw) { return from_raw(mw * 1e-3); }
+  [[nodiscard]] static constexpr Power microwatts(double uw) { return from_raw(uw * 1e-6); }
+  [[nodiscard]] constexpr double W() const { return raw(); }
+  [[nodiscard]] constexpr double mW() const { return raw() * 1e3; }
+  [[nodiscard]] constexpr double uW() const { return raw() * 1e6; }
+};
+
+/// Length, stored in meters (used for wavelengths, ring radii, die geometry).
+class Length : public detail::Quantity<Length> {
+ public:
+  constexpr Length() = default;
+  [[nodiscard]] static constexpr Length meters(double m) { return from_raw(m); }
+  [[nodiscard]] static constexpr Length millimeters(double mm) { return from_raw(mm * 1e-3); }
+  [[nodiscard]] static constexpr Length micrometers(double um) { return from_raw(um * 1e-6); }
+  [[nodiscard]] static constexpr Length nanometers(double nm) { return from_raw(nm * 1e-9); }
+  [[nodiscard]] constexpr double m() const { return raw(); }
+  [[nodiscard]] constexpr double mm() const { return raw() * 1e3; }
+  [[nodiscard]] constexpr double um() const { return raw() * 1e6; }
+  [[nodiscard]] constexpr double nm() const { return raw() * 1e9; }
+};
+
+/// Area, stored in square meters (die/component footprints).
+class Area : public detail::Quantity<Area> {
+ public:
+  constexpr Area() = default;
+  [[nodiscard]] static constexpr Area square_meters(double m2) { return from_raw(m2); }
+  [[nodiscard]] static constexpr Area square_millimeters(double mm2) { return from_raw(mm2 * 1e-6); }
+  [[nodiscard]] static constexpr Area square_micrometers(double um2) { return from_raw(um2 * 1e-12); }
+  [[nodiscard]] constexpr double m2() const { return raw(); }
+  [[nodiscard]] constexpr double mm2() const { return raw() * 1e6; }
+  [[nodiscard]] constexpr double um2() const { return raw() * 1e12; }
+};
+
+/// Frequency, stored in hertz (clock rates, optical frequencies).
+class Frequency : public detail::Quantity<Frequency> {
+ public:
+  constexpr Frequency() = default;
+  [[nodiscard]] static constexpr Frequency hertz(double hz) { return from_raw(hz); }
+  [[nodiscard]] static constexpr Frequency kilohertz(double khz) { return from_raw(khz * 1e3); }
+  [[nodiscard]] static constexpr Frequency megahertz(double mhz) { return from_raw(mhz * 1e6); }
+  [[nodiscard]] static constexpr Frequency gigahertz(double ghz) { return from_raw(ghz * 1e9); }
+  [[nodiscard]] static constexpr Frequency terahertz(double thz) { return from_raw(thz * 1e12); }
+  [[nodiscard]] constexpr double Hz() const { return raw(); }
+  [[nodiscard]] constexpr double MHz() const { return raw() * 1e-6; }
+  [[nodiscard]] constexpr double GHz() const { return raw() * 1e-9; }
+  [[nodiscard]] constexpr double THz() const { return raw() * 1e-12; }
+};
+
+// --- Cross-dimension arithmetic (only physically meaningful combinations) ---
+
+/// energy = power × time
+[[nodiscard]] constexpr Energy operator*(Power p, Time t) {
+  return Energy::joules(p.W() * t.s());
+}
+[[nodiscard]] constexpr Energy operator*(Time t, Power p) { return p * t; }
+
+/// power = energy / time
+[[nodiscard]] constexpr Power operator/(Energy e, Time t) {
+  return Power::watts(e.J() / t.s());
+}
+
+/// time = energy / power
+[[nodiscard]] constexpr Time operator/(Energy e, Power p) {
+  return Time::seconds(e.J() / p.W());
+}
+
+/// area = length × length
+[[nodiscard]] constexpr Area operator*(Length a, Length b) {
+  return Area::square_meters(a.m() * b.m());
+}
+
+/// period = 1 / frequency
+[[nodiscard]] constexpr Time period(Frequency f) {
+  return Time::seconds(1.0 / f.Hz());
+}
+
+/// rate = 1 / period
+[[nodiscard]] constexpr Frequency rate(Time t) {
+  return Frequency::hertz(1.0 / t.s());
+}
+
+// --- User-defined literals: the constants in the paper read naturally,
+//     e.g. `660.0_pJ`, `300.0_ns`, `1.7_mW`, `1.6_nm`, `1.37_GHz`. ---
+inline namespace literals {
+constexpr Energy operator""_J(long double v) { return Energy::joules(static_cast<double>(v)); }
+constexpr Energy operator""_mJ(long double v) { return Energy::millijoules(static_cast<double>(v)); }
+constexpr Energy operator""_uJ(long double v) { return Energy::microjoules(static_cast<double>(v)); }
+constexpr Energy operator""_nJ(long double v) { return Energy::nanojoules(static_cast<double>(v)); }
+constexpr Energy operator""_pJ(long double v) { return Energy::picojoules(static_cast<double>(v)); }
+constexpr Energy operator""_fJ(long double v) { return Energy::femtojoules(static_cast<double>(v)); }
+constexpr Power operator""_W(long double v) { return Power::watts(static_cast<double>(v)); }
+constexpr Power operator""_mW(long double v) { return Power::milliwatts(static_cast<double>(v)); }
+constexpr Power operator""_uW(long double v) { return Power::microwatts(static_cast<double>(v)); }
+constexpr Time operator""_s(long double v) { return Time::seconds(static_cast<double>(v)); }
+constexpr Time operator""_ms(long double v) { return Time::milliseconds(static_cast<double>(v)); }
+constexpr Time operator""_us(long double v) { return Time::microseconds(static_cast<double>(v)); }
+constexpr Time operator""_ns(long double v) { return Time::nanoseconds(static_cast<double>(v)); }
+constexpr Time operator""_ps(long double v) { return Time::picoseconds(static_cast<double>(v)); }
+constexpr Length operator""_m(long double v) { return Length::meters(static_cast<double>(v)); }
+constexpr Length operator""_mm(long double v) { return Length::millimeters(static_cast<double>(v)); }
+constexpr Length operator""_um(long double v) { return Length::micrometers(static_cast<double>(v)); }
+constexpr Length operator""_nm(long double v) { return Length::nanometers(static_cast<double>(v)); }
+constexpr Area operator""_mm2(long double v) { return Area::square_millimeters(static_cast<double>(v)); }
+constexpr Area operator""_um2(long double v) { return Area::square_micrometers(static_cast<double>(v)); }
+constexpr Frequency operator""_Hz(long double v) { return Frequency::hertz(static_cast<double>(v)); }
+constexpr Frequency operator""_MHz(long double v) { return Frequency::megahertz(static_cast<double>(v)); }
+constexpr Frequency operator""_GHz(long double v) { return Frequency::gigahertz(static_cast<double>(v)); }
+constexpr Frequency operator""_THz(long double v) { return Frequency::terahertz(static_cast<double>(v)); }
+}  // namespace literals
+
+inline std::ostream& operator<<(std::ostream& os, Time t) { return os << t.s() << " s"; }
+inline std::ostream& operator<<(std::ostream& os, Energy e) { return os << e.J() << " J"; }
+inline std::ostream& operator<<(std::ostream& os, Power p) { return os << p.W() << " W"; }
+inline std::ostream& operator<<(std::ostream& os, Length l) { return os << l.m() << " m"; }
+inline std::ostream& operator<<(std::ostream& os, Area a) { return os << a.mm2() << " mm^2"; }
+inline std::ostream& operator<<(std::ostream& os, Frequency f) { return os << f.Hz() << " Hz"; }
+
+/// Speed of light in vacuum; used to convert wavelength <-> optical frequency
+/// and to model "inference at the speed of light" propagation delays.
+inline constexpr double kSpeedOfLightMps = 299'792'458.0;
+
+/// Optical frequency of a vacuum wavelength.
+[[nodiscard]] inline Frequency optical_frequency(Length wavelength) {
+  return Frequency::hertz(kSpeedOfLightMps / wavelength.m());
+}
+
+/// Propagation delay of light through `path` in a medium with group index `n_g`.
+/// Silicon photonic waveguides have n_g ≈ 4.2 near 1550 nm.
+[[nodiscard]] inline Time propagation_delay(Length path, double group_index = 4.2) {
+  return Time::seconds(path.m() * group_index / kSpeedOfLightMps);
+}
+
+}  // namespace trident::units

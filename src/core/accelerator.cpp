@@ -1,0 +1,161 @@
+#include "core/accelerator.hpp"
+
+#include "common/error.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::core {
+
+namespace {
+
+/// Per-PE component areas (mm²).  The dominant entry is the analog TIA
+/// chain, as Fig 5 reports; photonic structures are tiny in comparison.
+struct PeAreas {
+  // 16 receiver/amplifier chains (TIA + bias + pads).
+  static constexpr double kTia = 16 * 0.70;
+  // 256 weight-bank rings at a 40 µm pitch, GST patch included.
+  static constexpr double kWeightBank = 256 * 0.0016;
+  // 16 activation rings (60 µm radius → ~160 µm pitch cell).
+  static constexpr double kActivation = 16 * 0.0256;
+  // 16 balanced photodetector pairs.
+  static constexpr double kBpd = 16 * 0.005;
+  // 16 E/O lasers.
+  static constexpr double kEoLaser = 16 * 0.02;
+  // 16 LDSUs (comparator + DFF).
+  static constexpr double kLdsu = 16 * 0.0005;
+  // 16 kB cache, 0.092 × 0.085 mm² (§IV).
+  static constexpr double kCache = 0.092 * 0.085;
+  // WDM bus, couplers, routing.
+  static constexpr double kWaveguides = 1.3059;
+
+  static constexpr double total() {
+    return kTia + kWeightBank + kActivation + kBpd + kEoLaser + kLdsu +
+           kCache + kWaveguides;
+  }
+};
+
+}  // namespace
+
+TridentAccelerator::TridentAccelerator() : spec_(arch::make_trident()) {}
+
+dataflow::ModelCost TridentAccelerator::inference(
+    const nn::ModelSpec& model,
+    const dataflow::AnalyzerOptions& options) const {
+  return dataflow::analyze_model(model, spec_.array, options);
+}
+
+double TridentAccelerator::inferences_per_second(
+    const nn::ModelSpec& model) const {
+  return inference(model).inferences_per_second();
+}
+
+Energy TridentAccelerator::energy_per_inference(
+    const nn::ModelSpec& model) const {
+  return inference(model).energy.total();
+}
+
+double TridentAccelerator::sustained_tops(const nn::ModelSpec& model,
+                                          int batch) const {
+  dataflow::AnalyzerOptions options;
+  options.batch = batch;
+  return inference(model, options).effective_tops();
+}
+
+double TridentAccelerator::tops_per_watt(double tops) const {
+  return tops / phot::kEdgePowerBudget.W();
+}
+
+std::vector<BreakdownEntry> TridentAccelerator::pe_power_breakdown() const {
+  const auto& p = spec_.pe_power;
+  const double total = p.total().W();
+  auto entry = [&](std::string name, Power power) {
+    return BreakdownEntry{std::move(name), power.W(),
+                          power.W() / total * 100.0};
+  };
+  return {
+      entry("LDSU", phot::kLdsuPower),
+      entry("E/O Laser", phot::kEoLaserPower),
+      entry("GST MRR Tuning", p.tuning),
+      entry("GST MRR Read", p.readout),
+      entry("GST Activation Function Reset", p.activation),
+      entry("BPD and TIA", p.bpd_tia),
+      entry("Cache", p.cache),
+  };
+}
+
+Power TridentAccelerator::pe_power_total() const {
+  return spec_.pe_power.total();
+}
+
+Power TridentAccelerator::pe_power_resident() const {
+  // Non-volatility: once programmed, the 83.34 % tuning share disappears
+  // (§IV: 0.67 W → 0.11 W).
+  return spec_.pe_power.total() - spec_.pe_power.tuning;
+}
+
+std::vector<BreakdownEntry> TridentAccelerator::area_breakdown() const {
+  const double pes = static_cast<double>(spec_.pe_count);
+  const double total = PeAreas::total() * pes;
+  auto entry = [&](std::string name, double per_pe_mm2) {
+    const double v = per_pe_mm2 * pes;
+    return BreakdownEntry{std::move(name), v, v / total * 100.0};
+  };
+  return {
+      entry("TIA", PeAreas::kTia),
+      entry("WDM waveguides & couplers", PeAreas::kWaveguides),
+      entry("PCM-MRR weight bank", PeAreas::kWeightBank),
+      entry("GST activation cells", PeAreas::kActivation),
+      entry("E/O lasers", PeAreas::kEoLaser),
+      entry("BPD", PeAreas::kBpd),
+      entry("LDSU", PeAreas::kLdsu),
+      entry("Cache", PeAreas::kCache),
+  };
+}
+
+Area TridentAccelerator::total_area() const {
+  return Area::square_millimeters(PeAreas::total() *
+                                  static_cast<double>(spec_.pe_count));
+}
+
+TrainingStepCost TridentAccelerator::training_step(
+    const nn::ModelSpec& model) const {
+  // §V.B estimates training throughput from inference throughput: the
+  // backward passes re-use the same PEs with different encodings
+  // (Table II), so each pass costs one inference-shaped sweep.
+  const dataflow::ModelCost fwd = inference(model);
+
+  TrainingStepCost step;
+  step.forward = fwd.latency;
+  // Gradient-vector pass: same GEMM volume, bank re-encoded with Wᵀ.
+  step.gradient = fwd.latency;
+  // Outer-product pass: same GEMM volume, bank re-encoded with yᵀ.
+  step.outer = fwd.latency;
+
+  // Weight update: every changed weight receives a GST write pulse; banks
+  // program in parallel, tiles round-robin over the PEs.
+  const auto j = static_cast<std::uint64_t>(spec_.array.rows_per_pe);
+  const auto n = static_cast<std::uint64_t>(spec_.array.cols_per_pe);
+  std::uint64_t tiles = 0;
+  for (const auto& layer : model.layers) {
+    const dataflow::GemmShape g = dataflow::lower_to_gemm(layer);
+    if (g.m == 0) {
+      continue;
+    }
+    tiles += ((g.m + j - 1) / j) * ((g.k + n - 1) / n);
+  }
+  const auto pes = static_cast<std::uint64_t>(spec_.array.pe_count);
+  const std::uint64_t rounds = (tiles + pes - 1) / pes;
+  step.update = spec_.array.weight_write_time * static_cast<double>(rounds);
+
+  step.energy = fwd.energy.total() * 3.0 +
+                spec_.array.weight_write_energy *
+                    static_cast<double>(model.total_weights());
+  return step;
+}
+
+Time TridentAccelerator::time_to_train(const nn::ModelSpec& model,
+                                       std::uint64_t images) const {
+  TRIDENT_REQUIRE(images >= 1, "need at least one training image");
+  return training_step(model).total() * static_cast<double>(images);
+}
+
+}  // namespace trident::core

@@ -1,0 +1,90 @@
+// Trident accelerator facade: the top-level public API.
+//
+// Wraps the architecture model (arch::make_trident), the dataflow analyzer
+// and the training cost model behind the queries the paper's evaluation
+// asks: per-model inference latency/energy, TOPS and TOPS/W (Table IV),
+// the PE power breakdown (Table III), the chip area breakdown (Fig 5) and
+// training time (Table V).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "arch/photonic.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/layer.hpp"
+
+namespace trident::core {
+
+using units::Area;
+using units::Energy;
+using units::Power;
+using units::Time;
+
+/// One row of Table III / Fig 5.
+struct BreakdownEntry {
+  std::string component;
+  double value = 0.0;    ///< watts (power) or mm² (area)
+  double percent = 0.0;  ///< share of the total
+};
+
+/// Training-step cost decomposition (per image).
+struct TrainingStepCost {
+  Time forward;
+  Time gradient;   ///< gradient-vector pass (bank ← Wᵀ)
+  Time outer;      ///< outer-product pass (bank ← yᵀ)
+  Time update;     ///< programming the new weights
+  Energy energy;
+  [[nodiscard]] Time total() const {
+    return forward + gradient + outer + update;
+  }
+};
+
+class TridentAccelerator {
+ public:
+  TridentAccelerator();
+
+  [[nodiscard]] const arch::PhotonicAccelerator& spec() const { return spec_; }
+
+  /// Per-model inference analysis (batch-1 unless stated).
+  [[nodiscard]] dataflow::ModelCost inference(
+      const nn::ModelSpec& model,
+      const dataflow::AnalyzerOptions& options = {}) const;
+
+  [[nodiscard]] double inferences_per_second(const nn::ModelSpec& model) const;
+  [[nodiscard]] Energy energy_per_inference(const nn::ModelSpec& model) const;
+
+  /// Sustained throughput on `model` (2 ops/MAC).  The paper's headline
+  /// 7.8 TOPS (§V.A) is a steady-state rate with weights pre-loaded and
+  /// "inference performed on many inputs without re-tuning"; `batch`
+  /// amortises tile programming over that many streamed inputs (batch 1 =
+  /// cold-start latency view, as in Fig 6).
+  [[nodiscard]] double sustained_tops(const nn::ModelSpec& model,
+                                      int batch = 1) const;
+  [[nodiscard]] double tops_per_watt(double tops) const;
+
+  // --- Table III ------------------------------------------------------------
+  /// Per-PE power breakdown while programming weights.
+  [[nodiscard]] std::vector<BreakdownEntry> pe_power_breakdown() const;
+  [[nodiscard]] Power pe_power_total() const;
+  /// PE power once weights are resident (tuning power gone, §IV).
+  [[nodiscard]] Power pe_power_resident() const;
+
+  // --- Fig 5 ------------------------------------------------------------
+  /// Chip area by component across all PEs.
+  [[nodiscard]] std::vector<BreakdownEntry> area_breakdown() const;
+  [[nodiscard]] Area total_area() const;
+
+  // --- Table V ------------------------------------------------------------
+  /// In-situ backprop cost for one training image.
+  [[nodiscard]] TrainingStepCost training_step(
+      const nn::ModelSpec& model) const;
+  /// Wall-clock to train `images` images (one pass, batch 1, as §V.B).
+  [[nodiscard]] Time time_to_train(const nn::ModelSpec& model,
+                                   std::uint64_t images) const;
+
+ private:
+  arch::PhotonicAccelerator spec_;
+};
+
+}  // namespace trident::core

@@ -1,0 +1,71 @@
+// Event-driven PE-array simulator.
+//
+// The dataflow analyzer (dataflow/analyzer.hpp) computes latency with a
+// closed-form rounds model; this module *executes* the same schedule as a
+// discrete-event simulation: every tile of every layer becomes a
+// program-then-stream job, jobs are dispatched to the earliest-available
+// PE, layers synchronise on a barrier (a layer's inputs are the previous
+// layer's outputs), and the ADC/activation pass of non-photonic output
+// paths occupies the PEs after the streams.
+//
+// Two uses:
+//   * validation — the simulated makespan must bracket the analytical
+//     estimate (the rounds model quantises to whole rounds; the simulator
+//     packs partial rounds), which pins both implementations;
+//   * visibility — per-PE busy times, utilisation, and an optional event
+//     trace show *where* the time goes (programming vs streaming), which
+//     the closed form cannot.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/array.hpp"
+#include "dataflow/cost.hpp"
+#include "nn/layer.hpp"
+
+namespace trident::core {
+
+using dataflow::EnergyBreakdown;
+using dataflow::PhotonicArrayDesc;
+using units::Time;
+
+enum class SimEventKind { kProgram, kStream, kOutputPass };
+
+struct SimEvent {
+  SimEventKind kind = SimEventKind::kProgram;
+  int pe = 0;
+  std::string layer;
+  std::uint64_t tile = 0;  ///< tile index within the layer
+  Time start;
+  Time end;
+};
+
+struct ArraySimConfig {
+  int batch = 1;
+  /// Keep the full event trace (bounded; large models emit millions of
+  /// events, so tracing is off by default and capped when on).
+  bool record_trace = false;
+  std::size_t trace_limit = 100000;
+};
+
+struct ArraySimResult {
+  Time makespan;
+  EnergyBreakdown energy;
+  std::vector<Time> pe_busy;     ///< busy time per PE
+  double utilization = 0.0;      ///< mean busy / makespan
+  std::uint64_t tiles_executed = 0;
+  std::uint64_t events = 0;      ///< total events (trace may be truncated)
+  std::vector<SimEvent> trace;   ///< only if record_trace
+
+  [[nodiscard]] double inferences_per_second(int batch) const {
+    return static_cast<double>(batch) / makespan.s();
+  }
+};
+
+/// Executes `model` on `array` and returns the simulated schedule result.
+[[nodiscard]] ArraySimResult simulate_array(const nn::ModelSpec& model,
+                                            const PhotonicArrayDesc& array,
+                                            const ArraySimConfig& config = {});
+
+}  // namespace trident::core

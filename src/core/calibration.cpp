@@ -1,0 +1,100 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+
+namespace {
+
+/// Max |realized − target| across the bank.
+[[nodiscard]] double max_error(const WeightBank& bank,
+                               const nn::Matrix& targets) {
+  double worst = 0.0;
+  for (int r = 0; r < bank.rows(); ++r) {
+    for (int c = 0; c < bank.cols(); ++c) {
+      const double target = std::clamp(
+          targets.at(static_cast<std::size_t>(r),
+                     static_cast<std::size_t>(c)),
+          -1.0, 1.0);
+      worst = std::max(worst,
+                       std::abs(bank.realized_weight(r, c) - target));
+    }
+  }
+  return worst;
+}
+
+}  // namespace
+
+CalibrationResult calibrate_program(WeightBank& bank,
+                                    const nn::Matrix& targets,
+                                    const CalibrationConfig& config) {
+  TRIDENT_REQUIRE(config.tolerance > 0.0, "tolerance must be positive");
+  TRIDENT_REQUIRE(config.max_iterations >= 1, "need at least one iteration");
+  TRIDENT_REQUIRE(static_cast<int>(targets.rows()) == bank.rows() &&
+                      static_cast<int>(targets.cols()) == bank.cols(),
+                  "targets must match bank dimensions");
+
+  // The device cannot do better than its own level grid: the effective
+  // tolerance is at least the worst nearest-level error.
+  const double tolerance =
+      std::max(config.tolerance, bank.worst_quantization_error() + 1e-12);
+
+  CalibrationResult result;
+  result.cells_total =
+      static_cast<std::uint64_t>(bank.rows()) *
+      static_cast<std::uint64_t>(bank.cols());
+
+  // Initial (open-loop) program.
+  (void)bank.program(targets);
+  result.initial_max_error = max_error(bank, targets);
+  const std::uint64_t writes_after_first = bank.total_writes();
+
+  // Write-verify loop: re-aim ONLY the offending cells by their measured
+  // residual; converged cells are left untouched (re-programming them
+  // would re-roll their placement noise).
+  nn::Matrix corrected = targets;
+  for (int iter = 0; iter < config.max_iterations; ++iter) {
+    bool any_offender = false;
+    for (int r = 0; r < bank.rows(); ++r) {
+      for (int c = 0; c < bank.cols(); ++c) {
+        const auto ur = static_cast<std::size_t>(r);
+        const auto uc = static_cast<std::size_t>(c);
+        const double target = std::clamp(targets.at(ur, uc), -1.0, 1.0);
+        const double err = bank.realized_weight(r, c) - target;
+        if (std::abs(err) > tolerance) {
+          any_offender = true;
+          // Aim past the target by the observed residual and rewrite just
+          // this cell.
+          corrected.at(ur, uc) =
+              std::clamp(corrected.at(ur, uc) - err, -1.0, 1.0);
+          (void)bank.program_cell(r, c, corrected.at(ur, uc));
+        }
+      }
+    }
+    if (!any_offender) {
+      break;
+    }
+    ++result.iterations;
+  }
+
+  result.final_max_error = max_error(bank, targets);
+  result.extra_writes = bank.total_writes() - writes_after_first;
+  result.converged = result.final_max_error <= tolerance;
+  for (int r = 0; r < bank.rows(); ++r) {
+    for (int c = 0; c < bank.cols(); ++c) {
+      const double target = std::clamp(
+          targets.at(static_cast<std::size_t>(r),
+                     static_cast<std::size_t>(c)),
+          -1.0, 1.0);
+      if (std::abs(bank.realized_weight(r, c) - target) <= tolerance) {
+        ++result.cells_converged;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace trident::core

@@ -1,0 +1,41 @@
+// Closed-loop write-verify programming for the PCM-MRR weight bank.
+//
+// A single optical write pulse places a GST cell only approximately (the
+// paper's 255 "levels" are the ideal; real programming has level-placement
+// jitter).  Phase-change memories solve this with write-verify: program,
+// read back, re-program the cells whose error exceeds a tolerance, repeat.
+// This module implements that loop over a device-level WeightBank and
+// accounts for its cost — each verify iteration spends read pulses on the
+// whole bank and write pulses on the still-offending cells, which is the
+// energy/latency price of accuracy on noisy hardware.
+#pragma once
+
+#include "core/weight_bank.hpp"
+
+namespace trident::core {
+
+struct CalibrationConfig {
+  /// Absolute weight-error tolerance (in [-1, 1] weight units) below which
+  /// a cell counts as converged.  Half an 8-bit LSB by default.
+  double tolerance = 1.0 / 254.0;
+  int max_iterations = 8;
+};
+
+struct CalibrationResult {
+  int iterations = 0;           ///< verify iterations actually run
+  double initial_max_error = 0.0;
+  double final_max_error = 0.0;
+  std::uint64_t extra_writes = 0;  ///< write pulses beyond the first program
+  std::uint64_t cells_converged = 0;
+  std::uint64_t cells_total = 0;
+  bool converged = false;          ///< every cell within tolerance
+};
+
+/// Programs `targets` (entries in [-1, 1]) into `bank` with write-verify.
+/// Returns the convergence record; the bank's own energy books accumulate
+/// the true cost.
+[[nodiscard]] CalibrationResult calibrate_program(
+    WeightBank& bank, const nn::Matrix& targets,
+    const CalibrationConfig& config = {});
+
+}  // namespace trident::core

@@ -1,0 +1,105 @@
+#include "core/endurance.hpp"
+
+#include "common/error.hpp"
+#include "photonics/drift.hpp"
+
+namespace trident::core {
+
+namespace {
+
+/// Physical GST weight cells in the accelerator.
+[[nodiscard]] double total_weight_cells(
+    const arch::PhotonicAccelerator& acc) {
+  return static_cast<double>(acc.pe_count) *
+         static_cast<double>(acc.array.mrrs_per_pe());
+}
+
+[[nodiscard]] double years_from(double rated_cycles, double events_per_s,
+                                double duty) {
+  if (events_per_s <= 0.0) {
+    return 1e9;  // effectively unlimited
+  }
+  return rated_cycles / (events_per_s * duty) / phot::kSecondsPerYear;
+}
+
+}  // namespace
+
+EnduranceReport inference_endurance(
+    const nn::ModelSpec& model, const arch::PhotonicAccelerator& accelerator,
+    const EnduranceConfig& config) {
+  TRIDENT_REQUIRE(config.rated_cycles > 0.0, "rated cycles must be positive");
+  TRIDENT_REQUIRE(config.duty_cycle > 0.0 && config.duty_cycle <= 1.0,
+                  "duty cycle must be in (0, 1]");
+  TRIDENT_REQUIRE(config.batch >= 1, "batch must be >= 1");
+
+  dataflow::AnalyzerOptions opt;
+  opt.batch = config.batch;
+  const dataflow::ModelCost cost =
+      dataflow::analyze_model(model, accelerator.array, opt);
+
+  EnduranceReport report;
+  const double batch = static_cast<double>(config.batch);
+  report.inferences_per_second = batch / cost.latency.s();
+
+  // Weight cells: the whole model's weights pass through the banks once
+  // per batch; wear spreads evenly over the physical cells.
+  report.weight_writes_per_inference =
+      static_cast<double>(model.total_weights()) /
+      total_weight_cells(accelerator) / batch;
+
+  // Activation cells: one per weight-bank row.  Partial-sum symbols
+  // accumulate electronically before the activation stage, so each
+  // *activated output element* drives one cell once, and only the
+  // supra-threshold fraction actually switches it.
+  TRIDENT_REQUIRE(config.firing_fraction > 0.0 && config.firing_fraction <= 1.0,
+                  "firing fraction must be in (0, 1]");
+  const double activation_cells =
+      static_cast<double>(accelerator.pe_count) *
+      static_cast<double>(accelerator.array.rows_per_pe);
+  report.activation_switches_per_inference =
+      static_cast<double>(model.total_activations()) * config.firing_fraction /
+      activation_cells;
+
+  report.weight_cell_lifetime_years = years_from(
+      config.rated_cycles,
+      report.weight_writes_per_inference * report.inferences_per_second,
+      config.duty_cycle);
+  report.activation_cell_lifetime_years = years_from(
+      config.rated_cycles,
+      report.activation_switches_per_inference * report.inferences_per_second,
+      config.duty_cycle);
+  report.lifetime_years = std::min(report.weight_cell_lifetime_years,
+                                   report.activation_cell_lifetime_years);
+  return report;
+}
+
+EnduranceReport training_endurance(
+    const nn::ModelSpec& model, const arch::PhotonicAccelerator& accelerator,
+    const EnduranceConfig& config) {
+  // Per step: forward + gradient (bank ← Wᵀ) + outer (bank ← yᵀ) passes
+  // each rewrite the cells once, and the weight update writes once more.
+  EnduranceReport base = inference_endurance(model, accelerator, config);
+
+  EnduranceReport report = base;
+  const double step_time =
+      3.0 / base.inferences_per_second;  // three inference-shaped passes
+  report.inferences_per_second = 1.0 / step_time;  // steps per second
+  report.weight_writes_per_inference = 4.0 * base.weight_writes_per_inference;
+  // Only the forward pass drives the activation cells.
+  report.activation_switches_per_inference =
+      base.activation_switches_per_inference;
+
+  report.weight_cell_lifetime_years = years_from(
+      config.rated_cycles,
+      report.weight_writes_per_inference * report.inferences_per_second,
+      config.duty_cycle);
+  report.activation_cell_lifetime_years = years_from(
+      config.rated_cycles,
+      report.activation_switches_per_inference * report.inferences_per_second,
+      config.duty_cycle);
+  report.lifetime_years = std::min(report.weight_cell_lifetime_years,
+                                   report.activation_cell_lifetime_years);
+  return report;
+}
+
+}  // namespace trident::core

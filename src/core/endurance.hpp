@@ -1,0 +1,65 @@
+// PCM endurance / lifetime analysis.
+//
+// §III.C: "the number of operation cycles is eventually limited by the
+// endurance of the PCM cells.  However, endurance is not a concern because
+// individual PCM devices ... have already shown the ability to perform a
+// trillion switching cycles" [17].  This module turns that assertion into
+// numbers: given a workload's tile schedule, how often is each GST weight
+// cell rewritten and each activation cell switched, and how long until a
+// cell reaches its rated cycles at a given duty factor?
+//
+// (Running the model makes the fine print visible: at 100 % duty the
+// activation cells — which must recrystallise after every firing — burn
+// through 10¹² cycles in hours, so realistic edge duty cycles and wear
+// management matter; see EXPERIMENTS.md for the discussion.)
+#pragma once
+
+#include "arch/photonic.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/layer.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::core {
+
+struct EnduranceConfig {
+  double rated_cycles = phot::kGstEnduranceCycles;  ///< [17]
+  /// Fraction of wall-clock time the accelerator actually runs inference.
+  double duty_cycle = 1.0;
+  /// Inference batch (programming amortisation, as in the latency model).
+  int batch = 1;
+  /// Fraction of logits that actually exceed the threshold and switch the
+  /// activation cell (sub-threshold outputs leave it crystalline).  ~0.5
+  /// for zero-centred logits; set 1.0 for the worst case.
+  double firing_fraction = 0.5;
+};
+
+struct EnduranceReport {
+  /// Mean GST write pulses per *weight cell* per inference: tiles rotate
+  /// through the banks, so every resident cell is rewritten once per
+  /// round it participates in.
+  double weight_writes_per_inference = 0.0;
+  /// Switching events per *activation cell* per inference: each activated
+  /// output element reaches exactly one activation cell, and only
+  /// supra-threshold logits switch it.
+  double activation_switches_per_inference = 0.0;
+  double inferences_per_second = 0.0;
+  /// Wall-clock years until the rated cycles are consumed.
+  double weight_cell_lifetime_years = 0.0;
+  double activation_cell_lifetime_years = 0.0;
+  /// The binding constraint of the two.
+  double lifetime_years = 0.0;
+};
+
+/// Inference-mode endurance analysis of `model` on `accelerator`.
+[[nodiscard]] EnduranceReport inference_endurance(
+    const nn::ModelSpec& model, const arch::PhotonicAccelerator& accelerator,
+    const EnduranceConfig& config = {});
+
+/// Training-mode analysis: three passes re-encode the banks and the update
+/// rewrites every weight, so per-step wear is ~3× the inference figure
+/// plus one full-weight write.
+[[nodiscard]] EnduranceReport training_endurance(
+    const nn::ModelSpec& model, const arch::PhotonicAccelerator& accelerator,
+    const EnduranceConfig& config = {});
+
+}  // namespace trident::core

@@ -1,0 +1,103 @@
+#include "core/faults.hpp"
+
+#include "common/error.hpp"
+
+namespace trident::core {
+
+FaultyBackend::FaultyBackend(const FaultConfig& config)
+    : config_(config), inner_(config.hardware), fault_rng_(config.seed) {
+  TRIDENT_REQUIRE(config.fault_rate >= 0.0 && config.fault_rate < 0.5,
+                  "fault rate must be in [0, 0.5)");
+  TRIDENT_REQUIRE(config.stuck_value >= -1.0 && config.stuck_value <= 1.0,
+                  "stuck value must lie in the weight range");
+}
+
+const FaultyBackend::Mask& FaultyBackend::mask_for(const nn::Matrix& w) {
+  const void* key = static_cast<const void*>(&w);
+  auto it = masks_.find(key);
+  if (it == masks_.end()) {
+    Mask mask;
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      if (fault_rng_.bernoulli(config_.fault_rate)) {
+        mask.positions.push_back(i);
+        // Alternate stuck-SET / stuck-RESET.
+        const bool stuck_set = fault_rng_.bernoulli(0.5);
+        mask.stuck.push_back(stuck_set ? config_.stuck_value
+                                       : -config_.stuck_value);
+      }
+    }
+    it = masks_.emplace(key, std::move(mask)).first;
+  }
+  return it->second;
+}
+
+nn::Matrix FaultyBackend::effective(const nn::Matrix& w) {
+  const Mask& mask = mask_for(w);
+  nn::Matrix eff = w;
+  for (std::size_t i = 0; i < mask.positions.size(); ++i) {
+    eff.data()[mask.positions[i]] = mask.stuck[i];
+  }
+  return eff;
+}
+
+std::size_t FaultyBackend::fault_count(const nn::Matrix& w) {
+  return mask_for(w).positions.size();
+}
+
+nn::Vector FaultyBackend::matvec(const nn::Matrix& w, const nn::Vector& x) {
+  const nn::Matrix eff = effective(w);
+  return inner_.matvec(eff, x);
+}
+
+nn::Vector FaultyBackend::matvec_transposed(const nn::Matrix& w,
+                                            const nn::Vector& x) {
+  const nn::Matrix eff = effective(w);
+  return inner_.matvec_transposed(eff, x);
+}
+
+void FaultyBackend::rank1_update(nn::Matrix& w, const nn::Vector& dh,
+                                 const nn::Vector& y_prev, double lr) {
+  inner_.rank1_update(w, dh, y_prev, lr);
+  // Writes to dead cells are lost: the stored value snaps back.  (It does
+  // not matter what value the master copy holds — reads always see the
+  // stuck value — but keeping them pinned makes inspection honest.)
+  const Mask& mask = mask_for(w);
+  for (std::size_t i = 0; i < mask.positions.size(); ++i) {
+    w.data()[mask.positions[i]] = mask.stuck[i];
+  }
+}
+
+FaultStudy fault_study(const nn::Dataset& train_set,
+                       const nn::Dataset& test_set,
+                       const std::vector<int>& layer_sizes,
+                       const FaultConfig& faults, int epochs,
+                       int finetune_epochs, double learning_rate,
+                       std::uint64_t init_seed) {
+  TRIDENT_REQUIRE(epochs >= 1 && finetune_epochs >= 0,
+                  "epoch counts must be sensible");
+  Rng init(init_seed);
+  nn::Mlp net(layer_sizes, nn::Activation::kGstPhotonic, init);
+
+  nn::FloatBackend clean;
+  nn::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.learning_rate = learning_rate;
+  (void)nn::fit(net, train_set, cfg, clean);
+
+  FaultStudy study;
+  study.clean_accuracy = nn::evaluate(net, test_set, clean);
+
+  FaultyBackend hardware(faults);
+  study.faulty_accuracy = nn::evaluate(net, test_set, hardware);
+
+  if (finetune_epochs > 0) {
+    nn::TrainConfig ft;
+    ft.epochs = finetune_epochs;
+    ft.learning_rate = learning_rate;
+    (void)nn::fit(net, train_set, ft, hardware);
+  }
+  study.retrained_accuracy = nn::evaluate(net, test_set, hardware);
+  return study;
+}
+
+}  // namespace trident::core

@@ -1,0 +1,77 @@
+#include "core/insitu_trainer.hpp"
+
+#include "common/error.hpp"
+
+namespace trident::core {
+
+namespace {
+
+nn::Mlp make_net(const SessionConfig& config) {
+  TRIDENT_REQUIRE(config.layer_sizes.size() >= 2,
+                  "session needs at least input and output sizes");
+  Rng rng(config.init_seed);
+  return nn::Mlp(config.layer_sizes, config.activation, rng);
+}
+
+}  // namespace
+
+TrainingSession::TrainingSession(const SessionConfig& config)
+    : config_(config), net_(make_net(config)) {
+  TRIDENT_REQUIRE(config.test_fraction > 0.0 && config.test_fraction < 1.0,
+                  "test fraction must be in (0, 1)");
+  if (config_.variation) {
+    VariationConfig v = *config_.variation;
+    v.hardware = config_.hardware;
+    varied_ = std::make_unique<VariationBackend>(v);
+  } else {
+    plain_ = std::make_unique<PhotonicBackend>(config_.hardware);
+  }
+}
+
+nn::MatvecBackend& TrainingSession::backend() {
+  if (varied_) {
+    return *varied_;
+  }
+  return *plain_;
+}
+
+SessionReport TrainingSession::run(nn::Dataset data) {
+  data.validate();
+  const auto [train_set, test_set] = data.split(config_.test_fraction);
+
+  const PhotonicLedger before =
+      varied_ ? varied_->ledger() : plain_->ledger();
+
+  const nn::TrainResult result =
+      nn::fit(net_, train_set, config_.schedule, backend());
+
+  SessionReport report;
+  report.epoch_loss = result.epoch_loss;
+  report.epoch_accuracy = result.epoch_accuracy;
+  report.test_accuracy = nn::evaluate(net_, test_set, backend());
+
+  const PhotonicLedger after =
+      varied_ ? varied_->ledger() : plain_->ledger();
+  report.ledger.weight_writes = after.weight_writes - before.weight_writes;
+  report.ledger.program_events = after.program_events - before.program_events;
+  report.ledger.symbols = after.symbols - before.symbols;
+  report.ledger.macs = after.macs - before.macs;
+  report.ledger.activations = after.activations - before.activations;
+  report.optical_energy = report.ledger.energy();
+  report.optical_time = report.ledger.time();
+
+  std::uint64_t weight_count = 0;
+  for (int k = 0; k < net_.depth(); ++k) {
+    weight_count += net_.weight(k).size();
+  }
+  report.writes_per_weight =
+      static_cast<double>(report.ledger.weight_writes) /
+      static_cast<double>(weight_count);
+  return report;
+}
+
+nn::Vector TrainingSession::predict(const nn::Vector& x) {
+  return net_.forward(x, backend()).activations.back();
+}
+
+}  // namespace trident::core

@@ -1,0 +1,72 @@
+// High-level in-situ training session.
+//
+// The library's lower layers expose the pieces — Mlp over MatvecBackend,
+// the quantized PhotonicBackend, the energy ledger, the accelerator-level
+// cost models.  A TrainingSession ties them together into the API a user
+// of "a photonic accelerator that trains on-device" actually wants:
+// configure hardware fidelity, hand over a dataset, get back a trained
+// network plus the convergence record and the *hardware bill* (optical
+// energy, GST write pulses, wall-clock on the accelerator, wear).
+#pragma once
+
+#include <memory>
+#include <optional>
+
+#include "core/photonic_backend.hpp"
+#include "core/variation.hpp"
+#include "nn/dataset.hpp"
+#include "nn/train.hpp"
+
+namespace trident::core {
+
+struct SessionConfig {
+  std::vector<int> layer_sizes;
+  nn::Activation activation = nn::Activation::kGstPhotonic;
+  nn::TrainConfig schedule;
+  PhotonicBackendConfig hardware;
+  /// Optional fabrication variation (unset = ideal chip).
+  std::optional<VariationConfig> variation;
+  std::uint64_t init_seed = 7;
+  /// Held-out fraction used for the reported test accuracy.
+  double test_fraction = 0.2;
+};
+
+struct SessionReport {
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_accuracy;  ///< training accuracy per epoch
+  double test_accuracy = 0.0;
+  /// The hardware bill for the whole session.
+  PhotonicLedger ledger;
+  units::Energy optical_energy;
+  units::Time optical_time;
+  /// Mean GST writes per weight cell over the session — multiply by a
+  /// deployment's sessions/day against the 1e12-cycle rating.
+  double writes_per_weight = 0.0;
+};
+
+class TrainingSession {
+ public:
+  explicit TrainingSession(const SessionConfig& config);
+
+  /// Trains on `data` (split internally per test_fraction) and returns the
+  /// full report.  Can be called repeatedly; the network persists across
+  /// calls (continual training), the report covers the latest call.
+  SessionReport run(nn::Dataset data);
+
+  /// Inference through the session's hardware.
+  [[nodiscard]] nn::Vector predict(const nn::Vector& x);
+
+  [[nodiscard]] const nn::Mlp& network() const { return net_; }
+  [[nodiscard]] const SessionConfig& config() const { return config_; }
+
+ private:
+  [[nodiscard]] nn::MatvecBackend& backend();
+
+  SessionConfig config_;
+  nn::Mlp net_;
+  std::unique_ptr<PhotonicBackend> plain_;
+  std::unique_ptr<VariationBackend> varied_;
+  std::uint64_t ledger_mark_writes_ = 0;
+};
+
+}  // namespace trident::core

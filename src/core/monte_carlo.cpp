@@ -1,0 +1,67 @@
+#include "core/monte_carlo.hpp"
+
+#include "common/error.hpp"
+#include "nn/train.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace trident::core {
+
+McSummary monte_carlo(int trials,
+                      const std::function<double(std::uint64_t)>& trial) {
+  TRIDENT_REQUIRE(trials >= 1, "need at least one trial");
+  std::vector<double> results(static_cast<std::size_t>(trials), 0.0);
+  parallel_for(0, static_cast<std::size_t>(trials), [&](std::size_t i) {
+    results[i] = trial(static_cast<std::uint64_t>(i));
+  });
+
+  RunningStats stats;
+  for (double r : results) {
+    stats.add(r);
+  }
+  McSummary summary;
+  summary.trials = trials;
+  summary.mean = stats.mean();
+  summary.stddev = stats.stddev();
+  summary.min = stats.min();
+  summary.max = stats.max();
+  return summary;
+}
+
+McSummary mc_training_accuracy(int weight_bits, int trials, int epochs,
+                               double learning_rate) {
+  return monte_carlo(trials, [=](std::uint64_t seed) {
+    Rng data_rng(1000 + seed);
+    nn::Dataset data = nn::two_moons(300, 0.12, data_rng);
+    data.augment_bias();
+    Rng init_rng(2000 + seed);
+    nn::Mlp net({3, 16, 2}, nn::Activation::kGstPhotonic, init_rng);
+    PhotonicBackendConfig cfg;
+    cfg.weight_bits = weight_bits;
+    cfg.seed = 3000 + seed;
+    PhotonicBackend backend(cfg);
+    nn::TrainConfig tc;
+    tc.epochs = epochs;
+    tc.learning_rate = learning_rate;
+    tc.shuffle_seed = 4000 + seed;
+    return nn::fit(net, data, tc, backend).final_accuracy();
+  });
+}
+
+McSummary mc_deployment_gap(double weight_offset_sigma, int trials) {
+  return monte_carlo(trials, [=](std::uint64_t seed) {
+    Rng data_rng(5000 + seed);
+    nn::Dataset data = nn::pattern_classes(480, 8, 16, 0.05, data_rng);
+    data.augment_bias();
+    const auto [train_set, test_set] = data.split(0.25);
+    VariationConfig cfg;
+    cfg.gain_sigma = 0.10;
+    cfg.weight_offset_sigma = weight_offset_sigma;
+    cfg.row_offset_sigma = 0.05;
+    cfg.seed = 6000 + seed;
+    const DeploymentStudy s = deployment_study(
+        train_set, test_set, {17, 24, 8}, cfg, 30, 0, 0.05, 7000 + seed);
+    return s.float_accuracy - s.deployed_accuracy;
+  });
+}
+
+}  // namespace trident::core

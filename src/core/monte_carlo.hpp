@@ -1,0 +1,45 @@
+// Monte-Carlo studies over device randomness.
+//
+// Single-seed results can flatter or damn a design by luck; the claims
+// that matter (training accuracy at a given bit resolution, deployment
+// loss under fabrication variation) deserve means and spreads.  This
+// module runs N independently seeded trials of the key functional
+// experiments in parallel (one worker per trial via the thread pool) and
+// reports distribution statistics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "core/variation.hpp"
+
+namespace trident::core {
+
+struct McSummary {
+  int trials = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Runs `trial(seed)` for seeds 0..trials-1 in parallel and summarises the
+/// returned metric.
+[[nodiscard]] McSummary monte_carlo(
+    int trials, const std::function<double(std::uint64_t seed)>& trial);
+
+/// Mean/σ final training accuracy of the two-moons MLP on photonic
+/// hardware at `weight_bits`, over `trials` seeds (data, init, hardware
+/// noise all re-seeded per trial).
+[[nodiscard]] McSummary mc_training_accuracy(int weight_bits, int trials,
+                                             int epochs = 60,
+                                             double learning_rate = 0.05);
+
+/// Mean/σ deployed-accuracy drop (float minus deployed) of the §I
+/// deployment experiment at the given variation strength.
+[[nodiscard]] McSummary mc_deployment_gap(double weight_offset_sigma,
+                                          int trials);
+
+}  // namespace trident::core

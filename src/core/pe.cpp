@@ -1,0 +1,128 @@
+#include "core/pe.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+
+ProcessingElement::ProcessingElement(const PeConfig& config)
+    : config_(config),
+      bank_(config.bank),
+      bpd_(config.bpd),
+      ldsus_(config.bank.rows) {
+  tias_.assign(static_cast<std::size_t>(bank_.rows()),
+               phot::Tia(config.tia_transimpedance));
+  activations_.assign(static_cast<std::size_t>(bank_.rows()),
+                      phot::GstActivationCell(config.activation));
+}
+
+nn::Matrix ProcessingElement::program_weights(const nn::Matrix& w) {
+  return bank_.program(w);
+}
+
+nn::Vector ProcessingElement::signed_apply(const nn::Vector& x) {
+  TRIDENT_REQUIRE(static_cast<int>(x.size()) == cols(),
+                  "input size must match bank columns");
+  nn::Vector plus(x.size()), minus(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    TRIDENT_REQUIRE(std::abs(x[i]) <= 1.0 + 1e-12,
+                    "normalised inputs must satisfy |x| <= 1");
+    plus[i] = std::max(0.0, std::min(1.0, x[i]));
+    minus[i] = std::max(0.0, std::min(1.0, -x[i]));
+  }
+  nn::Vector yp = bank_.apply(plus);
+  const nn::Vector yn = bank_.apply(minus);
+  for (std::size_t r = 0; r < yp.size(); ++r) {
+    yp[r] -= yn[r];
+  }
+  return yp;
+}
+
+nn::Vector ProcessingElement::forward(const nn::Vector& x) {
+  nn::Vector h = forward_linear(x);
+
+  // Latch the 1-bit derivative selectors for a future backward pass.
+  ldsus_.latch(h);
+
+  // GST activation: the device cells record firing/reset events; the
+  // numeric value follows the paper's linearisation (0.34 · max(0, h)).
+  for (std::size_t r = 0; r < h.size(); ++r) {
+    auto& cell = activations_[r];
+    // Map the normalised logit onto pulse energy around the switching
+    // threshold so the device-event accounting matches h ≷ 0.
+    const Energy pulse = cell.params().threshold * (1.0 + h[r]);
+    (void)cell.process(pulse);
+    h[r] = phot::GstActivationCell::activate(h[r]);
+  }
+  return h;
+}
+
+nn::Vector ProcessingElement::forward_linear(const nn::Vector& x) {
+  for (double v : x) {
+    TRIDENT_REQUIRE(v >= 0.0 && v <= 1.0 + 1e-12,
+                    "forward inputs are optical amplitudes in [0, 1]");
+  }
+  nn::Vector dots = bank_.apply(x);
+  // Normalise the row accumulation to [-1, 1] so logits stay in the
+  // optical/electronic dynamic range regardless of fan-in.
+  const double norm = static_cast<double>(cols());
+  for (double& v : dots) {
+    v /= norm;
+  }
+  return dots;
+}
+
+nn::Vector ProcessingElement::gradient_pass(const nn::Vector& delta) {
+  nn::Vector g = signed_apply(delta);
+  const double norm = static_cast<double>(cols());
+  for (std::size_t r = 0; r < g.size(); ++r) {
+    // The Hadamard product with f'(h_k) is a TIA gain (§III.A.2).
+    auto& tia = tias_[r];
+    tia.set_gain(ldsus_.unit(static_cast<int>(r)).derivative());
+    g[r] = tia.amplify(g[r] / norm) / tia.transimpedance();
+  }
+  return g;
+}
+
+nn::Matrix ProcessingElement::outer_product(const nn::Vector& delta) {
+  TRIDENT_REQUIRE(static_cast<int>(delta.size()) == rows(),
+                  "delta must have one entry per bank row");
+  nn::Matrix dw(static_cast<std::size_t>(rows()),
+                static_cast<std::size_t>(cols()));
+  // Row j streams one symbol with every channel modulated to |δh_j|; the
+  // per-ring products (before BPD summation) are y_i · |δh_j|, signed by
+  // the TIA polarity.  All rows operate on parallel hardware; the J
+  // symbols here are the row-local modulation pattern, not serial time.
+  for (int j = 0; j < rows(); ++j) {
+    const double d = delta[static_cast<std::size_t>(j)];
+    TRIDENT_REQUIRE(std::abs(d) <= 1.0 + 1e-12,
+                    "normalised |delta| must be <= 1");
+    const double mag = std::min(1.0, std::abs(d));
+    const double sign = d < 0.0 ? -1.0 : 1.0;
+    for (int i = 0; i < cols(); ++i) {
+      dw.at(static_cast<std::size_t>(j), static_cast<std::size_t>(i)) =
+          sign * mag * bank_.realized_weight(j, i);
+    }
+  }
+  return dw;
+}
+
+std::vector<double> ProcessingElement::latched_derivatives() const {
+  return ldsus_.derivatives();
+}
+
+const phot::GstActivationCell& ProcessingElement::activation_cell(
+    int row) const {
+  TRIDENT_REQUIRE(row >= 0 && row < rows(), "row out of range");
+  return activations_[static_cast<std::size_t>(row)];
+}
+
+void ProcessingElement::set_activation_bypass(bool bypass) {
+  for (auto& cell : activations_) {
+    cell.set_bypass(bypass);
+  }
+}
+
+}  // namespace trident::core

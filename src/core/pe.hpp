@@ -1,0 +1,91 @@
+// Trident Processing Element (Fig 1): the full device-level datapath.
+//
+//   WDM inputs → PCM-MRR weight bank → BPD (accumulate) → TIA →
+//     forward:   GST activation cell → E/O laser → next PE
+//     training:  LDSU latches f'(h); TIA gain reprogrammed on the backward
+//                pass; outer products read per-ring products.
+//
+// One PE realises all three Table II encodings:
+//   inference        bank ← W_k,       in ← x_k,       out = f(W_k x_k)
+//   gradient vector  bank ← W_{k+1}ᵀ,  in ← δh_{k+1},  out = (Wᵀδh) ⊙ f'(h_k)
+//   outer product    bank ← y_{k-1}ᵀ (every row), in ← δh_k,
+//                    per-ring products tapped before BPD summation = δW_k
+//
+// Signals at this level are normalised: inputs ∈ [0, 1] optical amplitude,
+// weights ∈ [-1, 1].  Signed *inputs* (gradients) use the standard
+// two-pass trick: x = x⁺ − x⁻ with both parts non-negative.
+#pragma once
+
+#include <vector>
+
+#include "core/weight_bank.hpp"
+#include "nn/matrix.hpp"
+#include "photonics/activation_cell.hpp"
+#include "photonics/ldsu.hpp"
+#include "photonics/photodetector.hpp"
+
+namespace trident::core {
+
+struct PeConfig {
+  WeightBankConfig bank;
+  phot::BpdParams bpd;
+  phot::ActivationCellParams activation;
+  double tia_transimpedance = 1.0e4;
+  /// Optical power representing a full-scale (1.0) input.
+  units::Power full_scale_power = units::Power::milliwatts(1.0);
+};
+
+class ProcessingElement {
+ public:
+  explicit ProcessingElement(const PeConfig& config);
+
+  [[nodiscard]] int rows() const { return bank_.rows(); }
+  [[nodiscard]] int cols() const { return bank_.cols(); }
+  [[nodiscard]] const WeightBank& bank() const { return bank_; }
+  [[nodiscard]] WeightBank& bank() { return bank_; }
+
+  /// Programs the weight bank (entries in [-1, 1]); returns realised weights.
+  nn::Matrix program_weights(const nn::Matrix& w);
+
+  /// Inference symbol: x ∈ [0, 1]^cols.  Computes the row dot products,
+  /// latches f'(h) into the LDSUs, applies the GST activation, and returns
+  /// the activated outputs (normalised units, ready for the next PE).
+  [[nodiscard]] nn::Vector forward(const nn::Vector& x);
+
+  /// Same, without activation (bank output only), e.g. for output layers.
+  [[nodiscard]] nn::Vector forward_linear(const nn::Vector& x);
+
+  /// Gradient-vector symbol (bank must hold W_{k+1}ᵀ): computes
+  /// (Wᵀ δh) ⊙ f'(h_k) using the derivative bits latched during the last
+  /// forward pass, applied as TIA gains.  `delta` may be signed.
+  [[nodiscard]] nn::Vector gradient_pass(const nn::Vector& delta);
+
+  /// Outer-product pass (bank must hold y_{k-1}ᵀ replicated across rows):
+  /// returns δW (rows×cols) = delta ⊗ y_prev read from the per-ring
+  /// products.  `delta` may be signed; |delta| must be ≤ 1.
+  [[nodiscard]] nn::Matrix outer_product(const nn::Vector& delta);
+
+  /// The derivative bits f'(h) currently latched (for inspection/tests).
+  [[nodiscard]] std::vector<double> latched_derivatives() const;
+
+  /// Per-row GST activation cells (wear/reset accounting).
+  [[nodiscard]] const phot::GstActivationCell& activation_cell(int row) const;
+
+  /// Disables the activation stage for all rows (§III.C: fully amorphous
+  /// cells pass signals through).
+  void set_activation_bypass(bool bypass);
+
+ private:
+  /// Signed matvec via the two-pass (positive/negative decomposition)
+  /// scheme; |x| entries must be ≤ 1.
+  [[nodiscard]] nn::Vector signed_apply(const nn::Vector& x);
+
+  PeConfig config_;
+  WeightBank bank_;
+  phot::BalancedPhotodetector bpd_;
+  std::vector<phot::Tia> tias_;
+  phot::LdsuBank ldsus_;
+  std::vector<phot::GstActivationCell> activations_;
+};
+
+}  // namespace trident::core

@@ -1,0 +1,186 @@
+#include "core/photonic_backend.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "photonics/constants.hpp"
+
+namespace trident::core {
+
+namespace {
+
+using namespace trident::units::literals;
+
+/// Per-MAC detection energy from Table III (17.1 mW / 256 rings / clock).
+[[nodiscard]] units::Energy read_energy_per_mac() {
+  return phot::kGstMrrReadPowerPerPe * units::period(phot::kClockRate) /
+         static_cast<double>(phot::kMrrsPerPe);
+}
+
+/// Per-activation GST reset energy from Table III (53.3 mW / 16 rows / clock).
+[[nodiscard]] units::Energy reset_energy_per_activation() {
+  return phot::kGstActivationResetPower * units::period(phot::kClockRate) /
+         static_cast<double>(phot::kWeightBankRows);
+}
+
+/// Per-symbol per-channel input energy (laser share + E/O laser).
+[[nodiscard]] units::Energy input_energy_per_element() {
+  return (units::Power::milliwatts(1.0) + phot::kEoLaserPower) *
+         units::period(phot::kClockRate);
+}
+
+}  // namespace
+
+units::Energy PhotonicLedger::energy() const {
+  return phot::kGstWriteEnergy * static_cast<double>(weight_writes) +
+         read_energy_per_mac() * static_cast<double>(macs) +
+         input_energy_per_element() * static_cast<double>(symbols) +
+         reset_energy_per_activation() * static_cast<double>(activations);
+}
+
+units::Time PhotonicLedger::time() const {
+  return phot::kGstWriteTime * static_cast<double>(program_events) +
+         units::period(phot::kClockRate) * static_cast<double>(symbols);
+}
+
+PhotonicBackend::PhotonicBackend(const PhotonicBackendConfig& config)
+    : config_(config),
+      weight_quantizer_(config.weight_bits, 1.0),
+      input_quantizer_(config.input_bits, 1.0),
+      rng_(config.seed) {}
+
+void PhotonicBackend::ensure_programmed(const nn::Matrix& w) {
+  if (resident_matrix_ == static_cast<const void*>(&w)) {
+    return;  // non-volatile weights are still loaded — free reuse
+  }
+  ledger_.weight_writes += w.size();
+  ledger_.program_events += 1;
+  resident_matrix_ = static_cast<const void*>(&w);
+}
+
+double PhotonicBackend::quantize_weight(double v, double scale) {
+  const double unit = std::clamp(v / scale, -1.0, 1.0);
+  if (!config_.stochastic_rounding) {
+    return weight_quantizer_.quantize(unit) * scale;
+  }
+  // Stochastic rounding: round up with probability equal to the fractional
+  // position between the two neighbouring levels (unbiased dither).
+  const double step = weight_quantizer_.step();
+  const double scaled = unit / step;
+  const double floor_level = std::floor(scaled);
+  const double frac = scaled - floor_level;
+  const double level = rng_.bernoulli(frac) ? floor_level + 1.0 : floor_level;
+  const double q = std::clamp(level * step, -1.0, 1.0);
+  return q * scale;
+}
+
+nn::Vector PhotonicBackend::matvec(const nn::Matrix& w, const nn::Vector& x) {
+  TRIDENT_REQUIRE(x.size() == w.cols(), "matvec dimension mismatch");
+  ensure_programmed(w);
+
+  // Input DAC: hardware range is [-1, 1] after the polarity split, so the
+  // vector is electronically pre-scaled into range and the scale re-applied
+  // at the TIA.
+  double x_scale = 1.0;
+  for (double v : x) {
+    x_scale = std::max(x_scale, std::abs(v));
+  }
+  nn::Vector xq(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xq[i] = input_quantizer_.quantize(x[i] / x_scale);
+  }
+
+  nn::Vector y(w.rows(), 0.0);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    double acc = 0.0;
+    const auto row = w.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      // Stored weights are already on the GST grid (rank1_update keeps the
+      // master copy quantized); clamp defends against externally-set
+      // out-of-range values.
+      acc += std::clamp(row[c], -1.0, 1.0) * xq[c];
+    }
+    if (config_.readout_noise > 0.0) {
+      acc += rng_.normal(0.0, config_.readout_noise);
+    }
+    y[r] = acc * x_scale;
+  }
+
+  ledger_.symbols += 1;
+  ledger_.macs += w.size();
+  ledger_.activations += w.rows();
+  return y;
+}
+
+nn::Vector PhotonicBackend::matvec_transposed(const nn::Matrix& w,
+                                              const nn::Vector& x) {
+  TRIDENT_REQUIRE(x.size() == w.rows(), "transposed matvec dimension mismatch");
+  // The gradient-vector pass re-encodes the bank with Wᵀ (Table II): one
+  // programming event even though the values are the same cells transposed.
+  ledger_.weight_writes += w.size();
+  ledger_.program_events += 1;
+  resident_matrix_ = nullptr;  // bank no longer holds the forward layout
+
+  double x_scale = 1.0;
+  for (double v : x) {
+    x_scale = std::max(x_scale, std::abs(v));
+  }
+  nn::Vector xq(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    xq[i] = input_quantizer_.quantize(x[i] / x_scale);
+  }
+
+  nn::Vector y(w.cols(), 0.0);
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    const auto row = w.row(r);
+    const double xr = xq[r];
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      y[c] += std::clamp(row[c], -1.0, 1.0) * xr;
+    }
+  }
+  for (double& v : y) {
+    if (config_.readout_noise > 0.0) {
+      v += rng_.normal(0.0, config_.readout_noise);
+    }
+    v *= x_scale;
+  }
+
+  // Signed gradients stream as two polarity symbols.
+  ledger_.symbols += 2;
+  ledger_.macs += w.size();
+  return y;
+}
+
+void PhotonicBackend::rank1_update(nn::Matrix& w, const nn::Vector& dh,
+                                   const nn::Vector& y_prev, double lr) {
+  TRIDENT_REQUIRE(dh.size() == w.rows() && y_prev.size() == w.cols(),
+                  "rank-1 update dimension mismatch");
+  // The outer product δh·yᵀ is computed optically (Table II, third
+  // encoding): charge one symbol per row's modulation pattern.
+  ledger_.symbols += w.rows();
+  ledger_.macs += w.size();
+
+  // In-situ update: the new value must land on a programmable GST level —
+  // there is no float master copy in the hardware, so updates below half an
+  // LSB are simply lost (the 8-vs-6-bit training cliff).
+  std::uint64_t changed = 0;
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    auto row = w.row(r);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const double target = row[c] - lr * dh[r] * y_prev[c];
+      const double quantized = quantize_weight(target, 1.0);
+      if (quantized != row[c]) {
+        row[c] = quantized;
+        ++changed;
+      }
+    }
+  }
+  // Only cells whose level actually moved receive a write pulse.
+  ledger_.weight_writes += changed;
+  if (changed > 0) {
+    ledger_.program_events += 1;
+    resident_matrix_ = nullptr;
+  }
+}
+
+}  // namespace trident::core

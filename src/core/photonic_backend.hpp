@@ -1,0 +1,84 @@
+// Photonic execution backend for the functional NN simulation.
+//
+// Implements nn::MatvecBackend with the behavioural constraints of the
+// Trident hardware, without paying device-model cost per ring:
+//
+//   * weights live in GST cells → stored values are quantized to the
+//     configured bit resolution (8 for GST, 6 for the thermal ablation);
+//     SGD updates smaller than half an LSB are lost to rounding, which is
+//     exactly why the paper says 6-bit hardware cannot train [34];
+//   * inputs pass through the modulator DAC → input quantization;
+//   * the analog accumulation can carry additive read-out noise;
+//   * per-layer scaling mirrors hardware practice: the weight matrix is
+//     normalised by its max |w| before programming and the scale is
+//     re-applied electronically after detection;
+//   * non-volatility: programming is charged only when the bank contents
+//     actually change (weight reuse between calls is free — the 0.67 W →
+//     0.11 W effect), and each programming event costs one parallel
+//     write-pulse time;
+//   * energy/time books: writes, symbols, reads, activations.
+#pragma once
+
+#include <cstdint>
+
+#include "common/quantize.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "nn/mlp.hpp"
+
+namespace trident::core {
+
+struct PhotonicBackendConfig {
+  int weight_bits = 8;        ///< GST levels → 8; thermal crosstalk → 6
+  int input_bits = 8;         ///< modulator DAC resolution
+  double readout_noise = 0.0; ///< relative additive noise on each output
+  /// Stochastic rounding of programmed weights (programming jitter acts as
+  /// dither; off = deterministic round-to-nearest level).
+  bool stochastic_rounding = false;
+  std::uint64_t seed = 0x7d3ull;
+};
+
+/// Energy/latency ledger of everything the backend executed.
+struct PhotonicLedger {
+  std::uint64_t weight_writes = 0;     ///< GST cells programmed
+  std::uint64_t program_events = 0;    ///< parallel bank writes
+  std::uint64_t symbols = 0;           ///< optical symbols streamed
+  std::uint64_t macs = 0;              ///< ring read-outs
+  std::uint64_t activations = 0;       ///< GST activation firing events
+
+  [[nodiscard]] units::Energy energy() const;
+  [[nodiscard]] units::Time time() const;
+};
+
+class PhotonicBackend final : public nn::MatvecBackend {
+ public:
+  explicit PhotonicBackend(const PhotonicBackendConfig& config = {});
+
+  [[nodiscard]] nn::Vector matvec(const nn::Matrix& w,
+                                  const nn::Vector& x) override;
+  [[nodiscard]] nn::Vector matvec_transposed(const nn::Matrix& w,
+                                             const nn::Vector& x) override;
+  void rank1_update(nn::Matrix& w, const nn::Vector& dh,
+                    const nn::Vector& y_prev, double lr) override;
+
+  [[nodiscard]] const PhotonicLedger& ledger() const { return ledger_; }
+  [[nodiscard]] const PhotonicBackendConfig& config() const { return config_; }
+
+  /// LSB of the stored-weight quantizer at unit scale.
+  [[nodiscard]] double weight_lsb() const { return weight_quantizer_.step(); }
+
+ private:
+  /// Charges programming for `w` unless it is still resident.
+  void ensure_programmed(const nn::Matrix& w);
+  /// Quantizes a value to the stored-weight grid at scale `scale`.
+  [[nodiscard]] double quantize_weight(double v, double scale);
+
+  PhotonicBackendConfig config_;
+  SymmetricQuantizer weight_quantizer_;
+  SymmetricQuantizer input_quantizer_;
+  Rng rng_;
+  PhotonicLedger ledger_;
+  const void* resident_matrix_ = nullptr;
+};
+
+}  // namespace trident::core

@@ -1,0 +1,77 @@
+#include "core/power_trace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+
+PeStatePower PeStatePower::from(const arch::PhotonicAccelerator& accelerator) {
+  const auto& p = accelerator.pe_power;
+  PeStatePower s;
+  s.programming = p.total();
+  // Streaming: everything except the tuning writes.
+  s.streaming = p.total() - p.tuning;
+  // Idle: electronics that cannot gate off between layers.
+  s.idle = p.bpd_tia + p.cache + p.control;
+  return s;
+}
+
+PowerProfile power_profile(const ArraySimResult& result,
+                           const arch::PhotonicAccelerator& accelerator) {
+  TRIDENT_REQUIRE(!result.trace.empty(),
+                  "power_profile needs a recorded trace "
+                  "(ArraySimConfig::record_trace)");
+  TRIDENT_REQUIRE(result.events == result.trace.size(),
+                  "trace was truncated; raise ArraySimConfig::trace_limit");
+
+  const PeStatePower state = PeStatePower::from(accelerator);
+  const double idle_all =
+      state.idle.W() * static_cast<double>(accelerator.pe_count);
+
+  // Sweep line over event boundaries: each event adds (state − idle) for
+  // its span on top of the all-idle baseline.
+  std::map<double, double> deltas;  // time -> power delta (W)
+  for (const SimEvent& e : result.trace) {
+    double extra = 0.0;
+    switch (e.kind) {
+      case SimEventKind::kProgram:
+        extra = state.programming.W() - state.idle.W();
+        break;
+      case SimEventKind::kStream:
+      case SimEventKind::kOutputPass:
+        extra = state.streaming.W() - state.idle.W();
+        break;
+    }
+    deltas[e.start.s()] += extra;
+    deltas[e.end.s()] -= extra;
+  }
+  deltas[result.makespan.s()];  // ensure the timeline reaches the end
+
+  PowerProfile profile;
+  profile.makespan = result.makespan;
+  double current = idle_all;
+  double prev_t = 0.0;
+  double energy_j = 0.0;
+  double peak = idle_all;
+  if (deltas.empty() || deltas.begin()->first > 0.0) {
+    profile.timeline.push_back({Time::seconds(0.0), Power::watts(idle_all)});
+  }
+  for (const auto& [t, delta] : deltas) {
+    energy_j += current * (t - prev_t);
+    current += delta;
+    peak = std::max(peak, current);
+    prev_t = t;
+    if (t <= result.makespan.s()) {
+      profile.timeline.push_back({Time::seconds(t), Power::watts(current)});
+    }
+  }
+  profile.peak = Power::watts(peak);
+  profile.energy = units::Energy::joules(energy_j);
+  profile.average =
+      Power::watts(energy_j / std::max(result.makespan.s(), 1e-18));
+  return profile;
+}
+
+}  // namespace trident::core

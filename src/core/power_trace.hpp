@@ -1,0 +1,57 @@
+// Time-resolved power profile of a simulated run.
+//
+// The §IV power story is static: 44 PEs × 0.67 W ≤ 30 W.  But a running
+// accelerator is a mixture of states — PEs programming (0.67 W), PEs
+// streaming with resident weights (0.11 W), PEs idle between layers — so
+// the *instantaneous* draw depends on the schedule.  This module converts
+// an event trace from simulate_array into a piecewise-constant power
+// timeline and reports the peak (must stay within the budget: the claim,
+// checked dynamically), the average, and the time-integral energy.
+#pragma once
+
+#include <vector>
+
+#include "arch/photonic.hpp"
+#include "core/array_sim.hpp"
+
+namespace trident::core {
+
+using units::Power;
+
+/// One step of the piecewise-constant power timeline.
+struct PowerSample {
+  Time at;      ///< step start
+  Power total;  ///< accelerator draw from `at` until the next sample
+};
+
+struct PowerProfile {
+  std::vector<PowerSample> timeline;
+  Power peak;
+  Power average;          ///< energy / makespan
+  units::Energy energy;   ///< ∫ P dt over the makespan
+  Time makespan;
+
+  /// Whether the instantaneous draw ever exceeded `budget`.
+  [[nodiscard]] bool within(Power budget) const {
+    return peak.W() <= budget.W() + 1e-12;
+  }
+};
+
+/// Per-PE power by activity state, derived from the accelerator's PE
+/// power model.
+struct PeStatePower {
+  Power programming;  ///< GST write pulses active (Table III total)
+  Power streaming;    ///< weights resident, optics running
+  Power idle;         ///< receivers + cache + control only
+
+  [[nodiscard]] static PeStatePower from(
+      const arch::PhotonicAccelerator& accelerator);
+};
+
+/// Builds the power profile of `result` (must carry a trace) for the
+/// accelerator whose schedule it is.
+[[nodiscard]] PowerProfile power_profile(
+    const ArraySimResult& result,
+    const arch::PhotonicAccelerator& accelerator);
+
+}  // namespace trident::core

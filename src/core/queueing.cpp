@@ -1,0 +1,59 @@
+#include "core/queueing.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+
+QueueingResult simulate_service(Time service_time,
+                                const QueueingConfig& config) {
+  TRIDENT_REQUIRE(service_time.s() > 0.0, "service time must be positive");
+  TRIDENT_REQUIRE(config.utilization > 0.0 && config.utilization < 1.0,
+                  "utilization must be in (0, 1)");
+  TRIDENT_REQUIRE(config.requests >= 100, "need a meaningful request count");
+
+  const double mu = 1.0 / service_time.s();           // service rate
+  const double lambda = config.utilization * mu;      // arrival rate
+
+  Rng rng(config.seed);
+  std::vector<double> sojourns;
+  sojourns.reserve(static_cast<std::size_t>(config.requests));
+
+  double arrival = 0.0;
+  double server_free = 0.0;
+  for (int i = 0; i < config.requests; ++i) {
+    // Exponential inter-arrival times → Poisson process.
+    arrival += -std::log(1.0 - rng.uniform()) / lambda;
+    const double start = std::max(arrival, server_free);
+    const double done = start + service_time.s();
+    server_free = done;
+    sojourns.push_back(done - arrival);
+  }
+
+  std::sort(sojourns.begin(), sojourns.end());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sojourns.size() - 1));
+    return Time::seconds(sojourns[idx]);
+  };
+
+  QueueingResult result;
+  result.service = service_time;
+  result.arrival_rate = lambda;
+  double sum = 0.0;
+  for (double s : sojourns) {
+    sum += s;
+  }
+  result.mean_sojourn =
+      Time::seconds(sum / static_cast<double>(sojourns.size()));
+  result.p50 = at(0.50);
+  result.p99 = at(0.99);
+  // M/D/1: E[W] = ρ / (2 μ (1 − ρ)); sojourn = W + 1/μ.
+  const double rho = config.utilization;
+  result.analytic_mean_wait = Time::seconds(rho / (2.0 * mu * (1.0 - rho)));
+  return result;
+}
+
+}  // namespace trident::core

@@ -1,0 +1,47 @@
+// Edge-serving queueing simulation.
+//
+// The paper's introduction motivates on-device inference with "rapid
+// response with low latency"; a deployed edge accelerator serves a *stream*
+// of requests, so what the user feels is not the isolated inference
+// latency of Fig 6 but the sojourn time under load — queueing delay
+// included.  This module runs a discrete-event single-server simulation
+// (deterministic service at the accelerator's measured latency, Poisson
+// arrivals) and reports the latency distribution, which is how two
+// accelerators with similar mean latency can feel very different at the
+// 99th percentile.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+
+namespace trident::core {
+
+using units::Time;
+
+struct QueueingConfig {
+  /// Offered load as a fraction of capacity (λ/μ); must be < 1.
+  double utilization = 0.7;
+  int requests = 20000;
+  std::uint64_t seed = 0xEDCE;
+};
+
+struct QueueingResult {
+  Time service;       ///< deterministic per-request service time
+  double arrival_rate = 0.0;  ///< requests/s offered
+  Time mean_sojourn;  ///< queueing + service
+  Time p50;
+  Time p99;
+  /// M/D/1 closed form for the mean wait (sanity anchor):
+  /// W = ρ/(2μ(1−ρ)).
+  Time analytic_mean_wait;
+};
+
+/// Simulates Poisson arrivals served FIFO at fixed `service_time` per
+/// request on one accelerator.
+[[nodiscard]] QueueingResult simulate_service(Time service_time,
+                                              const QueueingConfig& config = {});
+
+}  // namespace trident::core

@@ -1,0 +1,259 @@
+#include "core/spectral_bank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+
+namespace {
+
+/// Per-ring interaction of channel light at `lambda` with ring `ring`
+/// carrying GST state `cell` under the given placement:
+///   `drop`    — power fraction delivered to the plus (drop) bus;
+///   `through` — power fraction continuing along the main bus.
+struct RingInteraction {
+  double drop = 0.0;
+  double through = 1.0;
+};
+
+[[nodiscard]] RingInteraction interact(const phot::Mrr& ring,
+                                       const phot::GstCell& cell,
+                                       units::Length lambda,
+                                       GstPlacement placement) {
+  RingInteraction out;
+  if (placement == GstPlacement::kIntracavity) {
+    const phot::MrrResponse r =
+        ring.response(lambda, cell.amplitude_transmittance());
+    out.drop = r.drop;
+    out.through = r.through;
+  } else {
+    // Post-drop attenuator: the cavity runs at its intrinsic (high-Q)
+    // state; the GST multiplies only the dropped power.
+    const phot::MrrResponse r = ring.response(lambda, 1.0);
+    out.drop = r.drop * cell.transmittance();
+    out.through = r.through;
+  }
+  return out;
+}
+
+}  // namespace
+
+SpectralWeightBank::SpectralWeightBank(const SpectralBankConfig& config)
+    : config_(config), ideal_(1, 1) {
+  TRIDENT_REQUIRE(config.rows >= 1 && config.cols >= 1,
+                  "bank dimensions must be positive");
+  TRIDENT_REQUIRE(config.plan.size() >= config.cols,
+                  "channel plan must cover every column");
+
+  rings_.reserve(static_cast<std::size_t>(config_.cols));
+  for (int c = 0; c < config_.cols; ++c) {
+    rings_.emplace_back(config_.mrr, config_.plan.channel(c));
+    // Fabrication trimming: the ring sits exactly on its channel (the
+    // constructor snaps to the nearest cavity mode, which can be a large
+    // fraction of an FSR away).
+    rings_.back().set_resonance(config_.plan.channel(c));
+  }
+  cells_.assign(static_cast<std::size_t>(config_.rows * config_.cols),
+                phot::GstCell(config_.gst));
+  ideal_ = nn::Matrix(static_cast<std::size_t>(config_.rows),
+                      static_cast<std::size_t>(config_.cols));
+
+  // Calibration: raw on-resonance (drop − through) across the level range.
+  phot::GstCell probe(config_.gst);
+  probe.program(0);
+  const RingInteraction lo = interact(rings_.front(), probe,
+                                      rings_.front().resonance(),
+                                      config_.placement);
+  probe.program(config_.gst.levels - 1);
+  const RingInteraction hi = interact(rings_.front(), probe,
+                                      rings_.front().resonance(),
+                                      config_.placement);
+  raw_min_ = std::min(lo.drop - lo.through, hi.drop - hi.through);
+  raw_max_ = std::max(lo.drop - lo.through, hi.drop - hi.through);
+  TRIDENT_ASSERT(raw_max_ > raw_min_, "degenerate calibration range");
+  scale_ = (raw_max_ - raw_min_) / 2.0;
+}
+
+void SpectralWeightBank::program(const nn::Matrix& targets) {
+  TRIDENT_REQUIRE(static_cast<int>(targets.rows()) == config_.rows &&
+                      static_cast<int>(targets.cols()) == config_.cols,
+                  "targets must match bank dimensions");
+  const double mid = (raw_min_ + raw_max_) / 2.0;
+  for (int r = 0; r < config_.rows; ++r) {
+    for (int c = 0; c < config_.cols; ++c) {
+      const double target = std::clamp(
+          targets.at(static_cast<std::size_t>(r),
+                     static_cast<std::size_t>(c)),
+          -1.0, 1.0);
+      const double desired_raw = mid + target * scale_;
+      // Nearest level by scanning the (monotonic) single-ring response.
+      int best = 0;
+      double best_err = 1e300;
+      phot::GstCell probe(config_.gst);
+      const auto& ring = rings_[static_cast<std::size_t>(c)];
+      for (int l = 0; l < config_.gst.levels; ++l) {
+        probe.program(l);
+        const RingInteraction resp =
+            interact(ring, probe, ring.resonance(), config_.placement);
+        const double err = std::abs(resp.drop - resp.through - desired_raw);
+        if (err < best_err) {
+          best_err = err;
+          best = l;
+        }
+      }
+      auto& cell = cells_[static_cast<std::size_t>(r * config_.cols + c)];
+      cell.program(best);
+      const RingInteraction realized =
+          interact(ring, cell, ring.resonance(), config_.placement);
+      ideal_.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          (realized.drop - realized.through - mid) / scale_;
+    }
+  }
+}
+
+int SpectralWeightBank::program_compensated(const nn::Matrix& targets,
+                                            int max_iterations) {
+  TRIDENT_REQUIRE(max_iterations >= 1, "need at least one iteration");
+  program(targets);
+  nn::Matrix aim = targets;
+  int used = 0;
+  double best = worst_error_vs(targets);
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    const nn::Matrix h = transfer_matrix();
+    for (std::size_t idx = 0; idx < aim.size(); ++idx) {
+      aim.data()[idx] = std::clamp(
+          aim.data()[idx] - (h.data()[idx] - targets.data()[idx]), -1.0, 1.0);
+    }
+    program(aim);
+    ++used;
+    const double err = worst_error_vs(targets);
+    if (err >= best - 1e-6) {
+      break;  // converged (or limited by quantization / reachable range)
+    }
+    best = err;
+  }
+  return used;
+}
+
+double SpectralWeightBank::worst_error_vs(const nn::Matrix& targets,
+                                          units::Length ambient_shift) const {
+  TRIDENT_REQUIRE(targets.rows() == static_cast<std::size_t>(config_.rows) &&
+                      targets.cols() == static_cast<std::size_t>(config_.cols),
+                  "targets must match bank dimensions");
+  const nn::Matrix h = transfer_matrix(ambient_shift);
+  double worst = 0.0;
+  for (std::size_t idx = 0; idx < h.size(); ++idx) {
+    worst = std::max(
+        worst,
+        std::abs(h.data()[idx] - std::clamp(targets.data()[idx], -1.0, 1.0)));
+  }
+  return worst;
+}
+
+nn::Matrix SpectralWeightBank::transfer_matrix(
+    units::Length ambient_shift) const {
+  const double mid = (raw_min_ + raw_max_) / 2.0;
+  nn::Matrix h(static_cast<std::size_t>(config_.rows),
+               static_cast<std::size_t>(config_.cols));
+  for (int r = 0; r < config_.rows; ++r) {
+    for (int i = 0; i < config_.cols; ++i) {
+      // A common-mode ring shift of +s is equivalent to probing each ring
+      // at λ − s (the channels themselves do not move).
+      const units::Length lambda = units::Length::meters(
+          config_.plan.channel(i).m() - ambient_shift.m());
+      // Serial bus walk: channel i passes every ring of row r in order.
+      double p = 1.0;
+      double plus = 0.0;
+      for (int c = 0; c < config_.cols; ++c) {
+        const auto& cell =
+            cells_[static_cast<std::size_t>(r * config_.cols + c)];
+        const RingInteraction resp =
+            interact(rings_[static_cast<std::size_t>(c)], cell, lambda,
+                     config_.placement);
+        plus += p * resp.drop;
+        p *= resp.through;
+      }
+      const double minus = p;
+      h.at(static_cast<std::size_t>(r), static_cast<std::size_t>(i)) =
+          (plus - minus - mid) / scale_;
+    }
+  }
+  return h;
+}
+
+double SpectralWeightBank::worst_weight_error() const {
+  const nn::Matrix h = transfer_matrix();
+  double worst = 0.0;
+  for (std::size_t idx = 0; idx < h.size(); ++idx) {
+    worst = std::max(worst, std::abs(h.data()[idx] - ideal_.data()[idx]));
+  }
+  return worst;
+}
+
+double SpectralWeightBank::calibrated_error() const {
+  const nn::Matrix h = transfer_matrix();
+  const auto rows = static_cast<std::size_t>(config_.rows);
+  double worst = 0.0;
+  for (std::size_t i = 0; i < static_cast<std::size_t>(config_.cols); ++i) {
+    // Least-squares fit H[:,i] = a * W[:,i] + b over the rows.
+    double sw = 0.0, sh = 0.0, sww = 0.0, swh = 0.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double w = ideal_.at(r, i);
+      const double hv = h.at(r, i);
+      sw += w;
+      sh += hv;
+      sww += w * w;
+      swh += w * hv;
+    }
+    const double n = static_cast<double>(rows);
+    const double denom = n * sww - sw * sw;
+    double a = 1.0, b = 0.0;
+    if (std::abs(denom) > 1e-12) {
+      a = (n * swh - sw * sh) / denom;
+      b = (sh - a * sw) / n;
+    }
+    // Residual after removing the channel's systematic gain/offset; guard
+    // against degenerate fits (tiny |a| would blow the correction up).
+    const double gain = std::abs(a) > 0.2 ? a : 1.0;
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double corrected = (h.at(r, i) - b) / gain;
+      worst = std::max(worst, std::abs(corrected - ideal_.at(r, i)));
+    }
+  }
+  return worst;
+}
+
+int SpectralWeightBank::effective_bits() const {
+  const double err = calibrated_error();
+  if (err <= 0.0) {
+    return 16;
+  }
+  return std::clamp(static_cast<int>(std::floor(std::log2(1.0 / err))), 1,
+                    16);
+}
+
+units::Length SpectralWeightBank::ambient_tolerance(
+    const nn::Matrix& targets, double tolerance) const {
+  TRIDENT_REQUIRE(tolerance > 0.0, "tolerance must be positive");
+  // The baseline error (no drift) may already be near the tolerance; the
+  // window is where drift pushes it past.  Scan outward in 1 pm steps up
+  // to one channel spacing.
+  const double spacing_m = config_.plan.spacing().m();
+  const double step = 5.0e-12;
+  double last_ok = 0.0;
+  for (double s = 0.0; s <= spacing_m; s += step) {
+    const double err_pos =
+        worst_error_vs(targets, units::Length::meters(s));
+    const double err_neg =
+        worst_error_vs(targets, units::Length::meters(-s));
+    if (std::max(err_pos, err_neg) > tolerance) {
+      break;
+    }
+    last_ok = s;
+  }
+  return units::Length::meters(last_ok);
+}
+
+}  // namespace trident::core

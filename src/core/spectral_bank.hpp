@@ -1,0 +1,126 @@
+// Full-spectrum weight-bank transfer analysis.
+//
+// The functional WeightBank evaluates each ring only at its own channel;
+// this module computes the bank's COMPLETE spectral transfer matrix: every
+// ring's drop/through response evaluated at every channel's wavelength.
+// The result is the physically realised matrix
+//
+//     H[r][i] = Σ_c  w_response(ring_{r,c}, λ_i)
+//
+// whose off-diagonal (in the channel dimension) terms are the inter-
+// channel crosstalk the phot::ChannelPlan analysis bounds analytically.  From H
+// we measure the realised MVM error against the programmed weights and
+// the effective bit accuracy — connecting device geometry to arithmetic
+// precision without any hand-waving in between.
+//
+// Physical subtlety captured here: light dropped by an earlier ring in a
+// row is gone; the cascade attenuates downstream channels.  We model the
+// row as a serial bus: channel i reaches ring c after passing the through
+// ports of rings 0..c-1 at λ_i.
+#pragma once
+
+#include <vector>
+
+#include "nn/matrix.hpp"
+#include "photonics/gst.hpp"
+#include "photonics/mrr.hpp"
+#include "photonics/wdm.hpp"
+
+namespace trident::core {
+
+/// Where the GST cell sits relative to the ring.
+enum class GstPlacement {
+  /// Inside the cavity (Fig 2b read literally): maximal weight swing, but
+  /// heavy crystalline loss broadens the resonance and smears absorption
+  /// across neighbouring channels — weight-dependent crosstalk.
+  kIntracavity,
+  /// On the drop waveguide after the ring: the cavity stays high-Q and
+  /// fixed; the GST attenuates only the already-dropped signal.  Crosstalk
+  /// reduces to the ring's static Lorentzian leakage.
+  kPostDrop,
+};
+
+struct SpectralBankConfig {
+  int rows = 4;
+  int cols = 4;
+  phot::MrrDesign mrr;
+  phot::GstCellParams gst;
+  phot::ChannelPlan plan{4};
+  GstPlacement placement = GstPlacement::kIntracavity;
+};
+
+/// A weight bank evaluated with full spectral fidelity.
+class SpectralWeightBank {
+ public:
+  explicit SpectralWeightBank(const SpectralBankConfig& config);
+
+  [[nodiscard]] int rows() const { return config_.rows; }
+  [[nodiscard]] int cols() const { return config_.cols; }
+
+  /// Programs targets ∈ [-1, 1] per cell (nearest calibrated GST level,
+  /// same mapping as core::WeightBank).
+  void program(const nn::Matrix& targets);
+
+  /// Closed-loop programming against the MEASURED transfer matrix: after
+  /// the open-loop program, iteratively re-aims every cell by the residual
+  /// H − targets (Gauss-Seidel over the weakly coupled crosstalk terms).
+  /// This is the capability in-situ hardware gets for free — the same
+  /// read-out that enables training also enables crosstalk-compensated
+  /// weight placement.  Returns the iterations used.
+  int program_compensated(const nn::Matrix& targets, int max_iterations = 8);
+
+  /// Max |H − targets| against an arbitrary reference (the right metric
+  /// after compensated programming, where per-cell aims differ from the
+  /// logical targets).
+  [[nodiscard]] double worst_error_vs(
+      const nn::Matrix& targets,
+      units::Length ambient_shift = units::Length::meters(0.0)) const;
+
+  /// Largest |ambient drift| (one-sided) at which worst_error_vs stays
+  /// below `tolerance` — the bank's uncompensated temperature window,
+  /// convertible to kelvin at 0.08 nm/K.
+  [[nodiscard]] units::Length ambient_tolerance(
+      const nn::Matrix& targets, double tolerance = 0.05) const;
+
+  /// The realised transfer matrix H (rows × cols): row r's balanced-
+  /// detector response to unit power on channel i, including the serial
+  /// bus cascade and every ring's response at every wavelength.
+  /// `ambient_shift` models a COMMON-MODE resonance drift of every ring
+  /// (silicon: ≈ 0.08 nm/K of ambient temperature).  Trident's rings have
+  /// no heaters, so unlike thermally tuned banks there is nothing on-chip
+  /// to track ambient drift — this is the knob that quantifies the cost.
+  [[nodiscard]] nn::Matrix transfer_matrix(
+      units::Length ambient_shift = units::Length::meters(0.0)) const;
+
+  /// The ideal (crosstalk-free) weight matrix the programming aimed for,
+  /// in the same normalised units as transfer_matrix().
+  [[nodiscard]] const nn::Matrix& ideal_weights() const { return ideal_; }
+
+  /// Max |H - W_ideal| over all entries: the raw, uncalibrated arithmetic
+  /// error.  Dominated by systematic per-channel effects (bus insertion
+  /// loss, off-resonance drop offsets) that any real weight bank trims out
+  /// during bring-up.
+  [[nodiscard]] double worst_weight_error() const;
+
+  /// Residual error after the standard bring-up calibration: a per-channel
+  /// affine correction (gain + offset, fitted least-squares over the rows).
+  /// What remains is the *weight-dependent* crosstalk that cannot be
+  /// calibrated away — the quantity that actually limits precision.
+  [[nodiscard]] double calibrated_error() const;
+
+  /// Effective bits from the calibrated error:
+  /// floor(log2(1 / calibrated_error())), clamped to [1, 16] — directly
+  /// comparable to analyze_crosstalk's analytical estimate.
+  [[nodiscard]] int effective_bits() const;
+
+ private:
+  SpectralBankConfig config_;
+  std::vector<phot::Mrr> rings_;        ///< per column (shared geometry per row)
+  std::vector<phot::GstCell> cells_;    ///< row-major rows×cols
+  nn::Matrix ideal_;
+  double raw_min_ = 0.0;
+  double raw_max_ = 0.0;
+  double scale_ = 1.0;
+};
+
+}  // namespace trident::core

@@ -1,0 +1,61 @@
+#include "core/trace_export.hpp"
+
+#include <ostream>
+#include <sstream>
+
+namespace trident::core {
+
+namespace {
+
+[[nodiscard]] const char* kind_name(SimEventKind kind) {
+  switch (kind) {
+    case SimEventKind::kProgram:
+      return "program";
+    case SimEventKind::kStream:
+      return "stream";
+    case SimEventKind::kOutputPass:
+      return "output-pass";
+  }
+  return "?";
+}
+
+/// JSON string escaping for the small character set layer names use.
+[[nodiscard]] std::string escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+    }
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_chrome_trace(const ArraySimResult& result, std::ostream& os) {
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const SimEvent& e : result.trace) {
+    if (!first) {
+      os << ',';
+    }
+    first = false;
+    os << "{\"name\":\"" << escape(e.layer) << " #" << e.tile << "\","
+       << "\"cat\":\"" << kind_name(e.kind) << "\","
+       << "\"ph\":\"X\","
+       << "\"ts\":" << e.start.us() << ','
+       << "\"dur\":" << (e.end - e.start).us() << ','
+       << "\"pid\":0,\"tid\":" << e.pe << '}';
+  }
+  os << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+std::string chrome_trace_json(const ArraySimResult& result) {
+  std::ostringstream os;
+  write_chrome_trace(result, os);
+  return os.str();
+}
+
+}  // namespace trident::core

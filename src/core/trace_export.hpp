@@ -1,0 +1,24 @@
+// Event-trace export in the Chrome tracing (about://tracing, Perfetto)
+// JSON format.
+//
+// `simulate_array` can record the full program/stream/output-pass schedule;
+// this module renders it as a trace file where each PE is a "thread" —
+// load it in a trace viewer to see the tile schedule, the programming
+// bubbles, and the layer barriers at a glance.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/array_sim.hpp"
+
+namespace trident::core {
+
+/// Writes `result.trace` as Chrome-tracing JSON to `os` (complete-event
+/// "X" records; timestamps in microseconds as the format requires).
+void write_chrome_trace(const ArraySimResult& result, std::ostream& os);
+
+/// Convenience: render to a string (tests, small traces).
+[[nodiscard]] std::string chrome_trace_json(const ArraySimResult& result);
+
+}  // namespace trident::core

@@ -1,0 +1,123 @@
+#include "core/variation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+
+VariationBackend::VariationBackend(const VariationConfig& config)
+    : config_(config), inner_(config.hardware), gain_rng_(config.seed) {
+  TRIDENT_REQUIRE(config.gain_sigma >= 0.0 && config.gain_sigma < 0.5,
+                  "gain sigma must be in [0, 0.5)");
+  TRIDENT_REQUIRE(config.row_offset_sigma >= 0.0,
+                  "row offset sigma must be non-negative");
+  TRIDENT_REQUIRE(config.weight_offset_sigma >= 0.0 &&
+                      config.weight_offset_sigma < 0.5,
+                  "weight offset sigma must be in [0, 0.5)");
+}
+
+const std::vector<double>& VariationBackend::gains(const nn::Matrix& w) {
+  const void* key = static_cast<const void*>(&w);
+  auto it = gain_maps_.find(key);
+  if (it == gain_maps_.end()) {
+    std::vector<double> g(w.size());
+    for (double& v : g) {
+      v = std::max(0.1, gain_rng_.normal(1.0, config_.gain_sigma));
+    }
+    it = gain_maps_.emplace(key, std::move(g)).first;
+    std::vector<double> cell_off(w.size());
+    for (double& v : cell_off) {
+      v = gain_rng_.normal(0.0, config_.weight_offset_sigma);
+    }
+    cell_offsets_.emplace(key, std::move(cell_off));
+    std::vector<double> offsets(w.rows());
+    for (double& v : offsets) {
+      v = gain_rng_.normal(0.0, config_.row_offset_sigma);
+    }
+    row_offsets_.emplace(key, std::move(offsets));
+  }
+  return it->second;
+}
+
+nn::Matrix VariationBackend::effective(const nn::Matrix& w) {
+  const std::vector<double>& g = gains(w);
+  const std::vector<double>& delta = cell_offsets_.at(static_cast<const void*>(&w));
+  nn::Matrix eff(w.rows(), w.cols());
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    eff.data()[i] =
+        std::clamp(std::clamp(w.data()[i], -1.0, 1.0) * g[i] + delta[i],
+                   -1.0, 1.0);
+  }
+  return eff;
+}
+
+nn::Vector VariationBackend::matvec(const nn::Matrix& w, const nn::Vector& x) {
+  const nn::Matrix eff = effective(w);
+  nn::Vector y = inner_.matvec(eff, x);
+  const auto& offsets = row_offsets_.at(static_cast<const void*>(&w));
+  for (std::size_t r = 0; r < y.size(); ++r) {
+    y[r] += offsets[r];
+  }
+  return y;
+}
+
+nn::Vector VariationBackend::matvec_transposed(const nn::Matrix& w,
+                                               const nn::Vector& x) {
+  // The backward pass runs through the same physical cells, so it sees the
+  // same gains — this is exactly why in-situ gradients compensate
+  // variation while offline gradients cannot.
+  const nn::Matrix eff = effective(w);
+  return inner_.matvec_transposed(eff, x);
+}
+
+void VariationBackend::rank1_update(nn::Matrix& w, const nn::Vector& dh,
+                                    const nn::Vector& y_prev, double lr) {
+  // The *stored* levels are updated; their effect on the optics is still
+  // filtered through the per-cell gains on the next read.
+  inner_.rank1_update(w, dh, y_prev, lr);
+}
+
+DeploymentStudy deployment_study(const nn::Dataset& train_set,
+                                 const nn::Dataset& test_set,
+                                 const std::vector<int>& layer_sizes,
+                                 const VariationConfig& variation, int epochs,
+                                 int finetune_epochs, double learning_rate,
+                                 std::uint64_t init_seed) {
+  TRIDENT_REQUIRE(epochs >= 1 && finetune_epochs >= 0,
+                  "epoch counts must be sensible");
+
+  // 1. Offline training in float — the "digital model" of §I.
+  Rng init(init_seed);
+  nn::Mlp net(layer_sizes, nn::Activation::kGstPhotonic, init);
+  nn::FloatBackend float_backend;
+  nn::TrainConfig cfg;
+  cfg.epochs = epochs;
+  cfg.learning_rate = learning_rate;
+  (void)nn::fit(net, train_set, cfg, float_backend);
+
+  DeploymentStudy study;
+  study.float_accuracy = nn::evaluate(net, test_set, float_backend);
+
+  // 2. Deploy the trained weights onto varied hardware.
+  VariationBackend hardware(variation);
+  study.deployed_accuracy = nn::evaluate(net, test_set, hardware);
+
+  // 3. In-situ fine-tuning on the same hardware (same gains).
+  if (finetune_epochs > 0) {
+    nn::TrainConfig ft;
+    ft.epochs = finetune_epochs;
+    ft.learning_rate = learning_rate;
+    (void)nn::fit(net, train_set, ft, hardware);
+  }
+  study.finetuned_accuracy = nn::evaluate(net, test_set, hardware);
+
+  const double gap = study.float_accuracy - study.deployed_accuracy;
+  study.recovered_fraction =
+      gap > 1e-9
+          ? (study.finetuned_accuracy - study.deployed_accuracy) / gap
+          : 1.0;
+  return study;
+}
+
+}  // namespace trident::core

@@ -1,0 +1,93 @@
+#include "core/wear_leveling.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "dataflow/analyzer.hpp"
+
+namespace trident::core {
+
+WearReport simulate_wear(const nn::ModelSpec& model,
+                         const arch::PhotonicAccelerator& accelerator,
+                         std::uint64_t inferences, WearPolicy policy) {
+  TRIDENT_REQUIRE(inferences >= 1, "need at least one inference");
+  model.validate();
+
+  const int pes = accelerator.pe_count;
+  const auto mrrs = static_cast<double>(accelerator.array.mrrs_per_pe());
+
+  // Per-layer tile counts (tiles map to PEs in index order).
+  std::vector<std::uint64_t> layer_tiles;
+  for (const auto& layer : model.layers) {
+    const std::uint64_t t = dataflow::tile_count(layer, accelerator.array);
+    if (t > 0) {
+      layer_tiles.push_back(t);
+    }
+  }
+  TRIDENT_REQUIRE(!layer_tiles.empty(), "model has no compute layers");
+
+  // One inference's per-PE tile counts for a given starting origin.  The
+  // pattern repeats every `pes` origins, so precompute those and scale.
+  const auto tiles_for_origin = [&](int origin) {
+    std::vector<std::uint64_t> counts(static_cast<std::size_t>(pes), 0);
+    int cursor = origin;
+    for (const std::uint64_t tiles : layer_tiles) {
+      for (std::uint64_t t = 0; t < tiles; ++t) {
+        counts[static_cast<std::size_t>(cursor)] += 1;
+        cursor = (cursor + 1) % pes;
+      }
+    }
+    return counts;
+  };
+
+  WearReport report;
+  report.writes_per_pe.assign(static_cast<std::size_t>(pes), 0.0);
+
+  if (policy == WearPolicy::kFixedOrigin) {
+    const auto counts = tiles_for_origin(0);
+    for (int pe = 0; pe < pes; ++pe) {
+      report.writes_per_pe[static_cast<std::size_t>(pe)] =
+          static_cast<double>(counts[static_cast<std::size_t>(pe)]) * mrrs *
+          static_cast<double>(inferences);
+    }
+  } else {
+    // Rotating origin: inference i starts at PE (i mod pes).  Sum the
+    // `pes` distinct patterns, weighted by how many inferences use each.
+    const std::uint64_t full_cycles = inferences / static_cast<std::uint64_t>(pes);
+    const std::uint64_t remainder = inferences % static_cast<std::uint64_t>(pes);
+    for (int origin = 0; origin < pes; ++origin) {
+      const auto counts = tiles_for_origin(origin);
+      const double uses =
+          static_cast<double>(full_cycles) +
+          (static_cast<std::uint64_t>(origin) < remainder ? 1.0 : 0.0);
+      for (int pe = 0; pe < pes; ++pe) {
+        report.writes_per_pe[static_cast<std::size_t>(pe)] +=
+            static_cast<double>(counts[static_cast<std::size_t>(pe)]) * mrrs *
+            uses;
+      }
+    }
+  }
+
+  double sum = 0.0;
+  for (double w : report.writes_per_pe) {
+    sum += w;
+    report.max_writes = std::max(report.max_writes, w);
+  }
+  report.mean_writes = sum / static_cast<double>(pes);
+  report.imbalance =
+      report.mean_writes > 0.0 ? report.max_writes / report.mean_writes : 1.0;
+  return report;
+}
+
+double rotation_benefit(const nn::ModelSpec& model,
+                        const arch::PhotonicAccelerator& accelerator,
+                        std::uint64_t inferences) {
+  const WearReport fixed =
+      simulate_wear(model, accelerator, inferences, WearPolicy::kFixedOrigin);
+  const WearReport rotating =
+      simulate_wear(model, accelerator, inferences, WearPolicy::kRotating);
+  TRIDENT_ASSERT(rotating.max_writes > 0.0, "degenerate wear simulation");
+  return fixed.max_writes / rotating.max_writes;
+}
+
+}  // namespace trident::core

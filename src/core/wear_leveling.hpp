@@ -1,0 +1,49 @@
+// Wear-levelling policies for GST cell endurance.
+//
+// The endurance analysis (core/endurance.hpp) shows the binding lifetime
+// constraint under heavy workloads.  Wear spreads unevenly by default:
+// tiles map to PEs round-robin from a fixed origin, so a model whose tile
+// count is not a multiple of the PE count hammers the low-numbered PEs,
+// and within a PE the activation cell of a busy row ages faster than an
+// idle one.  A rotation policy — advance the tile→PE origin every batch —
+// equalises long-run wear at zero hardware cost, extending the lifetime
+// bound by the imbalance factor.  This module simulates both policies and
+// reports the wear distribution.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arch/photonic.hpp"
+#include "nn/layer.hpp"
+
+namespace trident::core {
+
+enum class WearPolicy {
+  kFixedOrigin,  ///< tiles always start at PE 0 (the naive schedule)
+  kRotating,     ///< the start PE advances by one every inference
+};
+
+struct WearReport {
+  std::vector<double> writes_per_pe;  ///< weight-cell writes, per PE
+  double mean_writes = 0.0;
+  double max_writes = 0.0;
+  /// max / mean: 1.0 = perfectly level; the lifetime of the array is the
+  /// lifetime of its most-worn cell, so this is the lifetime penalty of
+  /// imbalance.
+  double imbalance = 1.0;
+};
+
+/// Simulates `inferences` inferences of `model` on `accelerator`, tracking
+/// cumulative weight-cell writes per PE under the given policy.
+[[nodiscard]] WearReport simulate_wear(
+    const nn::ModelSpec& model, const arch::PhotonicAccelerator& accelerator,
+    std::uint64_t inferences, WearPolicy policy);
+
+/// Lifetime extension factor of rotating vs fixed-origin scheduling (the
+/// ratio of the two policies' max-wear figures).
+[[nodiscard]] double rotation_benefit(
+    const nn::ModelSpec& model, const arch::PhotonicAccelerator& accelerator,
+    std::uint64_t inferences = 1000);
+
+}  // namespace trident::core

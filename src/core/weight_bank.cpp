@@ -1,0 +1,195 @@
+#include "core/weight_bank.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+
+WeightBank::WeightBank(const WeightBankConfig& config)
+    : rows_(config.rows), cols_(config.cols), config_(config) {
+  TRIDENT_REQUIRE(rows_ >= 1 && cols_ >= 1, "bank dimensions must be positive");
+  TRIDENT_REQUIRE(config.plan.size() >= cols_,
+                  "channel plan must cover every bank column");
+
+  cells_.assign(static_cast<std::size_t>(rows_ * cols_),
+                phot::GstCell(config_.gst));
+  column_rings_.reserve(static_cast<std::size_t>(cols_));
+  for (int c = 0; c < cols_; ++c) {
+    column_rings_.emplace_back(config_.mrr, config_.plan.channel(c));
+  }
+
+  // Calibration sweep: realised (drop − through) for every GST level.
+  const int levels = config_.gst.levels;
+  level_weights_.resize(static_cast<std::size_t>(levels));
+  for (int l = 0; l < levels; ++l) {
+    level_weights_[static_cast<std::size_t>(l)] = raw_weight_for_level(l);
+  }
+  const auto [lo, hi] =
+      std::minmax_element(level_weights_.begin(), level_weights_.end());
+  raw_min_ = *lo;
+  raw_max_ = *hi;
+  TRIDENT_ASSERT(raw_max_ > raw_min_,
+                 "GST sweep produced a degenerate weight range");
+  weight_scale_ = (raw_max_ - raw_min_) / 2.0;
+}
+
+const phot::GstCell& WeightBank::cell(int r, int c) const {
+  TRIDENT_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                  "bank index out of range");
+  return cells_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+phot::GstCell& WeightBank::cell(int r, int c) {
+  TRIDENT_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                  "bank index out of range");
+  return cells_[static_cast<std::size_t>(r * cols_ + c)];
+}
+
+double WeightBank::raw_weight_for_level(int level) const {
+  phot::GstCell probe(config_.gst);
+  probe.program(level);
+  // On-resonance response of a ring with the probe's intracavity loss; the
+  // linearised MRR model makes this identical across channels.
+  const phot::Mrr& ring = column_rings_.front();
+  const phot::MrrResponse r =
+      ring.response(ring.resonance(), probe.amplitude_transmittance());
+  return r.drop - r.through;
+}
+
+double WeightBank::weight_at_level(int level) const {
+  TRIDENT_REQUIRE(level >= 0 && level < config_.gst.levels,
+                  "level out of range");
+  const double raw = level_weights_[static_cast<std::size_t>(level)];
+  return (raw - (raw_min_ + raw_max_) / 2.0) / weight_scale_;
+}
+
+double WeightBank::program_cell(int r, int c, double target) {
+  const double clamped = std::clamp(target, -1.0, 1.0);
+  const double mid = (raw_min_ + raw_max_) / 2.0;
+  const double desired_raw = mid + clamped * weight_scale_;
+  // Nearest calibrated level.  The sweep is monotonic in the level, so a
+  // binary search over the table would also work; the table is only 255
+  // entries and programming is not the hot path.
+  int best = 0;
+  double best_err = std::abs(level_weights_[0] - desired_raw);
+  for (int l = 1; l < config_.gst.levels; ++l) {
+    const double err =
+        std::abs(level_weights_[static_cast<std::size_t>(l)] - desired_raw);
+    if (err < best_err) {
+      best_err = err;
+      best = l;
+    }
+  }
+  cell(r, c).program(best, config_.rng);
+  return realized_weight(r, c);
+}
+
+double WeightBank::worst_quantization_error() const {
+  double worst_gap = 0.0;
+  for (std::size_t l = 1; l < level_weights_.size(); ++l) {
+    worst_gap = std::max(
+        worst_gap, std::abs(level_weights_[l] - level_weights_[l - 1]));
+  }
+  return worst_gap / 2.0 / weight_scale_;
+}
+
+nn::Matrix WeightBank::program(const nn::Matrix& w) {
+  TRIDENT_REQUIRE(static_cast<int>(w.rows()) == rows_ &&
+                      static_cast<int>(w.cols()) == cols_,
+                  "weight matrix must match bank dimensions");
+  nn::Matrix realized(w.rows(), w.cols());
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      realized.at(static_cast<std::size_t>(r), static_cast<std::size_t>(c)) =
+          program_cell(r, c,
+                       w.at(static_cast<std::size_t>(r),
+                            static_cast<std::size_t>(c)));
+    }
+  }
+  return realized;
+}
+
+double WeightBank::realized_weight(int r, int c) const {
+  return weight_at_level(cell(r, c).level());
+}
+
+nn::Vector WeightBank::apply(const nn::Vector& inputs) {
+  TRIDENT_REQUIRE(static_cast<int>(inputs.size()) == cols_,
+                  "input vector must match bank columns");
+  nn::Vector out(static_cast<std::size_t>(rows_), 0.0);
+  double input_sum = 0.0;
+  for (double x : inputs) {
+    TRIDENT_REQUIRE(x >= 0.0 && x <= 1.0,
+                    "optical amplitudes must be in [0, 1]");
+    input_sum += x;
+  }
+  const double mid = (raw_min_ + raw_max_) / 2.0;
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) {
+      const double raw =
+          level_weights_[static_cast<std::size_t>(cell(r, c).level())];
+      acc += raw * inputs[static_cast<std::size_t>(c)];
+      cell(r, c).read();  // one read pulse per ring per symbol
+    }
+    // Affine correction to unit weights: Σ w·x with w ∈ [-1, 1].
+    out[static_cast<std::size_t>(r)] = (acc - mid * input_sum) / weight_scale_;
+  }
+  return out;
+}
+
+nn::Vector WeightBank::apply_const(const nn::Vector& inputs) const {
+  TRIDENT_REQUIRE(static_cast<int>(inputs.size()) == cols_,
+                  "input vector must match bank columns");
+  nn::Vector out(static_cast<std::size_t>(rows_), 0.0);
+  double input_sum = 0.0;
+  for (double x : inputs) {
+    input_sum += x;
+  }
+  const double mid = (raw_min_ + raw_max_) / 2.0;
+  for (int r = 0; r < rows_; ++r) {
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) {
+      acc += level_weights_[static_cast<std::size_t>(cell(r, c).level())] *
+             inputs[static_cast<std::size_t>(c)];
+    }
+    out[static_cast<std::size_t>(r)] = (acc - mid * input_sum) / weight_scale_;
+  }
+  return out;
+}
+
+std::uint64_t WeightBank::total_writes() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cells_) {
+    n += c.writes();
+  }
+  return n;
+}
+
+Energy WeightBank::total_write_energy() const {
+  Energy e;
+  for (const auto& c : cells_) {
+    e += c.total_write_energy();
+  }
+  return e;
+}
+
+Energy WeightBank::total_read_energy() const {
+  Energy e;
+  for (const auto& c : cells_) {
+    e += c.total_read_energy();
+  }
+  return e;
+}
+
+double WeightBank::max_wear() const {
+  double w = 0.0;
+  for (const auto& c : cells_) {
+    w = std::max(w, c.wear());
+  }
+  return w;
+}
+
+}  // namespace trident::core

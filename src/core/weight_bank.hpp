@@ -1,0 +1,108 @@
+// Device-level PCM-MRR weight bank (§III.B, Fig 2b).
+//
+// A J×N grid of add-drop MRRs, one column per WDM channel, each ring
+// carrying an embedded GST cell.  A weight is programmed by setting the GST
+// cell's crystalline level, which changes the intracavity loss and thereby
+// the drop/through power split at the ring's resonance.  The balanced
+// photodetector of row j reads Σᵢ (drop − through)ᵢ · Pᵢ — a signed dot
+// product.
+//
+// Because the achievable (drop − through) range of a physical ring is not
+// exactly [-1, 1], the bank self-calibrates at construction: it sweeps all
+// GST levels through the MRR transfer function, records the realisable
+// weight range, and exposes `weight_scale()` so users can renormalise.
+// Programming then picks the GST level whose *measured* weight is nearest
+// the target — exactly what a hardware calibration loop does.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "nn/matrix.hpp"
+#include "photonics/gst.hpp"
+#include "photonics/mrr.hpp"
+#include "photonics/wdm.hpp"
+
+namespace trident::core {
+
+using units::Energy;
+using units::Time;
+
+struct WeightBankConfig {
+  int rows = 4;
+  int cols = 4;
+  phot::MrrDesign mrr;
+  phot::GstCellParams gst;
+  phot::ChannelPlan plan{4};
+  /// Optional programming noise source (nullptr = ideal writes).
+  Rng* rng = nullptr;
+};
+
+class WeightBank {
+ public:
+  explicit WeightBank(const WeightBankConfig& config);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+
+  /// Largest |weight| the ring + GST combination can realise; targets are
+  /// interpreted in units of this scale (i.e. `program` maps w ∈ [-1, 1]
+  /// onto [-scale, +scale]).
+  [[nodiscard]] double weight_scale() const { return weight_scale_; }
+
+  /// Programs the whole bank from `w` (rows×cols, entries in [-1, 1]).
+  /// Unchanged weights cost nothing (non-volatile skip).  Returns the
+  /// realised weights in [-1, 1] units.
+  nn::Matrix program(const nn::Matrix& w);
+
+  /// Programs a single cell to `target` ∈ [-1, 1] (write-verify loops
+  /// re-aim individual offenders without disturbing converged cells).
+  /// Returns the realised weight.
+  double program_cell(int r, int c, double target);
+
+  /// Worst-case |realised − target| of a noiseless nearest-level program:
+  /// half the largest gap between adjacent calibrated levels.  This is the
+  /// right open-loop tolerance for calibration on this device.
+  [[nodiscard]] double worst_quantization_error() const;
+
+  /// The weight currently realised at (r, c), in [-1, 1] units.
+  [[nodiscard]] double realized_weight(int r, int c) const;
+
+  /// One optical symbol: inputs[c] ∈ [0, 1] are the channel amplitudes;
+  /// returns per-row (drop − through) accumulations in [-1, 1]·row-sum
+  /// units (divide by cols for a normalised mean).  Charges one GST read
+  /// per ring.
+  [[nodiscard]] nn::Vector apply(const nn::Vector& inputs);
+
+  /// y = (W/scale)·x without energy accounting (pure query).
+  [[nodiscard]] nn::Vector apply_const(const nn::Vector& inputs) const;
+
+  // --- accounting ---------------------------------------------------------
+  [[nodiscard]] std::uint64_t total_writes() const;
+  [[nodiscard]] Energy total_write_energy() const;
+  [[nodiscard]] Energy total_read_energy() const;
+  /// Worst per-cell wear across the bank (endurance tracking).
+  [[nodiscard]] double max_wear() const;
+
+  /// Weight realised by a given GST level (calibration-table lookup).
+  [[nodiscard]] double weight_at_level(int level) const;
+
+ private:
+  [[nodiscard]] const phot::GstCell& cell(int r, int c) const;
+  [[nodiscard]] phot::GstCell& cell(int r, int c);
+  /// Raw (drop − through) of a ring at its resonance for a GST level.
+  [[nodiscard]] double raw_weight_for_level(int level) const;
+
+  int rows_;
+  int cols_;
+  WeightBankConfig config_;
+  std::vector<phot::GstCell> cells_;       ///< row-major rows×cols
+  std::vector<phot::Mrr> column_rings_;    ///< one template ring per channel
+  std::vector<double> level_weights_;      ///< calibration: level -> raw weight
+  double raw_min_ = 0.0;
+  double raw_max_ = 0.0;
+  double weight_scale_ = 1.0;
+};
+
+}  // namespace trident::core

@@ -1,0 +1,211 @@
+#include "dataflow/analyzer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "parallel/thread_pool.hpp"
+
+namespace trident::dataflow {
+
+namespace {
+
+[[nodiscard]] std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace
+
+GemmShape lower_to_gemm(const nn::LayerSpec& layer) {
+  GemmShape g;
+  const auto oh = static_cast<std::uint64_t>(layer.out_h());
+  const auto ow = static_cast<std::uint64_t>(layer.out_w());
+  switch (layer.type) {
+    case nn::LayerType::kConv:
+      g.m = static_cast<std::uint64_t>(layer.out_c);
+      g.k = static_cast<std::uint64_t>(layer.kernel) *
+            static_cast<std::uint64_t>(layer.kernel) *
+            (static_cast<std::uint64_t>(layer.in_c) /
+             static_cast<std::uint64_t>(layer.groups));
+      g.cols = oh * ow;
+      break;
+    case nn::LayerType::kDepthwiseConv:
+      g.m = static_cast<std::uint64_t>(layer.in_c);
+      g.k = static_cast<std::uint64_t>(layer.kernel) *
+            static_cast<std::uint64_t>(layer.kernel);
+      g.cols = oh * ow;
+      break;
+    case nn::LayerType::kDense:
+      g.m = static_cast<std::uint64_t>(layer.out_c);
+      g.k = static_cast<std::uint64_t>(layer.in_c);
+      g.cols = 1;
+      break;
+    case nn::LayerType::kPool:
+    case nn::LayerType::kGlobalPool:
+      g.m = 0;
+      g.k = 0;
+      g.cols = oh * ow;
+      break;
+  }
+  return g;
+}
+
+std::uint64_t tile_count(const nn::LayerSpec& layer,
+                         const PhotonicArrayDesc& array) {
+  const GemmShape g = lower_to_gemm(layer);
+  if (g.m == 0) {
+    return 0;
+  }
+  const auto j = static_cast<std::uint64_t>(array.rows_per_pe);
+  const auto n = static_cast<std::uint64_t>(array.cols_per_pe);
+  return ceil_div(g.m, j) * ceil_div(g.k, n);
+}
+
+bool model_fits_resident(const nn::ModelSpec& model,
+                         const PhotonicArrayDesc& array) {
+  std::uint64_t tiles = 0;
+  for (const auto& l : model.layers) {
+    tiles += tile_count(l, array);
+  }
+  return tiles <= static_cast<std::uint64_t>(array.pe_count);
+}
+
+LayerCost analyze_layer(const nn::LayerSpec& layer,
+                        const PhotonicArrayDesc& array,
+                        const AnalyzerOptions& options,
+                        double model_weight_bytes) {
+  array.validate();
+  TRIDENT_REQUIRE(options.batch >= 1, "batch must be >= 1");
+
+  LayerCost cost;
+  cost.name = layer.name;
+  const GemmShape g = lower_to_gemm(layer);
+  const auto batch = static_cast<std::uint64_t>(options.batch);
+  const double bpe = options.bytes_per_element;
+  const Time symbol = array.symbol_time();
+
+  if (g.m == 0) {
+    // Pooling: no MACs, no weights.  The input feature map streams through
+    // the electronic peripheral at the symbol clock (vector-width lanes),
+    // and the traffic costs one read + one write.
+    cost.macs = 0;
+    cost.tiles = 0;
+    const std::uint64_t elems = (layer.inputs() + layer.outputs()) * batch;
+    cost.symbols = ceil_div(layer.inputs() * batch,
+                            static_cast<std::uint64_t>(array.cols_per_pe));
+    cost.latency = symbol * static_cast<double>(cost.symbols);
+    cost.energy.memory = array.memory.l1_traffic(
+        static_cast<double>(elems) * bpe,
+        static_cast<double>(layer.inputs()) * bpe);
+    cost.energy.static_overhead = array.static_power * cost.latency;
+    return cost;
+  }
+
+  const auto j = static_cast<std::uint64_t>(array.rows_per_pe);
+  const auto n = static_cast<std::uint64_t>(array.cols_per_pe);
+  const std::uint64_t row_tiles = ceil_div(g.m, j);
+  const std::uint64_t col_tiles = ceil_div(g.k, n);
+  const std::uint64_t tiles = row_tiles * col_tiles;
+  const auto pes = static_cast<std::uint64_t>(array.pe_count);
+  const std::uint64_t rounds = ceil_div(tiles, pes);
+
+  cost.macs = layer.macs() * batch;
+  cost.tiles = tiles;
+  cost.symbols = tiles * g.cols * batch;
+
+  // --- latency -------------------------------------------------------------
+  // Each round: all active PEs program their tile in parallel (one write
+  // time — per-MRR writes within a bank are concurrent, §V.A), then stream
+  // the input columns.
+  const bool skip_programming = options.weights_preloaded && rounds == 1;
+  const Time program_per_round =
+      skip_programming ? Time::seconds(0.0) : array.weight_write_time;
+  const Time stream_per_round =
+      symbol * static_cast<double>(g.cols * batch);
+  cost.programming_time =
+      program_per_round * static_cast<double>(rounds);
+  cost.latency =
+      (program_per_round + stream_per_round) * static_cast<double>(rounds);
+
+  // Non-photonic output path (ADC + digital activation kernel): an extra
+  // serial pass over the activated outputs, spread across the PEs' output
+  // lanes.
+  if (array.output_path_delay.s() > 0.0 && layer.activations() > 0) {
+    const std::uint64_t act = layer.activations() * batch;
+    cost.latency += array.output_path_delay *
+                    static_cast<double>(ceil_div(act, pes));
+  }
+
+  // --- energy ---------------------------------------------------------------
+  auto& e = cost.energy;
+  const double weights_programmed =
+      skip_programming ? 0.0 : static_cast<double>(layer.weights());
+  e.weight_programming = array.weight_write_energy * weights_programmed;
+
+  // Volatile methods burn hold power on every tuned MRR while its tile
+  // streams (non-volatile GST: hold power is zero).
+  const Time hold_time_per_tile = stream_per_round;  // volatile-hold window
+  e.weight_holding = array.weight_hold_power *
+                     static_cast<double>(j * n) *
+                     (hold_time_per_tile * static_cast<double>(tiles));
+
+  e.optical_compute = array.mac_energy * static_cast<double>(cost.macs);
+
+  // Inputs are modulated once per symbol per wavelength; every row-tile
+  // re-streams the same columns (broadcast-and-weight re-modulates per PE).
+  const double input_elems = static_cast<double>(cost.symbols * n);
+  // Outputs: each K-tile produces a partial that the output path touches.
+  const double output_elems =
+      static_cast<double>(g.m * g.cols * batch * col_tiles);
+  e.conversion = array.input_dac_energy * input_elems +
+                 array.output_adc_energy * output_elems;
+
+  const double activated = static_cast<double>(layer.activations() * batch);
+  e.activation = array.activation_energy * activated;
+
+  // --- memory traffic --------------------------------------------------------
+  const double weight_bytes = static_cast<double>(layer.weights()) * bpe;
+  const double input_bytes = static_cast<double>(cost.symbols * n) * bpe;
+  const double psum_bytes =
+      static_cast<double>(g.m * g.cols * batch) *
+      static_cast<double>(2 * col_tiles - 1) * bpe;
+  const double act_extra_bytes = activated * array.activation_memory_bytes;
+
+  const double input_working_set =
+      static_cast<double>(g.cols * n) * bpe;  // one tile's column window
+  e.memory = array.memory.l2_traffic(
+                 skip_programming ? 0.0 : weight_bytes, model_weight_bytes) +
+             array.memory.l1_traffic(input_bytes, input_working_set) +
+             array.memory.l1_traffic(psum_bytes + act_extra_bytes,
+                                     static_cast<double>(g.m) * bpe);
+
+  e.static_overhead = array.static_power * cost.latency;
+  return cost;
+}
+
+ModelCost analyze_model(const nn::ModelSpec& model,
+                        const PhotonicArrayDesc& array,
+                        const AnalyzerOptions& options) {
+  model.validate();
+  array.validate();
+
+  const double model_weight_bytes =
+      static_cast<double>(model.total_weights()) * options.bytes_per_element;
+
+  ModelCost result;
+  result.model = model.name;
+  result.layers.resize(model.layers.size());
+
+  parallel_for(0, model.layers.size(), [&](std::size_t i) {
+    result.layers[i] =
+        analyze_layer(model.layers[i], array, options, model_weight_bytes);
+  });
+
+  for (const auto& lc : result.layers) {
+    result.latency += lc.latency;
+    result.energy += lc.energy;
+    result.macs += lc.macs;
+  }
+  return result;
+}
+
+}  // namespace trident::dataflow

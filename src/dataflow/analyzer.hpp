@@ -1,0 +1,71 @@
+// Weight-stationary dataflow analyzer ("mini-MAESTRO").
+//
+// The paper evaluates per-layer latency and energy "using Maestro … and a
+// weight stationary dataflow" (§IV).  This module reimplements that style
+// of analytical model for photonic MAC arrays:
+//
+//  1. Each conv/dense layer is lowered to a GEMM:  M×K weight matrix applied
+//     to `cols` input column-vectors (im2col view).
+//  2. The weight matrix is tiled into J×N blocks matching the PE weight
+//     bank; tiles are distributed over the PEs round-robin.
+//  3. For each tile: program the bank (one parallel write), then stream the
+//     input columns at the modulation clock — one column per symbol, J·N
+//     MACs per symbol, J partial outputs per symbol.
+//  4. Partial sums across K-tiles accumulate electronically; outputs pass
+//     through the activation path (photonic in Trident; ADC + digital
+//     kernel + memory round-trip in the baselines).
+//
+// Every cost lever in the Trident-vs-baselines comparison — tuning energy,
+// tuning speed, hold power, ADC count, activation locality — enters through
+// the PhotonicArrayDesc, so one analyzer serves all four architectures.
+#pragma once
+
+#include "dataflow/array.hpp"
+#include "dataflow/cost.hpp"
+#include "nn/layer.hpp"
+
+namespace trident::dataflow {
+
+struct AnalyzerOptions {
+  int batch = 1;
+  /// If true and the whole model's tiles fit the PE array simultaneously,
+  /// weight programming is skipped (weights were pre-loaded once and are
+  /// non-volatile) — §IV's 0.67 W → 0.11 W scenario.  Architectures with
+  /// volatile tuning still pay hold power.
+  bool weights_preloaded = false;
+  /// Bytes per weight/activation element (8-bit datapaths everywhere).
+  double bytes_per_element = 1.0;
+};
+
+/// GEMM shape a layer lowers to.
+struct GemmShape {
+  std::uint64_t m = 0;     ///< weight rows (output features)
+  std::uint64_t k = 0;     ///< weight cols (reduced dimension)
+  std::uint64_t cols = 0;  ///< input column-vectors (spatial positions)
+};
+
+/// im2col lowering of a layer (pooling layers return zero MACs).
+[[nodiscard]] GemmShape lower_to_gemm(const nn::LayerSpec& layer);
+
+/// Number of J×N weight tiles the layer's GEMM occupies on `array`.
+[[nodiscard]] std::uint64_t tile_count(const nn::LayerSpec& layer,
+                                       const PhotonicArrayDesc& array);
+
+/// Whether every compute layer of `model` fits the array simultaneously
+/// (one-tile-per-PE residency — the precondition for skipping programming).
+[[nodiscard]] bool model_fits_resident(const nn::ModelSpec& model,
+                                       const PhotonicArrayDesc& array);
+
+/// Per-layer analysis.  `model_weight_bytes` is the whole model's weight
+/// footprint (for the L2-vs-DRAM spill decision).
+[[nodiscard]] LayerCost analyze_layer(const nn::LayerSpec& layer,
+                                      const PhotonicArrayDesc& array,
+                                      const AnalyzerOptions& options,
+                                      double model_weight_bytes);
+
+/// Whole-model analysis (layers analysed in parallel, then reduced).
+[[nodiscard]] ModelCost analyze_model(const nn::ModelSpec& model,
+                                      const PhotonicArrayDesc& array,
+                                      const AnalyzerOptions& options = {});
+
+}  // namespace trident::dataflow

@@ -1,0 +1,63 @@
+// Abstract description of a photonic MAC array, as seen by the dataflow
+// analyzer.  Each photonic accelerator model (Trident, DEAP-CNN,
+// CrossLight, PIXEL) fills in these per-operation costs from its device
+// choices; the analyzer is architecture-agnostic.
+#pragma once
+
+#include <string>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "dataflow/memory.hpp"
+
+namespace trident::dataflow {
+
+using units::Energy;
+using units::Frequency;
+using units::Power;
+using units::Time;
+
+struct PhotonicArrayDesc {
+  std::string name;
+
+  // --- geometry -----------------------------------------------------------
+  int pe_count = 1;     ///< PEs working tiles in parallel
+  int rows_per_pe = 16; ///< J: dot products per PE (BPD rows)
+  int cols_per_pe = 16; ///< N: vector length per PE (wavelengths)
+
+  // --- timing -------------------------------------------------------------
+  Frequency symbol_rate;    ///< input modulation clock
+  Time weight_write_time;   ///< programming a tile (all MRRs in parallel)
+  /// Extra per-symbol latency on the output path (ADC + digital activation
+  /// pipeline for designs without photonic activation; 0 for Trident).
+  Time output_path_delay;
+
+  // --- per-operation energies ---------------------------------------------
+  Energy weight_write_energy;  ///< per MRR weight programmed
+  Power weight_hold_power;     ///< per MRR while weights resident (volatile)
+  Energy mac_energy;           ///< optical energy per MAC (laser+detector)
+  Energy input_dac_energy;     ///< per input element modulated
+  Energy output_adc_energy;    ///< per output element converted (0: photonic)
+  Energy activation_energy;    ///< per activated element (reset or digital)
+  /// Bytes of memory traffic per activated element beyond the mapping's own
+  /// traffic (designs doing digital activation store + reload the vector).
+  double activation_memory_bytes = 0.0;
+
+  // --- static power while computing ----------------------------------------
+  Power static_power;  ///< control, clocking, bias — charged over latency
+
+  MemoryHierarchy memory;
+
+  void validate() const {
+    TRIDENT_REQUIRE(pe_count >= 1 && rows_per_pe >= 1 && cols_per_pe >= 1,
+                    "array geometry must be positive");
+    TRIDENT_REQUIRE(symbol_rate.Hz() > 0.0, "symbol rate must be positive");
+    TRIDENT_REQUIRE(weight_write_time.s() >= 0.0, "write time negative");
+    memory.validate();
+  }
+
+  [[nodiscard]] int mrrs_per_pe() const { return rows_per_pe * cols_per_pe; }
+  [[nodiscard]] Time symbol_time() const { return units::period(symbol_rate); }
+};
+
+}  // namespace trident::dataflow

@@ -1,0 +1,79 @@
+// Cost-accounting types shared by the dataflow analyzer and the
+// accelerator models.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace trident::dataflow {
+
+using units::Energy;
+using units::Power;
+using units::Time;
+
+/// Energy broken down by mechanism.  The categories mirror the levers the
+/// paper argues about: weight programming & holding (tuning method),
+/// optical compute, E/O-O/E conversion (ADC/DAC), activation, and memory.
+struct EnergyBreakdown {
+  Energy weight_programming;  ///< writing weights into MRRs / PCM
+  Energy weight_holding;      ///< volatile tuning hold power × time
+  Energy optical_compute;     ///< lasers + detection for the MACs
+  Energy conversion;          ///< DAC on inputs + ADC on outputs
+  Energy activation;          ///< non-linearity (photonic reset or digital)
+  Energy memory;              ///< SRAM/L2 traffic
+  Energy static_overhead;     ///< leakage / control × elapsed time
+
+  [[nodiscard]] Energy total() const {
+    return weight_programming + weight_holding + optical_compute + conversion +
+           activation + memory + static_overhead;
+  }
+
+  EnergyBreakdown& operator+=(const EnergyBreakdown& o) {
+    weight_programming += o.weight_programming;
+    weight_holding += o.weight_holding;
+    optical_compute += o.optical_compute;
+    conversion += o.conversion;
+    activation += o.activation;
+    memory += o.memory;
+    static_overhead += o.static_overhead;
+    return *this;
+  }
+};
+
+/// Analysis result for one layer (or one whole model after summation).
+struct LayerCost {
+  std::string name;
+  std::uint64_t macs = 0;
+  std::uint64_t tiles = 0;       ///< weight tiles mapped onto PEs
+  std::uint64_t symbols = 0;     ///< input column-vectors streamed
+  Time latency;                  ///< end-to-end time for this layer
+  Time programming_time;         ///< part of latency spent writing weights
+  EnergyBreakdown energy;
+};
+
+/// Whole-model result.
+struct ModelCost {
+  std::string model;
+  std::vector<LayerCost> layers;
+  Time latency;
+  EnergyBreakdown energy;
+  std::uint64_t macs = 0;
+
+  /// Inferences per second at batch size 1 (the paper's Fig 6 metric).
+  [[nodiscard]] double inferences_per_second() const {
+    return 1.0 / latency.s();
+  }
+  /// Energy per inference in joules.
+  [[nodiscard]] double energy_per_inference_joules() const {
+    return energy.total().J();
+  }
+  /// Effective throughput in tera-operations/s (1 MAC = 2 ops).
+  [[nodiscard]] double effective_tops() const {
+    return 2.0 * static_cast<double>(macs) / latency.s() / 1e12;
+  }
+};
+
+}  // namespace trident::dataflow

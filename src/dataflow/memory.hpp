@@ -1,0 +1,58 @@
+// Two-level on-chip memory model (per-PE L1 scratchpad + shared L2).
+//
+// §IV: each PE has a 16 kB cache and the accelerator a 32 MB shared L2.
+// The analyzer charges per-byte access energies for the weight, input,
+// output and partial-sum traffic of the weight-stationary mapping; when a
+// tile's working set exceeds L1, the spilled fraction is re-fetched from L2.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::dataflow {
+
+using units::Energy;
+
+struct MemoryHierarchy {
+  double l1_bytes = phot::kPeCacheBytes;
+  double l2_bytes = phot::kL2CacheBytes;
+  /// Access energies per byte (typical 22-28 nm SRAM figures used by
+  /// architecture cost models; the paper's Table III covers cache *power*,
+  /// these cover the traffic-proportional part).
+  Energy l1_access = Energy::picojoules(0.1);
+  Energy l2_access = Energy::picojoules(1.0);
+  /// Off-chip fallback (weights of the largest models exceed 32 MB at
+  /// 8-bit: VGG-16 is 138 MB).
+  Energy dram_access = Energy::picojoules(20.0);
+
+  void validate() const {
+    TRIDENT_REQUIRE(l1_bytes > 0 && l2_bytes > l1_bytes,
+                    "memory sizes must be positive and increasing");
+  }
+
+  /// Energy for `bytes` of traffic that ideally lives in L1 but spills to
+  /// L2 when the working set exceeds L1 capacity.
+  [[nodiscard]] Energy l1_traffic(double bytes, double working_set) const {
+    if (working_set <= l1_bytes) {
+      return l1_access * bytes;
+    }
+    // Fraction of accesses that miss L1 grows with the overflow ratio.
+    const double miss = 1.0 - l1_bytes / working_set;
+    return l1_access * bytes + l2_access * bytes * miss;
+  }
+
+  /// Energy for traffic served by L2, spilling to DRAM if the model's
+  /// footprint exceeds L2.
+  [[nodiscard]] Energy l2_traffic(double bytes, double footprint) const {
+    if (footprint <= l2_bytes) {
+      return l2_access * bytes;
+    }
+    const double miss = 1.0 - l2_bytes / footprint;
+    return l2_access * bytes + dram_access * bytes * miss;
+  }
+};
+
+}  // namespace trident::dataflow

@@ -1,0 +1,149 @@
+#include "dataflow/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dataflow/analyzer.hpp"
+
+namespace trident::dataflow {
+
+namespace {
+
+[[nodiscard]] std::uint64_t ceil_div(std::uint64_t a, std::uint64_t b) {
+  return (a + b - 1) / b;
+}
+
+struct LayerWork {
+  const nn::LayerSpec* layer;
+  std::uint64_t tiles;
+  std::uint64_t cols;
+};
+
+/// Per-image stage time of `w` executed on `pes` PEs.
+[[nodiscard]] Time stage_time_on(const LayerWork& w, int pes,
+                                 const PhotonicArrayDesc& array) {
+  const std::uint64_t rounds =
+      ceil_div(w.tiles, static_cast<std::uint64_t>(pes));
+  const bool resident = w.tiles <= static_cast<std::uint64_t>(pes);
+  const Time program =
+      resident ? Time::seconds(0.0) : array.weight_write_time;
+  return (program + array.symbol_time() * static_cast<double>(w.cols)) *
+         static_cast<double>(rounds);
+}
+
+}  // namespace
+
+PipelinePlan plan_pipeline(const nn::ModelSpec& model,
+                           const PhotonicArrayDesc& array) {
+  model.validate();
+  array.validate();
+  TRIDENT_REQUIRE(array.pe_count >= 1, "need at least one PE");
+
+  std::vector<LayerWork> work;
+  double total_load = 0.0;
+  for (const auto& layer : model.layers) {
+    const std::uint64_t tiles = tile_count(layer, array);
+    if (tiles == 0) {
+      continue;  // pooling contributes no pipeline stage
+    }
+    const GemmShape g = lower_to_gemm(layer);
+    work.push_back({&layer, tiles, g.cols});
+    // Load metric: the time this layer would take on one PE.  Using time
+    // (not raw MACs) makes programming-bound FC layers weigh correctly.
+    total_load += stage_time_on(work.back(), 1, array).s();
+  }
+  TRIDENT_REQUIRE(!work.empty(), "model has no compute layers");
+
+  PipelinePlan plan;
+  plan.fully_resident = true;
+  const auto finish_stage = [&](StagePlan stage) {
+    plan.fully_resident = plan.fully_resident && stage.resident;
+    plan.initiation_interval = Time::seconds(
+        std::max(plan.initiation_interval.s(), stage.stage_time.s()));
+    plan.fill_latency += stage.stage_time;
+    plan.stages.push_back(std::move(stage));
+  };
+
+  if (static_cast<int>(work.size()) <= array.pe_count) {
+    // One stage per layer (Fig 1's picture); spare PEs go to the heaviest
+    // stages by the largest-remainder rule.
+    const int spare = array.pe_count - static_cast<int>(work.size());
+    std::vector<int> alloc(work.size(), 1);
+    std::vector<std::pair<double, std::size_t>> remainders;
+    int used = 0;
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      const double share = stage_time_on(work[i], 1, array).s() /
+                           total_load * static_cast<double>(spare);
+      const int whole = static_cast<int>(std::floor(share));
+      alloc[i] += whole;
+      used += whole;
+      remainders.push_back({share - whole, i});
+    }
+    std::sort(remainders.begin(), remainders.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    for (int extra = 0; extra < spare - used; ++extra) {
+      alloc[remainders[static_cast<std::size_t>(extra) % remainders.size()]
+                .second] += 1;
+    }
+
+    for (std::size_t i = 0; i < work.size(); ++i) {
+      StagePlan stage;
+      stage.layer = work[i].layer->name;
+      stage.tiles = work[i].tiles;
+      stage.pes = alloc[i];
+      stage.resident =
+          work[i].tiles <= static_cast<std::uint64_t>(alloc[i]);
+      stage.stage_time = stage_time_on(work[i], alloc[i], array);
+      finish_stage(std::move(stage));
+    }
+    return plan;
+  }
+
+  // More compute layers than PEs (GoogleNet on 44 PEs): partition the
+  // layer sequence into pe_count contiguous groups of balanced load; each
+  // group runs serially on its single PE, still pipelined across groups.
+  const int groups = array.pe_count;
+  const double target = total_load / static_cast<double>(groups);
+  std::size_t index = 0;
+  for (int g = 0; g < groups && index < work.size(); ++g) {
+    StagePlan stage;
+    stage.pes = 1;
+    stage.resident = false;
+    double load = 0.0;
+    const std::size_t remaining_groups = static_cast<std::size_t>(groups - g);
+    const std::size_t first = index;
+    std::uint64_t group_tiles = 0;
+    Time group_time;
+    while (index < work.size() &&
+           // leave at least one layer for each remaining group
+           work.size() - index > remaining_groups - 1 &&
+           (load < target || index == first)) {
+      group_tiles += work[index].tiles;
+      group_time += stage_time_on(work[index], 1, array);
+      load += stage_time_on(work[index], 1, array).s();
+      ++index;
+    }
+    stage.layer = work[first].layer->name +
+                  (index - first > 1
+                       ? " .. " + work[index - 1].layer->name
+                       : std::string());
+    stage.tiles = group_tiles;
+    stage.resident = group_tiles <= 1;  // a single resident tile at most
+    stage.stage_time = group_time;
+    finish_stage(std::move(stage));
+  }
+  TRIDENT_ASSERT(index == work.size(), "partition must cover every layer");
+  return plan;
+}
+
+double pipeline_speedup(const nn::ModelSpec& model,
+                        const PhotonicArrayDesc& array) {
+  const PipelinePlan plan = plan_pipeline(model, array);
+  const ModelCost tiled = analyze_model(model, array);
+  // Tiled mode finishes one inference per `latency`; pipelined mode one
+  // per initiation interval at steady state.
+  return tiled.latency.s() / plan.initiation_interval.s();
+}
+
+}  // namespace trident::dataflow

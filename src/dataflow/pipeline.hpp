@@ -1,0 +1,63 @@
+// Layer-pipelined execution planning (Fig 1 / §III.A).
+//
+// The paper's preferred operating mode assigns PEs to layers: "By
+// assigning one PE to each layer of a NN, the weights can be
+// pre-programmed for all the layers ... Then, inference can be completed
+// at the speed of light and forwarded between layers without any delay for
+// fetching weights from memory or tuning the MRRs."
+//
+// This module plans that mode for an arbitrary model:
+//   * each compute layer becomes a pipeline stage with a PE allocation
+//     (proportional to its work, at least one PE);
+//   * a stage whose tiles all fit its PEs is RESIDENT — it never
+//     reprograms at steady state (the non-volatile dividend);
+//   * a stage with more tiles than PEs must rotate tiles and pays the
+//     programming time every image;
+//   * steady-state throughput is set by the slowest stage (the initiation
+//     interval); the first image pays the fill latency of all stages.
+//
+// Small networks (the MLPs of the training demos) go fully resident and
+// hit the symbol-rate bound; ImageNet-scale CNNs cannot (their tiles
+// outnumber 44 PEs by orders of magnitude), which quantifies how far the
+// "one PE per layer" picture stretches.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dataflow/array.hpp"
+#include "dataflow/cost.hpp"
+#include "nn/layer.hpp"
+
+namespace trident::dataflow {
+
+struct StagePlan {
+  std::string layer;
+  std::uint64_t tiles = 0;
+  int pes = 0;
+  bool resident = false;  ///< tiles ≤ pes: no steady-state reprogramming
+  Time stage_time;        ///< per-image time of this stage at steady state
+};
+
+struct PipelinePlan {
+  std::vector<StagePlan> stages;
+  bool fully_resident = false;
+  /// Steady-state time between successive finished inferences.
+  Time initiation_interval;
+  /// Latency of the first inference through the empty pipeline.
+  Time fill_latency;
+
+  [[nodiscard]] double inferences_per_second() const {
+    return 1.0 / initiation_interval.s();
+  }
+};
+
+/// Plans the pipelined execution of `model` on `array`.
+[[nodiscard]] PipelinePlan plan_pipeline(const nn::ModelSpec& model,
+                                         const PhotonicArrayDesc& array);
+
+/// Convenience: pipelined vs tiled (analyze_model) throughput ratio.
+[[nodiscard]] double pipeline_speedup(const nn::ModelSpec& model,
+                                      const PhotonicArrayDesc& array);
+
+}  // namespace trident::dataflow

@@ -1,0 +1,149 @@
+#include "nn/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace trident::nn {
+
+void Dataset::validate() const {
+  TRIDENT_REQUIRE(inputs.size() == labels.size(),
+                  "inputs/labels size mismatch");
+  TRIDENT_REQUIRE(features >= 1 && classes >= 2, "dataset shape invalid");
+  for (const auto& x : inputs) {
+    TRIDENT_REQUIRE(static_cast<int>(x.size()) == features,
+                    "sample feature size mismatch");
+  }
+  for (int y : labels) {
+    TRIDENT_REQUIRE(y >= 0 && y < classes, "label out of range");
+  }
+}
+
+void Dataset::shuffle(Rng& rng) {
+  std::vector<std::size_t> perm(inputs.size());
+  std::iota(perm.begin(), perm.end(), std::size_t{0});
+  std::shuffle(perm.begin(), perm.end(), rng.engine());
+  std::vector<Vector> new_inputs(inputs.size());
+  std::vector<int> new_labels(labels.size());
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    new_inputs[i] = std::move(inputs[perm[i]]);
+    new_labels[i] = labels[perm[i]];
+  }
+  inputs = std::move(new_inputs);
+  labels = std::move(new_labels);
+}
+
+std::pair<Dataset, Dataset> Dataset::split(double fraction) const {
+  TRIDENT_REQUIRE(fraction > 0.0 && fraction < 1.0,
+                  "split fraction must be in (0, 1)");
+  const auto held = static_cast<std::size_t>(
+      std::round(fraction * static_cast<double>(size())));
+  TRIDENT_REQUIRE(held >= 1 && held < size(), "split produces empty part");
+  Dataset train, test;
+  train.features = test.features = features;
+  train.classes = test.classes = classes;
+  const std::size_t cut = size() - held;
+  train.inputs.assign(inputs.begin(), inputs.begin() + static_cast<long>(cut));
+  train.labels.assign(labels.begin(), labels.begin() + static_cast<long>(cut));
+  test.inputs.assign(inputs.begin() + static_cast<long>(cut), inputs.end());
+  test.labels.assign(labels.begin() + static_cast<long>(cut), labels.end());
+  return {std::move(train), std::move(test)};
+}
+
+void Dataset::augment_bias() {
+  for (auto& x : inputs) {
+    x.push_back(1.0);
+  }
+  ++features;
+}
+
+Dataset two_moons(int samples, double noise, Rng& rng) {
+  TRIDENT_REQUIRE(samples >= 2, "need at least two samples");
+  TRIDENT_REQUIRE(noise >= 0.0, "noise must be non-negative");
+  Dataset d;
+  d.features = 2;
+  d.classes = 2;
+  d.inputs.reserve(static_cast<std::size_t>(samples));
+  d.labels.reserve(static_cast<std::size_t>(samples));
+  for (int i = 0; i < samples; ++i) {
+    const int label = i % 2;
+    const double t = rng.uniform(0.0, std::numbers::pi);
+    double x, y;
+    if (label == 0) {
+      x = std::cos(t);
+      y = std::sin(t);
+    } else {
+      x = 1.0 - std::cos(t);
+      y = 0.5 - std::sin(t);
+    }
+    x += rng.normal(0.0, noise);
+    y += rng.normal(0.0, noise);
+    d.inputs.push_back({x, y});
+    d.labels.push_back(label);
+  }
+  d.validate();
+  return d;
+}
+
+Dataset gaussian_blobs(int samples, int classes, int features,
+                       double separation, double noise, Rng& rng) {
+  TRIDENT_REQUIRE(classes >= 2 && features >= 1, "blob shape invalid");
+  TRIDENT_REQUIRE(noise >= 0.0 && separation > 0.0, "blob scales invalid");
+  // Random unit-ish centers scaled by `separation`.
+  std::vector<Vector> centers(static_cast<std::size_t>(classes));
+  for (auto& c : centers) {
+    c.resize(static_cast<std::size_t>(features));
+    for (double& v : c) {
+      v = rng.normal(0.0, separation);
+    }
+  }
+  Dataset d;
+  d.features = features;
+  d.classes = classes;
+  for (int i = 0; i < samples; ++i) {
+    const int label = i % classes;
+    Vector x = centers[static_cast<std::size_t>(label)];
+    for (double& v : x) {
+      v += rng.normal(0.0, noise);
+    }
+    d.inputs.push_back(std::move(x));
+    d.labels.push_back(label);
+  }
+  d.validate();
+  return d;
+}
+
+Dataset pattern_classes(int samples, int classes, int features,
+                        double flip_probability, Rng& rng) {
+  TRIDENT_REQUIRE(classes >= 2 && features >= 1, "pattern shape invalid");
+  TRIDENT_REQUIRE(flip_probability >= 0.0 && flip_probability < 0.5,
+                  "flip probability must be in [0, 0.5)");
+  std::vector<Vector> templates(static_cast<std::size_t>(classes));
+  for (auto& t : templates) {
+    t.resize(static_cast<std::size_t>(features));
+    for (double& v : t) {
+      v = rng.bernoulli(0.5) ? 1.0 : 0.0;
+    }
+  }
+  Dataset d;
+  d.features = features;
+  d.classes = classes;
+  for (int i = 0; i < samples; ++i) {
+    const int label = i % classes;
+    Vector x = templates[static_cast<std::size_t>(label)];
+    for (double& v : x) {
+      if (rng.bernoulli(flip_probability)) {
+        v = 1.0 - v;
+      }
+    }
+    d.inputs.push_back(std::move(x));
+    d.labels.push_back(label);
+  }
+  d.validate();
+  return d;
+}
+
+}  // namespace trident::nn

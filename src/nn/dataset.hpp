@@ -1,0 +1,51 @@
+// Synthetic datasets for the functional in-situ-training demonstrations.
+//
+// The paper trains on standard image corpora we cannot ship; the training
+// *mechanics* (does 8-bit in-situ backprop converge? does 6-bit?) are what
+// the functional simulation must exercise, and for that any separable /
+// non-linearly-separable classification task works (see DESIGN.md §2).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace trident::nn {
+
+struct Dataset {
+  std::vector<Vector> inputs;
+  std::vector<int> labels;
+  int features = 0;
+  int classes = 0;
+
+  [[nodiscard]] std::size_t size() const { return inputs.size(); }
+  void validate() const;
+
+  /// Deterministic shuffle (epoch reordering).
+  void shuffle(Rng& rng);
+
+  /// Split off the last `fraction` of samples as a held-out set.
+  [[nodiscard]] std::pair<Dataset, Dataset> split(double fraction) const;
+
+  /// Appends a constant-1 feature to every sample (the classic bias trick:
+  /// the Mlp has no separate bias terms, mirroring a weight-bank-only PE,
+  /// so shifts are learned through an always-on input wavelength).
+  void augment_bias();
+};
+
+/// Two interleaving half-circles — not linearly separable, the classic
+/// smoke test that a *non-linear* activation is actually doing work.
+[[nodiscard]] Dataset two_moons(int samples, double noise, Rng& rng);
+
+/// `classes` isotropic Gaussian blobs in `features` dimensions.
+[[nodiscard]] Dataset gaussian_blobs(int samples, int classes, int features,
+                                     double separation, double noise, Rng& rng);
+
+/// Digit-like task: `classes` random binary templates of `features` pixels;
+/// samples are templates with pixel-flip noise.  Mimics small-image
+/// classification without shipping image data.
+[[nodiscard]] Dataset pattern_classes(int samples, int classes, int features,
+                                      double flip_probability, Rng& rng);
+
+}  // namespace trident::nn

@@ -1,0 +1,77 @@
+// Direct Feedback Alignment (DFA) training.
+//
+// The photonic-training baseline of Filipovich et al. [9] avoids the
+// weight-transport problem by projecting the *output* error straight to
+// every hidden layer through fixed random feedback matrices:
+//
+//     δh_k = (B_k · e) ⊙ f'(h_k),    e = dL/d(logits),  B_k fixed random
+//
+// instead of backprop's  δh_k = (W_{k+1}ᵀ δh_{k+1}) ⊙ f'(h_k).  The paper
+// dismisses that route for Trident's workloads: "DFA is not effective for
+// training convolutional layers" (§VI, after Webster et al. [35]).  This
+// module implements DFA over the same Mlp / SmallCnn functional networks
+// and the same MatvecBackend abstraction, so the claim can be measured:
+// DFA tracks backprop on fully connected nets and falls behind on the
+// CNN (see tests/test_dfa.cpp and bench/ablation_dfa.cpp).
+#pragma once
+
+#include "common/rng.hpp"
+#include "nn/cnn.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+#include "nn/train.hpp"
+
+namespace trident::nn {
+
+/// Fixed random feedback matrices for an Mlp (one per hidden layer,
+/// shape: layer_size × classes).  Entries are scaled like Xavier fan-in so
+/// the projected error has a sane magnitude.
+class DfaFeedback {
+ public:
+  DfaFeedback(const Mlp& net, Rng& rng);
+
+  /// B_k · e for hidden layer k (0 … depth-2).
+  [[nodiscard]] Vector project(int hidden_layer, const Vector& error) const;
+
+  [[nodiscard]] int hidden_layers() const {
+    return static_cast<int>(feedback_.size());
+  }
+
+ private:
+  std::vector<Matrix> feedback_;
+};
+
+/// One DFA update on `net` for (x, label); returns the loss.  The forward
+/// pass and every weight update run through `backend` (so DFA can also be
+/// executed on the photonic hardware model); the error projection itself
+/// is the fixed electronic feedback path.
+double dfa_step(Mlp& net, const DfaFeedback& feedback, const Vector& x,
+                int label, double learning_rate, MatvecBackend& backend);
+
+/// DFA analogue of nn::fit: per-sample updates over shuffled epochs.
+TrainResult fit_dfa(Mlp& net, Dataset data, const TrainConfig& config,
+                    MatvecBackend& backend, Rng& feedback_rng);
+
+/// Fixed feedback for the SmallCnn: the output error is projected straight
+/// onto each conv stage's pre-activation map.
+class CnnDfaFeedback {
+ public:
+  CnnDfaFeedback(const SmallCnn& net, Rng& rng);
+
+  /// Projected error for conv stage 1 / 2 (flattened feature-map layout).
+  [[nodiscard]] Vector project_conv1(const Vector& error) const;
+  [[nodiscard]] Vector project_conv2(const Vector& error) const;
+
+ private:
+  Matrix b1_;
+  Matrix b2_;
+};
+
+/// One DFA update of the SmallCnn; returns the loss.  The dense head still
+/// trains with its true gradient (as in [9]); the conv stages receive the
+/// DFA projection — the configuration whose failure [35] documents.
+double dfa_cnn_step(SmallCnn& net, const CnnDfaFeedback& feedback,
+                    const FeatureMap& image, int label, double learning_rate,
+                    MatvecBackend& backend);
+
+}  // namespace trident::nn

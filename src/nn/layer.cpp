@@ -1,0 +1,175 @@
+#include "nn/layer.hpp"
+
+namespace trident::nn {
+
+std::uint64_t LayerSpec::macs() const {
+  const auto oh = static_cast<std::uint64_t>(out_h());
+  const auto ow = static_cast<std::uint64_t>(out_w());
+  switch (type) {
+    case LayerType::kConv: {
+      const std::uint64_t per_output =
+          static_cast<std::uint64_t>(kernel) * static_cast<std::uint64_t>(kernel) *
+          static_cast<std::uint64_t>(in_c) / static_cast<std::uint64_t>(groups);
+      return oh * ow * static_cast<std::uint64_t>(out_c) * per_output;
+    }
+    case LayerType::kDepthwiseConv: {
+      return oh * ow * static_cast<std::uint64_t>(in_c) *
+             static_cast<std::uint64_t>(kernel) *
+             static_cast<std::uint64_t>(kernel);
+    }
+    case LayerType::kDense:
+      return static_cast<std::uint64_t>(in_c) *
+             static_cast<std::uint64_t>(out_c);
+    case LayerType::kPool:
+    case LayerType::kGlobalPool:
+      return 0;
+  }
+  return 0;
+}
+
+std::uint64_t LayerSpec::weights() const {
+  switch (type) {
+    case LayerType::kConv:
+      return static_cast<std::uint64_t>(kernel) *
+             static_cast<std::uint64_t>(kernel) *
+             (static_cast<std::uint64_t>(in_c) /
+              static_cast<std::uint64_t>(groups)) *
+             static_cast<std::uint64_t>(out_c);
+    case LayerType::kDepthwiseConv:
+      return static_cast<std::uint64_t>(kernel) *
+             static_cast<std::uint64_t>(kernel) *
+             static_cast<std::uint64_t>(in_c);
+    case LayerType::kDense:
+      return static_cast<std::uint64_t>(in_c) *
+             static_cast<std::uint64_t>(out_c);
+    case LayerType::kPool:
+    case LayerType::kGlobalPool:
+      return 0;
+  }
+  return 0;
+}
+
+void LayerSpec::validate() const {
+  TRIDENT_REQUIRE(in_h >= 1 && in_w >= 1 && in_c >= 1 && out_c >= 1,
+                  "layer dimensions must be positive: " + name);
+  TRIDENT_REQUIRE(kernel >= 1 && stride >= 1 && padding >= 0,
+                  "kernel geometry invalid: " + name);
+  TRIDENT_REQUIRE(groups >= 1 && in_c % groups == 0 && out_c % groups == 0,
+                  "groups must divide channel counts: " + name);
+  TRIDENT_REQUIRE(out_h() >= 1 && out_w() >= 1,
+                  "kernel/stride/padding produce empty output: " + name);
+  if (type == LayerType::kDepthwiseConv) {
+    TRIDENT_REQUIRE(in_c == out_c, "depthwise conv must preserve channels: " + name);
+  }
+  if (type == LayerType::kDense) {
+    TRIDENT_REQUIRE(in_h == 1 && in_w == 1,
+                    "dense layers use in_c/out_c as features: " + name);
+  }
+}
+
+LayerSpec LayerSpec::conv(std::string name, int in_hw, int in_c, int out_c,
+                          int kernel, int stride, int padding) {
+  LayerSpec l;
+  l.name = std::move(name);
+  l.type = LayerType::kConv;
+  l.in_h = l.in_w = in_hw;
+  l.in_c = in_c;
+  l.out_c = out_c;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.padding = padding;
+  return l;
+}
+
+LayerSpec LayerSpec::dwconv(std::string name, int in_hw, int channels,
+                            int kernel, int stride, int padding) {
+  LayerSpec l;
+  l.name = std::move(name);
+  l.type = LayerType::kDepthwiseConv;
+  l.in_h = l.in_w = in_hw;
+  l.in_c = l.out_c = channels;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.padding = padding;
+  l.groups = channels;
+  return l;
+}
+
+LayerSpec LayerSpec::dense(std::string name, int in_features,
+                           int out_features) {
+  LayerSpec l;
+  l.name = std::move(name);
+  l.type = LayerType::kDense;
+  l.in_h = l.in_w = 1;
+  l.in_c = in_features;
+  l.out_c = out_features;
+  return l;
+}
+
+LayerSpec LayerSpec::pool(std::string name, int in_hw, int channels,
+                          int kernel, int stride) {
+  LayerSpec l;
+  l.name = std::move(name);
+  l.type = LayerType::kPool;
+  l.in_h = l.in_w = in_hw;
+  l.in_c = l.out_c = channels;
+  l.kernel = kernel;
+  l.stride = stride;
+  l.has_activation = false;
+  return l;
+}
+
+LayerSpec LayerSpec::global_pool(std::string name, int in_hw, int channels) {
+  LayerSpec l;
+  l.name = std::move(name);
+  l.type = LayerType::kGlobalPool;
+  l.in_h = l.in_w = in_hw;
+  l.in_c = l.out_c = channels;
+  l.kernel = in_hw;
+  l.stride = in_hw;
+  l.has_activation = false;
+  return l;
+}
+
+std::uint64_t ModelSpec::total_macs() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers) {
+    total += l.macs();
+  }
+  return total;
+}
+
+std::uint64_t ModelSpec::total_weights() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers) {
+    total += l.weights();
+  }
+  return total;
+}
+
+std::uint64_t ModelSpec::total_activations() const {
+  std::uint64_t total = 0;
+  for (const auto& l : layers) {
+    total += l.activations();
+  }
+  return total;
+}
+
+int ModelSpec::compute_layers() const {
+  int n = 0;
+  for (const auto& l : layers) {
+    if (l.macs() > 0) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+void ModelSpec::validate() const {
+  TRIDENT_REQUIRE(!layers.empty(), "model has no layers: " + name);
+  for (const auto& l : layers) {
+    l.validate();
+  }
+}
+
+}  // namespace trident::nn

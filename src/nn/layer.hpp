@@ -1,0 +1,95 @@
+// CNN layer descriptors used by the analytical (MAESTRO-style) evaluation.
+//
+// The paper's latency/energy numbers come from a per-layer analysis of the
+// CNN workloads, not from executing real tensors: each layer contributes a
+// MAC count and weight / input / output traffic, which the dataflow model
+// turns into cycles and joules.  These descriptors capture exactly the
+// shape information that analysis needs.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace trident::nn {
+
+enum class LayerType {
+  kConv,           ///< standard convolution
+  kDepthwiseConv,  ///< depthwise (per-channel) convolution
+  kDense,          ///< fully connected
+  kPool,           ///< max/avg pooling (no MACs, data movement only)
+  kGlobalPool,     ///< global average pooling
+};
+
+/// Shape description of one layer.  Spatial sizes refer to the layer input.
+struct LayerSpec {
+  std::string name;
+  LayerType type = LayerType::kConv;
+  int in_h = 1;
+  int in_w = 1;
+  int in_c = 1;
+  int out_c = 1;
+  int kernel = 1;
+  int stride = 1;
+  int padding = 0;
+  /// Number of filter groups (1 = dense conv; in_c = depthwise).
+  int groups = 1;
+  bool has_activation = true;  ///< followed by ReLU (all evaluated models)
+
+  [[nodiscard]] int out_h() const {
+    return (in_h + 2 * padding - kernel) / stride + 1;
+  }
+  [[nodiscard]] int out_w() const {
+    return (in_w + 2 * padding - kernel) / stride + 1;
+  }
+
+  /// Multiply-accumulate operations for one inference.
+  [[nodiscard]] std::uint64_t macs() const;
+  /// Weight parameter count (0 for pooling).
+  [[nodiscard]] std::uint64_t weights() const;
+  /// Input activation element count.
+  [[nodiscard]] std::uint64_t inputs() const {
+    return static_cast<std::uint64_t>(in_h) * static_cast<std::uint64_t>(in_w) *
+           static_cast<std::uint64_t>(in_c);
+  }
+  /// Output activation element count.
+  [[nodiscard]] std::uint64_t outputs() const {
+    return static_cast<std::uint64_t>(out_h()) *
+           static_cast<std::uint64_t>(out_w()) *
+           static_cast<std::uint64_t>(out_c);
+  }
+  /// Number of output neurons that receive an activation function.
+  [[nodiscard]] std::uint64_t activations() const {
+    return has_activation ? outputs() : 0;
+  }
+
+  /// Validates internal consistency (divisibility of groups, positive dims).
+  void validate() const;
+
+  // --- factory helpers (keep the zoo tables terse) -------------------------
+  static LayerSpec conv(std::string name, int in_hw, int in_c, int out_c,
+                        int kernel, int stride, int padding);
+  static LayerSpec dwconv(std::string name, int in_hw, int channels,
+                          int kernel, int stride, int padding);
+  static LayerSpec dense(std::string name, int in_features, int out_features);
+  static LayerSpec pool(std::string name, int in_hw, int channels, int kernel,
+                        int stride);
+  static LayerSpec global_pool(std::string name, int in_hw, int channels);
+};
+
+/// A whole network: an ordered list of layers plus aggregate queries.
+struct ModelSpec {
+  std::string name;
+  std::vector<LayerSpec> layers;
+
+  [[nodiscard]] std::uint64_t total_macs() const;
+  [[nodiscard]] std::uint64_t total_weights() const;
+  [[nodiscard]] std::uint64_t total_activations() const;
+  /// Layers that actually multiply (conv/dense), i.e. map onto PEs.
+  [[nodiscard]] int compute_layers() const;
+  void validate() const;
+};
+
+}  // namespace trident::nn

@@ -1,0 +1,99 @@
+#include "nn/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace trident::nn {
+
+Vector Matrix::matvec(const Vector& x) const {
+  TRIDENT_REQUIRE(x.size() == cols_, "matvec dimension mismatch");
+  Vector y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* w = data_.data() + r * cols_;
+    double acc = 0.0;
+    for (std::size_t c = 0; c < cols_; ++c) {
+      acc += w[c] * x[c];
+    }
+    y[r] = acc;
+  }
+  return y;
+}
+
+Vector Matrix::matvec_transposed(const Vector& x) const {
+  TRIDENT_REQUIRE(x.size() == rows_, "transposed matvec dimension mismatch");
+  Vector y(cols_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    const double* w = data_.data() + r * cols_;
+    const double xr = x[r];
+    for (std::size_t c = 0; c < cols_; ++c) {
+      y[c] += w[c] * xr;
+    }
+  }
+  return y;
+}
+
+void Matrix::add_outer(const Vector& a, const Vector& b, double scale) {
+  TRIDENT_REQUIRE(a.size() == rows_ && b.size() == cols_,
+                  "outer-product dimension mismatch");
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double* w = data_.data() + r * cols_;
+    const double ar = scale * a[r];
+    for (std::size_t c = 0; c < cols_; ++c) {
+      w[c] += ar * b[c];
+    }
+  }
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      t.at(c, r) = at(r, c);
+    }
+  }
+  return t;
+}
+
+Matrix Matrix::xavier(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  const double limit =
+      std::sqrt(6.0 / static_cast<double>(rows + cols));
+  for (double& v : m.data_) {
+    v = rng.uniform(-limit, limit);
+  }
+  return m;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) {
+    m = std::max(m, std::abs(v));
+  }
+  return m;
+}
+
+Vector hadamard(const Vector& a, const Vector& b) {
+  TRIDENT_REQUIRE(a.size() == b.size(), "hadamard dimension mismatch");
+  Vector out(a.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    out[i] = a[i] * b[i];
+  }
+  return out;
+}
+
+double dot(const Vector& a, const Vector& b) {
+  TRIDENT_REQUIRE(a.size() == b.size(), "dot dimension mismatch");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    acc += a[i] * b[i];
+  }
+  return acc;
+}
+
+std::size_t argmax(const Vector& v) {
+  TRIDENT_REQUIRE(!v.empty(), "argmax of empty vector");
+  return static_cast<std::size_t>(
+      std::distance(v.begin(), std::max_element(v.begin(), v.end())));
+}
+
+}  // namespace trident::nn

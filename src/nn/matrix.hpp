@@ -1,0 +1,83 @@
+// Dense matrix / vector math for the functional neural-network simulation.
+//
+// The functional side of this project (in-situ training, quantization
+// studies) works on small dense layers, so a simple row-major matrix with
+// explicit loops is all that is needed; the heavy analytical sweeps use the
+// layer *descriptors* in layer.hpp instead and never materialise tensors.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace trident::nn {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {
+    TRIDENT_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+  }
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t size() const { return data_.size(); }
+
+  [[nodiscard]] double& at(std::size_t r, std::size_t c) {
+    TRIDENT_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double at(std::size_t r, std::size_t c) const {
+    TRIDENT_ASSERT(r < rows_ && c < cols_, "matrix index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  [[nodiscard]] std::span<double> row(std::size_t r) {
+    TRIDENT_ASSERT(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+  [[nodiscard]] std::span<const double> row(std::size_t r) const {
+    TRIDENT_ASSERT(r < rows_, "row index out of range");
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  [[nodiscard]] std::vector<double>& data() { return data_; }
+  [[nodiscard]] const std::vector<double>& data() const { return data_; }
+
+  /// y = W x
+  [[nodiscard]] Vector matvec(const Vector& x) const;
+  /// y = Wᵀ x
+  [[nodiscard]] Vector matvec_transposed(const Vector& x) const;
+  /// W += scale · a bᵀ  (rank-1 update; the backprop outer product).
+  void add_outer(const Vector& a, const Vector& b, double scale);
+
+  [[nodiscard]] Matrix transposed() const;
+
+  /// Xavier/Glorot-uniform initialisation.
+  static Matrix xavier(std::size_t rows, std::size_t cols, Rng& rng);
+
+  /// Max |element|.
+  [[nodiscard]] double max_abs() const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Element-wise (Hadamard) product.
+[[nodiscard]] Vector hadamard(const Vector& a, const Vector& b);
+
+/// Dot product.
+[[nodiscard]] double dot(const Vector& a, const Vector& b);
+
+/// Index of the maximum element (argmax); ties resolve to the first.
+[[nodiscard]] std::size_t argmax(const Vector& v);
+
+}  // namespace trident::nn

@@ -1,0 +1,157 @@
+#include "nn/mlp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "photonics/constants.hpp"
+
+namespace trident::nn {
+
+double apply_activation(Activation a, double h) {
+  switch (a) {
+    case Activation::kReLU:
+      return h > 0.0 ? h : 0.0;
+    case Activation::kGstPhotonic:
+      return h > 0.0 ? phot::kActivationDerivativeHigh * h : 0.0;
+    case Activation::kIdentity:
+      return h;
+  }
+  return h;
+}
+
+double activation_derivative(Activation a, double h) {
+  switch (a) {
+    case Activation::kReLU:
+      return h > 0.0 ? 1.0 : 0.0;
+    case Activation::kGstPhotonic:
+      return h > 0.0 ? phot::kActivationDerivativeHigh
+                     : phot::kActivationDerivativeLow;
+    case Activation::kIdentity:
+      return 1.0;
+  }
+  return 1.0;
+}
+
+Vector FloatBackend::matvec(const Matrix& w, const Vector& x) {
+  return w.matvec(x);
+}
+
+Vector FloatBackend::matvec_transposed(const Matrix& w, const Vector& x) {
+  return w.matvec_transposed(x);
+}
+
+void FloatBackend::rank1_update(Matrix& w, const Vector& dh,
+                                const Vector& y_prev, double lr) {
+  w.add_outer(dh, y_prev, -lr);
+}
+
+Mlp::Mlp(std::vector<int> layer_sizes, Activation hidden, Rng& rng)
+    : sizes_(std::move(layer_sizes)), hidden_(hidden) {
+  TRIDENT_REQUIRE(sizes_.size() >= 2, "MLP needs at least input and output");
+  for (int s : sizes_) {
+    TRIDENT_REQUIRE(s >= 1, "layer sizes must be positive");
+  }
+  weights_.reserve(sizes_.size() - 1);
+  for (std::size_t k = 0; k + 1 < sizes_.size(); ++k) {
+    weights_.push_back(Matrix::xavier(static_cast<std::size_t>(sizes_[k + 1]),
+                                      static_cast<std::size_t>(sizes_[k]),
+                                      rng));
+  }
+}
+
+const Matrix& Mlp::weight(int k) const {
+  TRIDENT_REQUIRE(k >= 0 && k < depth(), "layer index out of range");
+  return weights_[static_cast<std::size_t>(k)];
+}
+
+Matrix& Mlp::weight(int k) {
+  TRIDENT_REQUIRE(k >= 0 && k < depth(), "layer index out of range");
+  return weights_[static_cast<std::size_t>(k)];
+}
+
+ForwardTrace Mlp::forward(const Vector& x, MatvecBackend& backend) const {
+  TRIDENT_REQUIRE(static_cast<int>(x.size()) == sizes_.front(),
+                  "input size mismatch");
+  ForwardTrace trace;
+  trace.activations.push_back(x);
+  Vector y = x;
+  for (int k = 0; k < depth(); ++k) {
+    Vector h = backend.matvec(weights_[static_cast<std::size_t>(k)], y);
+    trace.logits.push_back(h);
+    const bool is_output = (k == depth() - 1);
+    const Activation act = is_output ? Activation::kIdentity : hidden_;
+    y.resize(h.size());
+    for (std::size_t i = 0; i < h.size(); ++i) {
+      y[i] = apply_activation(act, h[i]);
+    }
+    trace.activations.push_back(y);
+  }
+  return trace;
+}
+
+void Mlp::backward(const ForwardTrace& trace, const Vector& output_grad,
+                   double learning_rate, MatvecBackend& backend) {
+  TRIDENT_REQUIRE(static_cast<int>(trace.logits.size()) == depth(),
+                  "trace does not match network depth");
+  TRIDENT_REQUIRE(output_grad.size() == trace.logits.back().size(),
+                  "output gradient size mismatch");
+
+  // δh for the (linear) output layer is the loss gradient itself.
+  Vector dh = output_grad;
+  for (int k = depth() - 1; k >= 0; --k) {
+    const auto uk = static_cast<std::size_t>(k);
+    const Vector& y_prev = trace.activations[uk];
+
+    // Weight update first (Eq. 2 needs this layer's δh and y_{k-1}), then
+    // propagate δh to the previous layer using the *pre-update* weights —
+    // matching standard backprop semantics, we compute the propagation
+    // before applying the rank-1 update.
+    Vector upstream;
+    if (k > 0) {
+      // Eq. 3: δh_{k-1} = (W_kᵀ · δh_k) ⊙ f'(h_{k-1})
+      upstream = backend.matvec_transposed(weights_[uk], dh);
+      const Vector& h_prev = trace.logits[uk - 1];
+      for (std::size_t i = 0; i < upstream.size(); ++i) {
+        upstream[i] *= activation_derivative(hidden_, h_prev[i]);
+      }
+    }
+
+    // Eqs. 1-2: W_k ← W_k − β · δh_k · y_{k-1}ᵀ.
+    backend.rank1_update(weights_[uk], dh, y_prev, learning_rate);
+
+    dh = std::move(upstream);
+  }
+}
+
+Vector Mlp::predict(const Vector& x) const {
+  FloatBackend backend;
+  return forward(x, backend).activations.back();
+}
+
+Vector softmax(const Vector& logits) {
+  TRIDENT_REQUIRE(!logits.empty(), "softmax of empty vector");
+  const double m = *std::max_element(logits.begin(), logits.end());
+  Vector out(logits.size());
+  double denom = 0.0;
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    out[i] = std::exp(logits[i] - m);
+    denom += out[i];
+  }
+  for (double& v : out) {
+    v /= denom;
+  }
+  return out;
+}
+
+LossGrad softmax_cross_entropy(const Vector& logits, int label) {
+  TRIDENT_REQUIRE(label >= 0 && label < static_cast<int>(logits.size()),
+                  "label out of range");
+  LossGrad lg;
+  lg.grad = softmax(logits);
+  const auto ul = static_cast<std::size_t>(label);
+  lg.loss = -std::log(std::max(lg.grad[ul], 1e-12));
+  lg.grad[ul] -= 1.0;
+  return lg;
+}
+
+}  // namespace trident::nn

@@ -1,0 +1,109 @@
+// Functional multi-layer perceptron with a pluggable linear-algebra backend.
+//
+// The paper's training story (§III.A.2, Table II) maps three linear
+// primitives onto the same PE hardware:
+//
+//   forward         y_k  = f(W_k · y_{k-1})        weight bank ← W_k
+//   gradient vector δh_k = (W_{k+1}ᵀ · δh_{k+1}) ⊙ f'(h_k)
+//                                                   weight bank ← W_{k+1}ᵀ
+//   outer product   δW_k = δh_k · y_{k-1}ᵀ          weight bank ← y_{k-1}ᵀ
+//
+// The Mlp below expresses backprop in exactly those three primitives and
+// delegates them to a MatvecBackend: the exact float backend gives the
+// reference, and the photonic backend (src/core/photonic_backend) runs the
+// same network through quantized, noisy, GST-programmed hardware — which is
+// how the 8-bit-trains / 6-bit-doesn't ablation is carried out.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/matrix.hpp"
+
+namespace trident::nn {
+
+/// Hidden-layer non-linearity.
+enum class Activation {
+  kReLU,         ///< max(0, h): used by every CNN in the evaluation
+  kGstPhotonic,  ///< Trident's GST cell, linearised: 0.34·max(0, h) (§III.C)
+  kIdentity,
+};
+
+[[nodiscard]] double apply_activation(Activation a, double h);
+[[nodiscard]] double activation_derivative(Activation a, double h);
+
+/// Linear-primitive backend.  Implementations may quantize, add noise, and
+/// keep energy/latency accounts.
+class MatvecBackend {
+ public:
+  virtual ~MatvecBackend() = default;
+  /// y = W x
+  [[nodiscard]] virtual Vector matvec(const Matrix& w, const Vector& x) = 0;
+  /// y = Wᵀ x
+  [[nodiscard]] virtual Vector matvec_transposed(const Matrix& w,
+                                                 const Vector& x) = 0;
+  /// W ← W − lr · (δh · yᵀ): the weight-update outer product (Eqs. 1-2).
+  virtual void rank1_update(Matrix& w, const Vector& dh, const Vector& y_prev,
+                            double lr) = 0;
+};
+
+/// Exact double-precision backend (the digital reference).
+class FloatBackend final : public MatvecBackend {
+ public:
+  [[nodiscard]] Vector matvec(const Matrix& w, const Vector& x) override;
+  [[nodiscard]] Vector matvec_transposed(const Matrix& w,
+                                         const Vector& x) override;
+  void rank1_update(Matrix& w, const Vector& dh, const Vector& y_prev,
+                    double lr) override;
+};
+
+/// Activations and logits recorded during a forward pass (needed by
+/// backprop, mirroring what Trident keeps in the LDSU / caches).
+struct ForwardTrace {
+  std::vector<Vector> activations;  ///< y_0 (input) … y_N (output logits)
+  std::vector<Vector> logits;       ///< h_1 … h_N
+};
+
+class Mlp {
+ public:
+  /// `layer_sizes` = {in, hidden…, out}.  Hidden layers use `hidden`
+  /// activation; the output layer is linear (losses attach externally).
+  Mlp(std::vector<int> layer_sizes, Activation hidden, Rng& rng);
+
+  [[nodiscard]] int depth() const { return static_cast<int>(weights_.size()); }
+  [[nodiscard]] const std::vector<int>& layer_sizes() const { return sizes_; }
+  [[nodiscard]] Activation hidden_activation() const { return hidden_; }
+  [[nodiscard]] const Matrix& weight(int k) const;
+  [[nodiscard]] Matrix& weight(int k);
+
+  /// Forward pass through `backend`.
+  [[nodiscard]] ForwardTrace forward(const Vector& x,
+                                     MatvecBackend& backend) const;
+
+  /// Backward pass: given dL/d(output logits), computes δh_k for every layer
+  /// (Eq. 3) and applies the SGD update (Eqs. 1-2) through `backend`.
+  void backward(const ForwardTrace& trace, const Vector& output_grad,
+                double learning_rate, MatvecBackend& backend);
+
+  /// Convenience inference with a private float backend.
+  [[nodiscard]] Vector predict(const Vector& x) const;
+
+ private:
+  std::vector<int> sizes_;
+  Activation hidden_;
+  std::vector<Matrix> weights_;  ///< weights_[k]: (sizes_[k+1] × sizes_[k])
+};
+
+/// Softmax of logits (numerically stabilised).
+[[nodiscard]] Vector softmax(const Vector& logits);
+
+/// Cross-entropy loss of softmax(logits) against a class label, and its
+/// gradient with respect to the logits.
+struct LossGrad {
+  double loss = 0.0;
+  Vector grad;
+};
+[[nodiscard]] LossGrad softmax_cross_entropy(const Vector& logits, int label);
+
+}  // namespace trident::nn

@@ -1,0 +1,56 @@
+#include "nn/train.hpp"
+
+namespace trident::nn {
+
+TrainResult fit(Mlp& net, Dataset data, const TrainConfig& config,
+                MatvecBackend& backend) {
+  TRIDENT_REQUIRE(config.epochs >= 1, "need at least one epoch");
+  TRIDENT_REQUIRE(config.learning_rate > 0.0, "learning rate must be positive");
+  data.validate();
+  TRIDENT_REQUIRE(data.features == net.layer_sizes().front(),
+                  "dataset features do not match network input");
+  TRIDENT_REQUIRE(data.classes == net.layer_sizes().back(),
+                  "dataset classes do not match network output");
+
+  Rng shuffle_rng(config.shuffle_seed);
+  TrainResult result;
+  result.epoch_loss.reserve(static_cast<std::size_t>(config.epochs));
+  result.epoch_accuracy.reserve(static_cast<std::size_t>(config.epochs));
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    if (config.shuffle) {
+      data.shuffle(shuffle_rng);
+    }
+    double loss_sum = 0.0;
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      const ForwardTrace trace = net.forward(data.inputs[i], backend);
+      const Vector& logits = trace.activations.back();
+      const LossGrad lg = softmax_cross_entropy(logits, data.labels[i]);
+      loss_sum += lg.loss;
+      if (argmax(logits) == static_cast<std::size_t>(data.labels[i])) {
+        ++correct;
+      }
+      net.backward(trace, lg.grad, config.learning_rate, backend);
+    }
+    result.epoch_loss.push_back(loss_sum / static_cast<double>(data.size()));
+    result.epoch_accuracy.push_back(static_cast<double>(correct) /
+                                    static_cast<double>(data.size()));
+  }
+  return result;
+}
+
+double evaluate(const Mlp& net, const Dataset& data, MatvecBackend& backend) {
+  data.validate();
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    const ForwardTrace trace = net.forward(data.inputs[i], backend);
+    if (argmax(trace.activations.back()) ==
+        static_cast<std::size_t>(data.labels[i])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(data.size());
+}
+
+}  // namespace trident::nn

@@ -1,0 +1,40 @@
+// SGD training loop over an Mlp and a MatvecBackend.
+//
+// One loop serves the float reference, the quantized-photonic backend, and
+// every bit-resolution ablation — the only variable is which backend is
+// plugged in, mirroring the paper's claim that inference and training run
+// on the *same* hardware with different encodings (Table II).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "nn/dataset.hpp"
+#include "nn/mlp.hpp"
+
+namespace trident::nn {
+
+struct TrainConfig {
+  int epochs = 20;
+  double learning_rate = 0.05;
+  /// Shuffle samples between epochs.
+  bool shuffle = true;
+  unsigned long long shuffle_seed = 7;
+};
+
+struct TrainResult {
+  std::vector<double> epoch_loss;      ///< mean cross-entropy per epoch
+  std::vector<double> epoch_accuracy;  ///< training accuracy per epoch
+  [[nodiscard]] double final_loss() const { return epoch_loss.back(); }
+  [[nodiscard]] double final_accuracy() const { return epoch_accuracy.back(); }
+};
+
+/// Trains `net` on `data` via per-sample SGD through `backend`.
+TrainResult fit(Mlp& net, Dataset data, const TrainConfig& config,
+                MatvecBackend& backend);
+
+/// Classification accuracy of `net` on `data` evaluated through `backend`.
+[[nodiscard]] double evaluate(const Mlp& net, const Dataset& data,
+                              MatvecBackend& backend);
+
+}  // namespace trident::nn

@@ -1,0 +1,234 @@
+#include "nn/zoo.hpp"
+
+#include <string>
+
+namespace trident::nn::zoo {
+
+namespace {
+
+using L = LayerSpec;
+
+/// Appends one GoogLeNet inception module.  `hw` is the spatial size, `in_c`
+/// the input channels; the four branches are 1×1, 1×1→3×3, 1×1→5×5, and
+/// 3×3-maxpool→1×1 projection.
+void inception(std::vector<LayerSpec>& layers, const std::string& name, int hw,
+               int in_c, int c1x1, int c3x3_red, int c3x3, int c5x5_red,
+               int c5x5, int pool_proj) {
+  layers.push_back(L::conv(name + "/1x1", hw, in_c, c1x1, 1, 1, 0));
+  layers.push_back(L::conv(name + "/3x3_reduce", hw, in_c, c3x3_red, 1, 1, 0));
+  layers.push_back(L::conv(name + "/3x3", hw, c3x3_red, c3x3, 3, 1, 1));
+  layers.push_back(L::conv(name + "/5x5_reduce", hw, in_c, c5x5_red, 1, 1, 0));
+  layers.push_back(L::conv(name + "/5x5", hw, c5x5_red, c5x5, 5, 1, 2));
+  layers.push_back(L::pool(name + "/pool", hw, in_c, 3, 1));
+  layers.push_back(L::conv(name + "/pool_proj", hw, in_c, pool_proj, 1, 1, 0));
+}
+
+/// Appends one ResNet-50 bottleneck block (1×1 reduce, 3×3, 1×1 expand);
+/// `stride` applies to the first 1×1 (ResNet v1 convention).  When the
+/// block changes channels or strides, a 1×1 projection shortcut is added.
+void bottleneck(std::vector<LayerSpec>& layers, const std::string& name,
+                int hw, int in_c, int mid_c, int out_c, int stride) {
+  layers.push_back(L::conv(name + "/conv1", hw, in_c, mid_c, 1, stride, 0));
+  const int hw2 = (hw - 1) / stride + 1;
+  layers.push_back(L::conv(name + "/conv2", hw2, mid_c, mid_c, 3, 1, 1));
+  layers.push_back(L::conv(name + "/conv3", hw2, mid_c, out_c, 1, 1, 0));
+  if (in_c != out_c || stride != 1) {
+    layers.push_back(
+        L::conv(name + "/shortcut", hw, in_c, out_c, 1, stride, 0));
+  }
+}
+
+/// Appends one MobileNetV2 inverted-residual block: optional 1×1 expansion
+/// (factor t), 3×3 depthwise (stride s), 1×1 linear projection (no ReLU).
+void inverted_residual(std::vector<LayerSpec>& layers, const std::string& name,
+                       int hw, int in_c, int out_c, int t, int stride) {
+  const int expanded = in_c * t;
+  if (t != 1) {
+    layers.push_back(L::conv(name + "/expand", hw, in_c, expanded, 1, 1, 0));
+  }
+  layers.push_back(L::dwconv(name + "/dw", hw, expanded, 3, stride, 1));
+  const int hw2 = (hw + 2 - 3) / stride + 1;
+  LayerSpec proj = L::conv(name + "/project", hw2, expanded, out_c, 1, 1, 0);
+  proj.has_activation = false;  // linear bottleneck
+  layers.push_back(proj);
+}
+
+}  // namespace
+
+ModelSpec alexnet() {
+  ModelSpec m;
+  m.name = "AlexNet";
+  auto& v = m.layers;
+  v.push_back(L::conv("conv1", 224, 3, 96, 11, 4, 2));    // -> 55
+  v.push_back(L::pool("pool1", 55, 96, 3, 2));            // -> 27
+  LayerSpec conv2 = L::conv("conv2", 27, 96, 256, 5, 1, 2);  // -> 27
+  conv2.groups = 2;  // AlexNet's historical dual-GPU split
+  v.push_back(conv2);
+  v.push_back(L::pool("pool2", 27, 256, 3, 2));           // -> 13
+  v.push_back(L::conv("conv3", 13, 256, 384, 3, 1, 1));
+  LayerSpec conv4 = L::conv("conv4", 13, 384, 384, 3, 1, 1);
+  conv4.groups = 2;
+  v.push_back(conv4);
+  LayerSpec conv5 = L::conv("conv5", 13, 384, 256, 3, 1, 1);
+  conv5.groups = 2;
+  v.push_back(conv5);
+  v.push_back(L::pool("pool5", 13, 256, 3, 2));           // -> 6
+  v.push_back(L::dense("fc6", 6 * 6 * 256, 4096));
+  v.push_back(L::dense("fc7", 4096, 4096));
+  LayerSpec fc8 = L::dense("fc8", 4096, 1000);
+  fc8.has_activation = false;
+  v.push_back(fc8);
+  m.validate();
+  return m;
+}
+
+ModelSpec lenet5() {
+  ModelSpec m;
+  m.name = "LeNet-5";
+  auto& v = m.layers;
+  v.push_back(L::conv("conv1", 28, 1, 6, 5, 1, 2));   // -> 28
+  v.push_back(L::pool("pool1", 28, 6, 2, 2));         // -> 14
+  v.push_back(L::conv("conv2", 14, 6, 16, 5, 1, 0));  // -> 10
+  v.push_back(L::pool("pool2", 10, 16, 2, 2));        // -> 5
+  v.push_back(L::dense("fc1", 5 * 5 * 16, 120));
+  v.push_back(L::dense("fc2", 120, 84));
+  LayerSpec fc3 = L::dense("fc3", 84, 10);
+  fc3.has_activation = false;
+  v.push_back(fc3);
+  m.validate();
+  return m;
+}
+
+ModelSpec vgg16() {
+  ModelSpec m;
+  m.name = "VGG-16";
+  auto& v = m.layers;
+  v.push_back(L::conv("conv1_1", 224, 3, 64, 3, 1, 1));
+  v.push_back(L::conv("conv1_2", 224, 64, 64, 3, 1, 1));
+  v.push_back(L::pool("pool1", 224, 64, 2, 2));  // -> 112
+  v.push_back(L::conv("conv2_1", 112, 64, 128, 3, 1, 1));
+  v.push_back(L::conv("conv2_2", 112, 128, 128, 3, 1, 1));
+  v.push_back(L::pool("pool2", 112, 128, 2, 2));  // -> 56
+  v.push_back(L::conv("conv3_1", 56, 128, 256, 3, 1, 1));
+  v.push_back(L::conv("conv3_2", 56, 256, 256, 3, 1, 1));
+  v.push_back(L::conv("conv3_3", 56, 256, 256, 3, 1, 1));
+  v.push_back(L::pool("pool3", 56, 256, 2, 2));  // -> 28
+  v.push_back(L::conv("conv4_1", 28, 256, 512, 3, 1, 1));
+  v.push_back(L::conv("conv4_2", 28, 512, 512, 3, 1, 1));
+  v.push_back(L::conv("conv4_3", 28, 512, 512, 3, 1, 1));
+  v.push_back(L::pool("pool4", 28, 512, 2, 2));  // -> 14
+  v.push_back(L::conv("conv5_1", 14, 512, 512, 3, 1, 1));
+  v.push_back(L::conv("conv5_2", 14, 512, 512, 3, 1, 1));
+  v.push_back(L::conv("conv5_3", 14, 512, 512, 3, 1, 1));
+  v.push_back(L::pool("pool5", 14, 512, 2, 2));  // -> 7
+  v.push_back(L::dense("fc6", 7 * 7 * 512, 4096));
+  v.push_back(L::dense("fc7", 4096, 4096));
+  LayerSpec fc8 = L::dense("fc8", 4096, 1000);
+  fc8.has_activation = false;
+  v.push_back(fc8);
+  m.validate();
+  return m;
+}
+
+ModelSpec googlenet() {
+  ModelSpec m;
+  m.name = "GoogleNet";
+  auto& v = m.layers;
+  v.push_back(L::conv("conv1", 224, 3, 64, 7, 2, 3));  // -> 112
+  v.push_back(L::pool("pool1", 112, 64, 3, 2));        // -> 56 (ceil ~55)
+  v.push_back(L::conv("conv2_reduce", 55, 64, 64, 1, 1, 0));
+  v.push_back(L::conv("conv2", 55, 64, 192, 3, 1, 1));
+  v.push_back(L::pool("pool2", 55, 192, 3, 2));  // -> 27 (~28)
+  inception(v, "3a", 27, 192, 64, 96, 128, 16, 32, 32);    // out 256
+  inception(v, "3b", 27, 256, 128, 128, 192, 32, 96, 64);  // out 480
+  v.push_back(L::pool("pool3", 27, 480, 3, 2));            // -> 13 (~14)
+  inception(v, "4a", 13, 480, 192, 96, 208, 16, 48, 64);     // 512
+  inception(v, "4b", 13, 512, 160, 112, 224, 24, 64, 64);    // 512
+  inception(v, "4c", 13, 512, 128, 128, 256, 24, 64, 64);    // 512
+  inception(v, "4d", 13, 512, 112, 144, 288, 32, 64, 64);    // 528
+  inception(v, "4e", 13, 528, 256, 160, 320, 32, 128, 128);  // 832
+  v.push_back(L::pool("pool4", 13, 832, 3, 2));              // -> 6 (~7)
+  inception(v, "5a", 6, 832, 256, 160, 320, 32, 128, 128);   // 832
+  inception(v, "5b", 6, 832, 384, 192, 384, 48, 128, 128);   // 1024
+  v.push_back(L::global_pool("gpool", 6, 1024));
+  LayerSpec fc = L::dense("fc", 1024, 1000);
+  fc.has_activation = false;
+  v.push_back(fc);
+  m.validate();
+  return m;
+}
+
+ModelSpec resnet50() {
+  ModelSpec m;
+  m.name = "ResNet-50";
+  auto& v = m.layers;
+  v.push_back(L::conv("conv1", 224, 3, 64, 7, 2, 3));  // -> 112
+  v.push_back(L::pool("pool1", 112, 64, 3, 2));        // -> 55 (~56)
+  // Stage 2: 3 × [64, 64, 256] @56
+  bottleneck(v, "res2a", 55, 64, 64, 256, 1);
+  bottleneck(v, "res2b", 55, 256, 64, 256, 1);
+  bottleneck(v, "res2c", 55, 256, 64, 256, 1);
+  // Stage 3: 4 × [128, 128, 512] @28
+  bottleneck(v, "res3a", 55, 256, 128, 512, 2);
+  bottleneck(v, "res3b", 28, 512, 128, 512, 1);
+  bottleneck(v, "res3c", 28, 512, 128, 512, 1);
+  bottleneck(v, "res3d", 28, 512, 128, 512, 1);
+  // Stage 4: 6 × [256, 256, 1024] @14
+  bottleneck(v, "res4a", 28, 512, 256, 1024, 2);
+  bottleneck(v, "res4b", 14, 1024, 256, 1024, 1);
+  bottleneck(v, "res4c", 14, 1024, 256, 1024, 1);
+  bottleneck(v, "res4d", 14, 1024, 256, 1024, 1);
+  bottleneck(v, "res4e", 14, 1024, 256, 1024, 1);
+  bottleneck(v, "res4f", 14, 1024, 256, 1024, 1);
+  // Stage 5: 3 × [512, 512, 2048] @7
+  bottleneck(v, "res5a", 14, 1024, 512, 2048, 2);
+  bottleneck(v, "res5b", 7, 2048, 512, 2048, 1);
+  bottleneck(v, "res5c", 7, 2048, 512, 2048, 1);
+  v.push_back(L::global_pool("gpool", 7, 2048));
+  LayerSpec fc = L::dense("fc", 2048, 1000);
+  fc.has_activation = false;
+  v.push_back(fc);
+  m.validate();
+  return m;
+}
+
+ModelSpec mobilenet_v2() {
+  ModelSpec m;
+  m.name = "MobileNetV2";
+  auto& v = m.layers;
+  v.push_back(L::conv("conv1", 224, 3, 32, 3, 2, 1));  // -> 112
+  inverted_residual(v, "block1", 112, 32, 16, 1, 1);
+  inverted_residual(v, "block2_1", 112, 16, 24, 6, 2);  // -> 56
+  inverted_residual(v, "block2_2", 56, 24, 24, 6, 1);
+  inverted_residual(v, "block3_1", 56, 24, 32, 6, 2);  // -> 28
+  inverted_residual(v, "block3_2", 28, 32, 32, 6, 1);
+  inverted_residual(v, "block3_3", 28, 32, 32, 6, 1);
+  inverted_residual(v, "block4_1", 28, 32, 64, 6, 2);  // -> 14
+  inverted_residual(v, "block4_2", 14, 64, 64, 6, 1);
+  inverted_residual(v, "block4_3", 14, 64, 64, 6, 1);
+  inverted_residual(v, "block4_4", 14, 64, 64, 6, 1);
+  inverted_residual(v, "block5_1", 14, 64, 96, 6, 1);
+  inverted_residual(v, "block5_2", 14, 96, 96, 6, 1);
+  inverted_residual(v, "block5_3", 14, 96, 96, 6, 1);
+  inverted_residual(v, "block6_1", 14, 96, 160, 6, 2);  // -> 7
+  inverted_residual(v, "block6_2", 7, 160, 160, 6, 1);
+  inverted_residual(v, "block6_3", 7, 160, 160, 6, 1);
+  inverted_residual(v, "block7", 7, 160, 320, 6, 1);
+  v.push_back(L::conv("conv_last", 7, 320, 1280, 1, 1, 0));
+  v.push_back(L::global_pool("gpool", 7, 1280));
+  LayerSpec fc = L::dense("fc", 1280, 1000);
+  fc.has_activation = false;
+  v.push_back(fc);
+  m.validate();
+  return m;
+}
+
+std::vector<ModelSpec> evaluation_models() {
+  return {googlenet(), mobilenet_v2(), vgg16(), alexnet(), resnet50()};
+}
+
+std::vector<ModelSpec> training_models() {
+  return {mobilenet_v2(), googlenet(), resnet50(), vgg16()};
+}
+
+}  // namespace trident::nn::zoo

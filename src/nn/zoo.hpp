@@ -1,0 +1,31 @@
+// Canonical layer tables of the CNN workloads evaluated in the paper (§IV):
+// AlexNet, VGG-16, GoogleNet (Inception v1), ResNet-50, and MobileNetV2,
+// all taking 224×224×3 inputs.  These descriptors drive the per-layer
+// dataflow analysis; no trained weights are involved (see DESIGN.md §2).
+#pragma once
+
+#include <vector>
+
+#include "nn/layer.hpp"
+
+namespace trident::nn::zoo {
+
+[[nodiscard]] ModelSpec alexnet();
+
+/// LeNet-5 (28×28×1): the classic small CNN — the scale at which the
+/// §III.A one-PE-per-layer pipeline and weight residency actually apply
+/// (used by the pipelining and power-profile studies, not by the paper's
+/// evaluation set).
+[[nodiscard]] ModelSpec lenet5();
+[[nodiscard]] ModelSpec vgg16();
+[[nodiscard]] ModelSpec googlenet();
+[[nodiscard]] ModelSpec resnet50();
+[[nodiscard]] ModelSpec mobilenet_v2();
+
+/// The five models in the paper's evaluation order.
+[[nodiscard]] std::vector<ModelSpec> evaluation_models();
+
+/// The four models of Table V (training-time comparison).
+[[nodiscard]] std::vector<ModelSpec> training_models();
+
+}  // namespace trident::nn::zoo

@@ -1,0 +1,116 @@
+#include "parallel/thread_pool.hpp"
+
+#include <algorithm>
+#include <exception>
+
+namespace trident {
+
+ThreadPool::ThreadPool(std::size_t threads) {
+  if (threads == 0) {
+    threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
+  }
+  workers_.reserve(threads);
+  for (std::size_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) {
+    w.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) {
+        return;
+      }
+      task = std::move(queue_.front());
+      queue_.pop();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) {
+        idle_cv_.notify_all();
+      }
+    }
+  }
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool;
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain) {
+  TRIDENT_REQUIRE(begin <= end, "empty or inverted range");
+  const std::size_t n = end - begin;
+  if (n == 0) {
+    return;
+  }
+
+  ThreadPool& pool = global_pool();
+  const std::size_t workers = pool.size();
+  // Not worth dispatching if the whole range fits one grain or there is a
+  // single worker.
+  if (n <= grain || workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+
+  const std::size_t chunks = std::min(workers, (n + grain - 1) / grain);
+  const std::size_t chunk_size = (n + chunks - 1) / chunks;
+
+  std::vector<std::future<void>> futs;
+  futs.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::size_t lo = begin + c * chunk_size;
+    const std::size_t hi = std::min(end, lo + chunk_size);
+    if (lo >= hi) {
+      break;
+    }
+    futs.push_back(pool.submit([lo, hi, &fn] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        fn(i);
+      }
+    }));
+  }
+
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+}  // namespace trident

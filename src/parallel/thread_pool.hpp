@@ -1,0 +1,75 @@
+// A minimal work-stealing-free thread pool plus parallel_for.
+//
+// The sweeps in this project (per-layer dataflow analysis over five CNNs,
+// Monte-Carlo noise runs, activation-curve sweeps) are embarrassingly
+// parallel.  Following the OpenMP-examples idiom of static chunked loops,
+// `parallel_for` splits [begin, end) into contiguous chunks, one per worker,
+// which keeps each worker's writes on distinct cache lines for the common
+// "fill output[i]" pattern.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace trident {
+
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] std::size_t size() const { return workers_.size(); }
+
+  /// Enqueue an arbitrary task; the future resolves with its result.
+  template <class F>
+  [[nodiscard]] auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> fut = task->get_future();
+    {
+      std::lock_guard lock(mutex_);
+      TRIDENT_REQUIRE(!stopping_, "submit on a stopped pool");
+      queue_.emplace([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  /// Blocks until all currently queued work has run.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::size_t active_ = 0;
+  bool stopping_ = false;
+};
+
+/// Global pool shared by the simulator's sweeps (constructed on first use).
+ThreadPool& global_pool();
+
+/// Runs fn(i) for every i in [begin, end), split into contiguous chunks
+/// across the pool.  Exceptions from workers are propagated to the caller
+/// (first one wins).  Serial fallback for tiny ranges avoids task overhead.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn,
+                  std::size_t grain = 1);
+
+}  // namespace trident

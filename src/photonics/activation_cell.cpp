@@ -1,0 +1,64 @@
+#include "photonics/activation_cell.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+GstActivationCell::GstActivationCell(const ActivationCellParams& params)
+    : params_(params) {
+  TRIDENT_REQUIRE(params_.threshold.J() > 0.0, "threshold must be positive");
+  TRIDENT_REQUIRE(params_.transition_width.J() > 0.0,
+                  "transition width must be positive");
+  TRIDENT_REQUIRE(params_.max_transmission > params_.leakage_transmission &&
+                      params_.max_transmission <= 1.0,
+                  "max transmission must exceed leakage and be <= 1");
+  TRIDENT_REQUIRE(params_.leakage_transmission >= 0.0,
+                  "leakage must be non-negative");
+}
+
+double GstActivationCell::transmission(Energy input) const {
+  TRIDENT_REQUIRE(input.J() >= 0.0, "pulse energy must be non-negative");
+  if (bypass_) {
+    return params_.max_transmission;  // fully amorphous: always transmits
+  }
+  // Logistic switching curve centred at the threshold.  transition_width is
+  // defined as the 12%→88% rise, i.e. 4 logistic scale units.
+  const double scale = params_.transition_width.J() / 4.0;
+  const double z = (input.J() - params_.threshold.J()) / scale;
+  const double sig = 1.0 / (1.0 + std::exp(-z));
+  return params_.leakage_transmission +
+         (params_.max_transmission - params_.leakage_transmission) * sig;
+}
+
+Energy GstActivationCell::transfer(Energy input) const {
+  return input * transmission(input);
+}
+
+Energy GstActivationCell::process(Energy input) {
+  const Energy out = transfer(input);
+  if (!bypass_ && input > params_.threshold) {
+    ++firings_;
+    ++resets_;  // must recrystallise before the next symbol (§III.C)
+  }
+  return out;
+}
+
+double GstActivationCell::activate(double h) {
+  return h > 0.0 ? kActivationDerivativeHigh * h : 0.0;
+}
+
+double GstActivationCell::derivative(double h) {
+  return h > 0.0 ? kActivationDerivativeHigh : kActivationDerivativeLow;
+}
+
+Energy GstActivationCell::total_reset_energy() const {
+  return params_.reset_energy * static_cast<double>(resets_);
+}
+
+double GstActivationCell::wear() const {
+  return static_cast<double>(firings_) / params_.endurance_cycles;
+}
+
+}  // namespace trident::phot

@@ -1,0 +1,93 @@
+// GST photonic activation cell (§III.C, Figs 2e & 3).
+//
+// A 60 µm ring with a GST patch at the ring/waveguide crossing.  While the
+// GST is crystalline, an incoming weighted-sum pulse couples strongly into
+// the ring: essentially no output.  If the pulse energy exceeds the
+// switching threshold (430 pJ), the absorbed energy amorphises the GST, the
+// ring detunes, and the remainder of the pulse is transmitted — an output
+// "spike".  The device therefore computes a ReLU-like non-linearity
+// *directly on optical power*, with no ADC, no memory round trip, and no
+// digital activation kernel (the key latency/energy lever vs DEAP-CNN and
+// CrossLight).
+//
+// Two views are exposed:
+//   * transfer(E_in): the smooth measured-style device curve at 1553.4 nm
+//     (regenerates Fig 3);
+//   * activate(h) / derivative(h): the linearised functional form the paper
+//     uses for training — slope 0.34 above threshold, 0 below — applied to
+//     normalised logits.
+//
+// Every firing amorphises the cell, so it must be recrystallised (reset)
+// before the next symbol; reset energy and endurance are tracked.
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+#include "photonics/gst.hpp"
+
+namespace trident::phot {
+
+struct ActivationCellParams {
+  Length wavelength = kActivationWavelength;
+  Length ring_radius = kActivationRingRadius;
+  Energy threshold = kActivationThreshold;
+  /// Width of the switching transition (energy over which transmission
+  /// climbs from ~12% to ~88% of its ceiling); GST switching is steep.
+  Energy transition_width = Energy::picojoules(40.0);
+  /// Transmission ceiling above threshold; the paper's linearisation slope
+  /// (0.34) is the ceiling-limited mean slope of the measured curve.
+  double max_transmission = 0.55;
+  /// Sub-threshold residual transmission (ring not perfectly critical).
+  double leakage_transmission = 0.01;
+  /// Energy to recrystallise after a firing event; same order as the write
+  /// pulse of the weighting cells [8].
+  Energy reset_energy = kGstWriteEnergy;
+  double endurance_cycles = kGstEnduranceCycles;
+};
+
+class GstActivationCell {
+ public:
+  explicit GstActivationCell(const ActivationCellParams& params = {});
+
+  [[nodiscard]] const ActivationCellParams& params() const { return params_; }
+
+  /// Device-level intensity transmission for an input pulse of energy E
+  /// (the Fig 3 curve: ~0 below threshold, steep rise, saturating ceiling).
+  [[nodiscard]] double transmission(Energy input) const;
+
+  /// Device-level output pulse energy = transmission(E) × E.
+  [[nodiscard]] Energy transfer(Energy input) const;
+
+  /// Processes one weighted-sum pulse: returns the output energy, records
+  /// whether the cell fired (switched amorphous), and if it fired accrues
+  /// the mandatory reset cost for the next cycle.
+  [[nodiscard]] Energy process(Energy input);
+
+  /// Linearised activation on a normalised logit h (threshold mapped to 0):
+  /// f(h) = 0.34·h for h > 0, else 0.  (§III.C's two-derivative view.)
+  [[nodiscard]] static double activate(double h);
+  /// f'(h): 0.34 above threshold, 0 below.
+  [[nodiscard]] static double derivative(double h);
+
+  /// Setting the cell fully amorphous turns it into a pass-through,
+  /// "effectively eliminating the activation cell" for layers without a
+  /// non-linearity (§III.C).
+  void set_bypass(bool bypass) { bypass_ = bypass; }
+  [[nodiscard]] bool bypassed() const { return bypass_; }
+
+  /// --- accounting -------------------------------------------------------
+  [[nodiscard]] std::uint64_t firings() const { return firings_; }
+  [[nodiscard]] std::uint64_t resets() const { return resets_; }
+  [[nodiscard]] Energy total_reset_energy() const;
+  [[nodiscard]] double wear() const;
+
+ private:
+  ActivationCellParams params_;
+  bool bypass_ = false;
+  std::uint64_t firings_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+}  // namespace trident::phot

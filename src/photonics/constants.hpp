@@ -1,0 +1,132 @@
+// Device constants used by the Trident paper's evaluation.
+//
+// Every number here is taken directly from the paper (Tables I and III,
+// Sections III-IV) or from the device papers it cites; the citation key in
+// brackets matches the paper's reference list.  Centralising them makes the
+// benches' provenance auditable and lets ablations override a single value.
+#pragma once
+
+#include "common/units.hpp"
+
+namespace trident::phot {
+
+using namespace trident::units::literals;
+using units::Area;
+using units::Energy;
+using units::Frequency;
+using units::Length;
+using units::Power;
+using units::Time;
+
+// ---------------------------------------------------------------------------
+// Table I — tuning method comparison
+// ---------------------------------------------------------------------------
+
+/// Thermal tuning energy per weight update [9].
+inline constexpr Energy kThermalTuningEnergy = 1.02_nJ;
+/// Thermal tuning latency [9].
+inline constexpr Time kThermalTuningTime = 0.6_us;
+/// Thermal hold power per MRR while tuned (§III.B: "1.7 mW of power needed to
+/// thermally tune an MRR"); volatile — drawn continuously.
+inline constexpr Power kThermalHoldPower = 1.7_mW;
+
+/// Electro-optic sensitivity: 0.18 pm of resonance shift per volt [15].
+inline constexpr double kElectroOpticPmPerVolt = 0.18;
+/// Electro-optic switching latency [15].
+inline constexpr Time kElectroOpticTime = 500.0_ns;
+/// Electro-optic rings need a 60 µm radius and ±100 V drive [15].
+inline constexpr Length kElectroOpticRingRadius = 60.0_um;
+inline constexpr double kElectroOpticMaxVolts = 100.0;
+
+/// GST write-pulse energy per weight update [37].
+inline constexpr Energy kGstWriteEnergy = 660.0_pJ;
+/// GST programming (crystallisation/amorphisation) latency [13]; §III.B says
+/// 0.3 µs, "two times faster than thermally tuning an MRR".
+inline constexpr Time kGstWriteTime = 300.0_ns;
+/// GST read-pulse energy [8].
+inline constexpr Energy kGstReadEnergy = 20.0_pJ;
+/// Peak power while actively programming a GST cell (§III.B: 2.0 mW).
+inline constexpr Power kGstProgramPower = 2.0_mW;
+/// Number of programmable GST transmission levels [5] → 8-bit resolution.
+inline constexpr int kGstLevels = 255;
+inline constexpr int kGstBits = 8;
+/// Thermal tuning bit resolution limited by crosstalk [10].
+inline constexpr int kThermalBits = 6;
+/// Demonstrated GST endurance, switching cycles [17].
+inline constexpr double kGstEnduranceCycles = 1e12;
+/// GST retention (non-volatile for up to 10 years, §III.B).
+inline constexpr double kGstRetentionYears = 10.0;
+
+// ---------------------------------------------------------------------------
+// Table III — Trident per-PE device power breakdown (256-MRR PE)
+// ---------------------------------------------------------------------------
+
+inline constexpr Power kLdsuPower = 0.09_mW;               // [3], [16]
+inline constexpr Power kEoLaserPower = 0.032_mW;           // [28]
+inline constexpr Power kGstMrrTuningPowerPerPe = 563.2_mW; // [37]
+inline constexpr Power kGstMrrReadPowerPerPe = 17.1_mW;    // [8]
+inline constexpr Power kGstActivationResetPower = 53.3_mW; // [8]
+inline constexpr Power kBpdTiaPower = 12.1_mW;             // [19]
+inline constexpr Power kCachePowerPerPe = 30.0_mW;         // [30]
+/// Total PE power while programming weights (Table III).
+inline constexpr Power kPePowerTotal = 0.67_W;
+/// PE power once weights are resident: tuning power disappears (§IV:
+/// "the power draw is reduced by 83.34% from 0.67 W to 0.11 W").
+inline constexpr Power kPePowerWeightsLoaded = 0.11_W;
+
+// ---------------------------------------------------------------------------
+// §III-IV architecture parameters
+// ---------------------------------------------------------------------------
+
+/// WDM channel spacing lower bound (§III.A, after [32]).
+inline constexpr Length kMinChannelSpacing = 1.6_nm;
+/// C-band anchor wavelength; the GST activation curve was measured at
+/// 1553.4 nm (§III.C / Fig 3).
+inline constexpr Length kActivationWavelength = 1553.4_nm;
+inline constexpr Length kCBandStart = 1530.0_nm;
+
+/// GST activation threshold: the weighted-sum pulse energy above which the
+/// activation cell switches amorphous and transmits (§III.C: 430.0 pJ).
+inline constexpr Energy kActivationThreshold = 430.0_pJ;
+/// Linearised derivative of the activation transfer above threshold (§III.C).
+inline constexpr double kActivationDerivativeHigh = 0.34;
+inline constexpr double kActivationDerivativeLow = 0.0;
+/// Activation-cell ring radius (§III.C).
+inline constexpr Length kActivationRingRadius = 60.0_um;
+
+/// Edge power budget the paper scales every accelerator to (§IV).
+inline constexpr Power kEdgePowerBudget = 30.0_W;
+/// PEs that fit the 30 W budget (§IV).
+inline constexpr int kTridentPeCount = 44;
+/// MRRs per PE weight bank (§IV: "each with 256 MRRs"); arranged 16×16.
+inline constexpr int kMrrsPerPe = 256;
+inline constexpr int kWeightBankRows = 16;
+inline constexpr int kWeightBankCols = 16;
+/// Electronic clock for modulation / peripheral control (§IV).
+inline constexpr Frequency kClockRate = 1.37_GHz;
+/// Total area of the 44-PE accelerator (§IV).
+inline constexpr Area kTridentTotalArea = 604.6_mm2;
+/// Per-PE L1 cache: 16 kB, 0.092 mm × 0.085 mm (§IV).
+inline constexpr double kPeCacheBytes = 16.0 * 1024.0;
+inline constexpr Area kPeCacheArea = Area::square_millimeters(0.092 * 0.085);
+/// Shared L2: 32 MB (§IV).
+inline constexpr double kL2CacheBytes = 32.0 * 1024.0 * 1024.0;
+
+/// Peak Trident throughput under the 30 W budget (§V.A).
+inline constexpr double kTridentPeakTops = 7.8;
+
+// ---------------------------------------------------------------------------
+// Generic silicon-photonics parameters (standard SOI values; used by the
+// device-level spectra, not by the paper's analytical tables)
+// ---------------------------------------------------------------------------
+
+/// Waveguide effective index near 1550 nm.
+inline constexpr double kEffectiveIndex = 2.35;
+/// Waveguide group index near 1550 nm.
+inline constexpr double kGroupIndex = 4.2;
+/// Typical weight-bank MRR radius.
+inline constexpr Length kWeightMrrRadius = 10.0_um;
+/// Photodetector responsivity (A/W), typical Ge-on-Si PD.
+inline constexpr double kPdResponsivity = 1.0;
+
+}  // namespace trident::phot

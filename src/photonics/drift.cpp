@@ -1,0 +1,61 @@
+#include "photonics/drift.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+DriftModel::DriftModel(const DriftParams& params) : params_(params) {
+  TRIDENT_REQUIRE(params_.nu >= 0.0 && params_.nu < 0.1,
+                  "optical drift exponent out of plausible range");
+  TRIDENT_REQUIRE(params_.t0.s() > 0.0, "reference time must be positive");
+  TRIDENT_REQUIRE(params_.levels >= 2, "need at least two levels");
+}
+
+double DriftModel::transmittance_factor(units::Time elapsed) const {
+  TRIDENT_REQUIRE(elapsed.s() >= 0.0, "elapsed time must be non-negative");
+  if (elapsed.s() <= params_.t0.s() || params_.nu == 0.0) {
+    return 1.0;
+  }
+  return std::pow(elapsed.s() / params_.t0.s(), -params_.nu);
+}
+
+double DriftModel::drifted_level(int level, units::Time elapsed) const {
+  TRIDENT_REQUIRE(level >= 0 && level < params_.levels, "level out of range");
+  // Drift relaxes the amorphous component; the transmittance above the
+  // crystalline floor is proportional to the level, so the level decays by
+  // the same factor.
+  return static_cast<double>(level) * transmittance_factor(elapsed);
+}
+
+double DriftModel::worst_level_error(units::Time elapsed) const {
+  // The fully amorphous (top) level moves the most.
+  const double top = static_cast<double>(params_.levels - 1);
+  return top * (1.0 - transmittance_factor(elapsed));
+}
+
+bool DriftModel::retains(units::Time elapsed) const {
+  return worst_level_error(elapsed) < 0.5;
+}
+
+units::Time DriftModel::retention_limit(units::Time horizon) const {
+  if (retains(horizon)) {
+    return horizon;
+  }
+  // Bisection over log-time between t0 (retains by construction) and the
+  // horizon (does not retain).
+  double lo = std::log(params_.t0.s());
+  double hi = std::log(horizon.s());
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = (lo + hi) / 2.0;
+    if (retains(units::Time::seconds(std::exp(mid)))) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return units::Time::seconds(std::exp(lo));
+}
+
+}  // namespace trident::phot

@@ -1,0 +1,43 @@
+#include "photonics/enob.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+EnobReport readout_enob(const BpdParams& bpd, units::Power full_scale) {
+  TRIDENT_REQUIRE(full_scale.W() > 0.0, "full-scale power must be positive");
+  BalancedPhotodetector detector(bpd);
+  EnobReport report;
+  report.signal_current = bpd.responsivity * full_scale.W();
+  // Worst case: the full optical power sits on one diode (maximum shot
+  // noise for the given swing).
+  report.noise_rms = detector.noise_rms(report.signal_current);
+  TRIDENT_ASSERT(report.noise_rms > 0.0, "noise floor must be positive");
+  const double ratio = report.signal_current / report.noise_rms;
+  report.snr_db = 20.0 * std::log10(ratio);
+  report.effective_bits = std::clamp(
+      static_cast<int>(std::floor(std::log2(ratio / 2.0))), 0, 24);
+  return report;
+}
+
+units::Power required_power_for_bits(const BpdParams& bpd, int bits) {
+  TRIDENT_REQUIRE(bits >= 1 && bits <= 20, "bits must be in [1, 20]");
+  double lo = 1e-12, hi = 1.0;  // watts
+  TRIDENT_REQUIRE(
+      readout_enob(bpd, units::Power::watts(hi)).effective_bits >= bits,
+      "requested resolution unreachable at any sane power");
+  for (int iter = 0; iter < 200; ++iter) {
+    const double mid = std::sqrt(lo * hi);  // geometric bisection
+    if (readout_enob(bpd, units::Power::watts(mid)).effective_bits >= bits) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return units::Power::watts(hi);
+}
+
+}  // namespace trident::phot

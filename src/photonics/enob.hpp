@@ -1,0 +1,34 @@
+// Effective number of bits (ENOB) of the analog read-out chain.
+//
+// The 8-bit story has three gatekeepers: the GST level count (255), the
+// crosstalk budget (photonics/wdm, core/spectral_bank), and — analysed
+// here — the balanced photodetector's noise floor.  A weight step is only
+// meaningful if the corresponding photocurrent step clears the shot +
+// thermal noise at the detection bandwidth, which couples the achievable
+// resolution to the *optical power* arriving at the BPD: the link budget,
+// the laser power, and the precision claim are one system.
+#pragma once
+
+#include "common/units.hpp"
+#include "photonics/photodetector.hpp"
+
+namespace trident::phot {
+
+struct EnobReport {
+  double signal_current = 0.0;  ///< full-scale differential current (A)
+  double noise_rms = 0.0;       ///< at the operating point (A)
+  double snr_db = 0.0;
+  int effective_bits = 0;       ///< floor(log2(signal / (2·noise)))
+};
+
+/// Read-out resolution for a full-scale optical swing of `full_scale`
+/// reaching the BPD (per row, after all link losses).
+[[nodiscard]] EnobReport readout_enob(const BpdParams& bpd,
+                                      units::Power full_scale);
+
+/// Minimum optical power at the detector for `bits` of read-out
+/// resolution (bisection over power).
+[[nodiscard]] units::Power required_power_for_bits(const BpdParams& bpd,
+                                                   int bits);
+
+}  // namespace trident::phot

@@ -1,0 +1,93 @@
+#include "photonics/gst.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+GstCell::GstCell(const GstCellParams& params) : params_(params), level_(0) {
+  TRIDENT_REQUIRE(params_.levels >= 2, "GST cell needs at least two levels");
+  TRIDENT_REQUIRE(params_.transmittance_crystalline >= 0.0 &&
+                      params_.transmittance_crystalline < 1.0,
+                  "crystalline transmittance must be in [0, 1)");
+  TRIDENT_REQUIRE(params_.transmittance_amorphous >
+                          params_.transmittance_crystalline &&
+                      params_.transmittance_amorphous <= 1.0,
+                  "amorphous transmittance must exceed crystalline");
+  TRIDENT_REQUIRE(params_.programming_noise_levels >= 0.0,
+                  "programming noise must be non-negative");
+}
+
+double GstCell::crystalline_fraction() const {
+  return 1.0 - static_cast<double>(level_) /
+                   static_cast<double>(params_.levels - 1);
+}
+
+double GstCell::transmittance() const {
+  const double x = crystalline_fraction();
+  return params_.transmittance_amorphous * (1.0 - x) +
+         params_.transmittance_crystalline * x;
+}
+
+double GstCell::amplitude_transmittance() const {
+  return std::sqrt(transmittance());
+}
+
+int GstCell::program(int target_level, Rng* rng) {
+  TRIDENT_REQUIRE(target_level >= 0 && target_level < params_.levels,
+                  "GST level out of range");
+  int achieved = target_level;
+  if (rng != nullptr && params_.programming_noise_levels > 0.0 &&
+      target_level != level_) {
+    // Placement jitter accumulates over the partial crystallisation pulses
+    // of the move: long moves are noisy, short trim moves are precise —
+    // the property write-verify calibration exploits.
+    const double distance = std::abs(target_level - level_) /
+                            static_cast<double>(params_.levels - 1);
+    const double sigma =
+        params_.programming_noise_levels * std::sqrt(distance);
+    achieved = static_cast<int>(
+        std::lround(target_level + rng->normal(0.0, sigma)));
+    achieved = std::clamp(achieved, 0, params_.levels - 1);
+  }
+  if (achieved != level_) {
+    level_ = achieved;
+    ++writes_;
+  }
+  return level_;
+}
+
+double GstCell::program_transmittance(double target, Rng* rng) {
+  const double lo = params_.transmittance_crystalline;
+  const double hi = params_.transmittance_amorphous;
+  const double clamped = std::clamp(target, lo, hi);
+  const double frac = (clamped - lo) / (hi - lo);
+  const int level = static_cast<int>(std::lround(frac * (params_.levels - 1)));
+  program(level, rng);
+  return transmittance();
+}
+
+double GstCell::read() {
+  ++reads_;
+  return transmittance();
+}
+
+Energy GstCell::total_write_energy() const {
+  return params_.write_energy * static_cast<double>(writes_);
+}
+
+Energy GstCell::total_read_energy() const {
+  return params_.read_energy * static_cast<double>(reads_);
+}
+
+Time GstCell::total_write_time() const {
+  return params_.write_time * static_cast<double>(writes_);
+}
+
+double GstCell::wear() const {
+  return static_cast<double>(writes_) / params_.endurance_cycles;
+}
+
+}  // namespace trident::phot

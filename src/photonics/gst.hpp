@@ -1,0 +1,100 @@
+// Ge₂Sb₂Te₅ (GST) phase-change cell model.
+//
+// GST switches between an amorphous phase (low optical absorption — the
+// waveguide is highly transmissive, encoding a LARGE weight) and a
+// crystalline phase (high absorption — SMALL weight) [37].  Partial
+// crystallisation yields intermediate transmission; current devices resolve
+// 255 levels → 8-bit weights [5].  Programming is optical: a high-power
+// write pulse (≥ 660 pJ [37], 300 ns [13]) melts/quenches or anneals the
+// cell; a low-power read pulse (≈ 20 pJ [8]) probes it.  The state is
+// non-volatile (≈10-year retention) so a programmed weight costs *zero*
+// static power — the property the whole Trident energy argument rests on.
+//
+// The model tracks:
+//   * the discrete programmed level (0 = fully crystalline … 254 = fully
+//     amorphous) and the corresponding amplitude/intensity transmittance;
+//   * cumulative write energy/time and switching-cycle count (endurance);
+//   * optional programming noise (level-placement error), used by the
+//     functional accuracy studies.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+
+/// Static device parameters of a GST cell.
+struct GstCellParams {
+  int levels = kGstLevels;                ///< programmable levels (255 → 8 bit)
+  Energy write_energy = kGstWriteEnergy;  ///< per write pulse
+  Time write_time = kGstWriteTime;        ///< per write pulse
+  Energy read_energy = kGstReadEnergy;    ///< per read pulse
+  /// Intensity transmittance of the fully crystalline state (light mostly
+  /// absorbed) and the fully amorphous state (mostly transmitted) [37].
+  double transmittance_crystalline = 0.05;
+  double transmittance_amorphous = 0.95;
+  /// Std-dev of the placement error of a full-swing write, in *levels*
+  /// (0 = ideal).  Short moves scale as sqrt(distance): trim pulses are
+  /// precise, which is what write-verify calibration exploits.
+  double programming_noise_levels = 0.0;
+  double endurance_cycles = kGstEnduranceCycles;  ///< [17]
+};
+
+class GstCell {
+ public:
+  explicit GstCell(const GstCellParams& params = {});
+
+  [[nodiscard]] const GstCellParams& params() const { return params_; }
+
+  /// Number of programmable levels.
+  [[nodiscard]] int levels() const { return params_.levels; }
+
+  /// Current level: 0 = fully crystalline, levels-1 = fully amorphous.
+  [[nodiscard]] int level() const { return level_; }
+
+  /// Crystalline fraction ∈ [0, 1] implied by the current level.
+  [[nodiscard]] double crystalline_fraction() const;
+
+  /// Intensity transmittance at the current level.  Partial states
+  /// interpolate between the crystalline and amorphous extremes following
+  /// an effective-medium (linear in crystalline fraction) approximation.
+  [[nodiscard]] double transmittance() const;
+
+  /// Amplitude transmittance = sqrt(intensity transmittance); this is what
+  /// multiplies the intracavity field of a host MRR.
+  [[nodiscard]] double amplitude_transmittance() const;
+
+  /// Programs the cell to `target_level`.  Costs one write pulse if the
+  /// level actually changes; re-programming to the same level is free (the
+  /// control logic skips unchanged weights — non-volatility makes the
+  /// comparison trivial).  With programming noise enabled the achieved
+  /// level is perturbed. Returns the level actually reached.
+  int program(int target_level, Rng* rng = nullptr);
+
+  /// Programs the transmittance closest to `target` ∈ [0, 1] (clamped to
+  /// the device's achievable range).  Returns the achieved transmittance.
+  double program_transmittance(double target, Rng* rng = nullptr);
+
+  /// Registers a read pulse and returns the transmittance it would observe.
+  double read();
+
+  /// --- accounting -------------------------------------------------------
+  [[nodiscard]] std::uint64_t writes() const { return writes_; }
+  [[nodiscard]] std::uint64_t reads() const { return reads_; }
+  [[nodiscard]] Energy total_write_energy() const;
+  [[nodiscard]] Energy total_read_energy() const;
+  [[nodiscard]] Time total_write_time() const;
+  /// Fraction of rated endurance consumed so far.
+  [[nodiscard]] double wear() const;
+
+ private:
+  GstCellParams params_;
+  int level_;
+  std::uint64_t writes_ = 0;
+  std::uint64_t reads_ = 0;
+};
+
+}  // namespace trident::phot

@@ -1,0 +1,54 @@
+#include "photonics/laser.hpp"
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+LaserSource::LaserSource(Length wavelength, Power peak_power, int dac_bits)
+    : wavelength_(wavelength), peak_power_(peak_power), dac_(dac_bits, 1.0) {
+  TRIDENT_REQUIRE(wavelength.m() > 0.0, "wavelength must be positive");
+  TRIDENT_REQUIRE(peak_power.W() > 0.0, "peak power must be positive");
+}
+
+Power LaserSource::modulate(double x) const {
+  return peak_power_ * encoded_value(x);
+}
+
+double LaserSource::encoded_value(double x) const { return dac_.quantize(x); }
+
+WdmSourceBank::WdmSourceBank(std::vector<Length> wavelengths, Power peak_power,
+                             Frequency symbol_rate, int dac_bits)
+    : symbol_rate_(symbol_rate) {
+  TRIDENT_REQUIRE(!wavelengths.empty(), "source bank needs >= 1 wavelength");
+  TRIDENT_REQUIRE(symbol_rate.Hz() > 0.0, "symbol rate must be positive");
+  sources_.reserve(wavelengths.size());
+  for (Length w : wavelengths) {
+    sources_.emplace_back(w, peak_power, dac_bits);
+  }
+}
+
+const LaserSource& WdmSourceBank::source(int i) const {
+  TRIDENT_REQUIRE(i >= 0 && i < size(), "source index out of range");
+  return sources_[static_cast<std::size_t>(i)];
+}
+
+std::vector<Power> WdmSourceBank::encode(const std::vector<double>& xs) const {
+  TRIDENT_REQUIRE(static_cast<int>(xs.size()) == size(),
+                  "input vector size must match channel count");
+  std::vector<Power> out;
+  out.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    out.push_back(sources_[i].modulate(xs[i]));
+  }
+  return out;
+}
+
+Energy WdmSourceBank::symbol_energy_full_scale() const {
+  Energy total;
+  for (const auto& s : sources_) {
+    total += s.peak_power() * symbol_time();
+  }
+  return total;
+}
+
+}  // namespace trident::phot

@@ -1,0 +1,81 @@
+// Laser sources and input modulation.
+//
+// Each PE input x_i is amplitude-encoded onto its own wavelength λ_i
+// (§III.A).  A WdmSourceBank models the array of input lasers plus the
+// DAC-limited modulators that imprint the (non-negative) signal values onto
+// the optical carriers; signed values are handled upstream by the add-drop /
+// balanced-photodetector arrangement, so the modulated amplitude is |x|
+// with the sign folded into the weight path.
+//
+// The E/O laser is the small directly modulated laser that re-emits a PE
+// row's electronic result into the optical domain for the next PE (Fig 1);
+// its 0.032 mW draw is the cheapest entry in Table III.
+#pragma once
+
+#include <vector>
+
+#include "common/quantize.hpp"
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+
+/// One continuous-wave source plus amplitude modulator.
+class LaserSource {
+ public:
+  LaserSource(Length wavelength, Power peak_power, int dac_bits = 8);
+
+  [[nodiscard]] Length wavelength() const { return wavelength_; }
+  [[nodiscard]] Power peak_power() const { return peak_power_; }
+  [[nodiscard]] int dac_bits() const { return dac_.bits(); }
+
+  /// Modulates a normalised value x ∈ [0, 1] onto the carrier; returns the
+  /// emitted optical power after DAC quantization.
+  [[nodiscard]] Power modulate(double x) const;
+
+  /// The normalised value actually encoded for x (post-quantization).
+  [[nodiscard]] double encoded_value(double x) const;
+
+ private:
+  Length wavelength_;
+  Power peak_power_;
+  UnsignedQuantizer dac_;
+};
+
+/// Array of N sources on a WDM grid; encodes an input vector per symbol.
+class WdmSourceBank {
+ public:
+  /// Sources on channels `wavelengths`, all at `peak_power`, sharing one
+  /// modulation clock (symbol rate).
+  WdmSourceBank(std::vector<Length> wavelengths, Power peak_power,
+                Frequency symbol_rate = kClockRate, int dac_bits = 8);
+
+  [[nodiscard]] int size() const { return static_cast<int>(sources_.size()); }
+  [[nodiscard]] const LaserSource& source(int i) const;
+  [[nodiscard]] Frequency symbol_rate() const { return symbol_rate_; }
+  [[nodiscard]] Time symbol_time() const { return units::period(symbol_rate_); }
+
+  /// Encodes xs[i] ∈ [0, 1] onto channel i.  Returns per-channel powers.
+  [[nodiscard]] std::vector<Power> encode(
+      const std::vector<double>& xs) const;
+
+  /// Optical energy emitted for one symbol with all channels at x = 1.
+  [[nodiscard]] Energy symbol_energy_full_scale() const;
+
+ private:
+  std::vector<LaserSource> sources_;
+  Frequency symbol_rate_;
+};
+
+/// Inter-PE electro-optic conversion laser (Table III: 0.032 mW).
+struct EoLaser {
+  Power power = kEoLaserPower;
+  Frequency symbol_rate = kClockRate;
+
+  /// Energy per re-emitted symbol.
+  [[nodiscard]] Energy energy_per_symbol() const {
+    return power * units::period(symbol_rate);
+  }
+};
+
+}  // namespace trident::phot

@@ -1,0 +1,41 @@
+#include "photonics/ldsu.hpp"
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+Ldsu::Ldsu(double threshold_volts) : threshold_(threshold_volts) {}
+
+void Ldsu::latch(double logit_volts) {
+  bit_ = logit_volts > threshold_;
+  ++latches_;
+}
+
+LdsuBank::LdsuBank(int rows, double threshold_volts) {
+  TRIDENT_REQUIRE(rows >= 1, "LDSU bank needs at least one row");
+  units_.assign(static_cast<std::size_t>(rows), Ldsu(threshold_volts));
+}
+
+const Ldsu& LdsuBank::unit(int i) const {
+  TRIDENT_REQUIRE(i >= 0 && i < size(), "LDSU index out of range");
+  return units_[static_cast<std::size_t>(i)];
+}
+
+void LdsuBank::latch(const std::vector<double>& logits) {
+  TRIDENT_REQUIRE(static_cast<int>(logits.size()) == size(),
+                  "logit vector must match bank size");
+  for (std::size_t i = 0; i < logits.size(); ++i) {
+    units_[i].latch(logits[i]);
+  }
+}
+
+std::vector<double> LdsuBank::derivatives() const {
+  std::vector<double> out;
+  out.reserve(units_.size());
+  for (const auto& u : units_) {
+    out.push_back(u.derivative());
+  }
+  return out;
+}
+
+}  // namespace trident::phot

@@ -1,0 +1,72 @@
+// Linear Derivative Storage Unit (LDSU) — §III.C, Fig 2d.
+//
+// Training needs f'(h_k) during the backward pass (Eq. 3), but h_k only
+// exists transiently as an analog voltage during the forward pass.  Because
+// the GST activation has exactly two derivative values (0.34 above
+// threshold, 0 below), ONE BIT per neuron suffices: an analog voltage
+// comparator decides h_k ≷ threshold and a D-flip-flop latches the result.
+// On the backward pass the TIA gain is programmed from that bit — no ADC,
+// no memory fetch of f'(h_k).  An LDSU costs 0.09 mW (Table III).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+
+class Ldsu {
+ public:
+  /// `threshold_volts` is the comparator reference corresponding to the
+  /// activation threshold after the TIA (normalised units by default).
+  explicit Ldsu(double threshold_volts = 0.0);
+
+  /// Forward pass: compares the logit voltage against the threshold and
+  /// latches the 1-bit derivative selector into the flip-flop.
+  void latch(double logit_volts);
+
+  /// The latched comparator bit (true ⇔ h was above threshold).
+  [[nodiscard]] bool bit() const { return bit_; }
+
+  /// Backward pass: the derivative value the TIA should be programmed to.
+  [[nodiscard]] double derivative() const {
+    return bit_ ? kActivationDerivativeHigh : kActivationDerivativeLow;
+  }
+
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] std::uint64_t latches() const { return latches_; }
+
+  /// Static power of comparator + DFF (Table III).
+  [[nodiscard]] static Power power() { return kLdsuPower; }
+
+ private:
+  double threshold_;
+  bool bit_ = false;
+  std::uint64_t latches_ = 0;
+};
+
+/// One LDSU per weight-bank row: latch a whole logit vector in one step.
+class LdsuBank {
+ public:
+  explicit LdsuBank(int rows, double threshold_volts = 0.0);
+
+  [[nodiscard]] int size() const { return static_cast<int>(units_.size()); }
+  [[nodiscard]] const Ldsu& unit(int i) const;
+
+  /// Latches logits[i] into unit i.
+  void latch(const std::vector<double>& logits);
+
+  /// Derivative vector f'(h) for the backward pass.
+  [[nodiscard]] std::vector<double> derivatives() const;
+
+  [[nodiscard]] Power total_power() const {
+    return Ldsu::power() * static_cast<double>(size());
+  }
+
+ private:
+  std::vector<Ldsu> units_;
+};
+
+}  // namespace trident::phot

@@ -1,0 +1,77 @@
+#include "photonics/link_budget.hpp"
+
+#include <cmath>
+
+namespace trident::phot {
+
+double db_to_linear(double db) { return std::pow(10.0, db / 10.0); }
+
+double linear_to_db(double ratio) {
+  TRIDENT_REQUIRE(ratio > 0.0, "power ratio must be positive");
+  return 10.0 * std::log10(ratio);
+}
+
+double dbm_to_watts(double dbm) { return 1e-3 * std::pow(10.0, dbm / 10.0); }
+
+double watts_to_dbm(double watts) {
+  TRIDENT_REQUIRE(watts > 0.0, "power must be positive");
+  return 10.0 * std::log10(watts / 1e-3);
+}
+
+LinkBudget::LinkBudget(const LossModel& losses, const ReceiverModel& receiver)
+    : losses_(losses), receiver_(receiver) {
+  losses_.validate();
+}
+
+double LinkBudget::worst_channel_loss_db(int channels,
+                                         units::Length bus_length) const {
+  TRIDENT_REQUIRE(channels >= 1, "need at least one channel");
+  TRIDENT_REQUIRE(bus_length.m() >= 0.0, "bus length must be non-negative");
+  const double waveguide =
+      losses_.waveguide_db_per_cm * bus_length.m() * 100.0;
+  // The worst channel passes every other ring off-resonance before its own
+  // drop event, then traverses the maximally attenuating GST cell.
+  const double rings_through =
+      losses_.ring_through_db * static_cast<double>(channels - 1);
+  return losses_.coupler_db + waveguide + rings_through +
+         losses_.ring_drop_db + losses_.gst_max_attenuation_db;
+}
+
+LinkReport LinkBudget::analyze_pe(units::Power launch, int channels,
+                                  units::Length bus_length) const {
+  TRIDENT_REQUIRE(launch.W() > 0.0, "launch power must be positive");
+  LinkReport report;
+  report.launch_dbm = watts_to_dbm(launch.W());
+  report.total_loss_db = worst_channel_loss_db(channels, bus_length);
+  report.received_dbm = report.launch_dbm - report.total_loss_db;
+  report.margin_db = report.received_dbm -
+                     (receiver_.sensitivity_dbm + receiver_.margin_db);
+  report.feasible = report.margin_db >= 0.0;
+  return report;
+}
+
+int LinkBudget::max_channels(units::Power launch,
+                             units::Length bus_length) const {
+  int best = 0;
+  for (int n = 1; n <= 4096; ++n) {
+    if (analyze_pe(launch, n, bus_length).feasible) {
+      best = n;
+    } else {
+      break;  // loss grows monotonically with channel count
+    }
+  }
+  return best;
+}
+
+int LinkBudget::max_optical_cascade(units::Power launch, int channels,
+                                    units::Length bus_length) const {
+  const double per_pe_loss = worst_channel_loss_db(channels, bus_length);
+  const double budget = watts_to_dbm(launch.W()) -
+                        (receiver_.sensitivity_dbm + receiver_.margin_db);
+  if (budget < per_pe_loss) {
+    return 0;
+  }
+  return static_cast<int>(std::floor(budget / per_pe_loss));
+}
+
+}  // namespace trident::phot

@@ -1,0 +1,98 @@
+// Optical power budget of the broadcast-and-weight link.
+//
+// Every photonic-accelerator design is ultimately gated by a loss budget:
+// the laser launches P_in; couplers, waveguide runs, every off-resonance
+// ring passed on the bus, the drop event itself, and the GST attenuation
+// all take their share; whatever reaches the photodetector must clear its
+// sensitivity with enough margin to resolve the signal at the target bit
+// resolution.  This module computes that budget and answers the design
+// questions behind §III.A:
+//
+//   * how many wavelengths can share one PE's bus before the worst
+//     channel starves;
+//   * why Trident regenerates the signal electrically (TIA + E/O laser)
+//     at every PE instead of chaining PEs optically — the per-PE insertion
+//     loss makes deep all-optical cascades infeasible.
+#pragma once
+
+#include "common/error.hpp"
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+
+/// dB helpers (power ratios).
+[[nodiscard]] double db_to_linear(double db);
+[[nodiscard]] double linear_to_db(double ratio);
+[[nodiscard]] double dbm_to_watts(double dbm);
+[[nodiscard]] double watts_to_dbm(double watts);
+
+/// Per-element insertion losses of the link (positive dB values), typical
+/// silicon-photonics figures.
+struct LossModel {
+  double coupler_db = 1.5;            ///< fiber/laser-to-chip coupler
+  double waveguide_db_per_cm = 2.0;   ///< propagation loss
+  double ring_through_db = 0.05;      ///< passing an off-resonance MRR
+  double ring_drop_db = 0.5;          ///< being dropped by the target MRR
+  double gst_max_attenuation_db = 13.0;  ///< fully crystalline GST cell
+  double splitter_db = 0.2;           ///< per Y-junction / tap
+
+  void validate() const {
+    TRIDENT_REQUIRE(coupler_db >= 0 && waveguide_db_per_cm >= 0 &&
+                        ring_through_db >= 0 && ring_drop_db >= 0 &&
+                        gst_max_attenuation_db >= 0 && splitter_db >= 0,
+                    "losses must be non-negative");
+  }
+};
+
+/// Receiver requirement.
+struct ReceiverModel {
+  /// Minimum detectable power for the required SNR at the clock bandwidth;
+  /// −30 dBm is a conservative figure for a [19]-style receiver at 8 bits.
+  double sensitivity_dbm = -30.0;
+  /// Extra margin demanded on top of sensitivity.
+  double margin_db = 3.0;
+};
+
+/// One PE's worst-channel link analysis.
+struct LinkReport {
+  double launch_dbm = 0.0;
+  double total_loss_db = 0.0;
+  double received_dbm = 0.0;
+  double margin_db = 0.0;  ///< received − (sensitivity + required margin)
+  bool feasible = false;
+};
+
+class LinkBudget {
+ public:
+  LinkBudget(const LossModel& losses = {}, const ReceiverModel& receiver = {});
+
+  [[nodiscard]] const LossModel& losses() const { return losses_; }
+  [[nodiscard]] const ReceiverModel& receiver() const { return receiver_; }
+
+  /// Loss seen by the worst channel of a `channels`-wavelength PE bus of
+  /// physical length `bus_length`: coupler in, full bus run, passes all
+  /// other rings off-resonance, is dropped by its own ring through a
+  /// worst-case (fully attenuating) GST cell.
+  [[nodiscard]] double worst_channel_loss_db(int channels,
+                                             units::Length bus_length) const;
+
+  /// Full report for one PE at the given launch power.
+  [[nodiscard]] LinkReport analyze_pe(units::Power launch, int channels,
+                                      units::Length bus_length) const;
+
+  /// Largest channel count that still closes the budget at `launch`.
+  [[nodiscard]] int max_channels(units::Power launch,
+                                 units::Length bus_length) const;
+
+  /// How many PEs could be chained *all-optically* (no E/O regeneration)
+  /// before the budget fails — the reason Trident regenerates per PE.
+  [[nodiscard]] int max_optical_cascade(units::Power launch, int channels,
+                                        units::Length bus_length) const;
+
+ private:
+  LossModel losses_;
+  ReceiverModel receiver_;
+};
+
+}  // namespace trident::phot

@@ -1,0 +1,105 @@
+#include "photonics/mrr.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+namespace {
+constexpr double kPi = std::numbers::pi;
+}
+
+Mrr::Mrr(const MrrDesign& design, Length target_resonance)
+    : design_(design), resonance_(target_resonance), mode_order_(0) {
+  TRIDENT_REQUIRE(design.radius.m() > 0.0, "ring radius must be positive");
+  TRIDENT_REQUIRE(design.self_coupling_1 > 0.0 && design.self_coupling_1 < 1.0,
+                  "self-coupling t1 must be in (0, 1)");
+  TRIDENT_REQUIRE(design.self_coupling_2 > 0.0 && design.self_coupling_2 < 1.0,
+                  "self-coupling t2 must be in (0, 1)");
+  TRIDENT_REQUIRE(design.intrinsic_loss_amplitude > 0.0 &&
+                      design.intrinsic_loss_amplitude <= 1.0,
+                  "round-trip amplitude must be in (0, 1]");
+  TRIDENT_REQUIRE(target_resonance.m() > 0.0, "resonance must be positive");
+
+  // Pick the longitudinal mode whose resonance lands nearest the target,
+  // then snap the tracked resonance onto that mode so that
+  // round_trip_phase(resonance_) is an exact multiple of 2π.
+  const double optical_length = design_.effective_index * circumference().m();
+  mode_order_ = static_cast<int>(
+      std::lround(optical_length / target_resonance.m()));
+  TRIDENT_ASSERT(mode_order_ >= 1, "ring too small for target wavelength");
+  resonance_ = Length::meters(optical_length / mode_order_);
+}
+
+void Mrr::set_resonance(Length wavelength) {
+  TRIDENT_REQUIRE(wavelength.m() > 0.0, "resonance must be positive");
+  resonance_ = wavelength;
+}
+
+Length Mrr::circumference() const {
+  return Length::meters(2.0 * kPi * design_.radius.m());
+}
+
+Length Mrr::free_spectral_range() const {
+  const double lambda = resonance_.m();
+  return Length::meters(lambda * lambda /
+                        (design_.group_index * circumference().m()));
+}
+
+double Mrr::round_trip_phase(Length wavelength) const {
+  // Linearised around the tracked resonance using the group index, which is
+  // the standard first-order-dispersion treatment: at λres the phase is an
+  // exact multiple of 2π; it changes by 2π per FSR of detuning.
+  const double detuning = wavelength.m() - resonance_.m();
+  const double lambda_res = resonance_.m();
+  return 2.0 * kPi * mode_order_ -
+         2.0 * kPi * design_.group_index * circumference().m() * detuning /
+             (lambda_res * lambda_res);
+}
+
+Length Mrr::fwhm() const {
+  const double t1 = design_.self_coupling_1;
+  const double t2 = design_.self_coupling_2;
+  const double a = design_.intrinsic_loss_amplitude;
+  const double lambda = resonance_.m();
+  const double denom = kPi * design_.group_index * circumference().m() *
+                       std::sqrt(t1 * t2 * a);
+  return Length::meters((1.0 - t1 * t2 * a) * lambda * lambda / denom);
+}
+
+double Mrr::quality_factor() const { return resonance_.m() / fwhm().m(); }
+
+MrrResponse Mrr::response(Length wavelength, double cavity_attenuation) const {
+  TRIDENT_REQUIRE(cavity_attenuation > 0.0 && cavity_attenuation <= 1.0,
+                  "cavity attenuation must be in (0, 1]");
+  const double t1 = design_.self_coupling_1;
+  const double t2 = design_.self_coupling_2;
+  const double a = design_.intrinsic_loss_amplitude * cavity_attenuation;
+  const double phi = round_trip_phase(wavelength);
+  const double cos_phi = std::cos(phi);
+
+  const double denom = 1.0 - 2.0 * t1 * t2 * a * cos_phi +
+                       (t1 * t2 * a) * (t1 * t2 * a);
+  MrrResponse r;
+  r.through = (t2 * t2 * a * a - 2.0 * t1 * t2 * a * cos_phi + t1 * t1) / denom;
+  r.drop = (1.0 - t1 * t1) * (1.0 - t2 * t2) * a / denom;
+  return r;
+}
+
+std::vector<MrrResponse> Mrr::spectrum(Length start, Length stop, int points,
+                                       double cavity_attenuation) const {
+  TRIDENT_REQUIRE(points >= 2, "spectrum needs at least two points");
+  TRIDENT_REQUIRE(stop.m() > start.m(), "spectrum range must be increasing");
+  std::vector<MrrResponse> out;
+  out.reserve(static_cast<std::size_t>(points));
+  const double step = (stop.m() - start.m()) / (points - 1);
+  for (int i = 0; i < points; ++i) {
+    out.push_back(response(Length::meters(start.m() + i * step),
+                           cavity_attenuation));
+  }
+  return out;
+}
+
+}  // namespace trident::phot

@@ -1,0 +1,99 @@
+// Add-drop microring resonator (MRR) device model.
+//
+// The weight bank of every broadcast-and-weight photonic accelerator —
+// Trident included — is built from add-drop MRRs: a ring evanescently
+// coupled to two bus waveguides.  On resonance, light is routed to the drop
+// port; off resonance it continues on the through port.  The intensity
+// split between the two ports, read differentially by a balanced
+// photodetector, realises a signed weight w ∈ [-1, 1] (Tait et al. [32]).
+//
+// This model implements the standard all-pass/add-drop transfer functions
+// (Bogaerts et al. [4]):
+//
+//   phase per round trip   φ(λ) = 2π · n_eff(λ) · L / λ,   L = 2πR
+//   through-port intensity T_t(φ) = (t2²a² − 2t1t2a cosφ + t1²) / D(φ)
+//   drop-port intensity    T_d(φ) = (1−t1²)(1−t2²)a / D(φ)
+//   with D(φ) = 1 − 2t1t2a cosφ + (t1t2a)²
+//
+// where t1, t2 are the bus self-coupling coefficients and `a` the single
+// round-trip amplitude transmission (waveguide loss × any intracavity
+// attenuator — for Trident, the embedded GST cell).
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+
+/// Geometric / coupling description of an add-drop ring.
+struct MrrDesign {
+  Length radius = kWeightMrrRadius;
+  double self_coupling_1 = 0.95;  ///< t1: input-bus self-coupling
+  double self_coupling_2 = 0.95;  ///< t2: drop-bus self-coupling
+  /// Round-trip amplitude transmission from waveguide loss alone (excludes
+  /// any intracavity attenuator such as a GST cell).
+  double intrinsic_loss_amplitude = 0.999;
+  double effective_index = kEffectiveIndex;
+  double group_index = kGroupIndex;
+};
+
+/// Port intensities for a single wavelength (fractions of input power).
+struct MrrResponse {
+  double through = 0.0;
+  double drop = 0.0;
+  /// Fraction lost in the cavity (absorption): 1 - through - drop.
+  [[nodiscard]] double absorbed() const { return 1.0 - through - drop; }
+};
+
+class Mrr {
+ public:
+  /// Constructs a ring whose resonance order is chosen to sit closest to
+  /// `target_resonance` (the fabricated resonance can then be fine-set with
+  /// set_resonance()).
+  Mrr(const MrrDesign& design, Length target_resonance);
+
+  /// Resonant wavelength of the tracked longitudinal mode.
+  [[nodiscard]] Length resonance() const { return resonance_; }
+
+  /// Shifts the tracked resonance (models thermal / electro-optic tuning;
+  /// Trident's GST weighting leaves this fixed).
+  void set_resonance(Length wavelength);
+
+  /// Free spectral range near the tracked resonance: FSR = λ² / (n_g · L).
+  [[nodiscard]] Length free_spectral_range() const;
+
+  /// Full width at half maximum of the (Lorentzian-like) drop resonance.
+  [[nodiscard]] Length fwhm() const;
+
+  /// Loaded quality factor Q = λ / FWHM.
+  [[nodiscard]] double quality_factor() const;
+
+  /// Port response at `wavelength` given an intracavity amplitude
+  /// transmission `cavity_attenuation` ∈ (0, 1] (e.g. a GST cell's amplitude
+  /// transmittance; 1.0 = no attenuator).
+  [[nodiscard]] MrrResponse response(Length wavelength,
+                                     double cavity_attenuation = 1.0) const;
+
+  /// Sweeps `response` over a wavelength range (helper for spectra plots
+  /// and the WDM crosstalk analysis).
+  [[nodiscard]] std::vector<MrrResponse> spectrum(
+      Length start, Length stop, int points,
+      double cavity_attenuation = 1.0) const;
+
+  [[nodiscard]] const MrrDesign& design() const { return design_; }
+
+  /// Circumference L = 2πR.
+  [[nodiscard]] Length circumference() const;
+
+ private:
+  /// Round-trip phase at `wavelength`, first-order dispersion included.
+  [[nodiscard]] double round_trip_phase(Length wavelength) const;
+
+  MrrDesign design_;
+  Length resonance_;
+  int mode_order_;  ///< longitudinal mode number m at the tracked resonance
+};
+
+}  // namespace trident::phot

@@ -1,0 +1,71 @@
+#include "photonics/photodetector.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+namespace {
+constexpr double kElectronCharge = 1.602176634e-19;  // C
+}
+
+BalancedPhotodetector::BalancedPhotodetector(const BpdParams& params)
+    : params_(params) {
+  TRIDENT_REQUIRE(params_.responsivity > 0.0, "responsivity must be positive");
+  TRIDENT_REQUIRE(params_.bandwidth.Hz() > 0.0, "bandwidth must be positive");
+  TRIDENT_REQUIRE(params_.thermal_noise_density >= 0.0,
+                  "noise density must be non-negative");
+}
+
+double BalancedPhotodetector::noise_rms(double i_avg) const {
+  const double b = params_.bandwidth.Hz();
+  const double shot = 2.0 * kElectronCharge * std::abs(i_avg) * b;
+  const double thermal = params_.thermal_noise_density *
+                         params_.thermal_noise_density * b;
+  return std::sqrt(shot + thermal);
+}
+
+double BalancedPhotodetector::current(Power plus, Power minus,
+                                      Rng* rng) const {
+  TRIDENT_REQUIRE(plus.W() >= 0.0 && minus.W() >= 0.0,
+                  "optical power must be non-negative");
+  const double i_plus = params_.responsivity * plus.W();
+  const double i_minus = params_.responsivity * minus.W();
+  double i = i_plus - i_minus;
+  if (params_.enable_noise && rng != nullptr) {
+    // Shot noise of the two diodes is independent; total average current
+    // (not the difference) sets the shot-noise power.
+    i += rng->normal(0.0, noise_rms(i_plus + i_minus));
+  }
+  return i;
+}
+
+double BalancedPhotodetector::accumulate(const std::vector<Power>& drop,
+                                         const std::vector<Power>& thru,
+                                         Rng* rng) const {
+  TRIDENT_REQUIRE(drop.size() == thru.size(),
+                  "drop/through vectors must have equal length");
+  Power total_drop, total_thru;
+  for (std::size_t i = 0; i < drop.size(); ++i) {
+    total_drop += drop[i];
+    total_thru += thru[i];
+  }
+  return current(total_drop, total_thru, rng);
+}
+
+Tia::Tia(double transimpedance_ohms) : transimpedance_(transimpedance_ohms) {
+  TRIDENT_REQUIRE(transimpedance_ohms > 0.0,
+                  "transimpedance must be positive");
+}
+
+double Tia::amplify(double current_amps) const {
+  return current_amps * transimpedance_ * gain_;
+}
+
+void Tia::set_gain(double gain) {
+  TRIDENT_REQUIRE(gain >= 0.0, "TIA gain must be non-negative");
+  gain_ = gain;
+}
+
+}  // namespace trident::phot

@@ -1,0 +1,82 @@
+// Balanced photodetector (BPD) and transimpedance amplifier (TIA).
+//
+// Each weight-bank row terminates in a BPD: two photodiodes wired in
+// opposition, one fed by the summed drop ports, one by the summed through
+// ports.  The differential photocurrent is proportional to
+// Σᵢ (T_drop,i − T_thru,i)·Pᵢ, i.e. a signed dot product accumulated in the
+// analog domain — the "accumulate" half of the photonic MAC [32].
+//
+// The TIA converts that current to a voltage.  In Trident it is also the
+// programmable-gain element used during the backward pass: for the gradient
+// vector computation its gain is set to f'(h_k) ∈ {0, 0.34} to realise the
+// Hadamard product of Eq. (3) without extra hardware (§III.A.2).
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+
+/// Noise/behaviour parameters of the BPD.
+struct BpdParams {
+  double responsivity = kPdResponsivity;  ///< A/W
+  Frequency bandwidth = kClockRate;       ///< detection bandwidth
+  /// Input-referred thermal noise current density (A/√Hz); ~10 pA/√Hz is
+  /// typical for a receiver like [19].
+  double thermal_noise_density = 10e-12;
+  bool enable_noise = false;
+};
+
+class BalancedPhotodetector {
+ public:
+  explicit BalancedPhotodetector(const BpdParams& params = {});
+
+  [[nodiscard]] const BpdParams& params() const { return params_; }
+
+  /// Differential photocurrent (A) for total plus/minus port powers.
+  /// With noise enabled, adds shot noise of both diodes plus thermal noise.
+  [[nodiscard]] double current(Power plus, Power minus,
+                               Rng* rng = nullptr) const;
+
+  /// Accumulates row dot product: powers on the drop side and through side
+  /// of each channel; returns the differential current.
+  [[nodiscard]] double accumulate(const std::vector<Power>& drop,
+                                  const std::vector<Power>& thru,
+                                  Rng* rng = nullptr) const;
+
+  /// RMS noise current (A) at operating photocurrent `i_avg`.
+  [[nodiscard]] double noise_rms(double i_avg) const;
+
+ private:
+  BpdParams params_;
+};
+
+/// Transimpedance amplifier with a programmable gain used for f'(h).
+class Tia {
+ public:
+  /// `transimpedance_ohms` converts BPD current to output voltage.
+  explicit Tia(double transimpedance_ohms = 1.0e4);
+
+  /// Output voltage for input current (A), scaled by the programmed gain.
+  [[nodiscard]] double amplify(double current_amps) const;
+
+  /// Programs the extra gain factor (1.0 for inference; f'(h) ∈ {0, 0.34}
+  /// during the gradient-vector pass).
+  void set_gain(double gain);
+  [[nodiscard]] double gain() const { return gain_; }
+
+  [[nodiscard]] double transimpedance() const { return transimpedance_; }
+
+  /// Combined BPD + TIA power (Table III: 12.1 mW per PE) is accounted at
+  /// the architecture level; this constant is exposed for the breakdown.
+  [[nodiscard]] static Power pair_power() { return kBpdTiaPower; }
+
+ private:
+  double transimpedance_;
+  double gain_ = 1.0;
+};
+
+}  // namespace trident::phot

@@ -1,0 +1,83 @@
+#include "photonics/ring_design.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+RingCandidate evaluate_ring(units::Length radius, double coupling,
+                            const RingRequirements& req) {
+  TRIDENT_REQUIRE(req.channels >= 1, "need at least one channel");
+  TRIDENT_REQUIRE(req.fsr_margin >= 1.0, "FSR margin must be >= 1");
+  TRIDENT_REQUIRE(req.linewidth_ratio > 1.0, "linewidth ratio must be > 1");
+
+  MrrDesign design;
+  design.radius = radius;
+  design.self_coupling_1 = coupling;
+  design.self_coupling_2 = coupling;
+  const Mrr ring(design, units::Length::nanometers(1550.0));
+
+  RingCandidate c;
+  c.radius = radius;
+  c.coupling = coupling;
+  c.fsr = ring.free_spectral_range();
+  c.fwhm = ring.fwhm();
+  c.quality_factor = ring.quality_factor();
+  c.neighbour_leakage = lorentzian_leakage(req.spacing, c.fwhm);
+
+  const double span_m =
+      static_cast<double>(req.channels - 1) * req.spacing.m();
+  const bool fsr_ok = c.fsr.m() >= span_m * req.fsr_margin;
+  const bool linewidth_ok =
+      c.fwhm.m() * req.linewidth_ratio <= req.spacing.m();
+  c.feasible = fsr_ok && linewidth_ok;
+  return c;
+}
+
+std::vector<RingCandidate> design_space(const RingRequirements& req,
+                                        const std::vector<double>& radii_um,
+                                        const std::vector<double>& couplings) {
+  std::vector<RingCandidate> out;
+  out.reserve(radii_um.size() * couplings.size());
+  for (double r : radii_um) {
+    for (double t : couplings) {
+      out.push_back(
+          evaluate_ring(units::Length::micrometers(r), t, req));
+    }
+  }
+  return out;
+}
+
+std::optional<RingCandidate> recommend(const RingRequirements& req) {
+  std::optional<RingCandidate> best;
+  for (const RingCandidate& c : design_space(req)) {
+    if (!c.feasible) {
+      continue;
+    }
+    if (!best || c.quality_factor < best->quality_factor) {
+      best = c;
+    }
+  }
+  return best;
+}
+
+int max_channels_for_ring(units::Length radius, double coupling,
+                          const RingRequirements& req) {
+  int best = 0;
+  for (int n = 1; n <= 256; ++n) {
+    RingRequirements trial = req;
+    trial.channels = n;
+    const RingCandidate c = evaluate_ring(radius, coupling, trial);
+    if (c.feasible) {
+      best = n;
+    } else if (n > 1) {
+      // FSR feasibility is monotone in the channel count; the linewidth
+      // test is count-independent, so the first failure is final.
+      break;
+    }
+  }
+  return best;
+}
+
+}  // namespace trident::phot

@@ -1,0 +1,69 @@
+// Weight-bank ring design-space solver.
+//
+// The spectral studies surfaced two hard constraints the paper leaves
+// implicit: a bank's rings must have (a) FSR larger than the WDM span
+// (else distant channels alias onto other resonance orders) and (b) loaded
+// linewidth comfortably below the channel spacing (else neighbour leakage
+// erodes precision).  Both are set by two knobs — ring radius and bus
+// coupling — pulling in opposite directions (small rings: big FSR but, at
+// fixed coupling, broad linewidth).  This module solves the design space:
+// given a channel plan and a crosstalk budget, find the feasible (radius,
+// coupling) region and a recommended design point.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "common/units.hpp"
+#include "photonics/mrr.hpp"
+#include "photonics/wdm.hpp"
+
+namespace trident::phot {
+
+struct RingRequirements {
+  /// Channels the bank must serve.
+  int channels = 16;
+  units::Length spacing = kMinChannelSpacing;
+  /// FSR must exceed span × this margin (guard band for the edge rings).
+  double fsr_margin = 1.15;
+  /// Loaded FWHM must stay below spacing / this ratio (leakage at one
+  /// spacing ≈ (FWHM / 2Δ)²: ratio 6 → ~0.7% nearest-neighbour leakage,
+  /// in line with the crosstalk budget of the 8-bit analysis).
+  double linewidth_ratio = 6.0;
+};
+
+struct RingCandidate {
+  units::Length radius;
+  double coupling = 0.0;  ///< t1 = t2
+  units::Length fsr;
+  units::Length fwhm;
+  double quality_factor = 0.0;
+  /// Worst nearest-neighbour drop leakage at one channel spacing.
+  double neighbour_leakage = 0.0;
+  bool feasible = false;
+};
+
+/// Evaluates a single (radius, coupling) point against the requirements.
+[[nodiscard]] RingCandidate evaluate_ring(units::Length radius,
+                                          double coupling,
+                                          const RingRequirements& req);
+
+/// Sweeps a radius × coupling grid and returns every evaluated point
+/// (feasible flag set per the requirements).
+[[nodiscard]] std::vector<RingCandidate> design_space(
+    const RingRequirements& req,
+    const std::vector<double>& radii_um = {2.0, 2.5, 3.0, 4.0, 5.0, 7.5,
+                                           10.0},
+    const std::vector<double>& couplings = {0.90, 0.95, 0.98, 0.99, 0.995});
+
+/// The feasible candidate with the lowest quality factor (lower Q = wider
+/// optical bandwidth = faster modulation headroom), if any exists.
+[[nodiscard]] std::optional<RingCandidate> recommend(
+    const RingRequirements& req);
+
+/// Largest channel count a given ring supports on `spacing` grids under
+/// the requirements' margins.
+[[nodiscard]] int max_channels_for_ring(units::Length radius, double coupling,
+                                        const RingRequirements& req);
+
+}  // namespace trident::phot

@@ -1,0 +1,73 @@
+#include "photonics/thermal.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+ThermalCrosstalkMap::ThermalCrosstalkMap(int rows, int cols,
+                                         const ThermalParams& params)
+    : rows_(rows), cols_(cols), params_(params) {
+  TRIDENT_REQUIRE(rows >= 1 && cols >= 1, "grid dimensions must be positive");
+  TRIDENT_REQUIRE(params_.self_heating_kelvin > 0.0 &&
+                      params_.decay_length.m() > 0.0 &&
+                      params_.nm_per_kelvin > 0.0 && params_.pitch.m() > 0.0,
+                  "thermal parameters must be positive");
+}
+
+double ThermalCrosstalkMap::coupling(int r1, int c1, int r2, int c2) const {
+  const double dr = static_cast<double>(r1 - r2);
+  const double dc = static_cast<double>(c1 - c2);
+  const double distance = std::sqrt(dr * dr + dc * dc) * params_.pitch.m();
+  return std::exp(-distance / params_.decay_length.m());
+}
+
+double ThermalCrosstalkMap::temperature_at(
+    int r, int c, const std::vector<double>& drives) const {
+  TRIDENT_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+                  "grid index out of range");
+  TRIDENT_REQUIRE(drives.size() == static_cast<std::size_t>(rows_ * cols_),
+                  "drive vector must cover the grid");
+  double kelvin = 0.0;
+  for (int rr = 0; rr < rows_; ++rr) {
+    for (int cc = 0; cc < cols_; ++cc) {
+      const double drive = drives[static_cast<std::size_t>(rr * cols_ + cc)];
+      TRIDENT_REQUIRE(drive >= 0.0 && drive <= 1.0,
+                      "heater drives must be in [0, 1]");
+      kelvin += drive * params_.self_heating_kelvin * coupling(r, c, rr, cc);
+    }
+  }
+  return kelvin;
+}
+
+units::Length ThermalCrosstalkMap::neighbour_shift_at(
+    int r, int c, const std::vector<double>& drives) const {
+  std::vector<double> others = drives;
+  others[static_cast<std::size_t>(r * cols_ + c)] = 0.0;
+  return units::Length::nanometers(params_.nm_per_kelvin *
+                                   temperature_at(r, c, others));
+}
+
+units::Length ThermalCrosstalkMap::worst_case_neighbour_shift() const {
+  std::vector<double> all_on(static_cast<std::size_t>(rows_ * cols_), 1.0);
+  double worst = 0.0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      worst = std::max(worst, neighbour_shift_at(r, c, all_on).nm());
+    }
+  }
+  return units::Length::nanometers(worst);
+}
+
+double ThermalCrosstalkMap::weight_error(units::Length shift,
+                                         units::Length fwhm) const {
+  TRIDENT_REQUIRE(fwhm.m() > 0.0, "FWHM must be positive");
+  // At the half-transmission bias point a Lorentzian's slope is maximal:
+  // |dT/dλ| = 2/FWHM of full scale, so a detuning δλ moves the encoded
+  // weight by ≈ 2·δλ/FWHM (clamped to full scale).
+  return std::min(1.0, 2.0 * shift.m() / fwhm.m());
+}
+
+}  // namespace trident::phot

@@ -1,0 +1,77 @@
+// Thermal crosstalk between micro-heaters in a thermally tuned weight bank.
+//
+// §III.B: "Optically tuning MRRs eliminates the area requirement for
+// thermal heaters, as well as thermal crosstalk issues."  This module
+// models the issue being eliminated: in a DEAP-CNN-style bank every MRR
+// carries a heater, heat spreads laterally through the silicon/oxide
+// stack, and a ring's resonance is shifted not only by its own heater but
+// by its neighbours' — an error that depends on the *other* weights being
+// programmed and therefore cannot be calibrated out (the physical origin
+// of the 6-bit limit [10]).
+//
+// Model: heaters on a regular grid with pitch `pitch`; the temperature
+// rise at distance d from a heater dissipating P is ΔT(d) = (P/P₀)·ΔT₀·
+// exp(−d/L) with thermal decay length L; the resonance shift is
+// dλ/dT · ΔT (silicon: ≈ 0.08 nm/K).
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+
+struct ThermalParams {
+  /// Heater power at full drive (one MRR's tuning power).
+  units::Power full_drive = kThermalHoldPower;
+  /// Temperature rise at the heater's own ring at full drive.
+  double self_heating_kelvin = 1.5;
+  /// Lateral thermal decay length in the SOI stack (oxide trenches keep
+  /// heat local; ~10 um is typical for isolated heaters).
+  units::Length decay_length = units::Length::micrometers(8.0);
+  /// Resonance sensitivity of a silicon MRR.
+  double nm_per_kelvin = 0.08;
+  /// Heater grid pitch.
+  units::Length pitch = units::Length::micrometers(40.0);
+};
+
+/// Thermal crosstalk over a rows×cols heater grid.
+class ThermalCrosstalkMap {
+ public:
+  ThermalCrosstalkMap(int rows, int cols, const ThermalParams& params = {});
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] const ThermalParams& params() const { return params_; }
+
+  /// Temperature rise at ring (r, c) given per-ring heater drives in
+  /// [0, 1] (row-major, drive 1 = full tuning power), including its own
+  /// heater.
+  [[nodiscard]] double temperature_at(int r, int c,
+                                      const std::vector<double>& drives) const;
+
+  /// Resonance shift at (r, c) caused ONLY by the other rings' heaters —
+  /// the uncancellable, weight-dependent part.
+  [[nodiscard]] units::Length neighbour_shift_at(
+      int r, int c, const std::vector<double>& drives) const;
+
+  /// Worst-case neighbour-induced shift anywhere on the grid when every
+  /// other heater runs at full drive.
+  [[nodiscard]] units::Length worst_case_neighbour_shift() const;
+
+  /// The weight error that shift induces on a ring of FWHM `fwhm` biased
+  /// at its half-transmission point (|d(drop)/dλ| is maximal there:
+  /// a Lorentzian loses ≈ 2·δλ/FWHM of its full scale per δλ of detuning).
+  [[nodiscard]] double weight_error(units::Length shift,
+                                    units::Length fwhm) const;
+
+ private:
+  [[nodiscard]] double coupling(int r1, int c1, int r2, int c2) const;
+
+  int rows_;
+  int cols_;
+  ThermalParams params_;
+};
+
+}  // namespace trident::phot

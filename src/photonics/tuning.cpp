@@ -1,0 +1,70 @@
+#include "photonics/tuning.hpp"
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+
+TuningMethod thermal_tuning() {
+  TuningMethod m;
+  m.kind = TuningKind::kThermal;
+  m.name = "Thermal";
+  m.write_energy = kThermalTuningEnergy;
+  m.write_time = kThermalTuningTime;
+  m.hold_power = kThermalHoldPower;
+  m.bit_resolution = kThermalBits;
+  m.non_volatile = false;
+  m.practical_for_edge = true;
+  return m;
+}
+
+TuningMethod electro_optic_tuning() {
+  TuningMethod m;
+  m.kind = TuningKind::kElectroOptic;
+  m.name = "Electric";
+  // Charging energy of the junction at full drive, ~CV²/2 with C ≈ 10 fF for
+  // a 60 µm ring: 0.5 · 10 fF · (100 V)² = 50 nJ.  The dominant cost is the
+  // impractical ±100 V drive, not the energy itself.
+  m.write_energy = Energy::nanojoules(50.0);
+  m.write_time = kElectroOpticTime;
+  m.hold_power = Power::watts(0.0);  // junction holds with negligible leakage
+  m.bit_resolution = kThermalBits;
+  m.non_volatile = false;
+  m.practical_for_edge = false;  // §II.B: excluded from this work
+  return m;
+}
+
+TuningMethod gst_tuning() {
+  TuningMethod m;
+  m.kind = TuningKind::kGst;
+  m.name = "GST";
+  m.write_energy = kGstWriteEnergy;
+  m.write_time = kGstWriteTime;
+  m.hold_power = Power::watts(0.0);  // non-volatile: zero hold power
+  m.bit_resolution = kGstBits;
+  m.non_volatile = true;
+  m.practical_for_edge = true;
+  return m;
+}
+
+TuningMethod hybrid_tuning() {
+  TuningMethod m = thermal_tuning();
+  m.name = "Hybrid (TO+EO)";
+  // CrossLight adds an electro-optic fine-tuning stage on top of the
+  // thermal coarse stage; the EO write is faster but the thermal component
+  // still dominates energy and hold power.  The fine stage buys one extra
+  // bit of usable resolution.
+  m.bit_resolution = kThermalBits + 1;
+  return m;
+}
+
+std::vector<TuningMethod> table1_methods() {
+  return {thermal_tuning(), electro_optic_tuning(), gst_tuning()};
+}
+
+double electro_optic_volts_for_shift(Length shift) {
+  TRIDENT_REQUIRE(shift.m() >= 0.0, "shift must be non-negative");
+  const double picometers = shift.nm() * 1e3;
+  return picometers / kElectroOpticPmPerVolt;
+}
+
+}  // namespace trident::phot

@@ -1,0 +1,78 @@
+// MRR tuning-method models (paper Table I and §II.B).
+//
+// The central premise of Trident: MRR tuning dominates photonic-accelerator
+// energy, and the choice of tuning mechanism sets write energy, write speed,
+// *hold* power (volatile methods draw power continuously to keep a weight),
+// and achievable bit resolution.  Three mechanisms are modelled:
+//
+//   thermal       1.02 nJ / write, 0.6 µs, 1.7 mW hold (volatile), 6 bits
+//   electro-optic 0.18 pm/V sensitivity, 500 ns, needs ±100 V on a 60 µm
+//                 ring — impractical for edge devices (the paper drops it)
+//   GST (PCM)     660 pJ / write, 300 ns, ZERO hold power (non-volatile),
+//                 8 bits (255 levels)
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+
+enum class TuningKind { kThermal, kElectroOptic, kGst };
+
+/// Behavioural summary of one tuning mechanism.
+struct TuningMethod {
+  TuningKind kind = TuningKind::kGst;
+  std::string name;
+  Energy write_energy;     ///< energy to (re)program one MRR weight
+  Time write_time;         ///< latency of one weight write
+  Power hold_power;        ///< continuous power per MRR to *keep* the weight
+  int bit_resolution = 0;  ///< usable weight precision
+  bool non_volatile = false;
+  bool practical_for_edge = true;
+
+  /// Energy to program a bank of `mrrs` weights.  All MRRs in a bank are
+  /// written in parallel (each has its own wavelength / driver), so the
+  /// *time* is one write_time but the *energy* scales with the bank size.
+  [[nodiscard]] Energy program_energy(int mrrs) const {
+    return write_energy * static_cast<double>(mrrs);
+  }
+  [[nodiscard]] Time program_time(int /*mrrs*/) const { return write_time; }
+
+  /// Total tuning energy for holding a programmed bank of `mrrs` weights for
+  /// `duration` (zero for non-volatile methods).
+  [[nodiscard]] Energy hold_energy(int mrrs, Time duration) const {
+    return hold_power * static_cast<double>(mrrs) * duration;
+  }
+
+  /// Whether this method supports in-situ training: the paper requires
+  /// ≥ 8-bit weight resolution (Wang et al. [34]).
+  [[nodiscard]] bool supports_training() const { return bit_resolution >= 8; }
+};
+
+/// Thermal micro-heater tuning (DEAP-CNN, PIXEL baselines).
+[[nodiscard]] TuningMethod thermal_tuning();
+
+/// Electro-optic tuning (characterised for Table I; not practical at the
+/// edge — §II.B — and excluded from the accelerator comparisons).
+[[nodiscard]] TuningMethod electro_optic_tuning();
+
+/// GST phase-change tuning (Trident).
+[[nodiscard]] TuningMethod gst_tuning();
+
+/// CrossLight's hybrid scheme: thermo-optic coarse + electro-optic fine
+/// tuning to reduce crosstalk (Sunny et al. [31]).  Modelled with thermal
+/// energy/hold cost but improved (thermal+1) resolution.
+[[nodiscard]] TuningMethod hybrid_tuning();
+
+/// All Table I rows, in the paper's order.
+[[nodiscard]] std::vector<TuningMethod> table1_methods();
+
+/// Voltage needed to shift a resonance by `shift` with the electro-optic
+/// effect (0.18 pm/V).  Illustrates why EO tuning is impractical: shifting
+/// by even a fraction of a 1.6 nm channel takes hundreds of volts.
+[[nodiscard]] double electro_optic_volts_for_shift(Length shift);
+
+}  // namespace trident::phot

@@ -1,0 +1,79 @@
+// WDM channel plan and inter-channel crosstalk analysis.
+//
+// A broadcast-and-weight PE carries N inputs on N wavelengths through one
+// waveguide (§III.A).  Channels must be spaced ≥ 1.6 nm so that each MRR
+// filters only its own wavelength [32].  Two different weighting styles
+// interact very differently with crosstalk:
+//
+//   * SHIFT weighting (thermal / electro-optic): the weight is encoded by
+//     detuning the ring *towards* its neighbours' channels.  The leakage
+//     from adjacent channels then depends on the weight being applied —
+//     it is dynamic, cannot be calibrated away, and caps usable precision
+//     at about 6 bits [10].
+//   * ATTENUATION weighting (GST): the ring stays centred on its channel
+//     and the intracavity GST cell attenuates the dropped light.  Residual
+//     leakage is static (weight-independent), can be calibrated out, and
+//     precision is set by the 255 GST levels → 8 bits (§III.B).
+//
+// This module quantifies that argument from the device geometry.
+#pragma once
+
+#include <vector>
+
+#include "common/units.hpp"
+#include "photonics/constants.hpp"
+#include "photonics/mrr.hpp"
+
+namespace trident::phot {
+
+/// An evenly spaced WDM grid.
+class ChannelPlan {
+ public:
+  /// `n` channels spaced `spacing` apart, starting at `anchor`.
+  ChannelPlan(int n, Length spacing = kMinChannelSpacing,
+              Length anchor = kCBandStart);
+
+  [[nodiscard]] int size() const { return static_cast<int>(channels_.size()); }
+  [[nodiscard]] Length spacing() const { return spacing_; }
+  [[nodiscard]] Length channel(int i) const;
+  [[nodiscard]] const std::vector<Length>& channels() const { return channels_; }
+
+  /// Spectral span from first to last channel.
+  [[nodiscard]] Length span() const;
+
+ private:
+  std::vector<Length> channels_;
+  Length spacing_;
+};
+
+/// Result of a worst-case crosstalk analysis for one weighting style.
+struct CrosstalkReport {
+  /// Worst-case aggregate leaked power from all other channels into one
+  /// ring's drop port, as a fraction of a full-scale channel.
+  double worst_case_leakage = 0.0;
+  /// The part of the leakage that varies with the programmed weights and
+  /// therefore cannot be calibrated out.
+  double dynamic_leakage = 0.0;
+  /// Usable bit resolution implied by the dynamic leakage: levels are
+  /// distinguishable while one LSB step exceeds the dynamic error.
+  int effective_bits = 0;
+};
+
+/// Analyses crosstalk for a bank of identical rings (design `d`) on `plan`.
+///
+/// `shift_fraction` is how far (as a fraction of the channel spacing) a ring
+/// is detuned at full weight swing: thermal weighting uses ≈ 0.2 (§II.B,
+/// "shift the resonant wavelength within φ ± 0.2"); GST weighting uses 0.
+/// `max_bits_from_device` caps the result by the weight-encoding device's
+/// own level count (255 GST levels → 8; heater DAC → typically ≥ 8, so the
+/// crosstalk term binds for thermal).
+[[nodiscard]] CrosstalkReport analyze_crosstalk(const ChannelPlan& plan,
+                                                const MrrDesign& d,
+                                                double shift_fraction,
+                                                int max_bits_from_device);
+
+/// Lorentzian drop-port leakage of a ring with FWHM `fwhm` for a channel
+/// offset `detuning` from its resonance.
+[[nodiscard]] double lorentzian_leakage(Length detuning, Length fwhm);
+
+}  // namespace trident::phot

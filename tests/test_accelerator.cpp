@@ -1,0 +1,151 @@
+// Top-level accelerator regression tests against the paper's published
+// artefacts: Table III, Table IV, Table V, Fig 5, and the §IV/§V claims.
+#include "core/accelerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/electronic.hpp"
+#include "common/error.hpp"
+#include "nn/zoo.hpp"
+
+namespace trident::core {
+namespace {
+
+TEST(Accelerator, TableIiiTotalsMatchPaper) {
+  TridentAccelerator acc;
+  EXPECT_NEAR(acc.pe_power_total().W(), 0.67, 0.01);
+  EXPECT_NEAR(acc.pe_power_resident().W(), 0.11, 0.01);
+  // §IV: the reduction is 83.34%.
+  EXPECT_NEAR((1.0 - acc.pe_power_resident() / acc.pe_power_total()) * 100.0,
+              83.34, 0.1);
+}
+
+TEST(Accelerator, TableIiiBreakdownRowsAndPercentages) {
+  TridentAccelerator acc;
+  const auto rows = acc.pe_power_breakdown();
+  ASSERT_EQ(rows.size(), 7u);
+  double total_pct = 0.0;
+  for (const auto& r : rows) {
+    EXPECT_GE(r.percent, 0.0);
+    total_pct += r.percent;
+  }
+  EXPECT_NEAR(total_pct, 100.0, 0.01);
+  // The headline row: GST MRR tuning at 83.34%.
+  EXPECT_EQ(rows[2].component, "GST MRR Tuning");
+  EXPECT_NEAR(rows[2].percent, 83.34, 0.05);
+  EXPECT_NEAR(rows[2].value, 0.5632, 1e-9);
+}
+
+TEST(Accelerator, Fig5AreaMatchesPaper) {
+  TridentAccelerator acc;
+  // §IV: 604.6 mm², under one square inch (645.16 mm²).
+  EXPECT_NEAR(acc.total_area().mm2(), 604.6, 1.0);
+  EXPECT_LT(acc.total_area().mm2(), 645.16);
+  const auto rows = acc.area_breakdown();
+  // TIAs dominate (Fig 5).
+  EXPECT_EQ(rows[0].component, "TIA");
+  EXPECT_GT(rows[0].percent, 50.0);
+  double total_pct = 0.0;
+  for (const auto& r : rows) {
+    total_pct += r.percent;
+  }
+  EXPECT_NEAR(total_pct, 100.0, 0.01);
+}
+
+TEST(Accelerator, SustainedTopsNearPaperFigure) {
+  // §V.A: 7.8 TOPS → 0.29 TOPS/W at 30 W (steady state, weights resident).
+  TridentAccelerator acc;
+  double sum = 0.0;
+  const auto models = nn::zoo::evaluation_models();
+  for (const auto& m : models) {
+    sum += acc.sustained_tops(m, 3);
+  }
+  const double tops = sum / static_cast<double>(models.size());
+  EXPECT_GT(tops, 6.0);
+  EXPECT_LT(tops, 12.0);
+  const double tpw = acc.tops_per_watt(tops);
+  EXPECT_NEAR(tpw, 0.29, 0.06);
+  // Table IV orderings: above Coral (0.26) and TB96 (0.15), below Xavier.
+  EXPECT_GT(tpw, arch::make_coral().tops_per_watt());
+  EXPECT_GT(tpw, arch::make_tb96_ai().tops_per_watt());
+  EXPECT_LT(tpw, arch::make_agx_xavier().tops_per_watt());
+}
+
+TEST(Accelerator, BatchAmortisationRaisesSustainedTops) {
+  TridentAccelerator acc;
+  const auto model = nn::zoo::alexnet();
+  EXPECT_GT(acc.sustained_tops(model, 8), acc.sustained_tops(model, 1));
+}
+
+TEST(Accelerator, TrainingStepDecomposition) {
+  TridentAccelerator acc;
+  const auto step = acc.training_step(nn::zoo::googlenet());
+  // Three inference-shaped passes (§V.B) plus a weight-update program.
+  EXPECT_DOUBLE_EQ(step.forward.s(), step.gradient.s());
+  EXPECT_DOUBLE_EQ(step.forward.s(), step.outer.s());
+  EXPECT_GT(step.update.s(), 0.0);
+  EXPECT_NEAR(step.total().s(),
+              3.0 * step.forward.s() + step.update.s(), 1e-15);
+  EXPECT_GT(step.energy.J(), 0.0);
+}
+
+TEST(Accelerator, TableVSignsMatchPaper) {
+  // The four Table V rows: Trident wins MobileNetV2 / ResNet-50 / VGG-16,
+  // loses GoogleNet (the paper's +10.6% crossover).
+  TridentAccelerator acc;
+  const auto xavier = arch::make_agx_xavier();
+  const auto check = [&](const nn::ModelSpec& model, bool trident_wins) {
+    const double t = acc.time_to_train(model, 50'000).s();
+    const double x =
+        xavier.training_step_latency(model).s() * 50'000.0;
+    EXPECT_EQ(t < x, trident_wins) << model.name << " trident=" << t
+                                   << "s xavier=" << x << "s";
+  };
+  check(nn::zoo::mobilenet_v2(), true);
+  check(nn::zoo::googlenet(), false);
+  check(nn::zoo::resnet50(), true);
+  check(nn::zoo::vgg16(), true);
+}
+
+TEST(Accelerator, TableVMagnitudesInPaperBand) {
+  // Seconds to train 50k images: same order of magnitude as Table V.
+  TridentAccelerator acc;
+  const double mobilenet = acc.time_to_train(nn::zoo::mobilenet_v2(), 50'000).s();
+  EXPECT_GT(mobilenet, 10.0);   // paper: 29.7 s
+  EXPECT_LT(mobilenet, 100.0);
+  const double vgg = acc.time_to_train(nn::zoo::vgg16(), 50'000).s();
+  EXPECT_GT(vgg, 300.0);        // paper: 796.1 s
+  EXPECT_LT(vgg, 2000.0);
+}
+
+TEST(Accelerator, TimeToTrainScalesLinearlyInImages) {
+  TridentAccelerator acc;
+  const auto model = nn::zoo::mobilenet_v2();
+  const double one = acc.time_to_train(model, 1).s();
+  const double thousand = acc.time_to_train(model, 1000).s();
+  EXPECT_NEAR(thousand, 1000.0 * one, 1000.0 * one * 1e-9);
+  EXPECT_THROW((void)acc.time_to_train(model, 0), Error);
+}
+
+TEST(Accelerator, InferenceHelpersAgreeWithAnalyzer) {
+  TridentAccelerator acc;
+  const auto model = nn::zoo::googlenet();
+  const auto cost = acc.inference(model);
+  EXPECT_NEAR(acc.inferences_per_second(model),
+              cost.inferences_per_second(),
+              cost.inferences_per_second() * 1e-12);
+  EXPECT_NEAR(acc.energy_per_inference(model).J(), cost.energy.total().J(),
+              1e-15);
+}
+
+TEST(Accelerator, ResidentPowerDropIsTheNonVolatileDividend) {
+  TridentAccelerator acc;
+  // The resident-power drop equals the tuning row of Table III.
+  const auto rows = acc.pe_power_breakdown();
+  const double tuning_w = rows[2].value;
+  EXPECT_NEAR(acc.pe_power_total().W() - acc.pe_power_resident().W(),
+              tuning_w, 1e-9);
+}
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,138 @@
+// GST activation cell tests: the Fig 3 transfer curve, the §III.C
+// linearisation, firing/reset bookkeeping, bypass, and endurance.
+#include "photonics/activation_cell.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+namespace {
+
+using namespace trident::units::literals;
+using units::Energy;
+
+TEST(ActivationCell, NearZeroBelowThreshold) {
+  GstActivationCell cell;
+  EXPECT_LT(cell.transmission(300.0_pJ), 0.02);
+  EXPECT_LT(cell.transfer(300.0_pJ).pJ(), 6.0);
+}
+
+TEST(ActivationCell, TransmitsAboveThreshold) {
+  GstActivationCell cell;
+  EXPECT_GT(cell.transmission(500.0_pJ), 0.5);
+  EXPECT_GT(cell.transfer(500.0_pJ).pJ(), 250.0);
+}
+
+TEST(ActivationCell, MidpointAtThreshold) {
+  GstActivationCell cell;
+  const auto& p = cell.params();
+  const double mid =
+      (p.max_transmission + p.leakage_transmission) / 2.0;
+  EXPECT_NEAR(cell.transmission(p.threshold), mid, 1e-9);
+}
+
+TEST(ActivationCell, TransmissionMonotonic) {
+  GstActivationCell cell;
+  double prev = -1.0;
+  for (double pj = 100.0; pj <= 900.0; pj += 25.0) {
+    const double t = cell.transmission(Energy::picojoules(pj));
+    EXPECT_GE(t, prev);
+    prev = t;
+  }
+}
+
+TEST(ActivationCell, SaturatesAtMaxTransmission) {
+  GstActivationCell cell;
+  EXPECT_NEAR(cell.transmission(Energy::nanojoules(5.0)),
+              cell.params().max_transmission, 1e-6);
+}
+
+TEST(ActivationCell, SteepTransition) {
+  // 12% → 88% of the swing happens within transition_width around the
+  // threshold — the ReLU-like knee of Fig 3.
+  GstActivationCell cell;
+  const auto& p = cell.params();
+  const double lo = cell.transmission(
+      p.threshold - p.transition_width * 0.5);
+  const double hi = cell.transmission(
+      p.threshold + p.transition_width * 0.5);
+  const double swing = p.max_transmission - p.leakage_transmission;
+  EXPECT_NEAR((lo - p.leakage_transmission) / swing, 0.12, 0.02);
+  EXPECT_NEAR((hi - p.leakage_transmission) / swing, 0.88, 0.02);
+}
+
+TEST(ActivationCell, DefaultThresholdIs430pJ) {
+  GstActivationCell cell;
+  EXPECT_NEAR(cell.params().threshold.pJ(), 430.0, 1e-9);
+  EXPECT_NEAR(cell.params().wavelength.nm(), 1553.4, 1e-9);
+}
+
+TEST(ActivationCell, LinearisedActivationAndDerivative) {
+  EXPECT_DOUBLE_EQ(GstActivationCell::activate(-0.5), 0.0);
+  EXPECT_DOUBLE_EQ(GstActivationCell::activate(0.0), 0.0);
+  EXPECT_NEAR(GstActivationCell::activate(1.0), 0.34, 1e-12);
+  EXPECT_DOUBLE_EQ(GstActivationCell::derivative(-0.1), 0.0);
+  EXPECT_NEAR(GstActivationCell::derivative(0.1), 0.34, 1e-12);
+}
+
+TEST(ActivationCell, FiringAndResetAccounting) {
+  GstActivationCell cell;
+  (void)cell.process(300.0_pJ);  // below threshold: no switch
+  EXPECT_EQ(cell.firings(), 0u);
+  EXPECT_EQ(cell.resets(), 0u);
+  (void)cell.process(500.0_pJ);  // fires and must be recrystallised
+  EXPECT_EQ(cell.firings(), 1u);
+  EXPECT_EQ(cell.resets(), 1u);
+  EXPECT_NEAR(cell.total_reset_energy().pJ(), 660.0, 1e-9);
+}
+
+TEST(ActivationCell, BypassPassesEverythingAndNeverFires) {
+  GstActivationCell cell;
+  cell.set_bypass(true);
+  EXPECT_TRUE(cell.bypassed());
+  // Fully amorphous cell: constant max transmission regardless of energy.
+  EXPECT_DOUBLE_EQ(cell.transmission(100.0_pJ),
+                   cell.params().max_transmission);
+  (void)cell.process(900.0_pJ);
+  EXPECT_EQ(cell.firings(), 0u);
+}
+
+TEST(ActivationCell, WearScalesWithFirings) {
+  ActivationCellParams p;
+  p.endurance_cycles = 1000.0;
+  GstActivationCell cell(p);
+  for (int i = 0; i < 10; ++i) {
+    (void)cell.process(600.0_pJ);
+  }
+  EXPECT_NEAR(cell.wear(), 0.01, 1e-12);
+}
+
+TEST(ActivationCell, RejectsInvalidParams) {
+  ActivationCellParams p;
+  p.threshold = Energy::joules(0.0);
+  EXPECT_THROW(GstActivationCell{p}, Error);
+  p = {};
+  p.max_transmission = 0.005;  // below leakage
+  EXPECT_THROW(GstActivationCell{p}, Error);
+  GstActivationCell ok;
+  EXPECT_THROW((void)ok.transmission(Energy::joules(-1.0)), Error);
+}
+
+class ActivationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(ActivationSweep, OutputNeverExceedsInputTimesMaxTransmission) {
+  GstActivationCell cell;
+  const Energy in = Energy::picojoules(GetParam());
+  const Energy out = cell.transfer(in);
+  EXPECT_LE(out.J(), in.J() * cell.params().max_transmission + 1e-18);
+  EXPECT_GE(out.J(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Energies, ActivationSweep,
+                         ::testing::Values(0.0, 50.0, 200.0, 430.0, 431.0,
+                                           600.0, 1000.0, 5000.0));
+
+}  // namespace
+}  // namespace trident::phot

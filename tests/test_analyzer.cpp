@@ -1,0 +1,232 @@
+// Dataflow analyzer tests: GEMM lowering, tiling, latency/energy model
+// invariants, batch amortisation, and the weights-preloaded path.
+#include "dataflow/analyzer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/photonic.hpp"
+#include "common/error.hpp"
+#include "nn/zoo.hpp"
+
+namespace trident::dataflow {
+namespace {
+
+using nn::LayerSpec;
+
+PhotonicArrayDesc test_array() {
+  PhotonicArrayDesc a = arch::make_trident().array;
+  return a;
+}
+
+TEST(GemmLowering, ConvIm2col) {
+  const LayerSpec l = LayerSpec::conv("c", 56, 128, 256, 3, 1, 1);
+  const GemmShape g = lower_to_gemm(l);
+  EXPECT_EQ(g.m, 256u);
+  EXPECT_EQ(g.k, 9u * 128);
+  EXPECT_EQ(g.cols, 56u * 56);
+  EXPECT_EQ(g.m * g.k * g.cols, l.macs());
+}
+
+TEST(GemmLowering, DepthwisePerChannel) {
+  const LayerSpec l = LayerSpec::dwconv("dw", 28, 32, 3, 1, 1);
+  const GemmShape g = lower_to_gemm(l);
+  EXPECT_EQ(g.m, 32u);
+  EXPECT_EQ(g.k, 9u);
+  EXPECT_EQ(g.cols, 28u * 28);
+}
+
+TEST(GemmLowering, DenseSingleColumn) {
+  const LayerSpec l = LayerSpec::dense("fc", 4096, 1000);
+  const GemmShape g = lower_to_gemm(l);
+  EXPECT_EQ(g.m, 1000u);
+  EXPECT_EQ(g.k, 4096u);
+  EXPECT_EQ(g.cols, 1u);
+}
+
+TEST(GemmLowering, PoolingHasNoGemm) {
+  const GemmShape g = lower_to_gemm(LayerSpec::pool("p", 28, 64, 2, 2));
+  EXPECT_EQ(g.m, 0u);
+  EXPECT_EQ(g.k, 0u);
+}
+
+TEST(Tiling, CountMatchesCeilDivision) {
+  const PhotonicArrayDesc a = test_array();  // 16×16 banks
+  const LayerSpec l = LayerSpec::dense("fc", 100, 40);
+  // ceil(40/16)=3 row tiles × ceil(100/16)=7 col tiles.
+  EXPECT_EQ(tile_count(l, a), 21u);
+  EXPECT_EQ(tile_count(LayerSpec::pool("p", 28, 64, 2, 2), a), 0u);
+}
+
+TEST(Tiling, ResidencyDetection) {
+  const PhotonicArrayDesc a = test_array();  // 44 PEs
+  nn::ModelSpec tiny;
+  tiny.name = "tiny";
+  tiny.layers.push_back(LayerSpec::dense("fc1", 16, 16));  // 1 tile
+  tiny.layers.push_back(LayerSpec::dense("fc2", 16, 16));  // 1 tile
+  EXPECT_TRUE(model_fits_resident(tiny, a));
+  EXPECT_FALSE(model_fits_resident(nn::zoo::vgg16(), a));
+}
+
+TEST(Analyzer, LatencyLowerBoundedByStreaming) {
+  // A layer can never finish faster than its symbols stream.
+  const PhotonicArrayDesc a = test_array();
+  const LayerSpec l = LayerSpec::conv("c", 28, 64, 64, 3, 1, 1);
+  const LayerCost cost = analyze_layer(l, a, {}, 1e6);
+  const auto tiles = tile_count(l, a);
+  const auto pes = static_cast<std::uint64_t>(a.pe_count);
+  const std::uint64_t rounds = (tiles + pes - 1) / pes;
+  const double min_stream_s =
+      static_cast<double>(rounds) * 28.0 * 28.0 * a.symbol_time().s();
+  EXPECT_GE(cost.latency.s(), min_stream_s);
+}
+
+TEST(Analyzer, MacCountsPreserved) {
+  const PhotonicArrayDesc a = test_array();
+  for (const auto& model : nn::zoo::evaluation_models()) {
+    const ModelCost cost = analyze_model(model, a);
+    EXPECT_EQ(cost.macs, model.total_macs()) << model.name;
+  }
+}
+
+TEST(Analyzer, EnergyComponentsNonNegative) {
+  const PhotonicArrayDesc a = test_array();
+  const ModelCost cost = analyze_model(nn::zoo::googlenet(), a);
+  const auto& e = cost.energy;
+  EXPECT_GE(e.weight_programming.J(), 0.0);
+  EXPECT_GE(e.weight_holding.J(), 0.0);
+  EXPECT_GE(e.optical_compute.J(), 0.0);
+  EXPECT_GE(e.conversion.J(), 0.0);
+  EXPECT_GE(e.activation.J(), 0.0);
+  EXPECT_GE(e.memory.J(), 0.0);
+  EXPECT_GE(e.static_overhead.J(), 0.0);
+  EXPECT_NEAR(e.total().J(),
+              e.weight_programming.J() + e.weight_holding.J() +
+                  e.optical_compute.J() + e.conversion.J() + e.activation.J() +
+                  e.memory.J() + e.static_overhead.J(),
+              1e-12);
+}
+
+TEST(Analyzer, TridentHasZeroHoldAndAdcEnergy) {
+  const ModelCost cost =
+      analyze_model(nn::zoo::resnet50(), arch::make_trident().array);
+  EXPECT_DOUBLE_EQ(cost.energy.weight_holding.J(), 0.0);
+  // Conversion is E/O-laser only — orders below the programming energy.
+  EXPECT_LT(cost.energy.conversion.J(),
+            cost.energy.weight_programming.J() * 0.05);
+}
+
+TEST(Analyzer, ThermalBaselinePaysHoldEnergy) {
+  const ModelCost cost =
+      analyze_model(nn::zoo::resnet50(), arch::make_deap_cnn().array);
+  EXPECT_GT(cost.energy.weight_holding.J(), 0.0);
+}
+
+TEST(Analyzer, ProgrammingEnergyMatchesWeights) {
+  const PhotonicArrayDesc a = test_array();
+  const auto model = nn::zoo::mobilenet_v2();
+  const ModelCost cost = analyze_model(model, a);
+  EXPECT_NEAR(cost.energy.weight_programming.J(),
+              static_cast<double>(model.total_weights()) *
+                  a.weight_write_energy.J(),
+              cost.energy.weight_programming.J() * 1e-9);
+}
+
+TEST(Analyzer, BatchAmortisesProgramming) {
+  const PhotonicArrayDesc a = test_array();
+  const auto model = nn::zoo::alexnet();
+  AnalyzerOptions batch1, batch16;
+  batch16.batch = 16;
+  const ModelCost c1 = analyze_model(model, a, batch1);
+  const ModelCost c16 = analyze_model(model, a, batch16);
+  // Per-inference latency at batch 16 must beat batch 1 (programming is
+  // shared), but can't beat the pure streaming bound.
+  EXPECT_LT(c16.latency.s() / 16.0, c1.latency.s());
+  // Energy per inference also drops: programming is paid once per batch.
+  EXPECT_LT(c16.energy.total().J() / 16.0, c1.energy.total().J());
+}
+
+TEST(Analyzer, PreloadedSkipsProgrammingForResidentModels) {
+  const PhotonicArrayDesc a = test_array();
+  nn::ModelSpec tiny;
+  tiny.name = "tiny";
+  tiny.layers.push_back(LayerSpec::dense("fc", 16, 16));
+  AnalyzerOptions preloaded;
+  preloaded.weights_preloaded = true;
+  const ModelCost cold = analyze_model(tiny, a);
+  const ModelCost warm = analyze_model(tiny, a, preloaded);
+  EXPECT_GT(cold.energy.weight_programming.J(), 0.0);
+  EXPECT_DOUBLE_EQ(warm.energy.weight_programming.J(), 0.0);
+  EXPECT_LT(warm.latency.s(), cold.latency.s());
+}
+
+TEST(Analyzer, PreloadedDoesNotAffectNonResidentModels) {
+  // VGG-16 cannot keep all tiles resident on 44 PEs: programming stays.
+  const PhotonicArrayDesc a = test_array();
+  AnalyzerOptions preloaded;
+  preloaded.weights_preloaded = true;
+  const ModelCost warm = analyze_model(nn::zoo::vgg16(), a, preloaded);
+  EXPECT_GT(warm.energy.weight_programming.J(), 0.0);
+}
+
+TEST(Analyzer, PoolingLayersCostOnlyMemoryAndTime) {
+  const PhotonicArrayDesc a = test_array();
+  const LayerCost cost =
+      analyze_layer(LayerSpec::pool("p", 56, 64, 2, 2), a, {}, 1e6);
+  EXPECT_EQ(cost.macs, 0u);
+  EXPECT_DOUBLE_EQ(cost.energy.weight_programming.J(), 0.0);
+  EXPECT_GT(cost.energy.memory.J(), 0.0);
+  EXPECT_GT(cost.latency.s(), 0.0);
+}
+
+TEST(Analyzer, PerLayerCostsSumToModelCost) {
+  const PhotonicArrayDesc a = test_array();
+  const ModelCost cost = analyze_model(nn::zoo::googlenet(), a);
+  units::Time latency;
+  std::uint64_t macs = 0;
+  for (const auto& lc : cost.layers) {
+    latency += lc.latency;
+    macs += lc.macs;
+  }
+  EXPECT_NEAR(latency.s(), cost.latency.s(), cost.latency.s() * 1e-12);
+  EXPECT_EQ(macs, cost.macs);
+}
+
+TEST(Analyzer, EffectiveTopsBelowArrayPeak) {
+  const PhotonicArrayDesc a = test_array();
+  const double peak_tops = 2.0 * a.pe_count * a.mrrs_per_pe() *
+                           a.symbol_rate.Hz() / 1e12;
+  for (const auto& model : nn::zoo::evaluation_models()) {
+    const ModelCost cost = analyze_model(model, a);
+    EXPECT_LT(cost.effective_tops(), peak_tops) << model.name;
+    EXPECT_GT(cost.effective_tops(), 0.0) << model.name;
+  }
+}
+
+TEST(Analyzer, RejectsBadOptions) {
+  const PhotonicArrayDesc a = test_array();
+  AnalyzerOptions bad;
+  bad.batch = 0;
+  EXPECT_THROW(
+      (void)analyze_layer(nn::LayerSpec::dense("fc", 4, 4), a, bad, 1.0),
+      trident::Error);
+}
+
+class BatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchSweep, ThroughputMonotonicInBatch) {
+  const PhotonicArrayDesc a = test_array();
+  const auto model = nn::zoo::googlenet();
+  AnalyzerOptions smaller, larger;
+  smaller.batch = GetParam();
+  larger.batch = GetParam() * 2;
+  const double ips_small =
+      smaller.batch / analyze_model(model, a, smaller).latency.s();
+  const double ips_large =
+      larger.batch / analyze_model(model, a, larger).latency.s();
+  EXPECT_GE(ips_large, ips_small * 0.999);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace trident::dataflow

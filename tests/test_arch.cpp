@@ -1,0 +1,232 @@
+// Architecture-model tests: per-PE power scaling to the 30 W budget, the
+// design deltas between the four photonic contenders, and the electronic
+// roofline models.
+#include <gtest/gtest.h>
+
+#include "arch/electronic.hpp"
+#include "arch/photonic.hpp"
+#include "common/error.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::arch {
+namespace {
+
+TEST(PhotonicArch, TridentMatchesPaperConfiguration) {
+  const PhotonicAccelerator t = make_trident();
+  EXPECT_EQ(t.pe_count, 44);  // §IV
+  EXPECT_NEAR(t.pe_power.total().W(), 0.67, 0.01);  // Table III
+  EXPECT_EQ(t.weight_bits, 8);
+  EXPECT_TRUE(t.supports_training);
+  EXPECT_EQ(t.array.mrrs_per_pe(), 256);
+  EXPECT_NEAR(t.array.symbol_rate.GHz(), 1.37, 1e-9);
+}
+
+TEST(PhotonicArch, TridentHasNoAdcAndNoHold) {
+  const PhotonicAccelerator t = make_trident();
+  EXPECT_DOUBLE_EQ(t.array.output_adc_energy.J(), 0.0);
+  EXPECT_DOUBLE_EQ(t.array.weight_hold_power.W(), 0.0);
+  EXPECT_DOUBLE_EQ(t.array.output_path_delay.s(), 0.0);
+  EXPECT_DOUBLE_EQ(t.array.activation_memory_bytes, 0.0);
+  EXPECT_DOUBLE_EQ(t.pe_power.conversion.W(), 0.0);
+}
+
+TEST(PhotonicArch, BaselinesPayForAdcsAndVolatileTuning) {
+  for (const auto& acc : {make_deap_cnn(), make_crosslight(), make_pixel()}) {
+    EXPECT_GT(acc.array.output_adc_energy.J(), 0.0) << acc.name;
+    EXPECT_GT(acc.array.weight_hold_power.W(), 0.0) << acc.name;
+    EXPECT_GT(acc.array.output_path_delay.s(), 0.0) << acc.name;
+    EXPECT_GT(acc.pe_power.conversion.W(), 0.0) << acc.name;
+    EXPECT_FALSE(acc.supports_training) << acc.name;
+  }
+}
+
+TEST(PhotonicArch, TridentScalesToMostPEs) {
+  // §V.A: "the more energy efficient tuning method allows Trident to scale
+  // to more PEs than other photonic accelerators".
+  const int trident_pes = make_trident().pe_count;
+  EXPECT_GT(trident_pes, make_deap_cnn().pe_count);
+  EXPECT_GT(trident_pes, make_crosslight().pe_count);
+  EXPECT_GT(trident_pes, make_pixel().pe_count);
+}
+
+TEST(PhotonicArch, AllFitThePowerBudget) {
+  for (const auto& acc : photonic_contenders()) {
+    const units::Power used =
+        acc.pe_power.total() * static_cast<double>(acc.pe_count);
+    EXPECT_LE(used.W(), phot::kEdgePowerBudget.W() + 1e-9) << acc.name;
+    // And adding one more PE would break it.
+    EXPECT_GT(used.W() + acc.pe_power.total().W(),
+              phot::kEdgePowerBudget.W()) << acc.name;
+  }
+}
+
+TEST(PhotonicArch, WriteTimesFollowTableI) {
+  EXPECT_NEAR(make_trident().array.weight_write_time.ns(), 300.0, 1e-9);
+  EXPECT_NEAR(make_deap_cnn().array.weight_write_time.ns(), 600.0, 1e-9);
+  EXPECT_NEAR(make_pixel().array.weight_write_time.ns(), 600.0, 1e-9);
+  // CrossLight runs coarse thermal + fine EO sequentially.
+  EXPECT_NEAR(make_crosslight().array.weight_write_time.ns(), 1100.0, 1e-9);
+}
+
+TEST(PhotonicArch, BitResolutions) {
+  EXPECT_EQ(make_trident().weight_bits, 8);   // GST levels
+  EXPECT_EQ(make_deap_cnn().weight_bits, 6);  // thermal crosstalk [10]
+  EXPECT_EQ(make_crosslight().weight_bits, 7);
+  EXPECT_EQ(make_pixel().weight_bits, 8);     // bitwise OO MAC
+}
+
+TEST(PhotonicArch, SummationStagesRaiseMacEnergy) {
+  const auto base = make_deap_cnn().array.mac_energy;
+  EXPECT_GT(make_crosslight().array.mac_energy.J(), base.J());  // VCSELs
+  EXPECT_GT(make_pixel().array.mac_energy.J(),
+            make_crosslight().array.mac_energy.J());  // MZMs dearer still
+}
+
+TEST(PhotonicArch, ContendersOrderedAsPaperFigures) {
+  const auto v = photonic_contenders();
+  ASSERT_EQ(v.size(), 4u);
+  EXPECT_EQ(v[0].name, "DEAP-CNN");
+  EXPECT_EQ(v[1].name, "CrossLight");
+  EXPECT_EQ(v[2].name, "PIXEL");
+  EXPECT_EQ(v[3].name, "Trident");
+}
+
+TEST(PhotonicArch, PesForBudgetEdgeCases) {
+  EXPECT_EQ(pes_for_budget(units::Power::watts(30.0),
+                           units::Power::watts(0.67)),
+            44);
+  EXPECT_THROW((void)pes_for_budget(units::Power::watts(30.0),
+                                    units::Power::watts(0.0)),
+               Error);
+  EXPECT_THROW((void)pes_for_budget(units::Power::watts(0.5),
+                                    units::Power::watts(1.0)),
+               Error);
+}
+
+// --- end-to-end orderings the paper reports ---------------------------------
+
+TEST(PhotonicArch, TridentWinsEnergyOnEveryModel) {
+  const auto trident = make_trident();
+  for (const auto& model : nn::zoo::evaluation_models()) {
+    const double ours =
+        dataflow::analyze_model(model, trident.array).energy.total().J();
+    for (const auto& other :
+         {make_deap_cnn(), make_crosslight(), make_pixel()}) {
+      const double theirs =
+          dataflow::analyze_model(model, other.array).energy.total().J();
+      EXPECT_LT(ours, theirs) << model.name << " vs " << other.name;
+    }
+  }
+}
+
+TEST(PhotonicArch, TridentWinsLatencyOnEveryModel) {
+  const auto trident = make_trident();
+  for (const auto& model : nn::zoo::evaluation_models()) {
+    const double ours =
+        dataflow::analyze_model(model, trident.array).latency.s();
+    for (const auto& other :
+         {make_deap_cnn(), make_crosslight(), make_pixel()}) {
+      const double theirs =
+          dataflow::analyze_model(model, other.array).latency.s();
+      EXPECT_LT(ours, theirs) << model.name << " vs " << other.name;
+    }
+  }
+}
+
+TEST(PhotonicArch, DeapIsBestBaselineAsInPaper) {
+  // Fig 4/6: DEAP-CNN is the closest baseline; CrossLight trails it.
+  const auto model = nn::zoo::resnet50();
+  const double deap =
+      dataflow::analyze_model(model, make_deap_cnn().array).latency.s();
+  const double crosslight =
+      dataflow::analyze_model(model, make_crosslight().array).latency.s();
+  EXPECT_LT(deap, crosslight);
+}
+
+// --- electronic models -------------------------------------------------------
+
+TEST(Electronic, TableIvDatasheetNumbers) {
+  const auto xavier = make_agx_xavier();
+  EXPECT_DOUBLE_EQ(xavier.peak_tops, 32.0);
+  EXPECT_DOUBLE_EQ(xavier.board_power.W(), 30.0);
+  EXPECT_NEAR(xavier.tops_per_watt(), 1.07, 0.05);  // paper: 1.1
+  EXPECT_TRUE(xavier.supports_training);
+
+  const auto tb96 = make_tb96_ai();
+  EXPECT_NEAR(tb96.tops_per_watt(), 0.15, 1e-9);
+  EXPECT_FALSE(tb96.supports_training);
+
+  const auto coral = make_coral();
+  EXPECT_NEAR(coral.tops_per_watt(), 0.26, 0.01);
+  EXPECT_FALSE(coral.supports_training);
+}
+
+TEST(Electronic, LatencyScalesWithModelSize) {
+  const auto xavier = make_agx_xavier();
+  EXPECT_LT(xavier.inference_latency(nn::zoo::mobilenet_v2()).s(),
+            xavier.inference_latency(nn::zoo::resnet50()).s());
+  EXPECT_LT(xavier.inference_latency(nn::zoo::resnet50()).s(),
+            xavier.inference_latency(nn::zoo::vgg16()).s());
+}
+
+TEST(Electronic, RooflineLowerBound) {
+  // Latency can never beat the pure compute bound at 100% utilisation.
+  const auto xavier = make_agx_xavier();
+  const auto model = nn::zoo::vgg16();
+  const double compute_floor_s =
+      2.0 * static_cast<double>(model.total_macs()) / (32.0e12);
+  EXPECT_GT(xavier.inference_latency(model).s(), compute_floor_s);
+}
+
+TEST(Electronic, CoralCollapsesOnSpilledModels) {
+  // Edge TPU streams weights for models beyond its 8 MB SRAM [29]: VGG-16
+  // latency blows up far beyond its compute share.
+  const auto coral = make_coral();
+  const auto vgg = nn::zoo::vgg16();
+  const double compute_s = 2.0 * static_cast<double>(vgg.total_macs()) /
+                           (coral.utilization * coral.peak_tops * 1e12);
+  EXPECT_GT(coral.inference_latency(vgg).s(), compute_s * 1.5);
+  // GoogleNet fits: no streaming penalty.
+  const auto gn = nn::zoo::googlenet();
+  const double gn_compute = 2.0 * static_cast<double>(gn.total_macs()) /
+                            (coral.utilization * coral.peak_tops * 1e12);
+  EXPECT_LT(coral.inference_latency(gn).s(), gn_compute * 2.0);
+}
+
+TEST(Electronic, TrainingOnlyOnXavier) {
+  EXPECT_NO_THROW(
+      (void)make_agx_xavier().training_step_latency(nn::zoo::googlenet()));
+  EXPECT_THROW(
+      (void)make_coral().training_step_latency(nn::zoo::googlenet()),
+      Error);
+  EXPECT_THROW(
+      (void)make_tb96_ai().training_step_latency(nn::zoo::googlenet()),
+      Error);
+}
+
+TEST(Electronic, TrainingStepCostsMoreThanThreeInferences) {
+  const auto xavier = make_agx_xavier();
+  const auto model = nn::zoo::resnet50();
+  EXPECT_GE(xavier.training_step_latency(model).s(),
+            3.0 * xavier.inference_latency(model).s());
+}
+
+TEST(Electronic, InferenceEnergyIsPowerTimesLatency) {
+  const auto coral = make_coral();
+  const auto model = nn::zoo::googlenet();
+  EXPECT_NEAR(coral.inference_energy(model).J(),
+              15.0 * coral.inference_latency(model).s(), 1e-12);
+}
+
+TEST(Electronic, ContendersListOrder) {
+  const auto v = electronic_contenders();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[0].name, "NVIDIA AGX Xavier");
+  EXPECT_EQ(v[1].name, "Bearkey TB96-AI");
+  EXPECT_EQ(v[2].name, "Google Coral");
+}
+
+}  // namespace
+}  // namespace trident::arch

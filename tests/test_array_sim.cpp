@@ -1,0 +1,173 @@
+// Event-driven simulator tests, including the cross-validation property
+// against the closed-form dataflow model.
+#include "core/array_sim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/photonic.hpp"
+#include "common/error.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+
+namespace trident::core {
+namespace {
+
+using nn::LayerSpec;
+
+nn::ModelSpec one_dense(int in, int out) {
+  nn::ModelSpec m;
+  m.name = "one-dense";
+  m.layers.push_back(LayerSpec::dense("fc", in, out));
+  return m;
+}
+
+TEST(ArraySim, SingleTileTiming) {
+  const auto array = arch::make_trident().array;
+  // 16x16 dense layer: exactly one tile, one program + one stream symbol.
+  const ArraySimResult r = simulate_array(one_dense(16, 16), array);
+  EXPECT_EQ(r.tiles_executed, 1u);
+  EXPECT_NEAR(r.makespan.s(),
+              array.weight_write_time.s() + array.symbol_time().s(), 1e-18);
+}
+
+TEST(ArraySim, CrossValidatesAnalyticalModel) {
+  // The headline property: identical schedule semantics means the
+  // simulated makespan equals the closed-form latency on every CNN.
+  const auto array = arch::make_trident().array;
+  for (const auto& model : nn::zoo::evaluation_models()) {
+    const ArraySimResult sim = simulate_array(model, array);
+    const dataflow::ModelCost analytic = dataflow::analyze_model(model, array);
+    EXPECT_NEAR(sim.makespan.s(), analytic.latency.s(),
+                analytic.latency.s() * 1e-9)
+        << model.name;
+  }
+}
+
+TEST(ArraySim, CrossValidatesBaselineArraysToo) {
+  const auto model = nn::zoo::mobilenet_v2();
+  for (const auto& acc : arch::photonic_contenders()) {
+    const ArraySimResult sim = simulate_array(model, acc.array);
+    const dataflow::ModelCost analytic =
+        dataflow::analyze_model(model, acc.array);
+    EXPECT_NEAR(sim.makespan.s(), analytic.latency.s(),
+                analytic.latency.s() * 1e-9)
+        << acc.name;
+  }
+}
+
+TEST(ArraySim, EnergyMatchesAnalyticalExactly) {
+  const auto array = arch::make_trident().array;
+  const auto model = nn::zoo::googlenet();
+  const ArraySimResult sim = simulate_array(model, array);
+  const dataflow::ModelCost analytic = dataflow::analyze_model(model, array);
+  EXPECT_NEAR(sim.energy.total().J(), analytic.energy.total().J(),
+              analytic.energy.total().J() * 1e-12);
+}
+
+TEST(ArraySim, BatchScalesStreamsNotPrograms) {
+  const auto array = arch::make_trident().array;
+  nn::ModelSpec m;
+  m.name = "conv";
+  m.layers.push_back(LayerSpec::conv("c", 28, 16, 16, 3, 1, 1));
+  ArraySimConfig b1, b4;
+  b4.batch = 4;
+  const double t1 = simulate_array(m, array, b1).makespan.s();
+  const double t4 = simulate_array(m, array, b4).makespan.s();
+  // 4x the symbols but the same programming: less than 4x the time.
+  EXPECT_LT(t4, 4.0 * t1);
+  EXPECT_GT(t4, t1);
+}
+
+TEST(ArraySim, UtilizationBounds) {
+  const auto array = arch::make_trident().array;
+  for (const auto& model : nn::zoo::evaluation_models()) {
+    const ArraySimResult r = simulate_array(model, array);
+    EXPECT_GT(r.utilization, 0.0) << model.name;
+    EXPECT_LE(r.utilization, 1.0 + 1e-9) << model.name;
+  }
+}
+
+TEST(ArraySim, PerPeBusySumsToUtilization) {
+  const auto array = arch::make_trident().array;
+  const ArraySimResult r = simulate_array(nn::zoo::alexnet(), array);
+  double busy = 0.0;
+  for (const auto& t : r.pe_busy) {
+    busy += t.s();
+  }
+  EXPECT_NEAR(r.utilization,
+              busy / (static_cast<double>(array.pe_count) * r.makespan.s()),
+              1e-12);
+}
+
+TEST(ArraySim, TraceRecordsWhenEnabled) {
+  const auto array = arch::make_trident().array;
+  ArraySimConfig cfg;
+  cfg.record_trace = true;
+  const ArraySimResult r = simulate_array(one_dense(64, 64), array);
+  EXPECT_TRUE(r.trace.empty());  // default config: no trace
+  const ArraySimResult traced = simulate_array(one_dense(64, 64), array, cfg);
+  // 4x4 = 16 tiles, two events each.
+  EXPECT_EQ(traced.trace.size(), 32u);
+  EXPECT_EQ(traced.events, 32u);
+  // Alternating program/stream with consistent times.
+  for (std::size_t i = 0; i < traced.trace.size(); i += 2) {
+    EXPECT_EQ(traced.trace[i].kind, SimEventKind::kProgram);
+    EXPECT_EQ(traced.trace[i + 1].kind, SimEventKind::kStream);
+    EXPECT_DOUBLE_EQ(traced.trace[i].end.s(), traced.trace[i + 1].start.s());
+    EXPECT_NEAR(traced.trace[i].end.s() - traced.trace[i].start.s(),
+                array.weight_write_time.s(), 1e-18);
+  }
+}
+
+TEST(ArraySim, TraceIsCapped) {
+  const auto array = arch::make_trident().array;
+  ArraySimConfig cfg;
+  cfg.record_trace = true;
+  cfg.trace_limit = 10;
+  const ArraySimResult r =
+      simulate_array(nn::zoo::mobilenet_v2(), array, cfg);
+  EXPECT_EQ(r.trace.size(), 10u);
+  EXPECT_GT(r.events, 10u);  // events keep counting past the cap
+}
+
+TEST(ArraySim, LayerBarrierSerializesLayers) {
+  // Two single-tile layers: the second starts only after the first ends.
+  const auto array = arch::make_trident().array;
+  nn::ModelSpec m;
+  m.name = "two";
+  m.layers.push_back(LayerSpec::dense("fc1", 16, 16));
+  m.layers.push_back(LayerSpec::dense("fc2", 16, 16));
+  ArraySimConfig cfg;
+  cfg.record_trace = true;
+  const ArraySimResult r = simulate_array(m, array, cfg);
+  ASSERT_EQ(r.trace.size(), 4u);
+  EXPECT_GE(r.trace[2].start.s(), r.trace[1].end.s() - 1e-18);
+}
+
+TEST(ArraySim, RejectsBadConfig) {
+  const auto array = arch::make_trident().array;
+  ArraySimConfig bad;
+  bad.batch = 0;
+  EXPECT_THROW((void)simulate_array(one_dense(16, 16), array, bad), Error);
+}
+
+class SimBatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SimBatchSweep, StillMatchesAnalyticalAtEveryBatch) {
+  const auto array = arch::make_trident().array;
+  const auto model = nn::zoo::alexnet();
+  ArraySimConfig cfg;
+  cfg.batch = GetParam();
+  dataflow::AnalyzerOptions opt;
+  opt.batch = GetParam();
+  const ArraySimResult sim = simulate_array(model, array, cfg);
+  const dataflow::ModelCost analytic =
+      dataflow::analyze_model(model, array, opt);
+  EXPECT_NEAR(sim.makespan.s(), analytic.latency.s(),
+              analytic.latency.s() * 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, SimBatchSweep, ::testing::Values(1, 2, 8));
+
+}  // namespace
+}  // namespace trident::core

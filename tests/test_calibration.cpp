@@ -1,0 +1,111 @@
+// Write-verify calibration tests: convergence on noisy hardware and its
+// accounted cost.
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+namespace {
+
+WeightBankConfig noisy_config(Rng* rng, double noise_levels, int n = 4) {
+  WeightBankConfig c;
+  c.rows = n;
+  c.cols = n;
+  c.plan = phot::ChannelPlan(n);
+  c.gst.programming_noise_levels = noise_levels;
+  c.rng = rng;
+  return c;
+}
+
+nn::Matrix random_targets(std::size_t n, std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Matrix m(n, n);
+  for (double& v : m.data()) {
+    v = rng.uniform(-0.95, 0.95);
+  }
+  return m;
+}
+
+TEST(Calibration, IdealHardwareConvergesWithoutExtraWrites) {
+  Rng rng(1);
+  WeightBank bank(noisy_config(&rng, 0.0));
+  const nn::Matrix targets = random_targets(4, 2);
+  const CalibrationResult r = calibrate_program(bank, targets);
+  EXPECT_TRUE(r.converged);
+  EXPECT_EQ(r.iterations, 0);
+  EXPECT_EQ(r.extra_writes, 0u);
+  EXPECT_EQ(r.cells_converged, r.cells_total);
+}
+
+TEST(Calibration, NoisyHardwareImprovesWithVerify) {
+  Rng rng(3);
+  WeightBank bank(noisy_config(&rng, 4.0));
+  const nn::Matrix targets = random_targets(4, 4);
+  CalibrationConfig cfg;
+  cfg.tolerance = 2.0 / 254.0;
+  const CalibrationResult r = calibrate_program(bank, targets, cfg);
+  EXPECT_GT(r.initial_max_error,
+            bank.worst_quantization_error())
+      << "4-level jitter must exceed the noiseless placement error";
+  EXPECT_LT(r.final_max_error, r.initial_max_error);
+  EXPECT_GT(r.iterations, 0);
+  EXPECT_GT(r.extra_writes, 0u);
+}
+
+TEST(Calibration, ExtraWritesAreBounded) {
+  Rng rng(5);
+  WeightBank bank(noisy_config(&rng, 3.0));
+  const nn::Matrix targets = random_targets(4, 6);
+  CalibrationConfig cfg;
+  cfg.max_iterations = 3;
+  const CalibrationResult r = calibrate_program(bank, targets, cfg);
+  EXPECT_LE(r.iterations, 3);
+  // At most iterations × cells rewrites.
+  EXPECT_LE(r.extra_writes, 3u * r.cells_total);
+}
+
+TEST(Calibration, ConvergedFractionMonotoneInIterations) {
+  const nn::Matrix targets = random_targets(4, 7);
+  CalibrationConfig one, many;
+  one.max_iterations = 1;
+  many.max_iterations = 8;
+  Rng rng_a(9), rng_b(9);
+  WeightBank bank_a(noisy_config(&rng_a, 4.0));
+  WeightBank bank_b(noisy_config(&rng_b, 4.0));
+  const CalibrationResult ra = calibrate_program(bank_a, targets, one);
+  const CalibrationResult rb = calibrate_program(bank_b, targets, many);
+  EXPECT_GE(rb.cells_converged, ra.cells_converged);
+  EXPECT_LE(rb.final_max_error, ra.final_max_error + 1e-12);
+}
+
+TEST(Calibration, EnergyCostShowsUpInBankBooks) {
+  Rng rng(11);
+  WeightBank bank(noisy_config(&rng, 4.0));
+  const nn::Matrix targets = random_targets(4, 12);
+  const units::Energy before = bank.total_write_energy();
+  const CalibrationResult r = calibrate_program(bank, targets);
+  const units::Energy after = bank.total_write_energy();
+  // 16 initial writes + the extra verify writes, 660 pJ each.
+  EXPECT_NEAR((after - before).nJ(),
+              (16.0 + static_cast<double>(r.extra_writes)) * 0.66, 1e-6);
+}
+
+TEST(Calibration, RejectsBadArguments) {
+  Rng rng(13);
+  WeightBank bank(noisy_config(&rng, 1.0));
+  const nn::Matrix wrong(2, 4, 0.0);
+  EXPECT_THROW((void)calibrate_program(bank, wrong), Error);
+  CalibrationConfig bad;
+  bad.tolerance = 0.0;
+  EXPECT_THROW((void)calibrate_program(bank, random_targets(4, 1), bad),
+               Error);
+  bad = {};
+  bad.max_iterations = 0;
+  EXPECT_THROW((void)calibrate_program(bank, random_targets(4, 1), bad),
+               Error);
+}
+
+}  // namespace
+}  // namespace trident::core

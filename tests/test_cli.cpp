@@ -1,0 +1,89 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident {
+namespace {
+
+CliArgs make(std::initializer_list<const char*> args) {
+  std::vector<const char*> argv{"prog"};
+  argv.insert(argv.end(), args.begin(), args.end());
+  return CliArgs(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Cli, ProgramName) {
+  EXPECT_EQ(make({}).program(), "prog");
+}
+
+TEST(Cli, BareFlags) {
+  const CliArgs args = make({"--csv", "--verbose"});
+  EXPECT_TRUE(args.has_flag("csv"));
+  EXPECT_TRUE(args.has_flag("verbose"));
+  EXPECT_FALSE(args.has_flag("quiet"));
+  EXPECT_TRUE(args.csv());
+}
+
+TEST(Cli, EqualsSyntax) {
+  const CliArgs args = make({"--batch=16", "--model=vgg"});
+  EXPECT_EQ(args.value("model").value(), "vgg");
+  EXPECT_EQ(args.value_int("batch", 1), 16);
+  EXPECT_EQ(args.batch(), 16);
+}
+
+TEST(Cli, SpaceSyntax) {
+  const CliArgs args = make({"--batch", "8", "--model", "alexnet"});
+  EXPECT_EQ(args.value_int("batch", 1), 8);
+  EXPECT_EQ(args.value("model").value(), "alexnet");
+}
+
+TEST(Cli, FlagFollowedByFlagStaysAFlag) {
+  const CliArgs args = make({"--csv", "--batch", "4"});
+  EXPECT_TRUE(args.has_flag("csv"));
+  EXPECT_EQ(args.batch(), 4);
+}
+
+TEST(Cli, PositionalArguments) {
+  const CliArgs args = make({"first", "second", "--csv"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "first");
+  EXPECT_EQ(args.positional()[1], "second");
+  EXPECT_TRUE(args.csv());
+}
+
+TEST(Cli, BareFlagBeforePositionalConsumesIt) {
+  // Documented space-syntax semantics: `--csv second` reads as csv=second.
+  // Use `--csv=1` or put flags last when mixing with positionals.
+  const CliArgs args = make({"--csv", "second"});
+  EXPECT_EQ(args.value("csv").value(), "second");
+  EXPECT_TRUE(args.positional().empty());
+}
+
+TEST(Cli, DefaultsWhenAbsent) {
+  const CliArgs args = make({});
+  EXPECT_EQ(args.value_int("batch", 7), 7);
+  EXPECT_DOUBLE_EQ(args.value_double("sigma", 0.25), 0.25);
+  EXPECT_FALSE(args.value("missing").has_value());
+  EXPECT_FALSE(args.csv());
+  EXPECT_EQ(args.batch(), 1);
+}
+
+TEST(Cli, DoubleValues) {
+  const CliArgs args = make({"--sigma=0.15"});
+  EXPECT_DOUBLE_EQ(args.value_double("sigma", 0.0), 0.15);
+}
+
+TEST(Cli, MalformedNumbersThrow) {
+  const CliArgs args = make({"--batch=abc", "--sigma=x1"});
+  EXPECT_THROW((void)args.value_int("batch", 1), Error);
+  EXPECT_THROW((void)args.value_double("sigma", 0.0), Error);
+}
+
+TEST(Cli, ValueSyntaxCountsAsFlag) {
+  const CliArgs args = make({"--csv=true"});
+  EXPECT_TRUE(args.has_flag("csv"));
+}
+
+}  // namespace
+}  // namespace trident

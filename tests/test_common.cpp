@@ -1,0 +1,217 @@
+// Tests for error handling, RNG, statistics, and table rendering.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+
+namespace trident {
+namespace {
+
+// --- error ------------------------------------------------------------------
+
+TEST(Error, RequireThrowsWithContext) {
+  try {
+    TRIDENT_REQUIRE(1 == 2, "math is broken");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("math is broken"), std::string::npos);
+    EXPECT_NE(what.find("test_common.cpp"), std::string::npos);
+  }
+}
+
+TEST(Error, RequirePassesSilently) {
+  EXPECT_NO_THROW(TRIDENT_REQUIRE(2 + 2 == 4, "fine"));
+  EXPECT_NO_THROW(TRIDENT_ASSERT(true, "fine"));
+}
+
+TEST(Error, AssertThrowsInvariantLabel) {
+  try {
+    TRIDENT_ASSERT(false, "boom");
+    FAIL() << "expected throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("invariant"), std::string::npos);
+  }
+}
+
+// --- rng --------------------------------------------------------------------
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.uniform() == b.uniform()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.0, 3.0);
+    EXPECT_GE(v, -2.0);
+    EXPECT_LT(v, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng rng(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const auto v = rng.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == 0);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NormalMomentsApproximatelyCorrect) {
+  Rng rng(11);
+  RunningStats s;
+  for (int i = 0; i < 20000; ++i) {
+    s.add(rng.normal(5.0, 2.0));
+  }
+  EXPECT_NEAR(s.mean(), 5.0, 0.1);
+  EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(Rng, BernoulliFrequency) {
+  Rng rng(13);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    hits += rng.bernoulli(0.3) ? 1 : 0;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.3, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependentAndDeterministic) {
+  Rng parent(99);
+  Rng c1 = parent.split(0);
+  Rng c2 = parent.split(1);
+  Rng c1_again = parent.split(0);
+  EXPECT_DOUBLE_EQ(c1.uniform(), c1_again.uniform());
+  // Streams 0 and 1 should not track each other.
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.uniform() == c2.uniform()) {
+      ++same;
+    }
+  }
+  EXPECT_LT(same, 5);
+}
+
+// --- stats ------------------------------------------------------------------
+
+TEST(Stats, RunningStatsMatchesClosedForm) {
+  RunningStats s;
+  const std::array<double, 5> xs{1.0, 2.0, 3.0, 4.0, 5.0};
+  for (double x : xs) {
+    s.add(x);
+  }
+  EXPECT_EQ(s.count(), 5u);
+  EXPECT_DOUBLE_EQ(s.mean(), 3.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 2.5);  // sample variance
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 5.0);
+}
+
+TEST(Stats, SingleSampleHasZeroVariance) {
+  RunningStats s;
+  s.add(7.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(Stats, GeomeanOfPowersOfTwo) {
+  const std::array<double, 3> xs{2.0, 4.0, 8.0};
+  EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
+}
+
+TEST(Stats, GeomeanRejectsNonPositive) {
+  const std::array<double, 2> xs{1.0, -1.0};
+  EXPECT_THROW((void)geomean(xs), Error);
+  EXPECT_THROW((void)geomean(std::span<const double>{}), Error);
+}
+
+TEST(Stats, MeanBasics) {
+  const std::array<double, 4> xs{1.0, 2.0, 3.0, 6.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+}
+
+TEST(Stats, ImprovementPercentMatchesPaperConvention) {
+  // "Trident reduces latency by 1413%": ours=1, theirs=15.13.
+  EXPECT_NEAR(improvement_percent(1.0, 15.131), 1413.1, 1e-9);
+  // A 2x advantage reads as +100%.
+  EXPECT_DOUBLE_EQ(improvement_percent(1.0, 2.0), 100.0);
+  // Worse than baseline is negative.
+  EXPECT_LT(improvement_percent(2.0, 1.0), 0.0);
+}
+
+TEST(Stats, RelativeError) {
+  EXPECT_NEAR(relative_error(1.1, 1.0), 0.1, 1e-12);
+  EXPECT_NEAR(relative_error(0.9, 1.0), 0.1, 1e-12);
+}
+
+// --- table ------------------------------------------------------------------
+
+TEST(Table, RendersAlignedAscii) {
+  Table t({"A", "Bee"});
+  t.add_row({"1", "2"});
+  t.add_row({"longer", "x"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| A      | Bee |"), std::string::npos);
+  EXPECT_NE(s.find("| longer | x   |"), std::string::npos);
+}
+
+TEST(Table, RowWidthMismatchThrows) {
+  Table t({"A", "B"});
+  EXPECT_THROW(t.add_row({"only-one"}), Error);
+}
+
+TEST(Table, EmptyHeaderThrows) {
+  EXPECT_THROW(Table({}), Error);
+}
+
+TEST(Table, CsvEscapesSpecials) {
+  Table t({"name", "value"});
+  t.add_row({"a,b", "he said \"hi\""});
+  const std::string csv = t.to_csv();
+  EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+  EXPECT_NE(csv.find("\"he said \"\"hi\"\"\""), std::string::npos);
+}
+
+TEST(Table, NumberFormatters) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::pct(16.4), "+16.4%");
+  EXPECT_EQ(Table::pct(-8.53), "-8.5%");
+  EXPECT_EQ(Table::sci(0.000123, 2), "1.23e-04");
+}
+
+TEST(Table, RowAccessors) {
+  Table t({"A"});
+  t.add_row({"x"});
+  EXPECT_EQ(t.rows(), 1u);
+  EXPECT_EQ(t.columns(), 1u);
+  EXPECT_EQ(t.row(0).at(0), "x");
+  EXPECT_THROW((void)t.row(1), Error);
+}
+
+}  // namespace
+}  // namespace trident

@@ -1,0 +1,153 @@
+#include "nn/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace trident::nn {
+namespace {
+
+TEST(Dataset, TwoMoonsShape) {
+  Rng rng(1);
+  const Dataset d = two_moons(100, 0.05, rng);
+  EXPECT_EQ(d.size(), 100u);
+  EXPECT_EQ(d.features, 2);
+  EXPECT_EQ(d.classes, 2);
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Dataset, TwoMoonsBalancedLabels) {
+  Rng rng(2);
+  const Dataset d = two_moons(200, 0.05, rng);
+  const long ones = std::count(d.labels.begin(), d.labels.end(), 1);
+  EXPECT_EQ(ones, 100);
+}
+
+TEST(Dataset, TwoMoonsGeometry) {
+  // Noiseless moons live on unit half-circles around (0,0) and (1,0.5).
+  Rng rng(3);
+  const Dataset d = two_moons(400, 0.0, rng);
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    const double x = d.inputs[i][0], y = d.inputs[i][1];
+    if (d.labels[i] == 0) {
+      EXPECT_NEAR(x * x + y * y, 1.0, 1e-9);
+      EXPECT_GE(y, -1e-9);
+    } else {
+      const double dx = x - 1.0, dy = y - 0.5;
+      EXPECT_NEAR(dx * dx + dy * dy, 1.0, 1e-9);
+      EXPECT_LE(dy, 1e-9);
+    }
+  }
+}
+
+TEST(Dataset, GaussianBlobsShapeAndSeparation) {
+  Rng rng(4);
+  const Dataset d = gaussian_blobs(300, 3, 5, 4.0, 0.2, rng);
+  EXPECT_EQ(d.classes, 3);
+  EXPECT_EQ(d.features, 5);
+  EXPECT_NO_THROW(d.validate());
+  // With high separation and low noise, same-class samples cluster: the
+  // mean intra-class distance is far below the typical inter-class one.
+  auto dist2 = [&](std::size_t a, std::size_t b) {
+    double s = 0.0;
+    for (int f = 0; f < d.features; ++f) {
+      const double diff = d.inputs[a][static_cast<std::size_t>(f)] -
+                          d.inputs[b][static_cast<std::size_t>(f)];
+      s += diff * diff;
+    }
+    return s;
+  };
+  // Samples 0 and 3 share class 0; samples 0 and 1 differ.
+  EXPECT_LT(dist2(0, 3), dist2(0, 1));
+}
+
+TEST(Dataset, PatternClassesBinaryFeatures) {
+  Rng rng(5);
+  const Dataset d = pattern_classes(64, 4, 16, 0.1, rng);
+  EXPECT_NO_THROW(d.validate());
+  for (const auto& x : d.inputs) {
+    for (double v : x) {
+      EXPECT_TRUE(v == 0.0 || v == 1.0);
+    }
+  }
+}
+
+TEST(Dataset, PatternNoiseZeroGivesExactTemplates) {
+  Rng rng(6);
+  const Dataset d = pattern_classes(8, 4, 16, 0.0, rng);
+  // Samples of the same class are identical without flips.
+  EXPECT_EQ(d.inputs[0], d.inputs[4]);
+  EXPECT_EQ(d.labels[0], d.labels[4]);
+}
+
+TEST(Dataset, ShufflePreservesPairsAndMultiset) {
+  Rng rng(7);
+  Dataset d = gaussian_blobs(50, 2, 3, 2.0, 0.5, rng);
+  // Tag each sample by its exact feature vector → label pairing.
+  std::multiset<std::pair<double, int>> before;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    before.insert({d.inputs[i][0], d.labels[i]});
+  }
+  Rng shuffle_rng(8);
+  d.shuffle(shuffle_rng);
+  std::multiset<std::pair<double, int>> after;
+  for (std::size_t i = 0; i < d.size(); ++i) {
+    after.insert({d.inputs[i][0], d.labels[i]});
+  }
+  EXPECT_EQ(before, after);
+  EXPECT_NO_THROW(d.validate());
+}
+
+TEST(Dataset, ShuffleIsDeterministicPerSeed) {
+  Rng rng(9);
+  Dataset a = gaussian_blobs(50, 2, 3, 2.0, 0.5, rng);
+  Dataset b = a;
+  Rng s1(10), s2(10);
+  a.shuffle(s1);
+  b.shuffle(s2);
+  EXPECT_EQ(a.inputs, b.inputs);
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(Dataset, SplitSizesAndDisjointness) {
+  Rng rng(11);
+  const Dataset d = gaussian_blobs(100, 2, 3, 2.0, 0.5, rng);
+  const auto [train, test] = d.split(0.2);
+  EXPECT_EQ(train.size(), 80u);
+  EXPECT_EQ(test.size(), 20u);
+  EXPECT_NO_THROW(train.validate());
+  EXPECT_NO_THROW(test.validate());
+  EXPECT_EQ(train.inputs[0], d.inputs[0]);
+  EXPECT_EQ(test.inputs[0], d.inputs[80]);
+}
+
+TEST(Dataset, SplitRejectsDegenerateFractions) {
+  Rng rng(12);
+  const Dataset d = gaussian_blobs(10, 2, 2, 2.0, 0.5, rng);
+  EXPECT_THROW((void)d.split(0.0), Error);
+  EXPECT_THROW((void)d.split(1.0), Error);
+}
+
+TEST(Dataset, GeneratorsRejectBadArguments) {
+  Rng rng(13);
+  EXPECT_THROW((void)two_moons(1, 0.1, rng), Error);
+  EXPECT_THROW((void)two_moons(10, -0.1, rng), Error);
+  EXPECT_THROW((void)gaussian_blobs(10, 1, 2, 1.0, 0.1, rng), Error);
+  EXPECT_THROW((void)pattern_classes(10, 4, 8, 0.6, rng), Error);
+}
+
+TEST(Dataset, ValidateCatchesCorruption) {
+  Rng rng(14);
+  Dataset d = two_moons(10, 0.1, rng);
+  d.labels[0] = 5;
+  EXPECT_THROW(d.validate(), Error);
+  d = two_moons(10, 0.1, rng);
+  d.inputs[0].push_back(1.0);
+  EXPECT_THROW(d.validate(), Error);
+}
+
+}  // namespace
+}  // namespace trident::nn

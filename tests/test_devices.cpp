@@ -1,0 +1,146 @@
+// Tests for lasers / modulation, balanced photodetection, and the TIA.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "photonics/laser.hpp"
+#include "photonics/photodetector.hpp"
+
+namespace trident::phot {
+namespace {
+
+using namespace trident::units::literals;
+
+// --- LaserSource -------------------------------------------------------------
+
+TEST(LaserSource, ModulatesProportionally) {
+  LaserSource laser(1550.0_nm, 1.0_mW);
+  EXPECT_NEAR(laser.modulate(1.0).mW(), 1.0, 1e-12);
+  EXPECT_NEAR(laser.modulate(0.5).mW(), 0.5, 1e-2);
+  EXPECT_DOUBLE_EQ(laser.modulate(0.0).W(), 0.0);
+}
+
+TEST(LaserSource, DacQuantizesEncodedValue) {
+  LaserSource laser(1550.0_nm, 1.0_mW, /*dac_bits=*/4);
+  // 4-bit DAC: 15 levels.  0.5 is representable only approximately.
+  const double v = laser.encoded_value(0.5);
+  EXPECT_NEAR(v, 0.5, 1.0 / 15.0);
+  // Encoded values are idempotent under re-encoding.
+  EXPECT_DOUBLE_EQ(laser.encoded_value(v), v);
+}
+
+TEST(LaserSource, RejectsBadConstruction) {
+  EXPECT_THROW(LaserSource(Length::meters(0.0), 1.0_mW), Error);
+  EXPECT_THROW(LaserSource(1550.0_nm, units::Power::watts(0.0)), Error);
+}
+
+// --- WdmSourceBank ------------------------------------------------------------
+
+TEST(WdmSourceBank, EncodesVectorPerChannel) {
+  WdmSourceBank bank({1530.0_nm, 1531.6_nm, 1533.2_nm}, 1.0_mW);
+  const auto powers = bank.encode({1.0, 0.0, 0.5});
+  ASSERT_EQ(powers.size(), 3u);
+  EXPECT_NEAR(powers[0].mW(), 1.0, 1e-12);
+  EXPECT_DOUBLE_EQ(powers[1].W(), 0.0);
+  EXPECT_NEAR(powers[2].mW(), 0.5, 0.01);
+}
+
+TEST(WdmSourceBank, SizeMismatchThrows) {
+  WdmSourceBank bank({1530.0_nm, 1531.6_nm}, 1.0_mW);
+  EXPECT_THROW((void)bank.encode({1.0}), Error);
+  EXPECT_THROW((void)bank.source(2), Error);
+  EXPECT_THROW(WdmSourceBank({}, 1.0_mW), Error);
+}
+
+TEST(WdmSourceBank, SymbolEnergyFullScale) {
+  WdmSourceBank bank({1530.0_nm, 1531.6_nm}, 1.0_mW, 1.0_GHz);
+  // 2 channels × 1 mW × 1 ns = 2 pJ.
+  EXPECT_NEAR(bank.symbol_energy_full_scale().pJ(), 2.0, 1e-9);
+  EXPECT_NEAR(bank.symbol_time().ns(), 1.0, 1e-12);
+}
+
+TEST(EoLaser, EnergyPerSymbolFromTableIII) {
+  EoLaser eo;
+  // 0.032 mW / 1.37 GHz ≈ 0.023 pJ.
+  EXPECT_NEAR(eo.energy_per_symbol().fJ(), 23.36, 0.5);
+}
+
+// --- BalancedPhotodetector -----------------------------------------------------
+
+TEST(Bpd, DifferentialCurrent) {
+  BalancedPhotodetector bpd;
+  // R = 1 A/W: 1 mW − 0.4 mW → 0.6 mA.
+  EXPECT_NEAR(bpd.current(1.0_mW, 0.4_mW), 0.6e-3, 1e-12);
+  // Sign flips when minus dominates — this is how negative weights read out.
+  EXPECT_NEAR(bpd.current(0.2_mW, 0.5_mW), -0.3e-3, 1e-12);
+}
+
+TEST(Bpd, AccumulatesAcrossChannels) {
+  BalancedPhotodetector bpd;
+  const std::vector<units::Power> drop{0.5_mW, 0.25_mW};
+  const std::vector<units::Power> thru{0.1_mW, 0.1_mW};
+  EXPECT_NEAR(bpd.accumulate(drop, thru), 0.55e-3, 1e-12);
+}
+
+TEST(Bpd, MismatchedVectorsThrow) {
+  BalancedPhotodetector bpd;
+  EXPECT_THROW((void)bpd.accumulate({1.0_mW}, {}), Error);
+}
+
+TEST(Bpd, NoiseRmsGrowsWithCurrent) {
+  BalancedPhotodetector bpd;
+  EXPECT_GT(bpd.noise_rms(1e-3), bpd.noise_rms(1e-6));
+  EXPECT_GT(bpd.noise_rms(0.0), 0.0);  // thermal floor remains
+}
+
+TEST(Bpd, NoiseStatisticsMatchModel) {
+  BpdParams p;
+  p.enable_noise = true;
+  BalancedPhotodetector bpd(p);
+  Rng rng(21);
+  RunningStats s;
+  for (int i = 0; i < 5000; ++i) {
+    s.add(bpd.current(1.0_mW, 0.0_mW, &rng));
+  }
+  EXPECT_NEAR(s.mean(), 1e-3, 5e-6);
+  EXPECT_NEAR(s.stddev(), bpd.noise_rms(1e-3), bpd.noise_rms(1e-3) * 0.1);
+}
+
+TEST(Bpd, NoiseDisabledIsDeterministic) {
+  BalancedPhotodetector bpd;  // enable_noise = false
+  Rng rng(1);
+  EXPECT_DOUBLE_EQ(bpd.current(1.0_mW, 0.0_mW, &rng),
+                   bpd.current(1.0_mW, 0.0_mW, &rng));
+}
+
+TEST(Bpd, NegativePowerRejected) {
+  BalancedPhotodetector bpd;
+  EXPECT_THROW((void)bpd.current(units::Power::watts(-1.0), 0.0_mW), Error);
+}
+
+// --- Tia ------------------------------------------------------------------------
+
+TEST(Tia, AmplifiesWithTransimpedance) {
+  Tia tia(1e4);
+  EXPECT_DOUBLE_EQ(tia.amplify(1e-3), 10.0);
+}
+
+TEST(Tia, ProgrammableGainImplementsHadamard) {
+  // §III.A.2: during the gradient pass the TIA gain is f'(h) ∈ {0, 0.34}.
+  Tia tia(1e4);
+  tia.set_gain(0.34);
+  EXPECT_NEAR(tia.amplify(1e-3), 3.4, 1e-12);
+  tia.set_gain(0.0);
+  EXPECT_DOUBLE_EQ(tia.amplify(1e-3), 0.0);
+  EXPECT_THROW(tia.set_gain(-0.1), Error);
+}
+
+TEST(Tia, PairPowerMatchesTableIII) {
+  EXPECT_NEAR(Tia::pair_power().mW(), 12.1, 1e-12);
+}
+
+}  // namespace
+}  // namespace trident::phot

@@ -1,0 +1,106 @@
+// GST drift / retention tests: the §III.B "non-volatile for up to 10
+// years" claim, made quantitative.
+#include "photonics/drift.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+namespace {
+
+using units::Time;
+
+TEST(Drift, NoDriftBeforeReferenceTime) {
+  DriftModel model;
+  EXPECT_DOUBLE_EQ(model.transmittance_factor(Time::seconds(0.5)), 1.0);
+  EXPECT_DOUBLE_EQ(model.transmittance_factor(model.params().t0), 1.0);
+}
+
+TEST(Drift, FactorDecaysMonotonically) {
+  DriftModel model;
+  double prev = 1.0;
+  for (double t : {10.0, 1e3, 1e5, 1e7, 1e9}) {
+    const double f = model.transmittance_factor(Time::seconds(t));
+    EXPECT_LE(f, prev);
+    EXPECT_GT(f, 0.9);  // optical drift is slow
+    prev = f;
+  }
+}
+
+TEST(Drift, ZeroExponentNeverDrifts) {
+  DriftParams p;
+  p.nu = 0.0;
+  DriftModel model(p);
+  EXPECT_DOUBLE_EQ(model.transmittance_factor(Time::seconds(1e12)), 1.0);
+  EXPECT_TRUE(model.retains(Time::seconds(1e12)));
+}
+
+TEST(Drift, TopLevelMovesMost) {
+  DriftModel model;
+  const Time decade = Time::seconds(10.0 * kSecondsPerYear);
+  const double low_err = 10.0 - model.drifted_level(10, decade);
+  const double high_err = 254.0 - model.drifted_level(254, decade);
+  EXPECT_GT(high_err, low_err);
+  EXPECT_NEAR(model.worst_level_error(decade), high_err, 1e-12);
+  // Level 0 (fully crystalline) never moves.
+  EXPECT_DOUBLE_EQ(model.drifted_level(0, decade), 0.0);
+}
+
+TEST(Drift, PaperRetentionClaimHolds) {
+  // With the default (calibrated) exponent, every level re-reads correctly
+  // for ten years — the paper's §III.B retention claim at full 8-bit
+  // precision.
+  DriftModel model;
+  EXPECT_TRUE(model.retains(Time::seconds(10.0 * kSecondsPerYear)));
+  // ...but not forever: precision is eventually lost.
+  EXPECT_FALSE(model.retains(Time::seconds(100.0 * kSecondsPerYear)));
+}
+
+TEST(Drift, RetentionLimitNearTenYears) {
+  DriftModel model;
+  const double years = model.retention_limit().s() / kSecondsPerYear;
+  EXPECT_GT(years, 8.0);
+  EXPECT_LT(years, 40.0);
+}
+
+TEST(Drift, RetentionLimitBisectionConsistent) {
+  DriftModel model;
+  const Time limit = model.retention_limit();
+  EXPECT_TRUE(model.retains(limit * 0.99));
+  EXPECT_FALSE(model.retains(limit * 1.01));
+}
+
+TEST(Drift, FasterDriftShortensRetention) {
+  DriftParams fast;
+  fast.nu = 1.0e-3;
+  const double fast_years =
+      DriftModel(fast).retention_limit().s() / kSecondsPerYear;
+  const double slow_years =
+      DriftModel().retention_limit().s() / kSecondsPerYear;
+  EXPECT_LT(fast_years, slow_years);
+  EXPECT_LT(fast_years, 1.0);  // electrical-grade drift would break 8-bit
+}
+
+TEST(Drift, RetentionLimitRespectsHorizon) {
+  DriftParams p;
+  p.nu = 0.0;
+  DriftModel model(p);
+  const Time horizon = Time::seconds(1e6);
+  EXPECT_DOUBLE_EQ(model.retention_limit(horizon).s(), horizon.s());
+}
+
+TEST(Drift, RejectsBadParameters) {
+  DriftParams p;
+  p.nu = 0.5;
+  EXPECT_THROW(DriftModel{p}, Error);
+  p = {};
+  p.t0 = Time::seconds(0.0);
+  EXPECT_THROW(DriftModel{p}, Error);
+  DriftModel ok;
+  EXPECT_THROW((void)ok.drifted_level(255, Time::seconds(1.0)), Error);
+  EXPECT_THROW((void)ok.transmittance_factor(Time::seconds(-1.0)), Error);
+}
+
+}  // namespace
+}  // namespace trident::phot

@@ -1,0 +1,84 @@
+// ENOB tests: the detector-noise gatekeeper of the 8-bit claim.
+#include "photonics/enob.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "photonics/link_budget.hpp"
+
+namespace trident::phot {
+namespace {
+
+TEST(Enob, MilliwattSwingSupportsEightBits) {
+  // 1 mW at the detector and the default receiver: comfortably 8 bits.
+  const EnobReport r = readout_enob(BpdParams{}, units::Power::milliwatts(1.0));
+  EXPECT_GE(r.effective_bits, 8);
+  EXPECT_GT(r.snr_db, 50.0);
+}
+
+TEST(Enob, MicrowattSwingLosesBits) {
+  const EnobReport weak =
+      readout_enob(BpdParams{}, units::Power::microwatts(1.0));
+  const EnobReport strong =
+      readout_enob(BpdParams{}, units::Power::milliwatts(1.0));
+  EXPECT_LT(weak.effective_bits, strong.effective_bits);
+}
+
+TEST(Enob, MoreBandwidthMoreNoise) {
+  BpdParams fast;
+  fast.bandwidth = units::Frequency::gigahertz(10.0);
+  BpdParams slow;
+  slow.bandwidth = units::Frequency::gigahertz(1.0);
+  const auto p = units::Power::microwatts(50.0);
+  EXPECT_LE(readout_enob(fast, p).effective_bits,
+            readout_enob(slow, p).effective_bits);
+}
+
+TEST(Enob, RequiredPowerMonotonicInBits) {
+  BpdParams bpd;
+  double prev = 0.0;
+  for (int bits : {4, 6, 8, 10}) {
+    const double watts = required_power_for_bits(bpd, bits).W();
+    EXPECT_GT(watts, prev) << bits;
+    prev = watts;
+  }
+}
+
+TEST(Enob, RequiredPowerIsConsistentWithForwardQuery) {
+  BpdParams bpd;
+  const units::Power p = required_power_for_bits(bpd, 8);
+  EXPECT_GE(readout_enob(bpd, p).effective_bits, 8);
+  // Slightly below the threshold must fail.
+  EXPECT_LT(readout_enob(bpd, p * 0.5).effective_bits, 8);
+}
+
+TEST(Enob, LinkBudgetDeliversEnoughForEightBits) {
+  // Close the loop with the link budget.  The BPD of a row accumulates all
+  // 16 channels, so its full-scale swing is the per-channel worst-case
+  // delivery × the channel count — and THAT aggregate must clear the
+  // detector's 8-bit requirement at the 1.37 GHz bandwidth.
+  LinkBudget budget;
+  const LinkReport link = budget.analyze_pe(
+      units::Power::milliwatts(1.0), 16, units::Length::millimeters(5.0));
+  ASSERT_TRUE(link.feasible);
+  const units::Power aggregate =
+      units::Power::watts(dbm_to_watts(link.received_dbm)) * 16.0;
+  const units::Power needed = required_power_for_bits(BpdParams{}, 8);
+  EXPECT_GE(aggregate.W(), needed.W())
+      << "aggregate " << aggregate.uW() << " uW, need " << needed.uW()
+      << " uW";
+  // A single channel alone would NOT reach 8 bits — per-element products
+  // are noisier than the accumulated dot product, which is exactly why
+  // broadcast-and-weight accumulates optically before detection.
+  EXPECT_LT(readout_enob(BpdParams{}, aggregate / 16.0).effective_bits, 8);
+}
+
+TEST(Enob, RejectsBadArguments) {
+  EXPECT_THROW((void)readout_enob(BpdParams{}, units::Power::watts(0.0)),
+               Error);
+  EXPECT_THROW((void)required_power_for_bits(BpdParams{}, 0), Error);
+  EXPECT_THROW((void)required_power_for_bits(BpdParams{}, 24), Error);
+}
+
+}  // namespace
+}  // namespace trident::phot

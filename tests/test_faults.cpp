@@ -1,0 +1,123 @@
+// Fault-injection tests: stuck PCM cells, their accuracy cost, and the
+// route-around capability of in-situ retraining.
+#include "core/faults.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+namespace {
+
+nn::Dataset task() {
+  Rng rng(31);
+  nn::Dataset data = nn::pattern_classes(480, 8, 16, 0.05, rng);
+  data.augment_bias();
+  return data;
+}
+
+TEST(FaultyBackend, ZeroRateMatchesPhotonicBackend) {
+  FaultConfig cfg;
+  cfg.fault_rate = 0.0;
+  FaultyBackend faulty(cfg);
+  PhotonicBackend plain;
+  nn::Matrix w(4, 4, 0.3);
+  const nn::Vector x{0.1, 0.5, 0.9, 0.2};
+  const nn::Vector a = faulty.matvec(w, x);
+  const nn::Vector b = plain.matvec(w, x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+  EXPECT_EQ(faulty.fault_count(w), 0u);
+}
+
+TEST(FaultyBackend, MaskIsFrozenPerMatrix) {
+  FaultConfig cfg;
+  cfg.fault_rate = 0.2;
+  FaultyBackend backend(cfg);
+  nn::Matrix w(8, 8, 0.0);
+  const std::size_t n1 = backend.fault_count(w);
+  const std::size_t n2 = backend.fault_count(w);
+  EXPECT_EQ(n1, n2);
+  EXPECT_GT(n1, 0u);
+  // Roughly 20% of 64 cells.
+  EXPECT_LT(n1, 30u);
+}
+
+TEST(FaultyBackend, StuckCellsDominateTheirOutputs) {
+  FaultConfig cfg;
+  cfg.fault_rate = 0.49;  // many faults in a small matrix
+  cfg.seed = 3;
+  FaultyBackend backend(cfg);
+  nn::Matrix w(4, 4, 0.0);  // all-zero weights: any signal is fault-borne
+  const nn::Vector y = backend.matvec(w, {1.0, 1.0, 1.0, 1.0});
+  double magnitude = 0.0;
+  for (double v : y) {
+    magnitude += std::abs(v);
+  }
+  EXPECT_GT(magnitude, 0.5) << "stuck cells must inject signal";
+}
+
+TEST(FaultyBackend, UpdatesToDeadCellsAreLost) {
+  FaultConfig cfg;
+  cfg.fault_rate = 0.3;
+  cfg.seed = 5;
+  FaultyBackend backend(cfg);
+  nn::Matrix w(6, 6, 0.0);
+  const std::size_t faults = backend.fault_count(w);
+  ASSERT_GT(faults, 0u);
+  // A big update everywhere...
+  backend.rank1_update(w, nn::Vector(6, 1.0), nn::Vector(6, 1.0), 0.5);
+  // ...but the dead cells still read their stuck values.
+  const nn::Matrix before = w;
+  backend.rank1_update(w, nn::Vector(6, 1.0), nn::Vector(6, 1.0), 0.5);
+  std::size_t unchanged = 0;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w.data()[i] == before.data()[i] &&
+        std::abs(w.data()[i]) == 1.0) {
+      ++unchanged;
+    }
+  }
+  EXPECT_GE(unchanged, faults);
+}
+
+TEST(FaultyBackend, RejectsBadConfig) {
+  FaultConfig bad;
+  bad.fault_rate = 0.6;
+  EXPECT_THROW(FaultyBackend{bad}, Error);
+  bad = {};
+  bad.stuck_value = 2.0;
+  EXPECT_THROW(FaultyBackend{bad}, Error);
+}
+
+TEST(FaultStudy, FaultsDegradeAndRetrainingRecovers) {
+  // The reliability claim: a few percent of dead cells costs a deployed
+  // model accuracy; in-situ retraining on the SAME faulty hardware routes
+  // around them (the healthy cells compensate).
+  nn::Dataset data = task();
+  const auto [train_set, test_set] = data.split(0.25);
+  FaultConfig cfg;
+  cfg.fault_rate = 0.05;
+  const FaultStudy s =
+      fault_study(train_set, test_set, {17, 24, 8}, cfg, 30, 10, 0.05);
+  EXPECT_GT(s.clean_accuracy, 0.95);
+  EXPECT_LT(s.faulty_accuracy, s.clean_accuracy);
+  EXPECT_GT(s.retrained_accuracy, s.faulty_accuracy);
+  EXPECT_GT(s.retrained_accuracy, s.clean_accuracy - 0.05);
+}
+
+TEST(FaultStudy, MoreFaultsHurtMore) {
+  nn::Dataset data = task();
+  const auto [train_set, test_set] = data.split(0.25);
+  FaultConfig mild, severe;
+  mild.fault_rate = 0.01;
+  severe.fault_rate = 0.20;
+  const FaultStudy a =
+      fault_study(train_set, test_set, {17, 24, 8}, mild, 30, 0, 0.05);
+  const FaultStudy b =
+      fault_study(train_set, test_set, {17, 24, 8}, severe, 30, 0, 0.05);
+  EXPECT_GE(a.faulty_accuracy, b.faulty_accuracy);
+}
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,144 @@
+// Randomised property tests ("fuzz") over the analytical stack: random
+// valid layer shapes must satisfy the model's invariants, and the two
+// timing models (closed-form analyzer, event-driven simulator) must agree
+// on every one of them.
+#include <gtest/gtest.h>
+
+#include "arch/photonic.hpp"
+#include "common/rng.hpp"
+#include "core/array_sim.hpp"
+#include "dataflow/analyzer.hpp"
+
+namespace trident {
+namespace {
+
+using dataflow::GemmShape;
+using nn::LayerSpec;
+
+/// Generates a random, guaranteed-valid layer.
+LayerSpec random_layer(Rng& rng, int index) {
+  const int kind = static_cast<int>(rng.uniform_int(0, 3));
+  const int hw = static_cast<int>(rng.uniform_int(4, 64));
+  const int in_c = static_cast<int>(rng.uniform_int(1, 96));
+  const int out_c = static_cast<int>(rng.uniform_int(1, 128));
+  const std::string name = "fuzz" + std::to_string(index);
+  switch (kind) {
+    case 0: {
+      const int kernel = 1 + 2 * static_cast<int>(rng.uniform_int(0, 2));
+      const int stride = static_cast<int>(rng.uniform_int(1, 2));
+      const int pad = kernel / 2;
+      LayerSpec l = LayerSpec::conv(name, hw, in_c, out_c, kernel, stride,
+                                    pad);
+      l.validate();
+      return l;
+    }
+    case 1: {
+      LayerSpec l = LayerSpec::dwconv(name, hw, in_c, 3, 1, 1);
+      l.validate();
+      return l;
+    }
+    case 2: {
+      LayerSpec l = LayerSpec::dense(
+          name, static_cast<int>(rng.uniform_int(1, 4096)),
+          static_cast<int>(rng.uniform_int(1, 512)));
+      l.validate();
+      return l;
+    }
+    default: {
+      LayerSpec l = LayerSpec::pool(name, hw, in_c, 2, 2);
+      l.validate();
+      return l;
+    }
+  }
+}
+
+nn::ModelSpec random_model(Rng& rng, int layers) {
+  nn::ModelSpec m;
+  m.name = "fuzz-model";
+  for (int i = 0; i < layers; ++i) {
+    m.layers.push_back(random_layer(rng, i));
+  }
+  return m;
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, GemmVolumeEqualsMacCount) {
+  Rng rng(static_cast<std::uint64_t>(GetParam()));
+  for (int trial = 0; trial < 50; ++trial) {
+    const LayerSpec l = random_layer(rng, trial);
+    const GemmShape g = dataflow::lower_to_gemm(l);
+    EXPECT_EQ(g.m * g.k * g.cols, l.macs()) << l.name << " kind";
+  }
+}
+
+TEST_P(FuzzSweep, AnalyzerInvariantsHoldForRandomLayers) {
+  Rng rng(1000 + static_cast<std::uint64_t>(GetParam()));
+  const auto array = arch::make_trident().array;
+  for (int trial = 0; trial < 30; ++trial) {
+    const LayerSpec l = random_layer(rng, trial);
+    const auto cost = dataflow::analyze_layer(l, array, {}, 1e6);
+    EXPECT_EQ(cost.macs, l.macs());
+    EXPECT_GE(cost.latency.s(), 0.0);
+    EXPECT_GE(cost.energy.total().J(), 0.0);
+    // Latency at least covers the streamed symbols.
+    EXPECT_GE(cost.latency.s(),
+              static_cast<double>(cost.symbols) /
+                  static_cast<double>(array.pe_count) *
+                  array.symbol_time().s() * 0.99 /
+                  std::max<double>(1.0, static_cast<double>(cost.tiles)));
+    // Programming energy is exactly weights × write energy (batch 1).
+    if (l.macs() > 0) {
+      EXPECT_NEAR(cost.energy.weight_programming.J(),
+                  static_cast<double>(l.weights()) *
+                      array.weight_write_energy.J(),
+                  1e-18 + cost.energy.weight_programming.J() * 1e-9);
+    }
+  }
+}
+
+TEST_P(FuzzSweep, SimulatorAgreesWithAnalyzerOnRandomModels) {
+  Rng rng(2000 + static_cast<std::uint64_t>(GetParam()));
+  const auto array = arch::make_trident().array;
+  const nn::ModelSpec model = random_model(rng, 6);
+  const auto analytic = dataflow::analyze_model(model, array);
+  const auto sim = core::simulate_array(model, array);
+  EXPECT_NEAR(sim.makespan.s(), analytic.latency.s(),
+              analytic.latency.s() * 1e-9);
+  EXPECT_NEAR(sim.energy.total().J(), analytic.energy.total().J(),
+              analytic.energy.total().J() * 1e-12);
+}
+
+TEST_P(FuzzSweep, BatchNeverWorsensPerInferenceCost) {
+  Rng rng(3000 + static_cast<std::uint64_t>(GetParam()));
+  const auto array = arch::make_trident().array;
+  const nn::ModelSpec model = random_model(rng, 4);
+  dataflow::AnalyzerOptions b1, b8;
+  b8.batch = 8;
+  const auto c1 = dataflow::analyze_model(model, array, b1);
+  const auto c8 = dataflow::analyze_model(model, array, b8);
+  EXPECT_LE(c8.latency.s() / 8.0, c1.latency.s() * 1.001);
+  EXPECT_LE(c8.energy.total().J() / 8.0, c1.energy.total().J() * 1.001);
+}
+
+TEST_P(FuzzSweep, TridentNeverLosesToBaselinesOnRandomModels) {
+  // The Fig 4/6 ordering must be structural, not tuned to the five CNNs.
+  Rng rng(4000 + static_cast<std::uint64_t>(GetParam()));
+  const nn::ModelSpec model = random_model(rng, 5);
+  const auto trident_cost =
+      dataflow::analyze_model(model, arch::make_trident().array);
+  for (const auto& other : {arch::make_deap_cnn(), arch::make_crosslight(),
+                            arch::make_pixel()}) {
+    const auto cost = dataflow::analyze_model(model, other.array);
+    EXPECT_LE(trident_cost.latency.s(), cost.latency.s() * 1.001)
+        << other.name;
+    EXPECT_LE(trident_cost.energy.total().J(),
+              cost.energy.total().J() * 1.001)
+        << other.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace trident

@@ -1,0 +1,169 @@
+#include "photonics/gst.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+namespace {
+
+TEST(GstCell, StartsFullyCrystalline) {
+  GstCell cell;
+  EXPECT_EQ(cell.level(), 0);
+  EXPECT_DOUBLE_EQ(cell.crystalline_fraction(), 1.0);
+  EXPECT_DOUBLE_EQ(cell.transmittance(),
+                   cell.params().transmittance_crystalline);
+}
+
+TEST(GstCell, FullyAmorphousAtTopLevel) {
+  GstCell cell;
+  cell.program(cell.levels() - 1);
+  EXPECT_DOUBLE_EQ(cell.crystalline_fraction(), 0.0);
+  EXPECT_DOUBLE_EQ(cell.transmittance(),
+                   cell.params().transmittance_amorphous);
+}
+
+TEST(GstCell, TransmittanceMonotonicInLevel) {
+  GstCell cell;
+  double prev = -1.0;
+  for (int l = 0; l < cell.levels(); l += 16) {
+    cell.program(l);
+    EXPECT_GT(cell.transmittance(), prev);
+    prev = cell.transmittance();
+  }
+}
+
+TEST(GstCell, AmplitudeIsSqrtOfIntensity) {
+  GstCell cell;
+  cell.program(100);
+  EXPECT_DOUBLE_EQ(cell.amplitude_transmittance(),
+                   std::sqrt(cell.transmittance()));
+}
+
+TEST(GstCell, DefaultHas255LevelsFor8Bit) {
+  GstCell cell;
+  EXPECT_EQ(cell.levels(), 255);
+}
+
+TEST(GstCell, WriteAccountingMatchesTableI) {
+  GstCell cell;
+  cell.program(10);
+  cell.program(20);
+  cell.program(20);  // unchanged: free (non-volatile skip)
+  EXPECT_EQ(cell.writes(), 2u);
+  EXPECT_NEAR(cell.total_write_energy().pJ(), 2 * 660.0, 1e-9);
+  EXPECT_NEAR(cell.total_write_time().ns(), 2 * 300.0, 1e-9);
+}
+
+TEST(GstCell, ReadAccounting) {
+  GstCell cell;
+  (void)cell.read();
+  (void)cell.read();
+  EXPECT_EQ(cell.reads(), 2u);
+  EXPECT_NEAR(cell.total_read_energy().pJ(), 2 * 20.0, 1e-9);
+}
+
+TEST(GstCell, ProgramTransmittanceHitsNearestLevel) {
+  GstCell cell;
+  const double achieved = cell.program_transmittance(0.5);
+  EXPECT_NEAR(achieved, 0.5, (cell.params().transmittance_amorphous -
+                              cell.params().transmittance_crystalline) /
+                                 (cell.levels() - 1));
+}
+
+TEST(GstCell, ProgramTransmittanceClampsToDeviceRange) {
+  GstCell cell;
+  EXPECT_DOUBLE_EQ(cell.program_transmittance(2.0),
+                   cell.params().transmittance_amorphous);
+  EXPECT_DOUBLE_EQ(cell.program_transmittance(0.0),
+                   cell.params().transmittance_crystalline);
+}
+
+TEST(GstCell, OutOfRangeLevelThrows) {
+  GstCell cell;
+  EXPECT_THROW(cell.program(-1), Error);
+  EXPECT_THROW(cell.program(cell.levels()), Error);
+}
+
+TEST(GstCell, ProgrammingNoisePerturbsLevels) {
+  GstCellParams p;
+  p.programming_noise_levels = 4.0;
+  GstCell cell(p);
+  Rng rng(5);
+  int hits_exact = 0;
+  for (int i = 0; i < 100; ++i) {
+    // Alternate between far-apart targets so every write is a long move.
+    const int target = (i % 2 == 0) ? 200 : 50;
+    if (cell.program(target, &rng) == target) {
+      ++hits_exact;
+    }
+  }
+  EXPECT_LT(hits_exact, 50);  // long moves should usually miss by a bit
+}
+
+TEST(GstCell, TrimMovesAreMorePreciseThanLongMoves) {
+  GstCellParams p;
+  p.programming_noise_levels = 6.0;
+  Rng rng(6);
+  double long_err = 0.0, short_err = 0.0;
+  const int trials = 400;
+  for (int i = 0; i < trials; ++i) {
+    GstCell far_cell(p);   // starts at level 0
+    long_err += std::abs(far_cell.program(200, &rng) - 200);
+    GstCell near_cell(p);
+    near_cell.program(195);          // noiseless pre-position
+    short_err += std::abs(near_cell.program(200, &rng) - 200);
+  }
+  EXPECT_LT(short_err / trials, long_err / trials);
+}
+
+TEST(GstCell, NoiselessWithoutRng) {
+  GstCellParams p;
+  p.programming_noise_levels = 2.0;
+  GstCell cell(p);
+  EXPECT_EQ(cell.program(128, nullptr), 128);
+}
+
+TEST(GstCell, WearTracksEndurance) {
+  GstCellParams p;
+  p.endurance_cycles = 100.0;
+  GstCell cell(p);
+  for (int i = 1; i <= 10; ++i) {
+    cell.program(i);
+  }
+  EXPECT_NEAR(cell.wear(), 0.10, 1e-12);
+}
+
+TEST(GstCell, RejectsInvalidParams) {
+  GstCellParams p;
+  p.levels = 1;
+  EXPECT_THROW(GstCell{p}, Error);
+  p = {};
+  p.transmittance_amorphous = 0.01;  // below crystalline
+  EXPECT_THROW(GstCell{p}, Error);
+  p = {};
+  p.programming_noise_levels = -1.0;
+  EXPECT_THROW(GstCell{p}, Error);
+}
+
+class GstLevelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(GstLevelSweep, MidLevelInterpolatesLinearly) {
+  const int level = GetParam();
+  GstCell cell;
+  cell.program(level);
+  const auto& p = cell.params();
+  const double frac = static_cast<double>(level) / (cell.levels() - 1);
+  const double expected = p.transmittance_crystalline +
+                          frac * (p.transmittance_amorphous -
+                                  p.transmittance_crystalline);
+  EXPECT_NEAR(cell.transmittance(), expected, 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Levels, GstLevelSweep,
+                         ::testing::Values(0, 1, 63, 127, 191, 253, 254));
+
+}  // namespace
+}  // namespace trident::phot

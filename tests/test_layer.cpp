@@ -1,0 +1,118 @@
+#include "nn/layer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::nn {
+namespace {
+
+TEST(LayerSpec, ConvOutputGeometry) {
+  // AlexNet conv1: 224 input, 11x11, stride 4, pad 2 -> 55.
+  const LayerSpec l = LayerSpec::conv("conv1", 224, 3, 96, 11, 4, 2);
+  EXPECT_EQ(l.out_h(), 55);
+  EXPECT_EQ(l.out_w(), 55);
+}
+
+TEST(LayerSpec, SamePaddingConvPreservesSize) {
+  const LayerSpec l = LayerSpec::conv("c", 56, 64, 64, 3, 1, 1);
+  EXPECT_EQ(l.out_h(), 56);
+}
+
+TEST(LayerSpec, ConvMacsMatchFormula) {
+  const LayerSpec l = LayerSpec::conv("c", 56, 128, 256, 3, 1, 1);
+  // out 56×56 × 256 filters × 3·3·128 each
+  EXPECT_EQ(l.macs(), 56ull * 56 * 256 * 9 * 128);
+  EXPECT_EQ(l.weights(), 9ull * 128 * 256);
+}
+
+TEST(LayerSpec, DepthwiseMacsAndWeights) {
+  const LayerSpec l = LayerSpec::dwconv("dw", 28, 32, 3, 1, 1);
+  EXPECT_EQ(l.macs(), 28ull * 28 * 32 * 9);
+  EXPECT_EQ(l.weights(), 9ull * 32);
+  EXPECT_EQ(l.groups, 32);
+}
+
+TEST(LayerSpec, DenseMacsEqualWeights) {
+  const LayerSpec l = LayerSpec::dense("fc", 4096, 1000);
+  EXPECT_EQ(l.macs(), 4096ull * 1000);
+  EXPECT_EQ(l.weights(), l.macs());
+  EXPECT_EQ(l.outputs(), 1000u);
+}
+
+TEST(LayerSpec, PoolingHasNoMacsOrWeights) {
+  const LayerSpec pool = LayerSpec::pool("p", 55, 96, 3, 2);
+  EXPECT_EQ(pool.macs(), 0u);
+  EXPECT_EQ(pool.weights(), 0u);
+  EXPECT_EQ(pool.out_h(), 27);
+  EXPECT_EQ(pool.activations(), 0u);
+
+  const LayerSpec gp = LayerSpec::global_pool("gp", 7, 2048);
+  EXPECT_EQ(gp.out_h(), 1);
+  EXPECT_EQ(gp.outputs(), 2048u);
+}
+
+TEST(LayerSpec, InputOutputCounts) {
+  const LayerSpec l = LayerSpec::conv("c", 14, 512, 512, 3, 1, 1);
+  EXPECT_EQ(l.inputs(), 14ull * 14 * 512);
+  EXPECT_EQ(l.outputs(), 14ull * 14 * 512);
+  EXPECT_EQ(l.activations(), l.outputs());
+}
+
+TEST(LayerSpec, NoActivationMeansNoActivations) {
+  LayerSpec l = LayerSpec::dense("fc8", 4096, 1000);
+  l.has_activation = false;
+  EXPECT_EQ(l.activations(), 0u);
+}
+
+TEST(LayerSpec, ValidationCatchesBadGeometry) {
+  LayerSpec l = LayerSpec::conv("bad", 4, 3, 8, 7, 1, 0);  // kernel > input
+  EXPECT_THROW(l.validate(), Error);
+
+  l = LayerSpec::conv("bad", 32, 3, 8, 3, 1, 1);
+  l.groups = 2;  // does not divide in_c = 3
+  EXPECT_THROW(l.validate(), Error);
+
+  l = LayerSpec::dwconv("bad", 32, 16, 3, 1, 1);
+  l.out_c = 32;  // depthwise must preserve channels
+  EXPECT_THROW(l.validate(), Error);
+
+  l = LayerSpec::dense("bad", 128, 10);
+  l.in_h = 2;  // dense layers are 1×1 spatial
+  EXPECT_THROW(l.validate(), Error);
+
+  EXPECT_NO_THROW(LayerSpec::conv("ok", 32, 3, 8, 3, 1, 1).validate());
+}
+
+TEST(ModelSpec, AggregatesAcrossLayers) {
+  ModelSpec m;
+  m.name = "toy";
+  m.layers.push_back(LayerSpec::conv("c1", 8, 1, 4, 3, 1, 1));
+  m.layers.push_back(LayerSpec::pool("p1", 8, 4, 2, 2));
+  m.layers.push_back(LayerSpec::dense("fc", 4 * 4 * 4, 10));
+  EXPECT_EQ(m.total_macs(),
+            8ull * 8 * 4 * 9 * 1 + 64ull * 10);
+  EXPECT_EQ(m.total_weights(), 9ull * 4 + 64ull * 10);
+  EXPECT_EQ(m.compute_layers(), 2);
+  EXPECT_NO_THROW(m.validate());
+}
+
+TEST(ModelSpec, EmptyModelInvalid) {
+  ModelSpec m;
+  m.name = "empty";
+  EXPECT_THROW(m.validate(), Error);
+}
+
+class StrideSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(StrideSweep, OutputShrinksWithStride) {
+  const int stride = GetParam();
+  const LayerSpec l = LayerSpec::conv("c", 224, 3, 8, 3, stride, 1);
+  EXPECT_EQ(l.out_h(), (224 + 2 - 3) / stride + 1);
+  EXPECT_GE(l.out_h(), 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StrideSweep, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace trident::nn

@@ -1,0 +1,77 @@
+// LDSU tests: the 1-bit derivative latch enabling backward passes without
+// ADCs or memory fetches (§III.C).
+#include "photonics/ldsu.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+namespace {
+
+TEST(Ldsu, LatchesAboveThreshold) {
+  Ldsu ldsu(0.0);
+  ldsu.latch(0.7);
+  EXPECT_TRUE(ldsu.bit());
+  EXPECT_NEAR(ldsu.derivative(), 0.34, 1e-12);
+}
+
+TEST(Ldsu, LatchesBelowThreshold) {
+  Ldsu ldsu(0.0);
+  ldsu.latch(-0.2);
+  EXPECT_FALSE(ldsu.bit());
+  EXPECT_DOUBLE_EQ(ldsu.derivative(), 0.0);
+}
+
+TEST(Ldsu, ExactThresholdIsBelow) {
+  Ldsu ldsu(0.5);
+  ldsu.latch(0.5);
+  EXPECT_FALSE(ldsu.bit());  // strict comparison: h must exceed threshold
+}
+
+TEST(Ldsu, DffKeepsOnlyTheLastValue) {
+  Ldsu ldsu(0.0);
+  ldsu.latch(1.0);
+  ldsu.latch(-1.0);
+  EXPECT_FALSE(ldsu.bit());
+  EXPECT_EQ(ldsu.latches(), 2u);
+}
+
+TEST(Ldsu, CustomThresholdRespected) {
+  Ldsu ldsu(0.3);
+  ldsu.latch(0.2);
+  EXPECT_FALSE(ldsu.bit());
+  ldsu.latch(0.4);
+  EXPECT_TRUE(ldsu.bit());
+  EXPECT_DOUBLE_EQ(ldsu.threshold(), 0.3);
+}
+
+TEST(Ldsu, PowerMatchesTableIII) {
+  EXPECT_NEAR(Ldsu::power().mW(), 0.09, 1e-12);
+}
+
+TEST(LdsuBank, LatchesWholeVector) {
+  LdsuBank bank(4);
+  bank.latch({0.5, -0.5, 0.0, 1.0});
+  const auto d = bank.derivatives();
+  ASSERT_EQ(d.size(), 4u);
+  EXPECT_NEAR(d[0], 0.34, 1e-12);
+  EXPECT_DOUBLE_EQ(d[1], 0.0);
+  EXPECT_DOUBLE_EQ(d[2], 0.0);
+  EXPECT_NEAR(d[3], 0.34, 1e-12);
+}
+
+TEST(LdsuBank, SizeMismatchThrows) {
+  LdsuBank bank(3);
+  EXPECT_THROW(bank.latch({1.0, 2.0}), Error);
+  EXPECT_THROW((void)bank.unit(3), Error);
+  EXPECT_THROW(LdsuBank(0), Error);
+}
+
+TEST(LdsuBank, TotalPowerScalesWithRows) {
+  LdsuBank bank(16);
+  EXPECT_NEAR(bank.total_power().mW(), 16 * 0.09, 1e-9);
+}
+
+}  // namespace
+}  // namespace trident::phot

@@ -1,0 +1,133 @@
+// Optical link-budget tests: dB arithmetic, worst-channel losses, channel
+// scaling, and the cascade-depth argument for per-PE E/O regeneration.
+#include "photonics/link_budget.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+namespace {
+
+using namespace trident::units::literals;
+using units::Length;
+using units::Power;
+
+TEST(DbMath, RoundTrips) {
+  EXPECT_NEAR(db_to_linear(3.0103), 2.0, 1e-3);
+  EXPECT_NEAR(linear_to_db(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(linear_to_db(db_to_linear(7.3)), 7.3, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-15);
+  EXPECT_NEAR(watts_to_dbm(1e-3), 0.0, 1e-12);
+  EXPECT_NEAR(watts_to_dbm(dbm_to_watts(-17.2)), -17.2, 1e-9);
+  EXPECT_THROW((void)linear_to_db(0.0), Error);
+  EXPECT_THROW((void)watts_to_dbm(-1.0), Error);
+}
+
+TEST(LinkBudget, WorstChannelLossComposition) {
+  LossModel losses;
+  LinkBudget budget(losses);
+  // 1 channel, zero-length bus: coupler + drop + max GST only.
+  EXPECT_NEAR(budget.worst_channel_loss_db(1, Length::meters(0.0)),
+              losses.coupler_db + losses.ring_drop_db +
+                  losses.gst_max_attenuation_db,
+              1e-12);
+  // Each extra channel adds one through-ring pass.
+  EXPECT_NEAR(budget.worst_channel_loss_db(17, Length::meters(0.0)) -
+                  budget.worst_channel_loss_db(16, Length::meters(0.0)),
+              losses.ring_through_db, 1e-12);
+  // Waveguide loss scales with length.
+  EXPECT_NEAR(budget.worst_channel_loss_db(1, Length::millimeters(10.0)) -
+                  budget.worst_channel_loss_db(1, Length::meters(0.0)),
+              losses.waveguide_db_per_cm, 1e-12);
+}
+
+TEST(LinkBudget, AnalyzePeReportsConsistentNumbers) {
+  LinkBudget budget;
+  const LinkReport r =
+      budget.analyze_pe(Power::milliwatts(1.0), 16, Length::millimeters(5.0));
+  EXPECT_NEAR(r.launch_dbm, 0.0, 1e-9);
+  EXPECT_NEAR(r.received_dbm, r.launch_dbm - r.total_loss_db, 1e-12);
+  EXPECT_EQ(r.feasible, r.margin_db >= 0.0);
+}
+
+TEST(LinkBudget, SixteenChannelPeClosesAtOneMilliwatt) {
+  // Trident's 16-wavelength PE bus must work at ~1 mW launch power — the
+  // design point used throughout the energy model.
+  LinkBudget budget;
+  const LinkReport r =
+      budget.analyze_pe(Power::milliwatts(1.0), 16, Length::millimeters(5.0));
+  EXPECT_TRUE(r.feasible) << "margin " << r.margin_db << " dB";
+}
+
+TEST(LinkBudget, MaxChannelsMonotonicInLaunchPower) {
+  LinkBudget budget;
+  const int at_1mw =
+      budget.max_channels(Power::milliwatts(1.0), Length::millimeters(5.0));
+  const int at_10mw =
+      budget.max_channels(Power::milliwatts(10.0), Length::millimeters(5.0));
+  EXPECT_GE(at_10mw, at_1mw);
+  EXPECT_GE(at_1mw, 16);  // the paper's bank width must be feasible
+}
+
+TEST(LinkBudget, HigherLossShrinksChannelCount) {
+  LossModel lossy;
+  lossy.ring_through_db = 0.3;
+  const int tight = LinkBudget(lossy).max_channels(Power::milliwatts(1.0),
+                                                   Length::millimeters(5.0));
+  const int normal = LinkBudget().max_channels(Power::milliwatts(1.0),
+                                               Length::millimeters(5.0));
+  EXPECT_LT(tight, normal);
+}
+
+TEST(LinkBudget, OpticalCascadeIsShallow) {
+  // The core §III.A design argument: the per-PE worst-case loss is large
+  // (dominated by the GST attenuation range), so only one or two PEs can
+  // be chained before the budget fails — hence the per-PE TIA + E/O-laser
+  // regeneration in Fig 1.
+  LinkBudget budget;
+  const int depth = budget.max_optical_cascade(Power::milliwatts(1.0), 16,
+                                               Length::millimeters(5.0));
+  EXPECT_GE(depth, 1);
+  EXPECT_LE(depth, 2);
+}
+
+TEST(LinkBudget, CascadeZeroWhenBudgetCannotCloseOnce) {
+  LinkBudget budget;
+  EXPECT_EQ(budget.max_optical_cascade(Power::microwatts(1.0), 16,
+                                       Length::millimeters(5.0)),
+            0);
+}
+
+TEST(LinkBudget, RejectsBadInputs) {
+  LinkBudget budget;
+  EXPECT_THROW((void)budget.worst_channel_loss_db(0, Length::meters(0.0)),
+               Error);
+  EXPECT_THROW(
+      (void)budget.analyze_pe(Power::watts(0.0), 4, Length::meters(0.0)),
+      Error);
+  LossModel bad;
+  bad.coupler_db = -1.0;
+  EXPECT_THROW(LinkBudget{bad}, Error);
+}
+
+class ChannelSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChannelSweep, MarginDecreasesWithChannels) {
+  LinkBudget budget;
+  const int n = GetParam();
+  const double m_n =
+      budget.analyze_pe(Power::milliwatts(1.0), n, Length::millimeters(5.0))
+          .margin_db;
+  const double m_2n =
+      budget
+          .analyze_pe(Power::milliwatts(1.0), 2 * n, Length::millimeters(5.0))
+          .margin_db;
+  EXPECT_LT(m_2n, m_n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Channels, ChannelSweep,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+}  // namespace
+}  // namespace trident::phot

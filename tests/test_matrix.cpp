@@ -1,0 +1,115 @@
+#include "nn/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::nn {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 0.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  EXPECT_DOUBLE_EQ(m.at(1, 2), 0.5);
+  m.at(0, 1) = -1.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -1.0);
+}
+
+TEST(Matrix, ZeroDimensionThrows) {
+  EXPECT_THROW(Matrix(0, 3), Error);
+  EXPECT_THROW(Matrix(3, 0), Error);
+}
+
+TEST(Matrix, MatvecMatchesHandComputation) {
+  Matrix m(2, 3);
+  // [[1, 2, 3], [4, 5, 6]]
+  double v = 1.0;
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) {
+      m.at(r, c) = v++;
+    }
+  }
+  const Vector y = m.matvec({1.0, 0.0, -1.0});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], -2.0);
+  EXPECT_DOUBLE_EQ(y[1], -2.0);
+}
+
+TEST(Matrix, MatvecTransposedMatchesExplicitTranspose) {
+  Rng rng(3);
+  const Matrix m = Matrix::xavier(5, 7, rng);
+  Vector x(5);
+  for (auto& v : x) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const Vector direct = m.matvec_transposed(x);
+  const Vector via_transpose = m.transposed().matvec(x);
+  ASSERT_EQ(direct.size(), via_transpose.size());
+  for (std::size_t i = 0; i < direct.size(); ++i) {
+    EXPECT_NEAR(direct[i], via_transpose[i], 1e-12);
+  }
+}
+
+TEST(Matrix, DimensionMismatchesThrow) {
+  Matrix m(2, 3);
+  EXPECT_THROW((void)m.matvec({1.0, 2.0}), Error);
+  EXPECT_THROW((void)m.matvec_transposed({1.0}), Error);
+  EXPECT_THROW(m.add_outer({1.0}, {1.0, 2.0, 3.0}, 1.0), Error);
+}
+
+TEST(Matrix, AddOuterIsRankOneUpdate) {
+  Matrix m(2, 2, 0.0);
+  m.add_outer({1.0, 2.0}, {3.0, 4.0}, -0.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), -1.5);
+  EXPECT_DOUBLE_EQ(m.at(0, 1), -2.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -3.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 1), -4.0);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(4);
+  const Matrix m = Matrix::xavier(3, 5, rng);
+  const Matrix mtt = m.transposed().transposed();
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    for (std::size_t c = 0; c < m.cols(); ++c) {
+      EXPECT_DOUBLE_EQ(m.at(r, c), mtt.at(r, c));
+    }
+  }
+}
+
+TEST(Matrix, XavierBoundsAndSpread) {
+  Rng rng(5);
+  const Matrix m = Matrix::xavier(20, 30, rng);
+  const double limit = std::sqrt(6.0 / 50.0);
+  double max_seen = 0.0;
+  for (double v : m.data()) {
+    EXPECT_LE(std::abs(v), limit);
+    max_seen = std::max(max_seen, std::abs(v));
+  }
+  EXPECT_GT(max_seen, limit * 0.5);  // actually spreads across the range
+  EXPECT_NEAR(m.max_abs(), max_seen, 1e-15);
+}
+
+TEST(VectorOps, Hadamard) {
+  const Vector h = hadamard({1.0, -2.0, 3.0}, {2.0, 0.5, 0.0});
+  EXPECT_EQ(h, (Vector{2.0, -1.0, 0.0}));
+  EXPECT_THROW((void)hadamard({1.0}, {1.0, 2.0}), Error);
+}
+
+TEST(VectorOps, Dot) {
+  EXPECT_DOUBLE_EQ(dot({1.0, 2.0}, {3.0, -1.0}), 1.0);
+  EXPECT_THROW((void)dot({1.0}, {1.0, 2.0}), Error);
+}
+
+TEST(VectorOps, ArgmaxFirstTieWins) {
+  EXPECT_EQ(argmax({0.1, 0.9, 0.9, 0.2}), 1u);
+  EXPECT_EQ(argmax({-1.0}), 0u);
+  EXPECT_THROW((void)argmax({}), Error);
+}
+
+}  // namespace
+}  // namespace trident::nn

@@ -1,0 +1,87 @@
+// Memory-hierarchy model tests (the L1/L2/DRAM traffic charging of the
+// dataflow analyzer).
+#include "dataflow/memory.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::dataflow {
+namespace {
+
+TEST(MemoryModel, DefaultsMatchPaperSection4) {
+  MemoryHierarchy mem;
+  EXPECT_DOUBLE_EQ(mem.l1_bytes, 16.0 * 1024.0);          // 16 kB per PE
+  EXPECT_DOUBLE_EQ(mem.l2_bytes, 32.0 * 1024.0 * 1024.0); // 32 MB shared
+  EXPECT_NO_THROW(mem.validate());
+}
+
+TEST(MemoryModel, L1HitTrafficIsLinear) {
+  MemoryHierarchy mem;
+  const double small = 1024.0;  // fits L1
+  EXPECT_NEAR(mem.l1_traffic(small, small).pJ(),
+              small * mem.l1_access.pJ(), 1e-9);
+  EXPECT_NEAR(mem.l1_traffic(2 * small, small).pJ(),
+              2 * small * mem.l1_access.pJ(), 1e-9);
+}
+
+TEST(MemoryModel, L1SpillChargesL2ForMissedFraction) {
+  MemoryHierarchy mem;
+  const double ws = 2.0 * mem.l1_bytes;  // working set 2× capacity
+  const double bytes = 1000.0;
+  // Half the accesses miss: L1 on all + L2 on the missed half.
+  const double expected =
+      bytes * mem.l1_access.pJ() + bytes * 0.5 * mem.l2_access.pJ();
+  EXPECT_NEAR(mem.l1_traffic(bytes, ws).pJ(), expected, 1e-9);
+}
+
+TEST(MemoryModel, SpillEnergyMonotonicInWorkingSet) {
+  MemoryHierarchy mem;
+  const double bytes = 4096.0;
+  double prev = 0.0;
+  for (double factor : {0.5, 1.0, 2.0, 8.0, 64.0}) {
+    const double e =
+        mem.l1_traffic(bytes, mem.l1_bytes * factor).pJ();
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(MemoryModel, L2FitsAvoidDram) {
+  MemoryHierarchy mem;
+  const double bytes = 1e6;
+  EXPECT_NEAR(mem.l2_traffic(bytes, mem.l2_bytes / 2).pJ(),
+              bytes * mem.l2_access.pJ(), 1e-6);
+}
+
+TEST(MemoryModel, Vgg16WeightsSpillToDram) {
+  // 138 MB of weights > 32 MB L2: the spilled fraction pays DRAM energy —
+  // the mechanism behind VGG-16's memory term.
+  MemoryHierarchy mem;
+  const double footprint = 138e6;
+  const double bytes = 1e6;
+  const double miss = 1.0 - mem.l2_bytes / footprint;
+  const double expected =
+      bytes * mem.l2_access.pJ() + bytes * miss * mem.dram_access.pJ();
+  EXPECT_NEAR(mem.l2_traffic(bytes, footprint).pJ(), expected, 1e-6);
+  EXPECT_GT(mem.l2_traffic(bytes, footprint).pJ(),
+            mem.l2_traffic(bytes, 1e6).pJ() * 5.0);
+}
+
+TEST(MemoryModel, AccessCostOrderingL1L2Dram) {
+  MemoryHierarchy mem;
+  EXPECT_LT(mem.l1_access.pJ(), mem.l2_access.pJ());
+  EXPECT_LT(mem.l2_access.pJ(), mem.dram_access.pJ());
+}
+
+TEST(MemoryModel, ValidationCatchesInvertedSizes) {
+  MemoryHierarchy mem;
+  mem.l2_bytes = mem.l1_bytes / 2;
+  EXPECT_THROW(mem.validate(), Error);
+  mem = {};
+  mem.l1_bytes = 0.0;
+  EXPECT_THROW(mem.validate(), Error);
+}
+
+}  // namespace
+}  // namespace trident::dataflow

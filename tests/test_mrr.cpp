@@ -1,0 +1,138 @@
+#include "photonics/mrr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+namespace {
+
+using namespace trident::units::literals;
+
+MrrDesign default_design() { return MrrDesign{}; }
+
+TEST(Mrr, ResonanceSnapsNearTarget) {
+  Mrr ring(default_design(), 1550.0_nm);
+  // The tracked mode lands within one FSR of the request.
+  EXPECT_NEAR(ring.resonance().nm(), 1550.0, ring.free_spectral_range().nm());
+}
+
+TEST(Mrr, FsrMatchesAnalyticFormula) {
+  Mrr ring(default_design(), 1550.0_nm);
+  const double lambda = ring.resonance().m();
+  const double expected =
+      lambda * lambda / (default_design().group_index * ring.circumference().m());
+  EXPECT_NEAR(ring.free_spectral_range().m(), expected, expected * 1e-12);
+  // 10 µm radius, n_g 4.2 → FSR ≈ 9 nm at 1550 nm.
+  EXPECT_NEAR(ring.free_spectral_range().nm(), 9.1, 0.5);
+}
+
+TEST(Mrr, DropPeaksAtResonance) {
+  Mrr ring(default_design(), 1550.0_nm);
+  const MrrResponse on = ring.response(ring.resonance());
+  const MrrResponse off = ring.response(
+      Length::meters(ring.resonance().m() + ring.fwhm().m() * 5.0));
+  EXPECT_GT(on.drop, 0.5);
+  EXPECT_LT(on.through, 0.2);
+  EXPECT_LT(off.drop, 0.15);
+  EXPECT_GT(off.through, 0.8);
+}
+
+TEST(Mrr, EnergyConservationAcrossSpectrum) {
+  Mrr ring(default_design(), 1550.0_nm);
+  for (const MrrResponse& r :
+       ring.spectrum(1548.0_nm, 1552.0_nm, 201)) {
+    EXPECT_GE(r.through, 0.0);
+    EXPECT_GE(r.drop, 0.0);
+    EXPECT_LE(r.through + r.drop, 1.0 + 1e-9);
+    EXPECT_GE(r.absorbed(), -1e-9);
+  }
+}
+
+TEST(Mrr, LosslessCriticallikeRingConservesAll) {
+  MrrDesign d = default_design();
+  d.intrinsic_loss_amplitude = 1.0;
+  Mrr ring(d, 1550.0_nm);
+  const MrrResponse r = ring.response(ring.resonance());
+  EXPECT_NEAR(r.through + r.drop, 1.0, 1e-9);
+}
+
+TEST(Mrr, HalfMaximumAtFwhmOffset) {
+  Mrr ring(default_design(), 1550.0_nm);
+  const double peak = ring.response(ring.resonance()).drop;
+  const MrrResponse at_half = ring.response(
+      Length::meters(ring.resonance().m() + ring.fwhm().m() / 2.0));
+  EXPECT_NEAR(at_half.drop, peak / 2.0, peak * 0.05);
+}
+
+TEST(Mrr, QualityFactorConsistent) {
+  Mrr ring(default_design(), 1550.0_nm);
+  EXPECT_NEAR(ring.quality_factor(), ring.resonance().m() / ring.fwhm().m(),
+              1e-6);
+  // Weight-bank rings land in the few-thousand Q regime.
+  EXPECT_GT(ring.quality_factor(), 1000.0);
+  EXPECT_LT(ring.quality_factor(), 50000.0);
+}
+
+TEST(Mrr, CavityAttenuationReducesDrop) {
+  Mrr ring(default_design(), 1550.0_nm);
+  const double full = ring.response(ring.resonance(), 1.0).drop;
+  const double attenuated = ring.response(ring.resonance(), 0.5).drop;
+  const double heavy = ring.response(ring.resonance(), 0.25).drop;
+  EXPECT_GT(full, attenuated);
+  EXPECT_GT(attenuated, heavy);
+}
+
+TEST(Mrr, CavityAttenuationRaisesThrough) {
+  // With the intracavity GST absorbing, less light is recirculated to
+  // interfere destructively at the through port.
+  Mrr ring(default_design(), 1550.0_nm);
+  EXPECT_LT(ring.response(ring.resonance(), 1.0).through,
+            ring.response(ring.resonance(), 0.3).through);
+}
+
+TEST(Mrr, SetResonanceShiftsResponse) {
+  Mrr ring(default_design(), 1550.0_nm);
+  const Length original = ring.resonance();
+  ring.set_resonance(Length::meters(original.m() + 0.2e-9));
+  EXPECT_GT(ring.response(ring.resonance()).drop, 0.5);
+  EXPECT_LT(ring.response(original).drop,
+            ring.response(ring.resonance()).drop);
+}
+
+TEST(Mrr, SpectrumSizeAndRangeValidation) {
+  Mrr ring(default_design(), 1550.0_nm);
+  EXPECT_EQ(ring.spectrum(1549.0_nm, 1551.0_nm, 11).size(), 11u);
+  EXPECT_THROW((void)ring.spectrum(1551.0_nm, 1549.0_nm, 11), Error);
+  EXPECT_THROW((void)ring.spectrum(1549.0_nm, 1551.0_nm, 1), Error);
+}
+
+TEST(Mrr, RejectsInvalidDesigns) {
+  MrrDesign d = default_design();
+  d.self_coupling_1 = 1.5;
+  EXPECT_THROW(Mrr(d, 1550.0_nm), Error);
+  d = default_design();
+  d.intrinsic_loss_amplitude = 0.0;
+  EXPECT_THROW(Mrr(d, 1550.0_nm), Error);
+  d = default_design();
+  d.radius = Length::meters(-1.0);
+  EXPECT_THROW(Mrr(d, 1550.0_nm), Error);
+  EXPECT_THROW(Mrr(default_design(), Length::meters(0.0)), Error);
+  EXPECT_THROW((void)Mrr(default_design(), 1550.0_nm)
+                   .response(1550.0_nm, 0.0),
+               Error);
+}
+
+// Periodicity: the response one FSR away mirrors the on-resonance response.
+TEST(Mrr, PeriodicInFreeSpectralRange) {
+  Mrr ring(default_design(), 1550.0_nm);
+  const double on = ring.response(ring.resonance()).drop;
+  const double next_order = ring.response(
+      Length::meters(ring.resonance().m() + ring.free_spectral_range().m()))
+      .drop;
+  EXPECT_NEAR(next_order, on, on * 0.02);
+}
+
+}  // namespace
+}  // namespace trident::phot

@@ -1,0 +1,190 @@
+// Processing-element tests: the three Table II encodings on one device.
+#include "core/pe.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+namespace {
+
+PeConfig small_pe(int rows = 4, int cols = 4) {
+  PeConfig c;
+  c.bank.rows = rows;
+  c.bank.cols = cols;
+  c.bank.plan = phot::ChannelPlan(cols);
+  return c;
+}
+
+nn::Matrix random_weights(std::size_t rows, std::size_t cols,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Matrix w(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      w.at(r, c) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  return w;
+}
+
+TEST(Pe, ForwardLinearMatchesNormalisedMatvec) {
+  ProcessingElement pe(small_pe());
+  const nn::Matrix realized = pe.program_weights(random_weights(4, 4, 1));
+  const nn::Vector x{0.2, 0.8, 0.5, 1.0};
+  const nn::Vector h = pe.forward_linear(x);
+  const nn::Vector expected = realized.matvec(x);
+  for (std::size_t r = 0; r < h.size(); ++r) {
+    EXPECT_NEAR(h[r], expected[r] / 4.0, 1e-9);  // normalised by fan-in
+  }
+}
+
+TEST(Pe, ForwardAppliesGstActivation) {
+  ProcessingElement pe(small_pe());
+  const nn::Matrix realized = pe.program_weights(random_weights(4, 4, 2));
+  const nn::Vector x{1.0, 0.3, 0.7, 0.1};
+  const nn::Vector h = pe.forward_linear(x);
+  const nn::Vector y = pe.forward(x);
+  for (std::size_t r = 0; r < y.size(); ++r) {
+    EXPECT_NEAR(y[r], phot::GstActivationCell::activate(h[r]), 1e-9);
+    EXPECT_GE(y[r], 0.0);  // activation output is non-negative light
+  }
+}
+
+TEST(Pe, ForwardLatchesDerivativesIntoLdsus) {
+  ProcessingElement pe(small_pe());
+  (void)pe.program_weights(random_weights(4, 4, 3));
+  const nn::Vector x{0.9, 0.1, 0.6, 0.4};
+  const nn::Vector h = pe.forward_linear(x);
+  (void)pe.forward(x);
+  const std::vector<double> d = pe.latched_derivatives();
+  for (std::size_t r = 0; r < d.size(); ++r) {
+    EXPECT_DOUBLE_EQ(d[r], h[r] > 0.0 ? 0.34 : 0.0);
+  }
+}
+
+TEST(Pe, ForwardRejectsNonOpticalInputs) {
+  ProcessingElement pe(small_pe());
+  (void)pe.program_weights(random_weights(4, 4, 4));
+  EXPECT_THROW((void)pe.forward({-0.5, 0.0, 0.0, 0.0}), Error);
+  EXPECT_THROW((void)pe.forward({1.2, 0.0, 0.0, 0.0}), Error);
+}
+
+TEST(Pe, GradientPassImplementsHadamardWithLatchedDerivative) {
+  // Table II middle column: bank ← Wᵀ, input ← δh_{k+1}, TIA gain ← f'(h_k).
+  ProcessingElement pe(small_pe(3, 3));
+  const nn::Matrix wt = random_weights(3, 3, 5);
+  const nn::Matrix realized = pe.program_weights(wt);
+
+  // First a forward pass latches some derivative pattern.
+  const nn::Vector x{0.8, 0.2, 0.5};
+  const nn::Vector h = pe.forward_linear(x);
+  (void)pe.forward(x);
+
+  const nn::Vector delta{0.4, -0.6, 0.2};
+  const nn::Vector g = pe.gradient_pass(delta);
+  const nn::Vector base = realized.matvec(delta);
+  for (std::size_t r = 0; r < g.size(); ++r) {
+    const double fprime = h[r] > 0.0 ? 0.34 : 0.0;
+    EXPECT_NEAR(g[r], base[r] / 3.0 * fprime, 1e-9);
+  }
+}
+
+TEST(Pe, GradientPassHandlesSignedDeltas) {
+  ProcessingElement pe(small_pe(2, 2));
+  nn::Matrix w(2, 2);
+  w.at(0, 0) = 1.0;
+  w.at(0, 1) = 0.0;
+  w.at(1, 0) = 0.0;
+  w.at(1, 1) = 1.0;
+  const nn::Matrix realized = pe.program_weights(w);
+  (void)pe.forward({1.0, 1.0});  // latch all-positive derivatives
+  const nn::Vector g = pe.gradient_pass({-1.0, 1.0});
+  // Identity-ish bank: signs must survive the two-polarity-pass scheme.
+  EXPECT_LT(g[0], 0.0);
+  EXPECT_GT(g[1], 0.0);
+}
+
+TEST(Pe, OuterProductMatchesDeltaOuterY) {
+  // Table II right column: bank rows ← y_{k-1}ᵀ, per-ring products = δW.
+  ProcessingElement pe(small_pe(3, 4));
+  const nn::Vector y_prev{0.9, 0.1, 0.5, 0.3};
+  nn::Matrix bank(3, 4);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      bank.at(r, c) = y_prev[c];
+    }
+  }
+  const nn::Matrix realized = pe.program_weights(bank);
+  const nn::Vector delta{0.5, -0.25, 1.0};
+  const nn::Matrix dw = pe.outer_product(delta);
+  ASSERT_EQ(dw.rows(), 3u);
+  ASSERT_EQ(dw.cols(), 4u);
+  for (std::size_t r = 0; r < 3; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(dw.at(r, c), delta[r] * realized.at(r, c), 1e-9);
+    }
+  }
+}
+
+TEST(Pe, OuterProductValidatesDelta) {
+  ProcessingElement pe(small_pe(2, 2));
+  (void)pe.program_weights(random_weights(2, 2, 6));
+  EXPECT_THROW((void)pe.outer_product({0.5}), Error);
+  EXPECT_THROW((void)pe.outer_product({0.5, 1.5}), Error);
+}
+
+TEST(Pe, ActivationCellsRecordFirings) {
+  ProcessingElement pe(small_pe(2, 2));
+  nn::Matrix w(2, 2);
+  w.at(0, 0) = 1.0;
+  w.at(0, 1) = 1.0;   // row 0 strongly positive
+  w.at(1, 0) = -1.0;
+  w.at(1, 1) = -1.0;  // row 1 strongly negative
+  (void)pe.program_weights(w);
+  (void)pe.forward({1.0, 1.0});
+  EXPECT_EQ(pe.activation_cell(0).firings(), 1u);   // h > 0: fired
+  EXPECT_EQ(pe.activation_cell(1).firings(), 0u);   // h < 0: stayed dark
+  EXPECT_THROW((void)pe.activation_cell(2), Error);
+}
+
+TEST(Pe, BypassDisablesActivationEvents) {
+  ProcessingElement pe(small_pe(2, 2));
+  nn::Matrix w(2, 2, 0.9);
+  (void)pe.program_weights(w);
+  pe.set_activation_bypass(true);
+  (void)pe.forward({1.0, 1.0});
+  EXPECT_EQ(pe.activation_cell(0).firings(), 0u);
+}
+
+TEST(Pe, TwoLayerChainMatchesReference) {
+  // Integration: two PEs chained as a 2-layer network vs a float reference
+  // with the same realised weights — the paper's "output of each layer is
+  // forwarded to the next PE" datapath.
+  ProcessingElement layer1(small_pe(4, 4));
+  ProcessingElement layer2(small_pe(4, 4));
+  const nn::Matrix w1 = layer1.program_weights(random_weights(4, 4, 7));
+  const nn::Matrix w2 = layer2.program_weights(random_weights(4, 4, 8));
+
+  const nn::Vector x{0.6, 0.2, 0.9, 0.4};
+  const nn::Vector y1 = layer1.forward(x);
+  const nn::Vector y2 = layer2.forward(y1);
+
+  // Float reference of the same pipeline.
+  nn::Vector h1 = w1.matvec(x);
+  for (double& v : h1) {
+    v = phot::GstActivationCell::activate(v / 4.0);
+  }
+  nn::Vector h2 = w2.matvec(h1);
+  for (double& v : h2) {
+    v = phot::GstActivationCell::activate(v / 4.0);
+  }
+  for (std::size_t r = 0; r < y2.size(); ++r) {
+    EXPECT_NEAR(y2[r], h2[r], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,237 @@
+// Photonic MatvecBackend tests: quantized linear algebra, in-situ update
+// semantics (the resolution cliff), and the energy/time ledger.
+#include "core/photonic_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+namespace {
+
+nn::Matrix random_matrix(std::size_t rows, std::size_t cols,
+                         std::uint64_t seed, double scale = 1.0) {
+  Rng rng(seed);
+  nn::Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    for (std::size_t c = 0; c < cols; ++c) {
+      m.at(r, c) = rng.uniform(-scale, scale);
+    }
+  }
+  return m;
+}
+
+TEST(PhotonicBackend, MatvecCloseToFloatWithinQuantization) {
+  PhotonicBackend backend;
+  const nn::Matrix w = random_matrix(8, 16, 1);
+  nn::Vector x(16);
+  Rng rng(2);
+  for (auto& v : x) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const nn::Vector y = backend.matvec(w, x);
+  const nn::Vector ref = w.matvec(x);
+  // Error bound: input quantization only (weights already in range get
+  // clamped, not re-quantized): per-term ≤ input LSB/2, summed over fan-in.
+  const double bound = 16.0 * (1.0 / 254.0) + 1e-9;
+  for (std::size_t r = 0; r < y.size(); ++r) {
+    EXPECT_NEAR(y[r], ref[r], bound);
+  }
+}
+
+TEST(PhotonicBackend, MatvecTransposedCloseToFloat) {
+  PhotonicBackend backend;
+  const nn::Matrix w = random_matrix(6, 9, 3);
+  nn::Vector x(6);
+  Rng rng(4);
+  for (auto& v : x) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const nn::Vector y = backend.matvec_transposed(w, x);
+  const nn::Vector ref = w.matvec_transposed(x);
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    EXPECT_NEAR(y[i], ref[i], 6.0 * (1.0 / 254.0) + 1e-9);
+  }
+}
+
+TEST(PhotonicBackend, InputScalingHandlesLargeMagnitudes) {
+  // Logit-scale inputs (|x| > 1) must survive the DAC range scaling.
+  PhotonicBackend backend;
+  nn::Matrix w(1, 2);
+  w.at(0, 0) = 0.5;
+  w.at(0, 1) = -0.5;
+  const nn::Vector y = backend.matvec(w, {4.0, 2.0});
+  EXPECT_NEAR(y[0], 1.0, 0.05);
+}
+
+TEST(PhotonicBackend, WeightsOutsideRangeSaturate) {
+  PhotonicBackend backend;
+  nn::Matrix w(1, 1);
+  w.at(0, 0) = 3.0;  // beyond the add-drop [-1, 1] range
+  const nn::Vector y = backend.matvec(w, {1.0});
+  EXPECT_NEAR(y[0], 1.0, 1e-6);
+}
+
+TEST(PhotonicBackend, RankOneUpdateMatchesFloatAboveLsb) {
+  PhotonicBackendConfig cfg;
+  cfg.weight_bits = 8;
+  PhotonicBackend backend(cfg);
+  nn::Matrix w(2, 2, 0.0);
+  // Large update: quantization error is second-order.
+  backend.rank1_update(w, {0.5, -0.5}, {0.8, 0.4}, 1.0);
+  EXPECT_NEAR(w.at(0, 0), -0.4, 1.0 / 127.0);
+  EXPECT_NEAR(w.at(0, 1), -0.2, 1.0 / 127.0);
+  EXPECT_NEAR(w.at(1, 0), 0.4, 1.0 / 127.0);
+  EXPECT_NEAR(w.at(1, 1), 0.2, 1.0 / 127.0);
+}
+
+TEST(PhotonicBackend, UpdatesBelowHalfLsbAreLost) {
+  // The §II.B/[34] training cliff: stored weights live on the GST grid, so
+  // an update below half an LSB leaves every level unchanged.
+  // Snap the initial weight onto each grid first — stored weights always
+  // live on programmable levels.
+  PhotonicBackendConfig cfg6;
+  cfg6.weight_bits = 6;
+  PhotonicBackend b6(cfg6);
+  nn::Matrix w(1, 1);
+  w.at(0, 0) = SymmetricQuantizer(6).quantize(0.5);
+  const double before = w.at(0, 0);
+  b6.rank1_update(w, {0.01}, {0.5}, 1.0);  // Δ = 0.005 < LSB6/2 = 0.016
+  EXPECT_DOUBLE_EQ(w.at(0, 0), before);
+
+  PhotonicBackendConfig cfg8;
+  cfg8.weight_bits = 8;
+  PhotonicBackend b8(cfg8);
+  nn::Matrix w8(1, 1);
+  w8.at(0, 0) = SymmetricQuantizer(8).quantize(0.5);
+  const double before8 = w8.at(0, 0);
+  b8.rank1_update(w8, {0.01}, {0.5}, 1.0);  // Δ = 0.005 > LSB8/2 = 0.0039
+  EXPECT_NE(w8.at(0, 0), before8);
+}
+
+TEST(PhotonicBackend, StochasticRoundingIsUnbiasedOnAverage) {
+  PhotonicBackendConfig cfg;
+  cfg.weight_bits = 6;
+  cfg.stochastic_rounding = true;
+  PhotonicBackend backend(cfg);
+  // Apply a sub-LSB update many times: stochastic rounding lets the mean
+  // drift by the accumulated amount instead of freezing.
+  double sum = 0.0;
+  const int trials = 400;
+  for (int t = 0; t < trials; ++t) {
+    nn::Matrix w(1, 1);
+    w.at(0, 0) = 0.5;
+    backend.rank1_update(w, {0.01}, {0.5}, 1.0);
+    sum += w.at(0, 0);
+  }
+  const double mean_after = sum / trials;
+  EXPECT_NEAR(mean_after, 0.5 - 0.005, 0.004);
+}
+
+TEST(PhotonicBackend, LedgerCountsProgrammingOncePerResidentMatrix) {
+  PhotonicBackend backend;
+  const nn::Matrix w = random_matrix(4, 4, 5);
+  nn::Vector x{0.1, 0.2, 0.3, 0.4};
+  (void)backend.matvec(w, x);
+  const auto writes_first = backend.ledger().weight_writes;
+  EXPECT_EQ(writes_first, 16u);
+  (void)backend.matvec(w, x);  // same matrix resident: no rewrites
+  EXPECT_EQ(backend.ledger().weight_writes, writes_first);
+  const nn::Matrix w2 = random_matrix(4, 4, 6);
+  (void)backend.matvec(w2, x);  // different matrix: re-programs
+  EXPECT_EQ(backend.ledger().weight_writes, writes_first + 16u);
+}
+
+TEST(PhotonicBackend, TransposedPassForcesReprogram) {
+  PhotonicBackend backend;
+  const nn::Matrix w = random_matrix(4, 4, 7);
+  nn::Vector x{0.1, 0.2, 0.3, 0.4};
+  (void)backend.matvec(w, x);
+  const auto writes = backend.ledger().weight_writes;
+  (void)backend.matvec_transposed(w, x);  // bank re-encoded with Wᵀ
+  EXPECT_EQ(backend.ledger().weight_writes, writes + 16u);
+  (void)backend.matvec(w, x);  // and again for the forward layout
+  EXPECT_EQ(backend.ledger().weight_writes, writes + 32u);
+}
+
+TEST(PhotonicBackend, LedgerEnergyAndTimePositive) {
+  PhotonicBackend backend;
+  const nn::Matrix w = random_matrix(4, 4, 8);
+  (void)backend.matvec(w, {0.1, 0.2, 0.3, 0.4});
+  const PhotonicLedger& ledger = backend.ledger();
+  EXPECT_GT(ledger.energy().J(), 0.0);
+  EXPECT_GT(ledger.time().s(), 0.0);
+  EXPECT_EQ(ledger.macs, 16u);
+  EXPECT_EQ(ledger.symbols, 1u);
+  EXPECT_EQ(ledger.program_events, 1u);
+  // Programming dominates: 16 × 660 pJ vs sub-pJ everything else.
+  EXPECT_GT(ledger.energy().nJ(), 10.0);
+  EXPECT_LT(ledger.energy().nJ(), 12.0);
+}
+
+TEST(PhotonicBackend, UpdateLedgerCountsOnlyChangedCells) {
+  PhotonicBackend backend;
+  nn::Matrix w(2, 2, SymmetricQuantizer(8).quantize(0.5));
+  // Zero learning rate: nothing changes, no write pulses.
+  backend.rank1_update(w, {1.0, 1.0}, {1.0, 1.0}, 0.0);
+  EXPECT_EQ(backend.ledger().weight_writes, 0u);
+  backend.rank1_update(w, {1.0, 0.0}, {1.0, 0.0}, 0.1);
+  EXPECT_EQ(backend.ledger().weight_writes, 1u);  // only w(0,0) moved
+}
+
+TEST(PhotonicBackend, ReadoutNoisePerturbsResults) {
+  PhotonicBackendConfig cfg;
+  cfg.readout_noise = 0.05;
+  PhotonicBackend noisy(cfg);
+  PhotonicBackend clean;
+  const nn::Matrix w = random_matrix(4, 8, 9);
+  nn::Vector x(8, 0.5);
+  const nn::Vector yn = noisy.matvec(w, x);
+  const nn::Vector yc = clean.matvec(w, x);
+  double max_dev = 0.0;
+  for (std::size_t i = 0; i < yn.size(); ++i) {
+    max_dev = std::max(max_dev, std::abs(yn[i] - yc[i]));
+  }
+  EXPECT_GT(max_dev, 1e-6);
+  EXPECT_LT(max_dev, 0.5);
+}
+
+TEST(PhotonicBackend, DimensionChecks) {
+  PhotonicBackend backend;
+  nn::Matrix w(2, 3, 0.1);
+  EXPECT_THROW((void)backend.matvec(w, {1.0}), Error);
+  EXPECT_THROW((void)backend.matvec_transposed(w, {1.0}), Error);
+  EXPECT_THROW(backend.rank1_update(w, {1.0}, {1.0, 1.0, 1.0}, 0.1), Error);
+}
+
+class BackendBits : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendBits, MatvecErrorShrinksWithBits) {
+  const int bits = GetParam();
+  PhotonicBackendConfig cfg;
+  cfg.weight_bits = bits;
+  cfg.input_bits = bits;
+  PhotonicBackend backend(cfg);
+  const nn::Matrix w = random_matrix(8, 8, 10);
+  nn::Vector x(8);
+  Rng rng(11);
+  for (auto& v : x) {
+    v = rng.uniform(0.0, 1.0);
+  }
+  const nn::Vector y = backend.matvec(w, x);
+  const nn::Vector ref = w.matvec(x);
+  double err = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) {
+    err = std::max(err, std::abs(y[i] - ref[i]));
+  }
+  // Error bound scales with the input quantizer step.
+  SymmetricQuantizer q(bits);
+  EXPECT_LE(err, 8.0 * q.step());
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, BackendBits, ::testing::Values(4, 6, 8, 10));
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,182 @@
+// Pipeline-planning tests: PE allocation, residency, steady-state
+// throughput, and the §III.A "one PE per layer" claim's limits.
+#include "dataflow/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "arch/photonic.hpp"
+#include "common/error.hpp"
+#include "dataflow/analyzer.hpp"
+#include "nn/zoo.hpp"
+
+namespace trident::dataflow {
+namespace {
+
+using nn::LayerSpec;
+
+nn::ModelSpec small_mlp(int layers = 3, int width = 16) {
+  nn::ModelSpec m;
+  m.name = "small-mlp";
+  for (int i = 0; i < layers; ++i) {
+    m.layers.push_back(LayerSpec::dense("fc" + std::to_string(i), width,
+                                        width));
+  }
+  return m;
+}
+
+TEST(Pipeline, AllocatesEveryPeWhenLayersFit) {
+  // VGG-16 has 16 compute layers < 44 PEs: per-layer stages, every PE used.
+  const auto array = arch::make_trident().array;
+  const PipelinePlan plan = plan_pipeline(nn::zoo::vgg16(), array);
+  int total = 0;
+  for (const auto& s : plan.stages) {
+    EXPECT_GE(s.pes, 1) << s.layer;
+    total += s.pes;
+  }
+  EXPECT_EQ(total, array.pe_count);
+}
+
+TEST(Pipeline, StageCountMatchesComputeLayersWhenTheyFit) {
+  const auto array = arch::make_trident().array;
+  const auto model = nn::zoo::vgg16();
+  const PipelinePlan plan = plan_pipeline(model, array);
+  EXPECT_EQ(static_cast<int>(plan.stages.size()), model.compute_layers());
+}
+
+TEST(Pipeline, DeepModelsGroupLayersOntoPes) {
+  // GoogleNet has ~66 compute layers > 44 PEs: consecutive layers share a
+  // PE, one stage per PE.
+  const auto array = arch::make_trident().array;
+  const auto model = nn::zoo::googlenet();
+  EXPECT_GT(model.compute_layers(), array.pe_count);
+  const PipelinePlan plan = plan_pipeline(model, array);
+  EXPECT_EQ(static_cast<int>(plan.stages.size()), array.pe_count);
+  for (const auto& s : plan.stages) {
+    EXPECT_EQ(s.pes, 1);
+  }
+}
+
+TEST(Pipeline, SmallMlpGoesFullyResident) {
+  // A 16-wide 3-layer MLP needs 3 tiles total — trivially resident on
+  // 44 PEs, so the steady state never reprograms: the §III.A "speed of
+  // light" regime where the interval is one symbol per input column.
+  const auto array = arch::make_trident().array;
+  const PipelinePlan plan = plan_pipeline(small_mlp(), array);
+  EXPECT_TRUE(plan.fully_resident);
+  for (const auto& s : plan.stages) {
+    EXPECT_TRUE(s.resident) << s.layer;
+  }
+  EXPECT_NEAR(plan.initiation_interval.s(), array.symbol_time().s(), 1e-15);
+}
+
+TEST(Pipeline, ImagenetCnnsCannotGoResident) {
+  // The flip side: 44 PEs hold 11k weights; VGG-16 has 138M — the
+  // one-PE-per-layer picture cannot keep ImageNet models resident.
+  const auto array = arch::make_trident().array;
+  EXPECT_FALSE(plan_pipeline(nn::zoo::vgg16(), array).fully_resident);
+  EXPECT_FALSE(plan_pipeline(nn::zoo::googlenet(), array).fully_resident);
+}
+
+TEST(Pipeline, InitiationIntervalIsSlowestStage) {
+  const auto array = arch::make_trident().array;
+  const PipelinePlan plan = plan_pipeline(nn::zoo::vgg16(), array);
+  double slowest = 0.0;
+  for (const auto& s : plan.stages) {
+    slowest = std::max(slowest, s.stage_time.s());
+  }
+  EXPECT_DOUBLE_EQ(plan.initiation_interval.s(), slowest);
+  EXPECT_GE(plan.fill_latency.s(), plan.initiation_interval.s());
+}
+
+TEST(Pipeline, FillLatencyIsSumOfStages) {
+  const auto array = arch::make_trident().array;
+  const PipelinePlan plan = plan_pipeline(small_mlp(4), array);
+  double sum = 0.0;
+  for (const auto& s : plan.stages) {
+    sum += s.stage_time.s();
+  }
+  EXPECT_NEAR(plan.fill_latency.s(), sum, 1e-18);
+}
+
+TEST(Pipeline, ResidentModelsGainOrdersOfMagnitude) {
+  // The §III.A regime: with everything resident, the pipeline issues one
+  // inference per symbol — orders of magnitude past tiled execution.
+  const auto array = arch::make_trident().array;
+  EXPECT_GT(pipeline_speedup(small_mlp(), array), 100.0);
+}
+
+TEST(Pipeline, NonResidentModelsDoNotBeatTiling) {
+  // The honest finding this module exists to make visible: for models
+  // whose tiles vastly outnumber the PEs, per-stage allocation cannot beat
+  // tiled execution (which already spreads every layer over all 44 PEs) —
+  // stage imbalance always leaves some PEs idle.  The §III.A speed-of-
+  // light story only pays off for resident (small) networks.
+  const auto array = arch::make_trident().array;
+  for (const auto& model : nn::zoo::evaluation_models()) {
+    const double speedup = pipeline_speedup(model, array);
+    EXPECT_LE(speedup, 1.05) << model.name;
+    EXPECT_GT(speedup, 0.05) << model.name;  // but stays in the same regime
+  }
+}
+
+TEST(Pipeline, ResidentStagesSkipProgrammingTime) {
+  const auto array = arch::make_trident().array;
+  const PipelinePlan plan = plan_pipeline(small_mlp(), array);
+  for (const auto& s : plan.stages) {
+    // One dense tile, cols = 1: stage time is exactly one symbol.
+    EXPECT_NEAR(s.stage_time.s(), array.symbol_time().s(), 1e-15);
+  }
+}
+
+TEST(Pipeline, NonResidentStagesPayProgramming) {
+  const auto array = arch::make_trident().array;
+  const PipelinePlan plan = plan_pipeline(nn::zoo::vgg16(), array);
+  bool found_nonresident = false;
+  for (const auto& s : plan.stages) {
+    if (!s.resident) {
+      found_nonresident = true;
+      EXPECT_GT(s.stage_time.s(), array.weight_write_time.s());
+    }
+  }
+  EXPECT_TRUE(found_nonresident);
+}
+
+TEST(Pipeline, TinyPeCountStillCoversAllLayers) {
+  auto array = arch::make_trident().array;
+  array.pe_count = 2;  // far fewer PEs than compute layers: 2 groups
+  const PipelinePlan plan = plan_pipeline(nn::zoo::googlenet(), array);
+  EXPECT_EQ(plan.stages.size(), 2u);
+  std::uint64_t tiles = 0;
+  for (const auto& s : plan.stages) {
+    tiles += s.tiles;
+  }
+  std::uint64_t expected = 0;
+  for (const auto& l : nn::zoo::googlenet().layers) {
+    expected += tile_count(l, array);
+  }
+  EXPECT_EQ(tiles, expected);
+  EXPECT_THROW((void)plan_pipeline(nn::ModelSpec{"empty", {}}, array), Error);
+}
+
+TEST(Pipeline, BiggerStagesGetMorePes) {
+  const auto array = arch::make_trident().array;
+  const PipelinePlan plan = plan_pipeline(nn::zoo::vgg16(), array);
+  // conv layers with huge tile × column products should out-allocate the
+  // final 1000-way classifier.
+  const StagePlan* conv4 = nullptr;
+  const StagePlan* fc8 = nullptr;
+  for (const auto& s : plan.stages) {
+    if (s.layer == "conv4_2") {
+      conv4 = &s;
+    }
+    if (s.layer == "fc8") {
+      fc8 = &s;
+    }
+  }
+  ASSERT_NE(conv4, nullptr);
+  ASSERT_NE(fc8, nullptr);
+  EXPECT_GE(conv4->pes, fc8->pes);
+}
+
+}  // namespace
+}  // namespace trident::dataflow

@@ -1,0 +1,108 @@
+// Power-profile tests: the 30 W budget checked dynamically over real
+// schedules, plus timeline bookkeeping invariants.
+#include "core/power_trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "nn/zoo.hpp"
+
+namespace trident::core {
+namespace {
+
+ArraySimResult traced_run(const nn::ModelSpec& model,
+                          const arch::PhotonicAccelerator& acc,
+                          std::size_t limit = 2'000'000) {
+  ArraySimConfig cfg;
+  cfg.record_trace = true;
+  cfg.trace_limit = limit;
+  return simulate_array(model, acc.array, cfg);
+}
+
+nn::ModelSpec small_model() {
+  nn::ModelSpec m;
+  m.name = "small";
+  m.layers.push_back(nn::LayerSpec::dense("fc1", 64, 64));
+  m.layers.push_back(nn::LayerSpec::dense("fc2", 64, 32));
+  return m;
+}
+
+TEST(PowerTrace, StatePowersFollowTableIII) {
+  const auto acc = arch::make_trident();
+  const PeStatePower s = PeStatePower::from(acc);
+  EXPECT_NEAR(s.programming.W(), 0.676, 0.01);  // Table III total
+  EXPECT_NEAR(s.streaming.W(), 0.113, 0.01);    // §IV resident power
+  EXPECT_LT(s.idle.W(), s.streaming.W());
+  EXPECT_GT(s.idle.mW(), 30.0);  // cache + receivers can't gate off
+}
+
+TEST(PowerTrace, PeakStaysWithinTheEdgeBudget) {
+  // The §IV claim, checked against the actual schedule: at no instant does
+  // the 44-PE accelerator draw more than 30 W.
+  const auto acc = arch::make_trident();
+  const PowerProfile p = power_profile(traced_run(small_model(), acc), acc);
+  EXPECT_TRUE(p.within(phot::kEdgePowerBudget));
+  EXPECT_GT(p.peak.W(), 0.0);
+}
+
+TEST(PowerTrace, AverageBelowPeakAndEnergyConsistent) {
+  const auto acc = arch::make_trident();
+  const ArraySimResult run = traced_run(small_model(), acc);
+  const PowerProfile p = power_profile(run, acc);
+  EXPECT_LE(p.average.W(), p.peak.W() + 1e-12);
+  EXPECT_NEAR(p.energy.J(), p.average.W() * p.makespan.s(),
+              p.energy.J() * 1e-9);
+}
+
+TEST(PowerTrace, ProgrammingPhaseIsThePeak) {
+  // During simultaneous programming the draw approaches PEs × 0.67 W;
+  // during pure streaming it sits near PEs × 0.11 W.  The peak of the
+  // timeline must coincide with a programming phase.
+  const auto acc = arch::make_trident();
+  const PowerProfile p = power_profile(traced_run(small_model(), acc), acc);
+  const PeStatePower s = PeStatePower::from(acc);
+  // fc1 (64x64) occupies 16 tiles: 16 PEs program simultaneously at t=0
+  // while the layer barrier keeps fc2's 8 tiles waiting.
+  const double expected_peak =
+      16.0 * s.programming.W() + (44.0 - 16.0) * s.idle.W();
+  EXPECT_NEAR(p.peak.W(), expected_peak, expected_peak * 0.01);
+}
+
+TEST(PowerTrace, TimelineIsChronological) {
+  const auto acc = arch::make_trident();
+  const PowerProfile p = power_profile(traced_run(small_model(), acc), acc);
+  ASSERT_GE(p.timeline.size(), 2u);
+  for (std::size_t i = 1; i < p.timeline.size(); ++i) {
+    EXPECT_GE(p.timeline[i].at.s(), p.timeline[i - 1].at.s());
+  }
+}
+
+TEST(PowerTrace, AllEvaluationModelsRespectTheBudget) {
+  const auto acc = arch::make_trident();
+  // MobileNetV2 is the trace-friendliest full CNN (fewest tiles).
+  const auto model = nn::zoo::mobilenet_v2();
+  const PowerProfile p = power_profile(traced_run(model, acc), acc);
+  EXPECT_TRUE(p.within(phot::kEdgePowerBudget))
+      << "peak " << p.peak.W() << " W";
+  // And the average sits well below: most of the time is streaming.
+  EXPECT_LT(p.average.W(), phot::kEdgePowerBudget.W());
+}
+
+TEST(PowerTrace, RequiresATrace) {
+  const auto acc = arch::make_trident();
+  const ArraySimResult untraced = simulate_array(small_model(), acc.array);
+  EXPECT_THROW((void)power_profile(untraced, acc), Error);
+}
+
+TEST(PowerTrace, RejectsTruncatedTraces) {
+  const auto acc = arch::make_trident();
+  ArraySimConfig cfg;
+  cfg.record_trace = true;
+  cfg.trace_limit = 4;  // force truncation
+  const ArraySimResult run =
+      simulate_array(nn::zoo::mobilenet_v2(), acc.array, cfg);
+  EXPECT_THROW((void)power_profile(run, acc), Error);
+}
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,75 @@
+// Queueing-model tests: M/D/1 sanity anchors and percentile behaviour.
+#include "core/queueing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+namespace {
+
+TEST(Queueing, SojournAtLeastServiceTime) {
+  const QueueingResult r =
+      simulate_service(Time::milliseconds(1.0));
+  EXPECT_GE(r.p50.s(), r.service.s() - 1e-12);
+  EXPECT_GE(r.mean_sojourn.s(), r.service.s());
+  EXPECT_GE(r.p99.s(), r.p50.s());
+}
+
+TEST(Queueing, MatchesMD1ClosedFormAtModerateLoad) {
+  QueueingConfig cfg;
+  cfg.utilization = 0.6;
+  cfg.requests = 200000;
+  const QueueingResult r = simulate_service(Time::milliseconds(1.0), cfg);
+  const double expected_sojourn =
+      r.analytic_mean_wait.s() + r.service.s();
+  EXPECT_NEAR(r.mean_sojourn.s(), expected_sojourn, expected_sojourn * 0.05);
+}
+
+TEST(Queueing, TailBlowsUpNearSaturation) {
+  QueueingConfig light, heavy;
+  light.utilization = 0.3;
+  heavy.utilization = 0.95;
+  const QueueingResult a = simulate_service(Time::milliseconds(1.0), light);
+  const QueueingResult b = simulate_service(Time::milliseconds(1.0), heavy);
+  EXPECT_GT(b.p99.s(), a.p99.s() * 3.0);
+  EXPECT_GT(b.mean_sojourn.s(), a.mean_sojourn.s());
+}
+
+TEST(Queueing, FasterServiceShiftsTheWholeDistribution) {
+  QueueingConfig cfg;
+  cfg.utilization = 0.7;
+  const QueueingResult fast = simulate_service(Time::microseconds(100.0), cfg);
+  const QueueingResult slow = simulate_service(Time::milliseconds(1.0), cfg);
+  // At equal utilisation the sojourn scales with the service time.
+  EXPECT_NEAR(slow.mean_sojourn.s() / fast.mean_sojourn.s(), 10.0, 1.0);
+}
+
+TEST(Queueing, DeterministicPerSeed) {
+  QueueingConfig cfg;
+  cfg.seed = 42;
+  const QueueingResult a = simulate_service(Time::milliseconds(2.0), cfg);
+  const QueueingResult b = simulate_service(Time::milliseconds(2.0), cfg);
+  EXPECT_DOUBLE_EQ(a.mean_sojourn.s(), b.mean_sojourn.s());
+  EXPECT_DOUBLE_EQ(a.p99.s(), b.p99.s());
+}
+
+TEST(Queueing, ArrivalRateFollowsUtilization) {
+  QueueingConfig cfg;
+  cfg.utilization = 0.5;
+  const QueueingResult r = simulate_service(Time::milliseconds(1.0), cfg);
+  EXPECT_NEAR(r.arrival_rate, 500.0, 1e-9);  // 0.5 × 1000 req/s
+}
+
+TEST(Queueing, RejectsBadConfig) {
+  EXPECT_THROW((void)simulate_service(Time::seconds(0.0)), Error);
+  QueueingConfig bad;
+  bad.utilization = 1.0;
+  EXPECT_THROW((void)simulate_service(Time::milliseconds(1.0), bad), Error);
+  bad = {};
+  bad.requests = 10;
+  EXPECT_THROW((void)simulate_service(Time::milliseconds(1.0), bad), Error);
+}
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,119 @@
+// Ring design-space solver tests: the FSR-vs-linewidth trade-off the
+// spectral studies surfaced, as a checked design tool.
+#include "photonics/ring_design.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::phot {
+namespace {
+
+using units::Length;
+
+RingRequirements paper_bank() {
+  RingRequirements req;
+  req.channels = 16;
+  req.spacing = kMinChannelSpacing;  // 1.6 nm
+  return req;
+}
+
+TEST(RingDesign, TenMicronRingsCannotServeSixteenChannels) {
+  // The default 10 µm weight-bank ring (FSR ≈ 9 nm) fails the FSR test
+  // against a 24 nm span — the constraint the paper never states.
+  const RingCandidate c =
+      evaluate_ring(Length::micrometers(10.0), 0.98, paper_bank());
+  EXPECT_FALSE(c.feasible);
+  EXPECT_LT(c.fsr.nm(), 24.0 * 1.15);
+}
+
+TEST(RingDesign, SmallHighQRingsAreFeasible) {
+  const RingCandidate c =
+      evaluate_ring(Length::micrometers(2.5), 0.99, paper_bank());
+  EXPECT_TRUE(c.feasible) << "FSR " << c.fsr.nm() << " nm, FWHM "
+                          << c.fwhm.nm() << " nm";
+  EXPECT_GT(c.fsr.nm(), 27.0);
+  EXPECT_LT(c.fwhm.nm(), paper_bank().spacing.nm() / 6.0);
+}
+
+TEST(RingDesign, SmallLowQRingsFailTheLinewidthTest) {
+  // Small radius fixes the FSR but at loose coupling the loaded linewidth
+  // swallows the channel spacing.
+  const RingCandidate c =
+      evaluate_ring(Length::micrometers(2.5), 0.90, paper_bank());
+  EXPECT_FALSE(c.feasible);
+  EXPECT_GT(c.fwhm.nm() * paper_bank().linewidth_ratio,
+            paper_bank().spacing.nm());
+}
+
+TEST(RingDesign, LeakageFollowsTheLorentzian) {
+  const RingCandidate tight =
+      evaluate_ring(Length::micrometers(3.0), 0.99, paper_bank());
+  const RingCandidate loose =
+      evaluate_ring(Length::micrometers(3.0), 0.95, paper_bank());
+  EXPECT_LT(tight.neighbour_leakage, loose.neighbour_leakage);
+  EXPECT_LT(tight.neighbour_leakage, 0.01);
+}
+
+TEST(RingDesign, RecommendFindsAFeasiblePoint) {
+  const auto best = recommend(paper_bank());
+  ASSERT_TRUE(best.has_value());
+  EXPECT_TRUE(best->feasible);
+  // Small ring, tight coupling — the corner the spectral study landed on.
+  EXPECT_LE(best->radius.um(), 4.0);
+  EXPECT_GE(best->coupling, 0.97);
+  // Lowest-Q feasible point: every other feasible candidate has higher Q.
+  for (const RingCandidate& c : design_space(paper_bank())) {
+    if (c.feasible) {
+      EXPECT_GE(c.quality_factor, best->quality_factor - 1e-9);
+    }
+  }
+}
+
+TEST(RingDesign, NoFeasiblePointForAbsurdRequirements) {
+  RingRequirements req = paper_bank();
+  req.channels = 200;  // 318 nm span: no ring in the sweep covers it
+  EXPECT_FALSE(recommend(req).has_value());
+}
+
+TEST(RingDesign, MaxChannelsMatchesFsrBudget) {
+  RingRequirements req = paper_bank();
+  const int n10 =
+      max_channels_for_ring(Length::micrometers(10.0), 0.99, req);
+  const int n3 = max_channels_for_ring(Length::micrometers(3.0), 0.99, req);
+  EXPECT_LT(n10, 16);  // the default ring cannot reach the paper's 16
+  EXPECT_GE(n3, 16);   // the recommended geometry can
+  EXPECT_GT(n10, 0);
+}
+
+TEST(RingDesign, TighterMarginsShrinkTheFeasibleSet) {
+  RingRequirements loose = paper_bank();
+  RingRequirements strict = paper_bank();
+  strict.linewidth_ratio = 20.0;
+  int loose_count = 0, strict_count = 0;
+  for (const RingCandidate& c : design_space(loose)) {
+    loose_count += c.feasible ? 1 : 0;
+  }
+  for (const RingCandidate& c : design_space(strict)) {
+    strict_count += c.feasible ? 1 : 0;
+  }
+  EXPECT_LE(strict_count, loose_count);
+}
+
+TEST(RingDesign, RejectsBadRequirements) {
+  RingRequirements bad = paper_bank();
+  bad.channels = 0;
+  EXPECT_THROW((void)evaluate_ring(Length::micrometers(3.0), 0.98, bad),
+               Error);
+  bad = paper_bank();
+  bad.fsr_margin = 0.9;
+  EXPECT_THROW((void)evaluate_ring(Length::micrometers(3.0), 0.98, bad),
+               Error);
+  bad = paper_bank();
+  bad.linewidth_ratio = 1.0;
+  EXPECT_THROW((void)evaluate_ring(Length::micrometers(3.0), 0.98, bad),
+               Error);
+}
+
+}  // namespace
+}  // namespace trident::phot

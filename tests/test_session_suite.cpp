@@ -1,0 +1,140 @@
+// Tests for the two top-level facades: TrainingSession (in-situ training
+// as a product API) and EvaluationSuite (the Fig 4/6 grid as one query).
+#include <gtest/gtest.h>
+
+#include "arch/comparison.hpp"
+#include "common/error.hpp"
+#include "core/insitu_trainer.hpp"
+#include "nn/zoo.hpp"
+
+namespace trident {
+namespace {
+
+// --- TrainingSession ----------------------------------------------------------
+
+core::SessionConfig session_config() {
+  core::SessionConfig cfg;
+  cfg.layer_sizes = {3, 16, 2};
+  cfg.schedule.epochs = 40;
+  cfg.schedule.learning_rate = 0.05;
+  return cfg;
+}
+
+nn::Dataset moons() {
+  Rng rng(99);
+  nn::Dataset data = nn::two_moons(300, 0.12, rng);
+  data.augment_bias();
+  return data;
+}
+
+TEST(TrainingSession, TrainsAndBillsTheHardware) {
+  core::TrainingSession session(session_config());
+  const core::SessionReport report = session.run(moons());
+  EXPECT_GT(report.test_accuracy, 0.85);
+  EXPECT_EQ(report.epoch_loss.size(), 40u);
+  EXPECT_LT(report.epoch_loss.back(), report.epoch_loss.front());
+  // The hardware bill is populated and self-consistent.
+  EXPECT_GT(report.ledger.weight_writes, 0u);
+  EXPECT_GT(report.optical_energy.J(), 0.0);
+  EXPECT_GT(report.optical_time.s(), 0.0);
+  EXPECT_GT(report.writes_per_weight, 1.0);
+}
+
+TEST(TrainingSession, ContinualRunsAccumulateSkill) {
+  core::SessionConfig cfg = session_config();
+  cfg.schedule.epochs = 10;
+  core::TrainingSession session(cfg);
+  const double first = session.run(moons()).test_accuracy;
+  const double second = session.run(moons()).test_accuracy;
+  EXPECT_GE(second, first - 0.05);  // the network persists across runs
+}
+
+TEST(TrainingSession, ReportCoversOnlyTheLatestRun) {
+  core::SessionConfig cfg = session_config();
+  cfg.schedule.epochs = 5;
+  core::TrainingSession session(cfg);
+  const auto a = session.run(moons());
+  const auto b = session.run(moons());
+  // Similar work per run → similar (not cumulative) ledgers.
+  EXPECT_LT(b.ledger.symbols, a.ledger.symbols * 2);
+}
+
+TEST(TrainingSession, VariationAwareSessionStillLearns) {
+  core::SessionConfig cfg = session_config();
+  core::VariationConfig variation;
+  variation.gain_sigma = 0.10;
+  variation.weight_offset_sigma = 0.10;
+  cfg.variation = variation;
+  core::TrainingSession session(cfg);
+  const core::SessionReport report = session.run(moons());
+  EXPECT_GT(report.test_accuracy, 0.8)
+      << "in-situ training adapts around the chip's variation";
+}
+
+TEST(TrainingSession, PredictMatchesNetworkOutputSize) {
+  core::TrainingSession session(session_config());
+  (void)session.run(moons());
+  const nn::Vector logits = session.predict({0.5, 0.5, 1.0});
+  EXPECT_EQ(logits.size(), 2u);
+}
+
+TEST(TrainingSession, RejectsBadConfig) {
+  core::SessionConfig cfg = session_config();
+  cfg.test_fraction = 1.0;
+  EXPECT_THROW(core::TrainingSession{cfg}, Error);
+  cfg = session_config();
+  cfg.layer_sizes = {4};
+  EXPECT_THROW(core::TrainingSession{cfg}, Error);
+}
+
+// --- EvaluationSuite -----------------------------------------------------------
+
+TEST(EvaluationSuite, GridCoversAllSevenAccelerators) {
+  const arch::EvaluationSuite suite;
+  EXPECT_EQ(suite.accelerators().size(), 7u);
+  EXPECT_EQ(suite.models().size(), 5u);
+  const auto& cell = suite.cell("Trident", "GoogleNet");
+  EXPECT_GT(cell.latency.s(), 0.0);
+  EXPECT_GT(cell.energy.J(), 0.0);
+  EXPECT_THROW((void)suite.cell("Nonexistent", "GoogleNet"), Error);
+}
+
+TEST(EvaluationSuite, TridentDominatesPhotonicBaselines) {
+  const arch::EvaluationSuite suite;
+  for (const char* baseline : {"DEAP-CNN", "CrossLight", "PIXEL"}) {
+    EXPECT_TRUE(suite.dominates_latency("Trident", baseline)) << baseline;
+    EXPECT_TRUE(suite.dominates_energy("Trident", baseline)) << baseline;
+    EXPECT_GT(suite.latency_improvement("Trident", baseline), 0.0);
+    EXPECT_GT(suite.energy_improvement("Trident", baseline), 0.0);
+  }
+}
+
+TEST(EvaluationSuite, PaperOrderingOfBaselines) {
+  const arch::EvaluationSuite suite;
+  // Fig 4/6: DEAP-CNN is the nearest baseline, CrossLight the farthest.
+  EXPECT_LT(suite.latency_improvement("Trident", "DEAP-CNN"),
+            suite.latency_improvement("Trident", "PIXEL"));
+  EXPECT_LT(suite.latency_improvement("Trident", "PIXEL"),
+            suite.latency_improvement("Trident", "CrossLight"));
+}
+
+TEST(EvaluationSuite, ElectronicComparisonsMatchExperimentsDoc) {
+  const arch::EvaluationSuite suite;
+  // TB96 and Coral land near the paper's large factors (EXPERIMENTS.md).
+  EXPECT_GT(suite.latency_improvement("Trident", "Bearkey TB96-AI"), 400.0);
+  EXPECT_GT(suite.latency_improvement("Trident", "Google Coral"), 1000.0);
+  // Xavier is the documented deviation: near parity, not the paper's 2x.
+  const double xavier =
+      suite.latency_improvement("Trident", "NVIDIA AGX Xavier");
+  EXPECT_GT(xavier, -30.0);
+  EXPECT_LT(xavier, 60.0);
+}
+
+TEST(EvaluationSuite, CustomModelListWorks) {
+  const arch::EvaluationSuite suite(std::vector<nn::ModelSpec>{nn::zoo::lenet5()});
+  EXPECT_EQ(suite.models().size(), 1u);
+  EXPECT_GT(suite.cell("Trident", "LeNet-5").inferences_per_second(), 0.0);
+}
+
+}  // namespace
+}  // namespace trident

@@ -1,0 +1,186 @@
+// Full-spectrum weight-bank tests: the device-physics check of the 8-bit
+// claim, including the findings the analytical crosstalk model cannot see
+// (intracavity-GST resonance broadening, bus-cascade loss, FSR aliasing)
+// and the closed-loop programming that recovers precision.
+#include "core/spectral_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+namespace {
+
+SpectralBankConfig bank_config(int rows, int cols, GstPlacement placement,
+                               double spacing_nm = 1.6) {
+  SpectralBankConfig cfg;
+  cfg.rows = rows;
+  cfg.cols = cols;
+  // 3 µm rings: FSR ≈ 29.5 nm covers a 16-channel 1.6 nm grid; t = 0.98
+  // keeps the loaded linewidth well under the channel spacing.
+  cfg.mrr.radius = units::Length::micrometers(3.0);
+  cfg.mrr.self_coupling_1 = 0.98;
+  cfg.mrr.self_coupling_2 = 0.98;
+  cfg.plan = phot::ChannelPlan(cols, units::Length::nanometers(spacing_nm));
+  cfg.placement = placement;
+  return cfg;
+}
+
+nn::Matrix random_weights(std::size_t rows, std::size_t cols,
+                          std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Matrix w(rows, cols);
+  for (double& v : w.data()) {
+    v = rng.uniform(-0.9, 0.9);
+  }
+  return w;
+}
+
+TEST(SpectralBank, SingleRingTransferMatchesIdealExactly) {
+  for (GstPlacement placement :
+       {GstPlacement::kIntracavity, GstPlacement::kPostDrop}) {
+    SpectralWeightBank bank(bank_config(1, 1, placement));
+    for (double target : {-0.9, -0.3, 0.0, 0.4, 0.9}) {
+      nn::Matrix w(1, 1);
+      w.at(0, 0) = target;
+      bank.program(w);
+      const nn::Matrix h = bank.transfer_matrix();
+      EXPECT_NEAR(h.at(0, 0), bank.ideal_weights().at(0, 0), 1e-12);
+      // And the ideal tracks the target within the level granularity.
+      EXPECT_NEAR(bank.ideal_weights().at(0, 0), target, 0.02);
+    }
+  }
+}
+
+TEST(SpectralBank, DiagonalTracksProgrammedWeights) {
+  SpectralWeightBank bank(bank_config(4, 8, GstPlacement::kPostDrop));
+  const nn::Matrix w = random_weights(4, 8, 3);
+  bank.program(w);
+  const nn::Matrix h = bank.transfer_matrix();
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 8; ++c) {
+      EXPECT_NEAR(h.at(r, c), w.at(r, c), 0.06) << r << "," << c;
+    }
+  }
+}
+
+TEST(SpectralBank, IntracavityGstIsThePrecisionKiller) {
+  // Finding: heavy intracavity loss broadens the loaded resonance and
+  // smears weight-dependent absorption across the band — the full-physics
+  // bank is far below 8 bits even after per-channel affine calibration.
+  SpectralWeightBank bank(bank_config(16, 16, GstPlacement::kIntracavity));
+  bank.program(random_weights(16, 16, 5));
+  EXPECT_LE(bank.effective_bits(), 4);
+}
+
+TEST(SpectralBank, PostDropPlacementRecoversPrecision) {
+  // With the GST as a post-drop attenuator the cavity stays fixed and
+  // high-Q: the same bank reaches 5+ calibrated bits open-loop.
+  SpectralWeightBank bank(bank_config(16, 16, GstPlacement::kPostDrop));
+  bank.program(random_weights(16, 16, 5));
+  EXPECT_GE(bank.effective_bits(), 5);
+  EXPECT_LT(bank.worst_weight_error(), 0.05);
+}
+
+TEST(SpectralBank, CompensatedProgrammingReachesQuantizationFloor) {
+  // Closed-loop programming against the measured transfer matrix — the
+  // ability in-situ hardware has by construction — pulls the post-drop
+  // bank to within ~1 LSB of the 255-level grid.
+  SpectralWeightBank bank(bank_config(16, 16, GstPlacement::kPostDrop));
+  const nn::Matrix w = random_weights(16, 16, 5);
+  bank.program(w);
+  const double open_loop = bank.worst_error_vs(w);
+  const int iters = bank.program_compensated(w, 10);
+  const double closed_loop = bank.worst_error_vs(w);
+  EXPECT_GE(iters, 1);
+  EXPECT_LT(closed_loop, open_loop);
+  EXPECT_LT(closed_loop, 2.5 / 254.0);  // ≲ 1.25 LSB of the GST grid
+}
+
+TEST(SpectralBank, FsrAliasingPunishesWideGrids) {
+  // 16 channels at 3.2 nm span 48 nm — beyond the 29.5 nm FSR, so distant
+  // channels alias onto other resonance orders and open-loop error jumps.
+  SpectralWeightBank narrow(bank_config(8, 16, GstPlacement::kPostDrop, 1.6));
+  SpectralWeightBank wide(bank_config(8, 16, GstPlacement::kPostDrop, 3.2));
+  const nn::Matrix w = random_weights(8, 16, 7);
+  narrow.program(w);
+  wide.program(w);
+  EXPECT_GT(wide.worst_error_vs(w), narrow.worst_error_vs(w));
+}
+
+TEST(SpectralBank, CascadeErrorGrowsWithBankWidth) {
+  const nn::Matrix w4 = random_weights(8, 4, 9);
+  const nn::Matrix w16 = random_weights(8, 16, 9);
+  SpectralWeightBank small(bank_config(8, 4, GstPlacement::kPostDrop));
+  SpectralWeightBank big(bank_config(8, 16, GstPlacement::kPostDrop));
+  small.program(w4);
+  big.program(w16);
+  EXPECT_LE(small.worst_error_vs(w4), big.worst_error_vs(w16) + 1e-9);
+}
+
+TEST(SpectralBank, AmbientDriftDegradesTheBank) {
+  // Trident's rings have no heaters: a common-mode ambient shift moves
+  // every ring off its channel and nothing on-chip can follow.  Error
+  // grows monotonically with the drift magnitude.
+  SpectralWeightBank bank(bank_config(8, 8, GstPlacement::kPostDrop));
+  const nn::Matrix w = random_weights(8, 8, 13);
+  bank.program(w);
+  const double at0 = bank.worst_error_vs(w);
+  const double at20pm =
+      bank.worst_error_vs(w, units::Length::nanometers(0.02));
+  const double at80pm =
+      bank.worst_error_vs(w, units::Length::nanometers(0.08));
+  EXPECT_GT(at20pm, at0);
+  EXPECT_GT(at80pm, at20pm);
+  EXPECT_GT(at80pm, 0.2) << "one kelvin of silicon drift is catastrophic";
+}
+
+TEST(SpectralBank, AmbientToleranceIsSubKelvin) {
+  // At 0.08 nm/K, the drift window for 5% weight error converts to well
+  // under a kelvin — Trident needs athermal design or a chip-level TEC,
+  // a cost the paper's power budget does not include.
+  SpectralWeightBank bank(bank_config(8, 8, GstPlacement::kPostDrop));
+  const nn::Matrix w = random_weights(8, 8, 13);
+  bank.program(w);
+  const units::Length window = bank.ambient_tolerance(w, 0.05);
+  const double kelvin = window.nm() / 0.08;
+  EXPECT_GT(window.nm(), 0.0);
+  EXPECT_LT(kelvin, 1.0);
+  // Consistency with the direct query.
+  EXPECT_LE(bank.worst_error_vs(w, window), 0.05 + 1e-9);
+}
+
+TEST(SpectralBank, RejectsBadArguments) {
+  EXPECT_THROW(SpectralWeightBank(bank_config(0, 4, GstPlacement::kPostDrop)),
+               Error);
+  SpectralWeightBank bank(bank_config(2, 2, GstPlacement::kPostDrop));
+  EXPECT_THROW(bank.program(nn::Matrix(3, 2, 0.0)), Error);
+  EXPECT_THROW((void)bank.worst_error_vs(nn::Matrix(1, 1, 0.0)), Error);
+  EXPECT_THROW((void)bank.program_compensated(nn::Matrix(2, 2, 0.0), 0),
+               Error);
+}
+
+class PlacementSweep : public ::testing::TestWithParam<GstPlacement> {};
+
+TEST_P(PlacementSweep, ProgrammingIsDeterministic) {
+  const GstPlacement placement = GetParam();
+  SpectralWeightBank a(bank_config(4, 4, placement));
+  SpectralWeightBank b(bank_config(4, 4, placement));
+  const nn::Matrix w = random_weights(4, 4, 11);
+  a.program(w);
+  b.program(w);
+  const nn::Matrix ha = a.transfer_matrix();
+  const nn::Matrix hb = b.transfer_matrix();
+  for (std::size_t i = 0; i < ha.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ha.data()[i], hb.data()[i]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Placements, PlacementSweep,
+                         ::testing::Values(GstPlacement::kIntracavity,
+                                           GstPlacement::kPostDrop));
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,122 @@
+// Thermal-crosstalk tests: the physical origin of the thermal 6-bit limit
+// and of §III.B's "eliminates thermal crosstalk issues".
+#include "photonics/thermal.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "photonics/mrr.hpp"
+#include "photonics/wdm.hpp"
+
+namespace trident::phot {
+namespace {
+
+using namespace trident::units::literals;
+
+TEST(Thermal, SelfHeatingAtFullDrive) {
+  ThermalCrosstalkMap map(1, 1);
+  EXPECT_NEAR(map.temperature_at(0, 0, {1.0}),
+              map.params().self_heating_kelvin, 1e-12);
+  EXPECT_DOUBLE_EQ(map.temperature_at(0, 0, {0.0}), 0.0);
+}
+
+TEST(Thermal, NeighbourContributionDecaysWithDistance) {
+  ThermalCrosstalkMap map(1, 8);
+  std::vector<double> one_heater(8, 0.0);
+  one_heater[0] = 1.0;
+  double prev = 1e9;
+  for (int c = 1; c < 8; ++c) {
+    const double t = map.temperature_at(0, c, one_heater);
+    EXPECT_LT(t, prev) << "column " << c;
+    EXPECT_GT(t, 0.0);
+    prev = t;
+  }
+}
+
+TEST(Thermal, NeighbourShiftExcludesOwnHeater) {
+  ThermalCrosstalkMap map(1, 2);
+  // Only this ring's heater on: zero *neighbour* shift.
+  EXPECT_DOUBLE_EQ(map.neighbour_shift_at(0, 0, {1.0, 0.0}).nm(), 0.0);
+  // Only the neighbour on: positive shift.
+  EXPECT_GT(map.neighbour_shift_at(0, 0, {0.0, 1.0}).nm(), 0.0);
+}
+
+TEST(Thermal, DriveScalesLinearly) {
+  ThermalCrosstalkMap map(1, 2);
+  const double full = map.neighbour_shift_at(0, 0, {0.0, 1.0}).nm();
+  const double half = map.neighbour_shift_at(0, 0, {0.0, 0.5}).nm();
+  EXPECT_NEAR(half, full / 2.0, 1e-12);
+}
+
+TEST(Thermal, CentreOfGridIsWorstCase) {
+  ThermalCrosstalkMap map(5, 5);
+  std::vector<double> all_on(25, 1.0);
+  const double centre = map.neighbour_shift_at(2, 2, all_on).nm();
+  const double corner = map.neighbour_shift_at(0, 0, all_on).nm();
+  EXPECT_GT(centre, corner);
+  EXPECT_NEAR(map.worst_case_neighbour_shift().nm(), centre, 1e-12);
+}
+
+TEST(Thermal, WorstCaseShiftIsFractionOfFwhm) {
+  // On the default 16×16 grid the worst-case neighbour shift lands in the
+  // few-tens-of-pm range — a non-trivial fraction of a 0.3 nm FWHM, which
+  // is what erodes thermal banks to ~6 usable bits.
+  ThermalCrosstalkMap map(16, 16);
+  const auto shift = map.worst_case_neighbour_shift();
+  EXPECT_GT(shift.nm(), 0.001);
+  EXPECT_LT(shift.nm(), 0.05);
+
+  Mrr ring(MrrDesign{}, 1550.0_nm);
+  const double err = map.weight_error(shift, ring.fwhm());
+  EXPECT_GT(err, 1.0 / 256.0);  // worse than 8-bit precision
+  EXPECT_LT(err, 1.0 / 16.0);   // better than 4-bit: lands around 5-7 bits
+}
+
+TEST(Thermal, GstBankHasNoHeatersHenceNoCrosstalk) {
+  // GST weighting drives zero heater power during inference: the drive
+  // vector is all-zero and every thermal term vanishes (§III.B).
+  ThermalCrosstalkMap map(16, 16);
+  std::vector<double> gst_drives(256, 0.0);
+  EXPECT_DOUBLE_EQ(map.temperature_at(7, 7, gst_drives), 0.0);
+  EXPECT_DOUBLE_EQ(map.neighbour_shift_at(7, 7, gst_drives).nm(), 0.0);
+}
+
+TEST(Thermal, WeightErrorClampsAtFullScale) {
+  ThermalCrosstalkMap map(1, 1);
+  EXPECT_DOUBLE_EQ(map.weight_error(10.0_nm, 0.3_nm), 1.0);
+  EXPECT_THROW((void)map.weight_error(0.1_nm, units::Length::meters(0.0)),
+               Error);
+}
+
+TEST(Thermal, RejectsBadArguments) {
+  EXPECT_THROW(ThermalCrosstalkMap(0, 4), Error);
+  ThermalParams bad;
+  bad.decay_length = units::Length::meters(0.0);
+  EXPECT_THROW(ThermalCrosstalkMap(2, 2, bad), Error);
+  ThermalCrosstalkMap map(2, 2);
+  EXPECT_THROW((void)map.temperature_at(0, 0, {1.0}), Error);  // wrong size
+  EXPECT_THROW((void)map.temperature_at(2, 0,
+                                        std::vector<double>(4, 0.0)),
+               Error);
+  EXPECT_THROW((void)map.temperature_at(0, 0,
+                                        std::vector<double>(4, 2.0)),
+               Error);  // drive out of range
+}
+
+class GridSizes : public ::testing::TestWithParam<int> {};
+
+TEST_P(GridSizes, WorstShiftGrowsThenSaturatesWithGridSize) {
+  const int n = GetParam();
+  ThermalCrosstalkMap small(n, n);
+  ThermalCrosstalkMap bigger(n + 4, n + 4);
+  // More neighbours never reduce the worst-case shift...
+  EXPECT_GE(bigger.worst_case_neighbour_shift().nm(),
+            small.worst_case_neighbour_shift().nm() - 1e-12);
+  // ...but the exponential decay bounds it.
+  EXPECT_LT(bigger.worst_case_neighbour_shift().nm(), 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, GridSizes, ::testing::Values(2, 4, 8, 16));
+
+}  // namespace
+}  // namespace trident::phot

@@ -1,0 +1,118 @@
+#include "parallel/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace trident {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.size(), 4u);
+  auto f = pool.submit([] { return 7 * 6; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 200; ++i) {
+    futs.push_back(pool.submit([&counter] { ++counter; }));
+  }
+  for (auto& f : futs) {
+    f.get();
+  }
+  EXPECT_EQ(counter.load(), 200);
+}
+
+TEST(ThreadPool, WaitIdleBlocksUntilDrained) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int i = 0; i < 20; ++i) {
+    (void)pool.submit([&done] {
+      ++done;
+      return 0;
+    });
+  }
+  pool.wait_idle();
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW((void)f.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversEveryIndexExactlyOnce) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(0, hits.size(), [&](std::size_t i) { ++hits[i]; });
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelFor, RespectsSubrange) {
+  std::vector<int> hits(100, 0);
+  parallel_for(10, 20, [&](std::size_t i) { hits[i] = 1; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i], (i >= 10 && i < 20) ? 1 : 0) << i;
+  }
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  bool touched = false;
+  parallel_for(5, 5, [&](std::size_t) { touched = true; });
+  EXPECT_FALSE(touched);
+}
+
+TEST(ParallelFor, InvertedRangeThrows) {
+  EXPECT_THROW(parallel_for(5, 4, [](std::size_t) {}), Error);
+}
+
+TEST(ParallelFor, PropagatesWorkerException) {
+  EXPECT_THROW(parallel_for(0, 64,
+                            [](std::size_t i) {
+                              if (i == 17) {
+                                throw Error("worker failure");
+                              }
+                            }),
+               Error);
+}
+
+TEST(ParallelFor, MatchesSerialReduction) {
+  // Chunked writes into disjoint slots, then reduce — the simulator's
+  // standard sweep pattern.
+  std::vector<double> out(512);
+  parallel_for(0, out.size(), [&](std::size_t i) {
+    out[i] = static_cast<double>(i) * 0.5;
+  });
+  const double sum = std::accumulate(out.begin(), out.end(), 0.0);
+  EXPECT_DOUBLE_EQ(sum, 0.5 * (511.0 * 512.0 / 2.0));
+}
+
+TEST(ParallelFor, GrainForcesSerialForTinyRanges) {
+  // With grain >= range the loop runs inline (no pool dispatch) — verify
+  // correctness is unchanged.
+  std::vector<int> hits(8, 0);
+  parallel_for(0, hits.size(), [&](std::size_t i) { hits[i] = 1; }, 100);
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(GlobalPool, SingletonIsStable) {
+  ThreadPool& a = global_pool();
+  ThreadPool& b = global_pool();
+  EXPECT_EQ(&a, &b);
+  EXPECT_GE(a.size(), 1u);
+}
+
+}  // namespace
+}  // namespace trident

@@ -1,0 +1,126 @@
+// Training-loop tests with the float reference backend: backprop through
+// the paper's three linear primitives must actually learn.
+#include "nn/train.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::nn {
+namespace {
+
+TEST(Train, LearnsLinearlySeparableBlobs) {
+  Rng rng(1);
+  Dataset data = gaussian_blobs(200, 3, 4, 4.0, 0.4, rng);
+  Mlp net({4, 16, 3}, Activation::kReLU, rng);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.learning_rate = 0.05;
+  const TrainResult r = fit(net, data, cfg, backend);
+  EXPECT_GT(r.final_accuracy(), 0.95);
+  EXPECT_LT(r.final_loss(), r.epoch_loss.front());
+}
+
+TEST(Train, LearnsNonLinearTwoMoons) {
+  // Moons are not linearly separable: success requires the hidden
+  // non-linearity to be functioning.
+  Rng rng(2);
+  Dataset data = two_moons(400, 0.08, rng);
+  data.augment_bias();  // no bias units in the PE weight bank: bias trick
+  Mlp net({3, 24, 2}, Activation::kReLU, rng);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 120;
+  cfg.learning_rate = 0.1;
+  const TrainResult r = fit(net, data, cfg, backend);
+  EXPECT_GT(r.final_accuracy(), 0.93);
+}
+
+TEST(Train, GstActivationAlsoLearnsMoons) {
+  // The paper's claim in miniature: the GST photonic non-linearity (slope
+  // 0.34 above threshold) supports training just like ReLU.
+  Rng rng(3);
+  Dataset data = two_moons(400, 0.08, rng);
+  data.augment_bias();
+  Mlp net({3, 24, 2}, Activation::kGstPhotonic, rng);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 160;
+  cfg.learning_rate = 0.3;  // compensates the 0.34 slope scaling
+  const TrainResult r = fit(net, data, cfg, backend);
+  EXPECT_GT(r.final_accuracy(), 0.90);
+}
+
+TEST(Train, LossCurveMostlyMonotonic) {
+  Rng rng(4);
+  Dataset data = gaussian_blobs(150, 2, 3, 3.0, 0.3, rng);
+  Mlp net({3, 8, 2}, Activation::kReLU, rng);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 10;
+  const TrainResult r = fit(net, data, cfg, backend);
+  ASSERT_EQ(r.epoch_loss.size(), 10u);
+  EXPECT_LT(r.epoch_loss.back(), r.epoch_loss.front() * 0.8);
+}
+
+TEST(Train, EvaluateMatchesTrainingAccuracyOrder) {
+  Rng rng(5);
+  Dataset data = gaussian_blobs(200, 2, 3, 4.0, 0.3, rng);
+  const auto [train_set, test_set] = data.split(0.25);
+  Mlp net({3, 12, 2}, Activation::kReLU, rng);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 20;
+  (void)fit(net, train_set, cfg, backend);
+  EXPECT_GT(evaluate(net, test_set, backend), 0.9);
+}
+
+TEST(Train, UntrainedNetworkNearChance) {
+  Rng rng(6);
+  const Dataset data = gaussian_blobs(400, 4, 6, 4.0, 0.3, rng);
+  Mlp net({6, 8, 4}, Activation::kReLU, rng);
+  FloatBackend backend;
+  EXPECT_LT(evaluate(net, data, backend), 0.6);  // 4 classes → chance 0.25
+}
+
+TEST(Train, ValidatesConfiguration) {
+  Rng rng(7);
+  Dataset data = gaussian_blobs(20, 2, 2, 2.0, 0.3, rng);
+  Mlp net({2, 4, 2}, Activation::kReLU, rng);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 0;
+  EXPECT_THROW((void)fit(net, data, cfg, backend), Error);
+  cfg = {};
+  cfg.learning_rate = 0.0;
+  EXPECT_THROW((void)fit(net, data, cfg, backend), Error);
+}
+
+TEST(Train, RejectsShapeMismatches) {
+  Rng rng(8);
+  Dataset data = gaussian_blobs(20, 2, 3, 2.0, 0.3, rng);
+  FloatBackend backend;
+  Mlp wrong_in({5, 4, 2}, Activation::kReLU, rng);
+  EXPECT_THROW((void)fit(wrong_in, data, {}, backend), Error);
+  Mlp wrong_out({3, 4, 5}, Activation::kReLU, rng);
+  EXPECT_THROW((void)fit(wrong_out, data, {}, backend), Error);
+}
+
+TEST(Train, DeterministicForFixedSeeds) {
+  Rng rng_a(9), rng_b(9);
+  Dataset data_a = gaussian_blobs(50, 2, 3, 3.0, 0.3, rng_a);
+  Dataset data_b = gaussian_blobs(50, 2, 3, 3.0, 0.3, rng_b);
+  Mlp net_a({3, 6, 2}, Activation::kReLU, rng_a);
+  Mlp net_b({3, 6, 2}, Activation::kReLU, rng_b);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  const TrainResult ra = fit(net_a, data_a, cfg, backend);
+  const TrainResult rb = fit(net_b, data_b, cfg, backend);
+  EXPECT_EQ(ra.epoch_loss, rb.epoch_loss);
+  EXPECT_EQ(ra.epoch_accuracy, rb.epoch_accuracy);
+}
+
+}  // namespace
+}  // namespace trident::nn

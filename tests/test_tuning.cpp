@@ -1,0 +1,98 @@
+// Table I regression tests: the tuning-method numbers the whole paper's
+// energy argument is built on.
+#include "photonics/tuning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+namespace {
+
+using namespace trident::units::literals;
+
+TEST(Tuning, ThermalMatchesTableI) {
+  const TuningMethod m = thermal_tuning();
+  EXPECT_NEAR(m.write_energy.nJ(), 1.02, 1e-12);
+  EXPECT_NEAR(m.write_time.us(), 0.6, 1e-12);
+  EXPECT_NEAR(m.hold_power.mW(), 1.7, 1e-12);
+  EXPECT_EQ(m.bit_resolution, 6);
+  EXPECT_FALSE(m.non_volatile);
+  EXPECT_FALSE(m.supports_training());
+  EXPECT_TRUE(m.practical_for_edge);
+}
+
+TEST(Tuning, GstMatchesTableI) {
+  const TuningMethod m = gst_tuning();
+  EXPECT_NEAR(m.write_energy.pJ(), 660.0, 1e-12);
+  EXPECT_NEAR(m.write_time.ns(), 300.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.hold_power.W(), 0.0);
+  EXPECT_EQ(m.bit_resolution, 8);
+  EXPECT_TRUE(m.non_volatile);
+  EXPECT_TRUE(m.supports_training());
+}
+
+TEST(Tuning, ElectroOpticExcludedFromEdge) {
+  const TuningMethod m = electro_optic_tuning();
+  EXPECT_NEAR(m.write_time.ns(), 500.0, 1e-12);
+  EXPECT_FALSE(m.practical_for_edge);  // §II.B: "not considered in this work"
+}
+
+TEST(Tuning, GstIsTwiceAsFastAsThermal) {
+  EXPECT_NEAR(thermal_tuning().write_time / gst_tuning().write_time, 2.0,
+              1e-12);
+}
+
+TEST(Tuning, BankProgramEnergyScalesWithMrrs) {
+  const TuningMethod gst = gst_tuning();
+  EXPECT_NEAR(gst.program_energy(256).nJ(), 256 * 0.66, 1e-9);
+  // Writes happen in parallel: time does not scale with bank size.
+  EXPECT_EQ(gst.program_time(256), gst.program_time(1));
+}
+
+TEST(Tuning, HoldEnergyZeroForNonVolatile) {
+  EXPECT_DOUBLE_EQ(
+      gst_tuning().hold_energy(256, units::Time::seconds(1.0)).J(), 0.0);
+  // Thermal: 256 × 1.7 mW × 1 ms = 435.2 µJ.
+  EXPECT_NEAR(thermal_tuning()
+                  .hold_energy(256, units::Time::milliseconds(1.0))
+                  .uJ(),
+              435.2, 1e-9);
+}
+
+TEST(Tuning, HybridBuysOneBitButStaysVolatile) {
+  const TuningMethod m = hybrid_tuning();
+  EXPECT_EQ(m.bit_resolution, 7);
+  EXPECT_FALSE(m.non_volatile);
+  EXPECT_FALSE(m.supports_training());
+  EXPECT_EQ(m.hold_power, thermal_tuning().hold_power);
+}
+
+TEST(Tuning, TableHasThreeRowsInPaperOrder) {
+  const auto rows = table1_methods();
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0].name, "Thermal");
+  EXPECT_EQ(rows[1].name, "Electric");
+  EXPECT_EQ(rows[2].name, "GST");
+}
+
+TEST(Tuning, ElectroOpticVoltageIsImpractical) {
+  // Shifting across one 1.6 nm channel at 0.18 pm/V needs ~8.9 kV.
+  const double volts = electro_optic_volts_for_shift(1.6_nm);
+  EXPECT_NEAR(volts, 1600.0 / 0.18, 1.0);
+  EXPECT_GT(volts, kElectroOpticMaxVolts);
+  // Even a 10%-of-channel trim exceeds the ±100 V drive.
+  EXPECT_GT(electro_optic_volts_for_shift(0.16_nm), kElectroOpticMaxVolts);
+  EXPECT_THROW((void)electro_optic_volts_for_shift(Length::meters(-1.0)),
+               Error);
+}
+
+TEST(Tuning, OnlyGstSupportsTrainingAmongTableI) {
+  for (const auto& m : table1_methods()) {
+    EXPECT_EQ(m.supports_training(), m.kind == TuningKind::kGst) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace trident::phot

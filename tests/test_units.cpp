@@ -1,0 +1,123 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace trident::units {
+namespace {
+
+using namespace trident::units::literals;
+
+TEST(Units, TimeConversionsRoundTrip) {
+  const Time t = Time::microseconds(0.3);
+  EXPECT_DOUBLE_EQ(t.ns(), 300.0);
+  EXPECT_DOUBLE_EQ(t.us(), 0.3);
+  EXPECT_DOUBLE_EQ(t.ms(), 3e-4);
+  EXPECT_DOUBLE_EQ(t.s(), 3e-7);
+  EXPECT_DOUBLE_EQ(t.ps(), 3e5);
+}
+
+TEST(Units, EnergyConversionsRoundTrip) {
+  const Energy e = Energy::picojoules(660.0);
+  EXPECT_DOUBLE_EQ(e.nJ(), 0.66);
+  EXPECT_DOUBLE_EQ(e.pJ(), 660.0);
+  EXPECT_DOUBLE_EQ(e.fJ(), 660e3);
+  EXPECT_DOUBLE_EQ(e.J(), 660e-12);
+}
+
+TEST(Units, PowerConversions) {
+  const Power p = Power::milliwatts(563.2);
+  EXPECT_DOUBLE_EQ(p.W(), 0.5632);
+  EXPECT_DOUBLE_EQ(p.uW(), 563200.0);
+}
+
+TEST(Units, LengthAndAreaConversions) {
+  const Length l = Length::nanometers(1553.4);
+  EXPECT_DOUBLE_EQ(l.um(), 1.5534);
+  EXPECT_NEAR(l.m(), 1.5534e-6, 1e-18);
+  const Area a = Area::square_millimeters(604.6);
+  EXPECT_DOUBLE_EQ(a.mm2(), 604.6);
+  EXPECT_NEAR(a.m2(), 604.6e-6, 1e-12);
+}
+
+TEST(Units, LiteralsMatchFactories) {
+  EXPECT_EQ(660.0_pJ, Energy::picojoules(660.0));
+  EXPECT_EQ(300.0_ns, Time::nanoseconds(300.0));
+  EXPECT_EQ(1.7_mW, Power::milliwatts(1.7));
+  EXPECT_EQ(1.6_nm, Length::nanometers(1.6));
+  EXPECT_EQ(1.37_GHz, Frequency::gigahertz(1.37));
+  EXPECT_EQ(604.6_mm2, Area::square_millimeters(604.6));
+}
+
+TEST(Units, EnergyEqualsPowerTimesTime) {
+  const Energy e = 2.0_mW * 300.0_ns;
+  EXPECT_DOUBLE_EQ(e.pJ(), 600.0);
+  EXPECT_DOUBLE_EQ((300.0_ns * 2.0_mW).pJ(), 600.0);
+}
+
+TEST(Units, PowerEqualsEnergyOverTime) {
+  const Power p = 660.0_pJ / 300.0_ns;
+  EXPECT_NEAR(p.mW(), 2.2, 1e-12);
+}
+
+TEST(Units, TimeEqualsEnergyOverPower) {
+  const Time t = 600.0_pJ / 2.0_mW;
+  EXPECT_DOUBLE_EQ(t.ns(), 300.0);
+}
+
+TEST(Units, AreaEqualsLengthTimesLength) {
+  const Area a = Length::millimeters(0.092) * Length::millimeters(0.085);
+  EXPECT_NEAR(a.mm2(), 0.00782, 1e-12);
+}
+
+TEST(Units, PeriodAndRateAreInverse) {
+  const Time t = period(1.37_GHz);
+  EXPECT_NEAR(t.ns(), 1.0 / 1.37, 1e-12);
+  EXPECT_NEAR(rate(t).GHz(), 1.37, 1e-12);
+}
+
+TEST(Units, ArithmeticWithinDimension) {
+  Energy e = 1.0_nJ + 500.0_pJ;
+  EXPECT_DOUBLE_EQ(e.pJ(), 1500.0);
+  e -= 0.5_nJ;
+  EXPECT_DOUBLE_EQ(e.pJ(), 1000.0);
+  e *= 2.0;
+  EXPECT_DOUBLE_EQ(e.nJ(), 2.0);
+  EXPECT_DOUBLE_EQ((e / 4.0).pJ(), 500.0);
+  EXPECT_DOUBLE_EQ(e / 1.0_nJ, 2.0);  // dimensionless ratio
+}
+
+TEST(Units, Comparisons) {
+  EXPECT_LT(660.0_pJ, 1.02_nJ);
+  EXPECT_GT(0.6_us, 300.0_ns);
+  EXPECT_EQ(1.02_nJ, Energy::picojoules(1020.0));
+}
+
+TEST(Units, DefaultConstructedIsZero) {
+  EXPECT_DOUBLE_EQ(Energy{}.J(), 0.0);
+  EXPECT_DOUBLE_EQ(Time{}.s(), 0.0);
+  EXPECT_DOUBLE_EQ(Power{}.W(), 0.0);
+}
+
+TEST(Units, OpticalFrequencyAt1550nm) {
+  const Frequency f = optical_frequency(Length::nanometers(1550.0));
+  EXPECT_NEAR(f.THz(), 193.4, 0.1);
+}
+
+TEST(Units, PropagationDelayUsesGroupIndex) {
+  // 1 mm of waveguide at n_g = 4.2: t = L·n_g/c ≈ 14 ps.
+  const Time t = propagation_delay(Length::millimeters(1.0));
+  EXPECT_NEAR(t.ps(), 14.0, 0.1);
+  // Vacuum-ish propagation is faster.
+  EXPECT_LT(propagation_delay(Length::millimeters(1.0), 1.0).ps(), t.ps());
+}
+
+TEST(Units, StreamOutput) {
+  std::ostringstream os;
+  os << 2.0_mW;
+  EXPECT_EQ(os.str(), "0.002 W");
+}
+
+}  // namespace
+}  // namespace trident::units

@@ -1,0 +1,138 @@
+// Channel-plan and crosstalk tests: the device-level basis of the paper's
+// 6-bit (thermal) vs 8-bit (GST) resolution claim.
+#include "photonics/wdm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "photonics/constants.hpp"
+
+namespace trident::phot {
+namespace {
+
+using namespace trident::units::literals;
+
+TEST(ChannelPlan, EvenSpacingFromAnchor) {
+  ChannelPlan plan(4, 1.6_nm, 1530.0_nm);
+  EXPECT_EQ(plan.size(), 4);
+  EXPECT_NEAR(plan.channel(0).nm(), 1530.0, 1e-9);
+  EXPECT_NEAR(plan.channel(3).nm(), 1534.8, 1e-9);
+  EXPECT_NEAR(plan.span().nm(), 4.8, 1e-9);
+}
+
+TEST(ChannelPlan, RejectsSubMinimumSpacing) {
+  EXPECT_THROW(ChannelPlan(4, 1.0_nm), Error);
+  EXPECT_THROW(ChannelPlan(0), Error);
+  EXPECT_NO_THROW(ChannelPlan(4, 1.6_nm));
+  EXPECT_NO_THROW(ChannelPlan(4, 2.0_nm));
+}
+
+TEST(ChannelPlan, ChannelIndexBounds) {
+  ChannelPlan plan(2);
+  EXPECT_THROW((void)plan.channel(-1), Error);
+  EXPECT_THROW((void)plan.channel(2), Error);
+}
+
+TEST(Lorentzian, UnityAtZeroDetuning) {
+  EXPECT_DOUBLE_EQ(lorentzian_leakage(Length::meters(0.0), 0.3_nm), 1.0);
+}
+
+TEST(Lorentzian, HalfAtHalfFwhm) {
+  EXPECT_NEAR(lorentzian_leakage(0.15_nm, 0.3_nm), 0.5, 1e-12);
+}
+
+TEST(Lorentzian, DecaysWithDetuning) {
+  const double near = lorentzian_leakage(0.5_nm, 0.3_nm);
+  const double far = lorentzian_leakage(1.6_nm, 0.3_nm);
+  EXPECT_GT(near, far);
+  EXPECT_LT(far, 0.01);
+  EXPECT_THROW((void)lorentzian_leakage(1.0_nm, Length::meters(0.0)), Error);
+}
+
+// --- the headline resolution claim -------------------------------------------
+
+TEST(Crosstalk, ThermalShiftWeightingLimitedToSixBits) {
+  // Thermal weighting detunes rings by up to 0.2 × spacing (§II.B) and the
+  // resulting weight-dependent leakage caps precision at 6 bits [10].
+  ChannelPlan plan(16);
+  const CrosstalkReport r =
+      analyze_crosstalk(plan, MrrDesign{}, 0.2, /*max_bits=*/10);
+  EXPECT_EQ(r.effective_bits, 6);
+  EXPECT_GT(r.dynamic_leakage, 0.0);
+}
+
+TEST(Crosstalk, GstAttenuationWeightingKeepsEightBits) {
+  // GST weighting never moves the resonance: zero dynamic leakage, so the
+  // 255-level device resolution (8 bits) survives intact (§III.B).
+  ChannelPlan plan(16);
+  const CrosstalkReport r =
+      analyze_crosstalk(plan, MrrDesign{}, 0.0, /*max_bits=*/kGstBits);
+  EXPECT_EQ(r.effective_bits, 8);
+  EXPECT_DOUBLE_EQ(r.dynamic_leakage, 0.0);
+}
+
+TEST(Crosstalk, SingleChannelHasNoCrosstalk) {
+  ChannelPlan plan(1);
+  const CrosstalkReport r = analyze_crosstalk(plan, MrrDesign{}, 0.2, 8);
+  EXPECT_EQ(r.effective_bits, 8);
+  EXPECT_DOUBLE_EQ(r.worst_case_leakage, 0.0);
+}
+
+TEST(Crosstalk, MoreShiftMeansFewerBits) {
+  ChannelPlan plan(16);
+  int prev_bits = 17;
+  double prev_leak = -1.0;
+  for (double shift : {0.05, 0.1, 0.2, 0.3, 0.4}) {
+    const CrosstalkReport r = analyze_crosstalk(plan, MrrDesign{}, shift, 16);
+    EXPECT_LE(r.effective_bits, prev_bits) << "shift=" << shift;
+    EXPECT_GT(r.dynamic_leakage, prev_leak) << "shift=" << shift;
+    prev_bits = r.effective_bits;
+    prev_leak = r.dynamic_leakage;
+  }
+}
+
+TEST(Crosstalk, WiderSpacingImprovesResolution) {
+  const CrosstalkReport tight =
+      analyze_crosstalk(ChannelPlan(16, 1.6_nm), MrrDesign{}, 0.2, 16);
+  const CrosstalkReport wide =
+      analyze_crosstalk(ChannelPlan(16, 3.2_nm), MrrDesign{}, 0.2, 16);
+  EXPECT_GE(wide.effective_bits, tight.effective_bits);
+  EXPECT_LT(wide.dynamic_leakage, tight.dynamic_leakage);
+}
+
+TEST(Crosstalk, DeviceBitsCapTheResult) {
+  ChannelPlan plan(16, 6.4_nm);  // generous spacing: crosstalk negligible
+  const CrosstalkReport r = analyze_crosstalk(plan, MrrDesign{}, 0.0, 8);
+  EXPECT_EQ(r.effective_bits, 8);  // bounded by the device's level count
+}
+
+TEST(Crosstalk, RejectsBadArguments) {
+  ChannelPlan plan(4);
+  EXPECT_THROW((void)analyze_crosstalk(plan, MrrDesign{}, -0.1, 8), Error);
+  EXPECT_THROW((void)analyze_crosstalk(plan, MrrDesign{}, 0.5, 8), Error);
+  EXPECT_THROW((void)analyze_crosstalk(plan, MrrDesign{}, 0.2, 0), Error);
+}
+
+TEST(Crosstalk, ShiftedLeakageExceedsCentred) {
+  ChannelPlan plan(8);
+  const CrosstalkReport shifted = analyze_crosstalk(plan, MrrDesign{}, 0.2, 16);
+  const CrosstalkReport centred = analyze_crosstalk(plan, MrrDesign{}, 0.0, 16);
+  EXPECT_GT(shifted.worst_case_leakage, centred.worst_case_leakage);
+}
+
+class CrosstalkChannelCount : public ::testing::TestWithParam<int> {};
+
+TEST_P(CrosstalkChannelCount, MoreNeighboursNeverImproveResolution) {
+  const int n = GetParam();
+  const CrosstalkReport small =
+      analyze_crosstalk(ChannelPlan(2), MrrDesign{}, 0.2, 16);
+  const CrosstalkReport larger =
+      analyze_crosstalk(ChannelPlan(n), MrrDesign{}, 0.2, 16);
+  EXPECT_LE(larger.effective_bits, small.effective_bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CrosstalkChannelCount,
+                         ::testing::Values(2, 4, 8, 16, 32));
+
+}  // namespace
+}  // namespace trident::phot

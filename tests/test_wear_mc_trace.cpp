@@ -1,0 +1,156 @@
+// Tests for wear levelling, Monte-Carlo studies, and trace export.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "arch/photonic.hpp"
+#include "common/error.hpp"
+#include "core/monte_carlo.hpp"
+#include "core/trace_export.hpp"
+#include "core/wear_leveling.hpp"
+#include "nn/zoo.hpp"
+
+namespace trident::core {
+namespace {
+
+// --- wear levelling ---------------------------------------------------------
+
+TEST(WearLeveling, TotalWritesIndependentOfPolicy) {
+  const auto acc = arch::make_trident();
+  const auto model = nn::zoo::mobilenet_v2();
+  const WearReport fixed =
+      simulate_wear(model, acc, 100, WearPolicy::kFixedOrigin);
+  const WearReport rotating =
+      simulate_wear(model, acc, 100, WearPolicy::kRotating);
+  double fixed_total = 0.0, rot_total = 0.0;
+  for (std::size_t i = 0; i < fixed.writes_per_pe.size(); ++i) {
+    fixed_total += fixed.writes_per_pe[i];
+    rot_total += rotating.writes_per_pe[i];
+  }
+  EXPECT_NEAR(fixed_total, rot_total, fixed_total * 1e-12);
+}
+
+TEST(WearLeveling, RotationLevelsTheWear) {
+  const auto acc = arch::make_trident();
+  const auto model = nn::zoo::mobilenet_v2();
+  const WearReport fixed =
+      simulate_wear(model, acc, 440, WearPolicy::kFixedOrigin);
+  const WearReport rotating =
+      simulate_wear(model, acc, 440, WearPolicy::kRotating);
+  EXPECT_GE(fixed.imbalance, rotating.imbalance - 1e-12);
+  // A full rotation cycle makes every PE statistically identical.
+  EXPECT_NEAR(rotating.imbalance, 1.0, 1e-9);
+}
+
+TEST(WearLeveling, FixedOriginIsImbalancedWhenTilesDontDivide) {
+  const auto acc = arch::make_trident();
+  // A single layer with tiles not a multiple of 44 hammers low PEs.
+  nn::ModelSpec m;
+  m.name = "odd";
+  m.layers.push_back(nn::LayerSpec::dense("fc", 16 * 3, 16 * 3));  // 9 tiles
+  const WearReport fixed =
+      simulate_wear(m, acc, 10, WearPolicy::kFixedOrigin);
+  EXPECT_GT(fixed.imbalance, 1.5);  // 9 of 44 PEs do all the work
+}
+
+TEST(WearLeveling, RotationBenefitAtLeastOne) {
+  const auto acc = arch::make_trident();
+  for (const auto& model : nn::zoo::evaluation_models()) {
+    EXPECT_GE(rotation_benefit(model, acc, 100), 1.0 - 1e-9) << model.name;
+  }
+}
+
+TEST(WearLeveling, RejectsBadArguments) {
+  const auto acc = arch::make_trident();
+  EXPECT_THROW(
+      (void)simulate_wear(nn::zoo::googlenet(), acc, 0,
+                          WearPolicy::kRotating),
+      Error);
+}
+
+// --- Monte-Carlo ------------------------------------------------------------
+
+TEST(MonteCarlo, SummaryStatisticsCorrect) {
+  const McSummary s = monte_carlo(5, [](std::uint64_t seed) {
+    return static_cast<double>(seed);  // 0,1,2,3,4
+  });
+  EXPECT_EQ(s.trials, 5);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 0.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.5), 1e-12);
+}
+
+TEST(MonteCarlo, DeterministicAcrossRuns) {
+  auto run = [] {
+    return monte_carlo(8, [](std::uint64_t seed) {
+      Rng rng(seed);
+      return rng.uniform();
+    });
+  };
+  const McSummary a = run();
+  const McSummary b = run();
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.stddev, b.stddev);
+}
+
+TEST(MonteCarlo, RejectsZeroTrials) {
+  EXPECT_THROW((void)monte_carlo(0, [](std::uint64_t) { return 0.0; }),
+               Error);
+}
+
+TEST(MonteCarlo, EightBitTrainsRobustlyAcrossSeeds) {
+  // The headline claim should hold in distribution, not just for one seed:
+  // 8-bit mean accuracy high with modest spread; 6-bit mean clearly lower.
+  const McSummary eight = mc_training_accuracy(8, 6, 40);
+  const McSummary six = mc_training_accuracy(6, 6, 40);
+  EXPECT_GT(eight.mean, 0.85);
+  EXPECT_GT(eight.mean, six.mean + 0.1);
+  EXPECT_GT(eight.min, six.min);
+}
+
+TEST(MonteCarlo, DeploymentGapGrowsWithVariation) {
+  const McSummary none = mc_deployment_gap(0.0, 4);
+  const McSummary strong = mc_deployment_gap(0.25, 4);
+  // Gain/row variation alone costs a few points; weight offsets dominate.
+  EXPECT_LT(none.mean, 0.06);
+  EXPECT_GT(strong.mean, none.mean);
+}
+
+// --- trace export -----------------------------------------------------------
+
+TEST(TraceExport, EmitsValidLookingChromeJson) {
+  const auto array = arch::make_trident().array;
+  nn::ModelSpec m;
+  m.name = "tiny";
+  m.layers.push_back(nn::LayerSpec::dense("fc", 16, 16));
+  ArraySimConfig cfg;
+  cfg.record_trace = true;
+  const ArraySimResult r = simulate_array(m, array, cfg);
+  const std::string json = chrome_trace_json(r);
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"program\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\":\"stream\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"fc #0\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  // Balanced braces at the ends.
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_EQ(json.back(), '}');
+}
+
+TEST(TraceExport, EscapesLayerNames) {
+  ArraySimResult r;
+  r.trace.push_back({SimEventKind::kProgram, 0, "layer\"x\\y", 1,
+                     units::Time::seconds(0.0), units::Time::seconds(1e-9)});
+  const std::string json = chrome_trace_json(r);
+  EXPECT_NE(json.find("layer\\\"x\\\\y"), std::string::npos);
+}
+
+TEST(TraceExport, EmptyTraceIsValid) {
+  ArraySimResult r;
+  EXPECT_EQ(chrome_trace_json(r),
+            "{\"traceEvents\":[],\"displayTimeUnit\":\"ns\"}");
+}
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,224 @@
+// Device-level PCM-MRR weight bank tests: calibration, programming
+// accuracy, optical dot products, and non-volatile accounting.
+#include "core/weight_bank.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace trident::core {
+namespace {
+
+WeightBankConfig small_config(int rows = 4, int cols = 4) {
+  WeightBankConfig c;
+  c.rows = rows;
+  c.cols = cols;
+  c.plan = phot::ChannelPlan(cols);
+  return c;
+}
+
+TEST(WeightBank, CalibrationSweepIsMonotonic) {
+  WeightBank bank(small_config());
+  // More amorphous GST (higher level) → less intracavity loss → more drop,
+  // less through → larger (drop − through).
+  double prev = bank.weight_at_level(0);
+  for (int l = 1; l < 255; ++l) {
+    EXPECT_GE(bank.weight_at_level(l), prev) << "level " << l;
+    prev = bank.weight_at_level(l);
+  }
+}
+
+TEST(WeightBank, CalibratedRangeCoversMinusOneToOne) {
+  WeightBank bank(small_config());
+  EXPECT_NEAR(bank.weight_at_level(0), -1.0, 1e-9);
+  EXPECT_NEAR(bank.weight_at_level(254), 1.0, 1e-9);
+  EXPECT_GT(bank.weight_scale(), 0.0);
+}
+
+TEST(WeightBank, ProgramAccuracyWithinOneLsb) {
+  WeightBank bank(small_config());
+  nn::Matrix targets(4, 4);
+  Rng rng(17);
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      targets.at(r, c) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  const nn::Matrix realized = bank.program(targets);
+  // The calibrated level table is non-uniform; allow a few LSBs of the
+  // uniform 8-bit grid as programming error.
+  const double lsb = 2.0 / 254.0;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t c = 0; c < 4; ++c) {
+      EXPECT_NEAR(realized.at(r, c), targets.at(r, c), 4.0 * lsb);
+      EXPECT_DOUBLE_EQ(realized.at(r, c),
+                       bank.realized_weight(static_cast<int>(r),
+                                            static_cast<int>(c)));
+    }
+  }
+}
+
+TEST(WeightBank, ProgramClampsOutOfRangeTargets) {
+  WeightBank bank(small_config(1, 1));
+  nn::Matrix w(1, 1);
+  w.at(0, 0) = 5.0;
+  const nn::Matrix realized = bank.program(w);
+  EXPECT_NEAR(realized.at(0, 0), 1.0, 1e-9);
+}
+
+TEST(WeightBank, ApplyComputesSignedDotProduct) {
+  WeightBank bank(small_config(2, 3));
+  nn::Matrix w(2, 3);
+  w.at(0, 0) = 0.5;
+  w.at(0, 1) = -0.5;
+  w.at(0, 2) = 0.0;
+  w.at(1, 0) = 1.0;
+  w.at(1, 1) = 1.0;
+  w.at(1, 2) = -1.0;
+  const nn::Matrix realized = bank.program(w);
+  const nn::Vector x{1.0, 0.5, 0.25};
+  const nn::Vector y = bank.apply(x);
+  ASSERT_EQ(y.size(), 2u);
+  // Expected: realized weights times inputs.
+  for (int r = 0; r < 2; ++r) {
+    double expect = 0.0;
+    for (int c = 0; c < 3; ++c) {
+      expect += realized.at(static_cast<std::size_t>(r),
+                            static_cast<std::size_t>(c)) *
+                x[static_cast<std::size_t>(c)];
+    }
+    EXPECT_NEAR(y[static_cast<std::size_t>(r)], expect, 1e-9);
+  }
+}
+
+TEST(WeightBank, ApplyConstMatchesApply) {
+  WeightBank bank(small_config());
+  nn::Matrix w(4, 4, 0.25);
+  bank.program(w);
+  const nn::Vector x{0.1, 0.9, 0.5, 0.0};
+  const nn::Vector a = bank.apply(x);
+  const nn::Vector b = bank.apply_const(x);
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i], b[i]);
+  }
+}
+
+TEST(WeightBank, ApplyRejectsOutOfRangeAmplitudes) {
+  WeightBank bank(small_config(2, 2));
+  EXPECT_THROW((void)bank.apply({1.5, 0.0}), Error);
+  EXPECT_THROW((void)bank.apply({-0.1, 0.0}), Error);
+  EXPECT_THROW((void)bank.apply({0.5}), Error);
+}
+
+TEST(WeightBank, NonVolatileSkipOnReprogram) {
+  WeightBank bank(small_config(2, 2));
+  nn::Matrix w(2, 2, 0.3);
+  bank.program(w);
+  const std::uint64_t writes_first = bank.total_writes();
+  EXPECT_GT(writes_first, 0u);
+  bank.program(w);  // identical weights: every cell skips its write pulse
+  EXPECT_EQ(bank.total_writes(), writes_first);
+}
+
+TEST(WeightBank, WriteEnergyAccounting) {
+  WeightBank bank(small_config(2, 2));
+  nn::Matrix w(2, 2);
+  w.at(0, 0) = 0.7;
+  w.at(0, 1) = -0.2;
+  w.at(1, 0) = 0.1;
+  w.at(1, 1) = 0.9;
+  bank.program(w);
+  EXPECT_NEAR(bank.total_write_energy().pJ(),
+              static_cast<double>(bank.total_writes()) * 660.0, 1e-6);
+}
+
+TEST(WeightBank, ReadEnergyPerSymbol) {
+  WeightBank bank(small_config(2, 2));
+  (void)bank.apply({0.5, 0.5});
+  // One read pulse per ring per symbol: 4 rings × 20 pJ.
+  EXPECT_NEAR(bank.total_read_energy().pJ(), 4 * 20.0, 1e-9);
+  (void)bank.apply({0.1, 0.2});
+  EXPECT_NEAR(bank.total_read_energy().pJ(), 8 * 20.0, 1e-9);
+}
+
+TEST(WeightBank, WearTracking) {
+  WeightBankConfig c = small_config(1, 1);
+  c.gst.endurance_cycles = 10.0;
+  WeightBank bank(c);
+  nn::Matrix w(1, 1);
+  for (int i = 0; i < 5; ++i) {
+    w.at(0, 0) = (i % 2 == 0) ? 0.5 : -0.5;
+    bank.program(w);
+  }
+  EXPECT_NEAR(bank.max_wear(), 0.5, 1e-12);
+}
+
+TEST(WeightBank, ProgrammingNoisePerturbsRealizedWeights) {
+  WeightBankConfig c = small_config(4, 4);
+  c.gst.programming_noise_levels = 3.0;
+  Rng rng(23);
+  c.rng = &rng;
+  WeightBank bank(c);
+  nn::Matrix w(4, 4, 0.4);
+  const nn::Matrix realized = bank.program(w);
+  bool any_off = false;
+  for (std::size_t r = 0; r < 4; ++r) {
+    for (std::size_t cidx = 0; cidx < 4; ++cidx) {
+      if (std::abs(realized.at(r, cidx) - 0.4) > 2.0 / 254.0) {
+        any_off = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_off);
+}
+
+TEST(WeightBank, DimensionValidation) {
+  {
+    WeightBankConfig zero_rows;
+    zero_rows.rows = 0;
+    zero_rows.cols = 4;
+    EXPECT_THROW(WeightBank{zero_rows}, Error);
+  }
+  WeightBankConfig c = small_config(4, 8);  // plan only covers 4 channels
+  c.plan = phot::ChannelPlan(4);
+  EXPECT_THROW(WeightBank{c}, Error);
+  WeightBank ok(small_config(2, 2));
+  nn::Matrix wrong(3, 2, 0.0);
+  EXPECT_THROW((void)ok.program(wrong), Error);
+  EXPECT_THROW((void)ok.realized_weight(2, 0), Error);
+  EXPECT_THROW((void)ok.weight_at_level(255), Error);
+}
+
+class BankSizes : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(BankSizes, MatvecMatchesRealizedWeights) {
+  const auto [rows, cols] = GetParam();
+  WeightBank bank(small_config(rows, cols));
+  Rng rng(static_cast<std::uint64_t>(rows * 100 + cols));
+  nn::Matrix w(static_cast<std::size_t>(rows), static_cast<std::size_t>(cols));
+  nn::Vector x(static_cast<std::size_t>(cols));
+  for (std::size_t r = 0; r < w.rows(); ++r) {
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      w.at(r, c) = rng.uniform(-1.0, 1.0);
+    }
+  }
+  for (auto& v : x) {
+    v = rng.uniform(0.0, 1.0);
+  }
+  const nn::Matrix realized = bank.program(w);
+  const nn::Vector y = bank.apply(x);
+  const nn::Vector expected = realized.matvec(x);
+  for (std::size_t r = 0; r < y.size(); ++r) {
+    EXPECT_NEAR(y[r], expected[r], 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, BankSizes,
+                         ::testing::Values(std::pair{1, 1}, std::pair{2, 4},
+                                           std::pair{4, 2}, std::pair{8, 8},
+                                           std::pair{16, 16}));
+
+}  // namespace
+}  // namespace trident::core

@@ -1,0 +1,170 @@
+// Model-zoo regression tests: the layer tables must reproduce the published
+// parameter and MAC counts of the five CNNs (within small tolerances — our
+// tables omit biases/batch-norm and use integer spatial rounding).
+#include "nn/zoo.hpp"
+
+#include <gtest/gtest.h>
+
+namespace trident::nn::zoo {
+namespace {
+
+double rel_err(double a, double b) { return std::abs(a - b) / b; }
+
+TEST(Zoo, AllModelsValidate) {
+  for (const auto& m : evaluation_models()) {
+    EXPECT_NO_THROW(m.validate()) << m.name;
+    EXPECT_GT(m.total_macs(), 0u) << m.name;
+    EXPECT_GT(m.total_weights(), 0u) << m.name;
+  }
+}
+
+TEST(Zoo, AlexNetParameterCount) {
+  // Published: ~61 M parameters, dominated by fc6 (37.7 M).
+  const auto m = alexnet();
+  EXPECT_LT(rel_err(static_cast<double>(m.total_weights()), 61e6), 0.05);
+}
+
+TEST(Zoo, AlexNetMacCount) {
+  // Published: ~0.72 G MACs (with the historical 2-group conv2/4/5).
+  const auto m = alexnet();
+  EXPECT_LT(rel_err(static_cast<double>(m.total_macs()), 0.72e9), 0.05);
+}
+
+TEST(Zoo, Vgg16ParameterCount) {
+  // Published: 138 M parameters.
+  const auto m = vgg16();
+  EXPECT_LT(rel_err(static_cast<double>(m.total_weights()), 138e6), 0.03);
+}
+
+TEST(Zoo, Vgg16MacCount) {
+  // Published: ~15.5 G MACs.
+  const auto m = vgg16();
+  EXPECT_LT(rel_err(static_cast<double>(m.total_macs()), 15.5e9), 0.05);
+}
+
+TEST(Zoo, GoogleNetParameterCount) {
+  // Published: ~6.8 M (the paper's §V.B rounds to "4 million").
+  const auto m = googlenet();
+  EXPECT_GT(m.total_weights(), 5'000'000u);
+  EXPECT_LT(m.total_weights(), 8'000'000u);
+}
+
+TEST(Zoo, GoogleNetMacCount) {
+  // Published: ~1.5 G MACs.
+  const auto m = googlenet();
+  EXPECT_LT(rel_err(static_cast<double>(m.total_macs()), 1.5e9), 0.25);
+}
+
+TEST(Zoo, ResNet50ParameterCount) {
+  // Published: 25.6 M.
+  const auto m = resnet50();
+  EXPECT_LT(rel_err(static_cast<double>(m.total_weights()), 25.6e6), 0.08);
+}
+
+TEST(Zoo, ResNet50MacCount) {
+  // Published: ~3.9-4.1 G MACs depending on stride placement.
+  const auto m = resnet50();
+  EXPECT_GT(m.total_macs(), 3.0e9);
+  EXPECT_LT(m.total_macs(), 4.5e9);
+}
+
+TEST(Zoo, MobileNetV2ParameterCount) {
+  // Published: 3.4 M.
+  const auto m = mobilenet_v2();
+  EXPECT_LT(rel_err(static_cast<double>(m.total_weights()), 3.4e6), 0.10);
+}
+
+TEST(Zoo, MobileNetV2MacCount) {
+  // Published: ~300 M MACs.
+  const auto m = mobilenet_v2();
+  EXPECT_LT(rel_err(static_cast<double>(m.total_macs()), 300e6), 0.15);
+}
+
+TEST(Zoo, LeNet5Structure) {
+  const auto m = lenet5();
+  EXPECT_NO_THROW(m.validate());
+  // ~61.7k parameters (weights only; no biases in this model family).
+  EXPECT_GT(m.total_weights(), 50'000u);
+  EXPECT_LT(m.total_weights(), 70'000u);
+  EXPECT_EQ(m.layers.back().out_c, 10);
+  // Small enough that its tiles fit a 44-PE Trident simultaneously: the
+  // residency regime the big CNNs never reach.
+  EXPECT_LT(m.total_weights(), 44u * 256u * 16u);
+}
+
+TEST(Zoo, ModelSizeOrderingMatchesPaper) {
+  // §V.B: "from 4 million for GoogleNet to 138 million for VGG-16".
+  EXPECT_LT(mobilenet_v2().total_weights(), googlenet().total_weights());
+  EXPECT_LT(googlenet().total_weights(), resnet50().total_weights());
+  EXPECT_LT(resnet50().total_weights(), alexnet().total_weights());
+  EXPECT_LT(alexnet().total_weights(), vgg16().total_weights());
+}
+
+TEST(Zoo, EvaluationSetHasFiveModels) {
+  const auto models = evaluation_models();
+  ASSERT_EQ(models.size(), 5u);
+  // §IV's list: GoogleNet, MobileNet, VGG-16, AlexNet, ResNet-50.
+  EXPECT_EQ(models[0].name, "GoogleNet");
+  EXPECT_EQ(models[2].name, "VGG-16");
+}
+
+TEST(Zoo, TrainingSetMatchesTableV) {
+  const auto models = training_models();
+  ASSERT_EQ(models.size(), 4u);
+  EXPECT_EQ(models[0].name, "MobileNetV2");
+  EXPECT_EQ(models[1].name, "GoogleNet");
+  EXPECT_EQ(models[2].name, "ResNet-50");
+  EXPECT_EQ(models[3].name, "VGG-16");
+}
+
+TEST(Zoo, GoogleNetInceptionStructure) {
+  // 9 inception modules × 7 descriptor layers + stem + classifier.
+  const auto m = googlenet();
+  int pool_proj = 0;
+  for (const auto& l : m.layers) {
+    if (l.name.find("pool_proj") != std::string::npos) {
+      ++pool_proj;
+    }
+  }
+  EXPECT_EQ(pool_proj, 9);
+}
+
+TEST(Zoo, ResNet50BottleneckCount) {
+  // 3 + 4 + 6 + 3 = 16 bottlenecks, each with conv1/conv2/conv3.
+  const auto m = resnet50();
+  int conv3 = 0;
+  for (const auto& l : m.layers) {
+    if (l.name.find("/conv3") != std::string::npos) {
+      ++conv3;
+    }
+  }
+  EXPECT_EQ(conv3, 16);
+}
+
+TEST(Zoo, MobileNetDepthwiseLayersPresent) {
+  const auto m = mobilenet_v2();
+  int dw = 0;
+  for (const auto& l : m.layers) {
+    if (l.type == LayerType::kDepthwiseConv) {
+      ++dw;
+    }
+  }
+  EXPECT_EQ(dw, 17);  // one per inverted-residual block
+}
+
+TEST(Zoo, AllEvaluationModelsTake224Inputs) {
+  for (const auto& m : evaluation_models()) {
+    EXPECT_EQ(m.layers.front().in_h, 224) << m.name;
+    EXPECT_EQ(m.layers.front().in_c, 3) << m.name;
+  }
+}
+
+TEST(Zoo, ClassifiersEmit1000Classes) {
+  for (const auto& m : evaluation_models()) {
+    EXPECT_EQ(m.layers.back().out_c, 1000) << m.name;
+    EXPECT_FALSE(m.layers.back().has_activation) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace trident::nn::zoo
