@@ -14,6 +14,7 @@
 #include "common/table.hpp"
 #include "dataflow/analyzer.hpp"
 #include "nn/zoo.hpp"
+#include "parallel/thread_pool.hpp"
 
 int main(int argc, char** argv) {
   const trident::CliArgs cli_args(argc, argv);
@@ -22,6 +23,22 @@ int main(int argc, char** argv) {
   const auto models = nn::zoo::evaluation_models();
   const auto photonic = arch::photonic_contenders();
   const auto electronic = arch::electronic_contenders();
+
+  // The (model × accelerator) sweep cells are independent: analyze them in
+  // parallel into a preallocated grid, then print in deterministic order.
+  const std::size_t n_acc = photonic.size() + electronic.size();
+  std::vector<double> grid(models.size() * n_acc, 0.0);  // seconds/inference
+  parallel_for(0, grid.size(), [&](std::size_t idx) {
+    const std::size_t mi = idx / n_acc;
+    const std::size_t ai = idx % n_acc;
+    if (ai < photonic.size()) {
+      grid[idx] =
+          dataflow::analyze_model(models[mi], photonic[ai].array).latency.s();
+    } else {
+      grid[idx] =
+          electronic[ai - photonic.size()].inference_latency(models[mi]).s();
+    }
+  });
 
   std::cout << "=== Fig 6: Edge Accelerators Inferences per Second ===\n\n";
   std::vector<std::string> header{"NN Model"};
@@ -34,16 +51,14 @@ int main(int argc, char** argv) {
   Table t(header);
 
   std::map<std::string, std::vector<double>> latency;  // seconds per inference
-  for (const auto& model : models) {
-    std::vector<std::string> row{model.name};
-    for (const auto& acc : photonic) {
-      const auto cost = dataflow::analyze_model(model, acc.array);
-      latency[acc.name].push_back(cost.latency.s());
-      row.push_back(Table::num(cost.inferences_per_second(), 1));
-    }
-    for (const auto& acc : electronic) {
-      const double s = acc.inference_latency(model).s();
-      latency[acc.name].push_back(s);
+  for (std::size_t mi = 0; mi < models.size(); ++mi) {
+    std::vector<std::string> row{models[mi].name};
+    for (std::size_t ai = 0; ai < n_acc; ++ai) {
+      const std::string& name = ai < photonic.size()
+                                    ? photonic[ai].name
+                                    : electronic[ai - photonic.size()].name;
+      const double s = grid[mi * n_acc + ai];
+      latency[name].push_back(s);
       row.push_back(Table::num(1.0 / s, 1));
     }
     t.add_row(std::move(row));

@@ -3,6 +3,8 @@
 // functional backend, and the whole-model dataflow analysis.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+
 #include "arch/photonic.hpp"
 #include "core/array_sim.hpp"
 #include "core/photonic_backend.hpp"
@@ -86,6 +88,99 @@ void BM_WeightBankApply(benchmark::State& state) {
 }
 BENCHMARK(BM_WeightBankApply)->Arg(4)->Arg(8)->Arg(16);
 
+// --- batched GEMM path vs per-sample loops --------------------------------
+//
+// The pairs below share sizes so the speedup of the blocked kernels over a
+// loop of per-sample matvec calls reads straight off the GFLOP/s counters
+// (the acceptance target is ≥3× at 256×256, batch 32).
+
+void set_gemm_counters(benchmark::State& state, std::size_t n,
+                       std::size_t batch) {
+  const double flops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                       static_cast<double>(batch);
+  state.counters["FLOPS"] =
+      benchmark::Counter(flops, benchmark::Counter::kIsIterationInvariantRate,
+                         benchmark::Counter::kIs1000);
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(n * n * batch));
+}
+
+void BM_MatmulBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  Rng rng(5);
+  const nn::Matrix w = nn::Matrix::xavier(n, n, rng);
+  nn::Matrix x(batch, n);
+  for (double& v : x.data()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  nn::Matrix y(batch, n);
+  for (auto _ : state) {
+    w.matmul_into(x, y);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  set_gemm_counters(state, n, batch);
+}
+BENCHMARK(BM_MatmulBlocked)
+    ->ArgsProduct({{16, 64, 256, 512}, {1, 8, 32, 64}});
+
+void BM_MatvecLoop(benchmark::State& state) {
+  // The pre-GEMM baseline: one matvec call per sample.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  Rng rng(5);
+  const nn::Matrix w = nn::Matrix::xavier(n, n, rng);
+  nn::Matrix x(batch, n);
+  for (double& v : x.data()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  nn::Vector xb(n);
+  nn::Vector y(n);
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto row = x.row(b);
+      std::copy(row.begin(), row.end(), xb.begin());
+      w.matvec_into(xb, y);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  set_gemm_counters(state, n, batch);
+}
+BENCHMARK(BM_MatvecLoop)->ArgsProduct({{16, 64, 256, 512}, {1, 8, 32, 64}});
+
+void BM_MatmulTransposedBlocked(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  Rng rng(6);
+  const nn::Matrix w = nn::Matrix::xavier(n, n, rng);
+  nn::Matrix x(batch, n);
+  for (double& v : x.data()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  nn::Matrix y(batch, n);
+  for (auto _ : state) {
+    w.matmul_transposed_into(x, y);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+  set_gemm_counters(state, n, batch);
+}
+BENCHMARK(BM_MatmulTransposedBlocked)->ArgsProduct({{64, 256}, {8, 32}});
+
+void BM_AddOuterBatch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  Rng rng(7);
+  nn::Matrix w = nn::Matrix::xavier(n, n, rng);
+  nn::Matrix a(batch, n, 0.05);
+  nn::Matrix b(batch, n, 0.4);
+  for (auto _ : state) {
+    w.add_outer_batch(a, b, -1e-9);
+    benchmark::DoNotOptimize(w.data().data());
+  }
+  set_gemm_counters(state, n, batch);
+}
+BENCHMARK(BM_AddOuterBatch)->ArgsProduct({{64, 256}, {8, 32}});
+
 void BM_PhotonicBackendMatvec(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
   core::PhotonicBackend backend;
@@ -99,6 +194,61 @@ void BM_PhotonicBackendMatvec(benchmark::State& state) {
                           static_cast<std::int64_t>(n * n));
 }
 BENCHMARK(BM_PhotonicBackendMatvec)->Arg(16)->Arg(64)->Arg(256);
+
+void BM_PhotonicBackendMatmul(benchmark::State& state) {
+  // Batched functional backend: one block quantize + one blocked GEMM,
+  // bit-identical to BM_PhotonicBackendMatvecLoop below.
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  core::PhotonicBackend backend;
+  Rng rng(2);
+  const nn::Matrix w = nn::Matrix::xavier(n, n, rng);
+  nn::Matrix x(batch, n, 0.3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(backend.matmul(w, x));
+  }
+  set_gemm_counters(state, n, batch);
+}
+BENCHMARK(BM_PhotonicBackendMatmul)->ArgsProduct({{64, 256}, {8, 32}});
+
+void BM_PhotonicBackendMatvecLoop(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  core::PhotonicBackend backend;
+  Rng rng(2);
+  const nn::Matrix w = nn::Matrix::xavier(n, n, rng);
+  nn::Matrix x(batch, n, 0.3);
+  nn::Vector xb(n);
+  for (auto _ : state) {
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto row = x.row(b);
+      std::copy(row.begin(), row.end(), xb.begin());
+      benchmark::DoNotOptimize(backend.matvec(w, xb));
+    }
+  }
+  set_gemm_counters(state, n, batch);
+}
+BENCHMARK(BM_PhotonicBackendMatvecLoop)->ArgsProduct({{64, 256}, {8, 32}});
+
+void BM_WeightBankApplyBatch(benchmark::State& state) {
+  const auto n = static_cast<int>(state.range(0));
+  const auto batch = static_cast<std::size_t>(state.range(1));
+  core::WeightBankConfig cfg;
+  cfg.rows = n;
+  cfg.cols = n;
+  cfg.plan = phot::ChannelPlan(n);
+  core::WeightBank bank(cfg);
+  nn::Matrix w(static_cast<std::size_t>(n), static_cast<std::size_t>(n), 0.4);
+  bank.program(w);
+  nn::Matrix x(batch, static_cast<std::size_t>(n), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bank.apply_batch(x));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(
+                              static_cast<std::size_t>(n * n) * batch));
+}
+BENCHMARK(BM_WeightBankApplyBatch)->ArgsProduct({{8, 16}, {8, 32}});
 
 void BM_PhotonicBackendRank1(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));

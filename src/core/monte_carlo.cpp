@@ -28,7 +28,7 @@ McSummary monte_carlo(int trials,
 }
 
 McSummary mc_training_accuracy(int weight_bits, int trials, int epochs,
-                               double learning_rate) {
+                               double learning_rate, int batch_size) {
   return monte_carlo(trials, [=](std::uint64_t seed) {
     Rng data_rng(1000 + seed);
     nn::Dataset data = nn::two_moons(300, 0.12, data_rng);
@@ -43,6 +43,7 @@ McSummary mc_training_accuracy(int weight_bits, int trials, int epochs,
     tc.epochs = epochs;
     tc.learning_rate = learning_rate;
     tc.shuffle_seed = 4000 + seed;
+    tc.batch_size = batch_size;
     return nn::fit(net, data, tc, backend).final_accuracy();
   });
 }

@@ -32,10 +32,12 @@ struct McSummary {
 
 /// Mean/σ final training accuracy of the two-moons MLP on photonic
 /// hardware at `weight_bits`, over `trials` seeds (data, init, hardware
-/// noise all re-seeded per trial).
+/// noise all re-seeded per trial).  `batch_size` feeds the batched GEMM
+/// training path (1 = per-sample SGD, identical to the historical loop).
 [[nodiscard]] McSummary mc_training_accuracy(int weight_bits, int trials,
                                              int epochs = 60,
-                                             double learning_rate = 0.05);
+                                             double learning_rate = 0.05,
+                                             int batch_size = 1);
 
 /// Mean/σ deployed-accuracy drop (float minus deployed) of the §I
 /// deployment experiment at the given variation strength.

@@ -112,6 +112,98 @@ nn::Vector PhotonicBackend::matvec(const nn::Matrix& w, const nn::Vector& x) {
   return y;
 }
 
+nn::Matrix PhotonicBackend::matmul(const nn::Matrix& w, const nn::Matrix& x) {
+  TRIDENT_REQUIRE(x.cols() == w.cols(), "matmul dimension mismatch");
+  ensure_programmed(w);
+  const std::size_t batch = x.rows();
+
+  // One pass over the block: per-sample DAC range scale, then quantize.
+  nn::Vector scale(batch, 1.0);
+  nn::Matrix xq(batch, w.cols());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto row = x.row(b);
+    double s = 1.0;
+    for (double v : row) {
+      s = std::max(s, std::abs(v));
+    }
+    scale[b] = s;
+    auto q = xq.row(b);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      q[c] = input_quantizer_.quantize(row[c] / s);
+    }
+  }
+
+  // Saturate the stored weights once per block instead of once per MAC.
+  nn::Matrix clamped = w;
+  for (double& v : clamped.data()) {
+    v = std::clamp(v, -1.0, 1.0);
+  }
+
+  nn::Matrix y = clamped.matmul(xq);
+  // Read-out noise and TIA re-scaling, in the same draw order as a loop of
+  // matvec calls (per sample, then per row).
+  for (std::size_t b = 0; b < batch; ++b) {
+    auto yr = y.row(b);
+    for (double& v : yr) {
+      if (config_.readout_noise > 0.0) {
+        v += rng_.normal(0.0, config_.readout_noise);
+      }
+      v *= scale[b];
+    }
+  }
+
+  ledger_.symbols += batch;
+  ledger_.macs += batch * w.size();
+  ledger_.activations += batch * w.rows();
+  return y;
+}
+
+nn::Matrix PhotonicBackend::matmul_transposed(const nn::Matrix& w,
+                                              const nn::Matrix& x) {
+  TRIDENT_REQUIRE(x.cols() == w.rows(), "transposed matmul dimension mismatch");
+  const std::size_t batch = x.rows();
+  // Loop-equivalent accounting: every gradient symbol pair re-encodes the
+  // bank with Wᵀ, exactly as a sequence of matvec_transposed calls would.
+  ledger_.weight_writes += batch * w.size();
+  ledger_.program_events += batch;
+  resident_matrix_ = nullptr;
+
+  nn::Vector scale(batch, 1.0);
+  nn::Matrix xq(batch, w.rows());
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto row = x.row(b);
+    double s = 1.0;
+    for (double v : row) {
+      s = std::max(s, std::abs(v));
+    }
+    scale[b] = s;
+    auto q = xq.row(b);
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      q[c] = input_quantizer_.quantize(row[c] / s);
+    }
+  }
+
+  nn::Matrix clamped = w;
+  for (double& v : clamped.data()) {
+    v = std::clamp(v, -1.0, 1.0);
+  }
+
+  nn::Matrix y = clamped.matmul_transposed(xq);
+  for (std::size_t b = 0; b < batch; ++b) {
+    auto yr = y.row(b);
+    for (double& v : yr) {
+      if (config_.readout_noise > 0.0) {
+        v += rng_.normal(0.0, config_.readout_noise);
+      }
+      v *= scale[b];
+    }
+  }
+
+  ledger_.symbols += 2 * batch;
+  ledger_.macs += batch * w.size();
+  return y;
+}
+
 nn::Vector PhotonicBackend::matvec_transposed(const nn::Matrix& w,
                                               const nn::Vector& x) {
   TRIDENT_REQUIRE(x.size() == w.rows(), "transposed matvec dimension mismatch");

@@ -61,6 +61,21 @@ class PhotonicBackend final : public nn::MatvecBackend {
   void rank1_update(nn::Matrix& w, const nn::Vector& dh,
                     const nn::Vector& y_prev, double lr) override;
 
+  /// Batched forward: quantizes the whole input block in one pass, charges
+  /// the ledger once per block, and runs the blocked GEMM kernel.  Outputs,
+  /// noise draws, and ledger counters are bit-identical to a loop of
+  /// per-sample matvec calls.
+  [[nodiscard]] nn::Matrix matmul(const nn::Matrix& w,
+                                  const nn::Matrix& x) override;
+  /// Batched gradient-vector pass, loop-equivalent to matvec_transposed per
+  /// sample (including one bank re-encode per sample — the hardware really
+  /// does re-program Wᵀ for each gradient symbol pair, Table II).
+  [[nodiscard]] nn::Matrix matmul_transposed(const nn::Matrix& w,
+                                             const nn::Matrix& x) override;
+  // update_batch intentionally keeps the base-class sequential loop: in-situ
+  // GST programming quantizes after every sample, so the batched result is
+  // defined BY the per-sample order.
+
   [[nodiscard]] const PhotonicLedger& ledger() const { return ledger_; }
   [[nodiscard]] const PhotonicBackendConfig& config() const { return config_; }
 

@@ -83,7 +83,20 @@ double WeightBank::program_cell(int r, int c, double target) {
     }
   }
   cell(r, c).program(best, config_.rng);
+  decoded_dirty_ = true;
   return realized_weight(r, c);
+}
+
+const std::vector<double>& WeightBank::decoded_weights() const {
+  if (decoded_dirty_) {
+    decoded_raw_.resize(cells_.size());
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      decoded_raw_[i] =
+          level_weights_[static_cast<std::size_t>(cells_[i].level())];
+    }
+    decoded_dirty_ = false;
+  }
+  return decoded_raw_;
 }
 
 double WeightBank::worst_quantization_error() const {
@@ -118,24 +131,45 @@ double WeightBank::realized_weight(int r, int c) const {
 nn::Vector WeightBank::apply(const nn::Vector& inputs) {
   TRIDENT_REQUIRE(static_cast<int>(inputs.size()) == cols_,
                   "input vector must match bank columns");
-  nn::Vector out(static_cast<std::size_t>(rows_), 0.0);
-  double input_sum = 0.0;
   for (double x : inputs) {
     TRIDENT_REQUIRE(x >= 0.0 && x <= 1.0,
                     "optical amplitudes must be in [0, 1]");
-    input_sum += x;
   }
+  // One read pulse per ring, charged once for the whole symbol.
+  symbol_reads_ += 1;
+  return apply_const(inputs);
+}
+
+nn::Matrix WeightBank::apply_batch(const nn::Matrix& inputs) {
+  TRIDENT_REQUIRE(static_cast<int>(inputs.cols()) == cols_,
+                  "input block must match bank columns");
+  for (double x : inputs.data()) {
+    TRIDENT_REQUIRE(x >= 0.0 && x <= 1.0,
+                    "optical amplitudes must be in [0, 1]");
+  }
+  const std::size_t batch = inputs.rows();
+  symbol_reads_ += batch;
+
+  const std::vector<double>& raw = decoded_weights();
   const double mid = (raw_min_ + raw_max_) / 2.0;
-  for (int r = 0; r < rows_; ++r) {
-    double acc = 0.0;
-    for (int c = 0; c < cols_; ++c) {
-      const double raw =
-          level_weights_[static_cast<std::size_t>(cell(r, c).level())];
-      acc += raw * inputs[static_cast<std::size_t>(c)];
-      cell(r, c).read();  // one read pulse per ring per symbol
+  const auto rows = static_cast<std::size_t>(rows_);
+  const auto cols = static_cast<std::size_t>(cols_);
+  nn::Matrix out(batch, rows);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const auto in = inputs.row(b);
+    double input_sum = 0.0;
+    for (double x : in) {
+      input_sum += x;
     }
-    // Affine correction to unit weights: Σ w·x with w ∈ [-1, 1].
-    out[static_cast<std::size_t>(r)] = (acc - mid * input_sum) / weight_scale_;
+    auto yr = out.row(b);
+    for (std::size_t r = 0; r < rows; ++r) {
+      const double* w = raw.data() + r * cols;
+      double acc = 0.0;
+      for (std::size_t c = 0; c < cols; ++c) {
+        acc += w[c] * in[c];
+      }
+      yr[r] = (acc - mid * input_sum) / weight_scale_;
+    }
   }
   return out;
 }
@@ -148,14 +182,17 @@ nn::Vector WeightBank::apply_const(const nn::Vector& inputs) const {
   for (double x : inputs) {
     input_sum += x;
   }
+  const std::vector<double>& raw = decoded_weights();
   const double mid = (raw_min_ + raw_max_) / 2.0;
-  for (int r = 0; r < rows_; ++r) {
+  const auto rows = static_cast<std::size_t>(rows_);
+  const auto cols = static_cast<std::size_t>(cols_);
+  for (std::size_t r = 0; r < rows; ++r) {
+    const double* w = raw.data() + r * cols;
     double acc = 0.0;
-    for (int c = 0; c < cols_; ++c) {
-      acc += level_weights_[static_cast<std::size_t>(cell(r, c).level())] *
-             inputs[static_cast<std::size_t>(c)];
+    for (std::size_t c = 0; c < cols; ++c) {
+      acc += w[c] * inputs[c];
     }
-    out[static_cast<std::size_t>(r)] = (acc - mid * input_sum) / weight_scale_;
+    out[r] = (acc - mid * input_sum) / weight_scale_;
   }
   return out;
 }
@@ -181,7 +218,20 @@ Energy WeightBank::total_read_energy() const {
   for (const auto& c : cells_) {
     e += c.total_read_energy();
   }
+  // Symbol reads are charged at bank level (every cell shares the same read
+  // pulse energy), so one counter stands in for rows×cols per-cell updates.
+  e += config_.gst.read_energy * static_cast<double>(symbol_reads_) *
+       static_cast<double>(cells_.size());
   return e;
+}
+
+std::uint64_t WeightBank::total_reads() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cells_) {
+    n += c.reads();
+  }
+  n += symbol_reads_ * cells_.size();
+  return n;
 }
 
 double WeightBank::max_wear() const {

@@ -75,6 +75,11 @@ class WeightBank {
   /// per ring.
   [[nodiscard]] nn::Vector apply(const nn::Vector& inputs);
 
+  /// A block of symbols: inputs is (batch × cols), one symbol per row;
+  /// returns (batch × rows).  Row b equals apply(inputs.row(b)); the read
+  /// accounting is charged once for the whole block.
+  [[nodiscard]] nn::Matrix apply_batch(const nn::Matrix& inputs);
+
   /// y = (W/scale)·x without energy accounting (pure query).
   [[nodiscard]] nn::Vector apply_const(const nn::Vector& inputs) const;
 
@@ -82,6 +87,8 @@ class WeightBank {
   [[nodiscard]] std::uint64_t total_writes() const;
   [[nodiscard]] Energy total_write_energy() const;
   [[nodiscard]] Energy total_read_energy() const;
+  /// Read pulses fired so far (one per ring per symbol).
+  [[nodiscard]] std::uint64_t total_reads() const;
   /// Worst per-cell wear across the bank (endurance tracking).
   [[nodiscard]] double max_wear() const;
 
@@ -93,6 +100,11 @@ class WeightBank {
   [[nodiscard]] phot::GstCell& cell(int r, int c);
   /// Raw (drop − through) of a ring at its resonance for a GST level.
   [[nodiscard]] double raw_weight_for_level(int level) const;
+  /// Decoded-weight cache: the contiguous raw weight of every cell
+  /// (level_weights_[cell.level()], row-major), rebuilt lazily after any
+  /// programming event so apply() pays neither the bounds-checked cell
+  /// accessor nor the per-MAC table lookup.
+  [[nodiscard]] const std::vector<double>& decoded_weights() const;
 
   int rows_;
   int cols_;
@@ -100,6 +112,9 @@ class WeightBank {
   std::vector<phot::GstCell> cells_;       ///< row-major rows×cols
   std::vector<phot::Mrr> column_rings_;    ///< one template ring per channel
   std::vector<double> level_weights_;      ///< calibration: level -> raw weight
+  mutable std::vector<double> decoded_raw_;  ///< cache: cell -> raw weight
+  mutable bool decoded_dirty_ = true;
+  std::uint64_t symbol_reads_ = 0;  ///< whole-bank read pulses (one/symbol)
   double raw_min_ = 0.0;
   double raw_max_ = 0.0;
   double weight_scale_ = 1.0;

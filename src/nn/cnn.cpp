@@ -64,24 +64,20 @@ int Conv2D::out_width(int in_w) const {
   return (in_w + 2 * padding_ - kernel_) / stride_ + 1;
 }
 
-Vector Conv2D::column_at(const FeatureMap& in, int oy, int ox) const {
-  Vector col(static_cast<std::size_t>(kernel_) *
-                 static_cast<std::size_t>(kernel_) *
-                 static_cast<std::size_t>(in_c_),
-             0.0);
+void Conv2D::column_into(const FeatureMap& in, int oy, int ox,
+                         std::span<double> col) const {
   std::size_t i = 0;
   for (int ky = 0; ky < kernel_; ++ky) {
     for (int kx = 0; kx < kernel_; ++kx) {
       const int y = oy * stride_ + ky - padding_;
       const int x = ox * stride_ + kx - padding_;
       for (int c = 0; c < in_c_; ++c, ++i) {
-        if (y >= 0 && y < in.height && x >= 0 && x < in.width) {
-          col[i] = in.at(y, x, c);
-        }
+        col[i] = (y >= 0 && y < in.height && x >= 0 && x < in.width)
+                     ? in.at(y, x, c)
+                     : 0.0;
       }
     }
   }
-  return col;
 }
 
 std::pair<FeatureMap, Conv2D::Cache> Conv2D::forward(
@@ -97,19 +93,30 @@ std::pair<FeatureMap, Conv2D::Cache> Conv2D::forward(
   Cache cache;
   cache.input = in;
   cache.pre_activation = FeatureMap(oh, ow, out_c_);
-  cache.columns.reserve(static_cast<std::size_t>(oh) *
-                        static_cast<std::size_t>(ow));
 
+  // Whole-layer im2col block, then one GEMM: the PE streams every spatial
+  // position of the layer through the same weight bank (weight-stationary),
+  // so a conv layer IS a batch of matvecs over one resident matrix.
+  const std::size_t positions =
+      static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+  cache.columns = Matrix(positions, weights_.cols());
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
-      Vector col = column_at(in, oy, ox);
-      const Vector h = backend.matvec(weights_, col);
-      for (int oc = 0; oc < out_c_; ++oc) {
-        const double hv = h[static_cast<std::size_t>(oc)];
-        cache.pre_activation.at(oy, ox, oc) = hv;
-        out.at(oy, ox, oc) = apply_activation(activation, hv);
-      }
-      cache.columns.push_back(std::move(col));
+      const std::size_t pos = static_cast<std::size_t>(oy) *
+                                  static_cast<std::size_t>(ow) +
+                              static_cast<std::size_t>(ox);
+      column_into(in, oy, ox, cache.columns.row(pos));
+    }
+  }
+  const Matrix h = backend.matmul(weights_, cache.columns);
+  for (std::size_t pos = 0; pos < positions; ++pos) {
+    const auto hr = h.row(pos);
+    const int oy = static_cast<int>(pos) / ow;
+    const int ox = static_cast<int>(pos) % ow;
+    for (int oc = 0; oc < out_c_; ++oc) {
+      const double hv = hr[static_cast<std::size_t>(oc)];
+      cache.pre_activation.at(oy, ox, oc) = hv;
+      out.at(oy, ox, oc) = apply_activation(activation, hv);
     }
   }
   return {std::move(out), std::move(cache)};
@@ -122,21 +129,22 @@ FeatureMap Conv2D::backward(const Cache& cache, const FeatureMap& grad_out,
   const int oh = grad_out.height;
   const int ow = grad_out.width;
   TRIDENT_REQUIRE(grad_out.channels == out_c_, "gradient channel mismatch");
-  TRIDENT_REQUIRE(cache.columns.size() ==
-                      static_cast<std::size_t>(oh) *
-                          static_cast<std::size_t>(ow),
+  const std::size_t positions =
+      static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+  TRIDENT_REQUIRE(cache.columns.rows() == positions,
                   "cache does not match gradient dimensions");
 
-  // dL/dh at every position (chain through the activation derivative).
-  std::vector<Vector> dh(cache.columns.size(),
-                         Vector(static_cast<std::size_t>(out_c_)));
+  // dL/dh at every position (chain through the activation derivative),
+  // packed as one (positions × out_c) block.
+  Matrix dh(positions, static_cast<std::size_t>(out_c_));
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
       const std::size_t pos = static_cast<std::size_t>(oy) *
                                   static_cast<std::size_t>(ow) +
                               static_cast<std::size_t>(ox);
+      auto dr = dh.row(pos);
       for (int oc = 0; oc < out_c_; ++oc) {
-        dh[pos][static_cast<std::size_t>(oc)] =
+        dr[static_cast<std::size_t>(oc)] =
             grad_out.at(oy, ox, oc) *
             activation_derivative(activation,
                                   cache.pre_activation.at(oy, ox, oc));
@@ -145,14 +153,16 @@ FeatureMap Conv2D::backward(const Cache& cache, const FeatureMap& grad_out,
   }
 
   // Input gradient first (uses the pre-update weights, matching standard
-  // backprop semantics), scattered back through the im2col windows.
+  // backprop semantics): one transposed GEMM over every position, then the
+  // per-window scatter back into the input map.
+  const Matrix col_grads = backend.matmul_transposed(weights_, dh);
   FeatureMap grad_in(in.height, in.width, in_c_);
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
       const std::size_t pos = static_cast<std::size_t>(oy) *
                                   static_cast<std::size_t>(ow) +
                               static_cast<std::size_t>(ox);
-      const Vector col_grad = backend.matvec_transposed(weights_, dh[pos]);
+      const auto col_grad = col_grads.row(pos);
       std::size_t i = 0;
       for (int ky = 0; ky < kernel_; ++ky) {
         for (int kx = 0; kx < kernel_; ++kx) {
@@ -168,13 +178,10 @@ FeatureMap Conv2D::backward(const Cache& cache, const FeatureMap& grad_out,
     }
   }
 
-  // Weight update: one outer product per spatial position (the conv weight
-  // gradient is the sum over positions; applying them sequentially is the
-  // in-situ hardware's behaviour).
-  for (std::size_t pos = 0; pos < cache.columns.size(); ++pos) {
-    backend.rank1_update(weights_, dh[pos], cache.columns[pos],
-                         learning_rate);
-  }
+  // Weight update: the conv weight gradient is the sum over positions;
+  // update_batch applies the outer products sequentially in spatial order,
+  // which is the in-situ hardware's behaviour.
+  backend.update_batch(weights_, dh, cache.columns, learning_rate);
   return grad_in;
 }
 
@@ -184,25 +191,26 @@ void Conv2D::apply_gradient(const Cache& cache, const FeatureMap& grad_out,
   const int oh = grad_out.height;
   const int ow = grad_out.width;
   TRIDENT_REQUIRE(grad_out.channels == out_c_, "gradient channel mismatch");
-  TRIDENT_REQUIRE(cache.columns.size() ==
-                      static_cast<std::size_t>(oh) *
-                          static_cast<std::size_t>(ow),
+  const std::size_t positions =
+      static_cast<std::size_t>(oh) * static_cast<std::size_t>(ow);
+  TRIDENT_REQUIRE(cache.columns.rows() == positions,
                   "cache does not match gradient dimensions");
-  Vector dh(static_cast<std::size_t>(out_c_));
+  Matrix dh(positions, static_cast<std::size_t>(out_c_));
   for (int oy = 0; oy < oh; ++oy) {
     for (int ox = 0; ox < ow; ++ox) {
       const std::size_t pos = static_cast<std::size_t>(oy) *
                                   static_cast<std::size_t>(ow) +
                               static_cast<std::size_t>(ox);
+      auto dr = dh.row(pos);
       for (int oc = 0; oc < out_c_; ++oc) {
-        dh[static_cast<std::size_t>(oc)] =
+        dr[static_cast<std::size_t>(oc)] =
             grad_out.at(oy, ox, oc) *
             activation_derivative(activation,
                                   cache.pre_activation.at(oy, ox, oc));
       }
-      backend.rank1_update(weights_, dh, cache.columns[pos], learning_rate);
     }
   }
+  backend.update_batch(weights_, dh, cache.columns, learning_rate);
 }
 
 MaxPool2D::MaxPool2D(int kernel, int stride) : kernel_(kernel), stride_(stride) {

@@ -10,6 +10,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -46,9 +47,9 @@ class Conv2D {
   [[nodiscard]] Matrix& weights() { return weights_; }
 
   struct Cache {
-    FeatureMap input;            ///< needed for the weight gradient
-    std::vector<Vector> columns; ///< im2col columns (spatial order)
-    FeatureMap pre_activation;   ///< h before the non-linearity
+    FeatureMap input;          ///< needed for the weight gradient
+    Matrix columns;            ///< im2col block: one column per row, spatial order
+    FeatureMap pre_activation; ///< h before the non-linearity
   };
 
   /// Forward pass: returns the activated output map and the cache the
@@ -77,8 +78,10 @@ class Conv2D {
   [[nodiscard]] int kernel() const { return kernel_; }
 
  private:
-  /// Extracts the im2col column for output position (oy, ox).
-  [[nodiscard]] Vector column_at(const FeatureMap& in, int oy, int ox) const;
+  /// Fills `col` (kernel²·in_c doubles) with the im2col column for output
+  /// position (oy, ox); zero-padding is written explicitly.
+  void column_into(const FeatureMap& in, int oy, int ox,
+                   std::span<double> col) const;
 
   int in_c_;
   int out_c_;

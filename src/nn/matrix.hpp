@@ -54,8 +54,39 @@ class Matrix {
   [[nodiscard]] Vector matvec(const Vector& x) const;
   /// y = Wᵀ x
   [[nodiscard]] Vector matvec_transposed(const Vector& x) const;
+  /// In-place y = W x (y is resized; no allocation when already sized).
+  void matvec_into(const Vector& x, Vector& y) const;
+  /// In-place y = Wᵀ x.
+  void matvec_transposed_into(const Vector& x, Vector& y) const;
   /// W += scale · a bᵀ  (rank-1 update; the backprop outer product).
   void add_outer(const Vector& a, const Vector& b, double scale);
+
+  // --- batched (GEMM) kernels --------------------------------------------
+  //
+  // A batch is a Matrix whose ROWS are samples.  The kernels are cache
+  // blocked (samples are packed into column-major panels so the weight row
+  // is loaded once per panel instead of once per sample) and dispatched
+  // over the thread pool, but each sample's accumulation runs in the same
+  // strict column order as the per-sample kernel — so every output row is
+  // bit-identical to the corresponding matvec call.
+
+  /// Y = X Wᵀ: x is (batch × cols); returns (batch × rows), row b equal to
+  /// matvec(x.row(b)) bit-for-bit.
+  [[nodiscard]] Matrix matmul(const Matrix& x) const;
+  /// In-place variant; y must be (x.rows() × rows()).
+  void matmul_into(const Matrix& x, Matrix& y) const;
+
+  /// Y = X W: x is (batch × rows); returns (batch × cols), row b equal to
+  /// matvec_transposed(x.row(b)) bit-for-bit.
+  [[nodiscard]] Matrix matmul_transposed(const Matrix& x) const;
+  /// In-place variant; y must be (x.rows() × cols()).
+  void matmul_transposed_into(const Matrix& x, Matrix& y) const;
+
+  /// W += scale · Σ_b a.row(b) ⊗ b.row(b): the accumulated outer product of
+  /// a batch (a is batch × rows, b is batch × cols).  Per element, samples
+  /// accumulate in batch order — bit-identical to sequential add_outer
+  /// calls.
+  void add_outer_batch(const Matrix& a, const Matrix& b, double scale);
 
   [[nodiscard]] Matrix transposed() const;
 
@@ -73,6 +104,9 @@ class Matrix {
 
 /// Element-wise (Hadamard) product.
 [[nodiscard]] Vector hadamard(const Vector& a, const Vector& b);
+
+/// In-place Hadamard product: out[i] *= a[i].
+void hadamard_into(const Vector& a, Vector& out);
 
 /// Dot product.
 [[nodiscard]] double dot(const Vector& a, const Vector& b);

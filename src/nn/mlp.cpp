@@ -32,6 +32,57 @@ double activation_derivative(Activation a, double h) {
   return 1.0;
 }
 
+void MatvecBackend::matvec_into(const Matrix& w, const Vector& x, Vector& y) {
+  y = matvec(w, x);
+}
+
+void MatvecBackend::matvec_transposed_into(const Matrix& w, const Vector& x,
+                                           Vector& y) {
+  y = matvec_transposed(w, x);
+}
+
+Matrix MatvecBackend::matmul(const Matrix& w, const Matrix& x) {
+  TRIDENT_REQUIRE(x.cols() == w.cols(), "matmul dimension mismatch");
+  Matrix y(x.rows(), w.rows());
+  Vector xb(w.cols());
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const auto row = x.row(b);
+    std::copy(row.begin(), row.end(), xb.begin());
+    const Vector yb = matvec(w, xb);
+    std::copy(yb.begin(), yb.end(), y.row(b).begin());
+  }
+  return y;
+}
+
+Matrix MatvecBackend::matmul_transposed(const Matrix& w, const Matrix& x) {
+  TRIDENT_REQUIRE(x.cols() == w.rows(), "transposed matmul dimension mismatch");
+  Matrix y(x.rows(), w.cols());
+  Vector xb(w.rows());
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const auto row = x.row(b);
+    std::copy(row.begin(), row.end(), xb.begin());
+    const Vector yb = matvec_transposed(w, xb);
+    std::copy(yb.begin(), yb.end(), y.row(b).begin());
+  }
+  return y;
+}
+
+void MatvecBackend::update_batch(Matrix& w, const Matrix& dh,
+                                 const Matrix& y_prev, double lr) {
+  TRIDENT_REQUIRE(dh.rows() == y_prev.rows(), "update batch mismatch");
+  TRIDENT_REQUIRE(dh.cols() == w.rows() && y_prev.cols() == w.cols(),
+                  "update dimension mismatch");
+  Vector dhb(w.rows());
+  Vector yb(w.cols());
+  for (std::size_t b = 0; b < dh.rows(); ++b) {
+    const auto dhr = dh.row(b);
+    const auto yr = y_prev.row(b);
+    std::copy(dhr.begin(), dhr.end(), dhb.begin());
+    std::copy(yr.begin(), yr.end(), yb.begin());
+    rank1_update(w, dhb, yb, lr);
+  }
+}
+
 Vector FloatBackend::matvec(const Matrix& w, const Vector& x) {
   return w.matvec(x);
 }
@@ -43,6 +94,28 @@ Vector FloatBackend::matvec_transposed(const Matrix& w, const Vector& x) {
 void FloatBackend::rank1_update(Matrix& w, const Vector& dh,
                                 const Vector& y_prev, double lr) {
   w.add_outer(dh, y_prev, -lr);
+}
+
+void FloatBackend::matvec_into(const Matrix& w, const Vector& x, Vector& y) {
+  w.matvec_into(x, y);
+}
+
+void FloatBackend::matvec_transposed_into(const Matrix& w, const Vector& x,
+                                          Vector& y) {
+  w.matvec_transposed_into(x, y);
+}
+
+Matrix FloatBackend::matmul(const Matrix& w, const Matrix& x) {
+  return w.matmul(x);
+}
+
+Matrix FloatBackend::matmul_transposed(const Matrix& w, const Matrix& x) {
+  return w.matmul_transposed(x);
+}
+
+void FloatBackend::update_batch(Matrix& w, const Matrix& dh,
+                                const Matrix& y_prev, double lr) {
+  w.add_outer_batch(dh, y_prev, -lr);
 }
 
 Mlp::Mlp(std::vector<int> layer_sizes, Activation hidden, Rng& rng)
@@ -73,18 +146,46 @@ ForwardTrace Mlp::forward(const Vector& x, MatvecBackend& backend) const {
   TRIDENT_REQUIRE(static_cast<int>(x.size()) == sizes_.front(),
                   "input size mismatch");
   ForwardTrace trace;
+  trace.activations.reserve(static_cast<std::size_t>(depth()) + 1);
+  trace.logits.reserve(static_cast<std::size_t>(depth()));
   trace.activations.push_back(x);
-  Vector y = x;
   for (int k = 0; k < depth(); ++k) {
-    Vector h = backend.matvec(weights_[static_cast<std::size_t>(k)], y);
-    trace.logits.push_back(h);
+    // Activations and logits are filled in place inside the trace — the
+    // training loop allocates nothing per layer beyond the trace itself.
+    trace.logits.emplace_back();
+    Vector& h = trace.logits.back();
+    backend.matvec_into(weights_[static_cast<std::size_t>(k)],
+                        trace.activations.back(), h);
     const bool is_output = (k == depth() - 1);
     const Activation act = is_output ? Activation::kIdentity : hidden_;
-    y.resize(h.size());
+    trace.activations.emplace_back(h.size());
+    Vector& y = trace.activations.back();
     for (std::size_t i = 0; i < h.size(); ++i) {
       y[i] = apply_activation(act, h[i]);
     }
-    trace.activations.push_back(y);
+  }
+  return trace;
+}
+
+BatchForwardTrace Mlp::forward_batch(const Matrix& x,
+                                     MatvecBackend& backend) const {
+  TRIDENT_REQUIRE(static_cast<int>(x.cols()) == sizes_.front(),
+                  "input size mismatch");
+  BatchForwardTrace trace;
+  trace.activations.reserve(static_cast<std::size_t>(depth()) + 1);
+  trace.logits.reserve(static_cast<std::size_t>(depth()));
+  trace.activations.push_back(x);
+  for (int k = 0; k < depth(); ++k) {
+    trace.logits.push_back(backend.matmul(weights_[static_cast<std::size_t>(k)],
+                                          trace.activations.back()));
+    const Matrix& h = trace.logits.back();
+    const bool is_output = (k == depth() - 1);
+    const Activation act = is_output ? Activation::kIdentity : hidden_;
+    Matrix y(h.rows(), h.cols());
+    for (std::size_t i = 0; i < h.data().size(); ++i) {
+      y.data()[i] = apply_activation(act, h.data()[i]);
+    }
+    trace.activations.push_back(std::move(y));
   }
   return trace;
 }
@@ -96,8 +197,11 @@ void Mlp::backward(const ForwardTrace& trace, const Vector& output_grad,
   TRIDENT_REQUIRE(output_grad.size() == trace.logits.back().size(),
                   "output gradient size mismatch");
 
-  // δh for the (linear) output layer is the loss gradient itself.
+  // δh for the (linear) output layer is the loss gradient itself.  The two
+  // gradient buffers are swapped between layers instead of reallocated.
   Vector dh = output_grad;
+  Vector upstream;
+  Vector deriv;
   for (int k = depth() - 1; k >= 0; --k) {
     const auto uk = static_cast<std::size_t>(k);
     const Vector& y_prev = trace.activations[uk];
@@ -106,19 +210,52 @@ void Mlp::backward(const ForwardTrace& trace, const Vector& output_grad,
     // propagate δh to the previous layer using the *pre-update* weights —
     // matching standard backprop semantics, we compute the propagation
     // before applying the rank-1 update.
-    Vector upstream;
     if (k > 0) {
       // Eq. 3: δh_{k-1} = (W_kᵀ · δh_k) ⊙ f'(h_{k-1})
-      upstream = backend.matvec_transposed(weights_[uk], dh);
+      backend.matvec_transposed_into(weights_[uk], dh, upstream);
       const Vector& h_prev = trace.logits[uk - 1];
-      for (std::size_t i = 0; i < upstream.size(); ++i) {
-        upstream[i] *= activation_derivative(hidden_, h_prev[i]);
+      deriv.resize(h_prev.size());
+      for (std::size_t i = 0; i < h_prev.size(); ++i) {
+        deriv[i] = activation_derivative(hidden_, h_prev[i]);
       }
+      hadamard_into(deriv, upstream);
     }
 
     // Eqs. 1-2: W_k ← W_k − β · δh_k · y_{k-1}ᵀ.
     backend.rank1_update(weights_[uk], dh, y_prev, learning_rate);
 
+    std::swap(dh, upstream);
+  }
+}
+
+void Mlp::backward_batch(const BatchForwardTrace& trace,
+                         const Matrix& output_grad, double learning_rate,
+                         MatvecBackend& backend) {
+  TRIDENT_REQUIRE(static_cast<int>(trace.logits.size()) == depth(),
+                  "trace does not match network depth");
+  TRIDENT_REQUIRE(output_grad.rows() == trace.batch() &&
+                      output_grad.cols() == trace.logits.back().cols(),
+                  "output gradient shape mismatch");
+
+  Matrix dh = output_grad;
+  for (int k = depth() - 1; k >= 0; --k) {
+    const auto uk = static_cast<std::size_t>(k);
+
+    // Whole-block propagation through the pre-update weights, then the
+    // per-sample updates in batch order (minibatch semantics: every sample
+    // of the block sees the same weights on the way down).
+    Matrix upstream;
+    if (k > 0) {
+      upstream = backend.matmul_transposed(weights_[uk], dh);
+      const Matrix& h_prev = trace.logits[uk - 1];
+      for (std::size_t i = 0; i < upstream.data().size(); ++i) {
+        upstream.data()[i] *=
+            activation_derivative(hidden_, h_prev.data()[i]);
+      }
+    }
+
+    backend.update_batch(weights_[uk], dh, trace.activations[uk],
+                         learning_rate);
     dh = std::move(upstream);
   }
 }

@@ -35,6 +35,12 @@ enum class Activation {
 
 /// Linear-primitive backend.  Implementations may quantize, add noise, and
 /// keep energy/latency accounts.
+///
+/// The batched entry points carry a whole symbol block through the same
+/// primitives (rows of the batch Matrix are samples).  The base-class
+/// defaults simply loop the per-sample virtuals, so every backend gets
+/// bit-identical batched semantics for free; backends override them to
+/// amortise quantization, bookkeeping, and memory traffic per block.
 class MatvecBackend {
  public:
   virtual ~MatvecBackend() = default;
@@ -46,6 +52,25 @@ class MatvecBackend {
   /// W ← W − lr · (δh · yᵀ): the weight-update outer product (Eqs. 1-2).
   virtual void rank1_update(Matrix& w, const Vector& dh, const Vector& y_prev,
                             double lr) = 0;
+
+  /// In-place y = W x (reuses y's storage; default delegates to matvec).
+  virtual void matvec_into(const Matrix& w, const Vector& x, Vector& y);
+  /// In-place y = Wᵀ x.
+  virtual void matvec_transposed_into(const Matrix& w, const Vector& x,
+                                      Vector& y);
+  /// Batched forward: x is (batch × cols); returns (batch × rows) with row b
+  /// equal to matvec(w, x.row(b)), including any noise/ledger side effects in
+  /// batch order.
+  [[nodiscard]] virtual Matrix matmul(const Matrix& w, const Matrix& x);
+  /// Batched gradient-vector pass: x is (batch × rows); returns
+  /// (batch × cols), loop-equivalent to matvec_transposed per sample.
+  [[nodiscard]] virtual Matrix matmul_transposed(const Matrix& w,
+                                                 const Matrix& x);
+  /// Batched weight update: applies rank1_update once per sample in batch
+  /// order (in-situ hardware programs sequentially, so the quantized result
+  /// depends on the order — the default loop IS the semantics).
+  virtual void update_batch(Matrix& w, const Matrix& dh, const Matrix& y_prev,
+                            double lr);
 };
 
 /// Exact double-precision backend (the digital reference).
@@ -56,6 +81,14 @@ class FloatBackend final : public MatvecBackend {
                                          const Vector& x) override;
   void rank1_update(Matrix& w, const Vector& dh, const Vector& y_prev,
                     double lr) override;
+  void matvec_into(const Matrix& w, const Vector& x, Vector& y) override;
+  void matvec_transposed_into(const Matrix& w, const Vector& x,
+                              Vector& y) override;
+  [[nodiscard]] Matrix matmul(const Matrix& w, const Matrix& x) override;
+  [[nodiscard]] Matrix matmul_transposed(const Matrix& w,
+                                         const Matrix& x) override;
+  void update_batch(Matrix& w, const Matrix& dh, const Matrix& y_prev,
+                    double lr) override;
 };
 
 /// Activations and logits recorded during a forward pass (needed by
@@ -63,6 +96,16 @@ class FloatBackend final : public MatvecBackend {
 struct ForwardTrace {
   std::vector<Vector> activations;  ///< y_0 (input) … y_N (output logits)
   std::vector<Vector> logits;       ///< h_1 … h_N
+};
+
+/// Batched forward state: the same trace with a (batch × size_k) Matrix per
+/// layer, one sample per row.
+struct BatchForwardTrace {
+  std::vector<Matrix> activations;  ///< y_0 (input) … y_N (output logits)
+  std::vector<Matrix> logits;       ///< h_1 … h_N
+  [[nodiscard]] std::size_t batch() const {
+    return activations.empty() ? 0 : activations.front().rows();
+  }
 };
 
 class Mlp {
@@ -85,6 +128,18 @@ class Mlp {
   /// (Eq. 3) and applies the SGD update (Eqs. 1-2) through `backend`.
   void backward(const ForwardTrace& trace, const Vector& output_grad,
                 double learning_rate, MatvecBackend& backend);
+
+  /// Batched forward pass: x is (batch × input); whole symbol blocks stream
+  /// through the backend's batched primitives.  Row b of every trace entry
+  /// is bit-identical to forward(x.row(b)) under the same weights.
+  [[nodiscard]] BatchForwardTrace forward_batch(const Matrix& x,
+                                                MatvecBackend& backend) const;
+
+  /// Batched backward pass (minibatch SGD): per layer, the gradient block
+  /// propagates through the pre-update weights, then every sample's rank-1
+  /// update applies in batch order.
+  void backward_batch(const BatchForwardTrace& trace, const Matrix& output_grad,
+                      double learning_rate, MatvecBackend& backend);
 
   /// Convenience inference with a private float backend.
   [[nodiscard]] Vector predict(const Vector& x) const;

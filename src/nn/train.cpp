@@ -1,11 +1,30 @@
 #include "nn/train.hpp"
 
+#include <algorithm>
+
 namespace trident::nn {
+
+namespace {
+
+/// Packs samples [start, start+count) of `data` into one (count × features)
+/// input block.
+[[nodiscard]] Matrix pack_block(const Dataset& data, std::size_t start,
+                                std::size_t count) {
+  Matrix x(count, static_cast<std::size_t>(data.features));
+  for (std::size_t m = 0; m < count; ++m) {
+    const Vector& in = data.inputs[start + m];
+    std::copy(in.begin(), in.end(), x.row(m).begin());
+  }
+  return x;
+}
+
+}  // namespace
 
 TrainResult fit(Mlp& net, Dataset data, const TrainConfig& config,
                 MatvecBackend& backend) {
   TRIDENT_REQUIRE(config.epochs >= 1, "need at least one epoch");
   TRIDENT_REQUIRE(config.learning_rate > 0.0, "learning rate must be positive");
+  TRIDENT_REQUIRE(config.batch_size >= 1, "batch size must be positive");
   data.validate();
   TRIDENT_REQUIRE(data.features == net.layer_sizes().front(),
                   "dataset features do not match network input");
@@ -17,21 +36,33 @@ TrainResult fit(Mlp& net, Dataset data, const TrainConfig& config,
   result.epoch_loss.reserve(static_cast<std::size_t>(config.epochs));
   result.epoch_accuracy.reserve(static_cast<std::size_t>(config.epochs));
 
+  const auto bs = static_cast<std::size_t>(config.batch_size);
+  Vector logits_b(static_cast<std::size_t>(data.classes));
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
     if (config.shuffle) {
       data.shuffle(shuffle_rng);
     }
     double loss_sum = 0.0;
     std::size_t correct = 0;
-    for (std::size_t i = 0; i < data.size(); ++i) {
-      const ForwardTrace trace = net.forward(data.inputs[i], backend);
-      const Vector& logits = trace.activations.back();
-      const LossGrad lg = softmax_cross_entropy(logits, data.labels[i]);
-      loss_sum += lg.loss;
-      if (argmax(logits) == static_cast<std::size_t>(data.labels[i])) {
-        ++correct;
+    for (std::size_t start = 0; start < data.size(); start += bs) {
+      const std::size_t count = std::min(bs, data.size() - start);
+      const Matrix xb = pack_block(data, start, count);
+      const BatchForwardTrace trace = net.forward_batch(xb, backend);
+      const Matrix& logits = trace.activations.back();
+      Matrix grad(count, static_cast<std::size_t>(data.classes));
+      for (std::size_t m = 0; m < count; ++m) {
+        const auto lr = logits.row(m);
+        std::copy(lr.begin(), lr.end(), logits_b.begin());
+        const LossGrad lg =
+            softmax_cross_entropy(logits_b, data.labels[start + m]);
+        loss_sum += lg.loss;
+        if (argmax(logits_b) ==
+            static_cast<std::size_t>(data.labels[start + m])) {
+          ++correct;
+        }
+        std::copy(lg.grad.begin(), lg.grad.end(), grad.row(m).begin());
       }
-      net.backward(trace, lg.grad, config.learning_rate, backend);
+      net.backward_batch(trace, grad, config.learning_rate, backend);
     }
     result.epoch_loss.push_back(loss_sum / static_cast<double>(data.size()));
     result.epoch_accuracy.push_back(static_cast<double>(correct) /
@@ -42,12 +73,23 @@ TrainResult fit(Mlp& net, Dataset data, const TrainConfig& config,
 
 double evaluate(const Mlp& net, const Dataset& data, MatvecBackend& backend) {
   data.validate();
+  // Inference-only pass: stream the set in blocks through the batched
+  // kernels (block size is a throughput knob only — every row equals the
+  // per-sample forward bit-for-bit).
+  constexpr std::size_t kEvalBlock = 32;
   std::size_t correct = 0;
-  for (std::size_t i = 0; i < data.size(); ++i) {
-    const ForwardTrace trace = net.forward(data.inputs[i], backend);
-    if (argmax(trace.activations.back()) ==
-        static_cast<std::size_t>(data.labels[i])) {
-      ++correct;
+  for (std::size_t start = 0; start < data.size(); start += kEvalBlock) {
+    const std::size_t count = std::min(kEvalBlock, data.size() - start);
+    const Matrix xb = pack_block(data, start, count);
+    const BatchForwardTrace trace = net.forward_batch(xb, backend);
+    const Matrix& logits = trace.activations.back();
+    for (std::size_t m = 0; m < count; ++m) {
+      const auto row = logits.row(m);
+      const std::size_t best = static_cast<std::size_t>(
+          std::max_element(row.begin(), row.end()) - row.begin());
+      if (best == static_cast<std::size_t>(data.labels[start + m])) {
+        ++correct;
+      }
     }
   }
   return static_cast<double>(correct) / static_cast<double>(data.size());

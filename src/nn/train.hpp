@@ -20,6 +20,12 @@ struct TrainConfig {
   /// Shuffle samples between epochs.
   bool shuffle = true;
   unsigned long long shuffle_seed = 7;
+  /// Samples per forward/backward block.  Every block runs through the
+  /// batched GEMM path; batch_size = 1 reproduces per-sample SGD
+  /// bit-for-bit.  Larger blocks amortise kernel and ledger overhead but
+  /// switch the weight updates to minibatch semantics (all samples of a
+  /// block see the same pre-update weights on the way down).
+  int batch_size = 1;
 };
 
 struct TrainResult {

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -92,6 +93,168 @@ TEST(Matrix, XavierBoundsAndSpread) {
   }
   EXPECT_GT(max_seen, limit * 0.5);  // actually spreads across the range
   EXPECT_NEAR(m.max_abs(), max_seen, 1e-15);
+}
+
+// --- batched GEMM kernels --------------------------------------------------
+
+/// Naive reference: y(b, r) = Σ_c w(r, c) · x(b, c), no blocking.
+Matrix naive_matmul(const Matrix& w, const Matrix& x) {
+  Matrix y(x.rows(), w.rows());
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      double acc = 0.0;
+      for (std::size_t c = 0; c < w.cols(); ++c) {
+        acc += w.at(r, c) * x.at(b, c);
+      }
+      y.at(b, r) = acc;
+    }
+  }
+  return y;
+}
+
+Matrix naive_matmul_transposed(const Matrix& w, const Matrix& x) {
+  Matrix y(x.rows(), w.cols());
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    for (std::size_t c = 0; c < w.cols(); ++c) {
+      double acc = 0.0;
+      for (std::size_t r = 0; r < w.rows(); ++r) {
+        acc += w.at(r, c) * x.at(b, r);
+      }
+      y.at(b, c) = acc;
+    }
+  }
+  return y;
+}
+
+Matrix random_matrix(std::size_t rows, std::size_t cols, Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& v : m.data()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  return m;
+}
+
+TEST(MatrixGemm, MatmulMatchesNaiveReference) {
+  Rng rng(11);
+  // Deliberately odd shapes: non-square, batch not a multiple of the panel
+  // width, single-row and single-column weights.
+  const struct {
+    std::size_t rows, cols, batch;
+  } shapes[] = {{5, 7, 3},   {16, 16, 8}, {33, 17, 13}, {1, 9, 4},
+                {9, 1, 4},   {2, 300, 5}, {300, 2, 5},  {64, 64, 1},
+                {24, 40, 65}};
+  for (const auto& s : shapes) {
+    const Matrix w = random_matrix(s.rows, s.cols, rng);
+    const Matrix x = random_matrix(s.batch, s.cols, rng);
+    const Matrix y = w.matmul(x);
+    const Matrix ref = naive_matmul(w, x);
+    ASSERT_EQ(y.rows(), s.batch);
+    ASSERT_EQ(y.cols(), s.rows);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_NEAR(y.data()[i], ref.data()[i], 1e-12)
+          << s.rows << "x" << s.cols << " batch " << s.batch;
+    }
+  }
+}
+
+TEST(MatrixGemm, MatmulRowsBitIdenticalToMatvec) {
+  // The blocked kernel must preserve the per-sample accumulation order
+  // exactly — outputs compare with ==, not a tolerance.
+  Rng rng(12);
+  const Matrix w = random_matrix(37, 53, rng);
+  const Matrix x = random_matrix(21, 53, rng);
+  const Matrix y = w.matmul(x);
+  Vector xb(w.cols());
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const auto row = x.row(b);
+    std::copy(row.begin(), row.end(), xb.begin());
+    const Vector yb = w.matvec(xb);
+    for (std::size_t r = 0; r < yb.size(); ++r) {
+      EXPECT_EQ(y.at(b, r), yb[r]) << "sample " << b << " row " << r;
+    }
+  }
+}
+
+TEST(MatrixGemm, MatmulTransposedMatchesNaiveAndMatvec) {
+  Rng rng(13);
+  const struct {
+    std::size_t rows, cols, batch;
+  } shapes[] = {{5, 7, 3}, {1, 9, 4}, {9, 1, 4}, {33, 17, 13}};
+  for (const auto& s : shapes) {
+    const Matrix w = random_matrix(s.rows, s.cols, rng);
+    const Matrix x = random_matrix(s.batch, s.rows, rng);
+    const Matrix y = w.matmul_transposed(x);
+    const Matrix ref = naive_matmul_transposed(w, x);
+    ASSERT_EQ(y.rows(), s.batch);
+    ASSERT_EQ(y.cols(), s.cols);
+    for (std::size_t i = 0; i < y.size(); ++i) {
+      EXPECT_NEAR(y.data()[i], ref.data()[i], 1e-12);
+    }
+    Vector xb(w.rows());
+    for (std::size_t b = 0; b < s.batch; ++b) {
+      const auto row = x.row(b);
+      std::copy(row.begin(), row.end(), xb.begin());
+      const Vector yb = w.matvec_transposed(xb);
+      for (std::size_t c = 0; c < yb.size(); ++c) {
+        EXPECT_EQ(y.at(b, c), yb[c]);
+      }
+    }
+  }
+}
+
+TEST(MatrixGemm, MatmulDimensionMismatchThrows) {
+  const Matrix w(3, 4);
+  EXPECT_THROW((void)w.matmul(Matrix(2, 5)), Error);
+  EXPECT_THROW((void)w.matmul_transposed(Matrix(2, 5)), Error);
+  Matrix y(2, 5);
+  EXPECT_THROW(w.matmul_into(Matrix(2, 4), y), Error);
+}
+
+TEST(MatrixGemm, AddOuterBatchEqualsSequentialAddOuter) {
+  Rng rng(14);
+  const Matrix a = random_matrix(9, 6, rng);
+  const Matrix b = random_matrix(9, 11, rng);
+  Matrix batched = random_matrix(6, 11, rng);
+  Matrix sequential = batched;
+  batched.add_outer_batch(a, b, -0.05);
+  Vector ab(a.cols());
+  Vector bb(b.cols());
+  for (std::size_t m = 0; m < a.rows(); ++m) {
+    const auto ar = a.row(m);
+    const auto br = b.row(m);
+    std::copy(ar.begin(), ar.end(), ab.begin());
+    std::copy(br.begin(), br.end(), bb.begin());
+    sequential.add_outer(ab, bb, -0.05);
+  }
+  for (std::size_t i = 0; i < batched.size(); ++i) {
+    EXPECT_EQ(batched.data()[i], sequential.data()[i]);
+  }
+}
+
+TEST(MatrixGemm, IntoVariantsReuseBuffers) {
+  Rng rng(15);
+  const Matrix w = random_matrix(4, 5, rng);
+  Vector x(5, 0.25);
+  Vector y;
+  w.matvec_into(x, y);
+  EXPECT_EQ(y, w.matvec(x));
+  Vector yt;
+  Vector xt(4, -0.5);
+  w.matvec_transposed_into(xt, yt);
+  EXPECT_EQ(yt, w.matvec_transposed(xt));
+  Matrix xb = random_matrix(3, 5, rng);
+  Matrix yb(3, 4);
+  w.matmul_into(xb, yb);
+  const Matrix yb_ref = w.matmul(xb);
+  EXPECT_EQ(yb.data(), yb_ref.data());
+}
+
+TEST(VectorOps, HadamardInto) {
+  Vector out{2.0, 0.5, 0.0};
+  hadamard_into({1.0, -2.0, 3.0}, out);
+  EXPECT_EQ(out, (Vector{2.0, -1.0, 0.0}));
+  Vector bad{1.0};
+  EXPECT_THROW(hadamard_into({1.0, 2.0}, bad), Error);
 }
 
 TEST(VectorOps, Hadamard) {

@@ -4,7 +4,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -195,6 +197,129 @@ TEST(Mlp, BackwardValidatesTrace) {
   FloatBackend backend;
   ForwardTrace bogus;
   EXPECT_THROW(net.backward(bogus, {1.0, 0.0, 0.0}, 0.1, backend), Error);
+}
+
+TEST(Mlp, ForwardBatchRowsEqualPerSampleForward) {
+  Rng rng(12);
+  Mlp net({4, 9, 3}, Activation::kGstPhotonic, rng);
+  FloatBackend backend;
+  Matrix x(6, 4);
+  for (double& v : x.data()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  const BatchForwardTrace batch = net.forward_batch(x, backend);
+  EXPECT_EQ(batch.batch(), 6u);
+  ASSERT_EQ(batch.activations.size(), 3u);
+  ASSERT_EQ(batch.logits.size(), 2u);
+  for (std::size_t b = 0; b < 6; ++b) {
+    const auto row = x.row(b);
+    const ForwardTrace single =
+        net.forward(Vector(row.begin(), row.end()), backend);
+    for (std::size_t layer = 0; layer < batch.activations.size(); ++layer) {
+      const auto batch_row = batch.activations[layer].row(b);
+      const Vector& ref = single.activations[layer];
+      ASSERT_EQ(batch_row.size(), ref.size());
+      for (std::size_t i = 0; i < ref.size(); ++i) {
+        EXPECT_EQ(batch_row[i], ref[i])
+            << "sample " << b << " layer " << layer << " unit " << i;
+      }
+    }
+  }
+}
+
+TEST(Mlp, BackwardBatchOfOneEqualsBackward) {
+  // A single-sample batch must reproduce per-sample SGD exactly — that is
+  // what keeps the batched training path bit-compatible at batch_size 1.
+  Rng rng_a(13), rng_b(13);
+  Mlp net_a({3, 7, 2}, Activation::kGstPhotonic, rng_a);
+  Mlp net_b({3, 7, 2}, Activation::kGstPhotonic, rng_b);
+  FloatBackend backend;
+  const Vector x{0.4, -0.2, 0.9};
+  const Vector grad{0.3, -0.3};
+
+  const ForwardTrace trace_a = net_a.forward(x, backend);
+  net_a.backward(trace_a, grad, 0.05, backend);
+
+  Matrix xb(1, 3);
+  std::copy(x.begin(), x.end(), xb.row(0).begin());
+  Matrix gb(1, 2);
+  std::copy(grad.begin(), grad.end(), gb.row(0).begin());
+  const BatchForwardTrace trace_b = net_b.forward_batch(xb, backend);
+  net_b.backward_batch(trace_b, gb, 0.05, backend);
+
+  for (int k = 0; k < net_a.depth(); ++k) {
+    const Matrix& wa = net_a.weight(k);
+    const Matrix& wb = net_b.weight(k);
+    for (std::size_t i = 0; i < wa.size(); ++i) {
+      EXPECT_EQ(wa.data()[i], wb.data()[i]) << "layer " << k;
+    }
+  }
+}
+
+TEST(Mlp, BackwardBatchAppliesMinibatchUpdate) {
+  // Multi-sample blocks propagate every sample through the pre-update
+  // weights (minibatch semantics); with a float backend the resulting
+  // update equals the sum of per-sample gradients computed at the ORIGINAL
+  // weights.
+  Rng rng_a(14), rng_b(14);
+  Mlp batched({3, 5, 2}, Activation::kGstPhotonic, rng_a);
+  Mlp reference({3, 5, 2}, Activation::kGstPhotonic, rng_b);
+  FloatBackend backend;
+  Matrix x(4, 3);
+  Matrix grad(4, 2);
+  Rng rng(15);
+  for (double& v : x.data()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  for (double& v : grad.data()) {
+    v = rng.uniform(-0.5, 0.5);
+  }
+
+  const BatchForwardTrace trace = batched.forward_batch(x, backend);
+  batched.backward_batch(trace, grad, 0.05, backend);
+
+  // Gradient accumulation at fixed weights for the reference: run each
+  // sample's backward on a THROWAWAY copy of the original network and sum
+  // the weight deltas.
+  std::vector<Matrix> delta;
+  for (int k = 0; k < reference.depth(); ++k) {
+    delta.emplace_back(reference.weight(k).rows(), reference.weight(k).cols());
+  }
+  for (std::size_t b = 0; b < 4; ++b) {
+    Rng rng_c(14);
+    Mlp scratch({3, 5, 2}, Activation::kGstPhotonic, rng_c);
+    const auto row = x.row(b);
+    const ForwardTrace t =
+        scratch.forward(Vector(row.begin(), row.end()), backend);
+    const auto gr = grad.row(b);
+    scratch.backward(t, Vector(gr.begin(), gr.end()), 0.05, backend);
+    for (int k = 0; k < scratch.depth(); ++k) {
+      const auto uk = static_cast<std::size_t>(k);
+      for (std::size_t i = 0; i < delta[uk].size(); ++i) {
+        delta[uk].data()[i] +=
+            scratch.weight(k).data()[i] - reference.weight(k).data()[i];
+      }
+    }
+  }
+  for (int k = 0; k < reference.depth(); ++k) {
+    const auto uk = static_cast<std::size_t>(k);
+    for (std::size_t i = 0; i < delta[uk].size(); ++i) {
+      EXPECT_NEAR(batched.weight(k).data()[i],
+                  reference.weight(k).data()[i] + delta[uk].data()[i], 1e-12);
+    }
+  }
+}
+
+TEST(Mlp, BatchShapeValidation) {
+  Rng rng(16);
+  Mlp net({3, 4, 2}, Activation::kReLU, rng);
+  FloatBackend backend;
+  EXPECT_THROW((void)net.forward_batch(Matrix(2, 5), backend), Error);
+  const BatchForwardTrace trace = net.forward_batch(Matrix(2, 3, 0.1), backend);
+  EXPECT_THROW(net.backward_batch(trace, Matrix(3, 2, 0.1), 0.1, backend),
+               Error);
+  EXPECT_THROW(net.backward_batch(trace, Matrix(2, 3, 0.1), 0.1, backend),
+               Error);
 }
 
 }  // namespace

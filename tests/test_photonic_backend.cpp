@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
@@ -204,6 +205,127 @@ TEST(PhotonicBackend, DimensionChecks) {
   EXPECT_THROW((void)backend.matvec(w, {1.0}), Error);
   EXPECT_THROW((void)backend.matvec_transposed(w, {1.0}), Error);
   EXPECT_THROW(backend.rank1_update(w, {1.0}, {1.0, 1.0, 1.0}, 0.1), Error);
+}
+
+// --- batched GEMM path -----------------------------------------------------
+
+void expect_ledger_eq(const PhotonicLedger& a, const PhotonicLedger& b) {
+  EXPECT_EQ(a.weight_writes, b.weight_writes);
+  EXPECT_EQ(a.program_events, b.program_events);
+  EXPECT_EQ(a.symbols, b.symbols);
+  EXPECT_EQ(a.macs, b.macs);
+  EXPECT_EQ(a.activations, b.activations);
+}
+
+nn::Matrix random_batch(std::size_t batch, std::size_t cols,
+                        std::uint64_t seed, double scale = 2.0) {
+  Rng rng(seed);
+  nn::Matrix x(batch, cols);
+  for (double& v : x.data()) {
+    v = rng.uniform(-scale, scale);
+  }
+  return x;
+}
+
+class BatchNoise : public ::testing::TestWithParam<double> {};
+
+TEST_P(BatchNoise, MatmulBitIdenticalToMatvecLoop) {
+  // Same-seeded backends must produce the same outputs, noise draws, and
+  // ledger counters whether the block goes through matmul or a per-sample
+  // matvec loop.
+  PhotonicBackendConfig cfg;
+  cfg.readout_noise = GetParam();
+  PhotonicBackend batched(cfg);
+  PhotonicBackend looped(cfg);
+  const nn::Matrix w = random_matrix(13, 21, 31);
+  const nn::Matrix x = random_batch(9, 21, 32);
+
+  const nn::Matrix y = batched.matmul(w, x);
+  ASSERT_EQ(y.rows(), 9u);
+  ASSERT_EQ(y.cols(), 13u);
+  nn::Vector xb(w.cols());
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const auto row = x.row(b);
+    std::copy(row.begin(), row.end(), xb.begin());
+    const nn::Vector yb = looped.matvec(w, xb);
+    for (std::size_t r = 0; r < yb.size(); ++r) {
+      EXPECT_EQ(y.at(b, r), yb[r]) << "sample " << b << " row " << r;
+    }
+  }
+  expect_ledger_eq(batched.ledger(), looped.ledger());
+}
+
+TEST_P(BatchNoise, MatmulTransposedBitIdenticalToMatvecLoop) {
+  PhotonicBackendConfig cfg;
+  cfg.readout_noise = GetParam();
+  PhotonicBackend batched(cfg);
+  PhotonicBackend looped(cfg);
+  const nn::Matrix w = random_matrix(11, 7, 33);
+  const nn::Matrix x = random_batch(6, 11, 34);
+
+  const nn::Matrix y = batched.matmul_transposed(w, x);
+  ASSERT_EQ(y.rows(), 6u);
+  ASSERT_EQ(y.cols(), 7u);
+  nn::Vector xb(w.rows());
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const auto row = x.row(b);
+    std::copy(row.begin(), row.end(), xb.begin());
+    const nn::Vector yb = looped.matvec_transposed(w, xb);
+    for (std::size_t c = 0; c < yb.size(); ++c) {
+      EXPECT_EQ(y.at(b, c), yb[c]) << "sample " << b << " col " << c;
+    }
+  }
+  expect_ledger_eq(batched.ledger(), looped.ledger());
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, BatchNoise, ::testing::Values(0.0, 0.05));
+
+TEST(PhotonicBackendBatch, UpdateBatchMatchesSequentialRank1) {
+  // update_batch is DEFINED as the sequential per-sample loop (in-situ
+  // programming quantizes after every sample) — weights and ledger must
+  // match exactly.
+  PhotonicBackend batched;
+  PhotonicBackend looped;
+  nn::Matrix wb = random_matrix(5, 8, 35, 0.5);
+  nn::Matrix wl = wb;
+  const nn::Matrix dh = random_batch(4, 5, 36, 0.1);
+  const nn::Matrix y_prev = random_batch(4, 8, 37, 1.0);
+
+  batched.update_batch(wb, dh, y_prev, 0.05);
+  nn::Vector dhb(5);
+  nn::Vector yb(8);
+  for (std::size_t b = 0; b < dh.rows(); ++b) {
+    const auto dr = dh.row(b);
+    const auto yr = y_prev.row(b);
+    std::copy(dr.begin(), dr.end(), dhb.begin());
+    std::copy(yr.begin(), yr.end(), yb.begin());
+    looped.rank1_update(wl, dhb, yb, 0.05);
+  }
+  for (std::size_t i = 0; i < wb.size(); ++i) {
+    EXPECT_EQ(wb.data()[i], wl.data()[i]);
+  }
+  expect_ledger_eq(batched.ledger(), looped.ledger());
+}
+
+TEST(PhotonicBackendBatch, MatmulKeepsMatrixResident) {
+  // A batch charges exactly one programming event for a fresh matrix, and
+  // none when the matrix is already resident.
+  PhotonicBackend backend;
+  const nn::Matrix w = random_matrix(4, 4, 38);
+  const nn::Matrix x = random_batch(5, 4, 39);
+  (void)backend.matmul(w, x);
+  EXPECT_EQ(backend.ledger().program_events, 1u);
+  EXPECT_EQ(backend.ledger().weight_writes, 16u);
+  (void)backend.matmul(w, x);
+  EXPECT_EQ(backend.ledger().program_events, 1u);
+  EXPECT_EQ(backend.ledger().symbols, 10u);
+}
+
+TEST(PhotonicBackendBatch, DimensionChecks) {
+  PhotonicBackend backend;
+  nn::Matrix w(2, 3, 0.1);
+  EXPECT_THROW((void)backend.matmul(w, nn::Matrix(2, 2)), Error);
+  EXPECT_THROW((void)backend.matmul_transposed(w, nn::Matrix(2, 3)), Error);
 }
 
 class BackendBits : public ::testing::TestWithParam<int> {};

@@ -107,6 +107,31 @@ TEST(ParallelFor, GrainForcesSerialForTinyRanges) {
   }
 }
 
+TEST(ParallelFor, ResultIndependentOfGrain) {
+  // The batched GEMM kernels pick their grain from the problem size; the
+  // answer must not depend on how the range gets chunked (workers own
+  // disjoint output slots, so any grain — serial included — is equivalent).
+  auto run = [](std::size_t grain) {
+    std::vector<double> out(257);  // deliberately not a power of two
+    parallel_for(
+        0, out.size(),
+        [&](std::size_t i) {
+          double acc = 0.0;
+          for (std::size_t k = 0; k < 64; ++k) {
+            acc += static_cast<double>(i + 1) / static_cast<double>(k + 1);
+          }
+          out[i] = acc;
+        },
+        grain);
+    return out;
+  };
+  const std::vector<double> serial = run(10000);  // grain ≥ n → inline
+  for (const std::size_t grain : {std::size_t{1}, std::size_t{7},
+                                  std::size_t{64}, std::size_t{256}}) {
+    EXPECT_EQ(run(grain), serial) << "grain " << grain;
+  }
+}
+
 TEST(GlobalPool, SingletonIsStable) {
   ThreadPool& a = global_pool();
   ThreadPool& b = global_pool();

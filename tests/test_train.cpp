@@ -107,6 +107,51 @@ TEST(Train, RejectsShapeMismatches) {
   EXPECT_THROW((void)fit(wrong_out, data, {}, backend), Error);
 }
 
+TEST(Train, BatchSizeOneIsBitIdenticalToDefault) {
+  // The batched training path at batch_size 1 must reproduce the historical
+  // per-sample loop exactly (same losses and accuracies, not just close).
+  Rng rng_a(10), rng_b(10);
+  Dataset data_a = two_moons(120, 0.1, rng_a);
+  Dataset data_b = two_moons(120, 0.1, rng_b);
+  data_a.augment_bias();
+  data_b.augment_bias();
+  Mlp net_a({3, 8, 2}, Activation::kGstPhotonic, rng_a);
+  Mlp net_b({3, 8, 2}, Activation::kGstPhotonic, rng_b);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 6;
+  const TrainResult ra = fit(net_a, data_a, cfg, backend);
+  TrainConfig cfg1 = cfg;
+  cfg1.batch_size = 1;
+  const TrainResult rb = fit(net_b, data_b, cfg1, backend);
+  EXPECT_EQ(ra.epoch_loss, rb.epoch_loss);
+  EXPECT_EQ(ra.epoch_accuracy, rb.epoch_accuracy);
+}
+
+TEST(Train, MinibatchesAlsoLearn) {
+  Rng rng(11);
+  Dataset data = gaussian_blobs(240, 3, 4, 4.0, 0.4, rng);
+  Mlp net({4, 16, 3}, Activation::kReLU, rng);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 15;
+  cfg.learning_rate = 0.05;
+  cfg.batch_size = 16;  // doesn't divide 240 evenly → exercises the tail
+  const TrainResult r = fit(net, data, cfg, backend);
+  EXPECT_GT(r.final_accuracy(), 0.95);
+  EXPECT_LT(r.final_loss(), r.epoch_loss.front());
+}
+
+TEST(Train, RejectsNonPositiveBatchSize) {
+  Rng rng(12);
+  Dataset data = gaussian_blobs(20, 2, 3, 2.0, 0.3, rng);
+  Mlp net({3, 4, 2}, Activation::kReLU, rng);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.batch_size = 0;
+  EXPECT_THROW((void)fit(net, data, cfg, backend), Error);
+}
+
 TEST(Train, DeterministicForFixedSeeds) {
   Rng rng_a(9), rng_b(9);
   Dataset data_a = gaussian_blobs(50, 2, 3, 3.0, 0.3, rng_a);

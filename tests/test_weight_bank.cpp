@@ -143,6 +143,63 @@ TEST(WeightBank, ReadEnergyPerSymbol) {
   EXPECT_NEAR(bank.total_read_energy().pJ(), 8 * 20.0, 1e-9);
 }
 
+TEST(WeightBank, ApplyBatchMatchesPerSymbolApply) {
+  WeightBank bank(small_config(3, 5));
+  WeightBank loop_bank(small_config(3, 5));
+  Rng rng(29);
+  nn::Matrix w(3, 5);
+  for (double& v : w.data()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  bank.program(w);
+  loop_bank.program(w);
+
+  nn::Matrix x(7, 5);
+  for (double& v : x.data()) {
+    v = rng.uniform(0.0, 1.0);
+  }
+  const nn::Matrix y = bank.apply_batch(x);
+  ASSERT_EQ(y.rows(), 7u);
+  ASSERT_EQ(y.cols(), 3u);
+  for (std::size_t b = 0; b < x.rows(); ++b) {
+    const auto row = x.row(b);
+    const nn::Vector yb =
+        loop_bank.apply(nn::Vector(row.begin(), row.end()));
+    for (std::size_t r = 0; r < yb.size(); ++r) {
+      EXPECT_DOUBLE_EQ(y.at(b, r), yb[r]) << "symbol " << b << " row " << r;
+    }
+  }
+  // Block accounting equals per-symbol accounting: 7 symbols × 15 rings.
+  EXPECT_EQ(bank.total_reads(), loop_bank.total_reads());
+  EXPECT_EQ(bank.total_reads(), 7u * 15u);
+  EXPECT_DOUBLE_EQ(bank.total_read_energy().pJ(),
+                   loop_bank.total_read_energy().pJ());
+}
+
+TEST(WeightBank, ApplyBatchValidatesInputs) {
+  WeightBank bank(small_config(2, 2));
+  EXPECT_THROW((void)bank.apply_batch(nn::Matrix(2, 3, 0.5)), Error);
+  nn::Matrix bad(1, 2, 0.5);
+  bad.at(0, 1) = 1.5;
+  EXPECT_THROW((void)bank.apply_batch(bad), Error);
+}
+
+TEST(WeightBank, DecodedCacheInvalidatesOnReprogram) {
+  // apply() reads through the decoded-weight cache; reprogramming any cell
+  // must rebuild it before the next symbol.
+  WeightBank bank(small_config(1, 2));
+  nn::Matrix w(1, 2);
+  w.at(0, 0) = 0.5;
+  w.at(0, 1) = -0.5;
+  bank.program(w);
+  const nn::Vector before = bank.apply({1.0, 1.0});
+  (void)bank.program_cell(0, 0, -0.5);
+  const nn::Vector after = bank.apply({1.0, 1.0});
+  EXPECT_LT(after[0], before[0] - 0.5);  // weight really flipped in the cache
+  EXPECT_NEAR(after[0],
+              bank.realized_weight(0, 0) + bank.realized_weight(0, 1), 1e-9);
+}
+
 TEST(WeightBank, WearTracking) {
   WeightBankConfig c = small_config(1, 1);
   c.gst.endurance_cycles = 10.0;
