@@ -9,12 +9,16 @@
 
 #include "arch/electronic.hpp"
 #include "arch/photonic.hpp"
+#include "common/cli.hpp"
 #include "common/table.hpp"
 #include "core/queueing.hpp"
 #include "dataflow/analyzer.hpp"
 #include "nn/zoo.hpp"
+#include "telemetry/session.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const trident::CliArgs cli_args(argc, argv);
+  trident::telemetry::TelemetrySession telemetry_session(cli_args);
   using namespace trident;
   using namespace trident::core;
 

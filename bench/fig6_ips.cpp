@@ -15,9 +15,11 @@
 #include "dataflow/analyzer.hpp"
 #include "nn/zoo.hpp"
 #include "parallel/thread_pool.hpp"
+#include "telemetry/session.hpp"
 
 int main(int argc, char** argv) {
   const trident::CliArgs cli_args(argc, argv);
+  trident::telemetry::TelemetrySession telemetry_session(cli_args);
   using namespace trident;
 
   const auto models = nn::zoo::evaluation_models();

@@ -10,13 +10,22 @@
 // reason the paper insists on PCM tuning for trainable photonics.
 //
 // Run:  ./build/examples/insitu_training
+//       ./build/examples/insitu_training --metrics-out m.json --trace-out
+//           t.json   (adds per-layer spans for Perfetto + a metrics file)
+#include <cmath>
 #include <iomanip>
 #include <iostream>
 
+#include "common/cli.hpp"
 #include "core/photonic_backend.hpp"
 #include "nn/train.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/session.hpp"
+#include "telemetry/telemetry.hpp"
 
-int main() {
+int main(int argc, char** argv) {
+  const trident::CliArgs cli_args(argc, argv);
+  trident::telemetry::TelemetrySession telemetry_session(cli_args);
   using namespace trident;
 
   // Two interleaving moons: non-linearly-separable 2-class task.
@@ -93,6 +102,36 @@ int main() {
               << run.ledger.macs / 1000 << "k ring read-outs -> "
               << run.ledger.energy().uJ() << " uJ, "
               << run.ledger.time().ms() << " ms optical time\n";
+  }
+
+  if (telemetry::enabled()) {
+    // Cross-check the metrics mirror against the hardware books: the
+    // telemetry counters accumulate across every backend in the process, so
+    // a ledger rebuilt from the snapshot must equal the SUM of the 8-bit
+    // and 6-bit runs' ledgers — energy() bit-for-bit, since it is computed
+    // from the same integers.
+    const telemetry::MetricsSnapshot snap =
+        telemetry::MetricsRegistry::global().snapshot();
+    auto counter = [&](const char* name) { return snap.counter_value(name); };
+    core::PhotonicLedger from_metrics;
+    from_metrics.weight_writes = counter("trident_ledger_weight_writes_total");
+    from_metrics.program_events =
+        counter("trident_ledger_program_events_total");
+    from_metrics.symbols = counter("trident_ledger_symbols_total");
+    from_metrics.macs = counter("trident_ledger_macs_total");
+    from_metrics.activations = counter("trident_ledger_activations_total");
+
+    const core::PhotonicLedger summed =
+        gst_backend.ledger() + thermal_backend.ledger();
+    const bool exact = from_metrics == summed &&
+                       from_metrics.energy().J() == summed.energy().J();
+    std::cout << "\nTelemetry cross-check: metrics-derived ledger "
+              << (exact ? "matches" : "DOES NOT match")
+              << " the hardware ledgers (" << from_metrics.energy().uJ()
+              << " uJ vs " << summed.energy().uJ() << " uJ)\n";
+    if (!exact) {
+      return 1;
+    }
   }
 
   std::cout << "\nTakeaway: at the GST resolution the in-situ loss keeps "

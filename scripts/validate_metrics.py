@@ -1,0 +1,146 @@
+#!/usr/bin/env python3
+"""Validate a Trident --metrics-out snapshot against scripts/metrics_schema.json.
+
+Stdlib-only (no jsonschema dependency): implements exactly the subset of
+JSON Schema the snapshot schema uses — type/const/required/
+additionalProperties/properties/items/minItems/minimum with the
+["number","null"] union.  Exits 0 on success, 1 with a pointed message on
+the first violation.
+
+Usage: validate_metrics.py metrics.json [more.json ...]
+       [--schema scripts/metrics_schema.json]
+"""
+
+import argparse
+import json
+import os
+import sys
+
+
+class ValidationError(Exception):
+    def __init__(self, path, message):
+        super().__init__("%s: %s" % (path or "$", message))
+
+
+def _type_ok(value, type_name):
+    if type_name == "object":
+        return isinstance(value, dict)
+    if type_name == "array":
+        return isinstance(value, list)
+    if type_name == "integer":
+        # bool is a subclass of int in Python; a JSON true is not an integer.
+        return isinstance(value, int) and not isinstance(value, bool)
+    if type_name == "number":
+        return isinstance(value, (int, float)) and not isinstance(value, bool)
+    if type_name == "null":
+        return value is None
+    if type_name == "string":
+        return isinstance(value, str)
+    if type_name == "boolean":
+        return isinstance(value, bool)
+    raise ValidationError("", "schema uses unsupported type %r" % type_name)
+
+
+def validate(value, schema, path="$"):
+    if "const" in schema:
+        if value != schema["const"]:
+            raise ValidationError(
+                path, "expected constant %r, got %r" % (schema["const"], value))
+        return
+
+    if "type" in schema:
+        types = schema["type"]
+        if isinstance(types, str):
+            types = [types]
+        if not any(_type_ok(value, t) for t in types):
+            raise ValidationError(
+                path, "expected %s, got %s (%r)"
+                % ("|".join(types), type(value).__name__, value))
+
+    if "minimum" in schema and isinstance(value, (int, float)) \
+            and not isinstance(value, bool):
+        if value < schema["minimum"]:
+            raise ValidationError(
+                path, "value %r below minimum %r" % (value, schema["minimum"]))
+
+    if isinstance(value, dict):
+        for key in schema.get("required", ()):
+            if key not in value:
+                raise ValidationError(path, "missing required key %r" % key)
+        props = schema.get("properties", {})
+        extra = schema.get("additionalProperties", True)
+        for key, sub in value.items():
+            sub_path = "%s.%s" % (path, key)
+            if key in props:
+                validate(sub, props[key], sub_path)
+            elif isinstance(extra, dict):
+                validate(sub, extra, sub_path)
+            elif extra is False:
+                raise ValidationError(path, "unexpected key %r" % key)
+
+    if isinstance(value, list):
+        if "minItems" in schema and len(value) < schema["minItems"]:
+            raise ValidationError(
+                path, "expected at least %d items, got %d"
+                % (schema["minItems"], len(value)))
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, sub in enumerate(value):
+                validate(sub, items, "%s[%d]" % (path, i))
+
+
+def check_snapshot_invariants(doc, path):
+    """Cross-field checks the schema grammar cannot express."""
+    for name, hist in doc.get("histograms", {}).items():
+        hpath = "%s:histograms.%s" % (path, name)
+        buckets = hist["buckets"]
+        if buckets[-1]["le"] is not None:
+            raise ValidationError(hpath, "last bucket must be +Inf (le: null)")
+        bucket_total = sum(b["count"] for b in buckets)
+        if bucket_total != hist["count"]:
+            raise ValidationError(
+                hpath, "bucket counts sum to %d but count is %d"
+                % (bucket_total, hist["count"]))
+        finite = [b["le"] for b in buckets if b["le"] is not None]
+        if finite != sorted(finite) or len(set(finite)) != len(finite):
+            raise ValidationError(
+                hpath, "bucket bounds are not strictly ascending: %r" % finite)
+        if hist["count"] == 0:
+            # RunningStats reports NaN extremes when empty -> JSON null.
+            for key in ("min", "max"):
+                if hist[key] is not None:
+                    raise ValidationError(
+                        hpath, "empty histogram must have %s: null" % key)
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("metrics", nargs="+", help="snapshot file(s) to check")
+    parser.add_argument(
+        "--schema",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             "metrics_schema.json"))
+    args = parser.parse_args(argv)
+
+    with open(args.schema, "r", encoding="utf-8") as f:
+        schema = json.load(f)
+
+    status = 0
+    for metrics_path in args.metrics:
+        try:
+            with open(metrics_path, "r", encoding="utf-8") as f:
+                doc = json.load(f)
+            validate(doc, schema)
+            check_snapshot_invariants(doc, metrics_path)
+        except (OSError, json.JSONDecodeError, ValidationError) as err:
+            print("%s: FAIL: %s" % (metrics_path, err), file=sys.stderr)
+            status = 1
+            continue
+        print("%s: OK (%d counters, %d gauges, %d histograms)" % (
+            metrics_path, len(doc["counters"]), len(doc["gauges"]),
+            len(doc["histograms"])))
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,8 @@
 // Every experiment binary accepts a common set of flags:
 //   --csv            emit machine-readable CSV instead of ASCII tables
 //   --batch N        batch size for the dataflow analyses
+//   --metrics-out F  write a telemetry metrics snapshot (JSON) to F on exit
+//   --trace-out F    write the live span trace (Chrome JSON) to F on exit
 //   --help           print usage
 // plus free-form key=value overrides.  Deliberately tiny — the benches
 // are reproducibility artefacts, not a CLI framework showcase.
@@ -43,6 +45,16 @@ class CliArgs {
   /// The benches' shared convention.
   [[nodiscard]] bool csv() const { return has_flag("csv"); }
   [[nodiscard]] int batch() const { return value_int("batch", 1); }
+
+  /// Telemetry artifact destinations (`--metrics-out` / `--trace-out`);
+  /// either being set is the conventional opt-in for live telemetry — see
+  /// telemetry/session.hpp, which consumes both.
+  [[nodiscard]] std::optional<std::string> metrics_out() const {
+    return value("metrics-out");
+  }
+  [[nodiscard]] std::optional<std::string> trace_out() const {
+    return value("trace-out");
+  }
 
  private:
   std::string program_;

@@ -30,8 +30,16 @@ class RunningStats {
     return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
   }
   [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
-  [[nodiscard]] double min() const { return min_; }
-  [[nodiscard]] double max() const { return max_; }
+  /// Smallest sample seen; NaN when no sample has been added yet (the
+  /// internal ±inf sentinels never leak to callers — exporters rely on
+  /// this to tell "empty" apart from genuinely infinite observations).
+  [[nodiscard]] double min() const {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : min_;
+  }
+  /// Largest sample seen; NaN when `count() == 0`.
+  [[nodiscard]] double max() const {
+    return n_ == 0 ? std::numeric_limits<double>::quiet_NaN() : max_;
+  }
 
  private:
   std::size_t n_ = 0;

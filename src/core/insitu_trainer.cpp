@@ -1,6 +1,10 @@
 #include "core/insitu_trainer.hpp"
 
+#include <optional>
+
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace trident::core {
 
@@ -36,6 +40,10 @@ nn::MatvecBackend& TrainingSession::backend() {
 }
 
 SessionReport TrainingSession::run(nn::Dataset data) {
+  std::optional<telemetry::Span> span;
+  if (telemetry::enabled()) {
+    span.emplace("insitu/session", "train");
+  }
   data.validate();
   const auto [train_set, test_set] = data.split(config_.test_fraction);
 
@@ -52,11 +60,7 @@ SessionReport TrainingSession::run(nn::Dataset data) {
 
   const PhotonicLedger after =
       varied_ ? varied_->ledger() : plain_->ledger();
-  report.ledger.weight_writes = after.weight_writes - before.weight_writes;
-  report.ledger.program_events = after.program_events - before.program_events;
-  report.ledger.symbols = after.symbols - before.symbols;
-  report.ledger.macs = after.macs - before.macs;
-  report.ledger.activations = after.activations - before.activations;
+  report.ledger = after - before;
   report.optical_energy = report.ledger.energy();
   report.optical_time = report.ledger.time();
 

@@ -4,12 +4,83 @@
 #include <cmath>
 
 #include "photonics/constants.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace trident::core {
 
 namespace {
 
 using namespace trident::units::literals;
+
+/// Process-wide backend metrics.  The ledger counters mirror every
+/// PhotonicLedger increment exactly (same integers, added at the same
+/// sites), so a metrics snapshot reconstructs the summed ledger of all
+/// backends in the process bit-for-bit — including its energy()/time().
+struct BackendMetrics {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& weight_writes =
+      reg.counter("trident_ledger_weight_writes_total",
+                  "GST cells programmed (PhotonicLedger::weight_writes)");
+  telemetry::Counter& program_events =
+      reg.counter("trident_ledger_program_events_total",
+                  "parallel bank writes (PhotonicLedger::program_events)");
+  telemetry::Counter& symbols =
+      reg.counter("trident_ledger_symbols_total",
+                  "optical symbols streamed (PhotonicLedger::symbols)");
+  telemetry::Counter& macs = reg.counter(
+      "trident_ledger_macs_total", "ring read-outs (PhotonicLedger::macs)");
+  telemetry::Counter& activations =
+      reg.counter("trident_ledger_activations_total",
+                  "GST activation firings (PhotonicLedger::activations)");
+  telemetry::Counter& quantize_passes =
+      reg.counter("trident_backend_quantize_passes_total",
+                  "input/weight quantization passes over a vector or block");
+  telemetry::Counter& matvec_calls = reg.counter(
+      "trident_backend_matvec_total", "per-sample forward matvec calls");
+  telemetry::Counter& matmul_calls = reg.counter(
+      "trident_backend_matmul_total", "batched forward matmul calls");
+  telemetry::Counter& matvec_transposed_calls =
+      reg.counter("trident_backend_matvec_transposed_total",
+                  "per-sample gradient-vector calls");
+  telemetry::Counter& matmul_transposed_calls =
+      reg.counter("trident_backend_matmul_transposed_total",
+                  "batched gradient-vector calls");
+  telemetry::Counter& rank1_updates = reg.counter(
+      "trident_backend_rank1_updates_total", "in-situ rank-1 weight updates");
+  telemetry::Counter& program_reuse =
+      reg.counter("trident_backend_program_reuse_total",
+                  "forward calls served by resident non-volatile weights "
+                  "(the 0.67 W -> 0.11 W effect)");
+};
+
+BackendMetrics& metrics() {
+  static BackendMetrics m;
+  return m;
+}
+
+/// Mirrors a ledger delta into the metric counters (call sites pass the
+/// exact amounts they just added to the PhotonicLedger).
+void note_ledger(std::uint64_t weight_writes, std::uint64_t program_events,
+                 std::uint64_t symbols, std::uint64_t macs,
+                 std::uint64_t activations) {
+  BackendMetrics& m = metrics();
+  if (weight_writes != 0) {
+    m.weight_writes.add(weight_writes);
+  }
+  if (program_events != 0) {
+    m.program_events.add(program_events);
+  }
+  if (symbols != 0) {
+    m.symbols.add(symbols);
+  }
+  if (macs != 0) {
+    m.macs.add(macs);
+  }
+  if (activations != 0) {
+    m.activations.add(activations);
+  }
+}
 
 /// Per-MAC detection energy from Table III (17.1 mW / 256 rings / clock).
 [[nodiscard]] units::Energy read_energy_per_mac() {
@@ -31,6 +102,33 @@ using namespace trident::units::literals;
 
 }  // namespace
 
+PhotonicLedger operator-(const PhotonicLedger& after,
+                         const PhotonicLedger& before) {
+  TRIDENT_REQUIRE(after.weight_writes >= before.weight_writes &&
+                      after.program_events >= before.program_events &&
+                      after.symbols >= before.symbols &&
+                      after.macs >= before.macs &&
+                      after.activations >= before.activations,
+                  "ledger delta: `before` is not an earlier snapshot");
+  PhotonicLedger d;
+  d.weight_writes = after.weight_writes - before.weight_writes;
+  d.program_events = after.program_events - before.program_events;
+  d.symbols = after.symbols - before.symbols;
+  d.macs = after.macs - before.macs;
+  d.activations = after.activations - before.activations;
+  return d;
+}
+
+PhotonicLedger operator+(const PhotonicLedger& a, const PhotonicLedger& b) {
+  PhotonicLedger s;
+  s.weight_writes = a.weight_writes + b.weight_writes;
+  s.program_events = a.program_events + b.program_events;
+  s.symbols = a.symbols + b.symbols;
+  s.macs = a.macs + b.macs;
+  s.activations = a.activations + b.activations;
+  return s;
+}
+
 units::Energy PhotonicLedger::energy() const {
   return phot::kGstWriteEnergy * static_cast<double>(weight_writes) +
          read_energy_per_mac() * static_cast<double>(macs) +
@@ -51,10 +149,16 @@ PhotonicBackend::PhotonicBackend(const PhotonicBackendConfig& config)
 
 void PhotonicBackend::ensure_programmed(const nn::Matrix& w) {
   if (resident_matrix_ == static_cast<const void*>(&w)) {
+    if (telemetry::enabled()) {
+      metrics().program_reuse.add(1);
+    }
     return;  // non-volatile weights are still loaded — free reuse
   }
   ledger_.weight_writes += w.size();
   ledger_.program_events += 1;
+  if (telemetry::enabled()) {
+    note_ledger(w.size(), 1, 0, 0, 0);
+  }
   resident_matrix_ = static_cast<const void*>(&w);
 }
 
@@ -109,6 +213,11 @@ nn::Vector PhotonicBackend::matvec(const nn::Matrix& w, const nn::Vector& x) {
   ledger_.symbols += 1;
   ledger_.macs += w.size();
   ledger_.activations += w.rows();
+  if (telemetry::enabled()) {
+    note_ledger(0, 0, 1, w.size(), w.rows());
+    metrics().matvec_calls.add(1);
+    metrics().quantize_passes.add(1);
+  }
   return y;
 }
 
@@ -155,6 +264,11 @@ nn::Matrix PhotonicBackend::matmul(const nn::Matrix& w, const nn::Matrix& x) {
   ledger_.symbols += batch;
   ledger_.macs += batch * w.size();
   ledger_.activations += batch * w.rows();
+  if (telemetry::enabled()) {
+    note_ledger(0, 0, batch, batch * w.size(), batch * w.rows());
+    metrics().matmul_calls.add(1);
+    metrics().quantize_passes.add(1);
+  }
   return y;
 }
 
@@ -166,6 +280,9 @@ nn::Matrix PhotonicBackend::matmul_transposed(const nn::Matrix& w,
   // bank with Wᵀ, exactly as a sequence of matvec_transposed calls would.
   ledger_.weight_writes += batch * w.size();
   ledger_.program_events += batch;
+  if (telemetry::enabled()) {
+    note_ledger(batch * w.size(), batch, 0, 0, 0);
+  }
   resident_matrix_ = nullptr;
 
   nn::Vector scale(batch, 1.0);
@@ -201,6 +318,11 @@ nn::Matrix PhotonicBackend::matmul_transposed(const nn::Matrix& w,
 
   ledger_.symbols += 2 * batch;
   ledger_.macs += batch * w.size();
+  if (telemetry::enabled()) {
+    note_ledger(0, 0, 2 * batch, batch * w.size(), 0);
+    metrics().matmul_transposed_calls.add(1);
+    metrics().quantize_passes.add(1);
+  }
   return y;
 }
 
@@ -211,6 +333,9 @@ nn::Vector PhotonicBackend::matvec_transposed(const nn::Matrix& w,
   // programming event even though the values are the same cells transposed.
   ledger_.weight_writes += w.size();
   ledger_.program_events += 1;
+  if (telemetry::enabled()) {
+    note_ledger(w.size(), 1, 0, 0, 0);
+  }
   resident_matrix_ = nullptr;  // bank no longer holds the forward layout
 
   double x_scale = 1.0;
@@ -240,6 +365,11 @@ nn::Vector PhotonicBackend::matvec_transposed(const nn::Matrix& w,
   // Signed gradients stream as two polarity symbols.
   ledger_.symbols += 2;
   ledger_.macs += w.size();
+  if (telemetry::enabled()) {
+    note_ledger(0, 0, 2, w.size(), 0);
+    metrics().matvec_transposed_calls.add(1);
+    metrics().quantize_passes.add(1);
+  }
   return y;
 }
 
@@ -272,6 +402,11 @@ void PhotonicBackend::rank1_update(nn::Matrix& w, const nn::Vector& dh,
   if (changed > 0) {
     ledger_.program_events += 1;
     resident_matrix_ = nullptr;
+  }
+  if (telemetry::enabled()) {
+    note_ledger(changed, changed > 0 ? 1 : 0, w.rows(), w.size(), 0);
+    metrics().rank1_updates.add(1);
+    metrics().quantize_passes.add(1);
   }
 }
 

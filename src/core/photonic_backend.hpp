@@ -48,7 +48,25 @@ struct PhotonicLedger {
 
   [[nodiscard]] units::Energy energy() const;
   [[nodiscard]] units::Time time() const;
+
+  /// Zeroes all counters (start of a measured phase).
+  void reset() { *this = PhotonicLedger{}; }
+
+  friend bool operator==(const PhotonicLedger&,
+                         const PhotonicLedger&) = default;
 };
+
+/// Per-phase attribution: `after - before` is the hardware bill of
+/// whatever ran in between (forward vs backward, per epoch, …) without
+/// manual counter snapshots.  `before` must be an earlier snapshot of the
+/// same monotonic ledger.
+[[nodiscard]] PhotonicLedger operator-(const PhotonicLedger& after,
+                                       const PhotonicLedger& before);
+/// Aggregation across backends (e.g. summing an 8-bit and a 6-bit run's
+/// bills; energy()/time() are linear in the counters, so the sum's bill is
+/// the bill of the sum).
+[[nodiscard]] PhotonicLedger operator+(const PhotonicLedger& a,
+                                       const PhotonicLedger& b);
 
 class PhotonicBackend final : public nn::MatvecBackend {
  public:

@@ -2,6 +2,9 @@
 
 #include <ostream>
 #include <sstream>
+#include <string>
+
+#include "telemetry/exporters.hpp"
 
 namespace trident::core {
 
@@ -19,37 +22,19 @@ namespace {
   return "?";
 }
 
-/// JSON string escaping for the small character set layer names use.
-[[nodiscard]] std::string escape(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (char c : s) {
-    if (c == '"' || c == '\\') {
-      out += '\\';
-    }
-    out += c;
-  }
-  return out;
-}
-
 }  // namespace
 
 void write_chrome_trace(const ArraySimResult& result, std::ostream& os) {
-  os << "{\"traceEvents\":[";
-  bool first = true;
+  // Shares telemetry's writer so schedule exports and live span traces
+  // produce byte-compatible files (same escaping, same ns-rounded
+  // timestamps) and can be concatenated or diffed in Perfetto workflows.
+  telemetry::ChromeTraceWriter writer(os);
   for (const SimEvent& e : result.trace) {
-    if (!first) {
-      os << ',';
-    }
-    first = false;
-    os << "{\"name\":\"" << escape(e.layer) << " #" << e.tile << "\","
-       << "\"cat\":\"" << kind_name(e.kind) << "\","
-       << "\"ph\":\"X\","
-       << "\"ts\":" << e.start.us() << ','
-       << "\"dur\":" << (e.end - e.start).us() << ','
-       << "\"pid\":0,\"tid\":" << e.pe << '}';
+    writer.event(e.layer + " #" + std::to_string(e.tile), kind_name(e.kind),
+                 e.start.us(), (e.end - e.start).us(), 0,
+                 static_cast<std::uint32_t>(e.pe));
   }
-  os << "],\"displayTimeUnit\":\"ns\"}";
+  writer.finish();
 }
 
 std::string chrome_trace_json(const ArraySimResult& result) {

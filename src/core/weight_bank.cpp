@@ -4,8 +4,39 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace trident::core {
+
+namespace {
+
+/// Decoded-weight cache behaviour across all banks in the process.
+struct BankMetrics {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& decode_hits =
+      reg.counter("trident_bank_decode_cache_hits_total",
+                  "decoded_weights() calls served by the cached raw table");
+  telemetry::Counter& decode_rebuilds =
+      reg.counter("trident_bank_decode_cache_rebuilds_total",
+                  "decoded_weights() calls that re-decoded every cell");
+  telemetry::Counter& decode_invalidations =
+      reg.counter("trident_bank_decode_cache_invalidations_total",
+                  "cell programmings that dirtied the decoded cache");
+  telemetry::Counter& cells_programmed =
+      reg.counter("trident_bank_cells_programmed_total",
+                  "individual GST cell programming operations");
+  telemetry::Counter& symbol_reads =
+      reg.counter("trident_bank_symbol_reads_total",
+                  "optical symbols streamed through a device-model bank");
+};
+
+BankMetrics& bank_metrics() {
+  static BankMetrics m;
+  return m;
+}
+
+}  // namespace
 
 WeightBank::WeightBank(const WeightBankConfig& config)
     : rows_(config.rows), cols_(config.cols), config_(config) {
@@ -83,6 +114,13 @@ double WeightBank::program_cell(int r, int c, double target) {
     }
   }
   cell(r, c).program(best, config_.rng);
+  if (telemetry::enabled()) {
+    BankMetrics& m = bank_metrics();
+    m.cells_programmed.add(1);
+    if (!decoded_dirty_) {
+      m.decode_invalidations.add(1);
+    }
+  }
   decoded_dirty_ = true;
   return realized_weight(r, c);
 }
@@ -95,6 +133,11 @@ const std::vector<double>& WeightBank::decoded_weights() const {
           level_weights_[static_cast<std::size_t>(cells_[i].level())];
     }
     decoded_dirty_ = false;
+    if (telemetry::enabled()) {
+      bank_metrics().decode_rebuilds.add(1);
+    }
+  } else if (telemetry::enabled()) {
+    bank_metrics().decode_hits.add(1);
   }
   return decoded_raw_;
 }
@@ -137,6 +180,9 @@ nn::Vector WeightBank::apply(const nn::Vector& inputs) {
   }
   // One read pulse per ring, charged once for the whole symbol.
   symbol_reads_ += 1;
+  if (telemetry::enabled()) {
+    bank_metrics().symbol_reads.add(1);
+  }
   return apply_const(inputs);
 }
 
@@ -149,6 +195,9 @@ nn::Matrix WeightBank::apply_batch(const nn::Matrix& inputs) {
   }
   const std::size_t batch = inputs.rows();
   symbol_reads_ += batch;
+  if (telemetry::enabled()) {
+    bank_metrics().symbol_reads.add(batch);
+  }
 
   const std::vector<double>& raw = decoded_weights();
   const double mid = (raw_min_ + raw_max_) / 2.0;

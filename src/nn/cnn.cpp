@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
 
 #include "common/error.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace trident::nn {
 
@@ -83,6 +86,10 @@ void Conv2D::column_into(const FeatureMap& in, int oy, int ox,
 std::pair<FeatureMap, Conv2D::Cache> Conv2D::forward(
     const FeatureMap& in, Activation activation,
     MatvecBackend& backend) const {
+  std::optional<telemetry::Span> span;
+  if (telemetry::enabled()) {
+    span.emplace("cnn/conv_forward", "nn");
+  }
   in.validate();
   TRIDENT_REQUIRE(in.channels == in_c_, "input channel mismatch");
   const int oh = out_height(in.height);
@@ -125,6 +132,10 @@ std::pair<FeatureMap, Conv2D::Cache> Conv2D::forward(
 FeatureMap Conv2D::backward(const Cache& cache, const FeatureMap& grad_out,
                             Activation activation, double learning_rate,
                             MatvecBackend& backend) {
+  std::optional<telemetry::Span> span;
+  if (telemetry::enabled()) {
+    span.emplace("cnn/conv_backward", "nn");
+  }
   const FeatureMap& in = cache.input;
   const int oh = grad_out.height;
   const int ow = grad_out.width;
@@ -301,6 +312,10 @@ Vector SmallCnn::predict(const FeatureMap& image,
 
 double SmallCnn::train_step(const FeatureMap& image, int label,
                             double learning_rate, MatvecBackend& backend) {
+  std::optional<telemetry::Span> span;
+  if (telemetry::enabled()) {
+    span.emplace("cnn/train_step", "train");
+  }
   auto [a1, c1] = conv1_.forward(image, config_.activation, backend);
   auto [p1, pc1] = pool1_.forward(a1);
   auto [a2, c2] = conv2_.forward(p1, config_.activation, backend);

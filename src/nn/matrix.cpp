@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <array>
+#include <chrono>
 #include <cmath>
+#include <string>
 
 #include "parallel/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace trident::nn {
 
@@ -181,6 +185,60 @@ void add_outer_row(double* w, const double* adata, const double* bdata,
   }
 }
 
+/// ISA tier the target_clones resolver picks on this machine.  GCC's ifunc
+/// resolver and __builtin_cpu_supports consult the same CPUID feature words,
+/// so this names the clone that actually runs.
+[[nodiscard]] const char* kernel_isa() {
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+  if (__builtin_cpu_supports("avx512f")) {
+    return "avx512f";
+  }
+  if (__builtin_cpu_supports("avx2")) {
+    return "avx2";
+  }
+#endif
+  return "baseline";
+}
+
+/// Batched-kernel metrics.  The dispatch counter is suffixed with the ISA
+/// picked at load time so a metrics snapshot records which clone produced
+/// the numbers (the simple registry has no label support).
+struct GemmMetrics {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& dispatch = reg.counter(
+      std::string("trident_gemm_dispatch_") + kernel_isa() + "_total",
+      "batched GEMM calls dispatched to this machine's best kernel clone");
+  telemetry::Counter& matmul_calls =
+      reg.counter("trident_gemm_matmul_total", "blocked y = x*W^T calls");
+  telemetry::Counter& matmul_transposed_calls = reg.counter(
+      "trident_gemm_matmul_transposed_total", "blocked y = x*W calls");
+  telemetry::Counter& add_outer_calls =
+      reg.counter("trident_gemm_add_outer_batch_total",
+                  "batched outer-product accumulations");
+  telemetry::Histogram& matmul_seconds =
+      reg.histogram("trident_gemm_matmul_seconds",
+                    telemetry::duration_buckets_seconds(),
+                    "wall time of one blocked matmul_into call");
+  telemetry::Histogram& matmul_transposed_seconds =
+      reg.histogram("trident_gemm_matmul_transposed_seconds",
+                    telemetry::duration_buckets_seconds(),
+                    "wall time of one blocked matmul_transposed_into call");
+  telemetry::Histogram& add_outer_seconds =
+      reg.histogram("trident_gemm_add_outer_batch_seconds",
+                    telemetry::duration_buckets_seconds(),
+                    "wall time of one add_outer_batch call");
+};
+
+[[nodiscard]] GemmMetrics& gemm_metrics() {
+  static GemmMetrics m;
+  return m;
+}
+
+[[nodiscard]] double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
 }  // namespace
 
 Vector Matrix::matvec(const Vector& x) const {
@@ -230,6 +288,11 @@ void Matrix::matmul_into(const Matrix& x, Matrix& y) const {
   TRIDENT_REQUIRE(x.cols() == cols_, "matmul dimension mismatch");
   TRIDENT_REQUIRE(y.rows() == x.rows() && y.cols() == rows_,
                   "matmul output shape mismatch");
+  const bool telem = telemetry::enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (telem) {
+    t0 = std::chrono::steady_clock::now();
+  }
   const std::size_t batch = x.rows();
   const std::size_t full_blocks = batch / kBatchBlock;
   std::fill(y.data().begin(), y.data().end(), 0.0);
@@ -262,6 +325,12 @@ void Matrix::matmul_into(const Matrix& x, Matrix& y) const {
       yr[r] = acc;
     }
   }
+  if (telem) {
+    GemmMetrics& m = gemm_metrics();
+    m.dispatch.add(1);
+    m.matmul_calls.add(1);
+    m.matmul_seconds.observe(seconds_since(t0));
+  }
 }
 
 Matrix Matrix::matmul_transposed(const Matrix& x) const {
@@ -274,6 +343,11 @@ void Matrix::matmul_transposed_into(const Matrix& x, Matrix& y) const {
   TRIDENT_REQUIRE(x.cols() == rows_, "transposed matmul dimension mismatch");
   TRIDENT_REQUIRE(y.rows() == x.rows() && y.cols() == cols_,
                   "transposed matmul output shape mismatch");
+  const bool telem = telemetry::enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (telem) {
+    t0 = std::chrono::steady_clock::now();
+  }
   const std::size_t batch = x.rows();
   std::fill(y.data().begin(), y.data().end(), 0.0);
 
@@ -289,12 +363,23 @@ void Matrix::matmul_transposed_into(const Matrix& x, Matrix& y) const {
                                 std::min(kBatchBlock, batch - b0));
       },
       grain_for(rows_ * cols_ * kBatchBlock));
+  if (telem) {
+    GemmMetrics& m = gemm_metrics();
+    m.dispatch.add(1);
+    m.matmul_transposed_calls.add(1);
+    m.matmul_transposed_seconds.observe(seconds_since(t0));
+  }
 }
 
 void Matrix::add_outer_batch(const Matrix& a, const Matrix& b, double scale) {
   TRIDENT_REQUIRE(a.rows() == b.rows(), "outer-product batch mismatch");
   TRIDENT_REQUIRE(a.cols() == rows_ && b.cols() == cols_,
                   "outer-product dimension mismatch");
+  const bool telem = telemetry::enabled();
+  std::chrono::steady_clock::time_point t0;
+  if (telem) {
+    t0 = std::chrono::steady_clock::now();
+  }
   const std::size_t batch = a.rows();
   // Workers own disjoint weight rows; per element the batch accumulates in
   // sample order, matching sequential add_outer calls exactly.
@@ -305,6 +390,12 @@ void Matrix::add_outer_batch(const Matrix& a, const Matrix& b, double scale) {
                       b.data().data(), rows_, cols_, batch, r, scale);
       },
       grain_for(batch * cols_));
+  if (telem) {
+    GemmMetrics& m = gemm_metrics();
+    m.dispatch.add(1);
+    m.add_outer_calls.add(1);
+    m.add_outer_seconds.observe(seconds_since(t0));
+  }
 }
 
 void Matrix::add_outer(const Vector& a, const Vector& b, double scale) {

@@ -2,10 +2,25 @@
 
 #include <algorithm>
 #include <cmath>
+#include <optional>
+#include <string>
 
 #include "photonics/constants.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace trident::nn {
+
+namespace {
+
+/// Span name for one layer of a forward/backward pass ("mlp/forward/L2").
+/// Only called when telemetry is enabled — the string is never built on the
+/// disabled path.
+[[nodiscard]] std::string layer_span_name(const char* pass, int layer) {
+  return std::string("mlp/") + pass + "/L" + std::to_string(layer);
+}
+
+}  // namespace
 
 double apply_activation(Activation a, double h) {
   switch (a) {
@@ -150,6 +165,10 @@ ForwardTrace Mlp::forward(const Vector& x, MatvecBackend& backend) const {
   trace.logits.reserve(static_cast<std::size_t>(depth()));
   trace.activations.push_back(x);
   for (int k = 0; k < depth(); ++k) {
+    std::optional<telemetry::Span> span;
+    if (telemetry::enabled()) {
+      span.emplace(layer_span_name("forward", k), "nn");
+    }
     // Activations and logits are filled in place inside the trace — the
     // training loop allocates nothing per layer beyond the trace itself.
     trace.logits.emplace_back();
@@ -176,6 +195,10 @@ BatchForwardTrace Mlp::forward_batch(const Matrix& x,
   trace.logits.reserve(static_cast<std::size_t>(depth()));
   trace.activations.push_back(x);
   for (int k = 0; k < depth(); ++k) {
+    std::optional<telemetry::Span> span;
+    if (telemetry::enabled()) {
+      span.emplace(layer_span_name("forward_batch", k), "nn");
+    }
     trace.logits.push_back(backend.matmul(weights_[static_cast<std::size_t>(k)],
                                           trace.activations.back()));
     const Matrix& h = trace.logits.back();
@@ -203,6 +226,10 @@ void Mlp::backward(const ForwardTrace& trace, const Vector& output_grad,
   Vector upstream;
   Vector deriv;
   for (int k = depth() - 1; k >= 0; --k) {
+    std::optional<telemetry::Span> span;
+    if (telemetry::enabled()) {
+      span.emplace(layer_span_name("backward", k), "nn");
+    }
     const auto uk = static_cast<std::size_t>(k);
     const Vector& y_prev = trace.activations[uk];
 
@@ -239,6 +266,10 @@ void Mlp::backward_batch(const BatchForwardTrace& trace,
 
   Matrix dh = output_grad;
   for (int k = depth() - 1; k >= 0; --k) {
+    std::optional<telemetry::Span> span;
+    if (telemetry::enabled()) {
+      span.emplace(layer_span_name("backward_batch", k), "nn");
+    }
     const auto uk = static_cast<std::size_t>(k);
 
     // Whole-block propagation through the pre-update weights, then the

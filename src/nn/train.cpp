@@ -1,6 +1,11 @@
 #include "nn/train.hpp"
 
 #include <algorithm>
+#include <optional>
+#include <string>
+
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace trident::nn {
 
@@ -39,6 +44,10 @@ TrainResult fit(Mlp& net, Dataset data, const TrainConfig& config,
   const auto bs = static_cast<std::size_t>(config.batch_size);
   Vector logits_b(static_cast<std::size_t>(data.classes));
   for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    std::optional<telemetry::Span> span;
+    if (telemetry::enabled()) {
+      span.emplace("train/epoch" + std::to_string(epoch), "train");
+    }
     if (config.shuffle) {
       data.shuffle(shuffle_rng);
     }
@@ -72,6 +81,10 @@ TrainResult fit(Mlp& net, Dataset data, const TrainConfig& config,
 }
 
 double evaluate(const Mlp& net, const Dataset& data, MatvecBackend& backend) {
+  std::optional<telemetry::Span> span;
+  if (telemetry::enabled()) {
+    span.emplace("train/evaluate", "train");
+  }
   data.validate();
   // Inference-only pass: stream the set in blocks through the batched
   // kernels (block size is a throughput knob only — every row equals the

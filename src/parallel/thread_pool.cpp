@@ -2,8 +2,45 @@
 
 #include <algorithm>
 #include <exception>
+#include <utility>
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace trident {
+
+namespace {
+
+/// Global-pool health metrics: how deep the queue runs and where task time
+/// goes (waiting vs running).
+struct PoolMetrics {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Gauge& queue_depth = reg.gauge(
+      "trident_pool_queue_depth", "tasks waiting in the global pool queue");
+  telemetry::Counter& tasks = reg.counter("trident_pool_tasks_total",
+                                          "tasks executed by pool workers");
+  telemetry::Histogram& wait_seconds =
+      reg.histogram("trident_pool_task_wait_seconds",
+                    telemetry::duration_buckets_seconds(),
+                    "queue wait from submit to first instruction");
+  telemetry::Histogram& run_seconds = reg.histogram(
+      "trident_pool_task_run_seconds", telemetry::duration_buckets_seconds(),
+      "task body execution time");
+  telemetry::Counter& for_inline =
+      reg.counter("trident_pool_parallel_for_inline_total",
+                  "parallel_for calls run on the caller thread "
+                  "(range fits one grain, or a single worker)");
+  telemetry::Counter& for_dispatched =
+      reg.counter("trident_pool_parallel_for_dispatched_total",
+                  "parallel_for calls fanned out across workers");
+};
+
+PoolMetrics& pool_metrics() {
+  static PoolMetrics m;
+  return m;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0) {
@@ -26,20 +63,62 @@ ThreadPool::~ThreadPool() {
   }
 }
 
+void ThreadPool::enqueue(std::function<void()> fn) {
+  Job job{std::move(fn), {}};
+  const bool telem = telemetry::enabled();
+  if (telem) {
+    job.enqueued = std::chrono::steady_clock::now();
+  }
+  std::size_t depth = 0;
+  {
+    std::lock_guard lock(mutex_);
+    TRIDENT_REQUIRE(!stopping_, "submit on a stopped pool");
+    queue_.push(std::move(job));
+    depth = queue_.size();
+  }
+  if (telem) {
+    pool_metrics().queue_depth.set(static_cast<double>(depth));
+  }
+  cv_.notify_one();
+}
+
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    Job job;
+    std::size_t depth = 0;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (stopping_ && queue_.empty()) {
         return;
       }
-      task = std::move(queue_.front());
+      job = std::move(queue_.front());
       queue_.pop();
+      depth = queue_.size();
       ++active_;
     }
-    task();
+    // A job stamped at submit time was enqueued while telemetry was live;
+    // jobs submitted before enablement carry the epoch sentinel and are
+    // skipped rather than booked with a bogus multi-second wait.
+    const bool telem = telemetry::enabled() &&
+                       job.enqueued != std::chrono::steady_clock::time_point{};
+    std::chrono::steady_clock::time_point start;
+    if (telem) {
+      PoolMetrics& m = pool_metrics();
+      m.queue_depth.set(static_cast<double>(depth));
+      start = std::chrono::steady_clock::now();
+      m.wait_seconds.observe(
+          std::chrono::duration<double>(start - job.enqueued).count());
+    }
+    job.fn();
+    if (telem) {
+      PoolMetrics& m = pool_metrics();
+      m.tasks.add(1);
+      m.run_seconds.observe(
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count());
+    }
     {
       std::lock_guard lock(mutex_);
       --active_;
@@ -74,10 +153,16 @@ void parallel_for(std::size_t begin, std::size_t end,
   // Not worth dispatching if the whole range fits one grain or there is a
   // single worker.
   if (n <= grain || workers <= 1) {
+    if (telemetry::enabled()) {
+      pool_metrics().for_inline.add(1);
+    }
     for (std::size_t i = begin; i < end; ++i) {
       fn(i);
     }
     return;
+  }
+  if (telemetry::enabled()) {
+    pool_metrics().for_dispatched.add(1);
   }
 
   const std::size_t chunks = std::min(workers, (n + grain - 1) / grain);

@@ -8,6 +8,7 @@
 // "fill output[i]" pattern.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstddef>
 #include <functional>
@@ -38,12 +39,7 @@ class ThreadPool {
     using R = std::invoke_result_t<F>;
     auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
     std::future<R> fut = task->get_future();
-    {
-      std::lock_guard lock(mutex_);
-      TRIDENT_REQUIRE(!stopping_, "submit on a stopped pool");
-      queue_.emplace([task] { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task] { (*task)(); });
     return fut;
   }
 
@@ -51,10 +47,20 @@ class ThreadPool {
   void wait_idle();
 
  private:
+  /// A queued task plus its submission time (stamped only while telemetry
+  /// is live, so the disabled path never reads the clock).
+  struct Job {
+    std::function<void()> fn;
+    std::chrono::steady_clock::time_point enqueued{};
+  };
+
+  /// Locks, stamps, pushes, and notifies — out of line so the submit
+  /// template (and every includer) stays free of telemetry headers.
+  void enqueue(std::function<void()> fn);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::queue<std::function<void()>> queue_;
+  std::queue<Job> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   std::condition_variable idle_cv_;

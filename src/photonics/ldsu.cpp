@@ -1,14 +1,30 @@
 #include "photonics/ldsu.hpp"
 
 #include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace trident::phot {
+
+namespace {
+
+[[nodiscard]] telemetry::Counter& latch_counter() {
+  static telemetry::Counter& c = telemetry::MetricsRegistry::global().counter(
+      "trident_ldsu_latches_total",
+      "sign-bit latch events across all LDSU comparators");
+  return c;
+}
+
+}  // namespace
 
 Ldsu::Ldsu(double threshold_volts) : threshold_(threshold_volts) {}
 
 void Ldsu::latch(double logit_volts) {
   bit_ = logit_volts > threshold_;
   ++latches_;
+  if (telemetry::enabled()) {
+    latch_counter().add(1);
+  }
 }
 
 LdsuBank::LdsuBank(int rows, double threshold_volts) {

@@ -1,0 +1,215 @@
+#include "telemetry/exporters.hpp"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+namespace trident::telemetry {
+
+namespace {
+
+/// Shortest round-trip decimal for a finite double (JSON number).
+[[nodiscard]] std::string format_double(double v) {
+  char buf[32];
+  const auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf), v);
+  (void)ec;
+  return std::string(buf, ptr);
+}
+
+/// JSON value for a possibly-NaN statistic: numbers pass through, NaN and
+/// infinities become null (JSON has neither).
+[[nodiscard]] std::string json_number_or_null(double v) {
+  return std::isfinite(v) ? format_double(v) : "null";
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\b':
+        out += "\\b";
+        break;
+      case '\f':
+        out += "\\f";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string format_trace_us(double us) {
+  // Round to nanosecond resolution.  Negative or non-finite timestamps
+  // clamp to 0 — they only arise from clock misuse and must not produce
+  // invalid JSON.
+  if (!std::isfinite(us) || us < 0.0) {
+    us = 0.0;
+  }
+  const long long thousandths = std::llround(us * 1000.0);
+  const long long whole = thousandths / 1000;
+  const long long frac = thousandths % 1000;
+  if (frac == 0) {
+    return std::to_string(whole);
+  }
+  char buf[8];
+  std::snprintf(buf, sizeof(buf), "%03lld", frac);
+  std::string s(buf);
+  while (!s.empty() && s.back() == '0') {
+    s.pop_back();
+  }
+  return std::to_string(whole) + "." + s;
+}
+
+ChromeTraceWriter::ChromeTraceWriter(std::ostream& os) : os_(os) {
+  os_ << "{\"traceEvents\":[";
+}
+
+ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
+
+void ChromeTraceWriter::event(std::string_view name, std::string_view category,
+                              double ts_us, double dur_us, int pid,
+                              std::uint64_t tid) {
+  if (!first_) {
+    os_ << ',';
+  }
+  first_ = false;
+  os_ << "{\"name\":\"" << json_escape(name) << "\","
+      << "\"cat\":\"" << json_escape(category) << "\","
+      << "\"ph\":\"X\","
+      << "\"ts\":" << format_trace_us(ts_us) << ','
+      << "\"dur\":" << format_trace_us(dur_us) << ','
+      << "\"pid\":" << pid << ",\"tid\":" << tid << '}';
+}
+
+void ChromeTraceWriter::finish() {
+  if (finished_) {
+    return;
+  }
+  finished_ = true;
+  os_ << "],\"displayTimeUnit\":\"ns\"}";
+}
+
+void write_chrome_trace(std::span<const TraceEvent> events, std::ostream& os) {
+  ChromeTraceWriter writer(os);
+  for (const TraceEvent& e : events) {
+    writer.event(e.name, e.category, e.ts_us, e.dur_us, 0, e.tid);
+  }
+  writer.finish();
+}
+
+std::string chrome_trace_json(std::span<const TraceEvent> events) {
+  std::ostringstream os;
+  write_chrome_trace(events, os);
+  return os.str();
+}
+
+void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& os) {
+  const auto header = [&](const std::string& name, const std::string& help,
+                          const char* type) {
+    if (!help.empty()) {
+      os << "# HELP " << name << ' ' << help << '\n';
+    }
+    os << "# TYPE " << name << ' ' << type << '\n';
+  };
+  for (const auto& c : snapshot.counters) {
+    header(c.name, c.help, "counter");
+    os << c.name << ' ' << c.value << '\n';
+  }
+  for (const auto& g : snapshot.gauges) {
+    header(g.name, g.help, "gauge");
+    os << g.name << ' ' << format_double(g.value) << '\n';
+  }
+  for (const auto& h : snapshot.histograms) {
+    header(h.name, h.help, "histogram");
+    // Prometheus buckets are cumulative and end at +Inf.
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < h.data.bounds.size(); ++i) {
+      cumulative += h.data.counts[i];
+      os << h.name << "_bucket{le=\"" << format_double(h.data.bounds[i])
+         << "\"} " << cumulative << '\n';
+    }
+    cumulative += h.data.counts.back();
+    os << h.name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
+    os << h.name << "_sum " << format_double(h.data.sum) << '\n';
+    os << h.name << "_count " << h.data.count << '\n';
+  }
+}
+
+std::string prometheus_text(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  write_prometheus(snapshot, os);
+  return os.str();
+}
+
+void write_json_snapshot(const MetricsSnapshot& snapshot, std::ostream& os) {
+  os << "{\"schema_version\":1,\"counters\":{";
+  bool first = true;
+  for (const auto& c : snapshot.counters) {
+    os << (first ? "" : ",") << '"' << json_escape(c.name)
+       << "\":" << c.value;
+    first = false;
+  }
+  os << "},\"gauges\":{";
+  first = true;
+  for (const auto& g : snapshot.gauges) {
+    os << (first ? "" : ",") << '"' << json_escape(g.name)
+       << "\":" << json_number_or_null(g.value);
+    first = false;
+  }
+  os << "},\"histograms\":{";
+  first = true;
+  for (const auto& h : snapshot.histograms) {
+    os << (first ? "" : ",") << '"' << json_escape(h.name) << "\":{"
+       << "\"count\":" << h.data.count << ",\"sum\":"
+       << json_number_or_null(h.data.sum)
+       << ",\"mean\":" << json_number_or_null(h.data.mean)
+       << ",\"stddev\":" << json_number_or_null(h.data.stddev)
+       << ",\"min\":" << json_number_or_null(h.data.min)
+       << ",\"max\":" << json_number_or_null(h.data.max) << ",\"buckets\":[";
+    for (std::size_t i = 0; i < h.data.counts.size(); ++i) {
+      os << (i == 0 ? "" : ",") << "{\"le\":"
+         << (i < h.data.bounds.size() ? format_double(h.data.bounds[i])
+                                      : std::string("null"))
+         << ",\"count\":" << h.data.counts[i] << '}';
+    }
+    os << "]}";
+    first = false;
+  }
+  os << "}}";
+}
+
+std::string json_snapshot(const MetricsSnapshot& snapshot) {
+  std::ostringstream os;
+  write_json_snapshot(snapshot, os);
+  return os.str();
+}
+
+}  // namespace trident::telemetry

@@ -1,0 +1,169 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace trident::telemetry {
+
+namespace {
+
+[[nodiscard]] bool valid_metric_name(const std::string& name) {
+  if (name.empty()) {
+    return false;
+  }
+  const auto head = [](char c) {
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' ||
+           c == ':';
+  };
+  if (!head(name.front())) {
+    return false;
+  }
+  return std::all_of(name.begin() + 1, name.end(), [&](char c) {
+    return head(c) || (c >= '0' && c <= '9');
+  });
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds) : bounds_(std::move(bounds)) {
+  TRIDENT_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()) &&
+                      std::adjacent_find(bounds_.begin(), bounds_.end()) ==
+                          bounds_.end(),
+                  "histogram bounds must be strictly ascending");
+  counts_.assign(bounds_.size() + 1, 0);
+}
+
+void Histogram::observe(double x) {
+  const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), x);
+  const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+  std::lock_guard lock(mutex_);
+  ++counts_[bucket];
+  stats_.add(x);
+  sum_ += x;
+}
+
+HistogramSnapshot Histogram::snapshot() const {
+  std::lock_guard lock(mutex_);
+  HistogramSnapshot s;
+  s.bounds = bounds_;
+  s.counts = counts_;
+  s.count = stats_.count();
+  s.sum = sum_;
+  s.mean = stats_.mean();
+  s.stddev = stats_.stddev();
+  s.min = stats_.min();
+  s.max = stats_.max();
+  return s;
+}
+
+void Histogram::reset() {
+  std::lock_guard lock(mutex_);
+  std::fill(counts_.begin(), counts_.end(), 0);
+  stats_ = RunningStats{};
+  sum_ = 0.0;
+}
+
+std::vector<double> duration_buckets_seconds() {
+  return {1e-6, 3e-6, 1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3,
+          1e-2, 3e-2, 1e-1, 3e-1, 1.0,  3.0,  10.0};
+}
+
+std::uint64_t MetricsSnapshot::counter_value(const std::string& name) const {
+  for (const auto& c : counters) {
+    if (c.name == name) {
+      return c.value;
+    }
+  }
+  return 0;
+}
+
+double MetricsSnapshot::gauge_value(const std::string& name) const {
+  for (const auto& g : gauges) {
+    if (g.name == name) {
+      return g.value;
+    }
+  }
+  return 0.0;
+}
+
+MetricsRegistry& MetricsRegistry::global() {
+  // Intentionally leaked: instrumentation in thread-pool workers and other
+  // statics may record during shutdown, after function-local statics in
+  // other translation units were destroyed.
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help) {
+  TRIDENT_REQUIRE(valid_metric_name(name),
+                  "invalid metric name '" + name + "'");
+  std::lock_guard lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot.second) {
+    slot.first = help;
+    slot.second = std::make_unique<Counter>();
+  }
+  return *slot.second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name,
+                              const std::string& help) {
+  TRIDENT_REQUIRE(valid_metric_name(name),
+                  "invalid metric name '" + name + "'");
+  std::lock_guard lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot.second) {
+    slot.first = help;
+    slot.second = std::make_unique<Gauge>();
+  }
+  return *slot.second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      std::vector<double> bounds,
+                                      const std::string& help) {
+  TRIDENT_REQUIRE(valid_metric_name(name),
+                  "invalid metric name '" + name + "'");
+  std::lock_guard lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot.second) {
+    slot.first = help;
+    slot.second = std::make_unique<Histogram>(std::move(bounds));
+  }
+  return *slot.second;
+}
+
+MetricsSnapshot MetricsRegistry::snapshot() const {
+  std::lock_guard lock(mutex_);
+  MetricsSnapshot s;
+  s.counters.reserve(counters_.size());
+  for (const auto& [name, entry] : counters_) {
+    s.counters.push_back({name, entry.first, entry.second->value()});
+  }
+  s.gauges.reserve(gauges_.size());
+  for (const auto& [name, entry] : gauges_) {
+    s.gauges.push_back({name, entry.first, entry.second->value()});
+  }
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [name, entry] : histograms_) {
+    s.histograms.push_back({name, entry.first, entry.second->snapshot()});
+  }
+  return s;
+}
+
+void MetricsRegistry::reset_values() {
+  std::lock_guard lock(mutex_);
+  for (auto& [name, entry] : counters_) {
+    entry.second->reset();
+  }
+  for (auto& [name, entry] : gauges_) {
+    entry.second->reset();
+  }
+  for (auto& [name, entry] : histograms_) {
+    entry.second->reset();
+  }
+}
+
+}  // namespace trident::telemetry

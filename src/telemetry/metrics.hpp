@@ -1,0 +1,177 @@
+// Thread-safe metrics registry: counters, gauges and fixed-bucket
+// histograms with Welford running statistics (common/stats.hpp).
+//
+// Usage pattern (the only one the hot paths use):
+//
+//   namespace {
+//   struct Metrics {
+//     telemetry::Counter& symbols =
+//         telemetry::MetricsRegistry::global().counter(
+//             "trident_photonic_symbols_total", "optical symbols streamed");
+//   };
+//   Metrics& metrics() { static Metrics m; return m; }
+//   }  // namespace
+//   ...
+//   if (telemetry::enabled()) {
+//     metrics().symbols.add(batch);
+//   }
+//
+// Registration (name lookup, allocation) happens once per site behind a
+// function-local static; the recording calls are a relaxed fetch_add
+// (Counter/Gauge) or a short uncontended mutex (Histogram).  Instruments
+// never record on their own — call sites guard with telemetry::enabled(),
+// so the disabled path costs one branch on a relaxed atomic.
+//
+// References returned by the registry are stable for the process lifetime
+// (the registry is an intentionally leaked singleton, so worker threads
+// may record during static destruction without ordering hazards).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+namespace trident::telemetry {
+
+/// Monotonic event count (Prometheus counter semantics).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) { v_.fetch_add(n, std::memory_order_relaxed); }
+  [[nodiscard]] std::uint64_t value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written double value (queue depth, accuracy, energy so far, …).
+class Gauge {
+ public:
+  void set(double v) { v_.store(v, std::memory_order_relaxed); }
+  void add(double d) {
+    double cur = v_.load(std::memory_order_relaxed);
+    while (!v_.compare_exchange_weak(cur, cur + d,
+                                     std::memory_order_relaxed,
+                                     std::memory_order_relaxed)) {
+    }
+  }
+  [[nodiscard]] double value() const {
+    return v_.load(std::memory_order_relaxed);
+  }
+  void reset() { v_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Point-in-time view of one histogram.
+struct HistogramSnapshot {
+  std::vector<double> bounds;         ///< finite upper bounds, ascending
+  std::vector<std::uint64_t> counts;  ///< per-bucket; counts.back() = +Inf
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;  ///< NaN when count == 0 (RunningStats convention)
+  double max = 0.0;  ///< NaN when count == 0
+};
+
+/// Fixed-bucket histogram plus single-pass Welford stats.  Observation
+/// takes a mutex; every instrumented site has its own histogram so the
+/// lock is effectively uncontended.
+class Histogram {
+ public:
+  /// `bounds` are the finite bucket upper limits, strictly ascending; an
+  /// implicit +Inf bucket is appended.
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+  [[nodiscard]] HistogramSnapshot snapshot() const;
+  void reset();
+
+  [[nodiscard]] const std::vector<double>& bounds() const { return bounds_; }
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<double> bounds_;
+  std::vector<std::uint64_t> counts_;  ///< bounds_.size() + 1 buckets
+  RunningStats stats_;
+  double sum_ = 0.0;
+};
+
+/// Default bucket ladder for kernel / task durations in seconds
+/// (1 µs … 10 s, decade-and-a-half steps).
+[[nodiscard]] std::vector<double> duration_buckets_seconds();
+
+struct CounterSample {
+  std::string name;
+  std::string help;
+  std::uint64_t value = 0;
+};
+
+struct GaugeSample {
+  std::string name;
+  std::string help;
+  double value = 0.0;
+};
+
+struct HistogramSample {
+  std::string name;
+  std::string help;
+  HistogramSnapshot data;
+};
+
+/// Consistent point-in-time view of the whole registry, sorted by name.
+struct MetricsSnapshot {
+  std::vector<CounterSample> counters;
+  std::vector<GaugeSample> gauges;
+  std::vector<HistogramSample> histograms;
+
+  /// Counter value by exact name; 0 when absent.
+  [[nodiscard]] std::uint64_t counter_value(const std::string& name) const;
+  /// Gauge value by exact name; 0.0 when absent.
+  [[nodiscard]] double gauge_value(const std::string& name) const;
+};
+
+/// Thread-safe name → instrument registry.  Names follow the Prometheus
+/// grammar `[a-zA-Z_:][a-zA-Z0-9_:]*`; re-registering a name returns the
+/// same instrument (the first help string and bucket layout win).
+class MetricsRegistry {
+ public:
+  /// The process-wide registry every instrumentation site uses.
+  static MetricsRegistry& global();
+
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help = "");
+  Gauge& gauge(const std::string& name, const std::string& help = "");
+  Histogram& histogram(const std::string& name, std::vector<double> bounds,
+                       const std::string& help = "");
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+
+  /// Zeroes every instrument's value (registrations and the references
+  /// handed out stay valid).  For tests and per-phase benches.
+  void reset_values();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Counter>>>
+      counters_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Gauge>>>
+      gauges_;
+  std::map<std::string, std::pair<std::string, std::unique_ptr<Histogram>>>
+      histograms_;
+};
+
+}  // namespace trident::telemetry

@@ -1,0 +1,56 @@
+#include "telemetry/session.hpp"
+
+#include <fstream>
+#include <iostream>
+
+#include "telemetry/exporters.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace trident::telemetry {
+
+TelemetrySession::TelemetrySession(const CliArgs& args)
+    : TelemetrySession(args.metrics_out(), args.trace_out()) {}
+
+TelemetrySession::TelemetrySession(std::optional<std::string> metrics_out,
+                                   std::optional<std::string> trace_out)
+    : metrics_out_(std::move(metrics_out)), trace_out_(std::move(trace_out)) {
+  if (active()) {
+    set_enabled(true);
+  }
+}
+
+TelemetrySession::~TelemetrySession() { flush(); }
+
+bool TelemetrySession::flush() {
+  if (flushed_) {
+    return true;
+  }
+  flushed_ = true;
+  bool ok = true;
+  const auto write_file = [&ok](const std::string& path, const auto& render) {
+    std::ofstream os(path);
+    if (os) {
+      render(os);
+    }
+    if (!os) {
+      std::cerr << "telemetry: failed to write " << path << '\n';
+      ok = false;
+    }
+  };
+  if (metrics_out_) {
+    write_file(*metrics_out_, [](std::ostream& os) {
+      write_json_snapshot(MetricsRegistry::global().snapshot(), os);
+      os << '\n';
+    });
+  }
+  if (trace_out_) {
+    write_file(*trace_out_, [](std::ostream& os) {
+      const auto events = TraceBuffer::global().snapshot();
+      write_chrome_trace(events, os);
+      os << '\n';
+    });
+  }
+  return ok;
+}
+
+}  // namespace trident::telemetry

@@ -1,0 +1,56 @@
+// CLI-driven telemetry lifecycle for benches and examples.
+//
+// Every instrumented binary does the same three things: turn telemetry on
+// when the user asked for output files, run, then write the metrics
+// snapshot / Chrome trace on exit.  TelemetrySession packages that:
+//
+//   int main(int argc, char** argv) {
+//     const trident::CliArgs args(argc, argv);
+//     trident::telemetry::TelemetrySession telemetry(args);
+//     ...                       // --metrics-out / --trace-out just work
+//   }
+//
+// With neither flag present (and TRIDENT_TELEMETRY env unset) the session
+// is inert and the binary behaves exactly as before.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "common/cli.hpp"
+
+namespace trident::telemetry {
+
+class TelemetrySession {
+ public:
+  /// Reads `--metrics-out <file>` / `--trace-out <file>` from `args` and
+  /// enables telemetry when either is present.
+  explicit TelemetrySession(const CliArgs& args);
+
+  /// Explicit paths (tests, embedding without a CLI).
+  TelemetrySession(std::optional<std::string> metrics_out,
+                   std::optional<std::string> trace_out);
+
+  TelemetrySession(const TelemetrySession&) = delete;
+  TelemetrySession& operator=(const TelemetrySession&) = delete;
+
+  /// Flushes on destruction (best-effort: failures are reported to stderr,
+  /// never thrown).
+  ~TelemetrySession();
+
+  /// Writes the requested artifacts now (idempotent).  Returns false if
+  /// any file could not be written.
+  bool flush();
+
+  /// True when at least one output was requested.
+  [[nodiscard]] bool active() const {
+    return metrics_out_.has_value() || trace_out_.has_value();
+  }
+
+ private:
+  std::optional<std::string> metrics_out_;
+  std::optional<std::string> trace_out_;
+  bool flushed_ = false;
+};
+
+}  // namespace trident::telemetry

@@ -1,0 +1,28 @@
+#include "telemetry/telemetry.hpp"
+
+#include <cstdlib>
+#include <cstring>
+
+namespace trident::telemetry {
+
+namespace {
+
+/// Environment opt-in: `TRIDENT_TELEMETRY=1` (or anything other than "0",
+/// "false", "off" or empty) turns the runtime switch on at load, so any
+/// binary can be observed without a code change or a flag.
+struct EnvInit {
+  EnvInit() {
+    const char* v = std::getenv("TRIDENT_TELEMETRY");
+    if (v == nullptr) {
+      return;
+    }
+    const bool off = v[0] == '\0' || std::strcmp(v, "0") == 0 ||
+                     std::strcmp(v, "false") == 0 || std::strcmp(v, "off") == 0;
+    set_enabled(!off);
+  }
+};
+const EnvInit g_env_init;
+
+}  // namespace
+
+}  // namespace trident::telemetry

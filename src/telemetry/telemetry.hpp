@@ -1,0 +1,61 @@
+// Unified telemetry switchboard.
+//
+// The paper's headline numbers are all *measured* quantities (energy per
+// inference, ≤30 W peak power, IPS, the non-volatility saving), so the
+// simulator carries first-class observability: a metrics registry
+// (metrics.hpp), live trace spans (trace.hpp) and exporters
+// (exporters.hpp).  This header holds the one switch everything else
+// checks.
+//
+// Cost model, in order of decreasing cheapness:
+//
+//   * compile-time OFF (`-DTRIDENT_TELEMETRY=0`, CMake option
+//     TRIDENT_TELEMETRY): `enabled()` is a constexpr false — every
+//     instrumentation block is dead code and the optimiser removes it;
+//   * runtime OFF (the default): `enabled()` is one branch on a relaxed
+//     atomic load — the contract the `micro_kernels` bench verifies;
+//   * runtime ON: call sites pay for what they record (counters are a
+//     relaxed fetch_add; spans are two clock reads plus one uncontended
+//     per-thread buffer append).
+//
+// Instrumentation sites therefore guard with `if (telemetry::enabled())`
+// and only build metric names / span labels inside the guard.
+#pragma once
+
+#include <atomic>
+
+#ifndef TRIDENT_TELEMETRY
+#define TRIDENT_TELEMETRY 1
+#endif
+
+namespace trident::telemetry {
+
+#if TRIDENT_TELEMETRY
+
+namespace detail {
+/// The single runtime switch.  Relaxed everywhere: flipping it is advisory
+/// (a site that read the old value records or skips one extra event, never
+/// corrupts state).
+inline std::atomic<bool> g_enabled{false};
+}  // namespace detail
+
+/// True when telemetry is compiled in AND enabled at runtime.
+[[nodiscard]] inline bool enabled() {
+  return detail::g_enabled.load(std::memory_order_relaxed);
+}
+
+inline void set_enabled(bool on) {
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+#else  // compiled out: everything folds to constants
+
+[[nodiscard]] constexpr bool enabled() { return false; }
+constexpr void set_enabled(bool) {}
+
+#endif
+
+/// True when instrumentation was compiled in at all.
+[[nodiscard]] constexpr bool compiled_in() { return TRIDENT_TELEMETRY != 0; }
+
+}  // namespace trident::telemetry

@@ -1,0 +1,139 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace trident::telemetry {
+
+TraceBuffer::TraceBuffer() : epoch_(std::chrono::steady_clock::now()) {}
+
+TraceBuffer& TraceBuffer::global() {
+  // Leaked: spans on pool worker threads may finish during static
+  // destruction; see MetricsRegistry::global() for the same reasoning.
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+TraceBuffer::ThreadChunk& TraceBuffer::local_chunk() {
+  thread_local std::shared_ptr<ThreadChunk> chunk = [this] {
+    auto c = std::make_shared<ThreadChunk>();
+    c->tid = next_tid_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard lock(registry_mutex_);
+    chunks_.push_back(c);
+    return c;
+  }();
+  return *chunk;
+}
+
+void TraceBuffer::record(std::string name, const char* category, double ts_us,
+                         double dur_us) {
+  ThreadChunk& chunk = local_chunk();
+  std::lock_guard lock(chunk.mutex);
+  if (chunk.events.size() >= thread_capacity_.load(std::memory_order_relaxed)) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  chunk.events.push_back(
+      {std::move(name), category, ts_us, dur_us, chunk.tid});
+}
+
+std::vector<TraceEvent> TraceBuffer::snapshot() const {
+  std::vector<std::shared_ptr<ThreadChunk>> chunks;
+  {
+    std::lock_guard lock(registry_mutex_);
+    chunks = chunks_;
+  }
+  std::vector<TraceEvent> out;
+  for (const auto& chunk : chunks) {
+    std::lock_guard lock(chunk->mutex);
+    out.insert(out.end(), chunk->events.begin(), chunk->events.end());
+  }
+  std::stable_sort(out.begin(), out.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  return out;
+}
+
+std::size_t TraceBuffer::size() const {
+  std::vector<std::shared_ptr<ThreadChunk>> chunks;
+  {
+    std::lock_guard lock(registry_mutex_);
+    chunks = chunks_;
+  }
+  std::size_t n = 0;
+  for (const auto& chunk : chunks) {
+    std::lock_guard lock(chunk->mutex);
+    n += chunk->events.size();
+  }
+  return n;
+}
+
+void TraceBuffer::clear() {
+  std::vector<std::shared_ptr<ThreadChunk>> chunks;
+  {
+    std::lock_guard lock(registry_mutex_);
+    chunks = chunks_;
+  }
+  for (const auto& chunk : chunks) {
+    std::lock_guard lock(chunk->mutex);
+    chunk->events.clear();
+  }
+  dropped_.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t TraceBuffer::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+void TraceBuffer::set_thread_capacity(std::size_t cap) {
+  thread_capacity_.store(cap, std::memory_order_relaxed);
+}
+
+double TraceBuffer::now_us() const {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+Span::Span(std::string name, const char* category) {
+  if (!enabled()) {
+    return;
+  }
+  name_ = std::move(name);
+  category_ = category;
+  start_us_ = TraceBuffer::global().now_us();
+  active_ = true;
+}
+
+Span::Span(Span&& other) noexcept
+    : name_(std::move(other.name_)),
+      category_(other.category_),
+      start_us_(other.start_us_),
+      active_(other.active_) {
+  other.active_ = false;
+}
+
+Span& Span::operator=(Span&& other) noexcept {
+  if (this != &other) {
+    end();
+    name_ = std::move(other.name_);
+    category_ = other.category_;
+    start_us_ = other.start_us_;
+    active_ = other.active_;
+    other.active_ = false;
+  }
+  return *this;
+}
+
+void Span::end() {
+  if (!active_) {
+    return;
+  }
+  active_ = false;
+  TraceBuffer& buffer = TraceBuffer::global();
+  const double dur = buffer.now_us() - start_us_;
+  buffer.record(std::move(name_), category_, start_us_, dur);
+}
+
+}  // namespace trident::telemetry

@@ -1,0 +1,122 @@
+// Live trace spans: RAII scoped timers feeding a per-thread in-memory
+// trace buffer.
+//
+// A Span measures one scope on the steady clock and, at destruction,
+// appends a complete event to the calling thread's buffer.  Buffers are
+// registered once per thread with the global TraceBuffer; recording locks
+// only the thread's own chunk (uncontended in steady state — "lock-cheap"),
+// while snapshot() briefly locks each chunk to copy events out.
+//
+// Spans honour the telemetry switch at construction: with telemetry
+// disabled a Span is inert (no clock read, no allocation beyond what the
+// caller already built).  Hot paths therefore guard span creation:
+//
+//   std::optional<telemetry::Span> span;
+//   if (telemetry::enabled()) {
+//     span.emplace("forward/layer" + std::to_string(k), "mlp");
+//   }
+//
+// The exported form (exporters.hpp) is Chrome-tracing JSON, the same
+// format core/trace_export.cpp writes for ArraySim schedules — so a live
+// training run opens in Perfetto next to an offline array schedule.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.hpp"
+
+namespace trident::telemetry {
+
+/// One completed span ("X" event in the Chrome trace format).
+struct TraceEvent {
+  std::string name;
+  const char* category = "app";  ///< static string supplied by the site
+  double ts_us = 0.0;            ///< start, µs since the trace epoch
+  double dur_us = 0.0;
+  std::uint32_t tid = 0;         ///< small per-thread id (first-use order)
+};
+
+/// Process-wide collector of per-thread span buffers.
+class TraceBuffer {
+ public:
+  static TraceBuffer& global();
+
+  TraceBuffer(const TraceBuffer&) = delete;
+  TraceBuffer& operator=(const TraceBuffer&) = delete;
+
+  /// Appends a completed event to the calling thread's chunk.  Drops (and
+  /// counts) the event when the per-thread capacity is reached.
+  void record(std::string name, const char* category, double ts_us,
+              double dur_us);
+
+  /// Copy of all recorded events, sorted by start time.
+  [[nodiscard]] std::vector<TraceEvent> snapshot() const;
+
+  /// Total events currently buffered across threads.
+  [[nodiscard]] std::size_t size() const;
+
+  /// Discards all buffered events (thread registrations persist).
+  void clear();
+
+  /// Events dropped due to the per-thread cap since the last clear().
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  /// Per-thread buffer cap (default 1M events ≈ 64 MB worst case).
+  void set_thread_capacity(std::size_t cap);
+
+  /// Microseconds since the trace epoch (first use of the buffer).
+  [[nodiscard]] double now_us() const;
+
+ private:
+  struct ThreadChunk {
+    std::mutex mutex;
+    std::vector<TraceEvent> events;
+    std::uint32_t tid = 0;
+  };
+
+  TraceBuffer();
+  ThreadChunk& local_chunk();
+
+  mutable std::mutex registry_mutex_;
+  std::vector<std::shared_ptr<ThreadChunk>> chunks_;
+  std::atomic<std::uint32_t> next_tid_{0};
+  std::atomic<std::size_t> thread_capacity_{1u << 20};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+/// RAII scoped timer.  Inert when telemetry is disabled at construction.
+class Span {
+ public:
+  /// Inert span (records nothing).
+  Span() = default;
+
+  /// Starts timing immediately when telemetry is enabled.  `category` must
+  /// be a static string (it is stored by pointer).
+  explicit Span(std::string name, const char* category = "app");
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  Span(Span&& other) noexcept;
+  Span& operator=(Span&& other) noexcept;
+  ~Span() { end(); }
+
+  /// Finishes the span early (idempotent).
+  void end();
+
+  [[nodiscard]] bool active() const { return active_; }
+
+ private:
+  std::string name_;
+  const char* category_ = "app";
+  double start_us_ = 0.0;
+  bool active_ = false;
+};
+
+}  // namespace trident::telemetry

@@ -139,6 +139,19 @@ TEST(Stats, SingleSampleHasZeroVariance) {
   EXPECT_DOUBLE_EQ(s.variance(), 0.0);
 }
 
+TEST(Stats, EmptyStatsReportNaNExtremes) {
+  // Documented contract: the ±inf accumulator sentinels never leak — an
+  // empty stats object reports NaN so consumers (telemetry exporters) can
+  // distinguish "no samples" from genuine infinities.
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_TRUE(std::isnan(s.min()));
+  EXPECT_TRUE(std::isnan(s.max()));
+  s.add(-3.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.0);
+  EXPECT_DOUBLE_EQ(s.max(), -3.0);
+}
+
 TEST(Stats, GeomeanOfPowersOfTwo) {
   const std::array<double, 3> xs{2.0, 4.0, 8.0};
   EXPECT_NEAR(geomean(xs), 4.0, 1e-12);
