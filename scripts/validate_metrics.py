@@ -106,11 +106,20 @@ def check_snapshot_invariants(doc, path):
             raise ValidationError(
                 hpath, "bucket bounds are not strictly ascending: %r" % finite)
         if hist["count"] == 0:
-            # RunningStats reports NaN extremes when empty -> JSON null.
-            for key in ("min", "max"):
+            # RunningStats reports NaN extremes when empty -> JSON null,
+            # and the bucket-estimated percentiles are NaN -> null too.
+            for key in ("min", "max", "p50", "p90", "p99"):
                 if hist[key] is not None:
                     raise ValidationError(
                         hpath, "empty histogram must have %s: null" % key)
+        else:
+            quantiles = [hist["p50"], hist["p90"], hist["p99"]]
+            if any(q is None for q in quantiles):
+                raise ValidationError(
+                    hpath, "non-empty histogram must have numeric percentiles")
+            if not quantiles[0] <= quantiles[1] <= quantiles[2]:
+                raise ValidationError(
+                    hpath, "percentiles must be monotone: %r" % quantiles)
 
 
 def main(argv=None):

@@ -1,6 +1,9 @@
 #include "common/cli.hpp"
 
 #include <algorithm>
+#include <cerrno>
+#include <climits>
+#include <cmath>
 #include <cstdlib>
 
 #include "common/error.hpp"
@@ -54,11 +57,15 @@ int CliArgs::value_int(const std::string& name, int fallback) const {
   if (!v) {
     return fallback;
   }
+  errno = 0;
   char* end = nullptr;
   const long parsed = std::strtol(v->c_str(), &end, 10);
   TRIDENT_REQUIRE(end != nullptr && *end == '\0' && !v->empty(),
                   "option --" + name + " expects an integer, got '" + *v +
                       "'");
+  TRIDENT_REQUIRE(errno != ERANGE && parsed >= INT_MIN && parsed <= INT_MAX,
+                  "option --" + name + " value '" + *v +
+                      "' is out of integer range");
   return static_cast<int>(parsed);
 }
 
@@ -71,7 +78,27 @@ double CliArgs::value_double(const std::string& name, double fallback) const {
   const double parsed = std::strtod(v->c_str(), &end);
   TRIDENT_REQUIRE(end != nullptr && *end == '\0' && !v->empty(),
                   "option --" + name + " expects a number, got '" + *v + "'");
+  TRIDENT_REQUIRE(std::isfinite(parsed),
+                  "option --" + name + " expects a finite number, got '" +
+                      *v + "'");
   return parsed;
+}
+
+int CliArgs::value_int_positive(const std::string& name, int fallback) const {
+  const int v = value_int(name, fallback);
+  TRIDENT_REQUIRE(v > 0, "option --" + name +
+                             " expects a positive integer, got " +
+                             std::to_string(v));
+  return v;
+}
+
+double CliArgs::value_double_positive(const std::string& name,
+                                      double fallback) const {
+  const double v = value_double(name, fallback);
+  TRIDENT_REQUIRE(v > 0.0, "option --" + name +
+                               " expects a positive number, got " +
+                               std::to_string(v));
+  return v;
 }
 
 }  // namespace trident

@@ -28,12 +28,23 @@ class CliArgs {
       const std::string& name) const;
 
   /// Integer value of an option, or `fallback` when absent.  Throws
-  /// trident::Error on malformed numbers.
+  /// trident::Error on malformed numbers and values outside int range.
   [[nodiscard]] int value_int(const std::string& name, int fallback) const;
 
-  /// Double value of an option, or `fallback` when absent.
+  /// Double value of an option, or `fallback` when absent.  Throws
+  /// trident::Error on malformed or non-finite numbers.
   [[nodiscard]] double value_double(const std::string& name,
                                     double fallback) const;
+
+  /// Strictly positive integer option (serving knobs like `--replicas`,
+  /// `--max-batch`, `--max-wait-us`): malformed, zero, or negative values
+  /// raise a clear error instead of silently falling back.
+  [[nodiscard]] int value_int_positive(const std::string& name,
+                                       int fallback) const;
+
+  /// Strictly positive double option (`--target-qps`, `--duration-s`).
+  [[nodiscard]] double value_double_positive(const std::string& name,
+                                             double fallback) const;
 
   /// Positional (non-flag) arguments in order.
   [[nodiscard]] const std::vector<std::string>& positional() const {

@@ -10,28 +10,55 @@ namespace trident::core {
 QueueingResult simulate_service(Time service_time,
                                 const QueueingConfig& config) {
   TRIDENT_REQUIRE(service_time.s() > 0.0, "service time must be positive");
+  // The precondition, asserted: at ρ ≥ 1 the queue has no steady state and
+  // the simulated sojourns diverge with the request count.
   TRIDENT_REQUIRE(config.utilization > 0.0 && config.utilization < 1.0,
                   "utilization must be in (0, 1)");
   TRIDENT_REQUIRE(config.requests >= 100, "need a meaningful request count");
+  TRIDENT_REQUIRE(config.batch_size >= 1, "batch_size must be at least 1");
 
-  const double mu = 1.0 / service_time.s();           // service rate
-  const double lambda = config.utilization * mu;      // arrival rate
+  const double mu = 1.0 / service_time.s();  // batch service rate
+  const auto batch_cap = static_cast<std::size_t>(config.batch_size);
+  // Effective capacity is batch_size requests per service interval.
+  const double lambda =
+      config.utilization * mu * static_cast<double>(config.batch_size);
 
   Rng rng(config.seed);
-  std::vector<double> sojourns;
-  sojourns.reserve(static_cast<std::size_t>(config.requests));
-
+  std::vector<double> arrivals;
+  arrivals.reserve(static_cast<std::size_t>(config.requests));
   double arrival = 0.0;
-  double server_free = 0.0;
   for (int i = 0; i < config.requests; ++i) {
     // Exponential inter-arrival times → Poisson process.
     arrival += -std::log(1.0 - rng.uniform()) / lambda;
-    const double start = std::max(arrival, server_free);
-    const double done = start + service_time.s();
-    server_free = done;
-    sojourns.push_back(done - arrival);
+    arrivals.push_back(arrival);
   }
 
+  // Gated batch service: when the server frees up, it takes everything
+  // already queued (up to batch_cap) as one batch; an idle server starts
+  // on the next arrival alone.
+  std::vector<double> sojourns;
+  sojourns.reserve(arrivals.size());
+  std::size_t batches = 0;
+  double server_free = 0.0;
+  std::size_t head = 0;
+  while (head < arrivals.size()) {
+    const double start = std::max(arrivals[head], server_free);
+    std::size_t tail = head + 1;
+    while (tail < arrivals.size() && tail - head < batch_cap &&
+           arrivals[tail] <= start) {
+      ++tail;
+    }
+    const double done = start + service_time.s();
+    for (std::size_t i = head; i < tail; ++i) {
+      sojourns.push_back(done - arrivals[i]);
+    }
+    server_free = done;
+    ++batches;
+    head = tail;
+  }
+
+  const double mean_batch =
+      static_cast<double>(sojourns.size()) / static_cast<double>(batches);
   std::sort(sojourns.begin(), sojourns.end());
   const auto at = [&](double q) {
     const auto idx = static_cast<std::size_t>(
@@ -50,9 +77,13 @@ QueueingResult simulate_service(Time service_time,
       Time::seconds(sum / static_cast<double>(sojourns.size()));
   result.p50 = at(0.50);
   result.p99 = at(0.99);
-  // M/D/1: E[W] = ρ / (2 μ (1 − ρ)); sojourn = W + 1/μ.
+  // M/D/1: E[W] = ρ / (2 μ_eff (1 − ρ)); sojourn = W + service.  With
+  // batching this treats the server as one of rate B·μ (approximation).
   const double rho = config.utilization;
-  result.analytic_mean_wait = Time::seconds(rho / (2.0 * mu * (1.0 - rho)));
+  const double mu_eff = mu * static_cast<double>(config.batch_size);
+  result.analytic_mean_wait =
+      Time::seconds(rho / (2.0 * mu_eff * (1.0 - rho)));
+  result.mean_batch = mean_batch;
   return result;
 }
 

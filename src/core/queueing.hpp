@@ -22,25 +22,38 @@ namespace trident::core {
 using units::Time;
 
 struct QueueingConfig {
-  /// Offered load as a fraction of capacity (λ/μ); must be < 1.
+  /// Offered load as a fraction of capacity (λ/μ_eff); must be < 1.  With
+  /// batching, capacity is batch_size requests per service interval, so
+  /// λ = utilization · batch_size / service.
   double utilization = 0.7;
   int requests = 20000;
+  /// Batch-service mode: the server takes up to `batch_size` queued
+  /// requests per service and the whole batch completes after one
+  /// deterministic `service_time` — the gated-batch analogue of the
+  /// serving runtime's micro-batcher with a zero formation deadline.
+  /// 1 recovers the plain M/D/1 model.
+  int batch_size = 1;
   std::uint64_t seed = 0xEDCE;
 };
 
 struct QueueingResult {
-  Time service;       ///< deterministic per-request service time
+  Time service;       ///< deterministic per-batch service time
   double arrival_rate = 0.0;  ///< requests/s offered
   Time mean_sojourn;  ///< queueing + service
   Time p50;
   Time p99;
-  /// M/D/1 closed form for the mean wait (sanity anchor):
-  /// W = ρ/(2μ(1−ρ)).
+  /// Mean wait anchor.  Exact M/D/1 closed form W = ρ/(2μ(1−ρ)) at
+  /// batch_size 1; for batch_size B the same formula applied to the
+  /// effective server of rate B·μ (an approximation that the simulation
+  /// refines).
   Time analytic_mean_wait;
+  /// Mean realised batch size (1.0 exactly when batch_size == 1).
+  double mean_batch = 1.0;
 };
 
-/// Simulates Poisson arrivals served FIFO at fixed `service_time` per
-/// request on one accelerator.
+/// Simulates Poisson arrivals served FIFO on one accelerator: fixed
+/// `service_time` per service, up to `config.batch_size` requests taken
+/// per service.
 [[nodiscard]] QueueingResult simulate_service(Time service_time,
                                               const QueueingConfig& config = {});
 

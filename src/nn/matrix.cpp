@@ -19,7 +19,12 @@ namespace trident::nn {
 // this file by CMake) every clone performs the identical sequence of IEEE
 // multiplies and adds — vector width changes which lanes run together, never
 // what any one sample's accumulation chain computes.
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+// ThreadSanitizer runs its interceptors before the dynamic loader resolves
+// ifuncs; the target_clones resolver then faults inside libtsan.  Sanitized
+// builds therefore compile the baseline kernel only — the maths is identical
+// (see above), only the vector width changes.
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
 #define TRIDENT_KERNEL_CLONES \
   __attribute__((target_clones("avx512f", "avx2", "default")))
 #else
@@ -189,7 +194,8 @@ void add_outer_row(double* w, const double* adata, const double* bdata,
 /// resolver and __builtin_cpu_supports consult the same CPUID feature words,
 /// so this names the clone that actually runs.
 [[nodiscard]] const char* kernel_isa() {
-#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__)
+#if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
+    !defined(__SANITIZE_THREAD__)
   if (__builtin_cpu_supports("avx512f")) {
     return "avx512f";
   }

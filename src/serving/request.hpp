@@ -1,0 +1,45 @@
+// Request/response types of the edge-serving runtime.
+//
+// A Request is one inference to run: an input vector plus the promise the
+// serving pipeline fulfils once a replica has pushed the input through its
+// accelerator.  Timestamps are stamped at the admission and completion
+// boundaries so per-request latency decomposes into the spans the paper's
+// "rapid response" story cares about: queue wait (admission → batch cut),
+// service (GEMM on the replica), and total sojourn.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <future>
+
+#include "nn/matrix.hpp"
+
+namespace trident::serving {
+
+using Clock = std::chrono::steady_clock;
+
+/// Latency decomposition of one served request, in seconds.
+struct ResponseTiming {
+  double queue_wait_s = 0.0;  ///< admission → the batcher cut its batch
+  double service_s = 0.0;     ///< batched forward pass on the replica
+  double sojourn_s = 0.0;     ///< admission → output ready (what users feel)
+};
+
+/// One completed inference.
+struct Response {
+  std::uint64_t id = 0;
+  nn::Vector output;           ///< output-layer logits
+  std::size_t batch_size = 0;  ///< size of the micro-batch this rode in
+  int replica = -1;            ///< which replica served it
+  ResponseTiming timing;
+};
+
+/// One in-flight inference (move-only: it carries the response promise).
+struct Request {
+  std::uint64_t id = 0;
+  nn::Vector input;
+  Clock::time_point admitted{};  ///< stamped when admission accepts
+  std::promise<Response> promise;
+};
+
+}  // namespace trident::serving

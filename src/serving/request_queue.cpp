@@ -1,0 +1,142 @@
+#include "serving/request_queue.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace trident::serving {
+
+namespace {
+
+struct QueueMetrics {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& accepted =
+      reg.counter("trident_serving_requests_accepted_total",
+                  "requests admitted into the serving queue");
+  telemetry::Counter& shed =
+      reg.counter("trident_serving_requests_shed_total",
+                  "requests rejected by admission control");
+  telemetry::Gauge& depth = reg.gauge("trident_serving_queue_depth",
+                                      "requests waiting in the serving queue");
+};
+
+QueueMetrics& queue_metrics() {
+  static QueueMetrics m;
+  return m;
+}
+
+}  // namespace
+
+RequestQueue::RequestQueue(const AdmissionConfig& config)
+    : capacity_(config.capacity),
+      watermark_(config.shed_watermark == 0
+                     ? config.capacity
+                     : std::min(config.shed_watermark, config.capacity)),
+      policy_(config.policy) {
+  TRIDENT_REQUIRE(capacity_ > 0, "queue capacity must be positive");
+}
+
+AdmitResult RequestQueue::push(Request& r) {
+  std::size_t depth = 0;
+  {
+    std::unique_lock lock(mutex_);
+    if (policy_ == OverloadPolicy::kBlock) {
+      space_cv_.wait(lock,
+                     [&] { return closed_ || queue_.size() < capacity_; });
+    }
+    if (closed_) {
+      return AdmitResult::kClosed;
+    }
+    const std::size_t limit =
+        policy_ == OverloadPolicy::kReject ? watermark_ : capacity_;
+    if (queue_.size() >= limit) {
+      ++shed_;
+      if (telemetry::enabled()) {
+        queue_metrics().shed.add(1);
+      }
+      return AdmitResult::kShed;
+    }
+    r.admitted = Clock::now();
+    queue_.push_back(std::move(r));
+    ++accepted_;
+    depth = queue_.size();
+  }
+  if (telemetry::enabled()) {
+    QueueMetrics& m = queue_metrics();
+    m.accepted.add(1);
+    m.depth.set(static_cast<double>(depth));
+  }
+  not_empty_cv_.notify_one();
+  return AdmitResult::kAccepted;
+}
+
+std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
+                                             std::chrono::microseconds max_wait) {
+  TRIDENT_REQUIRE(max_batch > 0, "max_batch must be positive");
+  std::vector<Request> batch;
+  std::size_t depth = 0;
+  {
+    std::unique_lock lock(mutex_);
+    not_empty_cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+    if (queue_.empty()) {
+      return batch;  // closed and drained
+    }
+    // Deadline-aware cut: the head request waits at most max_wait (counted
+    // from the moment this popper saw it) for co-batchers.
+    if (queue_.size() < max_batch && !closed_ && max_wait.count() > 0) {
+      const auto deadline = Clock::now() + max_wait;
+      not_empty_cv_.wait_until(lock, deadline, [&] {
+        return closed_ || queue_.size() >= max_batch;
+      });
+    }
+    const std::size_t n = std::min(max_batch, queue_.size());
+    batch.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      batch.push_back(std::move(queue_.front()));
+      queue_.pop_front();
+    }
+    depth = queue_.size();
+  }
+  if (telemetry::enabled()) {
+    queue_metrics().depth.set(static_cast<double>(depth));
+  }
+  space_cv_.notify_all();
+  // Other poppers may still have work to cut.
+  if (depth > 0) {
+    not_empty_cv_.notify_one();
+  }
+  return batch;
+}
+
+void RequestQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_cv_.notify_all();
+  space_cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t RequestQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t RequestQueue::accepted() const {
+  std::lock_guard lock(mutex_);
+  return accepted_;
+}
+
+std::uint64_t RequestQueue::shed() const {
+  std::lock_guard lock(mutex_);
+  return shed_;
+}
+
+}  // namespace trident::serving

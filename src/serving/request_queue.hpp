@@ -1,0 +1,106 @@
+// Bounded MPMC request queue with admission control and a deadline-aware
+// micro-batch pop.
+//
+// This is the front door of the serving runtime: producers (client threads
+// or the load generator) push requests through an explicit admission
+// policy, and replica workers pull *batches* out.  The two serving-side
+// decisions the paper's latency story depends on live here:
+//
+//   * admission / backpressure — a hard capacity bound plus a shed
+//     watermark.  kReject sheds the request immediately once the depth
+//     reaches the watermark (bounded queueing delay, explicit load
+//     shedding); kBlock applies backpressure by blocking the producer
+//     until space frees up (closed-loop clients);
+//   * micro-batching — pop_batch() returns as soon as `max_batch`
+//     requests are available, or when `max_wait` has elapsed since the
+//     popper first saw a request, whichever comes first.  That is the
+//     classic deadline-aware batch cut: the head request never waits more
+//     than max_wait for co-batchers, and a deep queue yields full batches
+//     with no added delay.
+//
+// The queue is intentionally a single shared FIFO rather than per-replica
+// queues: every replica pops from the common backlog, which is the
+// least-loaded dispatch policy in its simplest form (an idle replica takes
+// the next batch; nobody sits on private work while a peer starves).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serving/request.hpp"
+
+namespace trident::serving {
+
+/// What admission does when the queue is at the shed watermark / capacity.
+enum class OverloadPolicy {
+  kReject,  ///< shed immediately (open-loop traffic; bounded queueing delay)
+  kBlock,   ///< block the producer until space frees (closed-loop clients)
+};
+
+struct AdmissionConfig {
+  std::size_t capacity = 1024;  ///< hard bound on queued requests
+  /// Depth at which kReject starts shedding; clamped to capacity.  The gap
+  /// between watermark and capacity absorbs in-flight pushes when multiple
+  /// producers race.  0 means "use capacity".
+  std::size_t shed_watermark = 0;
+  OverloadPolicy policy = OverloadPolicy::kReject;
+};
+
+enum class AdmitResult {
+  kAccepted,
+  kShed,    ///< rejected by the overload policy
+  kClosed,  ///< queue closed (server draining / shut down)
+};
+
+class RequestQueue {
+ public:
+  explicit RequestQueue(const AdmissionConfig& config);
+
+  RequestQueue(const RequestQueue&) = delete;
+  RequestQueue& operator=(const RequestQueue&) = delete;
+
+  /// Admits `r` under the configured policy.  On kAccepted the queue owns
+  /// the request; otherwise `r` is left untouched (the caller still holds
+  /// the promise and can fail it).
+  [[nodiscard]] AdmitResult push(Request& r);
+
+  /// Pops up to `max_batch` requests.  Blocks until at least one request
+  /// is available (or the queue is closed and empty → returns an empty
+  /// vector).  Once the first request is visible, waits at most `max_wait`
+  /// for the batch to fill before cutting it.
+  [[nodiscard]] std::vector<Request> pop_batch(std::size_t max_batch,
+                                               std::chrono::microseconds max_wait);
+
+  /// Closes admission: subsequent pushes return kClosed, blocked producers
+  /// wake with kClosed, and poppers drain what was accepted then observe
+  /// empty-and-closed.
+  void close();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t shed_watermark() const { return watermark_; }
+
+  /// Admission counters (monotonic, for reports and tests).
+  [[nodiscard]] std::uint64_t accepted() const;
+  [[nodiscard]] std::uint64_t shed() const;
+
+ private:
+  const std::size_t capacity_;
+  const std::size_t watermark_;
+  const OverloadPolicy policy_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_cv_;
+  std::condition_variable space_cv_;
+  std::deque<Request> queue_;
+  bool closed_ = false;
+  std::uint64_t accepted_ = 0;
+  std::uint64_t shed_ = 0;
+};
+
+}  // namespace trident::serving

@@ -1,0 +1,264 @@
+#include "serving/server.hpp"
+
+#include <algorithm>
+#include <exception>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/error.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
+
+namespace trident::serving {
+
+namespace {
+
+[[nodiscard]] std::vector<double> batch_size_buckets() {
+  return {1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0};
+}
+
+struct ServerMetrics {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& completed =
+      reg.counter("trident_serving_requests_completed_total",
+                  "requests served to completion");
+  telemetry::Counter& failed =
+      reg.counter("trident_serving_requests_failed_total",
+                  "requests whose service raised an error");
+  telemetry::Counter& batches = reg.counter(
+      "trident_serving_batches_total", "micro-batches cut and served");
+  telemetry::Counter& slo_violations =
+      reg.counter("trident_serving_slo_violations_total",
+                  "responses slower than the configured sojourn SLO");
+  telemetry::Histogram& queue_wait = reg.histogram(
+      "trident_serving_queue_wait_seconds",
+      telemetry::duration_buckets_seconds(), "admission to batch cut");
+  telemetry::Histogram& batch_form = reg.histogram(
+      "trident_serving_batch_form_seconds",
+      telemetry::duration_buckets_seconds(),
+      "batch-formation window: oldest member's admission to the cut");
+  telemetry::Histogram& service = reg.histogram(
+      "trident_serving_service_seconds",
+      telemetry::duration_buckets_seconds(),
+      "batched forward pass on the replica");
+  telemetry::Histogram& sojourn = reg.histogram(
+      "trident_serving_sojourn_seconds",
+      telemetry::duration_buckets_seconds(),
+      "admission to response ready (queue wait + service)");
+  telemetry::Histogram& batch_size =
+      reg.histogram("trident_serving_batch_size", batch_size_buckets(),
+                    "requests per served micro-batch");
+  telemetry::Gauge& p50 = reg.gauge("trident_serving_sojourn_p50_seconds",
+                                    "exact median sojourn so far");
+  telemetry::Gauge& p99 = reg.gauge("trident_serving_sojourn_p99_seconds",
+                                    "exact p99 sojourn so far");
+};
+
+ServerMetrics& server_metrics() {
+  static ServerMetrics m;
+  return m;
+}
+
+[[nodiscard]] double seconds_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+}  // namespace
+
+Server::Server(const nn::Mlp& model, const ServerConfig& config)
+    : config_(config),
+      input_dim_(model.layer_sizes().front()),
+      queue_(config.admission) {
+  TRIDENT_REQUIRE(config.replicas >= 1, "need at least one replica");
+  TRIDENT_REQUIRE(config.max_batch >= 1, "max_batch must be positive");
+  TRIDENT_REQUIRE(config.max_wait.count() >= 0,
+                  "max_wait must be non-negative");
+  TRIDENT_REQUIRE(config.slo_target_s >= 0.0,
+                  "slo_target_s must be non-negative");
+  replicas_.reserve(static_cast<std::size_t>(config.replicas));
+  for (int r = 0; r < config.replicas; ++r) {
+    core::PhotonicBackendConfig backend_cfg = config.backend;
+    // Independent noise stream per replica (counter-based split, the same
+    // idiom the Monte-Carlo sweeps use).
+    backend_cfg.seed =
+        Rng(config.backend.seed).split(static_cast<std::uint64_t>(r)).seed();
+    replicas_.push_back(std::make_unique<Replica>(r, model, backend_cfg));
+  }
+  for (auto& replica : replicas_) {
+    replica->worker = std::thread([this, rep = replica.get()] {
+      worker_loop(*rep);
+    });
+  }
+}
+
+Server::~Server() { drain(); }
+
+std::optional<std::future<Response>> Server::submit(nn::Vector input) {
+  TRIDENT_REQUIRE(static_cast<int>(input.size()) == input_dim_,
+                  "input width " + std::to_string(input.size()) +
+                      " does not match the model input " +
+                      std::to_string(input_dim_));
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Request request;
+  request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  request.input = std::move(input);
+  std::future<Response> future = request.promise.get_future();
+  if (queue_.push(request) != AdmitResult::kAccepted) {
+    return std::nullopt;
+  }
+  return future;
+}
+
+void Server::worker_loop(Replica& replica) {
+  for (;;) {
+    std::vector<Request> batch =
+        queue_.pop_batch(config_.max_batch, config_.max_wait);
+    if (batch.empty()) {
+      return;  // queue closed and drained
+    }
+    serve_batch(replica, batch);
+  }
+}
+
+void Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
+  const Clock::time_point formed = Clock::now();
+  const std::size_t n = batch.size();
+  batches_.fetch_add(1, std::memory_order_relaxed);
+
+  const bool telem = telemetry::enabled();
+  if (telem) {
+    ServerMetrics& m = server_metrics();
+    m.batches.add(1);
+    m.batch_size.observe(static_cast<double>(n));
+    Clock::time_point oldest = batch.front().admitted;
+    for (const Request& r : batch) {
+      oldest = std::min(oldest, r.admitted);
+      m.queue_wait.observe(seconds_between(r.admitted, formed));
+    }
+    m.batch_form.observe(seconds_between(oldest, formed));
+  }
+  for (const Request& r : batch) {
+    queue_wait_.record(seconds_between(r.admitted, formed));
+  }
+
+  try {
+    nn::Matrix x(n, static_cast<std::size_t>(input_dim_));
+    for (std::size_t b = 0; b < n; ++b) {
+      auto row = x.row(b);
+      std::copy(batch[b].input.begin(), batch[b].input.end(), row.begin());
+    }
+
+    std::optional<telemetry::Span> span;
+    if (telem) {
+      span.emplace("serving/batch" + std::to_string(n) + "/replica" +
+                       std::to_string(replica.index),
+                   "serving");
+    }
+    const Clock::time_point start = Clock::now();
+    const nn::BatchForwardTrace trace =
+        replica.model.forward_batch(x, replica.backend);
+    const Clock::time_point done = Clock::now();
+    span.reset();
+
+    const nn::Matrix& logits = trace.activations.back();
+    const double service_s = seconds_between(start, done);
+    for (std::size_t b = 0; b < n; ++b) {
+      Response response;
+      response.id = batch[b].id;
+      const auto row = logits.row(b);
+      response.output.assign(row.begin(), row.end());
+      response.batch_size = n;
+      response.replica = replica.index;
+      response.timing.queue_wait_s = seconds_between(batch[b].admitted, formed);
+      response.timing.service_s = service_s;
+      response.timing.sojourn_s = seconds_between(batch[b].admitted, done);
+
+      service_.record(service_s);
+      sojourn_.record(response.timing.sojourn_s);
+      const bool violated = config_.slo_target_s > 0.0 &&
+                            response.timing.sojourn_s > config_.slo_target_s;
+      if (violated) {
+        slo_violations_.fetch_add(1, std::memory_order_relaxed);
+      }
+      completed_.fetch_add(1, std::memory_order_relaxed);
+      if (telem) {
+        ServerMetrics& m = server_metrics();
+        m.service.observe(service_s);
+        m.sojourn.observe(response.timing.sojourn_s);
+        m.completed.add(1);
+        if (violated) {
+          m.slo_violations.add(1);
+        }
+      }
+      batch[b].promise.set_value(std::move(response));
+    }
+  } catch (...) {
+    const std::exception_ptr err = std::current_exception();
+    for (Request& r : batch) {
+      failed_.fetch_add(1, std::memory_order_relaxed);
+      if (telem) {
+        server_metrics().failed.add(1);
+      }
+      try {
+        r.promise.set_exception(err);
+      } catch (const std::future_error&) {
+        // Promise already satisfied (failure mid-batch after some
+        // set_value calls): nothing left to report to that caller.
+      }
+    }
+  }
+}
+
+void Server::drain() {
+  std::lock_guard lock(drain_mutex_);
+  if (drained_) {
+    return;
+  }
+  queue_.close();
+  for (auto& replica : replicas_) {
+    if (replica->worker.joinable()) {
+      replica->worker.join();
+    }
+  }
+  drained_ = true;
+  publish_slo_gauges(sojourn_.summary());
+}
+
+ServerStats Server::stats() const {
+  ServerStats s;
+  s.submitted = submitted_.load(std::memory_order_relaxed);
+  s.accepted = queue_.accepted();
+  s.shed = queue_.shed();
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.failed = failed_.load(std::memory_order_relaxed);
+  s.batches = batches_.load(std::memory_order_relaxed);
+  s.mean_batch = s.batches == 0 ? 0.0
+                                : static_cast<double>(s.completed) /
+                                      static_cast<double>(s.batches);
+  s.sojourn = sojourn_.summary();
+  s.queue_wait = queue_wait_.summary();
+  s.service = service_.summary();
+  s.slo_violations = slo_violations_.load(std::memory_order_relaxed);
+  {
+    std::lock_guard lock(drain_mutex_);
+    if (drained_) {
+      for (const auto& replica : replicas_) {
+        s.ledger = s.ledger + replica->backend.ledger();
+      }
+    }
+  }
+  publish_slo_gauges(s.sojourn);
+  return s;
+}
+
+void Server::publish_slo_gauges(const LatencySummary& sojourn) const {
+  if (telemetry::enabled() && sojourn.count > 0) {
+    ServerMetrics& m = server_metrics();
+    m.p50.set(sojourn.p50_s);
+    m.p99.set(sojourn.p99_s);
+  }
+}
+
+}  // namespace trident::serving

@@ -1,0 +1,141 @@
+// Multi-replica edge-serving runtime.
+//
+// The Server owns N independent accelerator replicas — each one a private
+// Mlp weight copy plus its own PhotonicBackend (weight banks, quantizers,
+// noise stream, energy ledger) — and a shared admission-controlled request
+// queue.  Each replica runs a worker thread in a simple loop:
+//
+//   pop_batch(max_batch, max_wait)   deadline-aware micro-batch cut
+//   forward_batch(...)               one batched GEMM pass (PR-1 fast path)
+//   fulfil promises                  responses carry the latency breakdown
+//
+// Batching exploits the amortised-ledger GEMM path directly: a batch of B
+// requests pays input quantization and bookkeeping once per block instead
+// of once per request, and the blocked kernels keep the weight row in
+// cache across samples.  Because the backend's matmul is bit-identical to
+// a loop of per-sample matvecs, a noise-free server produces outputs
+// bit-identical to the sequential per-request path regardless of how
+// requests were grouped into batches — the property the end-to-end test
+// pins down.
+//
+// Shutdown is graceful by construction: drain() closes admission, workers
+// finish every accepted request, then join.  Nothing accepted is dropped.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/photonic_backend.hpp"
+#include "nn/mlp.hpp"
+#include "serving/request.hpp"
+#include "serving/request_queue.hpp"
+#include "serving/slo.hpp"
+
+namespace trident::serving {
+
+struct ServerConfig {
+  int replicas = 1;
+  std::size_t max_batch = 8;
+  /// Deadline-aware batch window: how long the head request waits for
+  /// co-batchers before the batch is cut anyway.
+  std::chrono::microseconds max_wait{200};
+  AdmissionConfig admission;
+  /// Per-replica backend; replica r runs with seed split(seed, r) so the
+  /// noise streams are independent.
+  core::PhotonicBackendConfig backend;
+  /// Sojourn-time SLO in seconds; responses slower than this count as
+  /// violations.  0 disables SLO accounting.
+  double slo_target_s = 0.0;
+};
+
+/// Point-in-time view of the runtime's own accounting (available with
+/// telemetry compiled out; the bench cross-validates these numbers).
+struct ServerStats {
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+  double mean_batch = 0.0;  ///< completed / batches
+  LatencySummary sojourn;
+  LatencySummary queue_wait;
+  LatencySummary service;
+  std::uint64_t slo_violations = 0;
+  /// Aggregate hardware bill across replicas.  Only populated once the
+  /// server is drained (replica ledgers are worker-thread-private while
+  /// serving); zero before that.
+  core::PhotonicLedger ledger;
+};
+
+class Server {
+ public:
+  /// Clones `model` once per replica.  The model's input width fixes the
+  /// accepted request shape.
+  Server(const nn::Mlp& model, const ServerConfig& config);
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Drains on destruction if the caller did not.
+  ~Server();
+
+  /// Submits one inference.  Returns the response future, or nullopt when
+  /// admission shed the request (or the server is draining).  Blocks only
+  /// under OverloadPolicy::kBlock with a full queue.
+  [[nodiscard]] std::optional<std::future<Response>> submit(nn::Vector input);
+
+  /// Closes admission, serves every accepted request, joins all replica
+  /// workers.  Idempotent.
+  void drain();
+
+  [[nodiscard]] ServerStats stats() const;
+  [[nodiscard]] const ServerConfig& config() const { return config_; }
+  [[nodiscard]] int replicas() const { return static_cast<int>(replicas_.size()); }
+  [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
+  [[nodiscard]] bool draining() const { return queue_.closed(); }
+
+ private:
+  struct Replica {
+    int index = 0;
+    nn::Mlp model;
+    core::PhotonicBackend backend;
+    std::thread worker;
+
+    Replica(int idx, const nn::Mlp& m, const core::PhotonicBackendConfig& cfg)
+        : index(idx), model(m), backend(cfg) {}
+  };
+
+  void worker_loop(Replica& replica);
+  void serve_batch(Replica& replica, std::vector<Request>& batch);
+  /// Publishes exact p50/p99 sojourn gauges to telemetry (no-op when
+  /// telemetry is off).
+  void publish_slo_gauges(const LatencySummary& sojourn) const;
+
+  ServerConfig config_;
+  int input_dim_ = 0;
+  RequestQueue queue_;
+  std::vector<std::unique_ptr<Replica>> replicas_;
+
+  std::atomic<std::uint64_t> next_id_{0};
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> failed_{0};
+  std::atomic<std::uint64_t> batches_{0};
+  std::atomic<std::uint64_t> slo_violations_{0};
+  LatencyRecorder sojourn_;
+  LatencyRecorder queue_wait_;
+  LatencyRecorder service_;
+
+  mutable std::mutex drain_mutex_;
+  bool drained_ = false;
+};
+
+}  // namespace trident::serving

@@ -1,0 +1,58 @@
+#include "serving/slo.hpp"
+
+#include <algorithm>
+
+namespace trident::serving {
+
+LatencyRecorder::LatencyRecorder(std::size_t cap) : cap_(cap) {}
+
+void LatencyRecorder::record(double seconds) {
+  std::lock_guard lock(mutex_);
+  if (samples_.size() >= cap_) {
+    ++dropped_;
+    return;
+  }
+  samples_.push_back(seconds);
+}
+
+LatencySummary LatencyRecorder::summary() const {
+  std::vector<double> sorted;
+  {
+    std::lock_guard lock(mutex_);
+    sorted = samples_;
+  }
+  LatencySummary s;
+  if (sorted.empty()) {
+    return s;
+  }
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  double sum = 0.0;
+  for (double v : sorted) {
+    sum += v;
+  }
+  s.mean_s = sum / static_cast<double>(sorted.size());
+  const auto at = [&](double q) {
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+  };
+  s.p50_s = at(0.50);
+  s.p90_s = at(0.90);
+  s.p99_s = at(0.99);
+  s.max_s = sorted.back();
+  return s;
+}
+
+std::uint64_t LatencyRecorder::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+void LatencyRecorder::clear() {
+  std::lock_guard lock(mutex_);
+  samples_.clear();
+  dropped_ = 0;
+}
+
+}  // namespace trident::serving

@@ -1,0 +1,52 @@
+// Latency recording and SLO accounting for the serving runtime.
+//
+// The runtime must report p50/p99 sojourn times even when telemetry is
+// compiled out (the bench cross-validates them against the M/D/1 model),
+// so the recorder here is plain library code: a mutex-protected sample
+// buffer with exact order-statistic percentiles.  Telemetry histograms
+// mirror the same observations when enabled — those give the *bucketed*
+// estimates exported to Prometheus/JSON; this gives the exact ones used
+// in reports and tests.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace trident::serving {
+
+/// Summary statistics of one latency population, in seconds.
+struct LatencySummary {
+  std::uint64_t count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p90_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Thread-safe sample recorder with exact percentiles.  Bounded: beyond
+/// `cap` samples new observations are dropped (and counted) so a runaway
+/// load test cannot grow memory without bound.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t cap = 1u << 20);
+
+  void record(double seconds);
+
+  /// Exact order-statistic summary of everything recorded so far.
+  [[nodiscard]] LatencySummary summary() const;
+
+  /// Observations dropped because the cap was reached.
+  [[nodiscard]] std::uint64_t dropped() const;
+
+  void clear();
+
+ private:
+  const std::size_t cap_;
+  mutable std::mutex mutex_;
+  std::vector<double> samples_;
+  std::uint64_t dropped_ = 0;
+};
+
+}  // namespace trident::serving

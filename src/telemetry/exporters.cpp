@@ -160,6 +160,15 @@ void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& os) {
     os << h.name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
     os << h.name << "_sum " << format_double(h.data.sum) << '\n';
     os << h.name << "_count " << h.data.count << '\n';
+    // Bucket-estimated percentiles (summary-style samples), so SLO numbers
+    // are scrape-able without a histogram_quantile() query.
+    for (const double q : {0.5, 0.9, 0.99}) {
+      const double v = h.data.quantile(q);
+      if (std::isfinite(v)) {
+        os << h.name << "{quantile=\"" << format_double(q) << "\"} "
+           << format_double(v) << '\n';
+      }
+    }
   }
 }
 
@@ -193,7 +202,11 @@ void write_json_snapshot(const MetricsSnapshot& snapshot, std::ostream& os) {
        << ",\"mean\":" << json_number_or_null(h.data.mean)
        << ",\"stddev\":" << json_number_or_null(h.data.stddev)
        << ",\"min\":" << json_number_or_null(h.data.min)
-       << ",\"max\":" << json_number_or_null(h.data.max) << ",\"buckets\":[";
+       << ",\"max\":" << json_number_or_null(h.data.max)
+       << ",\"p50\":" << json_number_or_null(h.data.quantile(0.50))
+       << ",\"p90\":" << json_number_or_null(h.data.quantile(0.90))
+       << ",\"p99\":" << json_number_or_null(h.data.quantile(0.99))
+       << ",\"buckets\":[";
     for (std::size_t i = 0; i < h.data.counts.size(); ++i) {
       os << (i == 0 ? "" : ",") << "{\"le\":"
          << (i < h.data.bounds.size() ? format_double(h.data.bounds[i])

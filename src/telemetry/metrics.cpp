@@ -1,6 +1,8 @@
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 
@@ -62,6 +64,40 @@ void Histogram::reset() {
   std::fill(counts_.begin(), counts_.end(), 0);
   stats_ = RunningStats{};
   sum_ = 0.0;
+}
+
+double HistogramSnapshot::quantile(double q) const {
+  TRIDENT_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0, 1]");
+  if (count == 0) {
+    return std::numeric_limits<double>::quiet_NaN();
+  }
+  // Rank of the target observation (1-based, clamped into [1, count]).
+  const double rank =
+      std::max(1.0, std::ceil(q * static_cast<double>(count)));
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) {
+      continue;
+    }
+    const double before = static_cast<double>(cumulative);
+    cumulative += counts[i];
+    if (rank > static_cast<double>(cumulative)) {
+      continue;
+    }
+    // Bucket edges: the observed min/max tighten the outermost buckets,
+    // and the +Inf bucket's upper edge is the observed max.
+    double lo = i == 0 ? min : bounds[i - 1];
+    double hi = i < bounds.size() ? bounds[i] : max;
+    lo = std::max(lo, min);
+    hi = std::min(hi, max);
+    if (hi < lo) {
+      return lo;
+    }
+    const double frac =
+        (rank - before) / static_cast<double>(counts[i]);
+    return lo + (hi - lo) * frac;
+  }
+  return max;  // unreachable when counts sum to count
 }
 
 std::vector<double> duration_buckets_seconds() {

@@ -82,6 +82,14 @@ struct HistogramSnapshot {
   double stddev = 0.0;
   double min = 0.0;  ///< NaN when count == 0 (RunningStats convention)
   double max = 0.0;  ///< NaN when count == 0
+
+  /// Quantile estimate from the bucket counts (q in [0, 1]): linear
+  /// interpolation inside the containing bucket, with the exact observed
+  /// min/max as the outer edges (so estimates never leave the observed
+  /// range, and the +Inf bucket stays bounded).  NaN when count == 0.
+  /// This is what puts p50/p99 SLO numbers straight into exported
+  /// snapshots without post-processing.
+  [[nodiscard]] double quantile(double q) const;
 };
 
 /// Fixed-bucket histogram plus single-pass Welford stats.  Observation

@@ -85,5 +85,52 @@ TEST(Cli, ValueSyntaxCountsAsFlag) {
   EXPECT_TRUE(args.has_flag("csv"));
 }
 
+// --- hardened parsing for the serving flags ---------------------------------
+
+TEST(Cli, IntOutOfRangeThrows) {
+  const CliArgs args = make({"--replicas=99999999999999999999"});
+  EXPECT_THROW((void)args.value_int("replicas", 1), Error);
+  const CliArgs big = make({"--replicas=4294967296"});  // > INT_MAX
+  EXPECT_THROW((void)big.value_int("replicas", 1), Error);
+}
+
+TEST(Cli, NonFiniteDoubleThrows) {
+  const CliArgs args = make({"--target-qps=inf", "--duration-s=nan"});
+  EXPECT_THROW((void)args.value_double("target-qps", 1.0), Error);
+  EXPECT_THROW((void)args.value_double("duration-s", 1.0), Error);
+}
+
+TEST(Cli, PositiveIntRejectsZeroNegativeAndMalformed) {
+  EXPECT_THROW((void)make({"--replicas=0"}).value_int_positive("replicas", 1),
+               Error);
+  EXPECT_THROW((void)make({"--max-batch=-4"}).value_int_positive("max-batch", 1),
+               Error);
+  EXPECT_THROW(
+      (void)make({"--max-wait-us=soon"}).value_int_positive("max-wait-us", 1),
+      Error);
+  EXPECT_EQ(make({"--replicas=3"}).value_int_positive("replicas", 1), 3);
+}
+
+TEST(Cli, PositiveDoubleRejectsZeroAndNegative) {
+  EXPECT_THROW(
+      (void)make({"--target-qps=0"}).value_double_positive("target-qps", 1.0),
+      Error);
+  EXPECT_THROW(
+      (void)make({"--duration-s=-1.5"}).value_double_positive("duration-s", 1.0),
+      Error);
+  EXPECT_DOUBLE_EQ(
+      make({"--target-qps=2500.5"}).value_double_positive("target-qps", 1.0),
+      2500.5);
+}
+
+TEST(Cli, PositiveAccessorsRejectBadFallbackMisuse) {
+  // Absent flag falls back — but a non-positive fallback is still an error,
+  // so a binary cannot accidentally default into an invalid configuration.
+  const CliArgs args = make({});
+  EXPECT_EQ(args.value_int_positive("replicas", 2), 2);
+  EXPECT_THROW((void)args.value_int_positive("replicas", 0), Error);
+  EXPECT_THROW((void)args.value_double_positive("target-qps", 0.0), Error);
+}
+
 }  // namespace
 }  // namespace trident

@@ -1,0 +1,392 @@
+// Serving-runtime tests: deterministic batcher cuts, admission control,
+// graceful drain, and the bit-identity of the batched serving path against
+// the sequential per-request reference.
+#include "serving/server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/photonic_backend.hpp"
+#include "nn/mlp.hpp"
+#include "serving/load_gen.hpp"
+#include "serving/request_queue.hpp"
+#include "serving/slo.hpp"
+
+namespace trident::serving {
+namespace {
+
+using namespace std::chrono_literals;
+
+Request make_request(std::uint64_t id) {
+  Request r;
+  r.id = id;
+  return r;
+}
+
+// --- micro-batcher (single-threaded, deterministic) -------------------------
+
+TEST(RequestQueue, BatchCutsOnSizeImmediately) {
+  RequestQueue q(AdmissionConfig{.capacity = 16});
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    Request r = make_request(i);
+    ASSERT_EQ(q.push(r), AdmitResult::kAccepted);
+  }
+  // A full batch is available: the cut must not wait for the deadline.
+  const auto batch = q.pop_batch(4, std::chrono::microseconds(1'000'000));
+  ASSERT_EQ(batch.size(), 4u);
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(batch[i].id, i);  // FIFO order
+  }
+  EXPECT_EQ(q.depth(), 4u);
+}
+
+TEST(RequestQueue, BatchCutsOnDeadlineWithPartialBatch) {
+  RequestQueue q(AdmissionConfig{.capacity = 16});
+  Request r = make_request(7);
+  ASSERT_EQ(q.push(r), AdmitResult::kAccepted);
+  const auto t0 = Clock::now();
+  const auto batch = q.pop_batch(8, std::chrono::microseconds(20'000));
+  const auto waited = Clock::now() - t0;
+  ASSERT_EQ(batch.size(), 1u);  // deadline fired with a partial batch
+  EXPECT_EQ(batch[0].id, 7u);
+  EXPECT_GE(waited, 15ms);  // held the head request for ~max_wait
+}
+
+TEST(RequestQueue, ZeroWaitCutsWhateverIsAvailable) {
+  RequestQueue q(AdmissionConfig{.capacity = 16});
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    Request r = make_request(i);
+    ASSERT_EQ(q.push(r), AdmitResult::kAccepted);
+  }
+  const auto batch = q.pop_batch(8, std::chrono::microseconds(0));
+  EXPECT_EQ(batch.size(), 3u);
+}
+
+TEST(RequestQueue, PopAfterCloseDrainsThenReturnsEmpty) {
+  RequestQueue q(AdmissionConfig{.capacity = 16});
+  Request r = make_request(1);
+  ASSERT_EQ(q.push(r), AdmitResult::kAccepted);
+  q.close();
+  EXPECT_EQ(q.pop_batch(8, std::chrono::microseconds(0)).size(), 1u);
+  EXPECT_TRUE(q.pop_batch(8, std::chrono::microseconds(0)).empty());
+}
+
+// --- admission control ------------------------------------------------------
+
+TEST(RequestQueue, RejectPolicyShedsAtCapacity) {
+  RequestQueue q(AdmissionConfig{.capacity = 2,
+                                 .policy = OverloadPolicy::kReject});
+  Request a = make_request(0), b = make_request(1), c = make_request(2);
+  EXPECT_EQ(q.push(a), AdmitResult::kAccepted);
+  EXPECT_EQ(q.push(b), AdmitResult::kAccepted);
+  EXPECT_EQ(q.push(c), AdmitResult::kShed);
+  EXPECT_EQ(q.accepted(), 2u);
+  EXPECT_EQ(q.shed(), 1u);
+}
+
+TEST(RequestQueue, ShedWatermarkShedsBelowCapacity) {
+  RequestQueue q(AdmissionConfig{.capacity = 8,
+                                 .shed_watermark = 2,
+                                 .policy = OverloadPolicy::kReject});
+  Request a = make_request(0), b = make_request(1), c = make_request(2);
+  EXPECT_EQ(q.push(a), AdmitResult::kAccepted);
+  EXPECT_EQ(q.push(b), AdmitResult::kAccepted);
+  EXPECT_EQ(q.push(c), AdmitResult::kShed);
+  EXPECT_EQ(q.depth(), 2u);
+}
+
+TEST(RequestQueue, BlockPolicyAppliesBackpressureUntilSpaceFrees) {
+  RequestQueue q(AdmissionConfig{.capacity = 1,
+                                 .policy = OverloadPolicy::kBlock});
+  Request first = make_request(0);
+  ASSERT_EQ(q.push(first), AdmitResult::kAccepted);
+
+  std::atomic<bool> second_admitted{false};
+  std::thread producer([&] {
+    Request second = make_request(1);
+    const AdmitResult res = q.push(second);
+    EXPECT_EQ(res, AdmitResult::kAccepted);
+    second_admitted.store(true);
+  });
+  // The producer must be blocked while the queue is full.
+  std::this_thread::sleep_for(20ms);
+  EXPECT_FALSE(second_admitted.load());
+
+  EXPECT_EQ(q.pop_batch(1, std::chrono::microseconds(0)).size(), 1u);
+  producer.join();
+  EXPECT_TRUE(second_admitted.load());
+  EXPECT_EQ(q.depth(), 1u);
+}
+
+TEST(RequestQueue, CloseWakesBlockedProducersWithClosed) {
+  RequestQueue q(AdmissionConfig{.capacity = 1,
+                                 .policy = OverloadPolicy::kBlock});
+  Request first = make_request(0);
+  ASSERT_EQ(q.push(first), AdmitResult::kAccepted);
+  std::thread producer([&] {
+    Request second = make_request(1);
+    EXPECT_EQ(q.push(second), AdmitResult::kClosed);
+  });
+  std::this_thread::sleep_for(10ms);
+  q.close();
+  producer.join();
+  Request late = make_request(2);
+  EXPECT_EQ(q.push(late), AdmitResult::kClosed);
+}
+
+// --- latency recorder -------------------------------------------------------
+
+TEST(LatencyRecorder, ExactOrderStatistics) {
+  LatencyRecorder rec;
+  for (int i = 100; i >= 1; --i) {
+    rec.record(static_cast<double>(i));
+  }
+  const LatencySummary s = rec.summary();
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_DOUBLE_EQ(s.mean_s, 50.5);
+  EXPECT_DOUBLE_EQ(s.p50_s, 50.0);
+  EXPECT_DOUBLE_EQ(s.p99_s, 99.0);
+  EXPECT_DOUBLE_EQ(s.max_s, 100.0);
+}
+
+TEST(LatencyRecorder, CapBoundsMemory) {
+  LatencyRecorder rec(4);
+  for (int i = 0; i < 10; ++i) {
+    rec.record(1.0);
+  }
+  EXPECT_EQ(rec.summary().count, 4u);
+  EXPECT_EQ(rec.dropped(), 6u);
+}
+
+// --- server end-to-end ------------------------------------------------------
+
+nn::Mlp test_model(std::uint64_t seed = 0x5eedu) {
+  Rng rng(seed);
+  return nn::Mlp({8, 16, 4}, nn::Activation::kGstPhotonic, rng);
+}
+
+std::vector<nn::Vector> seeded_inputs(int n, std::uint64_t seed = 0xF00Du) {
+  Rng rng(seed);
+  std::vector<nn::Vector> inputs;
+  inputs.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    nn::Vector x(8);
+    for (double& v : x) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    inputs.push_back(std::move(x));
+  }
+  return inputs;
+}
+
+TEST(Server, EndToEndBitIdenticalToSequentialPath) {
+  const nn::Mlp model = test_model();
+  const auto inputs = seeded_inputs(40);
+
+  // Sequential reference: the same noise-free backend config, one request
+  // at a time through the per-sample path.
+  std::vector<nn::Vector> expected;
+  {
+    core::PhotonicBackend backend;
+    for (const auto& x : inputs) {
+      expected.push_back(model.forward(x, backend).activations.back());
+    }
+  }
+
+  // Served: concurrent replicas, arbitrary micro-batch grouping.  A
+  // noise-free backend makes the output independent of grouping — the
+  // batched GEMM is bit-identical per row to the per-sample kernel.
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 4;
+  cfg.max_wait = std::chrono::microseconds(100);
+  cfg.admission.capacity = 64;
+  Server server(model, cfg);
+
+  std::map<std::uint64_t, std::future<Response>> futures;
+  std::vector<std::uint64_t> order;
+  for (const auto& x : inputs) {
+    auto fut = server.submit(x);
+    ASSERT_TRUE(fut.has_value());
+    order.push_back(order.size());
+    futures.emplace(order.back(), std::move(*fut));
+  }
+  server.drain();
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Response r = futures.at(i).get();
+    EXPECT_EQ(r.id, i);
+    ASSERT_EQ(r.output.size(), expected[i].size());
+    for (std::size_t j = 0; j < r.output.size(); ++j) {
+      EXPECT_EQ(r.output[j], expected[i][j])
+          << "request " << i << " component " << j;
+    }
+    EXPECT_GE(r.timing.sojourn_s, r.timing.service_s);
+    EXPECT_GE(r.batch_size, 1u);
+  }
+}
+
+TEST(Server, DrainDeliversEveryAcceptedRequest) {
+  ServerConfig cfg;
+  cfg.replicas = 3;
+  cfg.max_batch = 8;
+  cfg.max_wait = std::chrono::microseconds(500);
+  cfg.admission.capacity = 1024;
+  Server server(test_model(), cfg);
+
+  const auto inputs = seeded_inputs(200);
+  std::vector<std::future<Response>> futures;
+  for (const auto& x : inputs) {
+    auto fut = server.submit(x);
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  server.drain();
+
+  for (auto& f : futures) {
+    EXPECT_NO_THROW((void)f.get());
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.accepted, 200u);
+  EXPECT_EQ(stats.completed, 200u);
+  EXPECT_EQ(stats.failed, 0u);
+  EXPECT_EQ(stats.shed, 0u);
+  EXPECT_GE(stats.batches, 200u / cfg.max_batch);
+  // Post-drain, the aggregate hardware ledger is visible: every replica
+  // programmed its bank exactly twice (two weight layers... per layer) —
+  // at minimum, some energy was spent.
+  EXPECT_GT(stats.ledger.macs, 0u);
+  EXPECT_GT(stats.ledger.energy().J(), 0.0);
+}
+
+TEST(Server, SubmitAfterDrainIsShed) {
+  Server server(test_model(), ServerConfig{});
+  server.drain();
+  EXPECT_FALSE(server.submit(nn::Vector(8, 0.5)).has_value());
+  EXPECT_EQ(server.stats().completed, 0u);
+}
+
+TEST(Server, RejectsWrongInputWidth) {
+  Server server(test_model(), ServerConfig{});
+  EXPECT_THROW((void)server.submit(nn::Vector(5, 0.0)), Error);
+}
+
+TEST(Server, InvalidConfigRejected) {
+  ServerConfig bad;
+  bad.replicas = 0;
+  EXPECT_THROW(Server(test_model(), bad), Error);
+  bad = {};
+  bad.max_batch = 0;
+  EXPECT_THROW(Server(test_model(), bad), Error);
+  bad = {};
+  bad.slo_target_s = -1.0;
+  EXPECT_THROW(Server(test_model(), bad), Error);
+}
+
+TEST(Server, SloViolationsCounted) {
+  ServerConfig cfg;
+  cfg.slo_target_s = 1e-12;  // everything violates
+  Server server(test_model(), cfg);
+  const auto inputs = seeded_inputs(10);
+  std::vector<std::future<Response>> futures;
+  for (const auto& x : inputs) {
+    auto fut = server.submit(x);
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  for (auto& f : futures) {
+    (void)f.get();
+  }
+  server.drain();
+  EXPECT_EQ(server.stats().slo_violations, 10u);
+}
+
+TEST(Server, ConcurrentProducersAllServed) {
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 8;
+  cfg.max_wait = std::chrono::microseconds(200);
+  cfg.admission.capacity = 4096;
+  cfg.admission.policy = OverloadPolicy::kBlock;
+  Server server(test_model(), cfg);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 50;
+  std::atomic<int> delivered{0};
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      const auto inputs =
+          seeded_inputs(kPerProducer, 0x1000u + static_cast<std::uint64_t>(p));
+      std::vector<std::future<Response>> futures;
+      for (const auto& x : inputs) {
+        auto fut = server.submit(x);
+        if (fut.has_value()) {
+          futures.push_back(std::move(*fut));
+        }
+      }
+      for (auto& f : futures) {
+        (void)f.get();
+        delivered.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  server.drain();
+  EXPECT_EQ(delivered.load(), kProducers * kPerProducer);
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(delivered.load()));
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+// --- load generator ---------------------------------------------------------
+
+TEST(LoadGen, OffersEverythingAndMeasuresSojourn) {
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 4;
+  cfg.admission.capacity = 1024;
+  Server server(test_model(), cfg);
+
+  LoadGenConfig load;
+  load.target_qps = 5000.0;
+  load.requests = 100;
+  load.seed = 42;
+  const auto inputs = seeded_inputs(1);
+  const LoadReport report =
+      run_poisson_load(server, load, [&](int) { return inputs[0]; });
+  server.drain();
+
+  EXPECT_EQ(report.offered, 100);
+  EXPECT_EQ(report.accepted + report.shed, 100);
+  EXPECT_EQ(report.sojourn.count, static_cast<std::uint64_t>(report.accepted));
+  EXPECT_GT(report.sojourn.mean_s, 0.0);
+  EXPECT_GE(report.sojourn.p99_s, report.sojourn.p50_s);
+  EXPECT_GT(report.duration_s, 0.0);
+}
+
+TEST(LoadGen, RejectsBadConfig) {
+  Server server(test_model(), ServerConfig{});
+  LoadGenConfig load;
+  load.target_qps = 0.0;
+  EXPECT_THROW((void)run_poisson_load(server, load,
+                                      [](int) { return nn::Vector(8, 0.0); }),
+               Error);
+  load = {};
+  load.requests = 0;
+  EXPECT_THROW((void)run_poisson_load(server, load,
+                                      [](int) { return nn::Vector(8, 0.0); }),
+               Error);
+}
+
+}  // namespace
+}  // namespace trident::serving

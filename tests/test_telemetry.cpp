@@ -106,6 +106,50 @@ TEST_F(TelemetryTest, EmptyHistogramMinMaxAreNaN) {
   EXPECT_TRUE(std::isnan(s.max));
 }
 
+TEST_F(TelemetryTest, HistogramQuantileInterpolatesWithinBuckets) {
+  Histogram h({1.0, 2.0, 4.0});
+  for (int i = 0; i < 8; ++i) {
+    h.observe(0.5);  // all mass in bucket 0, min 0.5
+  }
+  h.observe(1.5);   // bucket 1
+  h.observe(3.0);   // bucket 2
+  const HistogramSnapshot s = h.snapshot();
+  // p50 rank = 5 of 10 -> inside bucket 0, interpolated between min and le=1.
+  const double p50 = s.quantile(0.5);
+  EXPECT_GE(p50, 0.5);
+  EXPECT_LE(p50, 1.0);
+  // p99 rank = 10 of 10 -> last occupied bucket, upper edge clamped to max.
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 3.0);
+  // q=0 takes the first sample's bucket floor.
+  EXPECT_GE(s.quantile(0.0), 0.5);
+}
+
+TEST_F(TelemetryTest, HistogramQuantileEmptyIsNaNAndSingleIsExactish) {
+  Histogram empty({1.0});
+  EXPECT_TRUE(std::isnan(empty.snapshot().quantile(0.5)));
+  Histogram one({10.0});
+  one.observe(3.25);
+  const HistogramSnapshot s = one.snapshot();
+  // min == max tighten the bucket to the single sample.
+  EXPECT_DOUBLE_EQ(s.quantile(0.5), 3.25);
+  EXPECT_DOUBLE_EQ(s.quantile(0.99), 3.25);
+}
+
+TEST_F(TelemetryTest, HistogramQuantilesAreMonotone) {
+  Histogram h({0.001, 0.01, 0.1, 1.0});
+  for (int i = 1; i <= 100; ++i) {
+    h.observe(0.002 * static_cast<double>(i));
+  }
+  const HistogramSnapshot s = h.snapshot();
+  const double p50 = s.quantile(0.5);
+  const double p90 = s.quantile(0.9);
+  const double p99 = s.quantile(0.99);
+  EXPECT_LE(p50, p90);
+  EXPECT_LE(p90, p99);
+  EXPECT_GE(p50, s.min);
+  EXPECT_LE(p99, s.max);
+}
+
 TEST_F(TelemetryTest, HistogramRejectsUnsortedBounds) {
   EXPECT_THROW(Histogram({2.0, 1.0}), Error);
   EXPECT_THROW(Histogram({1.0, 1.0}), Error);
@@ -294,6 +338,37 @@ TEST_F(TelemetryTest, PrometheusExpositionShape) {
   EXPECT_NE(text.find("lat_seconds_count 4\n"), std::string::npos);
 }
 
+TEST_F(TelemetryTest, PrometheusEmitsQuantileLines) {
+  MetricsSnapshot snap;
+  HistogramSample h;
+  h.name = "lat_seconds";
+  h.data.bounds = {0.1, 1.0};
+  h.data.counts = {2, 1, 1};
+  h.data.count = 4;
+  h.data.sum = 3.25;
+  h.data.min = 0.05;
+  h.data.max = 5.0;
+  snap.histograms.push_back(h);
+  const std::string text = prometheus_text(snap);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.5\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.9\"}"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds{quantile=\"0.99\"}"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, PrometheusOmitsQuantilesForEmptyHistogram) {
+  MetricsSnapshot snap;
+  HistogramSample h;
+  h.name = "lat_seconds";
+  h.data.bounds = {1.0};
+  h.data.counts = {0, 0};
+  h.data.min = std::nan("");
+  h.data.max = std::nan("");
+  snap.histograms.push_back(h);
+  const std::string text = prometheus_text(snap);
+  EXPECT_EQ(text.find("quantile"), std::string::npos);
+  EXPECT_NE(text.find("lat_seconds_count 0\n"), std::string::npos);
+}
+
 // --- json snapshot exporter -------------------------------------------------
 
 TEST_F(TelemetryTest, JsonSnapshotSerializesNaNAsNull) {
@@ -309,9 +384,31 @@ TEST_F(TelemetryTest, JsonSnapshotSerializesNaNAsNull) {
   EXPECT_NE(json.find("\"schema_version\":1"), std::string::npos);
   EXPECT_NE(json.find("\"min\":null"), std::string::npos);
   EXPECT_NE(json.find("\"max\":null"), std::string::npos);
+  // Empty histogram: percentile keys are present but null.
+  EXPECT_NE(json.find("\"p50\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":null"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":null"), std::string::npos);
   // The +Inf bucket bound serialises as null too.
   EXPECT_NE(json.find("{\"le\":null,\"count\":0}"), std::string::npos);
   EXPECT_EQ(json.find("nan"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, JsonSnapshotEmitsNumericPercentiles) {
+  MetricsSnapshot snap;
+  HistogramSample h;
+  h.name = "lat_seconds";
+  h.data.bounds = {1.0, 2.0};
+  h.data.counts = {3, 1, 0};
+  h.data.count = 4;
+  h.data.sum = 3.0;
+  h.data.min = 0.25;
+  h.data.max = 1.5;
+  snap.histograms.push_back(h);
+  const std::string json = json_snapshot(snap);
+  EXPECT_NE(json.find("\"p50\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p90\":"), std::string::npos);
+  EXPECT_NE(json.find("\"p99\":"), std::string::npos);
+  EXPECT_EQ(json.find("\"p50\":null"), std::string::npos);
 }
 
 // --- session ----------------------------------------------------------------
