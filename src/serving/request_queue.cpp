@@ -39,7 +39,6 @@ RequestQueue::RequestQueue(const AdmissionConfig& config)
 }
 
 AdmitResult RequestQueue::push(Request& r) {
-  std::size_t depth = 0;
   {
     std::unique_lock lock(mutex_);
     if (policy_ == OverloadPolicy::kBlock) {
@@ -61,12 +60,13 @@ AdmitResult RequestQueue::push(Request& r) {
     r.admitted = Clock::now();
     queue_.push_back(std::move(r));
     ++accepted_;
-    depth = queue_.size();
-  }
-  if (telemetry::enabled()) {
-    QueueMetrics& m = queue_metrics();
-    m.accepted.add(1);
-    m.depth.set(static_cast<double>(depth));
+    // Published under the lock so a concurrent push/pop cannot overwrite
+    // the gauge with a staler depth.
+    if (telemetry::enabled()) {
+      QueueMetrics& m = queue_metrics();
+      m.accepted.add(1);
+      m.depth.set(static_cast<double>(queue_.size()));
+    }
   }
   not_empty_cv_.notify_one();
   return AdmitResult::kAccepted;
@@ -79,17 +79,25 @@ std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
   std::size_t depth = 0;
   {
     std::unique_lock lock(mutex_);
-    not_empty_cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
-    if (queue_.empty()) {
-      return batch;  // closed and drained
-    }
-    // Deadline-aware cut: the head request waits at most max_wait (counted
-    // from the moment this popper saw it) for co-batchers.
-    if (queue_.size() < max_batch && !closed_ && max_wait.count() > 0) {
-      const auto deadline = Clock::now() + max_wait;
-      not_empty_cv_.wait_until(lock, deadline, [&] {
-        return closed_ || queue_.size() >= max_batch;
-      });
+    for (;;) {
+      not_empty_cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        return batch;  // closed and drained
+      }
+      // Deadline-aware cut: the head request waits at most max_wait (counted
+      // from the moment this popper saw it) for co-batchers.
+      if (queue_.size() < max_batch && !closed_ && max_wait.count() > 0) {
+        const auto deadline = Clock::now() + max_wait;
+        not_empty_cv_.wait_until(lock, deadline, [&] {
+          return closed_ || queue_.size() >= max_batch;
+        });
+      }
+      if (!queue_.empty()) {
+        break;
+      }
+      // A sibling popper drained the queue during the fill window.  An
+      // empty batch tells the caller "closed and drained", so while the
+      // queue is still open go back to waiting instead of cutting.
     }
     const std::size_t n = std::min(max_batch, queue_.size());
     batch.reserve(n);
@@ -98,9 +106,11 @@ std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
       queue_.pop_front();
     }
     depth = queue_.size();
-  }
-  if (telemetry::enabled()) {
-    queue_metrics().depth.set(static_cast<double>(depth));
+    // Published under the lock so a concurrent push/pop cannot overwrite
+    // the gauge with a staler depth.
+    if (telemetry::enabled()) {
+      queue_metrics().depth.set(static_cast<double>(depth));
+    }
   }
   space_cv_.notify_all();
   // Other poppers may still have work to cut.

@@ -69,9 +69,11 @@ class RequestQueue {
   [[nodiscard]] AdmitResult push(Request& r);
 
   /// Pops up to `max_batch` requests.  Blocks until at least one request
-  /// is available (or the queue is closed and empty → returns an empty
-  /// vector).  Once the first request is visible, waits at most `max_wait`
-  /// for the batch to fill before cutting it.
+  /// is available.  Once the first request is visible, waits at most
+  /// `max_wait` for the batch to fill before cutting it; if a sibling
+  /// popper drains the queue during that window, goes back to waiting.
+  /// An empty result is therefore a definitive shutdown signal: it is
+  /// returned only when the queue is closed *and* drained.
   [[nodiscard]] std::vector<Request> pop_batch(std::size_t max_batch,
                                                std::chrono::microseconds max_wait);
 

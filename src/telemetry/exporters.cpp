@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <ostream>
 #include <sstream>
+#include <unordered_set>
+#include <utility>
 
 namespace trident::telemetry {
 
@@ -22,6 +24,24 @@ namespace {
 /// infinities become null (JSON has neither).
 [[nodiscard]] std::string json_number_or_null(double v) {
   return std::isfinite(v) ? format_double(v) : "null";
+}
+
+/// Series name for a histogram's bucket-estimated percentile gauge.  The
+/// unit suffix stays last per Prometheus naming conventions:
+/// `lat_seconds` -> `lat_p99_seconds`, `batch_size` -> `batch_size_p99`.
+[[nodiscard]] std::string percentile_name(std::string_view name,
+                                          std::string_view tag) {
+  constexpr std::string_view kUnit = "_seconds";
+  const bool has_unit = name.size() > kUnit.size() &&
+                        name.substr(name.size() - kUnit.size()) == kUnit;
+  std::string out(has_unit ? name.substr(0, name.size() - kUnit.size())
+                           : name);
+  out += '_';
+  out += tag;
+  if (has_unit) {
+    out += kUnit;
+  }
+  return out;
 }
 
 }  // namespace
@@ -160,14 +180,37 @@ void write_prometheus(const MetricsSnapshot& snapshot, std::ostream& os) {
     os << h.name << "_bucket{le=\"+Inf\"} " << cumulative << '\n';
     os << h.name << "_sum " << format_double(h.data.sum) << '\n';
     os << h.name << "_count " << h.data.count << '\n';
-    // Bucket-estimated percentiles (summary-style samples), so SLO numbers
-    // are scrape-able without a histogram_quantile() query.
-    for (const double q : {0.5, 0.9, 0.99}) {
+  }
+  // Bucket-estimated percentiles as companion gauge series, so SLO
+  // numbers are scrape-able without a histogram_quantile() query.  They
+  // cannot live inside the histogram family: the OpenMetrics grammar
+  // only allows _bucket/_sum/_count samples under `# TYPE ... histogram`.
+  // A registered metric that already owns the companion name wins — e.g.
+  // the serving runtime exports exact-order-statistic sojourn p50/p99
+  // gauges under the same names the estimate would take.
+  std::unordered_set<std::string_view> taken;
+  for (const auto& c : snapshot.counters) {
+    taken.insert(c.name);
+  }
+  for (const auto& g : snapshot.gauges) {
+    taken.insert(g.name);
+  }
+  for (const auto& h : snapshot.histograms) {
+    constexpr std::pair<double, std::string_view> kPercentiles[] = {
+        {0.5, "p50"}, {0.9, "p90"}, {0.99, "p99"}};
+    for (const auto& [q, tag] : kPercentiles) {
       const double v = h.data.quantile(q);
-      if (std::isfinite(v)) {
-        os << h.name << "{quantile=\"" << format_double(q) << "\"} "
-           << format_double(v) << '\n';
+      if (!std::isfinite(v)) {
+        continue;
       }
+      const std::string pname = percentile_name(h.name, tag);
+      if (taken.count(pname) != 0) {
+        continue;
+      }
+      header(pname,
+             "bucket-estimated " + std::string(tag) + " of " + h.name,
+             "gauge");
+      os << pname << ' ' << format_double(v) << '\n';
     }
   }
 }

@@ -68,6 +68,37 @@ TEST(RequestQueue, ZeroWaitCutsWhateverIsAvailable) {
   EXPECT_EQ(batch.size(), 3u);
 }
 
+TEST(RequestQueue, SiblingDrainDuringFillWindowDoesNotYieldEmptyBatch) {
+  // Popper A sees the only request and opens its batch-fill window; a
+  // sibling popper steals it before A's deadline fires.  A must go back
+  // to waiting rather than return an empty batch — an empty batch means
+  // "closed and drained" and would kill a replica worker permanently.
+  RequestQueue q(AdmissionConfig{.capacity = 16});
+  Request r = make_request(0);
+  ASSERT_EQ(q.push(r), AdmitResult::kAccepted);
+
+  std::atomic<bool> a_returned{false};
+  std::vector<Request> a_batch;
+  std::thread popper_a([&] {
+    a_batch = q.pop_batch(4, std::chrono::microseconds(30'000));
+    a_returned.store(true);
+  });
+  std::this_thread::sleep_for(10ms);  // let A enter its fill window
+  const auto stolen = q.pop_batch(4, std::chrono::microseconds(0));
+  EXPECT_EQ(stolen.size(), 1u);
+
+  // A's deadline passes on an empty-but-open queue: it must still be
+  // waiting, not returned empty.
+  std::this_thread::sleep_for(50ms);
+  EXPECT_FALSE(a_returned.load());
+
+  Request r2 = make_request(1);
+  ASSERT_EQ(q.push(r2), AdmitResult::kAccepted);
+  popper_a.join();
+  ASSERT_EQ(a_batch.size(), 1u);
+  EXPECT_EQ(a_batch[0].id, 1u);
+}
+
 TEST(RequestQueue, PopAfterCloseDrainsThenReturnsEmpty) {
   RequestQueue q(AdmissionConfig{.capacity = 16});
   Request r = make_request(1);

@@ -338,7 +338,7 @@ TEST_F(TelemetryTest, PrometheusExpositionShape) {
   EXPECT_NE(text.find("lat_seconds_count 4\n"), std::string::npos);
 }
 
-TEST_F(TelemetryTest, PrometheusEmitsQuantileLines) {
+TEST_F(TelemetryTest, PrometheusEmitsPercentileGaugeSeries) {
   MetricsSnapshot snap;
   HistogramSample h;
   h.name = "lat_seconds";
@@ -350,12 +350,17 @@ TEST_F(TelemetryTest, PrometheusEmitsQuantileLines) {
   h.data.max = 5.0;
   snap.histograms.push_back(h);
   const std::string text = prometheus_text(snap);
-  EXPECT_NE(text.find("lat_seconds{quantile=\"0.5\"}"), std::string::npos);
-  EXPECT_NE(text.find("lat_seconds{quantile=\"0.9\"}"), std::string::npos);
-  EXPECT_NE(text.find("lat_seconds{quantile=\"0.99\"}"), std::string::npos);
+  // Percentiles are companion gauge families with the unit suffix kept
+  // last; `{quantile=...}` samples inside a histogram family are illegal
+  // in the OpenMetrics exposition format.
+  EXPECT_NE(text.find("# TYPE lat_p50_seconds gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_p50_seconds "), std::string::npos);
+  EXPECT_NE(text.find("lat_p90_seconds "), std::string::npos);
+  EXPECT_NE(text.find("lat_p99_seconds "), std::string::npos);
+  EXPECT_EQ(text.find("quantile"), std::string::npos);
 }
 
-TEST_F(TelemetryTest, PrometheusOmitsQuantilesForEmptyHistogram) {
+TEST_F(TelemetryTest, PrometheusOmitsPercentilesForEmptyHistogram) {
   MetricsSnapshot snap;
   HistogramSample h;
   h.name = "lat_seconds";
@@ -365,8 +370,52 @@ TEST_F(TelemetryTest, PrometheusOmitsQuantilesForEmptyHistogram) {
   h.data.max = std::nan("");
   snap.histograms.push_back(h);
   const std::string text = prometheus_text(snap);
+  EXPECT_EQ(text.find("lat_p50_seconds"), std::string::npos);
   EXPECT_EQ(text.find("quantile"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_count 0\n"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, RegisteredGaugeOwnsPercentileNameOverEstimate) {
+  // An explicitly registered gauge (e.g. the serving runtime's exact
+  // sojourn p50) keeps its name: the exporter must not emit a duplicate
+  // family for the bucket-estimated series.
+  MetricsSnapshot snap;
+  snap.gauges.push_back({"lat_p50_seconds", "exact p50", 0.123});
+  HistogramSample h;
+  h.name = "lat_seconds";
+  h.data.bounds = {0.1, 1.0};
+  h.data.counts = {2, 1, 1};
+  h.data.count = 4;
+  h.data.sum = 3.25;
+  h.data.min = 0.05;
+  h.data.max = 5.0;
+  snap.histograms.push_back(h);
+  const std::string text = prometheus_text(snap);
+  EXPECT_NE(text.find("lat_p50_seconds 0.123\n"), std::string::npos);
+  // Exactly one TYPE header for the contested family; p90/p99 estimates
+  // are still free to appear.
+  const auto first = text.find("# TYPE lat_p50_seconds gauge\n");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(text.find("# TYPE lat_p50_seconds gauge\n", first + 1),
+            std::string::npos);
+  EXPECT_NE(text.find("lat_p99_seconds "), std::string::npos);
+}
+
+TEST_F(TelemetryTest, PercentileSeriesKeepUnitSuffixLast) {
+  // A histogram without the _seconds unit suffix just appends the tag.
+  MetricsSnapshot snap;
+  HistogramSample h;
+  h.name = "batch_size";
+  h.data.bounds = {2.0, 8.0};
+  h.data.counts = {1, 2, 1};
+  h.data.count = 4;
+  h.data.sum = 14.0;
+  h.data.min = 1.0;
+  h.data.max = 9.0;
+  snap.histograms.push_back(h);
+  const std::string text = prometheus_text(snap);
+  EXPECT_NE(text.find("# TYPE batch_size_p99 gauge\n"), std::string::npos);
+  EXPECT_NE(text.find("batch_size_p50 "), std::string::npos);
 }
 
 // --- json snapshot exporter -------------------------------------------------
