@@ -9,12 +9,25 @@
 // (including bucket-estimated p50/p90/p99) — the serving-smoke CI job
 // validates that artifact.
 //
+// With `--chaos-seed S` the run layers a seeded FaultPlan over every
+// replica backend (see docs/chaos.md): transient errors exercise the
+// retry budget, `--chaos-kill-op K` scripts replica 0's death at its K-th
+// backend op so the supervisor restart path runs, and the exit status
+// enforces the chaos invariants (conservation laws + telemetry mirror)
+// instead of the fault-free "nothing failed" check.  The same seed
+// reproduces the same injection schedule.
+//
 // Run:  ./build/examples/serve_loop --replicas 2 --max-batch 8
 //           --max-wait-us 200 --target-qps 2000 --duration-s 1
+//       ./build/examples/serve_loop --chaos-seed 7 --chaos-kill-op 40
 #include <algorithm>
 #include <cstdint>
 #include <iostream>
+#include <memory>
 
+#include "chaos/chaos_backend.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/invariants.hpp"
 #include "common/cli.hpp"
 #include "common/rng.hpp"
 #include "nn/mlp.hpp"
@@ -40,6 +53,32 @@ int main(int argc, char** argv) {
                              : serving::OverloadPolicy::kReject;
   cfg.slo_target_s = args.value_double("slo-ms", 50.0) * 1e-3;
 
+  // Chaos wiring: --chaos-seed turns every replica backend into a
+  // ChaosBackend driven by one seeded FaultPlan.  All knobs funnel through
+  // the hardened CLI parsers so a typo'd rate fails loudly.
+  const bool chaos_on = args.value("chaos-seed").has_value();
+  std::shared_ptr<const chaos::FaultPlan> plan;
+  auto injection_log = std::make_shared<chaos::InjectionLog>();
+  if (chaos_on) {
+    const auto chaos_seed =
+        static_cast<std::uint64_t>(args.value_int("chaos-seed", 0));
+    chaos::FaultPlanConfig plan_cfg;
+    plan_cfg.transient_error_rate =
+        args.value_double("chaos-transient-rate", 0.005);
+    plan_cfg.nan_rate = args.value_double("chaos-nan-rate", 0.001);
+    plan_cfg.stuck_read_rate = args.value_double("chaos-stuck-rate", 0.0);
+    plan_cfg.stall_rate = args.value_double("chaos-stall-rate", 0.0);
+    const int kill_op = args.value_int("chaos-kill-op", -1);
+    if (kill_op >= 0) {
+      plan_cfg.deaths.emplace_back(0, static_cast<std::uint64_t>(kill_op));
+    }
+    plan = std::make_shared<const chaos::FaultPlan>(plan_cfg, chaos_seed);
+    cfg.backend_factory =
+        chaos::chaos_photonic_factory(plan, injection_log);
+    cfg.max_attempts = args.value_int_positive("max-attempts", 5);
+    cfg.supervision_interval = std::chrono::microseconds(500);
+  }
+
   serving::LoadGenConfig load;
   load.target_qps = args.value_double_positive("target-qps", 2000.0);
   const double duration_s = args.value_double_positive("duration-s", 1.0);
@@ -56,6 +95,13 @@ int main(int argc, char** argv) {
             << cfg.max_batch << ", max_wait " << cfg.max_wait.count()
             << " us, " << load.target_qps << " req/s for " << duration_s
             << " s (" << load.requests << " requests) ===\n";
+  if (chaos_on) {
+    std::cout << "chaos     seed " << plan->seed() << ", transient rate "
+              << plan->config().transient_error_rate << ", nan rate "
+              << plan->config().nan_rate << ", scripted deaths "
+              << plan->config().deaths.size() << " (rerun with --chaos-seed "
+              << plan->seed() << " to reproduce)\n";
+  }
 
   serving::Server server(model, cfg);
   Rng input_rng = rng.split(1);
@@ -94,6 +140,22 @@ int main(int argc, char** argv) {
             << "hardware  " << stats.ledger.energy().mJ() << " mJ, "
             << stats.ledger.program_events << " bank program event(s)\n";
 
+  if (chaos_on) {
+    const chaos::InjectionCounts injected = injection_log->snapshot();
+    std::cout << "injected  " << injected.transient_errors << " transient, "
+              << injected.nans << " NaN, " << injected.stuck_reads
+              << " stuck, " << injected.stalls << " stall(s), "
+              << injected.deaths << " death(s)\n"
+              << "healing   " << stats.retries << " retries, "
+              << stats.replica_deaths << " replica death(s), "
+              << stats.replica_restarts << " restart(s), " << stats.failed
+              << " degraded kFailed response(s)\n";
+    for (const serving::ReplicaHealth& h : server.health()) {
+      std::cout << "replica " << h.index << " incarnation " << h.incarnation
+                << ", " << h.batches << " batch(es)\n";
+    }
+  }
+
   // Delivery guarantee: drain() must have served everything accepted.
   if (stats.completed + stats.failed !=
       static_cast<std::uint64_t>(report.accepted)) {
@@ -101,7 +163,20 @@ int main(int argc, char** argv) {
               << stats.completed << " (+" << stats.failed << " failed)\n";
     return 1;
   }
-  if (stats.failed != 0) {
+  if (chaos_on) {
+    // Under chaos, explicit degraded responses are legal; the conservation
+    // laws and the telemetry mirror are the pass/fail line.
+    const chaos::InjectionCounts injected = injection_log->snapshot();
+    const chaos::InvariantReport invariants =
+        chaos::check_soak(server, stats, &report, &injected);
+    if (!invariants.ok()) {
+      std::cerr << "ERROR: chaos invariants violated (--chaos-seed "
+                << plan->seed() << " reproduces):\n"
+                << invariants.to_string();
+      return 1;
+    }
+    std::cout << "invariants all conservation laws hold\n";
+  } else if (stats.failed != 0) {
     std::cerr << "ERROR: " << stats.failed << " request(s) failed\n";
     return 1;
   }

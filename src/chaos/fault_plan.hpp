@@ -1,0 +1,86 @@
+// Seeded, fully reproducible fault schedules.
+//
+// A FaultPlan is the contract between a chaos experiment and its
+// reproduction: everything the injector will do is a pure function of
+// (seed, config).  Schedules are keyed by backend *operation index* — the
+// k-th linear-primitive call a replica's backend executes — rather than by
+// wall-clock time, so the same plan produces the same injection sequence
+// on a loaded CI runner, under a sanitizer, or on a laptop.  (The thread
+// interleaving that *surrounds* the injections still varies, which is
+// exactly what the invariant-checked soak tests are for: the conservation
+// laws must hold for every interleaving of one identical fault schedule.)
+//
+// The fault taxonomy mirrors how the modelled hardware actually fails:
+// transient read glitches (retryable errors), silent corruption (NaN and
+// stuck-read perturbations, echoing core/faults.hpp's stuck GST cells),
+// latency stalls (thermal re-lock, bank re-programming hiccups), and
+// whole-replica death (controller gone — the endurance papers' end state).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace trident::chaos {
+
+/// What one scheduled fault does to the op it lands on.
+enum class FaultKind : std::uint8_t {
+  kTransientError,  ///< the call throws trident::Error; a retry succeeds
+  kNanInjection,    ///< the call's output is corrupted with NaN (one call)
+  kStuckRead,       ///< silent additive corruption of the output (one call)
+  kStall,           ///< the call is delayed by `stall` before executing
+  kReplicaDeath,    ///< the call throws trident::HardwareFailure
+};
+
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// One scheduled fault: fires when the owning backend executes its
+/// `op`-th linear-primitive call.
+struct FaultEvent {
+  FaultKind kind = FaultKind::kTransientError;
+  std::uint64_t op = 0;
+  std::chrono::microseconds stall{0};  ///< kStall only
+
+  friend bool operator==(const FaultEvent&, const FaultEvent&) = default;
+};
+
+struct FaultPlanConfig {
+  /// Ops beyond the horizon are fault-free (bounds schedule generation).
+  std::uint64_t horizon_ops = 4096;
+  /// Per-op Bernoulli rates, drawn in a fixed order per op.
+  double transient_error_rate = 0.0;
+  double nan_rate = 0.0;
+  double stuck_read_rate = 0.0;
+  double stall_rate = 0.0;
+  std::chrono::microseconds stall_duration{1'000};
+  /// Scripted deaths: replica r's incarnation 0 dies at its op-th call.
+  /// (Random background faults above apply to every incarnation; scripted
+  /// deaths fire once, so a restarted replica is not re-killed — that is
+  /// what lets a soak assert "killed exactly once, healed, finished".)
+  std::vector<std::pair<int, std::uint64_t>> deaths;  ///< (replica, op)
+};
+
+/// Deterministic fault schedule generator.  schedule(r, i) is a pure
+/// function of (seed, config, r, i): the same arguments always yield the
+/// identical event list, which is what makes any soak failure replayable
+/// from the printed seed alone.
+class FaultPlan {
+ public:
+  FaultPlan(const FaultPlanConfig& config, std::uint64_t seed);
+
+  /// Sorted-by-op schedule for one backend incarnation.
+  [[nodiscard]] std::vector<FaultEvent> schedule(int replica,
+                                                 int incarnation) const;
+
+  [[nodiscard]] const FaultPlanConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+ private:
+  FaultPlanConfig config_;
+  std::uint64_t seed_;
+};
+
+}  // namespace trident::chaos

@@ -1,0 +1,209 @@
+// Conservation-law checks for chaos experiments (header-only).
+//
+// A chaos soak is only a test if something falsifiable is asserted at the
+// end.  These checkers encode the serving runtime's conservation laws —
+// the properties that must hold for EVERY thread interleaving of a fault
+// schedule, which is exactly what makes them the right assertions for a
+// nondeterministically-interleaved soak:
+//
+//   * request conservation      submitted == accepted + shed
+//                               accepted  == completed + failed   (drained)
+//   * load-report agreement     the generator's own counts match the
+//                               server's books
+//   * telemetry mirror          every runtime counter equals its metrics
+//                               twin (and the injection log equals the
+//                               trident_chaos_* counters)
+//   * queue bounds              depth never exceeds capacity plus the
+//                               worst-case requeued in-flight batches
+//
+// Checkers return an InvariantReport instead of asserting, so one failed
+// law does not hide the others and the soak can print every violation
+// alongside the reproducing seed.
+#pragma once
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "chaos/chaos_backend.hpp"
+#include "serving/load_gen.hpp"
+#include "serving/server.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace trident::chaos {
+
+/// Outcome of one invariant sweep: empty == all laws held.
+struct InvariantReport {
+  std::vector<std::string> violations;
+
+  [[nodiscard]] bool ok() const { return violations.empty(); }
+
+  /// One violation per line (empty string when ok). GTest-friendly:
+  /// `EXPECT_TRUE(report.ok()) << report.to_string();`
+  [[nodiscard]] std::string to_string() const {
+    std::ostringstream out;
+    for (const std::string& v : violations) {
+      out << v << '\n';
+    }
+    return out.str();
+  }
+
+  void merge(const InvariantReport& other) {
+    violations.insert(violations.end(), other.violations.begin(),
+                      other.violations.end());
+  }
+};
+
+namespace detail {
+
+inline void expect_eq(InvariantReport& report, std::uint64_t lhs,
+                      std::uint64_t rhs, const std::string& law) {
+  if (lhs != rhs) {
+    report.violations.push_back(law + ": " + std::to_string(lhs) +
+                                " != " + std::to_string(rhs));
+  }
+}
+
+inline void expect_le(InvariantReport& report, std::uint64_t lhs,
+                      std::uint64_t rhs, const std::string& law) {
+  if (lhs > rhs) {
+    report.violations.push_back(law + ": " + std::to_string(lhs) + " > " +
+                                std::to_string(rhs));
+  }
+}
+
+}  // namespace detail
+
+/// Request conservation on the server's own books.  `drained` selects the
+/// strong post-drain form (every accepted request has a terminal response);
+/// before drain only the weak inequalities can hold.
+[[nodiscard]] inline InvariantReport check_server_conservation(
+    const serving::ServerStats& stats, bool drained = true) {
+  InvariantReport report;
+  detail::expect_eq(report, stats.submitted, stats.accepted + stats.shed,
+                    "submitted == accepted + shed");
+  if (drained) {
+    detail::expect_eq(report, stats.accepted, stats.completed + stats.failed,
+                      "accepted == completed + failed (drained)");
+  } else {
+    detail::expect_le(report, stats.completed + stats.failed, stats.accepted,
+                      "completed + failed <= accepted (serving)");
+  }
+  detail::expect_eq(report, stats.sojourn.count,
+                    stats.completed,
+                    "sojourn samples == completed (kOk responses only)");
+  return report;
+}
+
+/// The load generator's books must agree with the server's: nothing the
+/// generator offered vanished between the two sets of counters.
+[[nodiscard]] inline InvariantReport check_load_conservation(
+    const serving::LoadReport& load, const serving::ServerStats& stats) {
+  InvariantReport report;
+  detail::expect_eq(report, static_cast<std::uint64_t>(load.offered),
+                    static_cast<std::uint64_t>(load.accepted) +
+                        static_cast<std::uint64_t>(load.shed),
+                    "load: offered == accepted + shed");
+  detail::expect_eq(report, static_cast<std::uint64_t>(load.offered),
+                    stats.submitted, "load offered == server submitted");
+  detail::expect_eq(report, static_cast<std::uint64_t>(load.accepted),
+                    stats.accepted, "load accepted == server accepted");
+  detail::expect_eq(report, static_cast<std::uint64_t>(load.shed), stats.shed,
+                    "load shed == server shed");
+  return report;
+}
+
+/// Telemetry double-entry check: every runtime counter must equal its
+/// metrics-registry twin, and (when an injection log is supplied) the log
+/// must equal the trident_chaos_* counters.  Only meaningful when the
+/// registry was reset_values()'d at experiment start AND exactly one
+/// server/injector fleet ran since (the registry is process-global); a
+/// no-op pass when telemetry is off.
+[[nodiscard]] inline InvariantReport check_telemetry_mirror(
+    const serving::ServerStats& stats,
+    const InjectionCounts* injections = nullptr) {
+  InvariantReport report;
+  if (!telemetry::enabled()) {
+    return report;
+  }
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  detail::expect_eq(
+      report, stats.completed,
+      snap.counter_value("trident_serving_requests_completed_total"),
+      "completed == trident_serving_requests_completed_total");
+  detail::expect_eq(report, stats.failed,
+                    snap.counter_value("trident_serving_requests_failed_total"),
+                    "failed == trident_serving_requests_failed_total");
+  detail::expect_eq(report, stats.retries,
+                    snap.counter_value("trident_serving_retries_total"),
+                    "retries == trident_serving_retries_total");
+  detail::expect_eq(report, stats.batches,
+                    snap.counter_value("trident_serving_batches_total"),
+                    "batches == trident_serving_batches_total");
+  detail::expect_eq(
+      report, stats.replica_deaths,
+      snap.counter_value("trident_serving_replica_deaths_total"),
+      "replica_deaths == trident_serving_replica_deaths_total");
+  detail::expect_eq(
+      report, stats.replica_restarts,
+      snap.counter_value("trident_serving_replica_restarts_total"),
+      "replica_restarts == trident_serving_replica_restarts_total");
+  detail::expect_eq(
+      report, stats.stalls_detected,
+      snap.counter_value("trident_serving_replica_stalls_total"),
+      "stalls_detected == trident_serving_replica_stalls_total");
+  if (injections != nullptr) {
+    detail::expect_eq(
+        report, injections->transient_errors,
+        snap.counter_value("trident_chaos_transient_errors_total"),
+        "injection log transient_errors == trident_chaos_transient_errors_total");
+    detail::expect_eq(report, injections->nans,
+                      snap.counter_value("trident_chaos_nan_injections_total"),
+                      "injection log nans == trident_chaos_nan_injections_total");
+    detail::expect_eq(report, injections->stuck_reads,
+                      snap.counter_value("trident_chaos_stuck_reads_total"),
+                      "injection log stuck_reads == trident_chaos_stuck_reads_total");
+    detail::expect_eq(report, injections->stalls,
+                      snap.counter_value("trident_chaos_stalls_total"),
+                      "injection log stalls == trident_chaos_stalls_total");
+    detail::expect_eq(
+        report, injections->deaths,
+        snap.counter_value("trident_chaos_replica_deaths_total"),
+        "injection log deaths == trident_chaos_replica_deaths_total");
+  }
+  return report;
+}
+
+/// Queue-side conservation and bounds.  Depth may transiently exceed
+/// capacity by the requeued in-flight batches (one per replica), never
+/// more.
+[[nodiscard]] inline InvariantReport check_queue_bounds(
+    const serving::Server& server) {
+  InvariantReport report;
+  const serving::ServerConfig& cfg = server.config();
+  const std::uint64_t bound =
+      cfg.admission.capacity +
+      static_cast<std::uint64_t>(cfg.replicas) * cfg.max_batch;
+  detail::expect_le(report, server.queue_depth(), bound,
+                    "queue depth <= capacity + replicas * max_batch");
+  return report;
+}
+
+/// The full post-drain sweep for a soak: every law in one report.
+[[nodiscard]] inline InvariantReport check_soak(
+    const serving::Server& server, const serving::ServerStats& stats,
+    const serving::LoadReport* load = nullptr,
+    const InjectionCounts* injections = nullptr) {
+  InvariantReport report = check_server_conservation(stats, /*drained=*/true);
+  if (load != nullptr) {
+    report.merge(check_load_conservation(*load, stats));
+  }
+  report.merge(check_telemetry_mirror(stats, injections));
+  report.merge(check_queue_bounds(server));
+  return report;
+}
+
+}  // namespace trident::chaos

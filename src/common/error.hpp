@@ -20,6 +20,17 @@ class Error : public std::logic_error {
   explicit Error(const std::string& what) : std::logic_error(what) {}
 };
 
+/// Permanent loss of an execution resource (a replica's accelerator died,
+/// its bank controller wedged, …) as opposed to a transient fault.  The
+/// serving runtime treats an ordinary exception from a backend as "retry
+/// this batch elsewhere" but a HardwareFailure as "decommission this
+/// replica and let the supervisor restart it".  Backends (including the
+/// chaos fault injector) throw it to signal exactly that distinction.
+class HardwareFailure : public Error {
+ public:
+  explicit HardwareFailure(const std::string& what) : Error(what) {}
+};
+
 namespace detail {
 
 [[noreturn]] inline void raise(std::string_view kind, std::string_view expr,

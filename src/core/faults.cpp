@@ -55,6 +55,20 @@ nn::Vector FaultyBackend::matvec_transposed(const nn::Matrix& w,
   return inner_.matvec_transposed(eff, x);
 }
 
+nn::Matrix FaultyBackend::matmul(const nn::Matrix& w, const nn::Matrix& x) {
+  // One mask application for the whole block: the inner batched kernel is
+  // loop-identical per row, so outputs match a loop of faulted matvecs
+  // bit-for-bit while the bank is programmed once instead of per sample.
+  const nn::Matrix eff = effective(w);
+  return inner_.matmul(eff, x);
+}
+
+nn::Matrix FaultyBackend::matmul_transposed(const nn::Matrix& w,
+                                            const nn::Matrix& x) {
+  const nn::Matrix eff = effective(w);
+  return inner_.matmul_transposed(eff, x);
+}
+
 void FaultyBackend::rank1_update(nn::Matrix& w, const nn::Vector& dh,
                                  const nn::Vector& y_prev, double lr) {
   inner_.rank1_update(w, dh, y_prev, lr);

@@ -43,6 +43,18 @@ class FaultyBackend final : public nn::MatvecBackend {
   void rank1_update(nn::Matrix& w, const nn::Vector& dh,
                     const nn::Vector& y_prev, double lr) override;
 
+  /// Batched forward on faulty hardware: imposes the stuck-cell mask ONCE
+  /// per batch and hands the effective matrix to the photonic GEMM path.
+  /// Outputs are bit-identical to a loop of faulted matvecs (the mask is
+  /// frozen per matrix and the inner GEMM is loop-identical); the batch
+  /// additionally amortises bank reprogramming across the block, which is
+  /// what lets FaultyBackend ride the batched serving path.
+  [[nodiscard]] nn::Matrix matmul(const nn::Matrix& w,
+                                  const nn::Matrix& x) override;
+  /// Batched gradient-vector pass with the same once-per-batch mask.
+  [[nodiscard]] nn::Matrix matmul_transposed(const nn::Matrix& w,
+                                             const nn::Matrix& x) override;
+
   [[nodiscard]] const FaultConfig& config() const { return config_; }
   [[nodiscard]] const PhotonicLedger& ledger() const {
     return inner_.ledger();

@@ -41,6 +41,17 @@ enum class Activation {
 /// defaults simply loop the per-sample virtuals, so every backend gets
 /// bit-identical batched semantics for free; backends override them to
 /// amortise quantization, bookkeeping, and memory traffic per block.
+///
+/// Failure contract (what the serving runtime relies on): a backend that
+/// hits a *transient* fault (a glitched read, a chaos-injected error)
+/// throws an ordinary exception — the caller may retry the same call,
+/// possibly on another replica.  A backend whose hardware is *gone*
+/// throws trident::HardwareFailure instead — the owning replica must be
+/// decommissioned and rebuilt, not retried.  Backends may also return
+/// non-finite outputs to model silent data corruption; batch consumers
+/// are expected to scrub for NaN/Inf before trusting a row.  A backend
+/// instance is only ever driven from one thread at a time (each serving
+/// replica owns a private instance), so implementations need no locking.
 class MatvecBackend {
  public:
   virtual ~MatvecBackend() = default;

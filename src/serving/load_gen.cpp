@@ -35,9 +35,16 @@ void pace_until(Clock::time_point deadline, bool precise) {
 LoadReport run_poisson_load(
     Server& server, const LoadGenConfig& config,
     const std::function<nn::Vector(int)>& make_input) {
-  TRIDENT_REQUIRE(config.target_qps > 0.0, "target_qps must be positive");
-  TRIDENT_REQUIRE(config.requests >= 1, "need at least one request");
+  TRIDENT_REQUIRE(config.target_qps >= 0.0, "target_qps must be non-negative");
+  TRIDENT_REQUIRE(config.requests >= 0, "requests must be non-negative");
   TRIDENT_REQUIRE(make_input != nullptr, "make_input must be callable");
+
+  // Degenerate loads terminate immediately instead of hanging: a zero rate
+  // means infinite inter-arrival gaps (nothing ever arrives), and zero
+  // requests means an empty timeline.  Both yield an all-zero report.
+  if (config.target_qps == 0.0 || config.requests == 0) {
+    return LoadReport{};
+  }
 
   // Fix the whole arrival timeline up front (open loop): arrival i happens
   // at start + Σ gaps, whatever the server does.

@@ -18,8 +18,11 @@
 namespace trident::serving {
 
 struct LoadGenConfig {
-  double target_qps = 1000.0;  ///< offered arrival rate λ
-  int requests = 1000;         ///< total arrivals to offer
+  /// Offered arrival rate λ.  0 is a legal degenerate load: nothing ever
+  /// arrives and run_poisson_load returns an empty report immediately.
+  double target_qps = 1000.0;
+  /// Total arrivals to offer (0 = empty timeline, returns immediately).
+  int requests = 1000;
   std::uint64_t seed = 0x10ADull;
   /// Spin (rather than sleep) for the tail of each inter-arrival gap to
   /// keep the arrival process faithful at sub-millisecond rates.  The

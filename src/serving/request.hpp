@@ -6,11 +6,21 @@
 // boundaries so per-request latency decomposes into the spans the paper's
 // "rapid response" story cares about: queue wait (admission → batch cut),
 // service (GEMM on the replica), and total sojourn.
+//
+// Failure semantics: nothing admitted is ever silently dropped.  A request
+// whose service attempt hits a transient fault is requeued and retried on
+// a (possibly different) replica until the per-request attempt budget is
+// exhausted, at which point the promise is fulfilled with an explicit
+// ResponseStatus::kFailed response carrying the last error — a degraded
+// result, not a broken future.  `attempts` records how many service
+// attempts the request consumed either way.
 #pragma once
 
 #include <chrono>
 #include <cstdint>
 #include <future>
+#include <optional>
+#include <string>
 
 #include "nn/matrix.hpp"
 
@@ -25,12 +35,22 @@ struct ResponseTiming {
   double sojourn_s = 0.0;     ///< admission → output ready (what users feel)
 };
 
+/// Terminal state of an admitted request.
+enum class ResponseStatus {
+  kOk,      ///< served; `output` holds the logits
+  kFailed,  ///< retry budget exhausted (or no replica left); `error` says why
+};
+
 /// One completed inference.
 struct Response {
   std::uint64_t id = 0;
-  nn::Vector output;           ///< output-layer logits
+  ResponseStatus status = ResponseStatus::kOk;
+  nn::Vector output;           ///< output-layer logits (empty on kFailed)
   std::size_t batch_size = 0;  ///< size of the micro-batch this rode in
-  int replica = -1;            ///< which replica served it
+  int replica = -1;            ///< which replica served it (-1: none did)
+  int attempts = 1;            ///< service attempts consumed (>1 ⇒ retried)
+  std::string error;           ///< last failure message (kFailed only)
+  bool deadline_missed = false;  ///< explicit per-request deadline blown
   ResponseTiming timing;
 };
 
@@ -39,6 +59,12 @@ struct Request {
   std::uint64_t id = 0;
   nn::Vector input;
   Clock::time_point admitted{};  ///< stamped when admission accepts
+  /// Explicit absolute deadline (optional).  A deadline that has already
+  /// expired at admission is counted as an SLO violation right there;
+  /// the request is still served (the deadline is advisory, not a drop).
+  std::optional<Clock::time_point> deadline;
+  int attempts = 0;  ///< failed service attempts so far (retry accounting)
+  bool deadline_violation_counted = false;  ///< avoid double-counting
   std::promise<Response> promise;
 };
 

@@ -42,8 +42,10 @@ AdmitResult RequestQueue::push(Request& r) {
   {
     std::unique_lock lock(mutex_);
     if (policy_ == OverloadPolicy::kBlock) {
+      ++producers_waiting_;
       space_cv_.wait(lock,
                      [&] { return closed_ || queue_.size() < capacity_; });
+      --producers_waiting_;
     }
     if (closed_) {
       return AdmitResult::kClosed;
@@ -72,6 +74,20 @@ AdmitResult RequestQueue::push(Request& r) {
   return AdmitResult::kAccepted;
 }
 
+void RequestQueue::requeue(Request&& r) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_front(std::move(r));
+    ++requeued_;
+    // Published under the lock so a concurrent push/pop cannot overwrite
+    // the gauge with a staler depth.
+    if (telemetry::enabled()) {
+      queue_metrics().depth.set(static_cast<double>(queue_.size()));
+    }
+  }
+  not_empty_cv_.notify_one();
+}
+
 std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
                                              std::chrono::microseconds max_wait) {
   TRIDENT_REQUIRE(max_batch > 0, "max_batch must be positive");
@@ -80,8 +96,10 @@ std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
   {
     std::unique_lock lock(mutex_);
     for (;;) {
+      ++poppers_waiting_;
       not_empty_cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
       if (queue_.empty()) {
+        --poppers_waiting_;
         return batch;  // closed and drained
       }
       // Deadline-aware cut: the head request waits at most max_wait (counted
@@ -92,6 +110,7 @@ std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
           return closed_ || queue_.size() >= max_batch;
         });
       }
+      --poppers_waiting_;
       if (!queue_.empty()) {
         break;
       }
@@ -105,6 +124,7 @@ std::vector<Request> RequestQueue::pop_batch(std::size_t max_batch,
       batch.push_back(std::move(queue_.front()));
       queue_.pop_front();
     }
+    popped_ += n;
     depth = queue_.size();
     // Published under the lock so a concurrent push/pop cannot overwrite
     // the gauge with a staler depth.
@@ -147,6 +167,26 @@ std::uint64_t RequestQueue::accepted() const {
 std::uint64_t RequestQueue::shed() const {
   std::lock_guard lock(mutex_);
   return shed_;
+}
+
+std::uint64_t RequestQueue::requeued() const {
+  std::lock_guard lock(mutex_);
+  return requeued_;
+}
+
+std::uint64_t RequestQueue::popped() const {
+  std::lock_guard lock(mutex_);
+  return popped_;
+}
+
+std::size_t RequestQueue::poppers_waiting() const {
+  std::lock_guard lock(mutex_);
+  return poppers_waiting_;
+}
+
+std::size_t RequestQueue::producers_waiting() const {
+  std::lock_guard lock(mutex_);
+  return producers_waiting_;
 }
 
 }  // namespace trident::serving

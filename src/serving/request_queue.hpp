@@ -68,6 +68,16 @@ class RequestQueue {
   /// the promise and can fail it).
   [[nodiscard]] AdmitResult push(Request& r);
 
+  /// Puts an already-admitted request back at the HEAD of the queue (a
+  /// retry after a transient service fault).  Bypasses admission: the
+  /// request was accepted once and its admission stamp is preserved, so
+  /// it is not re-counted and is taken back even while the queue is
+  /// closed/draining — a retry must never be shed.  Head placement keeps
+  /// the retried request's sojourn bounded instead of sending it to the
+  /// back of the backlog.  Depth may transiently exceed `capacity` by the
+  /// in-flight batch size; `requeued()` counts these re-entries.
+  void requeue(Request&& r);
+
   /// Pops up to `max_batch` requests.  Blocks until at least one request
   /// is available.  Once the first request is visible, waits at most
   /// `max_wait` for the batch to fill before cutting it; if a sibling
@@ -90,6 +100,19 @@ class RequestQueue {
   /// Admission counters (monotonic, for reports and tests).
   [[nodiscard]] std::uint64_t accepted() const;
   [[nodiscard]] std::uint64_t shed() const;
+  /// Retry re-entries via requeue() (not re-counted in accepted()).
+  [[nodiscard]] std::uint64_t requeued() const;
+  /// Requests handed out through pop_batch so far.  Conservation law (the
+  /// fuzz suite pins it): popped() + depth() == accepted() + requeued().
+  [[nodiscard]] std::uint64_t popped() const;
+
+  /// Threads currently blocked inside pop_batch (either waiting for the
+  /// first request or holding a batch-fill window open).  Deterministic
+  /// synchronization hook for tests: "popper A is parked again" is
+  /// observable instead of being approximated with a wall-clock sleep.
+  [[nodiscard]] std::size_t poppers_waiting() const;
+  /// Producers currently blocked in push under OverloadPolicy::kBlock.
+  [[nodiscard]] std::size_t producers_waiting() const;
 
  private:
   const std::size_t capacity_;
@@ -103,6 +126,10 @@ class RequestQueue {
   bool closed_ = false;
   std::uint64_t accepted_ = 0;
   std::uint64_t shed_ = 0;
+  std::uint64_t requeued_ = 0;
+  std::uint64_t popped_ = 0;
+  std::size_t poppers_waiting_ = 0;
+  std::size_t producers_waiting_ = 0;
 };
 
 }  // namespace trident::serving

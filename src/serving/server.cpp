@@ -1,6 +1,7 @@
 #include "serving/server.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <exception>
 #include <optional>
 #include <string>
@@ -26,12 +27,27 @@ struct ServerMetrics {
                   "requests served to completion");
   telemetry::Counter& failed =
       reg.counter("trident_serving_requests_failed_total",
-                  "requests whose service raised an error");
+                  "requests answered with an explicit kFailed response");
+  telemetry::Counter& retries =
+      reg.counter("trident_serving_retries_total",
+                  "requests requeued after a transient fault or replica death");
   telemetry::Counter& batches = reg.counter(
       "trident_serving_batches_total", "micro-batches cut and served");
   telemetry::Counter& slo_violations =
       reg.counter("trident_serving_slo_violations_total",
                   "responses slower than the configured sojourn SLO");
+  telemetry::Counter& replica_deaths =
+      reg.counter("trident_serving_replica_deaths_total",
+                  "workers lost to a HardwareFailure");
+  telemetry::Counter& replica_restarts =
+      reg.counter("trident_serving_replica_restarts_total",
+                  "supervisor restarts (new replica incarnations)");
+  telemetry::Counter& stalls =
+      reg.counter("trident_serving_replica_stalls_total",
+                  "replicas flagged past the stall threshold");
+  telemetry::Gauge& healthy =
+      reg.gauge("trident_serving_replicas_healthy",
+                "replicas currently idle or serving");
   telemetry::Histogram& queue_wait = reg.histogram(
       "trident_serving_queue_wait_seconds",
       telemetry::duration_buckets_seconds(), "admission to batch cut");
@@ -65,10 +81,26 @@ ServerMetrics& server_metrics() {
   return std::chrono::duration<double>(b - a).count();
 }
 
+[[nodiscard]] std::int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+[[nodiscard]] bool row_finite(std::span<const double> row) {
+  for (double v : row) {
+    if (!std::isfinite(v)) {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Server::Server(const nn::Mlp& model, const ServerConfig& config)
     : config_(config),
+      model_(model),
       input_dim_(model.layer_sizes().front()),
       queue_(config.admission) {
   TRIDENT_REQUIRE(config.replicas >= 1, "need at least one replica");
@@ -77,33 +109,82 @@ Server::Server(const nn::Mlp& model, const ServerConfig& config)
                   "max_wait must be non-negative");
   TRIDENT_REQUIRE(config.slo_target_s >= 0.0,
                   "slo_target_s must be non-negative");
+  TRIDENT_REQUIRE(config.max_attempts >= 1,
+                  "max_attempts must be at least one");
+  TRIDENT_REQUIRE(config.max_restarts >= 0,
+                  "max_restarts must be non-negative");
   replicas_.reserve(static_cast<std::size_t>(config.replicas));
   for (int r = 0; r < config.replicas; ++r) {
-    core::PhotonicBackendConfig backend_cfg = config.backend;
-    // Independent noise stream per replica (counter-based split, the same
-    // idiom the Monte-Carlo sweeps use).
-    backend_cfg.seed =
-        Rng(config.backend.seed).split(static_cast<std::uint64_t>(r)).seed();
-    replicas_.push_back(std::make_unique<Replica>(r, model, backend_cfg));
+    auto replica = std::make_unique<Replica>(r, model);
+    replica->backend = make_backend(r, 0);
+    replicas_.push_back(std::move(replica));
   }
   for (auto& replica : replicas_) {
-    replica->worker = std::thread([this, rep = replica.get()] {
-      worker_loop(*rep);
-    });
+    start_worker(*replica);
+  }
+  supervisor_ = std::thread([this] { supervisor_loop(); });
+  if (telemetry::enabled()) {
+    server_metrics().healthy.set(static_cast<double>(config.replicas));
   }
 }
 
 Server::~Server() { drain(); }
 
+ReplicaBackend Server::make_backend(int replica, int incarnation) const {
+  core::PhotonicBackendConfig backend_cfg = config_.backend;
+  // Independent noise stream per (replica, incarnation): counter-based
+  // split, the same idiom the Monte-Carlo sweeps use.  A restarted
+  // replica never replays its predecessor's stream.
+  backend_cfg.seed = Rng(config_.backend.seed)
+                         .split(static_cast<std::uint64_t>(replica))
+                         .split(static_cast<std::uint64_t>(incarnation))
+                         .seed();
+  if (config_.backend_factory) {
+    return config_.backend_factory(replica, incarnation, backend_cfg);
+  }
+  auto backend = std::make_unique<core::PhotonicBackend>(backend_cfg);
+  core::PhotonicBackend* raw = backend.get();
+  return ReplicaBackend{std::move(backend),
+                        [raw] { return raw->ledger(); }};
+}
+
+void Server::start_worker(Replica& replica) {
+  heartbeat(replica);
+  replica.state.store(ReplicaState::kIdle, std::memory_order_release);
+  replica.worker = std::thread([this, rep = &replica] { worker_loop(*rep); });
+}
+
 std::optional<std::future<Response>> Server::submit(nn::Vector input) {
+  return submit(std::move(input), Clock::time_point{});
+}
+
+std::optional<std::future<Response>> Server::submit(nn::Vector input,
+                                                    Clock::time_point deadline) {
   TRIDENT_REQUIRE(static_cast<int>(input.size()) == input_dim_,
                   "input width " + std::to_string(input.size()) +
                       " does not match the model input " +
                       std::to_string(input_dim_));
-  submitted_.fetch_add(1, std::memory_order_relaxed);
+  const std::uint64_t index =
+      submitted_.fetch_add(1, std::memory_order_relaxed);
+  if (config_.admission_blip && config_.admission_blip(index)) {
+    blip_shed_.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
   Request request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.input = std::move(input);
+  if (deadline != Clock::time_point{}) {
+    request.deadline = deadline;
+    if (deadline <= Clock::now()) {
+      // Already hopeless at admission: the SLO is blown before any queueing
+      // or service happened.  Count it here, once.
+      request.deadline_violation_counted = true;
+      slo_violations_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        server_metrics().slo_violations.add(1);
+      }
+    }
+  }
   std::future<Response> future = request.promise.get_future();
   if (queue_.push(request) != AdmitResult::kAccepted) {
     return std::nullopt;
@@ -111,21 +192,43 @@ std::optional<std::future<Response>> Server::submit(nn::Vector input) {
   return future;
 }
 
+void Server::heartbeat(Replica& replica) const {
+  replica.heartbeat_ns.store(now_ns(), std::memory_order_relaxed);
+}
+
 void Server::worker_loop(Replica& replica) {
   for (;;) {
+    replica.state.store(ReplicaState::kIdle, std::memory_order_release);
+    heartbeat(replica);
     std::vector<Request> batch =
         queue_.pop_batch(config_.max_batch, config_.max_wait);
     if (batch.empty()) {
       return;  // queue closed and drained
     }
-    serve_batch(replica, batch);
+    replica.state.store(ReplicaState::kServing, std::memory_order_release);
+    heartbeat(replica);
+    const bool alive = serve_batch(replica, batch);
+    heartbeat(replica);
+    replica.stall_flagged.store(false, std::memory_order_relaxed);
+    if (!alive) {
+      // Hardware gone: hand the replica to the supervisor and exit.
+      replica.state.store(ReplicaState::kDead, std::memory_order_release);
+      deaths_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        server_metrics().replica_deaths.add(1);
+      }
+      death_pending_.store(true, std::memory_order_release);
+      supervisor_cv_.notify_all();
+      return;
+    }
   }
 }
 
-void Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
+bool Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
   const Clock::time_point formed = Clock::now();
   const std::size_t n = batch.size();
   batches_.fetch_add(1, std::memory_order_relaxed);
+  replica.batches.fetch_add(1, std::memory_order_relaxed);
 
   const bool telem = telemetry::enabled();
   if (telem) {
@@ -158,27 +261,44 @@ void Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
     }
     const Clock::time_point start = Clock::now();
     const nn::BatchForwardTrace trace =
-        replica.model.forward_batch(x, replica.backend);
+        replica.model.forward_batch(x, *replica.backend.backend);
     const Clock::time_point done = Clock::now();
     span.reset();
 
     const nn::Matrix& logits = trace.activations.back();
     const double service_s = seconds_between(start, done);
     for (std::size_t b = 0; b < n; ++b) {
+      if (!row_finite(logits.row(b))) {
+        // Silent-corruption scrub: a non-finite row never reaches the
+        // caller; the request goes back for another attempt.
+        retry_or_fail(std::move(batch[b]),
+                      "non-finite output from replica " +
+                          std::to_string(replica.index));
+        continue;
+      }
       Response response;
       response.id = batch[b].id;
       const auto row = logits.row(b);
       response.output.assign(row.begin(), row.end());
       response.batch_size = n;
       response.replica = replica.index;
+      response.attempts = batch[b].attempts + 1;
       response.timing.queue_wait_s = seconds_between(batch[b].admitted, formed);
       response.timing.service_s = service_s;
       response.timing.sojourn_s = seconds_between(batch[b].admitted, done);
 
       service_.record(service_s);
       sojourn_.record(response.timing.sojourn_s);
-      const bool violated = config_.slo_target_s > 0.0 &&
-                            response.timing.sojourn_s > config_.slo_target_s;
+      bool violated = config_.slo_target_s > 0.0 &&
+                      response.timing.sojourn_s > config_.slo_target_s;
+      if (batch[b].deadline.has_value()) {
+        response.deadline_missed = batch[b].deadline_violation_counted ||
+                                   done > *batch[b].deadline;
+        // A miss already billed at admission is not billed again.
+        if (response.deadline_missed && !batch[b].deadline_violation_counted) {
+          violated = true;
+        }
+      }
       if (violated) {
         slo_violations_.fetch_add(1, std::memory_order_relaxed);
       }
@@ -194,19 +314,154 @@ void Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
       }
       batch[b].promise.set_value(std::move(response));
     }
-  } catch (...) {
-    const std::exception_ptr err = std::current_exception();
+    return true;
+  } catch (const HardwareFailure& hf) {
+    // The replica is gone.  Its batch is not at fault per se, but each
+    // member still burns one attempt — a request that keeps landing on
+    // dying hardware must eventually resolve.
     for (Request& r : batch) {
-      failed_.fetch_add(1, std::memory_order_relaxed);
-      if (telem) {
-        server_metrics().failed.add(1);
+      retry_or_fail(std::move(r), hf.what());
+    }
+    return false;
+  } catch (const std::exception& e) {
+    for (Request& r : batch) {
+      retry_or_fail(std::move(r), e.what());
+    }
+    return true;
+  } catch (...) {
+    for (Request& r : batch) {
+      retry_or_fail(std::move(r), "unknown error");
+    }
+    return true;
+  }
+}
+
+void Server::retry_or_fail(Request&& r, const std::string& why) {
+  ++r.attempts;
+  if (r.attempts >= config_.max_attempts) {
+    fail_request(std::move(r), why);
+    return;
+  }
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    server_metrics().retries.add(1);
+  }
+  queue_.requeue(std::move(r));
+}
+
+void Server::fail_request(Request&& r, const std::string& why) {
+  const Clock::time_point now = Clock::now();
+  Response response;
+  response.id = r.id;
+  response.status = ResponseStatus::kFailed;
+  response.attempts = r.attempts;
+  response.error = why;
+  response.timing.sojourn_s = seconds_between(r.admitted, now);
+  if (r.deadline.has_value()) {
+    response.deadline_missed = now > *r.deadline;
+  }
+  failed_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    server_metrics().failed.add(1);
+  }
+  r.promise.set_value(std::move(response));
+}
+
+void Server::supervisor_loop() {
+  std::unique_lock lock(supervisor_mutex_);
+  for (;;) {
+    supervisor_cv_.wait_for(lock, config_.supervision_interval, [&] {
+      return supervisor_stop_.load(std::memory_order_acquire) ||
+             death_pending_.load(std::memory_order_acquire);
+    });
+    if (supervisor_stop_.load(std::memory_order_acquire)) {
+      return;
+    }
+    death_pending_.store(false, std::memory_order_release);
+    // Restart scan.  Safe without extra locking: only the supervisor
+    // touches a dead replica's thread/model/backend, and the worker that
+    // set kDead has already returned (join() below synchronises with it).
+    std::size_t healthy = 0;
+    for (auto& replica : replicas_) {
+      const ReplicaState state =
+          replica->state.load(std::memory_order_acquire);
+      if (state == ReplicaState::kDead) {
+        if (config_.restart_dead_replicas && !queue_.closed() &&
+            replica->incarnation.load(std::memory_order_relaxed) <
+                config_.max_restarts) {
+          restart_replica(*replica);
+          ++healthy;
+        } else {
+          if (replica->worker.joinable()) {
+            replica->worker.join();
+          }
+          replica->state.store(ReplicaState::kRetired,
+                               std::memory_order_release);
+        }
+        continue;
       }
-      try {
-        r.promise.set_exception(err);
-      } catch (const std::future_error&) {
-        // Promise already satisfied (failure mid-batch after some
-        // set_value calls): nothing left to report to that caller.
+      if (state == ReplicaState::kIdle || state == ReplicaState::kServing) {
+        ++healthy;
+        // Stall detection: only a replica actively serving can be stuck;
+        // an idle one parks in pop_batch legitimately.
+        if (state == ReplicaState::kServing) {
+          const double age_s =
+              static_cast<double>(
+                  now_ns() -
+                  replica->heartbeat_ns.load(std::memory_order_relaxed)) *
+              1e-9;
+          const double threshold_s =
+              std::chrono::duration<double>(config_.stall_threshold).count();
+          if (age_s > threshold_s &&
+              !replica->stall_flagged.exchange(true,
+                                               std::memory_order_relaxed)) {
+            stalls_.fetch_add(1, std::memory_order_relaxed);
+            if (telemetry::enabled()) {
+              server_metrics().stalls.add(1);
+            }
+          }
+        }
       }
+    }
+    if (telemetry::enabled()) {
+      server_metrics().healthy.set(static_cast<double>(healthy));
+    }
+  }
+}
+
+void Server::restart_replica(Replica& replica) {
+  if (replica.worker.joinable()) {
+    replica.worker.join();
+  }
+  // Fold the dead incarnation's hardware bill in before the backend is
+  // replaced, so drain-time aggregation stays exact.
+  if (replica.backend.ledger) {
+    std::lock_guard ledger_lock(ledger_mutex_);
+    retired_ledger_ = retired_ledger_ + replica.backend.ledger();
+  }
+  const int incarnation =
+      replica.incarnation.fetch_add(1, std::memory_order_relaxed) + 1;
+  // Re-clone the pristine model (a dying backend may have been mid-update)
+  // and split a fresh RNG stream for the new incarnation.
+  replica.model = model_;
+  replica.backend = make_backend(replica.index, incarnation);
+  restarts_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    server_metrics().replica_restarts.add(1);
+  }
+  start_worker(replica);
+}
+
+void Server::fail_leftovers() {
+  for (;;) {
+    std::vector<Request> leftovers =
+        queue_.pop_batch(config_.max_batch, std::chrono::microseconds(0));
+    if (leftovers.empty()) {
+      return;
+    }
+    for (Request& r : leftovers) {
+      // Not a retry: there is nowhere left to retry to.
+      fail_request(std::move(r), "no replica available (all workers dead)");
     }
   }
 }
@@ -217,11 +472,23 @@ void Server::drain() {
     return;
   }
   queue_.close();
+  // Stop the supervisor first: afterwards nobody else touches the worker
+  // thread handles, so the joins below are race-free.  Replicas that die
+  // during the drain stay dead (the closed queue disables restarts);
+  // survivors finish the backlog.
+  supervisor_stop_.store(true, std::memory_order_release);
+  supervisor_cv_.notify_all();
+  if (supervisor_.joinable()) {
+    supervisor_.join();
+  }
   for (auto& replica : replicas_) {
     if (replica->worker.joinable()) {
       replica->worker.join();
     }
   }
+  // If every replica died mid-drain the queue may still hold accepted
+  // requests; answer them explicitly so conservation holds.
+  fail_leftovers();
   drained_ = true;
   publish_slo_gauges(sojourn_.summary());
 }
@@ -230,7 +497,7 @@ ServerStats Server::stats() const {
   ServerStats s;
   s.submitted = submitted_.load(std::memory_order_relaxed);
   s.accepted = queue_.accepted();
-  s.shed = queue_.shed();
+  s.shed = queue_.shed() + blip_shed_.load(std::memory_order_relaxed);
   s.completed = completed_.load(std::memory_order_relaxed);
   s.failed = failed_.load(std::memory_order_relaxed);
   s.batches = batches_.load(std::memory_order_relaxed);
@@ -241,16 +508,46 @@ ServerStats Server::stats() const {
   s.queue_wait = queue_wait_.summary();
   s.service = service_.summary();
   s.slo_violations = slo_violations_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.replica_deaths = deaths_.load(std::memory_order_relaxed);
+  s.replica_restarts = restarts_.load(std::memory_order_relaxed);
+  s.stalls_detected = stalls_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(drain_mutex_);
     if (drained_) {
+      {
+        std::lock_guard ledger_lock(ledger_mutex_);
+        s.ledger = retired_ledger_;
+      }
       for (const auto& replica : replicas_) {
-        s.ledger = s.ledger + replica->backend.ledger();
+        if (replica->backend.ledger) {
+          s.ledger = s.ledger + replica->backend.ledger();
+        }
       }
     }
   }
   publish_slo_gauges(s.sojourn);
   return s;
+}
+
+std::vector<ReplicaHealth> Server::health() const {
+  std::vector<ReplicaHealth> out;
+  out.reserve(replicas_.size());
+  const std::int64_t now = now_ns();
+  for (const auto& replica : replicas_) {
+    ReplicaHealth h;
+    h.index = replica->index;
+    h.state = replica->state.load(std::memory_order_acquire);
+    h.incarnation = replica->incarnation.load(std::memory_order_relaxed);
+    h.batches = replica->batches.load(std::memory_order_relaxed);
+    h.heartbeat_age_s =
+        static_cast<double>(
+            now - replica->heartbeat_ns.load(std::memory_order_relaxed)) *
+        1e-9;
+    h.stalled = replica->stall_flagged.load(std::memory_order_relaxed);
+    out.push_back(h);
+  }
+  return out;
 }
 
 void Server::publish_slo_gauges(const LatencySummary& sojourn) const {

@@ -1,9 +1,10 @@
-// Multi-replica edge-serving runtime.
+// Multi-replica edge-serving runtime with replica self-healing.
 //
 // The Server owns N independent accelerator replicas — each one a private
-// Mlp weight copy plus its own PhotonicBackend (weight banks, quantizers,
-// noise stream, energy ledger) — and a shared admission-controlled request
-// queue.  Each replica runs a worker thread in a simple loop:
+// Mlp weight copy plus its own backend (by default a PhotonicBackend with
+// weight banks, quantizers, noise stream, energy ledger) — and a shared
+// admission-controlled request queue.  Each replica runs a worker thread
+// in a simple loop:
 //
 //   pop_batch(max_batch, max_wait)   deadline-aware micro-batch cut
 //   forward_batch(...)               one batched GEMM pass (PR-1 fast path)
@@ -18,17 +19,40 @@
 // requests were grouped into batches — the property the end-to-end test
 // pins down.
 //
+// Failure handling is explicit and conservation-preserving; the chaos
+// suite (src/chaos/) drives every path below with seeded fault plans:
+//
+//   * transient faults — a backend exception or a non-finite output row
+//     requeues the affected requests at the queue head with a bounded
+//     per-request retry budget (`max_attempts`); once the budget is spent
+//     the promise is fulfilled with an explicit ResponseStatus::kFailed
+//     degraded response.  Nothing admitted is ever silently dropped.
+//   * replica death — a backend throwing trident::HardwareFailure kills
+//     its replica: the in-flight batch is requeued, the worker exits, and
+//     the supervisor thread restarts the replica with a re-cloned model
+//     and a fresh RNG-split backend (a new incarnation), up to
+//     `max_restarts` times.
+//   * stalls — workers stamp a heartbeat around every batch; the
+//     supervisor flags replicas that sit in kServing past
+//     `stall_threshold` (counted, surfaced via health()).
+//
 // Shutdown is graceful by construction: drain() closes admission, workers
-// finish every accepted request, then join.  Nothing accepted is dropped.
+// finish every accepted request, then join.  If every replica died and
+// could not be restarted, drain() fails the leftover queue explicitly
+// (kFailed, "no replica available") — the accepted == completed + failed
+// conservation law holds in every fault scenario.
 #pragma once
 
 #include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -40,6 +64,20 @@
 
 namespace trident::serving {
 
+/// One replica's execution engine plus an optional hardware-bill accessor
+/// (null when the backend keeps no ledger).  Produced by a BackendFactory.
+struct ReplicaBackend {
+  std::unique_ptr<nn::MatvecBackend> backend;
+  std::function<core::PhotonicLedger()> ledger;
+};
+
+/// Builds the backend for (replica, incarnation).  `cfg` already carries
+/// the per-incarnation split seed, so a default factory just constructs a
+/// PhotonicBackend from it; decorators (FaultyBackend, chaos injection)
+/// layer here without the Server knowing.
+using BackendFactory = std::function<ReplicaBackend(
+    int replica, int incarnation, const core::PhotonicBackendConfig& cfg)>;
+
 struct ServerConfig {
   int replicas = 1;
   std::size_t max_batch = 8;
@@ -47,12 +85,46 @@ struct ServerConfig {
   /// co-batchers before the batch is cut anyway.
   std::chrono::microseconds max_wait{200};
   AdmissionConfig admission;
-  /// Per-replica backend; replica r runs with seed split(seed, r) so the
-  /// noise streams are independent.
+  /// Per-replica backend; replica r (incarnation i) runs with seed
+  /// split(split(seed, r), i) so every noise stream — including the ones
+  /// born from a restart — is independent.
   core::PhotonicBackendConfig backend;
   /// Sojourn-time SLO in seconds; responses slower than this count as
   /// violations.  0 disables SLO accounting.
   double slo_target_s = 0.0;
+  /// Service attempts per request before the degraded kFailed response.
+  int max_attempts = 3;
+  /// Restart replicas whose backend threw HardwareFailure.
+  bool restart_dead_replicas = true;
+  /// Restart budget per replica (incarnations beyond the first).
+  int max_restarts = 8;
+  /// Supervisor wake-up period (health scan cadence).
+  std::chrono::microseconds supervision_interval{2'000};
+  /// A replica stuck in kServing longer than this is flagged stalled.
+  std::chrono::microseconds stall_threshold{100'000};
+  /// Replacement backend builder; null uses the plain PhotonicBackend.
+  BackendFactory backend_factory;
+  /// Chaos hook: returns true to shed the i-th submit at admission (a
+  /// seeded "admission blip").  Null disables.
+  std::function<bool(std::uint64_t submit_index)> admission_blip;
+};
+
+/// Lifecycle of one replica worker, as the supervisor sees it.
+enum class ReplicaState {
+  kIdle,     ///< parked in pop_batch, queue empty
+  kServing,  ///< running a batch
+  kDead,     ///< backend raised HardwareFailure; awaiting restart
+  kRetired,  ///< dead with no restart budget left (or server draining)
+};
+
+/// Point-in-time health view of one replica (all fields lock-free reads).
+struct ReplicaHealth {
+  int index = 0;
+  ReplicaState state = ReplicaState::kIdle;
+  int incarnation = 0;  ///< 0 = original; +1 per supervisor restart
+  std::uint64_t batches = 0;  ///< batches served across incarnations
+  double heartbeat_age_s = 0.0;
+  bool stalled = false;  ///< currently past the stall threshold
 };
 
 /// Point-in-time view of the runtime's own accounting (available with
@@ -60,18 +132,24 @@ struct ServerConfig {
 struct ServerStats {
   std::uint64_t submitted = 0;
   std::uint64_t accepted = 0;
-  std::uint64_t shed = 0;
+  std::uint64_t shed = 0;  ///< admission control + chaos admission blips
   std::uint64_t completed = 0;
-  std::uint64_t failed = 0;
+  std::uint64_t failed = 0;  ///< explicit kFailed degraded responses
   std::uint64_t batches = 0;
   double mean_batch = 0.0;  ///< completed / batches
   LatencySummary sojourn;
   LatencySummary queue_wait;
   LatencySummary service;
   std::uint64_t slo_violations = 0;
+  /// Self-healing ledger.
+  std::uint64_t retries = 0;           ///< requests requeued after a fault
+  std::uint64_t replica_deaths = 0;    ///< HardwareFailure worker exits
+  std::uint64_t replica_restarts = 0;  ///< supervisor re-incarnations
+  std::uint64_t stalls_detected = 0;   ///< heartbeat overruns flagged
   /// Aggregate hardware bill across replicas.  Only populated once the
   /// server is drained (replica ledgers are worker-thread-private while
-  /// serving); zero before that.
+  /// serving); zero before that.  Dead incarnations' bills are folded in
+  /// at restart time.
   core::PhotonicLedger ledger;
 };
 
@@ -92,11 +170,20 @@ class Server {
   /// under OverloadPolicy::kBlock with a full queue.
   [[nodiscard]] std::optional<std::future<Response>> submit(nn::Vector input);
 
+  /// Submit with an explicit absolute deadline.  A deadline that has
+  /// already expired counts as an SLO violation at admission (the request
+  /// is still served; the response carries deadline_missed).
+  [[nodiscard]] std::optional<std::future<Response>> submit(
+      nn::Vector input, Clock::time_point deadline);
+
   /// Closes admission, serves every accepted request, joins all replica
-  /// workers.  Idempotent.
+  /// workers, then fails any leftovers explicitly if no replica survived.
+  /// Idempotent.
   void drain();
 
   [[nodiscard]] ServerStats stats() const;
+  /// Per-replica lifecycle/heartbeat view (cheap, lock-free).
+  [[nodiscard]] std::vector<ReplicaHealth> health() const;
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] int replicas() const { return static_cast<int>(replicas_.size()); }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
@@ -106,33 +193,71 @@ class Server {
   struct Replica {
     int index = 0;
     nn::Mlp model;
-    core::PhotonicBackend backend;
+    ReplicaBackend backend;
     std::thread worker;
+    std::atomic<ReplicaState> state{ReplicaState::kIdle};
+    std::atomic<int> incarnation{0};
+    std::atomic<std::uint64_t> batches{0};
+    std::atomic<std::int64_t> heartbeat_ns{0};  ///< steady-clock stamp
+    std::atomic<bool> stall_flagged{false};
 
-    Replica(int idx, const nn::Mlp& m, const core::PhotonicBackendConfig& cfg)
-        : index(idx), model(m), backend(cfg) {}
+    Replica(int idx, const nn::Mlp& m) : index(idx), model(m) {}
   };
 
+  [[nodiscard]] ReplicaBackend make_backend(int replica, int incarnation) const;
+  void start_worker(Replica& replica);
   void worker_loop(Replica& replica);
-  void serve_batch(Replica& replica, std::vector<Request>& batch);
+  /// Serves one batch.  Returns false when the replica's hardware died
+  /// (batch already requeued) and the worker must exit.
+  [[nodiscard]] bool serve_batch(Replica& replica, std::vector<Request>& batch);
+  /// Requeues `r` for another attempt, or fulfils it as kFailed when the
+  /// attempt budget is spent.
+  void retry_or_fail(Request&& r, const std::string& why);
+  void fail_request(Request&& r, const std::string& why);
+  void heartbeat(Replica& replica) const;
+  void supervisor_loop();
+  void restart_replica(Replica& replica);
+  /// Fails everything still queued after the workers exited (all replicas
+  /// dead): the explicit degraded-drain path.
+  void fail_leftovers();
   /// Publishes exact p50/p99 sojourn gauges to telemetry (no-op when
   /// telemetry is off).
   void publish_slo_gauges(const LatencySummary& sojourn) const;
 
   ServerConfig config_;
+  nn::Mlp model_;  ///< pristine copy for restart re-cloning
   int input_dim_ = 0;
   RequestQueue queue_;
   std::vector<std::unique_ptr<Replica>> replicas_;
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> blip_shed_{0};
   std::atomic<std::uint64_t> completed_{0};
   std::atomic<std::uint64_t> failed_{0};
   std::atomic<std::uint64_t> batches_{0};
   std::atomic<std::uint64_t> slo_violations_{0};
+  std::atomic<std::uint64_t> retries_{0};
+  std::atomic<std::uint64_t> deaths_{0};
+  std::atomic<std::uint64_t> restarts_{0};
+  std::atomic<std::uint64_t> stalls_{0};
   LatencyRecorder sojourn_;
   LatencyRecorder queue_wait_;
   LatencyRecorder service_;
+
+  /// Bills of incarnations that died (folded in at restart/drain).
+  mutable std::mutex ledger_mutex_;
+  core::PhotonicLedger retired_ledger_;
+
+  // The supervisor wakes on its interval or on a death notification.  The
+  // flags are atomics so a dying worker never needs supervisor_mutex_ —
+  // the supervisor may be holding it while joining that very worker.  A
+  // notify that races the wait is recovered by the periodic wake-up.
+  std::thread supervisor_;
+  std::mutex supervisor_mutex_;
+  std::condition_variable supervisor_cv_;
+  std::atomic<bool> supervisor_stop_{false};
+  std::atomic<bool> death_pending_{false};
 
   mutable std::mutex drain_mutex_;
   bool drained_ = false;

@@ -1,0 +1,390 @@
+// Invariant-checked chaos soak tests: seeded fault injection against the
+// multi-replica serving runtime, exercising self-healing end to end.
+//
+// Reproduction contract: every soak derives its fault schedule from ONE
+// seed (TRIDENT_CHAOS_SEED in the environment, fixed default otherwise)
+// and prints it.  Re-running with the printed seed regenerates the
+// identical injection schedule; the thread interleaving around it still
+// varies, which is why every assertion here is a conservation law that
+// must hold for ALL interleavings rather than a golden trace.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <future>
+#include <iostream>
+#include <thread>
+#include <vector>
+
+#include "chaos/chaos_backend.hpp"
+#include "chaos/fault_plan.hpp"
+#include "chaos/invariants.hpp"
+#include "common/rng.hpp"
+#include "nn/mlp.hpp"
+#include "serving/load_gen.hpp"
+#include "serving/server.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace trident::chaos {
+namespace {
+
+using namespace std::chrono_literals;
+using serving::Clock;
+using serving::ReplicaHealth;
+using serving::ReplicaState;
+using serving::Response;
+using serving::ResponseStatus;
+using serving::Server;
+using serving::ServerConfig;
+using serving::ServerStats;
+
+constexpr std::uint64_t kDefaultSoakSeed = 0xC7A05EEDull;
+
+/// Soak seed: TRIDENT_CHAOS_SEED from the environment (decimal or 0x-hex)
+/// or the fixed default.  Printed so a CI failure is reproducible locally
+/// with the exact same schedule.
+std::uint64_t soak_seed() {
+  const char* env = std::getenv("TRIDENT_CHAOS_SEED");
+  std::uint64_t seed = kDefaultSoakSeed;
+  if (env != nullptr && *env != '\0') {
+    seed = std::strtoull(env, nullptr, 0);
+  }
+  std::cout << "[ chaos ] TRIDENT_CHAOS_SEED=" << seed << " (0x" << std::hex
+            << seed << std::dec << ") — rerun with this env var to reproduce"
+            << std::endl;
+  return seed;
+}
+
+nn::Mlp test_model(std::uint64_t seed = 0x5eedu) {
+  Rng rng(seed);
+  return nn::Mlp({8, 16, 4}, nn::Activation::kGstPhotonic, rng);
+}
+
+nn::Vector seeded_input(std::uint64_t seed) {
+  Rng rng(seed);
+  nn::Vector x(8);
+  for (double& v : x) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  return x;
+}
+
+/// Fresh telemetry epoch for mirror checks: the registry is process-global
+/// and cumulative, so each test zeroes it before its own fleet runs.
+void reset_telemetry() {
+  telemetry::set_enabled(true);
+  telemetry::MetricsRegistry::global().reset_values();
+}
+
+// --- the acceptance soak ----------------------------------------------------
+
+TEST(ChaosSoak, KilledReplicaSelfHealsUnderLoad) {
+  reset_telemetry();
+  const std::uint64_t seed = soak_seed();
+
+  // Two replicas; replica 0's first incarnation is scripted to die on its
+  // third backend call (mid-batch, mid-load).  A light background rate of
+  // transient errors keeps the retry path warm on both replicas.
+  FaultPlanConfig plan_cfg;
+  plan_cfg.horizon_ops = 4096;
+  plan_cfg.transient_error_rate = 0.01;
+  plan_cfg.deaths = {{0, 2}};
+  auto plan = std::make_shared<FaultPlan>(plan_cfg, seed);
+
+  // Reproducibility half of the acceptance criterion: the same (seed,
+  // config) yields the identical event schedule for every stream the soak
+  // will consume.
+  const FaultPlan replay(plan_cfg, seed);
+  for (int replica = 0; replica < 2; ++replica) {
+    for (int incarnation = 0; incarnation < 3; ++incarnation) {
+      ASSERT_EQ(plan->schedule(replica, incarnation),
+                replay.schedule(replica, incarnation))
+          << "schedule not reproducible from the seed alone";
+    }
+  }
+
+  auto log = std::make_shared<InjectionLog>();
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 8;
+  cfg.max_wait = 200us;
+  cfg.admission.capacity = 1024;
+  cfg.max_attempts = 5;
+  cfg.supervision_interval = 500us;
+  cfg.backend_factory = chaos_photonic_factory(plan, log);
+  Server server(test_model(), cfg);
+
+  // Open-loop Poisson arrivals on a pre-drawn timeline, futures kept so
+  // every response's attempt count is inspectable afterwards.
+  constexpr int kRequests = 400;
+  Rng arrivals(seed ^ 0x10ADull);
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kRequests);
+  const auto start = Clock::now();
+  double t = 0.0;
+  for (int i = 0; i < kRequests; ++i) {
+    t += -std::log(1.0 - arrivals.uniform()) / 10'000.0;  // λ = 10k qps
+    std::this_thread::sleep_until(
+        start + std::chrono::duration_cast<Clock::duration>(
+                    std::chrono::duration<double>(t)));
+    auto fut = server.submit(seeded_input(seed + static_cast<std::uint64_t>(i)));
+    if (fut.has_value()) {
+      futures.push_back(std::move(*fut));
+    }
+  }
+  server.drain();
+
+  // Every admitted request received a terminal response.
+  std::uint64_t ok = 0, failed = 0, retried_responses = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(0s), std::future_status::ready)
+        << "an admitted request was left unanswered after drain";
+    const Response r = f.get();
+    ASSERT_LE(r.attempts, cfg.max_attempts);
+    if (r.status == ResponseStatus::kOk) {
+      ++ok;
+      EXPECT_FALSE(r.output.empty());
+    } else {
+      ++failed;
+      EXPECT_FALSE(r.error.empty());
+    }
+    if (r.attempts > 1) {
+      ++retried_responses;
+    }
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(static_cast<std::uint64_t>(futures.size()), stats.accepted);
+  EXPECT_EQ(ok, stats.completed);
+  EXPECT_EQ(failed, stats.failed);
+
+  // The scripted kill fired exactly once, the supervisor healed it, and
+  // the in-flight batch's members came back with attempts > 1.
+  const InjectionCounts injected = log->snapshot();
+  EXPECT_EQ(injected.deaths, 1u);
+  EXPECT_EQ(stats.replica_deaths, 1u);
+  EXPECT_GE(stats.replica_restarts, 1u);
+  EXPECT_GE(stats.retries, 1u);
+  EXPECT_GE(retried_responses, 1u) << "no response carried attempts > 1";
+
+  // Replica 0 is back: health shows a later incarnation, nobody dead.
+  const auto health = server.health();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_GE(health[0].incarnation, 1);
+  for (const ReplicaHealth& h : health) {
+    EXPECT_NE(h.state, ReplicaState::kDead);
+  }
+
+  // The full invariant sweep: request conservation, telemetry mirror
+  // (including the injection-log ↔ trident_chaos_* double entry), queue
+  // bounds.  Print the violations with the seed so the failure replays.
+  const InvariantReport report =
+      check_soak(server, stats, /*load=*/nullptr, &injected);
+  EXPECT_TRUE(report.ok()) << "invariants violated under seed " << seed
+                           << ":\n"
+                           << report.to_string();
+
+  // Post-drain the hardware bill is aggregated across every incarnation,
+  // including the dead one's partial work.
+  EXPECT_GT(stats.ledger.macs, 0u);
+}
+
+TEST(ChaosSoak, PoissonLoadReportAgreesWithServerBooks) {
+  reset_telemetry();
+  const std::uint64_t seed = soak_seed();
+  FaultPlanConfig plan_cfg;
+  plan_cfg.transient_error_rate = 0.02;
+  auto plan = std::make_shared<FaultPlan>(plan_cfg, seed);
+  auto log = std::make_shared<InjectionLog>();
+
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 4;
+  cfg.admission.capacity = 512;
+  cfg.backend_factory = chaos_photonic_factory(plan, log);
+  Server server(test_model(), cfg);
+
+  serving::LoadGenConfig load;
+  load.target_qps = 8'000.0;
+  load.requests = 200;
+  load.seed = seed;
+  const serving::LoadReport report = serving::run_poisson_load(
+      server, load, [&](int i) {
+        return seeded_input(seed + static_cast<std::uint64_t>(i));
+      });
+  server.drain();
+
+  const ServerStats stats = server.stats();
+  const InjectionCounts injected = log->snapshot();
+  const InvariantReport sweep = check_soak(server, stats, &report, &injected);
+  EXPECT_TRUE(sweep.ok()) << "invariants violated under seed " << seed << ":\n"
+                          << sweep.to_string();
+}
+
+// --- degraded modes ---------------------------------------------------------
+
+TEST(ChaosServing, RetryBudgetExhaustionYieldsExplicitFailures) {
+  // Every backend call fails: each request must burn exactly max_attempts
+  // attempts and resolve as an explicit kFailed response — never a broken
+  // future, never a silent drop.
+  FaultPlanConfig plan_cfg;
+  plan_cfg.transient_error_rate = 1.0;
+  auto plan = std::make_shared<FaultPlan>(plan_cfg, 17);
+
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 4;
+  cfg.max_attempts = 3;
+  cfg.backend_factory = chaos_photonic_factory(plan);
+  Server server(test_model(), cfg);
+
+  constexpr int kRequests = 12;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    auto fut = server.submit(seeded_input(static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  server.drain();
+
+  for (auto& f : futures) {
+    const Response r = f.get();
+    EXPECT_EQ(r.status, ResponseStatus::kFailed);
+    EXPECT_EQ(r.attempts, cfg.max_attempts);
+    EXPECT_FALSE(r.error.empty());
+    EXPECT_TRUE(r.output.empty());
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.failed, static_cast<std::uint64_t>(kRequests));
+  // Each request was requeued exactly max_attempts - 1 times.
+  EXPECT_EQ(stats.retries,
+            static_cast<std::uint64_t>(kRequests) *
+                static_cast<std::uint64_t>(cfg.max_attempts - 1));
+  const InvariantReport report = check_server_conservation(stats);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ChaosServing, AllReplicasDeadDrainFailsLeftoversExplicitly) {
+  // The only replica dies on its first call and restarts are disabled:
+  // drain() must still answer every admitted request (kFailed), keeping
+  // the conservation law intact with zero completions.
+  FaultPlanConfig plan_cfg;
+  plan_cfg.deaths = {{0, 0}};
+  auto plan = std::make_shared<FaultPlan>(plan_cfg, 23);
+  auto log = std::make_shared<InjectionLog>();
+
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 8;
+  cfg.restart_dead_replicas = false;
+  cfg.backend_factory = chaos_photonic_factory(plan, log);
+  Server server(test_model(), cfg);
+
+  constexpr int kRequests = 10;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    auto fut = server.submit(seeded_input(static_cast<std::uint64_t>(i)));
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  server.drain();
+
+  for (auto& f : futures) {
+    const Response r = f.get();
+    EXPECT_EQ(r.status, ResponseStatus::kFailed);
+    EXPECT_LE(r.attempts, cfg.max_attempts);
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 0u);
+  EXPECT_EQ(stats.failed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.replica_deaths, 1u);
+  EXPECT_EQ(stats.replica_restarts, 0u);
+  EXPECT_EQ(log->snapshot().deaths, 1u);
+  const InvariantReport report = check_server_conservation(stats);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+}
+
+TEST(ChaosServing, RestartBudgetExhaustionRetiresReplica) {
+  // Scripted death plus zero restart budget: the replica dies once and is
+  // retired, not resurrected.
+  FaultPlanConfig plan_cfg;
+  plan_cfg.deaths = {{0, 0}};
+  auto plan = std::make_shared<FaultPlan>(plan_cfg, 29);
+
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_restarts = 0;
+  cfg.supervision_interval = 200us;
+  cfg.backend_factory = chaos_photonic_factory(plan);
+  Server server(test_model(), cfg);
+
+  auto fut = server.submit(seeded_input(1));
+  ASSERT_TRUE(fut.has_value());
+  // The supervisor retires the dead replica while the server is live.
+  const auto deadline = Clock::now() + 5s;
+  while (Clock::now() < deadline) {
+    const auto health = server.health();
+    if (health[0].state == ReplicaState::kRetired) {
+      break;
+    }
+    std::this_thread::yield();
+  }
+  EXPECT_EQ(server.health()[0].state, ReplicaState::kRetired);
+  server.drain();
+  const Response r = fut->get();
+  EXPECT_EQ(r.status, ResponseStatus::kFailed);
+  EXPECT_EQ(server.stats().replica_restarts, 0u);
+}
+
+TEST(ChaosServing, AdmissionBlipsAreSeededAndCounted) {
+  // A seeded admission blip sheds a deterministic subset of submissions
+  // before they reach the queue; conservation must fold them into `shed`.
+  const std::uint64_t seed = 31;
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.admission_blip = [seed](std::uint64_t index) {
+    return Rng(seed).split(index).uniform() < 0.3;
+  };
+  Server server(test_model(), cfg);
+
+  constexpr int kRequests = 50;
+  int accepted = 0, shed = 0;
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    auto fut = server.submit(seeded_input(static_cast<std::uint64_t>(i)));
+    if (fut.has_value()) {
+      ++accepted;
+      futures.push_back(std::move(*fut));
+    } else {
+      ++shed;
+    }
+  }
+  server.drain();
+  EXPECT_GT(shed, 0);
+  EXPECT_GT(accepted, 0);
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.submitted, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(stats.shed, static_cast<std::uint64_t>(shed));
+  EXPECT_EQ(stats.accepted, static_cast<std::uint64_t>(accepted));
+  for (auto& f : futures) {
+    EXPECT_EQ(f.get().status, ResponseStatus::kOk);
+  }
+  const InvariantReport report = check_server_conservation(stats);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+
+  // Seeded: the same blip function sheds the same submission indices.
+  int shed_replay = 0;
+  for (std::uint64_t i = 0; i < static_cast<std::uint64_t>(kRequests); ++i) {
+    if (Rng(seed).split(i).uniform() < 0.3) {
+      ++shed_replay;
+    }
+  }
+  EXPECT_EQ(shed_replay, shed);
+}
+
+}  // namespace
+}  // namespace trident::chaos

@@ -81,6 +81,81 @@ TEST(FaultyBackend, UpdatesToDeadCellsAreLost) {
   EXPECT_GE(unchanged, faults);
 }
 
+TEST(FaultyBackend, BatchedMatmulBitIdenticalToFaultedMatvecLoop) {
+  // Three instances with the same config draw the same frozen mask for the
+  // same matrix object (the mask RNG is seeded by config, keyed by matrix
+  // address), so each can exercise one path without sharing RNG state:
+  // the matmul override, the inherited base-class loop default, and an
+  // explicit per-sample matvec loop must agree bit-for-bit at every batch
+  // size — while the override programs the bank at most as often as the
+  // loop (that amortisation is the point of overriding).
+  for (const std::size_t batch : {1u, 2u, 3u, 5u, 8u}) {
+    FaultConfig cfg;
+    cfg.fault_rate = 0.2;
+    cfg.seed = 11;
+    FaultyBackend override_backend(cfg);
+    FaultyBackend inherited_backend(cfg);
+    FaultyBackend loop_backend(cfg);
+
+    nn::Matrix w(6, 8, 0.0);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      w.data()[i] = 0.9 - 0.02 * static_cast<double>(i);
+    }
+    nn::Matrix x(batch, 8, 0.0);
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x.data()[i] = -0.8 + 0.03 * static_cast<double>(i);
+    }
+    ASSERT_GT(override_backend.fault_count(w), 0u);
+
+    const nn::Matrix batched = override_backend.matmul(w, x);
+    const nn::Matrix inherited =
+        inherited_backend.nn::MatvecBackend::matmul(w, x);
+    ASSERT_EQ(batched.rows(), batch);
+    ASSERT_EQ(inherited.rows(), batch);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto xrow = x.row(b);
+      const nn::Vector per_sample =
+          loop_backend.matvec(w, nn::Vector(xrow.begin(), xrow.end()));
+      ASSERT_EQ(per_sample.size(), batched.cols());
+      for (std::size_t j = 0; j < per_sample.size(); ++j) {
+        EXPECT_EQ(batched.row(b)[j], per_sample[j])
+            << "batch " << batch << " row " << b << " component " << j;
+        EXPECT_EQ(inherited.row(b)[j], per_sample[j])
+            << "batch " << batch << " row " << b << " component " << j;
+      }
+    }
+    EXPECT_LE(override_backend.ledger().program_events,
+              loop_backend.ledger().program_events)
+        << "the batched path must not program the bank more than the loop";
+  }
+}
+
+TEST(FaultyBackend, BatchedTransposedBitIdenticalToLoop) {
+  FaultConfig cfg;
+  cfg.fault_rate = 0.15;
+  cfg.seed = 13;
+  FaultyBackend batched_backend(cfg);
+  FaultyBackend loop_backend(cfg);
+  nn::Matrix w(6, 8, 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    w.data()[i] = 0.7 - 0.015 * static_cast<double>(i);
+  }
+  nn::Matrix dh(3, 6, 0.0);
+  for (std::size_t i = 0; i < dh.size(); ++i) {
+    dh.data()[i] = 0.4 - 0.01 * static_cast<double>(i);
+  }
+  const nn::Matrix out = batched_backend.matmul_transposed(w, dh);
+  for (std::size_t b = 0; b < dh.rows(); ++b) {
+    const auto row = dh.row(b);
+    const nn::Vector per_sample = loop_backend.matvec_transposed(
+        w, nn::Vector(row.begin(), row.end()));
+    ASSERT_EQ(per_sample.size(), out.cols());
+    for (std::size_t j = 0; j < per_sample.size(); ++j) {
+      EXPECT_EQ(out.row(b)[j], per_sample[j]) << "row " << b << " col " << j;
+    }
+  }
+}
+
 TEST(FaultyBackend, RejectsBadConfig) {
   FaultConfig bad;
   bad.fault_rate = 0.6;

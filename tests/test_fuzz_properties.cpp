@@ -4,10 +4,16 @@
 // on every one of them.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
 #include "arch/photonic.hpp"
 #include "common/rng.hpp"
 #include "core/array_sim.hpp"
 #include "dataflow/analyzer.hpp"
+#include "serving/request_queue.hpp"
 
 namespace trident {
 namespace {
@@ -139,6 +145,177 @@ TEST_P(FuzzSweep, TridentNeverLosesToBaselinesOnRandomModels) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Values(1, 2, 3, 4, 5));
+
+// --- serving request-queue properties ---------------------------------------
+//
+// Under ANY seeded interleaving of concurrent push / pop_batch / close, the
+// queue must conserve requests and respect the batch bound.  The seed fixes
+// each thread's action sequence; the interleaving is whatever the scheduler
+// produces — the properties must hold regardless.
+
+class QueueFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(QueueFuzz, ConservationAndBatchBoundUnderConcurrency) {
+  const std::uint64_t seed = static_cast<std::uint64_t>(GetParam());
+  serving::AdmissionConfig admission;
+  admission.capacity = 64;
+  admission.policy = serving::OverloadPolicy::kReject;
+  serving::RequestQueue q(admission);
+
+  constexpr int kProducers = 3;
+  constexpr int kPoppers = 3;
+  constexpr int kPerProducer = 400;
+  constexpr std::size_t kMaxBatch = 7;
+
+  std::atomic<std::uint64_t> produced_accepted{0};
+  std::atomic<std::uint64_t> popped_total{0};
+  std::atomic<bool> batch_bound_violated{false};
+  std::atomic<bool> fifo_violated{false};
+
+  std::vector<std::thread> threads;
+  threads.reserve(kProducers + kPoppers);
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      Rng rng(Rng(seed).split(static_cast<std::uint64_t>(p)).seed());
+      for (int i = 0; i < kPerProducer; ++i) {
+        serving::Request r;
+        // Per-producer monotone ids let a popper check FIFO per producer.
+        r.id = static_cast<std::uint64_t>(p) * 1'000'000u +
+               static_cast<std::uint64_t>(i);
+        if (q.push(r) == serving::AdmitResult::kAccepted) {
+          produced_accepted.fetch_add(1, std::memory_order_relaxed);
+        }
+        if (rng.bernoulli(0.1)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  for (int c = 0; c < kPoppers; ++c) {
+    threads.emplace_back([&, c] {
+      Rng rng(Rng(seed ^ 0xF00Du).split(static_cast<std::uint64_t>(c)).seed());
+      for (;;) {
+        const std::size_t want =
+            1 + static_cast<std::size_t>(rng.uniform_int(
+                    0, static_cast<std::int64_t>(kMaxBatch) - 1));
+        const auto batch =
+            q.pop_batch(want, std::chrono::microseconds(
+                                  rng.uniform_int(0, 200)));
+        if (batch.empty()) {
+          return;  // closed and drained — the only legal empty batch
+        }
+        if (batch.size() > want) {
+          batch_bound_violated.store(true, std::memory_order_relaxed);
+        }
+        for (std::size_t i = 1; i < batch.size(); ++i) {
+          // Within one batch, same-producer ids must stay in push order.
+          if (batch[i].id / 1'000'000u == batch[i - 1].id / 1'000'000u &&
+              batch[i].id <= batch[i - 1].id) {
+            fifo_violated.store(true, std::memory_order_relaxed);
+          }
+        }
+        popped_total.fetch_add(batch.size(), std::memory_order_relaxed);
+      }
+    });
+  }
+
+  // Join producers, then close: poppers drain the backlog and exit on the
+  // empty-and-closed signal.
+  for (int p = 0; p < kProducers; ++p) {
+    threads[static_cast<std::size_t>(p)].join();
+  }
+  q.close();
+  for (std::size_t t = kProducers; t < threads.size(); ++t) {
+    threads[t].join();
+  }
+
+  EXPECT_FALSE(batch_bound_violated.load()) << "a batch exceeded max_batch";
+  EXPECT_FALSE(fifo_violated.load()) << "per-producer FIFO order broken";
+  // Conservation: everything admitted was handed out exactly once, nothing
+  // was left behind, nothing was invented.
+  EXPECT_EQ(popped_total.load(), produced_accepted.load());
+  EXPECT_EQ(q.depth(), 0u);
+  EXPECT_EQ(q.accepted(), produced_accepted.load());
+  EXPECT_EQ(q.popped(), popped_total.load());
+  EXPECT_EQ(q.accepted() + q.shed(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_EQ(q.popped() + q.depth(), q.accepted() + q.requeued());
+}
+
+TEST_P(QueueFuzz, BlockingProducersConserveUnderCloseRace) {
+  // kBlock admission with a racing close(): every push resolves to either
+  // kAccepted (and is eventually popped) or kClosed — never lost.
+  const std::uint64_t seed =
+      std::uint64_t{0xB10C} + static_cast<std::uint64_t>(GetParam());
+  serving::AdmissionConfig admission;
+  admission.capacity = 8;
+  admission.policy = serving::OverloadPolicy::kBlock;
+  serving::RequestQueue q(admission);
+
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 100;
+  std::atomic<std::uint64_t> accepted{0};
+  std::atomic<std::uint64_t> closed{0};
+  std::atomic<std::uint64_t> popped{0};
+
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&, p] {
+      Rng rng(Rng(seed).split(static_cast<std::uint64_t>(p)).seed());
+      for (int i = 0; i < kPerProducer; ++i) {
+        serving::Request r;
+        r.id = static_cast<std::uint64_t>(i);
+        switch (q.push(r)) {
+          case serving::AdmitResult::kAccepted:
+            accepted.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case serving::AdmitResult::kClosed:
+            closed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          case serving::AdmitResult::kShed:
+            ADD_FAILURE() << "kBlock policy must never shed";
+            break;
+        }
+        if (rng.bernoulli(0.05)) {
+          std::this_thread::yield();
+        }
+      }
+    });
+  }
+  std::thread popper([&] {
+    Rng rng(seed ^ 0x70Full);
+    for (;;) {
+      const auto batch = q.pop_batch(
+          1 + static_cast<std::size_t>(rng.uniform_int(0, 4)),
+          std::chrono::microseconds(50));
+      if (batch.empty()) {
+        return;
+      }
+      popped.fetch_add(batch.size(), std::memory_order_relaxed);
+    }
+  });
+  // Close mid-stream: some pushes were already admitted, later ones (and
+  // any producer parked on a full queue) must observe kClosed.
+  std::thread closer([&] {
+    while (accepted.load(std::memory_order_relaxed) < kPerProducer) {
+      std::this_thread::yield();
+    }
+    q.close();
+  });
+  for (auto& t : threads) {
+    t.join();
+  }
+  closer.join();
+  popper.join();
+
+  EXPECT_EQ(accepted.load() + closed.load(),
+            static_cast<std::uint64_t>(kProducers) * kPerProducer);
+  EXPECT_GT(closed.load(), 0u);
+  EXPECT_EQ(popped.load(), accepted.load());
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueueFuzz, ::testing::Values(1, 2, 3, 4, 5));
 
 }  // namespace
 }  // namespace trident

@@ -29,6 +29,23 @@ Request make_request(std::uint64_t id) {
   return r;
 }
 
+/// Spins (with yields) until `pred` holds.  The queue's waiting-thread
+/// counters make thread states observable, so tests synchronize on the
+/// actual state instead of approximating it with wall-clock sleeps; the
+/// generous bound only caps a genuinely wedged run.
+template <typename Pred>
+[[nodiscard]] bool spin_until(Pred pred,
+                              std::chrono::milliseconds bound = 5'000ms) {
+  const auto deadline = Clock::now() + bound;
+  while (!pred()) {
+    if (Clock::now() > deadline) {
+      return false;
+    }
+    std::this_thread::yield();
+  }
+  return true;
+}
+
 // --- micro-batcher (single-threaded, deterministic) -------------------------
 
 TEST(RequestQueue, BatchCutsOnSizeImmediately) {
@@ -83,14 +100,21 @@ TEST(RequestQueue, SiblingDrainDuringFillWindowDoesNotYieldEmptyBatch) {
     a_batch = q.pop_batch(4, std::chrono::microseconds(30'000));
     a_returned.store(true);
   });
-  std::this_thread::sleep_for(10ms);  // let A enter its fill window
+  // A is parked inside pop_batch with a non-empty open queue: given the
+  // queue holds one request and A's predicate admits it immediately, the
+  // only wait A can be in is the batch-fill window.
+  ASSERT_TRUE(spin_until([&] { return q.poppers_waiting() == 1; }));
   const auto stolen = q.pop_batch(4, std::chrono::microseconds(0));
   EXPECT_EQ(stolen.size(), 1u);
 
-  // A's deadline passes on an empty-but-open queue: it must still be
-  // waiting, not returned empty.
-  std::this_thread::sleep_for(50ms);
-  EXPECT_FALSE(a_returned.load());
+  // A's 30 ms fill deadline passes on an empty-but-open queue: it must go
+  // back to waiting, not return empty.  Give the failure time to manifest
+  // (a_returned flipping true IS the bug), then confirm A is still parked.
+  const auto fill_deadline = Clock::now() + 35ms;
+  ASSERT_FALSE(spin_until([&] { return a_returned.load(); },
+                          std::chrono::duration_cast<std::chrono::milliseconds>(
+                              fill_deadline - Clock::now())));
+  EXPECT_EQ(q.poppers_waiting(), 1u);
 
   Request r2 = make_request(1);
   ASSERT_EQ(q.push(r2), AdmitResult::kAccepted);
@@ -106,6 +130,35 @@ TEST(RequestQueue, PopAfterCloseDrainsThenReturnsEmpty) {
   q.close();
   EXPECT_EQ(q.pop_batch(8, std::chrono::microseconds(0)).size(), 1u);
   EXPECT_TRUE(q.pop_batch(8, std::chrono::microseconds(0)).empty());
+}
+
+TEST(RequestQueue, RequeueBypassesAdmissionAndGoesToHead) {
+  RequestQueue q(AdmissionConfig{.capacity = 2});
+  Request a = make_request(0), b = make_request(1);
+  ASSERT_EQ(q.push(a), AdmitResult::kAccepted);
+  ASSERT_EQ(q.push(b), AdmitResult::kAccepted);
+
+  auto batch = q.pop_batch(1, std::chrono::microseconds(0));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 0u);
+
+  // Requeue at the head: the retried request overtakes the backlog, is not
+  // re-counted as an admission, and is taken even though depth == capacity.
+  q.requeue(std::move(batch[0]));
+  EXPECT_EQ(q.depth(), 2u);
+  EXPECT_EQ(q.accepted(), 2u);
+  EXPECT_EQ(q.requeued(), 1u);
+
+  // Even a closed queue accepts a requeue — a retry must never be shed.
+  q.close();
+  auto retried = q.pop_batch(1, std::chrono::microseconds(0));
+  ASSERT_EQ(retried.size(), 1u);
+  EXPECT_EQ(retried[0].id, 0u);
+  q.requeue(std::move(retried[0]));
+  EXPECT_EQ(q.depth(), 2u);
+
+  // Conservation: popped + depth == accepted + requeued.
+  EXPECT_EQ(q.popped() + q.depth(), q.accepted() + q.requeued());
 }
 
 // --- admission control ------------------------------------------------------
@@ -145,8 +198,9 @@ TEST(RequestQueue, BlockPolicyAppliesBackpressureUntilSpaceFrees) {
     EXPECT_EQ(res, AdmitResult::kAccepted);
     second_admitted.store(true);
   });
-  // The producer must be blocked while the queue is full.
-  std::this_thread::sleep_for(20ms);
+  // The producer must be blocked while the queue is full — observable
+  // directly through the waiting-producer counter, no sleep needed.
+  ASSERT_TRUE(spin_until([&] { return q.producers_waiting() == 1; }));
   EXPECT_FALSE(second_admitted.load());
 
   EXPECT_EQ(q.pop_batch(1, std::chrono::microseconds(0)).size(), 1u);
@@ -164,7 +218,9 @@ TEST(RequestQueue, CloseWakesBlockedProducersWithClosed) {
     Request second = make_request(1);
     EXPECT_EQ(q.push(second), AdmitResult::kClosed);
   });
-  std::this_thread::sleep_for(10ms);
+  // close() must find the producer actually parked in push to prove the
+  // wake-up path; synchronize on the counter instead of sleeping.
+  ASSERT_TRUE(spin_until([&] { return q.producers_waiting() == 1; }));
   q.close();
   producer.join();
   Request late = make_request(2);
@@ -184,6 +240,51 @@ TEST(LatencyRecorder, ExactOrderStatistics) {
   EXPECT_DOUBLE_EQ(s.p50_s, 50.0);
   EXPECT_DOUBLE_EQ(s.p99_s, 99.0);
   EXPECT_DOUBLE_EQ(s.max_s, 100.0);
+}
+
+TEST(LatencyRecorder, SingletonSampleIsEveryPercentile) {
+  LatencyRecorder rec;
+  rec.record(3.25);
+  const LatencySummary s = rec.summary();
+  EXPECT_EQ(s.count, 1u);
+  EXPECT_DOUBLE_EQ(s.mean_s, 3.25);
+  EXPECT_DOUBLE_EQ(s.p50_s, 3.25);
+  EXPECT_DOUBLE_EQ(s.p90_s, 3.25);
+  EXPECT_DOUBLE_EQ(s.p99_s, 3.25);
+  EXPECT_DOUBLE_EQ(s.max_s, 3.25);
+}
+
+TEST(LatencyRecorder, TiedSamplesYieldExactPercentiles) {
+  // Order statistics on an all-tied population must return the tied value
+  // exactly for every percentile (no interpolation drift).
+  LatencyRecorder rec;
+  for (int i = 0; i < 7; ++i) {
+    rec.record(2.0);
+  }
+  const LatencySummary s = rec.summary();
+  EXPECT_DOUBLE_EQ(s.p50_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.p90_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.p99_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.max_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.mean_s, 2.0);
+
+  // Mostly-tied with one outlier: the median sits on the tie, the max on
+  // the outlier.
+  LatencyRecorder mixed;
+  for (int i = 0; i < 9; ++i) {
+    mixed.record(1.0);
+  }
+  mixed.record(10.0);
+  const LatencySummary m = mixed.summary();
+  EXPECT_DOUBLE_EQ(m.p50_s, 1.0);
+  EXPECT_DOUBLE_EQ(m.max_s, 10.0);
+}
+
+TEST(LatencyRecorder, EmptySummaryIsZero) {
+  const LatencySummary s = LatencyRecorder().summary();
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.p50_s, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99_s, 0.0);
 }
 
 TEST(LatencyRecorder, CapBoundsMemory) {
@@ -338,6 +439,46 @@ TEST(Server, SloViolationsCounted) {
   EXPECT_EQ(server.stats().slo_violations, 10u);
 }
 
+TEST(Server, ExpiredDeadlineCountsAsSloViolationAtAdmission) {
+  Server server(test_model(), ServerConfig{});
+  // A deadline that is already in the past when the request is admitted is
+  // a violation immediately — no queueing or service is needed to know.
+  auto fut = server.submit(nn::Vector(8, 0.25), Clock::now() - 1ms);
+  ASSERT_TRUE(fut.has_value());
+  const Response r = fut->get();
+  EXPECT_EQ(r.status, ResponseStatus::kOk);  // advisory deadline: still served
+  EXPECT_TRUE(r.deadline_missed);
+  server.drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, 1u);
+  // Counted exactly once (at admission), not again at completion.
+  EXPECT_EQ(stats.slo_violations, 1u);
+}
+
+TEST(Server, GenerousDeadlineIsNotAViolation) {
+  Server server(test_model(), ServerConfig{});
+  auto fut = server.submit(nn::Vector(8, 0.25), Clock::now() + 1h);
+  ASSERT_TRUE(fut.has_value());
+  const Response r = fut->get();
+  EXPECT_FALSE(r.deadline_missed);
+  server.drain();
+  EXPECT_EQ(server.stats().slo_violations, 0u);
+}
+
+TEST(Server, HealthReportsIdleReplicas) {
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  Server server(test_model(), cfg);
+  const auto health = server.health();
+  ASSERT_EQ(health.size(), 2u);
+  for (const ReplicaHealth& h : health) {
+    EXPECT_EQ(h.incarnation, 0);
+    EXPECT_FALSE(h.stalled);
+    EXPECT_NE(h.state, ReplicaState::kDead);
+  }
+  server.drain();
+}
+
 TEST(Server, ConcurrentProducersAllServed) {
   ServerConfig cfg;
   cfg.replicas = 2;
@@ -405,15 +546,38 @@ TEST(LoadGen, OffersEverythingAndMeasuresSojourn) {
   EXPECT_GT(report.duration_s, 0.0);
 }
 
-TEST(LoadGen, RejectsBadConfig) {
+TEST(LoadGen, ZeroRateGeneratorTerminatesImmediately) {
+  // λ = 0 means infinite inter-arrival gaps: nothing ever arrives, and the
+  // generator must return an all-zero report instead of hanging.
   Server server(test_model(), ServerConfig{});
   LoadGenConfig load;
   load.target_qps = 0.0;
+  const LoadReport report =
+      run_poisson_load(server, load, [](int) { return nn::Vector(8, 0.0); });
+  EXPECT_EQ(report.offered, 0);
+  EXPECT_EQ(report.accepted, 0);
+  EXPECT_EQ(report.shed, 0);
+  EXPECT_EQ(report.sojourn.count, 0u);
+
+  LoadGenConfig empty;
+  empty.requests = 0;
+  const LoadReport empty_report =
+      run_poisson_load(server, empty, [](int) { return nn::Vector(8, 0.0); });
+  EXPECT_EQ(empty_report.offered, 0);
+
+  server.drain();
+  EXPECT_EQ(server.stats().submitted, 0u);
+}
+
+TEST(LoadGen, NegativeConfigStillRejected) {
+  Server server(test_model(), ServerConfig{});
+  LoadGenConfig load;
+  load.target_qps = -1.0;
   EXPECT_THROW((void)run_poisson_load(server, load,
                                       [](int) { return nn::Vector(8, 0.0); }),
                Error);
   load = {};
-  load.requests = 0;
+  load.requests = -1;
   EXPECT_THROW((void)run_poisson_load(server, load,
                                       [](int) { return nn::Vector(8, 0.0); }),
                Error);
