@@ -11,9 +11,12 @@
 #include "core/queueing.hpp"
 #include "core/spectral_bank.hpp"
 #include "core/weight_bank.hpp"
+#include "common/rng.hpp"
 #include "dataflow/analyzer.hpp"
+#include "nn/mlp.hpp"
 #include "nn/zoo.hpp"
 #include "parallel/thread_pool.hpp"
+#include "state/snapshot.hpp"
 
 namespace {
 
@@ -335,6 +338,54 @@ void BM_QueueingSim(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
 BENCHMARK(BM_QueueingSim)->Arg(1000)->Arg(20000);
+
+// Snapshot codec cost: the checkpoint interval a training schedule can
+// afford depends on how fast a full model + bank state serialises, and the
+// heal path's MTTR includes one deserialize + checksum pass.
+state::Snapshot bench_snapshot(int hidden) {
+  Rng rng(11);
+  const nn::Mlp net({64, hidden, 10}, nn::Activation::kGstPhotonic, rng);
+  state::Snapshot snap;
+  snap.model = state::capture_model(net);
+  state::LedgerState ledger;
+  ledger.weight_writes = 123456;
+  ledger.symbols = 9999999;
+  snap.ledger = ledger;
+  state::BankState bank;
+  bank.rows = 32;
+  bank.cols = 32;
+  for (int i = 0; i < 32 * 32; ++i) {
+    bank.levels.push_back(static_cast<std::int32_t>(i % 255));
+    bank.writes.push_back(static_cast<std::uint64_t>(i));
+    bank.reads.push_back(static_cast<std::uint64_t>(i) * 3u);
+  }
+  snap.banks.push_back(bank);
+  return snap;
+}
+
+void BM_SnapshotSerialize(benchmark::State& state) {
+  const state::Snapshot snap = bench_snapshot(static_cast<int>(state.range(0)));
+  std::size_t bytes = 0;
+  for (auto _ : state) {
+    const std::string blob = snap.serialize();
+    bytes = blob.size();
+    benchmark::DoNotOptimize(blob.data());
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(bytes));
+}
+BENCHMARK(BM_SnapshotSerialize)->Arg(32)->Arg(256)->Arg(1024);
+
+void BM_SnapshotDeserialize(benchmark::State& state) {
+  const std::string blob =
+      bench_snapshot(static_cast<int>(state.range(0))).serialize();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(state::Snapshot::deserialize(blob));
+  }
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(blob.size()));
+}
+BENCHMARK(BM_SnapshotDeserialize)->Arg(32)->Arg(256)->Arg(1024);
 
 }  // namespace
 

@@ -6,10 +6,17 @@
 //   2. accuracy on the chip is measured (it drops);
 //   3. the device retrains itself in situ — same hardware, Table II
 //      encodings — and the session reports the recovered accuracy plus
-//      the complete hardware bill (optical energy, GST pulses, wear).
+//      the complete hardware bill (optical energy, GST pulses, wear);
+//   4. the retraining survives a power cut: the schedule checkpoints to
+//      the device's non-volatile storage, a simulated crash kills it
+//      mid-run, and the resumed session finishes bit-identically to an
+//      uninterrupted one (see docs/state.md).  Exit status enforces it.
 //
 // Run:  ./build/examples/edge_retraining
+#include <cstdio>
+#include <filesystem>
 #include <iostream>
+#include <string>
 
 #include "core/insitu_trainer.hpp"
 #include "nn/train.hpp"
@@ -73,5 +80,50 @@ int main() {
   std::cout << "\nThe capability the paper argues for — training on the "
                "inference hardware —\nis what turns an unusable deployment "
                "back into a working one, for microjoules.\n";
+
+  // 4. Edge devices lose power.  The GST cells are non-volatile; with
+  //    periodic checkpoints the training progress is too.  Simulate a
+  //    crash at epoch 8 of a 12-epoch schedule and resume in a brand-new
+  //    "process" (session): the result must be bit-identical to a run
+  //    that never crashed.  (Checkpointing targets the plain hardware
+  //    model — per-chip variation is not serialisable state.)
+  const std::string ckpt =
+      (std::filesystem::temp_directory_path() / "edge_retraining.tsnap")
+          .string();
+  SessionConfig resumable;
+  resumable.layer_sizes = {17, 24, 8};
+  resumable.schedule.epochs = 12;
+  resumable.schedule.learning_rate = 0.05;
+
+  SessionConfig interrupted = resumable;
+  interrupted.schedule.epochs = 8;  // the power cut lands here
+  interrupted.checkpoint_every_n_epochs = 4;
+  interrupted.checkpoint_path = ckpt;
+  TrainingSession doomed(interrupted);
+  (void)doomed.run(data);
+
+  TrainingSession healed(resumable);
+  healed.resume(ckpt);
+  const SessionReport resumed_report = healed.run(data);
+
+  TrainingSession uninterrupted(resumable);
+  const SessionReport straight_report = uninterrupted.run(data);
+
+  bool identical = resumed_report.epoch_loss == straight_report.epoch_loss;
+  for (int k = 0; identical && k < healed.network().depth(); ++k) {
+    identical = healed.network().weight(k).data() ==
+                uninterrupted.network().weight(k).data();
+  }
+  std::cout << "\n4. crash at epoch 8, resume from " << ckpt << ":\n"
+            << "   resumed schedule covers " << resumed_report.epoch_loss.size()
+            << " epochs, final accuracy " << resumed_report.test_accuracy * 100.0
+            << "%\n   bit-identical to the uninterrupted run: "
+            << (identical ? "yes" : "NO") << "\n";
+  std::remove(ckpt.c_str());
+  if (!identical) {
+    std::cerr << "ERROR: resumed training diverged from the uninterrupted "
+                 "schedule\n";
+    return 1;
+  }
   return 0;
 }

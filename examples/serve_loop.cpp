@@ -17,13 +17,22 @@
 // instead of the fault-free "nothing failed" check.  The same seed
 // reproduces the same injection schedule.
 //
+// With `--checkpoint-dir D` the serving weights are persisted to
+// `D/serving.tsnap` as an atomic state::Snapshot before traffic starts and
+// the heal path restores from it: a chaos-killed replica comes back
+// serving the snapshot weights (see docs/state.md), and the exit status
+// additionally requires every restart to have gone through the snapshot.
+//
 // Run:  ./build/examples/serve_loop --replicas 2 --max-batch 8
 //           --max-wait-us 200 --target-qps 2000 --duration-s 1
 //       ./build/examples/serve_loop --chaos-seed 7 --chaos-kill-op 40
+//           --checkpoint-dir /tmp/serve-ckpt
 #include <algorithm>
 #include <cstdint>
+#include <filesystem>
 #include <iostream>
 #include <memory>
+#include <string>
 
 #include "chaos/chaos_backend.hpp"
 #include "chaos/fault_plan.hpp"
@@ -33,6 +42,7 @@
 #include "nn/mlp.hpp"
 #include "serving/load_gen.hpp"
 #include "serving/server.hpp"
+#include "state/snapshot.hpp"
 #include "telemetry/session.hpp"
 
 int main(int argc, char** argv) {
@@ -90,6 +100,19 @@ int main(int argc, char** argv) {
   // served, not with requests — micro-batching amortises the writes.
   Rng rng(load.seed);
   const nn::Mlp model({64, 128, 64, 10}, nn::Activation::kGstPhotonic, rng);
+
+  // Crash-safe weight state: persist the serving model as an atomic
+  // snapshot and point the heal path at it, so a killed replica comes back
+  // serving these weights from disk instead of cloning in-memory state.
+  const std::optional<std::string> checkpoint_dir = args.value("checkpoint-dir");
+  if (checkpoint_dir.has_value()) {
+    std::filesystem::create_directories(*checkpoint_dir);
+    cfg.snapshot_path =
+        (std::filesystem::path(*checkpoint_dir) / "serving.tsnap").string();
+    state::Snapshot snap;
+    snap.model = state::capture_model(model);
+    snap.save(cfg.snapshot_path);
+  }
 
   std::cout << "=== serve_loop: " << cfg.replicas << " replica(s), max_batch "
             << cfg.max_batch << ", max_wait " << cfg.max_wait.count()
@@ -150,6 +173,11 @@ int main(int argc, char** argv) {
               << stats.replica_deaths << " replica death(s), "
               << stats.replica_restarts << " restart(s), " << stats.failed
               << " degraded kFailed response(s)\n";
+    if (checkpoint_dir.has_value()) {
+      std::cout << "restore   " << stats.snapshot_restores
+                << " snapshot restore(s), " << stats.snapshot_restore_failures
+                << " failure(s) from " << cfg.snapshot_path << "\n";
+    }
     for (const serving::ReplicaHealth& h : server.health()) {
       std::cout << "replica " << h.index << " incarnation " << h.incarnation
                 << ", " << h.batches << " batch(es)\n";
@@ -167,12 +195,21 @@ int main(int argc, char** argv) {
     // Under chaos, explicit degraded responses are legal; the conservation
     // laws and the telemetry mirror are the pass/fail line.
     const chaos::InjectionCounts injected = injection_log->snapshot();
-    const chaos::InvariantReport invariants =
-        chaos::check_soak(server, stats, &report, &injected);
+    // This process runs no PhotonicBackend outside the server, so the
+    // energy books can be audited against the telemetry mirror too.
+    const chaos::InvariantReport invariants = chaos::check_soak(
+        server, stats, &report, &injected, /*ledger_books=*/true);
     if (!invariants.ok()) {
       std::cerr << "ERROR: chaos invariants violated (--chaos-seed "
                 << plan->seed() << " reproduces):\n"
                 << invariants.to_string();
+      return 1;
+    }
+    if (checkpoint_dir.has_value() &&
+        stats.snapshot_restores != stats.replica_restarts) {
+      std::cerr << "ERROR: " << stats.replica_restarts << " restart(s) but "
+                << stats.snapshot_restores
+                << " snapshot restore(s) — a heal bypassed the checkpoint\n";
       return 1;
     }
     std::cout << "invariants all conservation laws hold\n";

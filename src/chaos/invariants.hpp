@@ -155,6 +155,22 @@ inline void expect_le(InvariantReport& report, std::uint64_t lhs,
       report, stats.stalls_detected,
       snap.counter_value("trident_serving_replica_stalls_total"),
       "stalls_detected == trident_serving_replica_stalls_total");
+  detail::expect_eq(report, stats.weight_swaps,
+                    snap.counter_value("trident_serving_weight_swaps_total"),
+                    "weight_swaps == trident_serving_weight_swaps_total");
+  detail::expect_eq(
+      report, stats.swap_adoptions,
+      snap.counter_value("trident_serving_weight_swap_adoptions_total"),
+      "swap_adoptions == trident_serving_weight_swap_adoptions_total");
+  detail::expect_eq(
+      report, stats.snapshot_restores,
+      snap.counter_value("trident_serving_snapshot_restores_total"),
+      "snapshot_restores == trident_serving_snapshot_restores_total");
+  detail::expect_eq(
+      report, stats.snapshot_restore_failures,
+      snap.counter_value("trident_serving_snapshot_restore_failures_total"),
+      "snapshot_restore_failures == "
+      "trident_serving_snapshot_restore_failures_total");
   if (injections != nullptr) {
     detail::expect_eq(
         report, injections->transient_errors,
@@ -177,6 +193,43 @@ inline void expect_le(InvariantReport& report, std::uint64_t lhs,
   return report;
 }
 
+/// Energy-book conservation: the server's drained ledger must equal the
+/// telemetry mirror of every pulse executed in-process.  This is the
+/// "accepted == completed + failed" analogue for the energy books — the
+/// restart fold (retired_ledger_) plus the live replica ledgers must
+/// neither drop nor double-count a dead incarnation's pulses, and a
+/// snapshot restore must not leak a previous process's bill into this
+/// one's mirror.  Preconditions as check_telemetry_mirror, plus: every
+/// PhotonicBackend that ran since the registry reset must belong to this
+/// server (the trident_ledger_* counters are process-global).  No-op when
+/// telemetry is off.
+[[nodiscard]] inline InvariantReport check_ledger_conservation(
+    const serving::ServerStats& stats) {
+  InvariantReport report;
+  if (!telemetry::enabled()) {
+    return report;
+  }
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  detail::expect_eq(report, stats.ledger.weight_writes,
+                    snap.counter_value("trident_ledger_weight_writes_total"),
+                    "ledger weight_writes == trident_ledger_weight_writes_total");
+  detail::expect_eq(
+      report, stats.ledger.program_events,
+      snap.counter_value("trident_ledger_program_events_total"),
+      "ledger program_events == trident_ledger_program_events_total");
+  detail::expect_eq(report, stats.ledger.symbols,
+                    snap.counter_value("trident_ledger_symbols_total"),
+                    "ledger symbols == trident_ledger_symbols_total");
+  detail::expect_eq(report, stats.ledger.macs,
+                    snap.counter_value("trident_ledger_macs_total"),
+                    "ledger macs == trident_ledger_macs_total");
+  detail::expect_eq(report, stats.ledger.activations,
+                    snap.counter_value("trident_ledger_activations_total"),
+                    "ledger activations == trident_ledger_activations_total");
+  return report;
+}
+
 /// Queue-side conservation and bounds.  Depth may transiently exceed
 /// capacity by the requeued in-flight batches (one per replica), never
 /// more.
@@ -193,15 +246,21 @@ inline void expect_le(InvariantReport& report, std::uint64_t lhs,
 }
 
 /// The full post-drain sweep for a soak: every law in one report.
+/// `ledger_books` additionally audits the energy books against the
+/// telemetry mirror (only valid when the server's backends are the only
+/// PhotonicBackends that ran since the registry reset).
 [[nodiscard]] inline InvariantReport check_soak(
     const serving::Server& server, const serving::ServerStats& stats,
     const serving::LoadReport* load = nullptr,
-    const InjectionCounts* injections = nullptr) {
+    const InjectionCounts* injections = nullptr, bool ledger_books = false) {
   InvariantReport report = check_server_conservation(stats, /*drained=*/true);
   if (load != nullptr) {
     report.merge(check_load_conservation(*load, stats));
   }
   report.merge(check_telemetry_mirror(stats, injections));
+  if (ledger_books) {
+    report.merge(check_ledger_conservation(stats));
+  }
   report.merge(check_queue_bounds(server));
   return report;
 }

@@ -10,6 +10,10 @@
 
 #include <cstdint>
 #include <random>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
 
 namespace trident {
 
@@ -47,6 +51,24 @@ class Rng {
   }
 
   [[nodiscard]] std::uint64_t seed() const { return seed_; }
+
+  /// Serialises the full engine state as text (the standard-mandated
+  /// mt19937_64 stream format), so a checkpoint can resume the exact draw
+  /// sequence.  Note the seed is carried separately — `split()` children of
+  /// a restored Rng match the original because split() keys off seed_.
+  [[nodiscard]] std::string state() const {
+    std::ostringstream os;
+    os << engine_;
+    return os.str();
+  }
+
+  /// Restores an engine state captured by state().  The next draw after
+  /// restore is bit-identical to the next draw after the capture.
+  void restore_state(const std::string& text) {
+    std::istringstream is(text);
+    is >> engine_;
+    TRIDENT_REQUIRE(!is.fail(), "malformed RNG state");
+  }
 
   /// Access to the raw engine for use with std:: distributions.
   [[nodiscard]] std::mt19937_64& engine() { return engine_; }

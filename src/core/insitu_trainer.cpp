@@ -50,12 +50,52 @@ SessionReport TrainingSession::run(nn::Dataset data) {
   const PhotonicLedger before =
       varied_ ? varied_->ledger() : plain_->ledger();
 
-  const nn::TrainResult result =
-      nn::fit(net_, train_set, config_.schedule, backend());
+  // Consume any progress restored by resume(): the schedule replays the
+  // already-trained epochs' shuffles and continues where the snapshot
+  // stopped, and the report stitches resumed + new records together so it
+  // covers the whole logical schedule.
+  nn::TrainConfig schedule = config_.schedule;
+  schedule.start_epoch = resume_epochs_;
+  std::vector<double> cumulative_loss = std::move(resume_loss_);
+  std::vector<double> cumulative_accuracy = std::move(resume_accuracy_);
+  resume_epochs_ = 0;
+  resume_loss_.clear();
+  resume_accuracy_.clear();
+
+  if (config_.checkpoint_every_n_epochs > 0) {
+    TRIDENT_REQUIRE(!config_.checkpoint_path.empty(),
+                    "checkpointing needs a checkpoint_path");
+    TRIDENT_REQUIRE(plain_ != nullptr,
+                    "checkpointing supports plain hardware only");
+    const int every = config_.checkpoint_every_n_epochs;
+    schedule.on_epoch_end = [this, every, &schedule, &cumulative_loss,
+                             &cumulative_accuracy](
+                                int epoch, const nn::TrainResult& so_far) {
+      const int done = epoch + 1;
+      if (done % every != 0 && done != schedule.epochs) {
+        return;
+      }
+      std::vector<double> loss = cumulative_loss;
+      loss.insert(loss.end(), so_far.epoch_loss.begin(),
+                  so_far.epoch_loss.end());
+      std::vector<double> accuracy = cumulative_accuracy;
+      accuracy.insert(accuracy.end(), so_far.epoch_accuracy.begin(),
+                      so_far.epoch_accuracy.end());
+      write_checkpoint(config_.checkpoint_path,
+                       static_cast<std::uint64_t>(done), loss, accuracy);
+    };
+  }
+
+  const nn::TrainResult result = nn::fit(net_, train_set, schedule, backend());
 
   SessionReport report;
-  report.epoch_loss = result.epoch_loss;
-  report.epoch_accuracy = result.epoch_accuracy;
+  report.epoch_loss = std::move(cumulative_loss);
+  report.epoch_loss.insert(report.epoch_loss.end(), result.epoch_loss.begin(),
+                           result.epoch_loss.end());
+  report.epoch_accuracy = std::move(cumulative_accuracy);
+  report.epoch_accuracy.insert(report.epoch_accuracy.end(),
+                               result.epoch_accuracy.begin(),
+                               result.epoch_accuracy.end());
   report.test_accuracy = nn::evaluate(net_, test_set, backend());
 
   const PhotonicLedger after =
@@ -76,6 +116,105 @@ SessionReport TrainingSession::run(nn::Dataset data) {
 
 nn::Vector TrainingSession::predict(const nn::Vector& x) {
   return net_.forward(x, backend()).activations.back();
+}
+
+PhotonicLedger TrainingSession::ledger() const {
+  return varied_ ? varied_->ledger() : plain_->ledger();
+}
+
+int TrainingSession::resident_layer() const {
+  if (plain_ == nullptr) {
+    return -1;
+  }
+  for (int k = 0; k < net_.depth(); ++k) {
+    if (plain_->is_resident(net_.weight(k))) {
+      return k;
+    }
+  }
+  return -1;
+}
+
+void TrainingSession::write_checkpoint(
+    const std::string& path, std::uint64_t epochs_completed,
+    const std::vector<double>& loss,
+    const std::vector<double>& accuracy) const {
+  TRIDENT_REQUIRE(plain_ != nullptr,
+                  "checkpointing supports plain hardware only");
+  state::Snapshot snap;
+  snap.model = state::capture_model(net_);
+  snap.ledger = state::to_ledger_state(plain_->ledger());
+
+  state::TrainingState t;
+  t.epochs_completed = epochs_completed;
+  t.epoch_loss = loss;
+  t.epoch_accuracy = accuracy;
+  t.learning_rate = config_.schedule.learning_rate;
+  t.shuffle = config_.schedule.shuffle ? 1 : 0;
+  t.shuffle_seed = config_.schedule.shuffle_seed;
+  t.batch_size = config_.schedule.batch_size;
+  t.weight_bits = config_.hardware.weight_bits;
+  t.input_bits = config_.hardware.input_bits;
+  t.readout_noise = config_.hardware.readout_noise;
+  t.stochastic_rounding = config_.hardware.stochastic_rounding ? 1 : 0;
+  t.hw_seed = config_.hardware.seed;
+  t.backend_rng = plain_->rng_state();
+  t.resident_layer = resident_layer();
+  snap.training = std::move(t);
+
+  snap.save(path);
+}
+
+void TrainingSession::checkpoint(const std::string& path) const {
+  // Deploy snapshot: current weights and books, no schedule progress.
+  write_checkpoint(path, 0, {}, {});
+}
+
+void TrainingSession::resume(const std::string& path) {
+  TRIDENT_REQUIRE(plain_ != nullptr,
+                  "resume supports plain hardware only");
+  const state::Snapshot snap = state::Snapshot::load(path);
+  TRIDENT_REQUIRE(snap.training.has_value(),
+                  "snapshot carries no training state");
+  const state::TrainingState& t = *snap.training;
+
+  // Refuse a resume whose arithmetic would differ from the run that wrote
+  // the snapshot — continuation must be bit-identical, not approximate.
+  // `epochs` itself is excluded: extending the schedule is legal.
+  TRIDENT_REQUIRE(t.learning_rate == config_.schedule.learning_rate &&
+                      (t.shuffle != 0) == config_.schedule.shuffle &&
+                      t.shuffle_seed == config_.schedule.shuffle_seed &&
+                      t.batch_size == config_.schedule.batch_size,
+                  "snapshot schedule fingerprint does not match the session");
+  TRIDENT_REQUIRE(
+      t.weight_bits == config_.hardware.weight_bits &&
+          t.input_bits == config_.hardware.input_bits &&
+          t.readout_noise == config_.hardware.readout_noise &&
+          (t.stochastic_rounding != 0) ==
+              config_.hardware.stochastic_rounding &&
+          t.hw_seed == config_.hardware.seed,
+      "snapshot hardware fingerprint does not match the session");
+  TRIDENT_REQUIRE(t.epochs_completed <=
+                      static_cast<std::uint64_t>(config_.schedule.epochs),
+                  "snapshot is ahead of this session's schedule");
+  TRIDENT_REQUIRE(t.epoch_loss.size() == t.epochs_completed &&
+                      t.epoch_accuracy.size() == t.epochs_completed,
+                  "snapshot training records do not match its epoch count");
+
+  state::restore_model_into(snap.model, net_);
+  if (snap.ledger.has_value()) {
+    plain_->restore_ledger(
+        state::ledger_from_state<PhotonicLedger>(*snap.ledger));
+  }
+  plain_->restore_rng_state(t.backend_rng);
+  if (t.resident_layer >= 0) {
+    TRIDENT_REQUIRE(t.resident_layer < net_.depth(),
+                    "snapshot resident layer out of range");
+    plain_->mark_resident(net_.weight(t.resident_layer));
+  }
+
+  resume_epochs_ = static_cast<int>(t.epochs_completed);
+  resume_loss_ = t.epoch_loss;
+  resume_accuracy_ = t.epoch_accuracy;
 }
 
 }  // namespace trident::core

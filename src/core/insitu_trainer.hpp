@@ -11,11 +11,13 @@
 
 #include <memory>
 #include <optional>
+#include <string>
 
 #include "core/photonic_backend.hpp"
 #include "core/variation.hpp"
 #include "nn/dataset.hpp"
 #include "nn/train.hpp"
+#include "state/snapshot.hpp"
 
 namespace trident::core {
 
@@ -29,6 +31,12 @@ struct SessionConfig {
   std::uint64_t init_seed = 7;
   /// Held-out fraction used for the reported test accuracy.
   double test_fraction = 0.2;
+  /// Crash safety: with n > 0 and a checkpoint_path, run() writes an
+  /// atomic state::Snapshot after every n-th epoch (and after the final
+  /// one).  A process that dies mid-schedule resumes via resume() with
+  /// bit-identical continuation.  Plain (non-variation) hardware only.
+  int checkpoint_every_n_epochs = 0;
+  std::string checkpoint_path;
 };
 
 struct SessionReport {
@@ -59,14 +67,42 @@ class TrainingSession {
   [[nodiscard]] const nn::Mlp& network() const { return net_; }
   [[nodiscard]] const SessionConfig& config() const { return config_; }
 
+  /// Cumulative hardware books of this session's backend (resumed history
+  /// included).  Reports carry per-run deltas; this is the running total.
+  [[nodiscard]] PhotonicLedger ledger() const;
+
+  /// Writes the session's current non-volatile state (weights, ledger,
+  /// hardware RNG, bank residency) as a deploy snapshot — no training
+  /// progress, so a resume()d schedule starts at epoch 0 on these weights.
+  /// Plain (non-variation) hardware only.
+  void checkpoint(const std::string& path) const;
+
+  /// Restores a snapshot written by checkpoint() or the periodic
+  /// checkpointing of run().  The schedule fingerprint (learning rate,
+  /// seeds, batch size, hardware quantization/noise) must match this
+  /// session's config — resuming under different arithmetic would silently
+  /// diverge and is refused.  The next run() continues at the snapshotted
+  /// epoch bit-identically to an uninterrupted schedule.
+  void resume(const std::string& path);
+
  private:
   [[nodiscard]] nn::MatvecBackend& backend();
+  /// Layer whose matrix is resident in the backend bank (-1: none).
+  [[nodiscard]] int resident_layer() const;
+  void write_checkpoint(const std::string& path,
+                        std::uint64_t epochs_completed,
+                        const std::vector<double>& loss,
+                        const std::vector<double>& accuracy) const;
 
   SessionConfig config_;
   nn::Mlp net_;
   std::unique_ptr<PhotonicBackend> plain_;
   std::unique_ptr<VariationBackend> varied_;
   std::uint64_t ledger_mark_writes_ = 0;
+  /// Progress restored by resume(), consumed by the next run().
+  int resume_epochs_ = 0;
+  std::vector<double> resume_loss_;
+  std::vector<double> resume_accuracy_;
 };
 
 }  // namespace trident::core

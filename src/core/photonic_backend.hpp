@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 
 #include "common/quantize.hpp"
 #include "common/rng.hpp"
@@ -99,6 +100,29 @@ class PhotonicBackend final : public nn::MatvecBackend {
 
   /// LSB of the stored-weight quantizer at unit scale.
   [[nodiscard]] double weight_lsb() const { return weight_quantizer_.step(); }
+
+  // --- snapshot/restore hooks (state::Snapshot) --------------------------
+
+  /// Serialised state of the hardware RNG (noise + stochastic rounding
+  /// draws), so a resumed run replays the exact draw sequence.
+  [[nodiscard]] std::string rng_state() const { return rng_.state(); }
+  void restore_rng_state(const std::string& text) {
+    rng_.restore_state(text);
+  }
+
+  /// Overwrites the ledger with a snapshotted one.  Deliberately NOT
+  /// mirrored into telemetry: the metrics counters track operations this
+  /// process executed, and restoring historical books must not re-count
+  /// pulses a previous process already mirrored.
+  void restore_ledger(const PhotonicLedger& ledger) { ledger_ = ledger; }
+
+  /// Marks `w` as the matrix currently programmed into the bank, so the
+  /// next forward through it skips the program burst (the physical cells
+  /// kept their phase across the restart — non-volatility).
+  void mark_resident(const nn::Matrix& w) { resident_matrix_ = &w; }
+  [[nodiscard]] bool is_resident(const nn::Matrix& w) const {
+    return resident_matrix_ == &w;
+  }
 
  private:
   /// Charges programming for `w` unless it is still resident.

@@ -291,4 +291,35 @@ double WeightBank::max_wear() const {
   return w;
 }
 
+state::BankState WeightBank::capture_state() const {
+  state::BankState s;
+  s.rows = rows_;
+  s.cols = cols_;
+  s.levels.reserve(cells_.size());
+  s.writes.reserve(cells_.size());
+  s.reads.reserve(cells_.size());
+  for (const phot::GstCell& c : cells_) {
+    s.levels.push_back(c.level());
+    s.writes.push_back(c.writes());
+    s.reads.push_back(c.reads());
+  }
+  s.symbol_reads = symbol_reads_;
+  return s;
+}
+
+void WeightBank::restore_state(const state::BankState& snapshot) {
+  TRIDENT_REQUIRE(snapshot.rows == rows_ && snapshot.cols == cols_,
+                  "bank snapshot dimensions do not match this bank");
+  TRIDENT_REQUIRE(snapshot.levels.size() == cells_.size() &&
+                      snapshot.writes.size() == cells_.size() &&
+                      snapshot.reads.size() == cells_.size(),
+                  "bank snapshot cell count does not match this bank");
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    cells_[i].restore(snapshot.levels[i], snapshot.writes[i],
+                      snapshot.reads[i]);
+  }
+  symbol_reads_ = snapshot.symbol_reads;
+  decoded_dirty_ = true;
+}
+
 }  // namespace trident::core

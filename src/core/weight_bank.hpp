@@ -23,6 +23,7 @@
 #include "photonics/gst.hpp"
 #include "photonics/mrr.hpp"
 #include "photonics/wdm.hpp"
+#include "state/snapshot.hpp"
 
 namespace trident::core {
 
@@ -94,6 +95,17 @@ class WeightBank {
 
   /// Weight realised by a given GST level (calibration-table lookup).
   [[nodiscard]] double weight_at_level(int level) const;
+
+  // --- snapshot/restore (state::Snapshot) --------------------------------
+
+  /// Captures every cell's non-volatile level plus the historical pulse
+  /// counters — enough to rebuild the bank's physical state exactly.
+  [[nodiscard]] state::BankState capture_state() const;
+
+  /// Restores a captured bank state without firing a single pulse: the
+  /// physical cells kept their phase across the restart, so levels land
+  /// for free and the pulse counters carry over.  Dimensions must match.
+  void restore_state(const state::BankState& snapshot);
 
  private:
   [[nodiscard]] const phot::GstCell& cell(int r, int c) const;

@@ -30,6 +30,8 @@ TrainResult fit(Mlp& net, Dataset data, const TrainConfig& config,
   TRIDENT_REQUIRE(config.epochs >= 1, "need at least one epoch");
   TRIDENT_REQUIRE(config.learning_rate > 0.0, "learning rate must be positive");
   TRIDENT_REQUIRE(config.batch_size >= 1, "batch size must be positive");
+  TRIDENT_REQUIRE(config.start_epoch >= 0 && config.start_epoch <= config.epochs,
+                  "start_epoch must lie in [0, epochs]");
   data.validate();
   TRIDENT_REQUIRE(data.features == net.layer_sizes().front(),
                   "dataset features do not match network input");
@@ -37,13 +39,22 @@ TrainResult fit(Mlp& net, Dataset data, const TrainConfig& config,
                   "dataset classes do not match network output");
 
   Rng shuffle_rng(config.shuffle_seed);
+  // Resume: replay the shuffles of the epochs already trained so the data
+  // order of epoch k matches what a single uninterrupted run would see.
+  for (int epoch = 0; epoch < config.start_epoch; ++epoch) {
+    if (config.shuffle) {
+      data.shuffle(shuffle_rng);
+    }
+  }
   TrainResult result;
-  result.epoch_loss.reserve(static_cast<std::size_t>(config.epochs));
-  result.epoch_accuracy.reserve(static_cast<std::size_t>(config.epochs));
+  result.epoch_loss.reserve(
+      static_cast<std::size_t>(config.epochs - config.start_epoch));
+  result.epoch_accuracy.reserve(
+      static_cast<std::size_t>(config.epochs - config.start_epoch));
 
   const auto bs = static_cast<std::size_t>(config.batch_size);
   Vector logits_b(static_cast<std::size_t>(data.classes));
-  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+  for (int epoch = config.start_epoch; epoch < config.epochs; ++epoch) {
     std::optional<telemetry::Span> span;
     if (telemetry::enabled()) {
       span.emplace("train/epoch" + std::to_string(epoch), "train");
@@ -76,6 +87,9 @@ TrainResult fit(Mlp& net, Dataset data, const TrainConfig& config,
     result.epoch_loss.push_back(loss_sum / static_cast<double>(data.size()));
     result.epoch_accuracy.push_back(static_cast<double>(correct) /
                                     static_cast<double>(data.size()));
+    if (config.on_epoch_end) {
+      config.on_epoch_end(epoch, result);
+    }
   }
   return result;
 }

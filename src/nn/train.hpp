@@ -6,13 +6,17 @@
 // on the *same* hardware with different encodings (Table II).
 #pragma once
 
+#include <functional>
 #include <vector>
 
+#include "common/error.hpp"
 #include "common/rng.hpp"
 #include "nn/dataset.hpp"
 #include "nn/mlp.hpp"
 
 namespace trident::nn {
+
+struct TrainResult;
 
 struct TrainConfig {
   int epochs = 20;
@@ -26,13 +30,31 @@ struct TrainConfig {
   /// switch the weight updates to minibatch semantics (all samples of a
   /// block see the same pre-update weights on the way down).
   int batch_size = 1;
+  /// Resume point: replay this many epoch shuffles (advancing the shuffle
+  /// stream without touching the weights), then train epochs
+  /// [start_epoch, epochs).  With the same seeds and a restored network,
+  /// fit(start_epoch = k) continues a longer schedule bit-identically —
+  /// the checkpoint/resume contract of state::Snapshot rests on this.
+  int start_epoch = 0;
+  /// Invoked after each trained epoch with the absolute 0-based epoch just
+  /// completed and the result so far (epochs trained by *this* call).
+  /// Checkpoint hooks live here; exceptions propagate out of fit().
+  std::function<void(int epoch, const TrainResult& so_far)> on_epoch_end;
 };
 
 struct TrainResult {
   std::vector<double> epoch_loss;      ///< mean cross-entropy per epoch
   std::vector<double> epoch_accuracy;  ///< training accuracy per epoch
-  [[nodiscard]] double final_loss() const { return epoch_loss.back(); }
-  [[nodiscard]] double final_accuracy() const { return epoch_accuracy.back(); }
+  [[nodiscard]] double final_loss() const {
+    TRIDENT_REQUIRE(!epoch_loss.empty(),
+                    "final_loss() on a result with no trained epochs");
+    return epoch_loss.back();
+  }
+  [[nodiscard]] double final_accuracy() const {
+    TRIDENT_REQUIRE(!epoch_accuracy.empty(),
+                    "final_accuracy() on a result with no trained epochs");
+    return epoch_accuracy.back();
+  }
 };
 
 /// Trains `net` on `data` via per-sample SGD through `backend`.

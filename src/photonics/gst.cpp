@@ -38,9 +38,18 @@ double GstCell::amplitude_transmittance() const {
 int GstCell::program(int target_level, Rng* rng) {
   TRIDENT_REQUIRE(target_level >= 0 && target_level < params_.levels,
                   "GST level out of range");
+  if (target_level == level_) {
+    // True no-op: the control logic compares against the non-volatile
+    // state and never fires a pulse, so nothing is billed.
+    return level_;
+  }
+  // A pulse is commanded the moment the target differs from the current
+  // level.  It melts/quenches the cell regardless of where placement noise
+  // lands the achieved level — even back on the starting level — so the
+  // energy, time, and endurance cost is unconditional.
+  ++writes_;
   int achieved = target_level;
-  if (rng != nullptr && params_.programming_noise_levels > 0.0 &&
-      target_level != level_) {
+  if (rng != nullptr && params_.programming_noise_levels > 0.0) {
     // Placement jitter accumulates over the partial crystallisation pulses
     // of the move: long moves are noisy, short trim moves are precise —
     // the property write-verify calibration exploits.
@@ -52,11 +61,19 @@ int GstCell::program(int target_level, Rng* rng) {
         std::lround(target_level + rng->normal(0.0, sigma)));
     achieved = std::clamp(achieved, 0, params_.levels - 1);
   }
-  if (achieved != level_) {
-    level_ = achieved;
-    ++writes_;
-  }
+  level_ = achieved;
   return level_;
+}
+
+void GstCell::restore(int level, std::uint64_t writes, std::uint64_t reads) {
+  TRIDENT_REQUIRE(level >= 0 && level < params_.levels,
+                  "GST level out of range");
+  // Snapshot restore: the physical cell retained its phase across the
+  // process restart (non-volatility is the whole point), so no pulse is
+  // fired and nothing new is billed — the historical counters carry over.
+  level_ = level;
+  writes_ = writes;
+  reads_ = reads;
 }
 
 double GstCell::program_transmittance(double target, Rng* rng) {

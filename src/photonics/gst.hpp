@@ -67,12 +67,20 @@ class GstCell {
   /// multiplies the intracavity field of a host MRR.
   [[nodiscard]] double amplitude_transmittance() const;
 
-  /// Programs the cell to `target_level`.  Costs one write pulse if the
-  /// level actually changes; re-programming to the same level is free (the
-  /// control logic skips unchanged weights — non-volatility makes the
-  /// comparison trivial).  With programming noise enabled the achieved
-  /// level is perturbed. Returns the level actually reached.
+  /// Programs the cell to `target_level`.  Commanding a level different
+  /// from the current one fires one write pulse, billed unconditionally
+  /// (energy, time, endurance) — even when programming noise lands the
+  /// achieved level back on the starting one, the pulse physically fired.
+  /// Re-programming to the *commanded* current level is free: the control
+  /// logic skips unchanged weights (non-volatility makes the comparison
+  /// trivial) and never issues a pulse.  Returns the level actually
+  /// reached.
   int program(int target_level, Rng* rng = nullptr);
+
+  /// Restores a snapshotted level and its historical pulse counters without
+  /// firing a pulse — the physical cell kept its phase across the process
+  /// restart, so nothing new is billed.
+  void restore(int level, std::uint64_t writes, std::uint64_t reads);
 
   /// Programs the transmittance closest to `target` ∈ [0, 1] (clamped to
   /// the device's achievable range).  Returns the achieved transmittance.

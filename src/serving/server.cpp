@@ -70,6 +70,25 @@ struct ServerMetrics {
                                     "exact median sojourn so far");
   telemetry::Gauge& p99 = reg.gauge("trident_serving_sojourn_p99_seconds",
                                     "exact p99 sojourn so far");
+  telemetry::Counter& weight_swaps =
+      reg.counter("trident_serving_weight_swaps_total",
+                  "hot_swap weight publications");
+  telemetry::Counter& swap_adoptions =
+      reg.counter("trident_serving_weight_swap_adoptions_total",
+                  "replica adoptions of published weights at batch bounds");
+  telemetry::Histogram& swap_latency = reg.histogram(
+      "trident_serving_weight_swap_latency_seconds",
+      telemetry::duration_buckets_seconds(),
+      "hot_swap publication to a replica's adoption");
+  telemetry::Gauge& weights_version =
+      reg.gauge("trident_serving_weights_version",
+                "version of the most recently published weights");
+  telemetry::Counter& snapshot_restores =
+      reg.counter("trident_serving_snapshot_restores_total",
+                  "replica restarts healed from the configured snapshot");
+  telemetry::Counter& snapshot_restore_failures =
+      reg.counter("trident_serving_snapshot_restore_failures_total",
+                  "snapshot restores that fell back to published weights");
 };
 
 ServerMetrics& server_metrics() {
@@ -113,6 +132,10 @@ Server::Server(const nn::Mlp& model, const ServerConfig& config)
                   "max_attempts must be at least one");
   TRIDENT_REQUIRE(config.max_restarts >= 0,
                   "max_restarts must be non-negative");
+  // Version 0 = the init model; hot_swap bumps from here.  Publishing it
+  // up front means restarts and adoption checks never see a null pointer.
+  published_ = std::make_shared<const PublishedModel>(
+      PublishedModel{0, model, now_ns()});
   replicas_.reserve(static_cast<std::size_t>(config.replicas));
   for (int r = 0; r < config.replicas; ++r) {
     auto replica = std::make_unique<Replica>(r, model);
@@ -205,6 +228,9 @@ void Server::worker_loop(Replica& replica) {
     if (batch.empty()) {
       return;  // queue closed and drained
     }
+    // Batch boundary: the only place weights may change, so no request in
+    // the batch about to be served can observe a torn or mid-swap model.
+    maybe_adopt_weights(replica);
     replica.state.store(ReplicaState::kServing, std::memory_order_release);
     heartbeat(replica);
     const bool alive = serve_batch(replica, batch);
@@ -429,21 +455,117 @@ void Server::supervisor_loop() {
   }
 }
 
+void Server::hot_swap(const nn::Mlp& model) {
+  TRIDENT_REQUIRE(model.layer_sizes() == model_.layer_sizes(),
+                  "hot_swap model architecture does not match the server");
+  TRIDENT_REQUIRE(model.hidden_activation() == model_.hidden_activation(),
+                  "hot_swap model activation does not match the server");
+  {
+    std::lock_guard lock(swap_mutex_);
+    const std::uint64_t version = published_->version + 1;
+    published_ = std::make_shared<const PublishedModel>(
+        PublishedModel{version, model, now_ns()});
+    // Release so a worker's acquire-load of the version observes the
+    // pointer published above (the mutex alone would do; the atomic is the
+    // lock-free fast path).
+    weights_version_.store(version, std::memory_order_release);
+  }
+  swaps_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    ServerMetrics& m = server_metrics();
+    m.weight_swaps.add(1);
+    m.weights_version.set(
+        static_cast<double>(weights_version_.load(std::memory_order_relaxed)));
+  }
+  // Note: model_ (the restart fallback of last resort) is deliberately NOT
+  // touched — the supervisor may be cloning it right now.  Restarts read
+  // published_ / the snapshot instead, so they never serve stale weights.
+}
+
+void Server::maybe_adopt_weights(Replica& replica) {
+  // Fast path: one acquire-load; nothing to do while no swap happened.
+  if (weights_version_.load(std::memory_order_acquire) ==
+      replica.weights_seen) {
+    return;
+  }
+  std::shared_ptr<const PublishedModel> published;
+  {
+    std::lock_guard lock(swap_mutex_);
+    published = published_;
+  }
+  if (published->version == replica.weights_seen) {
+    return;
+  }
+  // Copy outside the lock: the publication is immutable, only the worker
+  // touches replica.model, and the fresh Matrix addresses make the next
+  // forward's ensure_programmed() re-program the GST bank — billing the
+  // swap's write pulses through this replica's existing ledger.
+  replica.model = published->model;
+  replica.weights_seen = published->version;
+  adoptions_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    ServerMetrics& m = server_metrics();
+    m.swap_adoptions.add(1);
+    m.swap_latency.observe(
+        static_cast<double>(now_ns() - published->published_ns) * 1e-9);
+  }
+}
+
+nn::Mlp Server::restore_model_for_restart(std::uint64_t& seen_version) {
+  std::shared_ptr<const PublishedModel> published;
+  {
+    std::lock_guard lock(swap_mutex_);
+    published = published_;
+  }
+  seen_version = published->version;
+  if (!config_.snapshot_path.empty()) {
+    try {
+      const state::Snapshot snap = state::Snapshot::load(config_.snapshot_path);
+      nn::Mlp restored = state::restore_model(snap.model);
+      TRIDENT_REQUIRE(restored.layer_sizes() == model_.layer_sizes(),
+                      "snapshot model architecture does not match the server");
+      snapshot_restores_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        server_metrics().snapshot_restores.add(1);
+      }
+      return restored;
+    } catch (const std::exception&) {
+      // Missing/corrupt snapshot: degrade to the published weights rather
+      // than refuse to heal — availability first, and the counter makes
+      // the degradation observable.
+      snapshot_restore_failures_.fetch_add(1, std::memory_order_relaxed);
+      if (telemetry::enabled()) {
+        server_metrics().snapshot_restore_failures.add(1);
+      }
+    }
+  }
+  return published->model;
+}
+
 void Server::restart_replica(Replica& replica) {
   if (replica.worker.joinable()) {
     replica.worker.join();
   }
   // Fold the dead incarnation's hardware bill in before the backend is
-  // replaced, so drain-time aggregation stays exact.
+  // replaced, so drain-time aggregation stays exact.  The snapshot's own
+  // ledger (if any) is deliberately NOT folded in: those pulses belong to
+  // the process that wrote the snapshot, and the dead incarnation's pulses
+  // were just captured above — folding both would double-count.
   if (replica.backend.ledger) {
     std::lock_guard ledger_lock(ledger_mutex_);
     retired_ledger_ = retired_ledger_ + replica.backend.ledger();
   }
   const int incarnation =
       replica.incarnation.fetch_add(1, std::memory_order_relaxed) + 1;
-  // Re-clone the pristine model (a dying backend may have been mid-update)
-  // and split a fresh RNG stream for the new incarnation.
-  replica.model = model_;
+  // Heal with the non-volatile state, not the init seed: prefer the
+  // configured snapshot, fall back to the latest hot-swapped weights.
+  // weights_seen is pinned to the published version read at restore time
+  // so the new incarnation is not immediately clobbered by a stale
+  // publication, yet still adopts any later hot_swap.  Fresh RNG split
+  // per incarnation, as before.
+  std::uint64_t seen = 0;
+  replica.model = restore_model_for_restart(seen);
+  replica.weights_seen = seen;
   replica.backend = make_backend(replica.index, incarnation);
   restarts_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry::enabled()) {
@@ -512,6 +634,11 @@ ServerStats Server::stats() const {
   s.replica_deaths = deaths_.load(std::memory_order_relaxed);
   s.replica_restarts = restarts_.load(std::memory_order_relaxed);
   s.stalls_detected = stalls_.load(std::memory_order_relaxed);
+  s.weight_swaps = swaps_.load(std::memory_order_relaxed);
+  s.swap_adoptions = adoptions_.load(std::memory_order_relaxed);
+  s.snapshot_restores = snapshot_restores_.load(std::memory_order_relaxed);
+  s.snapshot_restore_failures =
+      snapshot_restore_failures_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(drain_mutex_);
     if (drained_) {

@@ -61,6 +61,7 @@
 #include "serving/request.hpp"
 #include "serving/request_queue.hpp"
 #include "serving/slo.hpp"
+#include "state/snapshot.hpp"
 
 namespace trident::serving {
 
@@ -107,6 +108,12 @@ struct ServerConfig {
   /// Chaos hook: returns true to shed the i-th submit at admission (a
   /// seeded "admission blip").  Null disables.
   std::function<bool(std::uint64_t submit_index)> admission_blip;
+  /// Non-volatile restore: when set, a supervisor restart loads this
+  /// state::Snapshot and the healed replica serves the snapshotted
+  /// (trained) weights instead of a re-clone of the init model.  A missing
+  /// or corrupt snapshot falls back to the current published weights (and
+  /// counts a snapshot_restore_failure).
+  std::string snapshot_path;
 };
 
 /// Lifecycle of one replica worker, as the supervisor sees it.
@@ -146,6 +153,11 @@ struct ServerStats {
   std::uint64_t replica_deaths = 0;    ///< HardwareFailure worker exits
   std::uint64_t replica_restarts = 0;  ///< supervisor re-incarnations
   std::uint64_t stalls_detected = 0;   ///< heartbeat overruns flagged
+  /// Weight lifecycle.
+  std::uint64_t weight_swaps = 0;      ///< hot_swap() publications
+  std::uint64_t swap_adoptions = 0;    ///< replica adoptions at batch bounds
+  std::uint64_t snapshot_restores = 0; ///< restarts healed from the snapshot
+  std::uint64_t snapshot_restore_failures = 0;  ///< fell back to published
   /// Aggregate hardware bill across replicas.  Only populated once the
   /// server is drained (replica ledgers are worker-thread-private while
   /// serving); zero before that.  Dead incarnations' bills are folded in
@@ -181,6 +193,19 @@ class Server {
   /// Idempotent.
   void drain();
 
+  /// Atomically publishes new weights to all replicas.  Each replica
+  /// adopts at its next batch boundary — never mid-forward, so no request
+  /// sees torn weights — and the adoption re-programs the replica's GST
+  /// bank through its own backend, billing the write pulses in the
+  /// existing ledger.  The architecture must match the serving model.
+  /// Thread-safe; concurrent swaps serialise, the newest version wins.
+  void hot_swap(const nn::Mlp& model);
+
+  /// Version of the most recently published weights (0 = the init model).
+  [[nodiscard]] std::uint64_t weights_version() const {
+    return weights_version_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] ServerStats stats() const;
   /// Per-replica lifecycle/heartbeat view (cheap, lock-free).
   [[nodiscard]] std::vector<ReplicaHealth> health() const;
@@ -200,8 +225,21 @@ class Server {
     std::atomic<std::uint64_t> batches{0};
     std::atomic<std::int64_t> heartbeat_ns{0};  ///< steady-clock stamp
     std::atomic<bool> stall_flagged{false};
+    /// Published-weights version this replica serves.  Worker-private
+    /// while alive (only touched by the worker thread and, between
+    /// incarnations, by the supervisor holding the joined thread).
+    std::uint64_t weights_seen = 0;
 
     Replica(int idx, const nn::Mlp& m) : index(idx), model(m) {}
+  };
+
+  /// One immutable published weight set.  Readers grab the shared_ptr
+  /// under swap_mutex_ and copy the model outside it — the struct itself
+  /// is never mutated after publication, so there are no torn reads.
+  struct PublishedModel {
+    std::uint64_t version = 0;
+    nn::Mlp model;
+    std::int64_t published_ns = 0;  ///< steady-clock stamp of hot_swap()
   };
 
   [[nodiscard]] ReplicaBackend make_backend(int replica, int incarnation) const;
@@ -217,6 +255,13 @@ class Server {
   void heartbeat(Replica& replica) const;
   void supervisor_loop();
   void restart_replica(Replica& replica);
+  /// Adopts the latest published weights at a batch boundary (fast
+  /// acquire-load no-op when the replica is current).
+  void maybe_adopt_weights(Replica& replica);
+  /// Model a restarted incarnation should serve: the snapshot when
+  /// configured and loadable, the latest published weights otherwise.
+  /// `seen_version` is set to the published version the choice reflects.
+  [[nodiscard]] nn::Mlp restore_model_for_restart(std::uint64_t& seen_version);
   /// Fails everything still queued after the workers exited (all replicas
   /// dead): the explicit degraded-drain path.
   void fail_leftovers();
@@ -241,6 +286,17 @@ class Server {
   std::atomic<std::uint64_t> deaths_{0};
   std::atomic<std::uint64_t> restarts_{0};
   std::atomic<std::uint64_t> stalls_{0};
+  std::atomic<std::uint64_t> swaps_{0};
+  std::atomic<std::uint64_t> adoptions_{0};
+  std::atomic<std::uint64_t> snapshot_restores_{0};
+  std::atomic<std::uint64_t> snapshot_restore_failures_{0};
+
+  /// Hot-swap publication point.  weights_version_ mirrors
+  /// published_->version so workers can check currency with one
+  /// acquire-load before taking the mutex.
+  mutable std::mutex swap_mutex_;
+  std::shared_ptr<const PublishedModel> published_;
+  std::atomic<std::uint64_t> weights_version_{0};
   LatencyRecorder sojourn_;
   LatencyRecorder queue_wait_;
   LatencyRecorder service_;

@@ -1,0 +1,507 @@
+#include "state/snapshot.hpp"
+
+#include <bit>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace trident::state {
+
+namespace {
+
+// Section tags: four printable bytes packed little-endian.
+constexpr std::uint32_t fourcc(char a, char b, char c, char d) {
+  return static_cast<std::uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<std::uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr std::uint32_t kTagModel = fourcc('M', 'O', 'D', 'L');
+constexpr std::uint32_t kTagLedger = fourcc('L', 'E', 'D', 'G');
+constexpr std::uint32_t kTagBank = fourcc('B', 'A', 'N', 'K');
+constexpr std::uint32_t kTagTraining = fourcc('T', 'R', 'N', 'G');
+
+constexpr char kMagic[8] = {'T', 'R', 'I', 'D', 'S', 'N', 'A', 'P'};
+
+/// FNV-1a 64: tiny, dependency-free, and plenty to catch torn or
+/// bit-flipped files (this is an integrity check, not authentication).
+std::uint64_t fnv1a(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+/// Little-endian byte-buffer writer.  All integers are written explicitly
+/// byte by byte so the format is identical across hosts.
+class Writer {
+ public:
+  void u32(std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void u64(std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      out_.push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+    }
+  }
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+  void bytes(std::string_view s) { out_.append(s); }
+  void u8(std::uint8_t v) { out_.push_back(static_cast<char>(v)); }
+
+  [[nodiscard]] std::string& str() { return out_; }
+
+ private:
+  std::string out_;
+};
+
+/// Bounds-checked reader over a byte view; every primitive read REQUIREs
+/// the remaining length first, so truncated files fail loudly.
+class Reader {
+ public:
+  explicit Reader(std::string_view bytes) : bytes_(bytes) {}
+
+  [[nodiscard]] std::size_t remaining() const { return bytes_.size() - pos_; }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<unsigned char>(bytes_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  double f64() { return std::bit_cast<double>(u64()); }
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(bytes_[pos_++]);
+  }
+  std::string_view bytes(std::size_t n) {
+    need(n);
+    const std::string_view v = bytes_.substr(pos_, n);
+    pos_ += n;
+    return v;
+  }
+  void skip(std::size_t n) { need(n), pos_ += n; }
+
+ private:
+  void need(std::size_t n) const {
+    TRIDENT_REQUIRE(remaining() >= n, "snapshot truncated");
+  }
+  std::string_view bytes_;
+  std::size_t pos_ = 0;
+};
+
+void write_section(Writer& w, std::uint32_t tag, const std::string& payload) {
+  w.u32(tag);
+  w.u64(payload.size());
+  w.bytes(payload);
+}
+
+std::string encode_model(const ModelState& m) {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(m.layer_sizes.size()));
+  for (const std::int32_t s : m.layer_sizes) {
+    w.i32(s);
+  }
+  w.i32(m.activation);
+  w.u32(static_cast<std::uint32_t>(m.weights.size()));
+  for (const nn::Matrix& mat : m.weights) {
+    w.u64(mat.rows());
+    w.u64(mat.cols());
+    for (const double v : mat.data()) {
+      w.f64(v);
+    }
+  }
+  return std::move(w.str());
+}
+
+ModelState decode_model(Reader r) {
+  ModelState m;
+  const std::uint32_t n_sizes = r.u32();
+  m.layer_sizes.reserve(n_sizes);
+  for (std::uint32_t i = 0; i < n_sizes; ++i) {
+    m.layer_sizes.push_back(r.i32());
+  }
+  m.activation = r.i32();
+  const std::uint32_t n_weights = r.u32();
+  m.weights.reserve(n_weights);
+  for (std::uint32_t k = 0; k < n_weights; ++k) {
+    const std::uint64_t rows = r.u64();
+    const std::uint64_t cols = r.u64();
+    TRIDENT_REQUIRE(rows > 0 && cols > 0, "snapshot matrix must be non-empty");
+    TRIDENT_REQUIRE(rows * cols <= r.remaining() / 8,
+                    "snapshot matrix larger than the file");
+    nn::Matrix mat(static_cast<std::size_t>(rows),
+                   static_cast<std::size_t>(cols));
+    for (double& v : mat.data()) {
+      v = r.f64();
+    }
+    m.weights.push_back(std::move(mat));
+  }
+  return m;
+}
+
+std::string encode_ledger(const LedgerState& l) {
+  Writer w;
+  w.u64(l.weight_writes);
+  w.u64(l.program_events);
+  w.u64(l.symbols);
+  w.u64(l.macs);
+  w.u64(l.activations);
+  return std::move(w.str());
+}
+
+LedgerState decode_ledger(Reader r) {
+  LedgerState l;
+  l.weight_writes = r.u64();
+  l.program_events = r.u64();
+  l.symbols = r.u64();
+  l.macs = r.u64();
+  l.activations = r.u64();
+  return l;
+}
+
+std::string encode_bank(const BankState& b) {
+  Writer w;
+  w.i32(b.rows);
+  w.i32(b.cols);
+  const auto cells = static_cast<std::size_t>(b.rows) *
+                     static_cast<std::size_t>(b.cols);
+  TRIDENT_REQUIRE(b.levels.size() == cells && b.writes.size() == cells &&
+                      b.reads.size() == cells,
+                  "bank state arrays must cover rows*cols cells");
+  for (const std::int32_t lv : b.levels) {
+    w.i32(lv);
+  }
+  for (const std::uint64_t n : b.writes) {
+    w.u64(n);
+  }
+  for (const std::uint64_t n : b.reads) {
+    w.u64(n);
+  }
+  w.u64(b.symbol_reads);
+  return std::move(w.str());
+}
+
+BankState decode_bank(Reader r) {
+  BankState b;
+  b.rows = r.i32();
+  b.cols = r.i32();
+  TRIDENT_REQUIRE(b.rows > 0 && b.cols > 0,
+                  "snapshot bank dimensions must be positive");
+  const auto cells = static_cast<std::size_t>(b.rows) *
+                     static_cast<std::size_t>(b.cols);
+  TRIDENT_REQUIRE(cells <= r.remaining() / 4,
+                  "snapshot bank larger than the file");
+  b.levels.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    b.levels.push_back(r.i32());
+  }
+  b.writes.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    b.writes.push_back(r.u64());
+  }
+  b.reads.reserve(cells);
+  for (std::size_t i = 0; i < cells; ++i) {
+    b.reads.push_back(r.u64());
+  }
+  b.symbol_reads = r.u64();
+  return b;
+}
+
+std::string encode_training(const TrainingState& t) {
+  Writer w;
+  w.u64(t.epochs_completed);
+  w.u32(static_cast<std::uint32_t>(t.epoch_loss.size()));
+  for (const double v : t.epoch_loss) {
+    w.f64(v);
+  }
+  w.u32(static_cast<std::uint32_t>(t.epoch_accuracy.size()));
+  for (const double v : t.epoch_accuracy) {
+    w.f64(v);
+  }
+  w.f64(t.learning_rate);
+  w.u8(t.shuffle);
+  w.u64(t.shuffle_seed);
+  w.i32(t.batch_size);
+  w.i32(t.weight_bits);
+  w.i32(t.input_bits);
+  w.f64(t.readout_noise);
+  w.u8(t.stochastic_rounding);
+  w.u64(t.hw_seed);
+  w.u64(t.backend_rng.size());
+  w.bytes(t.backend_rng);
+  w.i32(t.resident_layer);
+  return std::move(w.str());
+}
+
+TrainingState decode_training(Reader r) {
+  TrainingState t;
+  t.epochs_completed = r.u64();
+  const std::uint32_t n_loss = r.u32();
+  t.epoch_loss.reserve(n_loss);
+  for (std::uint32_t i = 0; i < n_loss; ++i) {
+    t.epoch_loss.push_back(r.f64());
+  }
+  const std::uint32_t n_acc = r.u32();
+  t.epoch_accuracy.reserve(n_acc);
+  for (std::uint32_t i = 0; i < n_acc; ++i) {
+    t.epoch_accuracy.push_back(r.f64());
+  }
+  t.learning_rate = r.f64();
+  t.shuffle = r.u8();
+  t.shuffle_seed = r.u64();
+  t.batch_size = r.i32();
+  t.weight_bits = r.i32();
+  t.input_bits = r.i32();
+  t.readout_noise = r.f64();
+  t.stochastic_rounding = r.u8();
+  t.hw_seed = r.u64();
+  const std::uint64_t rng_len = r.u64();
+  t.backend_rng = std::string(r.bytes(static_cast<std::size_t>(rng_len)));
+  t.resident_layer = r.i32();
+  return t;
+}
+
+/// Snapshot I/O metrics: byte volume and durations for the checkpoint path
+/// (the serving/TRAINING hot loops call save() off their critical path, but
+/// the cost still belongs on a dashboard).
+struct StateMetrics {
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::global();
+  telemetry::Counter& writes =
+      reg.counter("trident_state_snapshot_writes_total",
+                  "snapshot files written (atomic temp+rename)");
+  telemetry::Counter& loads = reg.counter(
+      "trident_state_snapshot_loads_total", "snapshot files loaded");
+  telemetry::Counter& load_failures =
+      reg.counter("trident_state_snapshot_load_failures_total",
+                  "snapshot loads rejected (checksum/magic/truncation)");
+  telemetry::Gauge& bytes = reg.gauge("trident_state_snapshot_bytes",
+                                      "size of the last snapshot written");
+  telemetry::Histogram& write_seconds =
+      reg.histogram("trident_state_snapshot_write_seconds",
+                    telemetry::duration_buckets_seconds(),
+                    "wall time of Snapshot::save");
+  telemetry::Histogram& load_seconds =
+      reg.histogram("trident_state_snapshot_load_seconds",
+                    telemetry::duration_buckets_seconds(),
+                    "wall time of Snapshot::load");
+};
+
+StateMetrics& metrics() {
+  static StateMetrics m;
+  return m;
+}
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+std::string Snapshot::serialize() const {
+  Writer w;
+  w.bytes(std::string_view(kMagic, sizeof(kMagic)));
+  w.u32(kSnapshotVersion);
+  write_section(w, kTagModel, encode_model(model));
+  if (ledger.has_value()) {
+    write_section(w, kTagLedger, encode_ledger(*ledger));
+  }
+  for (const BankState& b : banks) {
+    write_section(w, kTagBank, encode_bank(b));
+  }
+  if (training.has_value()) {
+    write_section(w, kTagTraining, encode_training(*training));
+  }
+  const std::uint64_t checksum = fnv1a(w.str());
+  w.u64(checksum);
+  return std::move(w.str());
+}
+
+Snapshot Snapshot::deserialize(std::string_view bytes) {
+  // magic(8) + version(4) + checksum(8) is the smallest legal file.
+  TRIDENT_REQUIRE(bytes.size() >= 20, "snapshot truncated");
+  // Verify the checksum before trusting any field — a torn or bit-flipped
+  // file must fail here, not as a confusing parse error downstream.
+  const std::string_view body = bytes.substr(0, bytes.size() - 8);
+  const std::uint64_t stored = Reader(bytes.substr(bytes.size() - 8)).u64();
+  TRIDENT_REQUIRE(fnv1a(body) == stored,
+                  "snapshot checksum mismatch (corrupted file)");
+
+  Reader r(body);
+  const std::string_view magic = r.bytes(sizeof(kMagic));
+  TRIDENT_REQUIRE(magic == std::string_view(kMagic, sizeof(kMagic)),
+                  "not a Trident snapshot (bad magic)");
+  const std::uint32_t version = r.u32();
+  TRIDENT_REQUIRE(version == kSnapshotVersion,
+                  "unsupported snapshot version");
+
+  Snapshot snap;
+  bool have_model = false;
+  while (r.remaining() > 0) {
+    const std::uint32_t tag = r.u32();
+    const std::uint64_t length = r.u64();
+    const std::string_view payload =
+        r.bytes(static_cast<std::size_t>(length));
+    if (tag == kTagModel) {
+      snap.model = decode_model(Reader(payload));
+      have_model = true;
+    } else if (tag == kTagLedger) {
+      snap.ledger = decode_ledger(Reader(payload));
+    } else if (tag == kTagBank) {
+      snap.banks.push_back(decode_bank(Reader(payload)));
+    } else if (tag == kTagTraining) {
+      snap.training = decode_training(Reader(payload));
+    }
+    // Unknown tags are skipped: forward compatibility with later sections.
+  }
+  TRIDENT_REQUIRE(have_model, "snapshot has no model section");
+  return snap;
+}
+
+void Snapshot::save(const std::string& path) const {
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::string bytes = serialize();
+  const std::string tmp = path + ".tmp";
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  TRIDENT_REQUIRE(f != nullptr, "cannot open snapshot temp file for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool ok = written == bytes.size() && std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  // fsync before rename: the rename must not become durable before the
+  // data it points at.
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    TRIDENT_REQUIRE(false, "snapshot temp write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    TRIDENT_REQUIRE(false, "snapshot rename failed");
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Best-effort directory fsync so the rename itself is durable.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+#endif
+  if (telemetry::enabled()) {
+    StateMetrics& m = metrics();
+    m.writes.add(1);
+    m.bytes.set(static_cast<double>(bytes.size()));
+    m.write_seconds.observe(seconds_since(t0));
+  }
+}
+
+Snapshot Snapshot::load(const std::string& path) {
+  const auto t0 = std::chrono::steady_clock::now();
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  TRIDENT_REQUIRE(f != nullptr, "cannot open snapshot file");
+  std::string bytes;
+  char buf[1 << 16];
+  std::size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    bytes.append(buf, n);
+  }
+  const bool read_ok = std::ferror(f) == 0;
+  std::fclose(f);
+  TRIDENT_REQUIRE(read_ok, "snapshot read failed");
+  try {
+    Snapshot snap = deserialize(bytes);
+    if (telemetry::enabled()) {
+      StateMetrics& m = metrics();
+      m.loads.add(1);
+      m.load_seconds.observe(seconds_since(t0));
+    }
+    return snap;
+  } catch (...) {
+    if (telemetry::enabled()) {
+      metrics().load_failures.add(1);
+    }
+    throw;
+  }
+}
+
+ModelState capture_model(const nn::Mlp& net) {
+  ModelState m;
+  m.layer_sizes = net.layer_sizes();
+  m.activation = static_cast<std::int32_t>(net.hidden_activation());
+  m.weights.reserve(static_cast<std::size_t>(net.depth()));
+  for (int k = 0; k < net.depth(); ++k) {
+    m.weights.push_back(net.weight(k));
+  }
+  return m;
+}
+
+nn::Mlp restore_model(const ModelState& state) {
+  TRIDENT_REQUIRE(state.layer_sizes.size() >= 2,
+                  "snapshot model needs at least input and output layers");
+  TRIDENT_REQUIRE(
+      state.weights.size() + 1 == state.layer_sizes.size(),
+      "snapshot model weight count does not match its layer sizes");
+  // The init draw is thrown away immediately; any seed works.
+  Rng init_rng(0);
+  nn::Mlp net(state.layer_sizes,
+              static_cast<nn::Activation>(state.activation), init_rng);
+  restore_model_into(state, net);
+  return net;
+}
+
+void restore_model_into(const ModelState& state, nn::Mlp& net) {
+  TRIDENT_REQUIRE(net.layer_sizes() == state.layer_sizes,
+                  "snapshot model architecture does not match the network");
+  TRIDENT_REQUIRE(static_cast<std::int32_t>(net.hidden_activation()) ==
+                      state.activation,
+                  "snapshot model activation does not match the network");
+  TRIDENT_REQUIRE(state.weights.size() ==
+                      static_cast<std::size_t>(net.depth()),
+                  "snapshot model depth does not match the network");
+  for (int k = 0; k < net.depth(); ++k) {
+    const nn::Matrix& src = state.weights[static_cast<std::size_t>(k)];
+    nn::Matrix& dst = net.weight(k);
+    TRIDENT_REQUIRE(src.rows() == dst.rows() && src.cols() == dst.cols(),
+                    "snapshot weight dimensions do not match the network");
+    dst = src;
+  }
+}
+
+}  // namespace trident::state

@@ -1,0 +1,157 @@
+// Crash-safe persistence for the accelerator's non-volatile state.
+//
+// A GST weight survives ~10 years at zero static power (paper §III) — the
+// simulator must not lose that state on process exit.  state::Snapshot is
+// the on-disk image of everything non-volatile: the logical model weights,
+// the per-cell GST levels and pulse counters of each programmed bank, the
+// cumulative PhotonicLedger, and the training progress needed to resume a
+// continual-learning schedule bit-identically.
+//
+// Format (little-endian throughout, see docs/state.md for the full spec):
+//
+//   "TRIDSNAP"            8-byte magic
+//   u32 version           kSnapshotVersion
+//   sections…             { u32 fourcc tag, u64 payload length, payload }
+//   u64 checksum          FNV-1a 64 over every preceding byte
+//
+// Sections: MODL (model weights, required), LEDG (ledger), BANK (one per
+// programmed weight bank, repeatable), TRNG (training progress).  Unknown
+// tags are skipped on load, so later versions can extend the format
+// without breaking older readers.  Files are written atomically
+// (temp + fsync + rename): a crash mid-write leaves the previous snapshot
+// intact, never a torn one.
+//
+// Layering: this module depends only on nn + common (+ telemetry for the
+// write/load metrics).  Core types (PhotonicLedger, WeightBank) convert
+// through the plain structs below, so core links state — not the other
+// way around — and the dependency graph stays acyclic.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "nn/matrix.hpp"
+#include "nn/mlp.hpp"
+
+namespace trident::state {
+
+/// Bump on any incompatible layout change; readers reject other versions.
+constexpr std::uint32_t kSnapshotVersion = 1;
+
+/// Logical model weights: enough to rebuild an nn::Mlp exactly.
+struct ModelState {
+  std::vector<std::int32_t> layer_sizes;
+  std::int32_t activation = 0;  ///< nn::Activation as an integer
+  std::vector<nn::Matrix> weights;
+};
+
+/// Mirror of core::PhotonicLedger's five counters (kept structural so this
+/// module does not depend on core; see to_ledger_state / ledger_from_state).
+struct LedgerState {
+  std::uint64_t weight_writes = 0;
+  std::uint64_t program_events = 0;
+  std::uint64_t symbols = 0;
+  std::uint64_t macs = 0;
+  std::uint64_t activations = 0;
+};
+
+/// Per-cell non-volatile state of one programmed GST weight bank.
+struct BankState {
+  std::int32_t rows = 0;
+  std::int32_t cols = 0;
+  std::vector<std::int32_t> levels;      ///< row-major, rows*cols entries
+  std::vector<std::uint64_t> writes;     ///< historical pulse counters
+  std::vector<std::uint64_t> reads;
+  std::uint64_t symbol_reads = 0;
+};
+
+/// Training-session progress + the fingerprint needed to refuse a resume
+/// under a different configuration (which would silently diverge).
+struct TrainingState {
+  std::uint64_t epochs_completed = 0;
+  std::vector<double> epoch_loss;
+  std::vector<double> epoch_accuracy;
+  // --- schedule fingerprint (epochs deliberately excluded: a resumed run
+  // may extend the schedule; everything that alters the arithmetic of an
+  // epoch is included) ---------------------------------------------------
+  double learning_rate = 0.0;
+  std::uint8_t shuffle = 1;
+  std::uint64_t shuffle_seed = 0;
+  std::int32_t batch_size = 1;
+  std::int32_t weight_bits = 0;
+  std::int32_t input_bits = 0;
+  double readout_noise = 0.0;
+  std::uint8_t stochastic_rounding = 0;
+  std::uint64_t hw_seed = 0;
+  /// Serialised hardware Rng engine (common/rng.hpp state() format).
+  std::string backend_rng;
+  /// Which layer's matrix was resident in the bank at snapshot time
+  /// (-1: none).  Restoring residency avoids re-billing a program burst
+  /// for weights the physical bank still holds.
+  std::int32_t resident_layer = -1;
+};
+
+/// One snapshot = one consistent view of the non-volatile state.
+struct Snapshot {
+  ModelState model;
+  std::optional<LedgerState> ledger;
+  std::vector<BankState> banks;
+  std::optional<TrainingState> training;
+
+  /// Serialises to the checksummed binary format.  Deterministic: the same
+  /// snapshot always yields the same bytes (the byte-stability tests pin
+  /// save → load → save).
+  [[nodiscard]] std::string serialize() const;
+
+  /// Parses bytes produced by serialize().  Throws trident::Error on a
+  /// checksum mismatch, bad magic, unsupported version, truncation, or a
+  /// missing MODL section.
+  [[nodiscard]] static Snapshot deserialize(std::string_view bytes);
+
+  /// Atomically writes the snapshot to `path`: serialise to `path.tmp`,
+  /// flush + fsync, rename over the target.  A crash at any point leaves
+  /// either the old complete file or the new complete file.
+  void save(const std::string& path) const;
+
+  /// Loads and verifies a snapshot written by save().
+  [[nodiscard]] static Snapshot load(const std::string& path);
+};
+
+/// Captures the weights of `net` (copies; `net` is not touched).
+[[nodiscard]] ModelState capture_model(const nn::Mlp& net);
+
+/// Rebuilds a fresh Mlp carrying exactly the snapshotted weights.
+[[nodiscard]] nn::Mlp restore_model(const ModelState& state);
+
+/// Overwrites the weights of an existing, architecture-matching `net`.
+void restore_model_into(const ModelState& state, nn::Mlp& net);
+
+/// Structural converters for any ledger type with the five public u64
+/// counters (core::PhotonicLedger, without a core dependency here).
+template <class Ledger>
+[[nodiscard]] LedgerState to_ledger_state(const Ledger& ledger) {
+  LedgerState s;
+  s.weight_writes = ledger.weight_writes;
+  s.program_events = ledger.program_events;
+  s.symbols = ledger.symbols;
+  s.macs = ledger.macs;
+  s.activations = ledger.activations;
+  return s;
+}
+
+template <class Ledger>
+[[nodiscard]] Ledger ledger_from_state(const LedgerState& s) {
+  Ledger ledger;
+  ledger.weight_writes = s.weight_writes;
+  ledger.program_events = s.program_events;
+  ledger.symbols = s.symbols;
+  ledger.macs = s.macs;
+  ledger.activations = s.activations;
+  return ledger;
+}
+
+}  // namespace trident::state

@@ -12,8 +12,11 @@
 #include <chrono>
 #include <cmath>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <future>
 #include <iostream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -21,9 +24,11 @@
 #include "chaos/fault_plan.hpp"
 #include "chaos/invariants.hpp"
 #include "common/rng.hpp"
+#include "core/photonic_backend.hpp"
 #include "nn/mlp.hpp"
 #include "serving/load_gen.hpp"
 #include "serving/server.hpp"
+#include "state/snapshot.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -384,6 +389,215 @@ TEST(ChaosServing, AdmissionBlipsAreSeededAndCounted) {
     }
   }
   EXPECT_EQ(shed_replay, shed);
+}
+
+// --- crash-safe restore (PR-5): heal from the last snapshot ----------------
+
+/// Exact output a healthy replica must serve for `model` (noise-free
+/// hardware, so independent of batching).  Bills a throwaway backend —
+/// call it BEFORE reset_telemetry() or ledger conservation breaks.
+nn::Vector reference_output(const nn::Mlp& model, const nn::Vector& x) {
+  core::PhotonicBackend backend;
+  return model.forward(x, backend).activations.back();
+}
+
+/// Unique snapshot path under the system temp dir; caller removes it.
+std::string snapshot_path_for(const std::string& name) {
+  return (std::filesystem::temp_directory_path() /
+          ("trident_chaos_" + name + ".tsnap"))
+      .string();
+}
+
+/// Serially probes the server until replica 0 reports a later incarnation
+/// (i.e. the scripted kill fired and the supervisor healed it).  Every
+/// response along the way must be bit-exactly one of `allowed` — a torn
+/// restore would produce a third value.  Returns false on timeout.
+bool probe_until_healed(Server& server, const nn::Vector& probe,
+                        const std::vector<nn::Vector>& allowed) {
+  const auto deadline = Clock::now() + 10s;
+  while (Clock::now() < deadline) {
+    auto fut = server.submit(probe);
+    if (fut.has_value()) {
+      const Response r = fut->get();
+      if (r.status == ResponseStatus::kOk) {
+        bool matched = false;
+        for (const nn::Vector& want : allowed) {
+          matched = matched || r.output == want;
+        }
+        EXPECT_TRUE(matched) << "served output matches no known weight set";
+      }
+    }
+    if (server.health()[0].incarnation >= 1) {
+      return true;
+    }
+  }
+  return false;
+}
+
+TEST(ChaosRestore, HealedReplicaServesSnapshotWeightsBitIdentical) {
+  const nn::Mlp model = test_model(0x7341u);
+  const nn::Vector probe = seeded_input(0xBEEFu);
+  const nn::Vector expected = reference_output(model, probe);
+  reset_telemetry();
+
+  // The last checkpoint on disk carries the serving weights themselves:
+  // after the kill, the healed replica must reload them and serve
+  // BIT-IDENTICAL predictions — crash-safety down to the last ulp.
+  const std::string snap_path = snapshot_path_for("heal_bitident");
+  state::Snapshot snap;
+  snap.model = state::capture_model(model);
+  snap.save(snap_path);
+
+  FaultPlanConfig plan_cfg;
+  plan_cfg.horizon_ops = 4096;
+  plan_cfg.deaths = {{0, 9}};  // die mid-traffic on the 10th backend op
+  auto plan = std::make_shared<FaultPlan>(plan_cfg, 0x9E41u);
+  auto log = std::make_shared<InjectionLog>();
+
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait = 200us;
+  cfg.supervision_interval = 200us;
+  cfg.snapshot_path = snap_path;
+  cfg.backend_factory = chaos_photonic_factory(plan, log);
+  Server server(model, cfg);
+
+  // Pre-kill reference response from incarnation 0.
+  auto first = server.submit(probe);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->get().output, expected);
+
+  ASSERT_TRUE(probe_until_healed(server, probe, {expected}))
+      << "scripted kill never healed";
+
+  // Post-heal: the restored replica serves the snapshot weights exactly.
+  auto after = server.submit(probe);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->get().output, expected)
+      << "healed replica's predictions differ from the snapshot weights";
+  server.drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.replica_deaths, 1u);
+  EXPECT_GE(stats.replica_restarts, 1u);
+  EXPECT_EQ(stats.snapshot_restores, stats.replica_restarts)
+      << "every heal must have gone through the snapshot";
+  EXPECT_EQ(stats.snapshot_restore_failures, 0u);
+
+  // Full sweep including the energy books: the dead incarnation's pulses
+  // are folded exactly once, and the restore billed nothing phantom.
+  const InjectionCounts injected = log->snapshot();
+  const InvariantReport report = check_soak(server, stats, /*load=*/nullptr,
+                                            &injected, /*ledger_books=*/true);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  std::filesystem::remove(snap_path);
+}
+
+TEST(ChaosRestore, HealedReplicaServesTrainedWeightsNotInitSeed) {
+  // The scenario the whole subsystem exists for: the process trained the
+  // model (snapshot on disk), then a replica dies.  Before this PR the
+  // heal path cloned the server's construction-time weights — the init
+  // seed — silently discarding the training.  Now it must come back
+  // serving the TRAINED weights.
+  const nn::Mlp init_model = test_model(0x5eedu);
+  const nn::Mlp trained_model = test_model(0x774A17u);  // stand-in "trained"
+  const nn::Vector probe = seeded_input(0xCAFEu);
+  const nn::Vector expected_init = reference_output(init_model, probe);
+  const nn::Vector expected_trained = reference_output(trained_model, probe);
+  ASSERT_NE(expected_init, expected_trained);
+  reset_telemetry();
+
+  const std::string snap_path = snapshot_path_for("heal_trained");
+  state::Snapshot snap;
+  snap.model = state::capture_model(trained_model);
+  snap.save(snap_path);
+
+  FaultPlanConfig plan_cfg;
+  plan_cfg.horizon_ops = 4096;
+  plan_cfg.deaths = {{0, 9}};
+  auto plan = std::make_shared<FaultPlan>(plan_cfg, 0x9E42u);
+  auto log = std::make_shared<InjectionLog>();
+
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait = 200us;
+  cfg.supervision_interval = 200us;
+  cfg.snapshot_path = snap_path;
+  cfg.backend_factory = chaos_photonic_factory(plan, log);
+  Server server(init_model, cfg);
+
+  auto first = server.submit(probe);
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->get().output, expected_init);
+
+  ASSERT_TRUE(probe_until_healed(server, probe,
+                                 {expected_init, expected_trained}))
+      << "scripted kill never healed";
+
+  auto after = server.submit(probe);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->get().output, expected_trained)
+      << "healed replica serves the init seed, not the trained snapshot";
+  server.drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.snapshot_restores, 1u);
+  EXPECT_EQ(stats.snapshot_restore_failures, 0u);
+  const InjectionCounts injected = log->snapshot();
+  const InvariantReport report = check_soak(server, stats, /*load=*/nullptr,
+                                            &injected, /*ledger_books=*/true);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  std::filesystem::remove(snap_path);
+}
+
+TEST(ChaosRestore, CorruptSnapshotDegradesToPublishedWeights) {
+  // Availability beats fidelity: a heal must never be refused because the
+  // checkpoint is unreadable.  The replica falls back to the published
+  // weights and the degradation is counted, not hidden.
+  const nn::Mlp model = test_model(0x5eedu);
+  const nn::Vector probe = seeded_input(0xD00Du);
+  const nn::Vector expected = reference_output(model, probe);
+  reset_telemetry();
+
+  const std::string snap_path = snapshot_path_for("heal_corrupt");
+  {
+    std::ofstream out(snap_path, std::ios::binary);
+    out << "TRIDSNAPgarbage-that-fails-the-checksum";
+  }
+
+  FaultPlanConfig plan_cfg;
+  plan_cfg.horizon_ops = 4096;
+  plan_cfg.deaths = {{0, 9}};
+  auto plan = std::make_shared<FaultPlan>(plan_cfg, 0x9E43u);
+  auto log = std::make_shared<InjectionLog>();
+
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait = 200us;
+  cfg.supervision_interval = 200us;
+  cfg.snapshot_path = snap_path;
+  cfg.backend_factory = chaos_photonic_factory(plan, log);
+  Server server(model, cfg);
+
+  ASSERT_TRUE(probe_until_healed(server, probe, {expected}))
+      << "scripted kill never healed";
+  auto after = server.submit(probe);
+  ASSERT_TRUE(after.has_value());
+  EXPECT_EQ(after->get().output, expected);
+  server.drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_GE(stats.replica_restarts, 1u);
+  EXPECT_EQ(stats.snapshot_restores, 0u);
+  EXPECT_EQ(stats.snapshot_restore_failures, stats.replica_restarts);
+  const InjectionCounts injected = log->snapshot();
+  const InvariantReport report = check_soak(server, stats, /*load=*/nullptr,
+                                            &injected, /*ledger_books=*/true);
+  EXPECT_TRUE(report.ok()) << report.to_string();
+  std::filesystem::remove(snap_path);
 }
 
 }  // namespace

@@ -165,5 +165,59 @@ TEST_P(GstLevelSweep, MidLevelInterpolatesLinearly) {
 INSTANTIATE_TEST_SUITE_P(Levels, GstLevelSweep,
                          ::testing::Values(0, 1, 63, 127, 191, 253, 254));
 
+// --- write-accounting regression (PR-5 headline bugfix) -------------------
+//
+// The old code billed a write only when the ACHIEVED level changed, so a
+// noisy pulse that landed back on the current level fired physically but
+// was never counted — flattering every endurance and energy figure.  A
+// pulse is commanded whenever target != current; it must be billed no
+// matter where the noise lands it.
+
+TEST(GstCell, NoisyPulseLandingOnCurrentLevelIsStillBilled) {
+  GstCellParams params;
+  params.programming_noise_levels = 30.0;  // sigma ~ 1.9 for a 1-level move
+  GstCell cell(params);
+  Rng rng(0xACC0);
+  cell.program(100, &rng);  // long noiseless-magnitude move, 1 pulse
+
+  // Hammer 1-level moves: with sigma ≈ 1.88 many achieved levels round
+  // back to the starting level.  Every commanded pulse must be billed.
+  std::uint64_t commanded = 1;  // the setup pulse above
+  std::uint64_t round_trips = 0;
+  for (int i = 0; i < 200; ++i) {
+    const int before = cell.level();
+    const int target = before == 100 ? 101 : 100;
+    const int achieved = cell.program(target, &rng);
+    ++commanded;
+    if (achieved == before) {
+      ++round_trips;  // pulse fired, level unchanged — the old bug's case
+    }
+  }
+  ASSERT_GT(round_trips, 0u)
+      << "seeded run must exercise the round-trip case";
+  EXPECT_EQ(cell.writes(), commanded);
+  EXPECT_NEAR(cell.total_write_energy().pJ(),
+              static_cast<double>(commanded) * 660.0, 1e-6);
+  EXPECT_NEAR(cell.total_write_time().ns(),
+              static_cast<double>(commanded) * 300.0, 1e-6);
+  EXPECT_DOUBLE_EQ(cell.wear(), static_cast<double>(commanded) /
+                                    cell.params().endurance_cycles);
+}
+
+TEST(GstCell, CommandingCurrentLevelIsStillFreeUnderNoise) {
+  GstCellParams params;
+  params.programming_noise_levels = 30.0;
+  GstCell cell(params);
+  Rng rng(7);
+  cell.program(50, &rng);
+  const std::uint64_t writes_after_setup = cell.writes();
+  for (int i = 0; i < 10; ++i) {
+    // Target == current: the control logic skips the pulse entirely, so
+    // neither a write nor a noise draw happens.
+    EXPECT_EQ(cell.program(cell.level(), &rng), cell.level());
+  }
+  EXPECT_EQ(cell.writes(), writes_after_setup);
+}
+
 }  // namespace
 }  // namespace trident::phot

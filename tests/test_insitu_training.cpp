@@ -5,6 +5,11 @@
 // possible", backed by Wang et al. [34].
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <string>
+
+#include "common/error.hpp"
+#include "core/insitu_trainer.hpp"
 #include "core/photonic_backend.hpp"
 #include "nn/train.hpp"
 
@@ -134,6 +139,163 @@ TEST(InSituTraining, EnergyLedgerAccumulatesDuringTraining) {
   EXPECT_GT(ledger.macs, 0u);
   EXPECT_GT(ledger.energy().J(), 0.0);
   EXPECT_GT(ledger.time().s(), 0.0);
+}
+
+// --- checkpoint / resume (PR-5 crash-safe non-volatile state) -------------
+
+/// Unique temp dir per test, removed on teardown.
+class SessionCheckpoint : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("trident_session_ckpt_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+SessionConfig resumable_config(int epochs) {
+  SessionConfig cfg;
+  cfg.layer_sizes = {3, 12, 2};
+  cfg.schedule.epochs = epochs;
+  cfg.schedule.learning_rate = 0.05;
+  // Noisy arithmetic on purpose: a resume is only bit-identical if the
+  // hardware RNG stream is restored, not just the weights.
+  cfg.hardware.readout_noise = 0.02;
+  cfg.hardware.stochastic_rounding = true;
+  return cfg;
+}
+
+void expect_ledgers_equal(const PhotonicLedger& a, const PhotonicLedger& b) {
+  EXPECT_EQ(a.weight_writes, b.weight_writes);
+  EXPECT_EQ(a.program_events, b.program_events);
+  EXPECT_EQ(a.symbols, b.symbols);
+  EXPECT_EQ(a.macs, b.macs);
+  EXPECT_EQ(a.activations, b.activations);
+}
+
+TEST_F(SessionCheckpoint, CrashedScheduleResumesBitIdentically) {
+  const std::string ckpt = path("train.tsnap");
+
+  // Ground truth: the uninterrupted 12-epoch schedule.
+  TrainingSession straight(resumable_config(12));
+  const SessionReport r_straight = straight.run(make_task(99));
+
+  // "Crashed" process: same schedule but the process dies after epoch 8
+  // (modelled by an 8-epoch config), checkpointing every 4 epochs.
+  SessionConfig crashed_cfg = resumable_config(8);
+  crashed_cfg.checkpoint_every_n_epochs = 4;
+  crashed_cfg.checkpoint_path = ckpt;
+  TrainingSession crashed(crashed_cfg);
+  (void)crashed.run(make_task(99));
+
+  // Healed process: brand-new session, full 12-epoch schedule, resumes
+  // from the epoch-8 checkpoint and trains only the remaining 4 epochs.
+  TrainingSession healed(resumable_config(12));
+  healed.resume(ckpt);
+  const SessionReport r_healed = healed.run(make_task(99));
+
+  // The stitched record covers the whole logical schedule and equals the
+  // uninterrupted run exactly — losses, accuracies, held-out evaluation.
+  ASSERT_EQ(r_healed.epoch_loss.size(), 12u);
+  EXPECT_EQ(r_healed.epoch_loss, r_straight.epoch_loss);
+  EXPECT_EQ(r_healed.epoch_accuracy, r_straight.epoch_accuracy);
+  EXPECT_EQ(r_healed.test_accuracy, r_straight.test_accuracy);
+  for (int k = 0; k < straight.network().depth(); ++k) {
+    EXPECT_EQ(healed.network().weight(k).data(),
+              straight.network().weight(k).data())
+        << "layer " << k;
+  }
+  // The energy books survive the crash too: restored bill plus the
+  // remaining epochs equals the uninterrupted bill — nothing double
+  // counted, nothing lost.
+  expect_ledgers_equal(healed.ledger(), straight.ledger());
+}
+
+TEST_F(SessionCheckpoint, ResumeRefusesMismatchedFingerprint) {
+  const std::string ckpt = path("train.tsnap");
+  SessionConfig cfg = resumable_config(4);
+  cfg.checkpoint_every_n_epochs = 2;
+  cfg.checkpoint_path = ckpt;
+  TrainingSession writer(cfg);
+  (void)writer.run(make_task(99));
+
+  // Different arithmetic would silently diverge from the run that wrote
+  // the snapshot, so every fingerprint mismatch must be refused.
+  SessionConfig lr = resumable_config(12);
+  lr.schedule.learning_rate = 0.01;
+  TrainingSession s_lr(lr);
+  EXPECT_THROW(s_lr.resume(ckpt), Error);
+
+  SessionConfig bits = resumable_config(12);
+  bits.hardware.weight_bits = 6;
+  TrainingSession s_bits(bits);
+  EXPECT_THROW(s_bits.resume(ckpt), Error);
+
+  SessionConfig noise = resumable_config(12);
+  noise.hardware.readout_noise = 0.0;
+  noise.hardware.stochastic_rounding = false;
+  TrainingSession s_noise(noise);
+  EXPECT_THROW(s_noise.resume(ckpt), Error);
+
+  SessionConfig arch = resumable_config(12);
+  arch.layer_sizes = {3, 10, 2};
+  TrainingSession s_arch(arch);
+  EXPECT_THROW(s_arch.resume(ckpt), Error);
+
+  // Extending the schedule is legal; shrinking it below the snapshot's
+  // completed epochs is not.
+  SessionConfig shorter = resumable_config(2);
+  TrainingSession s_short(shorter);
+  EXPECT_THROW(s_short.resume(ckpt), Error);
+}
+
+TEST_F(SessionCheckpoint, DeployCheckpointStartsFreshOnTrainedWeights) {
+  const std::string ckpt = path("deploy.tsnap");
+  SessionConfig cfg = resumable_config(6);
+  cfg.hardware.readout_noise = 0.0;  // deterministic predict comparison
+  cfg.hardware.stochastic_rounding = false;
+  TrainingSession trained(cfg);
+  (void)trained.run(make_task(99));
+  trained.checkpoint(ckpt);
+
+  TrainingSession fresh(cfg);
+  fresh.resume(ckpt);
+  const nn::Vector a = trained.predict({0.4, -0.2, 1.0});
+  const nn::Vector b = fresh.predict({0.4, -0.2, 1.0});
+  EXPECT_EQ(a, b) << "restored weights must serve bit-identical predictions";
+
+  // A deploy snapshot carries no schedule progress: the next run() trains
+  // the full schedule starting from the restored weights.
+  const SessionReport r = fresh.run(make_task(99));
+  EXPECT_EQ(r.epoch_loss.size(), 6u);
+}
+
+TEST_F(SessionCheckpoint, CheckpointingRequiresPathAndPlainHardware) {
+  SessionConfig no_path = resumable_config(2);
+  no_path.checkpoint_every_n_epochs = 1;
+  TrainingSession s_no_path(no_path);
+  EXPECT_THROW((void)s_no_path.run(make_task(99)), Error);
+
+  SessionConfig varied = resumable_config(2);
+  VariationConfig variation;
+  variation.gain_sigma = 0.05;
+  varied.variation = variation;
+  varied.checkpoint_every_n_epochs = 1;
+  varied.checkpoint_path = path("nope.tsnap");
+  TrainingSession s_varied(varied);
+  EXPECT_THROW((void)s_varied.run(make_task(99)), Error);
+  EXPECT_THROW(s_varied.checkpoint(path("nope2.tsnap")), Error);
+  EXPECT_THROW(s_varied.resume(path("nope3.tsnap")), Error);
 }
 
 }  // namespace

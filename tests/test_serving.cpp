@@ -520,6 +520,106 @@ TEST(Server, ConcurrentProducersAllServed) {
   EXPECT_EQ(stats.failed, 0u);
 }
 
+// --- live weight hot-swap (PR-5) --------------------------------------------
+
+/// Reference forward through a fresh noise-free backend — the exact output
+/// a correctly-programmed replica must serve for `model`.
+nn::Vector reference_output(const nn::Mlp& model, const nn::Vector& x) {
+  core::PhotonicBackend backend;
+  return model.forward(x, backend).activations.back();
+}
+
+TEST(Server, HotSwapServesOldOrNewWeightsNeverTorn) {
+  const nn::Mlp model_a = test_model(0x5eedu);
+  const nn::Mlp model_b = test_model(0xB0Bu);
+  const nn::Vector probe = seeded_inputs(1)[0];
+  const nn::Vector expected_a = reference_output(model_a, probe);
+  const nn::Vector expected_b = reference_output(model_b, probe);
+  ASSERT_NE(expected_a, expected_b) << "probe must distinguish the models";
+
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 4;
+  cfg.max_wait = std::chrono::microseconds(100);
+  cfg.admission.capacity = 64;
+  Server server(model_a, cfg);
+
+  // Warm-up traffic on the original weights.
+  for (int i = 0; i < 8; ++i) {
+    auto fut = server.submit(probe);
+    ASSERT_TRUE(fut.has_value());
+    EXPECT_EQ(fut->get().output, expected_a);
+  }
+
+  server.hot_swap(model_b);
+  EXPECT_EQ(server.weights_version(), 1u);
+
+  // Replicas adopt at their next batch boundary, so responses right after
+  // the swap may still come from model A — but every single one must be
+  // bit-exactly A or bit-exactly B.  A torn read (half-programmed bank,
+  // mid-batch adoption) would produce a third value.
+  bool saw_new = false;
+  for (int i = 0; i < 200 && !saw_new; ++i) {
+    auto fut = server.submit(probe);
+    ASSERT_TRUE(fut.has_value());
+    const nn::Vector out = fut->get().output;
+    const bool is_a = out == expected_a;
+    const bool is_b = out == expected_b;
+    ASSERT_TRUE(is_a || is_b) << "torn or corrupted output after hot_swap";
+    saw_new = is_b;
+  }
+  EXPECT_TRUE(saw_new) << "swap never took effect";
+  server.drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.weight_swaps, 1u);
+  EXPECT_GE(stats.swap_adoptions, 1u);
+  EXPECT_LE(stats.swap_adoptions,
+            static_cast<std::uint64_t>(cfg.replicas));
+  EXPECT_EQ(stats.failed, 0u);
+  // Re-programming the swapped weights is billed through the ledger: the
+  // adoption forces fresh GST program events on the adopting replicas.
+  EXPECT_GT(stats.ledger.weight_writes, 0u);
+}
+
+TEST(Server, HotSwapRejectsMismatchedArchitecture) {
+  Server server(test_model(), ServerConfig{});
+  Rng rng(1);
+  const nn::Mlp wrong_hidden({8, 12, 4}, nn::Activation::kGstPhotonic, rng);
+  EXPECT_THROW(server.hot_swap(wrong_hidden), Error);
+  const nn::Mlp wrong_width({7, 16, 4}, nn::Activation::kGstPhotonic, rng);
+  EXPECT_THROW(server.hot_swap(wrong_width), Error);
+  const nn::Mlp wrong_activation({8, 16, 4}, nn::Activation::kReLU, rng);
+  EXPECT_THROW(server.hot_swap(wrong_activation), Error);
+  EXPECT_EQ(server.weights_version(), 0u);
+  EXPECT_EQ(server.stats().weight_swaps, 0u);
+  server.drain();
+}
+
+TEST(Server, RepeatedHotSwapsBumpVersionMonotonically) {
+  Server server(test_model(0x5eedu), ServerConfig{});
+  EXPECT_EQ(server.weights_version(), 0u);
+  server.hot_swap(test_model(0xAAAAu));
+  server.hot_swap(test_model(0xBBBBu));
+  server.hot_swap(test_model(0xCCCCu));
+  EXPECT_EQ(server.weights_version(), 3u);
+  // Traffic after the last swap: a worker skips straight to the newest
+  // publication (versions are not replayed one by one).
+  const nn::Vector probe = seeded_inputs(1)[0];
+  const nn::Vector expected = reference_output(test_model(0xCCCCu), probe);
+  auto fut = server.submit(probe);
+  ASSERT_TRUE(fut.has_value());
+  EXPECT_EQ(fut->get().output, expected);
+  server.drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.weight_swaps, 3u);
+  // One replica served one batch: it adopted exactly once, jumping over
+  // the two superseded publications.
+  EXPECT_GE(stats.swap_adoptions, 1u);
+  EXPECT_LE(stats.swap_adoptions,
+            static_cast<std::uint64_t>(server.config().replicas));
+}
+
 // --- load generator ---------------------------------------------------------
 
 TEST(LoadGen, OffersEverythingAndMeasuresSojourn) {

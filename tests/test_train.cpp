@@ -167,5 +167,83 @@ TEST(Train, DeterministicForFixedSeeds) {
   EXPECT_EQ(ra.epoch_accuracy, rb.epoch_accuracy);
 }
 
+TEST(Train, EmptyResultAccessorsThrowInsteadOfUB) {
+  // Regression: final_loss()/final_accuracy() used to call .back() on the
+  // empty vectors of a default-constructed result — undefined behaviour.
+  const TrainResult empty;
+  EXPECT_THROW((void)empty.final_loss(), Error);
+  EXPECT_THROW((void)empty.final_accuracy(), Error);
+}
+
+TEST(Train, StartEpochValidated) {
+  Rng rng(4);
+  Dataset data = gaussian_blobs(60, 2, 3, 4.0, 0.4, rng);
+  Mlp net({3, 8, 2}, Activation::kReLU, rng);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 4;
+  cfg.start_epoch = -1;
+  EXPECT_THROW((void)fit(net, data, cfg, backend), Error);
+  cfg.start_epoch = 5;  // beyond the schedule
+  EXPECT_THROW((void)fit(net, data, cfg, backend), Error);
+}
+
+TEST(Train, ResumedFitContinuesBitIdentically) {
+  // fit(epochs = k) followed by fit(start_epoch = k, epochs = n) on the
+  // same network must equal one uninterrupted fit(epochs = n) — weights,
+  // records, everything.  This is the contract checkpoint/resume rests on.
+  Rng rng_a(5);
+  Dataset data = two_moons(120, 0.1, rng_a);
+  data.augment_bias();
+
+  Rng init_a(9);
+  Mlp straight({3, 10, 2}, Activation::kReLU, init_a);
+  FloatBackend backend_a;
+  TrainConfig full;
+  full.epochs = 8;
+  full.learning_rate = 0.1;
+  const TrainResult r_full = fit(straight, data, full, backend_a);
+
+  Rng init_b(9);
+  Mlp resumed({3, 10, 2}, Activation::kReLU, init_b);
+  FloatBackend backend_b;
+  TrainConfig first = full;
+  first.epochs = 3;
+  const TrainResult r1 = fit(resumed, data, first, backend_b);
+  TrainConfig second = full;
+  second.start_epoch = 3;
+  const TrainResult r2 = fit(resumed, data, second, backend_b);
+
+  ASSERT_EQ(r1.epoch_loss.size(), 3u);
+  ASSERT_EQ(r2.epoch_loss.size(), 5u);
+  std::vector<double> stitched = r1.epoch_loss;
+  stitched.insert(stitched.end(), r2.epoch_loss.begin(), r2.epoch_loss.end());
+  EXPECT_EQ(stitched, r_full.epoch_loss);
+  for (int k = 0; k < straight.depth(); ++k) {
+    EXPECT_EQ(resumed.weight(k).data(), straight.weight(k).data())
+        << "layer " << k;
+  }
+}
+
+TEST(Train, OnEpochEndSeesAbsoluteEpochAndRunningRecords) {
+  Rng rng(6);
+  Dataset data = gaussian_blobs(60, 2, 3, 4.0, 0.4, rng);
+  Mlp net({3, 8, 2}, Activation::kReLU, rng);
+  FloatBackend backend;
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.start_epoch = 2;
+  std::vector<int> seen;
+  std::vector<std::size_t> record_sizes;
+  cfg.on_epoch_end = [&](int epoch, const TrainResult& so_far) {
+    seen.push_back(epoch);
+    record_sizes.push_back(so_far.epoch_loss.size());
+  };
+  const TrainResult r = fit(net, data, cfg, backend);
+  EXPECT_EQ(seen, (std::vector<int>{2, 3, 4}));
+  EXPECT_EQ(record_sizes, (std::vector<std::size_t>{1, 2, 3}));
+  EXPECT_EQ(r.epoch_loss.size(), 3u);
+}
+
 }  // namespace
 }  // namespace trident::nn
