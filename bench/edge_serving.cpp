@@ -18,10 +18,15 @@
 // Run:  ./build/bench/edge_serving            # everything
 //       ./build/bench/edge_serving --analytic-only
 //       ./build/bench/edge_serving --measured-only --requests 6000
+//       ./build/bench/edge_serving --json-out report.json
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <fstream>
+#include <iomanip>
 #include <iostream>
+#include <optional>
+#include <string>
 #include <thread>
 
 #include "arch/electronic.hpp"
@@ -119,9 +124,63 @@ void analytic_tables() {
   std::cout << b;
 }
 
+/// Machine-readable twin of the measured-runtime tables, for CI artifacts.
+/// Only the fields that were actually measured are emitted (the M/D/1 block
+/// is skipped when the realised utilization was too close to saturation).
+struct MeasuredReport {
+  double calibrated_service_s = 0.0;
+  double measured_service_s = 0.0;
+  double realised_utilization = 0.0;
+  bool md1_checked = false;
+  double measured_mean_s = 0.0, measured_p50_s = 0.0, measured_p99_s = 0.0;
+  double sim_mean_s = 0.0, sim_p50_s = 0.0, sim_p99_s = 0.0;
+  double analytic_mean_s = 0.0;
+  double mean_rel_err = 0.0;
+  std::size_t max_batch = 0;
+  double batch1_qps = 0.0;
+  double batched_qps = 0.0;
+  double batch_speedup = 0.0;
+};
+
+void write_json_report(const std::string& path, const MeasuredReport& r) {
+  std::ofstream out(path);
+  out << std::setprecision(12);
+  out << "{\n"
+      << "  \"benchmark\": \"edge_serving\",\n"
+      << "  \"calibrated_service_s\": " << r.calibrated_service_s << ",\n"
+      << "  \"measured_service_s\": " << r.measured_service_s << ",\n"
+      << "  \"realised_utilization\": " << r.realised_utilization << ",\n"
+      << "  \"md1_checked\": " << (r.md1_checked ? "true" : "false") << ",\n";
+  if (r.md1_checked) {
+    out << "  \"sojourn\": {\n"
+        << "    \"measured_mean_s\": " << r.measured_mean_s << ",\n"
+        << "    \"measured_p50_s\": " << r.measured_p50_s << ",\n"
+        << "    \"measured_p99_s\": " << r.measured_p99_s << ",\n"
+        << "    \"sim_mean_s\": " << r.sim_mean_s << ",\n"
+        << "    \"sim_p50_s\": " << r.sim_p50_s << ",\n"
+        << "    \"sim_p99_s\": " << r.sim_p99_s << ",\n"
+        << "    \"analytic_mean_s\": " << r.analytic_mean_s << ",\n"
+        << "    \"mean_rel_err\": " << r.mean_rel_err << "\n"
+        << "  },\n";
+  }
+  out << "  \"throughput\": {\n"
+      << "    \"max_batch\": " << r.max_batch << ",\n"
+      << "    \"batch1_qps\": " << r.batch1_qps << ",\n"
+      << "    \"batched_qps\": " << r.batched_qps << ",\n"
+      << "    \"batch_speedup\": " << r.batch_speedup << "\n"
+      << "  }\n"
+      << "}\n";
+  if (!out) {
+    std::cerr << "warning: could not write " << path << "\n";
+  }
+}
+
 int real_runtime(const CliArgs& args) {
   using core::QueueingConfig;
   using core::QueueingResult;
+
+  const std::optional<std::string> json_out = args.value("json-out");
+  MeasuredReport json_report;
 
   const int requests = args.value_int_positive("requests", 3000);
   const auto max_batch =
@@ -173,6 +232,9 @@ int real_runtime(const CliArgs& args) {
   // dynamics from host frequency drift between calibration and run.
   const double measured_service_s = report.service.mean_s;
   const double rho = qps * measured_service_s;
+  json_report.calibrated_service_s = service_s;
+  json_report.measured_service_s = measured_service_s;
+  json_report.realised_utilization = rho;
   std::cout << "in-run service: " << measured_service_s * 1e6
             << " us mean  ->  realised utilization "
             << Table::num(rho * 100.0, 1) << "%\n";
@@ -180,6 +242,9 @@ int real_runtime(const CliArgs& args) {
     std::cout << "\nrealised utilization too close to saturation for a "
                  "stable comparison (host much slower under load than at "
                  "calibration) — skipping the M/D/1 check\n";
+    if (json_out) {
+      write_json_report(*json_out, json_report);
+    }
     return 0;
   }
   QueueingConfig sim_cfg;
@@ -202,6 +267,15 @@ int real_runtime(const CliArgs& args) {
 
   const double rel_err =
       std::abs(report.sojourn.mean_s - analytic_mean_s) / analytic_mean_s;
+  json_report.md1_checked = true;
+  json_report.measured_mean_s = report.sojourn.mean_s;
+  json_report.measured_p50_s = report.sojourn.p50_s;
+  json_report.measured_p99_s = report.sojourn.p99_s;
+  json_report.sim_mean_s = sim.mean_sojourn.s();
+  json_report.sim_p50_s = sim.p50.s();
+  json_report.sim_p99_s = sim.p99.s();
+  json_report.analytic_mean_s = analytic_mean_s;
+  json_report.mean_rel_err = rel_err;
   std::cout << "\nmean sojourn vs analytic M/D/1: "
             << Table::num(rel_err * 100.0, 1) << "% "
             << (rel_err <= 0.10 ? "(PASS, within 10%)"
@@ -236,6 +310,11 @@ int real_runtime(const CliArgs& args) {
     const serving::ServerStats stats = sat_server.stats();
     if (mb == 1) {
       base_qps = sat.completed_qps;
+      json_report.batch1_qps = sat.completed_qps;
+    } else {
+      json_report.max_batch = mb;
+      json_report.batched_qps = sat.completed_qps;
+      json_report.batch_speedup = sat.completed_qps / base_qps;
     }
     s.add_row({"max_batch=" + std::to_string(mb),
                Table::num(sat.completed_qps, 0),
@@ -243,6 +322,9 @@ int real_runtime(const CliArgs& args) {
                Table::num(sat.completed_qps / base_qps, 2) + "x"});
   }
   std::cout << s;
+  if (json_out) {
+    write_json_report(*json_out, json_report);
+  }
   return 0;
 }
 

@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Summarize a micro_kernels --json-out artifact and gate the int8 speedup.
+
+Reads the google-benchmark JSON written by
+`./build/bench/micro_kernels --json-out=BENCH_micro_kernels.json`, prints
+the int8-over-double multiplier for every shape both kernels ran, and
+exits nonzero unless the multiplier at the acceptance shape (256x256,
+batch 32 by default) reaches the target (2.0x by default).
+
+Stdlib-only.  Usage:
+    summarize_bench.py BENCH_micro_kernels.json [--min 2.0]
+        [--shape 256/32] [--double BM_MatmulBlocked]
+        [--int8 BM_Int8GemmBlocked]
+"""
+
+import argparse
+import json
+import sys
+
+
+def load_times(doc):
+    """name -> real_time (ns per iteration) for every run in the artifact."""
+    times = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        times[bench["name"]] = float(bench["real_time"])
+    return times
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("artifact", help="micro_kernels --json-out file")
+    parser.add_argument("--min", type=float, default=2.0,
+                        help="required multiplier at the acceptance shape")
+    parser.add_argument("--shape", default="256/32",
+                        help="acceptance shape suffix, e.g. 256/32")
+    parser.add_argument("--double", dest="double_bench",
+                        default="BM_MatmulBlocked",
+                        help="double-precision baseline benchmark name")
+    parser.add_argument("--int8", dest="int8_bench",
+                        default="BM_Int8GemmBlocked",
+                        help="int8 benchmark name")
+    args = parser.parse_args(argv)
+
+    with open(args.artifact, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    times = load_times(doc)
+
+    double_prefix = args.double_bench + "/"
+    int8_prefix = args.int8_bench + "/"
+    shapes = sorted(
+        name[len(double_prefix):] for name in times
+        if name.startswith(double_prefix)
+        and (int8_prefix + name[len(double_prefix):]) in times)
+    if not shapes:
+        print("no shared %s vs %s shapes in %s"
+              % (args.double_bench, args.int8_bench, args.artifact),
+              file=sys.stderr)
+        return 1
+
+    print("int8 over double (real_time ratio):")
+    multipliers = {}
+    for shape in shapes:
+        ratio = times[double_prefix + shape] / times[int8_prefix + shape]
+        multipliers[shape] = ratio
+        print("  %-10s %6.2fx  (double %10.0f ns, int8 %10.0f ns)"
+              % (shape, ratio, times[double_prefix + shape],
+                 times[int8_prefix + shape]))
+
+    if args.shape not in multipliers:
+        print("acceptance shape %s missing from the artifact" % args.shape,
+              file=sys.stderr)
+        return 1
+    got = multipliers[args.shape]
+    if got < args.min:
+        print("FAIL: int8 multiplier at %s is %.2fx, below the %.2fx target"
+              % (args.shape, got, args.min), file=sys.stderr)
+        return 1
+    print("OK: int8 multiplier at %s is %.2fx (target >= %.2fx)"
+          % (args.shape, got, args.min))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

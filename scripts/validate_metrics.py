@@ -91,6 +91,21 @@ def validate(value, schema, path="$"):
 
 def check_snapshot_invariants(doc, path):
     """Cross-field checks the schema grammar cannot express."""
+    counters = doc.get("counters", {})
+    tier_keys = ("trident_quantized_dispatch_total",
+                 "trident_exact_dispatch_total",
+                 "trident_serving_requests_completed_total")
+    if all(k in counters for k in tier_keys):
+        # Every completed response was dispatched on exactly one tier (a
+        # fast request degraded to exact counts as an exact dispatch), so
+        # any snapshot from a process that ran serving must balance.
+        quantized, exact, completed = (counters[k] for k in tier_keys)
+        if quantized + exact != completed:
+            raise ValidationError(
+                "%s:counters" % path,
+                "tier dispatches must partition completions: "
+                "%d quantized + %d exact != %d completed"
+                % (quantized, exact, completed))
     for name, hist in doc.get("histograms", {}).items():
         hpath = "%s:histograms.%s" % (path, name)
         buckets = hist["buckets"]

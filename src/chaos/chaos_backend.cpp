@@ -213,10 +213,10 @@ serving::BackendFactory chaos_photonic_factory(
     core::PhotonicBackend* raw = inner.get();
     auto chaos = std::make_unique<ChaosBackend>(std::move(inner), plan,
                                                 replica, incarnation, log);
-    return {
-        .backend = std::move(chaos),
-        .ledger = [raw] { return raw->ledger(); },
-    };
+    serving::ReplicaBackend rb;
+    rb.backend = std::move(chaos);
+    rb.ledger = [raw] { return raw->ledger(); };
+    return rb;
   };
 }
 
@@ -239,10 +239,10 @@ serving::BackendFactory chaos_faulty_factory(core::FaultConfig faults,
     core::FaultyBackend* raw = inner.get();
     auto chaos = std::make_unique<ChaosBackend>(std::move(inner), plan,
                                                 replica, incarnation, log);
-    return {
-        .backend = std::move(chaos),
-        .ledger = [raw] { return raw->ledger(); },
-    };
+    serving::ReplicaBackend rb;
+    rb.backend = std::move(chaos);
+    rb.ledger = [raw] { return raw->ledger(); };
+    return rb;
   };
 }
 

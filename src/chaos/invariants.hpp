@@ -94,6 +94,13 @@ inline void expect_le(InvariantReport& report, std::uint64_t lhs,
   detail::expect_eq(report, stats.sojourn.count,
                     stats.completed,
                     "sojourn samples == completed (kOk responses only)");
+  // Tier accounting: every completed response was dispatched on exactly one
+  // tier (the fast/exact knob partitions completions, fallbacks included —
+  // a fast request degraded to exact counts as an exact dispatch).
+  detail::expect_eq(report,
+                    stats.quantized_dispatches + stats.exact_dispatches,
+                    stats.completed,
+                    "quantized + exact dispatches == completed");
   return report;
 }
 
@@ -171,6 +178,16 @@ inline void expect_le(InvariantReport& report, std::uint64_t lhs,
       snap.counter_value("trident_serving_snapshot_restore_failures_total"),
       "snapshot_restore_failures == "
       "trident_serving_snapshot_restore_failures_total");
+  detail::expect_eq(report, stats.quantized_dispatches,
+                    snap.counter_value("trident_quantized_dispatch_total"),
+                    "quantized_dispatches == trident_quantized_dispatch_total");
+  detail::expect_eq(report, stats.exact_dispatches,
+                    snap.counter_value("trident_exact_dispatch_total"),
+                    "exact_dispatches == trident_exact_dispatch_total");
+  detail::expect_eq(
+      report, stats.fast_fallbacks,
+      snap.counter_value("trident_serving_fast_fallbacks_total"),
+      "fast_fallbacks == trident_serving_fast_fallbacks_total");
   if (injections != nullptr) {
     detail::expect_eq(
         report, injections->transient_errors,

@@ -102,6 +102,18 @@ void note_ledger(std::uint64_t weight_writes, std::uint64_t program_events,
 
 }  // namespace
 
+namespace detail {
+
+void mirror_ledger_delta(const PhotonicLedger& delta) {
+  if (!telemetry::enabled()) {
+    return;
+  }
+  note_ledger(delta.weight_writes, delta.program_events, delta.symbols,
+              delta.macs, delta.activations);
+}
+
+}  // namespace detail
+
 PhotonicLedger operator-(const PhotonicLedger& after,
                          const PhotonicLedger& before) {
   TRIDENT_REQUIRE(after.weight_writes >= before.weight_writes &&

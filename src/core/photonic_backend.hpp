@@ -57,6 +57,16 @@ struct PhotonicLedger {
                          const PhotonicLedger&) = default;
 };
 
+namespace detail {
+/// Mirrors a ledger delta into the process-wide trident_ledger_* telemetry
+/// counters (no-op when telemetry is disabled).  Every backend that keeps a
+/// PhotonicLedger must mirror through here with the exact amounts it just
+/// added, so a metrics snapshot reconstructs the summed ledger of ALL
+/// backends in the process bit-for-bit — the invariant
+/// chaos::check_ledger_conservation audits.
+void mirror_ledger_delta(const PhotonicLedger& delta);
+}  // namespace detail
+
 /// Per-phase attribution: `after - before` is the hardware bill of
 /// whatever ran in between (forward vs backward, per epoch, …) without
 /// manual counter snapshots.  `before` must be an earlier snapshot of the

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "photonics/device_lut.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -52,18 +53,15 @@ WeightBank::WeightBank(const WeightBankConfig& config)
   }
 
   // Calibration sweep: realised (drop − through) for every GST level.
-  const int levels = config_.gst.levels;
-  level_weights_.resize(static_cast<std::size_t>(levels));
-  for (int l = 0; l < levels; ++l) {
-    level_weights_[static_cast<std::size_t>(l)] = raw_weight_for_level(l);
-  }
-  const auto [lo, hi] =
-      std::minmax_element(level_weights_.begin(), level_weights_.end());
-  raw_min_ = *lo;
-  raw_max_ = *hi;
-  TRIDENT_ASSERT(raw_max_ > raw_min_,
-                 "GST sweep produced a degenerate weight range");
-  weight_scale_ = (raw_max_ - raw_min_) / 2.0;
+  // Delegated to the shared LUT builder — the same probe-cell sweep this
+  // constructor used to run inline, so the table is bit-identical (the
+  // linearised MRR model makes the choice of channel irrelevant).
+  const phot::MrrWeightLut lut = phot::build_mrr_weight_lut(
+      config_.mrr, config_.plan.channel(0), config_.gst);
+  level_weights_ = lut.raw;
+  raw_min_ = lut.raw_min;
+  raw_max_ = lut.raw_max;
+  weight_scale_ = lut.scale;
 }
 
 const phot::GstCell& WeightBank::cell(int r, int c) const {
@@ -76,17 +74,6 @@ phot::GstCell& WeightBank::cell(int r, int c) {
   TRIDENT_REQUIRE(r >= 0 && r < rows_ && c >= 0 && c < cols_,
                   "bank index out of range");
   return cells_[static_cast<std::size_t>(r * cols_ + c)];
-}
-
-double WeightBank::raw_weight_for_level(int level) const {
-  phot::GstCell probe(config_.gst);
-  probe.program(level);
-  // On-resonance response of a ring with the probe's intracavity loss; the
-  // linearised MRR model makes this identical across channels.
-  const phot::Mrr& ring = column_rings_.front();
-  const phot::MrrResponse r =
-      ring.response(ring.resonance(), probe.amplitude_transmittance());
-  return r.drop - r.through;
 }
 
 double WeightBank::weight_at_level(int level) const {

@@ -110,8 +110,6 @@ class WeightBank {
  private:
   [[nodiscard]] const phot::GstCell& cell(int r, int c) const;
   [[nodiscard]] phot::GstCell& cell(int r, int c);
-  /// Raw (drop − through) of a ring at its resonance for a GST level.
-  [[nodiscard]] double raw_weight_for_level(int level) const;
   /// Decoded-weight cache: the contiguous raw weight of every cell
   /// (level_weights_[cell.level()], row-major), rebuilt lazily after any
   /// programming event so apply() pays neither the bounds-checked cell

@@ -23,8 +23,11 @@ namespace trident::nn {
 // ifuncs; the target_clones resolver then faults inside libtsan.  Sanitized
 // builds therefore compile the baseline kernel only — the maths is identical
 // (see above), only the vector width changes.
+// TRIDENT_NO_KERNEL_CLONES (the -DTRIDENT_SIMD=OFF build) additionally
+// forces the baseline-only fallback so CI can prove the maths does not
+// depend on the multiversioned clones.
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
-    !defined(__SANITIZE_THREAD__)
+    !defined(__SANITIZE_THREAD__) && !defined(TRIDENT_NO_KERNEL_CLONES)
 #define TRIDENT_KERNEL_CLONES \
   __attribute__((target_clones("avx512f", "avx2", "default")))
 #else
@@ -195,7 +198,7 @@ void add_outer_row(double* w, const double* adata, const double* bdata,
 /// so this names the clone that actually runs.
 [[nodiscard]] const char* kernel_isa() {
 #if defined(__x86_64__) && defined(__GNUC__) && !defined(__clang__) && \
-    !defined(__SANITIZE_THREAD__)
+    !defined(__SANITIZE_THREAD__) && !defined(TRIDENT_NO_KERNEL_CLONES)
   if (__builtin_cpu_supports("avx512f")) {
     return "avx512f";
   }

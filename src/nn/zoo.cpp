@@ -1,6 +1,9 @@
 #include "nn/zoo.hpp"
 
+#include <algorithm>
 #include <string>
+
+#include "common/error.hpp"
 
 namespace trident::nn::zoo {
 
@@ -225,6 +228,50 @@ ModelSpec mobilenet_v2() {
 
 std::vector<ModelSpec> evaluation_models() {
   return {googlenet(), mobilenet_v2(), vgg16(), alexnet(), resnet50()};
+}
+
+Mlp surrogate_mlp(const ModelSpec& spec, const SurrogateConfig& config) {
+  TRIDENT_REQUIRE(config.max_width >= 4, "surrogate width cap too small");
+  TRIDENT_REQUIRE(config.max_hidden_layers >= 1,
+                  "surrogate needs at least one compute layer");
+
+  // Compute-layer silhouette: the out_c sequence of every layer that
+  // actually multiplies, evenly subsampled down to the cap.
+  std::vector<const LayerSpec*> compute;
+  for (const LayerSpec& l : spec.layers) {
+    if (l.weights() > 0) {
+      compute.push_back(&l);
+    }
+  }
+  TRIDENT_REQUIRE(!compute.empty(), "model spec has no compute layers");
+
+  const auto cap = [&config](std::uint64_t v) {
+    return static_cast<int>(
+        std::clamp<std::uint64_t>(v, 4,
+                                  static_cast<std::uint64_t>(config.max_width)));
+  };
+
+  std::vector<int> sizes;
+  sizes.push_back(cap(compute.front()->inputs()));
+  const std::size_t picks = std::min<std::size_t>(
+      compute.size(), static_cast<std::size_t>(config.max_hidden_layers) + 1);
+  for (std::size_t i = 0; i < picks; ++i) {
+    // Even subsample that always keeps the first and last compute layer.
+    const std::size_t idx =
+        picks == 1 ? compute.size() - 1
+                   : i * (compute.size() - 1) / (picks - 1);
+    sizes.push_back(cap(static_cast<std::uint64_t>(compute[idx]->out_c)));
+  }
+
+  // Per-model seed so every surrogate draws distinct (but reproducible)
+  // weights even under the same base seed.
+  std::uint64_t seed = config.seed ^ 0x9e3779b97f4a7c15ULL;
+  for (char ch : spec.name) {
+    seed = (seed ^ static_cast<std::uint64_t>(static_cast<unsigned char>(ch))) *
+           1099511628211ULL;
+  }
+  Rng rng(seed);
+  return Mlp(std::move(sizes), Activation::kReLU, rng);
 }
 
 std::vector<ModelSpec> training_models() {

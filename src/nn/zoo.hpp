@@ -4,9 +4,11 @@
 // dataflow analysis; no trained weights are involved (see DESIGN.md §2).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "nn/layer.hpp"
+#include "nn/mlp.hpp"
 
 namespace trident::nn::zoo {
 
@@ -24,6 +26,23 @@ namespace trident::nn::zoo {
 
 /// The five models in the paper's evaluation order.
 [[nodiscard]] std::vector<ModelSpec> evaluation_models();
+
+/// Shape parameters for `surrogate_mlp` — caps keep the dense surrogate
+/// test-sized while preserving the spec's depth/width silhouette.
+struct SurrogateConfig {
+  int max_width = 96;         ///< widest layer the surrogate may use
+  int max_hidden_layers = 6;  ///< compute layers sampled from the spec
+  std::uint64_t seed = 0x5eedULL;
+};
+
+/// Deterministic dense Mlp surrogate of an analytic model spec, for tests
+/// that need executable weights (e.g. the fast-vs-exact equivalence suite):
+/// layer widths follow the spec's compute-layer silhouette (clamped to
+/// `max_width`), Xavier-initialised from a seed derived from the model
+/// name, ReLU hidden activations.  The same spec + config always yields
+/// bit-identical weights.
+[[nodiscard]] Mlp surrogate_mlp(const ModelSpec& spec,
+                                const SurrogateConfig& config = {});
 
 /// The four models of Table V (training-time comparison).
 [[nodiscard]] std::vector<ModelSpec> training_models();

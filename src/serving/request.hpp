@@ -28,6 +28,13 @@ namespace trident::serving {
 
 using Clock = std::chrono::steady_clock;
 
+/// Which execution tier runs a request's forward pass.
+enum class ServingTier {
+  kExact,  ///< the replica's full device-model backend (the default)
+  kFast,   ///< int8 quantized tier — the calibrated error-bound contract
+           ///< (docs/performance.md) applies to the returned logits
+};
+
 /// Latency decomposition of one served request, in seconds.
 struct ResponseTiming {
   double queue_wait_s = 0.0;  ///< admission → the batcher cut its batch
@@ -51,6 +58,10 @@ struct Response {
   int attempts = 1;            ///< service attempts consumed (>1 ⇒ retried)
   std::string error;           ///< last failure message (kFailed only)
   bool deadline_missed = false;  ///< explicit per-request deadline blown
+  /// Tier that actually served the request.  May be kExact for a kFast
+  /// request when the replica has no quantized backend (counted as a
+  /// fast-tier fallback) — the caller always learns what it really got.
+  ServingTier tier = ServingTier::kExact;
   ResponseTiming timing;
 };
 
@@ -63,6 +74,8 @@ struct Request {
   /// expired at admission is counted as an SLO violation right there;
   /// the request is still served (the deadline is advisory, not a drop).
   std::optional<Clock::time_point> deadline;
+  /// Requested execution tier (per-request fast/exact knob).
+  ServingTier tier = ServingTier::kExact;
   int attempts = 0;  ///< failed service attempts so far (retry accounting)
   bool deadline_violation_counted = false;  ///< avoid double-counting
   std::promise<Response> promise;

@@ -89,6 +89,18 @@ struct ServerMetrics {
   telemetry::Counter& snapshot_restore_failures =
       reg.counter("trident_serving_snapshot_restore_failures_total",
                   "snapshot restores that fell back to published weights");
+  // Tier dispatch: the two counters partition completed responses exactly
+  // (quantized + exact == completed), which the metrics validator checks.
+  telemetry::Counter& quantized_dispatch =
+      reg.counter("trident_quantized_dispatch_total",
+                  "responses served by the int8 quantized tier");
+  telemetry::Counter& exact_dispatch =
+      reg.counter("trident_exact_dispatch_total",
+                  "responses served by the exact device-model tier");
+  telemetry::Counter& fast_fallbacks =
+      reg.counter("trident_serving_fast_fallbacks_total",
+                  "kFast requests served exact (replica has no quantized "
+                  "tier)");
 };
 
 ServerMetrics& server_metrics() {
@@ -167,8 +179,19 @@ ReplicaBackend Server::make_backend(int replica, int incarnation) const {
   }
   auto backend = std::make_unique<core::PhotonicBackend>(backend_cfg);
   core::PhotonicBackend* raw = backend.get();
-  return ReplicaBackend{std::move(backend),
-                        [raw] { return raw->ledger(); }};
+  ReplicaBackend rb;
+  rb.backend = std::move(backend);
+  rb.ledger = [raw] { return raw->ledger(); };
+  if (config_.enable_fast_tier) {
+    // The quantized tier is deterministic, so unlike the exact backend it
+    // needs no per-incarnation seed split; its level-read bill flows into
+    // the same aggregate ledger through fast_ledger.
+    auto fast = std::make_unique<core::QuantizedBackend>(config_.fast_backend);
+    core::QuantizedBackend* fast_raw = fast.get();
+    rb.fast = std::move(fast);
+    rb.fast_ledger = [fast_raw] { return fast_raw->ledger(); };
+  }
+  return rb;
 }
 
 void Server::start_worker(Replica& replica) {
@@ -177,12 +200,14 @@ void Server::start_worker(Replica& replica) {
   replica.worker = std::thread([this, rep = &replica] { worker_loop(*rep); });
 }
 
-std::optional<std::future<Response>> Server::submit(nn::Vector input) {
-  return submit(std::move(input), Clock::time_point{});
+std::optional<std::future<Response>> Server::submit(nn::Vector input,
+                                                    ServingTier tier) {
+  return submit(std::move(input), Clock::time_point{}, tier);
 }
 
 std::optional<std::future<Response>> Server::submit(nn::Vector input,
-                                                    Clock::time_point deadline) {
+                                                    Clock::time_point deadline,
+                                                    ServingTier tier) {
   TRIDENT_REQUIRE(static_cast<int>(input.size()) == input_dim_,
                   "input width " + std::to_string(input.size()) +
                       " does not match the model input " +
@@ -196,6 +221,7 @@ std::optional<std::future<Response>> Server::submit(nn::Vector input,
   Request request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.input = std::move(input);
+  request.tier = tier;
   if (deadline != Clock::time_point{}) {
     request.deadline = deadline;
     if (deadline <= Clock::now()) {
@@ -272,22 +298,67 @@ bool Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
     queue_wait_.record(seconds_between(r.admitted, formed));
   }
 
+  // Tier split: a batch may mix fast and exact requests; each tier runs as
+  // one forward pass on its backend.  kFast degrades to exact — counted,
+  // and visible in the response — when the replica has no quantized tier.
+  std::vector<Request> exact_group;
+  std::vector<Request> fast_group;
+  for (Request& r : batch) {
+    if (r.tier == ServingTier::kFast && replica.backend.fast != nullptr) {
+      fast_group.push_back(std::move(r));
+      continue;
+    }
+    if (r.tier == ServingTier::kFast) {
+      fast_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+      if (telem) {
+        server_metrics().fast_fallbacks.add(1);
+      }
+    }
+    exact_group.push_back(std::move(r));
+  }
+  batch.clear();
+
+  if (!exact_group.empty() &&
+      !serve_group(replica, exact_group, *replica.backend.backend,
+                   ServingTier::kExact, formed, n)) {
+    // Hardware died under the exact pass: the fast share of the batch has
+    // nowhere to run on this replica either — requeue it alongside.
+    for (Request& r : fast_group) {
+      retry_or_fail(std::move(r), "replica " + std::to_string(replica.index) +
+                                      " died before its fast-tier pass");
+    }
+    return false;
+  }
+  if (!fast_group.empty() &&
+      !serve_group(replica, fast_group, *replica.backend.fast,
+                   ServingTier::kFast, formed, n)) {
+    return false;
+  }
+  return true;
+}
+
+bool Server::serve_group(Replica& replica, std::vector<Request>& group,
+                         nn::MatvecBackend& backend, ServingTier served,
+                         Clock::time_point formed, std::size_t cut_size) {
+  const std::size_t n = group.size();
+  const bool telem = telemetry::enabled();
   try {
     nn::Matrix x(n, static_cast<std::size_t>(input_dim_));
     for (std::size_t b = 0; b < n; ++b) {
       auto row = x.row(b);
-      std::copy(batch[b].input.begin(), batch[b].input.end(), row.begin());
+      std::copy(group[b].input.begin(), group[b].input.end(), row.begin());
     }
 
     std::optional<telemetry::Span> span;
     if (telem) {
       span.emplace("serving/batch" + std::to_string(n) + "/replica" +
-                       std::to_string(replica.index),
+                       std::to_string(replica.index) +
+                       (served == ServingTier::kFast ? "/fast" : ""),
                    "serving");
     }
     const Clock::time_point start = Clock::now();
     const nn::BatchForwardTrace trace =
-        replica.model.forward_batch(x, *replica.backend.backend);
+        replica.model.forward_batch(x, backend);
     const Clock::time_point done = Clock::now();
     span.reset();
 
@@ -297,31 +368,32 @@ bool Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
       if (!row_finite(logits.row(b))) {
         // Silent-corruption scrub: a non-finite row never reaches the
         // caller; the request goes back for another attempt.
-        retry_or_fail(std::move(batch[b]),
+        retry_or_fail(std::move(group[b]),
                       "non-finite output from replica " +
                           std::to_string(replica.index));
         continue;
       }
       Response response;
-      response.id = batch[b].id;
+      response.id = group[b].id;
       const auto row = logits.row(b);
       response.output.assign(row.begin(), row.end());
-      response.batch_size = n;
+      response.batch_size = cut_size;
       response.replica = replica.index;
-      response.attempts = batch[b].attempts + 1;
-      response.timing.queue_wait_s = seconds_between(batch[b].admitted, formed);
+      response.attempts = group[b].attempts + 1;
+      response.tier = served;
+      response.timing.queue_wait_s = seconds_between(group[b].admitted, formed);
       response.timing.service_s = service_s;
-      response.timing.sojourn_s = seconds_between(batch[b].admitted, done);
+      response.timing.sojourn_s = seconds_between(group[b].admitted, done);
 
       service_.record(service_s);
       sojourn_.record(response.timing.sojourn_s);
       bool violated = config_.slo_target_s > 0.0 &&
                       response.timing.sojourn_s > config_.slo_target_s;
-      if (batch[b].deadline.has_value()) {
-        response.deadline_missed = batch[b].deadline_violation_counted ||
-                                   done > *batch[b].deadline;
+      if (group[b].deadline.has_value()) {
+        response.deadline_missed = group[b].deadline_violation_counted ||
+                                   done > *group[b].deadline;
         // A miss already billed at admission is not billed again.
-        if (response.deadline_missed && !batch[b].deadline_violation_counted) {
+        if (response.deadline_missed && !group[b].deadline_violation_counted) {
           violated = true;
         }
       }
@@ -329,33 +401,45 @@ bool Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
         slo_violations_.fetch_add(1, std::memory_order_relaxed);
       }
       completed_.fetch_add(1, std::memory_order_relaxed);
+      // Dispatch accounting at fulfil time, so the two tier counters
+      // partition completed responses exactly.
+      if (served == ServingTier::kFast) {
+        quantized_dispatches_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        exact_dispatches_.fetch_add(1, std::memory_order_relaxed);
+      }
       if (telem) {
         ServerMetrics& m = server_metrics();
         m.service.observe(service_s);
         m.sojourn.observe(response.timing.sojourn_s);
         m.completed.add(1);
+        if (served == ServingTier::kFast) {
+          m.quantized_dispatch.add(1);
+        } else {
+          m.exact_dispatch.add(1);
+        }
         if (violated) {
           m.slo_violations.add(1);
         }
       }
-      batch[b].promise.set_value(std::move(response));
+      group[b].promise.set_value(std::move(response));
     }
     return true;
   } catch (const HardwareFailure& hf) {
     // The replica is gone.  Its batch is not at fault per se, but each
     // member still burns one attempt — a request that keeps landing on
     // dying hardware must eventually resolve.
-    for (Request& r : batch) {
+    for (Request& r : group) {
       retry_or_fail(std::move(r), hf.what());
     }
     return false;
   } catch (const std::exception& e) {
-    for (Request& r : batch) {
+    for (Request& r : group) {
       retry_or_fail(std::move(r), e.what());
     }
     return true;
   } catch (...) {
-    for (Request& r : batch) {
+    for (Request& r : group) {
       retry_or_fail(std::move(r), "unknown error");
     }
     return true;
@@ -551,9 +635,14 @@ void Server::restart_replica(Replica& replica) {
   // ledger (if any) is deliberately NOT folded in: those pulses belong to
   // the process that wrote the snapshot, and the dead incarnation's pulses
   // were just captured above — folding both would double-count.
-  if (replica.backend.ledger) {
+  if (replica.backend.ledger || replica.backend.fast_ledger) {
     std::lock_guard ledger_lock(ledger_mutex_);
-    retired_ledger_ = retired_ledger_ + replica.backend.ledger();
+    if (replica.backend.ledger) {
+      retired_ledger_ = retired_ledger_ + replica.backend.ledger();
+    }
+    if (replica.backend.fast_ledger) {
+      retired_ledger_ = retired_ledger_ + replica.backend.fast_ledger();
+    }
   }
   const int incarnation =
       replica.incarnation.fetch_add(1, std::memory_order_relaxed) + 1;
@@ -639,6 +728,9 @@ ServerStats Server::stats() const {
   s.snapshot_restores = snapshot_restores_.load(std::memory_order_relaxed);
   s.snapshot_restore_failures =
       snapshot_restore_failures_.load(std::memory_order_relaxed);
+  s.quantized_dispatches = quantized_dispatches_.load(std::memory_order_relaxed);
+  s.exact_dispatches = exact_dispatches_.load(std::memory_order_relaxed);
+  s.fast_fallbacks = fast_fallbacks_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(drain_mutex_);
     if (drained_) {
@@ -649,6 +741,9 @@ ServerStats Server::stats() const {
       for (const auto& replica : replicas_) {
         if (replica->backend.ledger) {
           s.ledger = s.ledger + replica->backend.ledger();
+        }
+        if (replica->backend.fast_ledger) {
+          s.ledger = s.ledger + replica->backend.fast_ledger();
         }
       }
     }

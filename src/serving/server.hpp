@@ -57,6 +57,7 @@
 #include <vector>
 
 #include "core/photonic_backend.hpp"
+#include "core/quantized_backend.hpp"
 #include "nn/mlp.hpp"
 #include "serving/request.hpp"
 #include "serving/request_queue.hpp"
@@ -67,9 +68,15 @@ namespace trident::serving {
 
 /// One replica's execution engine plus an optional hardware-bill accessor
 /// (null when the backend keeps no ledger).  Produced by a BackendFactory.
+/// `fast`/`fast_ledger` are the optional int8 quantized tier: when null,
+/// kFast requests fall back to the exact backend (counted, and the response
+/// reports the tier it really got).  Factories that only fill the first two
+/// members keep working — the fast tier is simply absent.
 struct ReplicaBackend {
   std::unique_ptr<nn::MatvecBackend> backend;
   std::function<core::PhotonicLedger()> ledger;
+  std::unique_ptr<nn::MatvecBackend> fast;
+  std::function<core::PhotonicLedger()> fast_ledger;
 };
 
 /// Builds the backend for (replica, incarnation).  `cfg` already carries
@@ -108,6 +115,12 @@ struct ServerConfig {
   /// Chaos hook: returns true to shed the i-th submit at admission (a
   /// seeded "admission blip").  Null disables.
   std::function<bool(std::uint64_t submit_index)> admission_blip;
+  /// Attach the int8 quantized tier to every default-factory replica, so
+  /// requests submitted with ServingTier::kFast run through it.  Custom
+  /// backend factories opt in by filling ReplicaBackend::fast themselves.
+  bool enable_fast_tier = false;
+  /// Grids of the quantized tier (only read when the fast tier exists).
+  core::QuantizedBackendConfig fast_backend;
   /// Non-volatile restore: when set, a supervisor restart loads this
   /// state::Snapshot and the healed replica serves the snapshotted
   /// (trained) weights instead of a re-clone of the init model.  A missing
@@ -158,6 +171,12 @@ struct ServerStats {
   std::uint64_t swap_adoptions = 0;    ///< replica adoptions at batch bounds
   std::uint64_t snapshot_restores = 0; ///< restarts healed from the snapshot
   std::uint64_t snapshot_restore_failures = 0;  ///< fell back to published
+  /// Tier dispatch accounting.  Every completed response is exactly one of
+  /// the two (quantized + exact == completed — the metrics validator checks
+  /// the telemetry mirror of this invariant).
+  std::uint64_t quantized_dispatches = 0;  ///< responses served by the int8 tier
+  std::uint64_t exact_dispatches = 0;      ///< responses served exact
+  std::uint64_t fast_fallbacks = 0;  ///< kFast requests served exact (no tier)
   /// Aggregate hardware bill across replicas.  Only populated once the
   /// server is drained (replica ledgers are worker-thread-private while
   /// serving); zero before that.  Dead incarnations' bills are folded in
@@ -180,13 +199,19 @@ class Server {
   /// Submits one inference.  Returns the response future, or nullopt when
   /// admission shed the request (or the server is draining).  Blocks only
   /// under OverloadPolicy::kBlock with a full queue.
-  [[nodiscard]] std::optional<std::future<Response>> submit(nn::Vector input);
+  /// The tier selects the replica backend that runs the forward pass:
+  /// kExact (default) is the full device model, kFast the int8 quantized
+  /// tier (falling back to exact — and saying so in the response — when
+  /// the replica has none).
+  [[nodiscard]] std::optional<std::future<Response>> submit(
+      nn::Vector input, ServingTier tier = ServingTier::kExact);
 
   /// Submit with an explicit absolute deadline.  A deadline that has
   /// already expired counts as an SLO violation at admission (the request
   /// is still served; the response carries deadline_missed).
   [[nodiscard]] std::optional<std::future<Response>> submit(
-      nn::Vector input, Clock::time_point deadline);
+      nn::Vector input, Clock::time_point deadline,
+      ServingTier tier = ServingTier::kExact);
 
   /// Closes admission, serves every accepted request, joins all replica
   /// workers, then fails any leftovers explicitly if no replica survived.
@@ -248,6 +273,13 @@ class Server {
   /// Serves one batch.  Returns false when the replica's hardware died
   /// (batch already requeued) and the worker must exit.
   [[nodiscard]] bool serve_batch(Replica& replica, std::vector<Request>& batch);
+  /// Runs one tier's share of a batch through `backend` and fulfils its
+  /// promises.  `cut_size` is the size of the originally cut batch (what
+  /// responses report).  Returns false on HardwareFailure (group requeued).
+  [[nodiscard]] bool serve_group(Replica& replica, std::vector<Request>& group,
+                                 nn::MatvecBackend& backend, ServingTier served,
+                                 Clock::time_point formed,
+                                 std::size_t cut_size);
   /// Requeues `r` for another attempt, or fulfils it as kFailed when the
   /// attempt budget is spent.
   void retry_or_fail(Request&& r, const std::string& why);
@@ -290,6 +322,9 @@ class Server {
   std::atomic<std::uint64_t> adoptions_{0};
   std::atomic<std::uint64_t> snapshot_restores_{0};
   std::atomic<std::uint64_t> snapshot_restore_failures_{0};
+  std::atomic<std::uint64_t> quantized_dispatches_{0};
+  std::atomic<std::uint64_t> exact_dispatches_{0};
+  std::atomic<std::uint64_t> fast_fallbacks_{0};
 
   /// Hot-swap publication point.  weights_version_ mirrors
   /// published_->version so workers can check currency with one

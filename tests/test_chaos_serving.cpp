@@ -25,6 +25,7 @@
 #include "chaos/invariants.hpp"
 #include "common/rng.hpp"
 #include "core/photonic_backend.hpp"
+#include "core/quantized_backend.hpp"
 #include "nn/mlp.hpp"
 #include "serving/load_gen.hpp"
 #include "serving/server.hpp"
@@ -226,6 +227,120 @@ TEST(ChaosSoak, PoissonLoadReportAgreesWithServerBooks) {
   const InvariantReport sweep = check_soak(server, stats, &report, &injected);
   EXPECT_TRUE(sweep.ok()) << "invariants violated under seed " << seed << ":\n"
                           << sweep.to_string();
+}
+
+// --- fast-tier chaos: ChaosBackend composed over the quantized tier ---------
+
+TEST(ChaosSoak, FastTierChaosComposesAndKeepsEnergyBooksBalanced) {
+  reset_telemetry();
+  const std::uint64_t seed = soak_seed();
+
+  // The int8 tier is just another MatvecBackend, so the chaos decorator
+  // must compose over it unchanged: replica 0's quantized backend is
+  // scripted to die mid-traffic, background transient errors and NaN
+  // injections keep the fast retry/scrub paths warm, and at the end the
+  // energy books — exact photonic ledgers PLUS the level-read bills of the
+  // quantized tier, both mirrored into the same trident_ledger_* counters —
+  // must balance to the last pulse.
+  FaultPlanConfig plan_cfg;
+  plan_cfg.horizon_ops = 4096;
+  plan_cfg.transient_error_rate = 0.02;
+  plan_cfg.nan_rate = 0.01;
+  plan_cfg.deaths = {{0, 4}};
+  auto plan = std::make_shared<FaultPlan>(plan_cfg, seed);
+  auto log = std::make_shared<InjectionLog>();
+
+  ServerConfig cfg;
+  // One replica: every fast group runs on replica 0's chaos stream, so the
+  // scripted op-4 kill fires on its third fast batch regardless of how the
+  // OS schedules worker threads.
+  cfg.replicas = 1;
+  cfg.max_batch = 8;
+  cfg.max_wait = 200us;
+  cfg.admission.capacity = 1024;
+  cfg.max_attempts = 5;
+  cfg.supervision_interval = 500us;
+  cfg.backend_factory =
+      [plan, log](int replica, int incarnation,
+                  const core::PhotonicBackendConfig& hw)
+      -> serving::ReplicaBackend {
+    serving::ReplicaBackend rb;
+    auto exact = std::make_unique<core::PhotonicBackend>(hw);
+    core::PhotonicBackend* exact_raw = exact.get();
+    rb.backend = std::move(exact);
+    rb.ledger = [exact_raw] { return exact_raw->ledger(); };
+    auto fast = std::make_unique<core::QuantizedBackend>();
+    core::QuantizedBackend* fast_raw = fast.get();
+    rb.fast = std::make_unique<ChaosBackend>(std::move(fast), plan, replica,
+                                             incarnation, log);
+    rb.fast_ledger = [fast_raw] { return fast_raw->ledger(); };
+    return rb;
+  };
+  Server server(test_model(), cfg);
+
+  // Mostly fast-tier traffic (so the scripted fast-path kill lands), with
+  // an exact share mixed into the same batches.
+  constexpr int kRequests = 300;
+  std::vector<std::future<Response>> futures;
+  futures.reserve(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    const serving::ServingTier tier = (i % 4 == 0)
+                                          ? serving::ServingTier::kExact
+                                          : serving::ServingTier::kFast;
+    auto fut = server.submit(
+        seeded_input(seed + static_cast<std::uint64_t>(i)), tier);
+    if (fut.has_value()) {
+      futures.push_back(std::move(*fut));
+    }
+  }
+  // Let the supervisor heal the scripted kill before draining (drain
+  // disables restarts); the backlog keeps the incarnation-1 worker busy.
+  {
+    const auto deadline = Clock::now() + 10s;
+    while (Clock::now() < deadline && server.health()[0].incarnation < 1) {
+      std::this_thread::yield();
+    }
+  }
+  server.drain();
+
+  std::uint64_t ok = 0, failed = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(0s), std::future_status::ready);
+    const Response r = f.get();
+    if (r.status == ResponseStatus::kOk) {
+      ++ok;
+      // The NaN scrub must hold on the fast path too: no non-finite
+      // output ever reaches a caller.
+      for (double v : r.output) {
+        EXPECT_TRUE(std::isfinite(v));
+      }
+    } else {
+      ++failed;
+    }
+  }
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(ok, stats.completed);
+  EXPECT_EQ(failed, stats.failed);
+  EXPECT_GT(stats.quantized_dispatches, 0u)
+      << "no request was actually served by the quantized tier";
+  EXPECT_EQ(stats.fast_fallbacks, 0u)
+      << "every replica carries a fast tier; nothing may degrade";
+
+  const InjectionCounts injected = log->snapshot();
+  EXPECT_EQ(injected.deaths, 1u) << "scripted fast-path kill never fired";
+  EXPECT_GE(stats.replica_deaths, 1u);
+  EXPECT_GE(stats.replica_restarts, 1u);
+
+  // Full sweep including the energy books (ledger_books=true): the fold of
+  // exact + fast ledgers across live and dead incarnations must equal the
+  // process-wide telemetry mirror exactly.
+  const InvariantReport report = check_soak(server, stats, /*load=*/nullptr,
+                                            &injected, /*ledger_books=*/true);
+  EXPECT_TRUE(report.ok()) << "invariants violated under seed " << seed
+                           << ":\n"
+                           << report.to_string();
+  EXPECT_GT(stats.ledger.macs, 0u);
 }
 
 // --- degraded modes ---------------------------------------------------------

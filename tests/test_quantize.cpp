@@ -121,6 +121,100 @@ TEST_P(QuantizerErrorBound, StepHalvesPerBit) {
 INSTANTIATE_TEST_SUITE_P(BitWidths, QuantizerErrorBound,
                          ::testing::Values(2, 4, 6, 8, 10, 12, 16));
 
+// --- bulk level-conversion overloads (the quantized tier's fast path) -------
+
+class BulkLevelConversion : public ::testing::TestWithParam<int> {};
+
+TEST_P(BulkLevelConversion, GridPointsRoundTripExactly) {
+  // from_levels ∘ to_levels is the identity on every representable value:
+  // the grid is closed under a bulk round trip at every bit width.
+  const int bits = GetParam();
+  SymmetricQuantizer q(bits);
+  const int half = (q.levels() - 1) / 2;
+  std::vector<int> levels;
+  for (int l = -half; l <= half; ++l) {
+    levels.push_back(l);
+  }
+  std::vector<double> values(levels.size());
+  q.from_levels(levels, values);
+  std::vector<int> back(levels.size());
+  q.to_levels(values, back);
+  EXPECT_EQ(back, levels) << "bits=" << bits;
+}
+
+TEST_P(BulkLevelConversion, SaturatesAtRangeAndRepresentsZero) {
+  const int bits = GetParam();
+  SymmetricQuantizer q(bits, 0.75);
+  const int half = (q.levels() - 1) / 2;
+  const std::vector<double> xs{-100.0, -0.7500001, -0.75, 0.0, 0.75, 3.0e8};
+  std::vector<int> levels(xs.size());
+  q.to_levels(xs, levels);
+  EXPECT_EQ(levels[0], -half) << "bits=" << bits;  // deep saturation
+  EXPECT_EQ(levels[1], -half);                     // just past the edge
+  EXPECT_EQ(levels[2], -half);                     // the edge itself
+  EXPECT_EQ(levels[3], 0);                         // zero exactly on-grid
+  EXPECT_EQ(levels[4], half);
+  EXPECT_EQ(levels[5], half);
+  std::vector<double> values(levels.size());
+  q.from_levels(levels, values);
+  EXPECT_DOUBLE_EQ(values[3], 0.0);
+  EXPECT_DOUBLE_EQ(values[2], -0.75);
+  EXPECT_DOUBLE_EQ(values[4], 0.75);
+}
+
+TEST_P(BulkLevelConversion, BulkAgreesWithScalarOnRandomInputs) {
+  const int bits = GetParam();
+  SymmetricQuantizer q(bits, 1.25);
+  Rng rng(0xb01c'0000u + static_cast<std::uint64_t>(bits));
+  std::vector<double> xs(512);
+  for (double& x : xs) {
+    x = rng.uniform(-2.0, 2.0);  // includes out-of-range values
+  }
+  std::vector<int> levels(xs.size());
+  q.to_levels(xs, levels);
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    EXPECT_EQ(levels[i], q.to_level(xs[i])) << "i=" << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BitWidths, BulkLevelConversion,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 12, 16));
+
+TEST(BulkLevelConversion, Int8VariantMatchesWideVariantThroughEightBits) {
+  Rng rng(0xb01c'1111u);
+  for (int bits = 2; bits <= 8; ++bits) {
+    SymmetricQuantizer q(bits);
+    std::vector<double> xs(256);
+    for (double& x : xs) {
+      x = rng.uniform(-1.5, 1.5);
+    }
+    std::vector<int> wide(xs.size());
+    std::vector<std::int8_t> narrow(xs.size());
+    q.to_levels(xs, std::span<int>(wide));
+    q.to_levels(xs, std::span<std::int8_t>(narrow));
+    std::vector<double> from_wide(xs.size()), from_narrow(xs.size());
+    q.from_levels(std::span<const int>(wide), from_wide);
+    q.from_levels(std::span<const std::int8_t>(narrow), from_narrow);
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      EXPECT_EQ(static_cast<int>(narrow[i]), wide[i]) << "bits=" << bits;
+      EXPECT_EQ(from_narrow[i], from_wide[i]) << "bits=" << bits;
+    }
+  }
+}
+
+TEST(BulkLevelConversion, RejectsMismatchedSpansAndWideGridsOnInt8) {
+  SymmetricQuantizer q8(8);
+  std::vector<double> xs(4, 0.0);
+  std::vector<int> small(3);
+  EXPECT_THROW(q8.to_levels(xs, std::span<int>(small)), Error);
+  std::vector<std::int8_t> bytes(4);
+  SymmetricQuantizer q9(9);  // 511 levels do not fit an int8
+  EXPECT_THROW(q9.to_levels(xs, std::span<std::int8_t>(bytes)), Error);
+  std::vector<int> levels(5, 0);
+  std::vector<double> out(4);
+  EXPECT_THROW(q8.from_levels(std::span<const int>(levels), out), Error);
+}
+
 // The training-resolution cliff in miniature: a 6-bit grid cannot represent
 // updates an 8-bit grid can.
 TEST(QuantizerProperty, SmallUpdatesVanishAtLowResolution) {

@@ -13,6 +13,7 @@
 
 #include "common/error.hpp"
 #include "core/photonic_backend.hpp"
+#include "core/quantized_backend.hpp"
 #include "nn/mlp.hpp"
 #include "serving/load_gen.hpp"
 #include "serving/request_queue.hpp"
@@ -618,6 +619,155 @@ TEST(Server, RepeatedHotSwapsBumpVersionMonotonically) {
   EXPECT_GE(stats.swap_adoptions, 1u);
   EXPECT_LE(stats.swap_adoptions,
             static_cast<std::uint64_t>(server.config().replicas));
+}
+
+// --- quantized fast tier (per-request fast/exact knob) ----------------------
+
+/// Reference forward through a fresh quantized backend — since the int8 tier
+/// is deterministic and bit-identical per row regardless of batch grouping,
+/// this is the exact output the fast tier must serve for `model`.
+nn::Vector fast_reference_output(const nn::Mlp& model, const nn::Vector& x) {
+  core::QuantizedBackend backend;
+  return model.forward(x, backend).activations.back();
+}
+
+TEST(Server, FastTierServesQuantizedOutputsBitExactly) {
+  const nn::Mlp model = test_model();
+  const auto inputs = seeded_inputs(24);
+
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 4;
+  cfg.max_wait = std::chrono::microseconds(100);
+  cfg.admission.capacity = 64;
+  cfg.enable_fast_tier = true;
+  Server server(model, cfg);
+
+  std::vector<std::future<Response>> futures;
+  for (const auto& x : inputs) {
+    auto fut = server.submit(x, ServingTier::kFast);
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  server.drain();
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Response r = futures[i].get();
+    EXPECT_EQ(r.status, ResponseStatus::kOk);
+    EXPECT_EQ(r.tier, ServingTier::kFast);
+    // Batch grouping is arbitrary, but the int8 path is bit-identical per
+    // row — so every response must equal the single-sample reference.
+    EXPECT_EQ(r.output, fast_reference_output(model, inputs[i]))
+        << "request " << i;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, inputs.size());
+  EXPECT_EQ(stats.quantized_dispatches, inputs.size());
+  EXPECT_EQ(stats.exact_dispatches, 0u);
+  EXPECT_EQ(stats.fast_fallbacks, 0u);
+  // The fast tier bills level reads through the same ledger currency.
+  EXPECT_GT(stats.ledger.macs, 0u);
+}
+
+TEST(Server, MixedTiersPartitionWithinABatchAndAccountExactly) {
+  const nn::Mlp model = test_model();
+  const auto inputs = seeded_inputs(32);
+
+  ServerConfig cfg;
+  cfg.replicas = 1;  // one replica: exact/fast requests share every batch cut
+  cfg.max_batch = 8;
+  cfg.max_wait = std::chrono::microseconds(2'000);
+  cfg.admission.capacity = 64;
+  cfg.enable_fast_tier = true;
+  Server server(model, cfg);
+
+  std::vector<std::future<Response>> futures;
+  std::vector<ServingTier> want;
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const ServingTier tier =
+        (i % 2 == 0) ? ServingTier::kExact : ServingTier::kFast;
+    auto fut = server.submit(inputs[i], tier);
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+    want.push_back(tier);
+  }
+  server.drain();
+
+  for (std::size_t i = 0; i < inputs.size(); ++i) {
+    const Response r = futures[i].get();
+    EXPECT_EQ(r.status, ResponseStatus::kOk);
+    EXPECT_EQ(r.tier, want[i]);
+    const nn::Vector expected =
+        want[i] == ServingTier::kFast
+            ? fast_reference_output(model, inputs[i])
+            : reference_output(model, inputs[i]);
+    EXPECT_EQ(r.output, expected) << "request " << i;
+  }
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.completed, inputs.size());
+  EXPECT_EQ(stats.quantized_dispatches, inputs.size() / 2);
+  EXPECT_EQ(stats.exact_dispatches, inputs.size() / 2);
+  EXPECT_EQ(stats.quantized_dispatches + stats.exact_dispatches,
+            stats.completed);
+  EXPECT_EQ(stats.fast_fallbacks, 0u);
+}
+
+TEST(Server, FastRequestFallsBackToExactWhenTierDisabled) {
+  const nn::Mlp model = test_model();
+  ServerConfig cfg;  // enable_fast_tier defaults to false
+  Server server(model, cfg);
+
+  const nn::Vector probe = seeded_inputs(1)[0];
+  auto fut = server.submit(probe, ServingTier::kFast);
+  ASSERT_TRUE(fut.has_value());
+  const Response r = fut->get();
+  server.drain();
+
+  EXPECT_EQ(r.status, ResponseStatus::kOk);
+  EXPECT_EQ(r.tier, ServingTier::kExact) << "must report the tier that served";
+  EXPECT_EQ(r.output, reference_output(model, probe));
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.fast_fallbacks, 1u);
+  EXPECT_EQ(stats.exact_dispatches, 1u);
+  EXPECT_EQ(stats.quantized_dispatches, 0u);
+}
+
+TEST(Server, FastTierSurvivesHotSwap) {
+  // After a weight publication, the fast tier must recompile its panels for
+  // the new values (same buffer addresses — the content fingerprint is what
+  // catches the change) and serve model B's quantized outputs.
+  const nn::Mlp model_a = test_model(0x5eedu);
+  const nn::Mlp model_b = test_model(0xB0Bu);
+  const nn::Vector probe = seeded_inputs(1)[0];
+  const nn::Vector fast_a = fast_reference_output(model_a, probe);
+  const nn::Vector fast_b = fast_reference_output(model_b, probe);
+  ASSERT_NE(fast_a, fast_b) << "probe must distinguish the models";
+
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait = std::chrono::microseconds(100);
+  cfg.enable_fast_tier = true;
+  Server server(model_a, cfg);
+
+  auto warm = server.submit(probe, ServingTier::kFast);
+  ASSERT_TRUE(warm.has_value());
+  EXPECT_EQ(warm->get().output, fast_a);
+
+  server.hot_swap(model_b);
+  bool saw_new = false;
+  for (int i = 0; i < 200 && !saw_new; ++i) {
+    auto fut = server.submit(probe, ServingTier::kFast);
+    ASSERT_TRUE(fut.has_value());
+    const nn::Vector out = fut->get().output;
+    const bool is_a = out == fast_a;
+    const bool is_b = out == fast_b;
+    ASSERT_TRUE(is_a || is_b) << "stale int8 panel served after hot_swap";
+    saw_new = is_b;
+  }
+  EXPECT_TRUE(saw_new) << "fast tier never adopted the new weights";
+  server.drain();
+  EXPECT_EQ(server.stats().failed, 0u);
 }
 
 // --- load generator ---------------------------------------------------------
