@@ -23,6 +23,9 @@
 #include "nn/zoo.hpp"
 #include "parallel/thread_pool.hpp"
 #include "state/snapshot.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -463,6 +466,86 @@ void BM_SnapshotDeserialize(benchmark::State& state) {
                           static_cast<std::int64_t>(blob.size()));
 }
 BENCHMARK(BM_SnapshotDeserialize)->Arg(32)->Arg(256)->Arg(1024);
+
+// ---------------------------------------------------------------------------
+// Telemetry overhead: the cost of a span and of trace-id propagation, with
+// telemetry disabled (the guard branch only — what every hot path pays by
+// default) and enabled (clock reads + buffer append).  Each enabled-mode
+// iteration records real events, so the buffer is cleared afterwards to
+// keep memory flat across benchmark repetitions.
+
+void BM_TelemetrySpanDisabled(benchmark::State& state) {
+  telemetry::set_enabled(false);
+  for (auto _ : state) {
+    // The guarded-site idiom: with telemetry off the span name is never
+    // even built.  This is the whole disabled-path cost.
+    if (telemetry::enabled()) {
+      telemetry::Span span("bench/span", "bench");
+      benchmark::DoNotOptimize(&span);
+    }
+    benchmark::ClobberMemory();
+  }
+}
+BENCHMARK(BM_TelemetrySpanDisabled);
+
+void BM_TelemetrySpanEnabled(benchmark::State& state) {
+  if (!telemetry::compiled_in()) {
+    state.SkipWithError("telemetry compiled out");
+    return;
+  }
+  telemetry::set_enabled(true);
+  for (auto _ : state) {
+    if (telemetry::enabled()) {
+      telemetry::Span span("bench/span", "bench");
+      benchmark::DoNotOptimize(&span);
+    }
+  }
+  telemetry::set_enabled(false);
+  telemetry::TraceBuffer::global().clear();
+}
+BENCHMARK(BM_TelemetrySpanEnabled);
+
+void BM_TelemetrySpanWithTrace(benchmark::State& state) {
+  if (!telemetry::compiled_in()) {
+    state.SkipWithError("telemetry compiled out");
+    return;
+  }
+  telemetry::set_enabled(true);
+  // Request-scoped propagation: a parent context installed on the thread,
+  // every span underneath inheriting trace/span/parent ids — the serving
+  // batch-span pattern.
+  std::uint64_t trace_id = 0;
+  for (auto _ : state) {
+    if (telemetry::enabled()) {
+      ++trace_id;
+      telemetry::Span root("bench/root", "bench",
+                           telemetry::TraceContext{trace_id, 0});
+      telemetry::TraceScope scope(root.context());
+      telemetry::Span child("bench/child", "bench");
+      benchmark::DoNotOptimize(&child);
+    }
+  }
+  telemetry::set_enabled(false);
+  telemetry::TraceBuffer::global().clear();
+}
+BENCHMARK(BM_TelemetrySpanWithTrace);
+
+void BM_TelemetryCounter(benchmark::State& state) {
+  if (!telemetry::compiled_in()) {
+    state.SkipWithError("telemetry compiled out");
+    return;
+  }
+  telemetry::set_enabled(true);
+  telemetry::Counter& c = telemetry::MetricsRegistry::global().counter(
+      "bench_telemetry_counter_total");
+  for (auto _ : state) {
+    if (telemetry::enabled()) {
+      c.add(1);
+    }
+  }
+  telemetry::set_enabled(false);
+}
+BENCHMARK(BM_TelemetryCounter);
 
 }  // namespace
 

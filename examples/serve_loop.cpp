@@ -29,6 +29,7 @@
 //           --checkpoint-dir /tmp/serve-ckpt
 #include <algorithm>
 #include <cstdint>
+#include <cstdio>
 #include <filesystem>
 #include <iostream>
 #include <memory>
@@ -42,7 +43,9 @@
 #include "nn/mlp.hpp"
 #include "serving/load_gen.hpp"
 #include "serving/server.hpp"
+#include "serving/flight_recorder.hpp"
 #include "state/snapshot.hpp"
+#include "telemetry/health.hpp"
 #include "telemetry/session.hpp"
 
 int main(int argc, char** argv) {
@@ -62,6 +65,24 @@ int main(int argc, char** argv) {
                              ? serving::OverloadPolicy::kBlock
                              : serving::OverloadPolicy::kReject;
   cfg.slo_target_s = args.value_double("slo-ms", 50.0) * 1e-3;
+
+  // Black-box flight recorder: --flight-out enables tail-based request
+  // retention and points the automatic replica-death/exit dumps at FILE.
+  // --flight-deterministic makes the dump byte-stable under a fixed seed
+  // (timings omitted, records ordered by trace id); the exit status then
+  // verifies the artifact's checksum round-trips.
+  const std::optional<std::string> flight_out = args.value("flight-out");
+  if (flight_out.has_value()) {
+    cfg.flight.enabled = true;
+    cfg.flight.dump_path = *flight_out;
+    cfg.flight.capacity = static_cast<std::size_t>(
+        args.value_int_positive("flight-capacity", 4096));
+    cfg.flight.sample_every = static_cast<std::uint64_t>(
+        args.value_int("flight-sample-every", 64));
+    cfg.flight.slow_threshold_s =
+        args.value_double("flight-slow-ms", 0.0) * 1e-3;
+    cfg.flight.deterministic = args.has_flag("flight-deterministic");
+  }
 
   // Chaos wiring: --chaos-seed turns every replica backend into a
   // ChaosBackend driven by one seeded FaultPlan.  All knobs funnel through
@@ -163,6 +184,40 @@ int main(int argc, char** argv) {
             << "hardware  " << stats.ledger.energy().mJ() << " mJ, "
             << stats.ledger.program_events << " bank program event(s)\n";
 
+  // SLO burn-rate health decision over the run: one baseline sample at
+  // t=0, one at the end, so the short/long windows both cover the whole
+  // run.  Counters come from the server's own accounting (works with
+  // telemetry off); the energy gauge is ledger-derived.
+  telemetry::HealthMonitor health_monitor;
+  {
+    telemetry::HealthSample baseline;
+    baseline.t_s = 0.0;
+    health_monitor.update(baseline);
+    telemetry::HealthSample now;
+    now.t_s = duration_s;
+    now.completed = stats.completed;
+    now.slo_violations = stats.slo_violations;
+    now.shed = stats.shed;
+    now.degraded = stats.failed;
+    now.p99_s = stats.sojourn.p99_s;
+    if (stats.completed > 0) {
+      now.energy_per_inference_j =
+          stats.ledger.energy().J() / static_cast<double>(stats.completed);
+    }
+    const telemetry::HealthReport hr = health_monitor.update(now);
+    std::cout << "health    " << telemetry::to_string(hr.state) << " ("
+              << hr.reason << "); burn slo " << hr.slo.short_burn << ", shed "
+              << hr.shed.short_burn << ", degraded " << hr.degraded.short_burn
+              << "\n";
+  }
+
+  if (flight_out.has_value() && server.flight_recorder() != nullptr) {
+    const serving::FlightRecorder& fr = *server.flight_recorder();
+    std::cout << "flight    " << fr.kept() << " kept of " << fr.observed()
+              << " observed (" << fr.evicted() << " evicted), "
+              << fr.dumps() << " dump(s) -> " << *flight_out << "\n";
+  }
+
   if (chaos_on) {
     const chaos::InjectionCounts injected = injection_log->snapshot();
     std::cout << "injected  " << injected.transient_errors << " transient, "
@@ -216,6 +271,38 @@ int main(int argc, char** argv) {
   } else if (stats.failed != 0) {
     std::cerr << "ERROR: " << stats.failed << " request(s) failed\n";
     return 1;
+  }
+  if (flight_out.has_value()) {
+    // The drain dump must exist, round-trip its checksum, and — when a
+    // scripted death fired — show the cross-incarnation retry history.
+    try {
+      std::FILE* f = std::fopen(flight_out->c_str(), "rb");
+      if (f == nullptr) {
+        std::cerr << "ERROR: flight dump " << *flight_out
+                  << " was not written\n";
+        return 1;
+      }
+      std::string bytes;
+      char buf[1 << 16];
+      std::size_t n = 0;
+      while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+        bytes.append(buf, n);
+      }
+      std::fclose(f);
+      const serving::FlightDumpInfo info =
+          serving::FlightRecorder::verify(bytes);
+      if (stats.replica_deaths > 0 &&
+          info.payload.find("\"error\":") == std::string::npos) {
+        std::cerr << "ERROR: flight dump records no failed attempt despite "
+                  << stats.replica_deaths << " replica death(s)\n";
+        return 1;
+      }
+      std::cout << "flight    dump verified (" << info.payload_bytes
+                << " payload bytes, checksum ok)\n";
+    } catch (const std::exception& e) {
+      std::cerr << "ERROR: flight dump invalid: " << e.what() << "\n";
+      return 1;
+    }
   }
   return 0;
 }

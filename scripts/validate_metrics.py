@@ -9,6 +9,12 @@ the first violation.
 
 Usage: validate_metrics.py metrics.json [more.json ...]
        [--schema scripts/metrics_schema.json]
+       validate_metrics.py --flight flight.json [more ...]
+
+With --flight the inputs are flight-recorder dumps instead: a two-line
+artifact whose header carries an FNV-1a 64 checksum over the payload line.
+The checksum is recomputed here (same tiny hash the C++ writer uses), the
+payload is JSON-parsed, and its record structure is checked.
 """
 
 import argparse
@@ -89,9 +95,103 @@ def validate(value, schema, path="$"):
                 validate(sub, items, "%s[%d]" % (path, i))
 
 
+def fnv1a64(data):
+    """FNV-1a 64 — must match state::fnv1a64 in src/state/snapshot.cpp."""
+    h = 1469598103934665603
+    for byte in data:
+        h ^= byte
+        h = (h * 1099511628211) & 0xFFFFFFFFFFFFFFFF
+    return h
+
+
+FLIGHT_OUTCOMES = ("ok", "failed", "shed")
+FLIGHT_TIERS = ("exact", "fast")
+FLIGHT_KEEP_REASONS = ("failed", "shed", "slo_violated", "deadline_missed",
+                       "retried", "slow", "sampled")
+
+
+def check_flight_dump(path):
+    """Verify a flight-recorder postmortem: checksum + record structure."""
+    with open(path, "rb") as f:
+        raw = f.read()
+    newline = raw.find(b"\n")
+    if newline < 0:
+        raise ValidationError(path, "flight dump has no header line")
+    header = json.loads(raw[:newline])
+    for key in ("schema", "checksum", "payload_bytes"):
+        if key not in header:
+            raise ValidationError(path, "header missing %r" % key)
+    if header["schema"] != "trident-flight-v1":
+        raise ValidationError(
+            path, "unknown schema %r" % header["schema"])
+    payload = raw[newline + 1:newline + 1 + header["payload_bytes"]]
+    if len(payload) != header["payload_bytes"]:
+        raise ValidationError(
+            path, "payload shorter than advertised (%d < %d bytes)"
+            % (len(payload), header["payload_bytes"]))
+    if fnv1a64(payload) != int(header["checksum"], 16):
+        raise ValidationError(path, "checksum mismatch (corrupted dump)")
+    doc = json.loads(payload)
+    for key in ("flight_recorder_version", "reason", "deterministic",
+                "observed", "kept", "evicted", "records"):
+        if key not in doc:
+            raise ValidationError(path, "payload missing %r" % key)
+    if doc["flight_recorder_version"] != 1:
+        raise ValidationError(
+            path, "unknown flight_recorder_version %r"
+            % doc["flight_recorder_version"])
+    if len(doc["records"]) > doc["kept"]:
+        raise ValidationError(
+            path, "%d records but only %d kept" % (len(doc["records"]),
+                                                   doc["kept"]))
+    for i, rec in enumerate(doc["records"]):
+        rpath = "%s:records[%d]" % (path, i)
+        for key in ("trace", "id", "outcome", "keep", "tier", "attempts",
+                    "replica", "incarnation", "attempt_log"):
+            if key not in rec:
+                raise ValidationError(rpath, "missing %r" % key)
+        if rec["outcome"] not in FLIGHT_OUTCOMES:
+            raise ValidationError(rpath, "bad outcome %r" % rec["outcome"])
+        if rec["keep"] not in FLIGHT_KEEP_REASONS:
+            raise ValidationError(rpath, "bad keep reason %r" % rec["keep"])
+        if rec["tier"] not in FLIGHT_TIERS:
+            raise ValidationError(rpath, "bad tier %r" % rec["tier"])
+        if rec["trace"] != rec["id"] + 1:
+            raise ValidationError(
+                rpath, "trace id %d != request id %d + 1"
+                % (rec["trace"], rec["id"]))
+        if doc["deterministic"] and "timing" in rec:
+            raise ValidationError(
+                rpath, "deterministic dump must omit timings")
+        for j, note in enumerate(rec["attempt_log"]):
+            for key in ("replica", "incarnation", "error"):
+                if key not in note:
+                    raise ValidationError(
+                        rpath, "attempt_log[%d] missing %r" % (j, key))
+    if doc["deterministic"]:
+        traces = [rec["trace"] for rec in doc["records"]]
+        if traces != sorted(traces):
+            raise ValidationError(
+                path, "deterministic dump records not ordered by trace id")
+    return doc
+
+
 def check_snapshot_invariants(doc, path):
     """Cross-field checks the schema grammar cannot express."""
     counters = doc.get("counters", {})
+    gauges = doc.get("gauges", {})
+    if "trident_health_state" in gauges:
+        state = gauges["trident_health_state"]
+        if state not in (0, 1, 2):
+            raise ValidationError(
+                "%s:gauges" % path,
+                "trident_health_state must be 0/1/2, got %r" % state)
+        for name, value in gauges.items():
+            if name.startswith("trident_health_") and \
+                    name.endswith(("_short", "_long")) and value < 0:
+                raise ValidationError(
+                    "%s:gauges" % path, "%s must be >= 0, got %r"
+                    % (name, value))
     tier_keys = ("trident_quantized_dispatch_total",
                  "trident_exact_dispatch_total",
                  "trident_serving_requests_completed_total")
@@ -144,12 +244,29 @@ def main(argv=None):
         "--schema",
         default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
                              "metrics_schema.json"))
+    parser.add_argument(
+        "--flight", action="store_true",
+        help="treat inputs as flight-recorder dumps, not metric snapshots")
     args = parser.parse_args(argv)
+
+    status = 0
+    if args.flight:
+        for dump_path in args.metrics:
+            try:
+                doc = check_flight_dump(dump_path)
+            except (OSError, json.JSONDecodeError, ValueError,
+                    ValidationError) as err:
+                print("%s: FAIL: %s" % (dump_path, err), file=sys.stderr)
+                status = 1
+                continue
+            print("%s: OK (reason %s, %d records kept of %d observed)" % (
+                dump_path, doc["reason"], len(doc["records"]),
+                doc["observed"]))
+        return status
 
     with open(args.schema, "r", encoding="utf-8") as f:
         schema = json.load(f)
 
-    status = 0
     for metrics_path in args.metrics:
         try:
             with open(metrics_path, "r", encoding="utf-8") as f:

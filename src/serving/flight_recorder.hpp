@@ -1,0 +1,135 @@
+// Black-box flight recorder: tail-based trace retention for postmortems.
+//
+// An unattended edge box cannot stream every trace — but after a chaos
+// fault, a replica death, or an SLO breach, the *interesting* requests
+// must still be explainable.  The recorder watches every terminal request
+// outcome (completed, failed, shed) and keeps a full per-request record
+// only when the request was anomalous — failed, shed, SLO-violating,
+// deadline-missed, retried, or slow — plus a deterministic 1-in-N sample
+// of healthy traffic as a baseline.  Records live in a bounded ring
+// buffer (oldest evicted first, evictions counted), so memory stays flat
+// no matter how long the box runs.
+//
+// dump() serialises the ring through state::atomic_write_file — the same
+// temp + fsync + rename path snapshots use — so a crash mid-dump never
+// leaves a torn postmortem.  The artifact is two lines, each independently
+// parseable:
+//
+//   {"schema":"trident-flight-v1","checksum":"<fnv1a64 hex>","payload_bytes":N}
+//   {"flight_recorder_version":1,"reason":...,"records":[...],...}
+//
+// The checksum is FNV-1a 64 over exactly the payload_bytes bytes of the
+// second line, verifiable from C++ (verify()) and from the stdlib-only
+// Python validator (scripts/validate_metrics.py --flight).
+//
+// Determinism: with FlightRecorderConfig::deterministic set, the dump
+// omits wall-clock timings and orders records by trace id — a fixed
+// chaos seed and submission order then reproduce the dump byte-for-byte
+// (the acceptance soak pins this).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serving/request.hpp"
+
+namespace trident::serving {
+
+struct FlightRecorderConfig {
+  bool enabled = false;
+  /// Ring capacity in records; the oldest record is evicted (and counted)
+  /// when a kept record arrives at capacity.
+  std::size_t capacity = 1024;
+  /// Deterministic healthy-traffic sample: keep requests whose trace id is
+  /// divisible by this (0 disables sampling; 1 keeps everything).
+  std::uint64_t sample_every = 64;
+  /// Keep any request slower than this sojourn (seconds; 0 disables).
+  double slow_threshold_s = 0.0;
+  /// Byte-stable dumps: omit wall-clock timings, order records by trace
+  /// id.  For seeded chaos soaks and the reproducibility tests.
+  bool deterministic = false;
+  /// Auto-dump target for replica deaths and drain ("" disables
+  /// auto-dumping; explicit dump() calls still work).
+  std::string dump_path;
+};
+
+/// Terminal record of one request, as the recorder keeps it.
+struct FlightRecord {
+  std::uint64_t trace_id = 0;
+  std::uint64_t request_id = 0;
+  std::string outcome;      ///< "ok" | "failed" | "shed"
+  std::string keep_reason;  ///< which rule retained it ("sampled", "failed", …)
+  ServingTier tier = ServingTier::kExact;
+  bool tier_fallback = false;  ///< kFast request served exact
+  int attempts = 0;            ///< service attempts consumed
+  int replica = -1;            ///< replica that fulfilled it (-1: none)
+  int incarnation = 0;         ///< incarnation of that replica
+  std::size_t batch_size = 0;
+  bool slo_violated = false;
+  bool deadline_missed = false;
+  /// Spent (failed) attempts, oldest first — replica/incarnation hops and
+  /// the error each one hit.
+  std::vector<AttemptNote> attempt_log;
+  ResponseTiming timing;  ///< omitted from deterministic dumps
+};
+
+/// Parsed view of a dump file (verify()/tests; the Python validator does
+/// the schema-level checking).
+struct FlightDumpInfo {
+  std::uint64_t checksum = 0;
+  std::size_t payload_bytes = 0;
+  std::string payload;  ///< the verified payload line
+};
+
+class FlightRecorder {
+ public:
+  explicit FlightRecorder(FlightRecorderConfig config);
+
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  /// Feeds one terminal request outcome.  Applies the tail-based keep
+  /// decision; kept records enter the ring (evicting the oldest at
+  /// capacity).  Thread-safe.
+  void observe(FlightRecord record);
+
+  /// Renders the current ring as a complete dump artifact (header line +
+  /// payload line).  `reason` is stamped into the payload
+  /// ("replica_death", "chaos_fault", "exit", …).
+  [[nodiscard]] std::string render(std::string_view reason) const;
+
+  /// Atomically writes render() to `path` (state::atomic_write_file).
+  void dump(const std::string& path, std::string_view reason) const;
+
+  /// Parses and checksum-verifies a dump produced by dump()/render().
+  /// Throws trident::Error on a malformed header, a payload shorter than
+  /// advertised, or a checksum mismatch.
+  [[nodiscard]] static FlightDumpInfo verify(std::string_view bytes);
+
+  [[nodiscard]] std::size_t size() const;
+  [[nodiscard]] std::vector<FlightRecord> records() const;
+  [[nodiscard]] std::uint64_t observed() const;
+  [[nodiscard]] std::uint64_t kept() const;
+  [[nodiscard]] std::uint64_t evicted() const;
+  [[nodiscard]] std::uint64_t dumps() const;
+  [[nodiscard]] const FlightRecorderConfig& config() const { return config_; }
+
+ private:
+  /// The tail-based sampling rule.  Returns the retention reason, or an
+  /// empty view to discard.
+  [[nodiscard]] std::string_view keep_reason(const FlightRecord& r) const;
+
+  FlightRecorderConfig config_;
+  mutable std::mutex mutex_;
+  std::vector<FlightRecord> ring_;  ///< insertion-ordered, bounded
+  std::uint64_t observed_ = 0;
+  std::uint64_t kept_ = 0;
+  std::uint64_t evicted_ = 0;
+  mutable std::atomic<std::uint64_t> dumps_{0};
+};
+
+}  // namespace trident::serving

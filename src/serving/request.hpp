@@ -21,12 +21,24 @@
 #include <future>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "nn/matrix.hpp"
+#include "telemetry/trace.hpp"
 
 namespace trident::serving {
 
 using Clock = std::chrono::steady_clock;
+
+/// One spent service attempt in a request's history: which replica
+/// incarnation ran it and why it failed.  The retry edge in the flight
+/// recorder — a request that died on (replica 0, incarnation 0) and was
+/// served by (replica 0, incarnation 1) carries both in its log.
+struct AttemptNote {
+  int replica = -1;
+  int incarnation = 0;
+  std::string error;
+};
 
 /// Which execution tier runs a request's forward pass.
 enum class ServingTier {
@@ -63,6 +75,10 @@ struct Response {
   /// fast-tier fallback) — the caller always learns what it really got.
   ServingTier tier = ServingTier::kExact;
   ResponseTiming timing;
+  /// Trace id of the request's causal tree (0 when tracing never assigned
+  /// one).  Grep it in a trace dump or flight-recorder postmortem to see
+  /// every span and attempt this response rode through.
+  std::uint64_t trace_id = 0;
 };
 
 /// One in-flight inference (move-only: it carries the response promise).
@@ -78,6 +94,14 @@ struct Request {
   ServingTier tier = ServingTier::kExact;
   int attempts = 0;  ///< failed service attempts so far (retry accounting)
   bool deadline_violation_counted = false;  ///< avoid double-counting
+  /// Request-scoped trace identity, minted at admission (trace_id = id+1,
+  /// so it is deterministic under a fixed submission order).  Carried
+  /// through the queue, retries, and replica hops; the batch span and the
+  /// per-request trace events attach to it.
+  telemetry::TraceContext trace;
+  /// Every spent (failed) service attempt, oldest first — the flight
+  /// recorder's cross-incarnation retry history.
+  std::vector<AttemptNote> attempt_log;
   std::promise<Response> promise;
 };
 

@@ -8,6 +8,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "telemetry/exporters.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
@@ -148,6 +149,9 @@ Server::Server(const nn::Mlp& model, const ServerConfig& config)
   // up front means restarts and adoption checks never see a null pointer.
   published_ = std::make_shared<const PublishedModel>(
       PublishedModel{0, model, now_ns()});
+  if (config_.flight.enabled) {
+    flight_ = std::make_unique<FlightRecorder>(config_.flight);
+  }
   replicas_.reserve(static_cast<std::size_t>(config.replicas));
   for (int r = 0; r < config.replicas; ++r) {
     auto replica = std::make_unique<Replica>(r, model);
@@ -216,12 +220,18 @@ std::optional<std::future<Response>> Server::submit(nn::Vector input,
       submitted_.fetch_add(1, std::memory_order_relaxed);
   if (config_.admission_blip && config_.admission_blip(index)) {
     blip_shed_.fetch_add(1, std::memory_order_relaxed);
+    flight_observe_shed(next_id_.fetch_add(1, std::memory_order_relaxed),
+                        tier);
     return std::nullopt;
   }
   Request request;
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.input = std::move(input);
   request.tier = tier;
+  // Trace identity is minted here, at admission — id + 1, so trace id 0
+  // keeps meaning "untraced" and a fixed submission order reproduces the
+  // same trace ids (what makes flight-recorder dumps seed-deterministic).
+  request.trace.trace_id = request.id + 1;
   if (deadline != Clock::time_point{}) {
     request.deadline = deadline;
     if (deadline <= Clock::now()) {
@@ -235,10 +245,37 @@ std::optional<std::future<Response>> Server::submit(nn::Vector input,
     }
   }
   std::future<Response> future = request.promise.get_future();
+  const std::uint64_t shed_id = request.id;
   if (queue_.push(request) != AdmitResult::kAccepted) {
+    flight_observe_shed(shed_id, tier);
     return std::nullopt;
   }
   return future;
+}
+
+void Server::flight_observe_shed(std::uint64_t id, ServingTier tier) {
+  if (!flight_) {
+    return;
+  }
+  FlightRecord rec;
+  rec.trace_id = id + 1;
+  rec.request_id = id;
+  rec.outcome = "shed";
+  rec.tier = tier;
+  rec.attempts = 0;
+  flight_->observe(std::move(rec));
+}
+
+void Server::flight_autodump(std::string_view reason) {
+  if (!flight_ || config_.flight.dump_path.empty()) {
+    return;
+  }
+  try {
+    flight_->dump(config_.flight.dump_path, reason);
+  } catch (const std::exception&) {
+    // A postmortem must never take the serving runtime down with it; a
+    // failed dump (unwritable path) leaves the previous artifact intact.
+  }
 }
 
 void Server::heartbeat(Replica& replica) const {
@@ -323,9 +360,12 @@ bool Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
                    ServingTier::kExact, formed, n)) {
     // Hardware died under the exact pass: the fast share of the batch has
     // nowhere to run on this replica either — requeue it alongside.
+    const int incarnation = replica.incarnation.load(std::memory_order_relaxed);
     for (Request& r : fast_group) {
-      retry_or_fail(std::move(r), "replica " + std::to_string(replica.index) +
-                                      " died before its fast-tier pass");
+      retry_or_fail(std::move(r),
+                    "replica " + std::to_string(replica.index) +
+                        " died before its fast-tier pass",
+                    replica.index, incarnation);
     }
     return false;
   }
@@ -342,6 +382,7 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
                          Clock::time_point formed, std::size_t cut_size) {
   const std::size_t n = group.size();
   const bool telem = telemetry::enabled();
+  const int incarnation = replica.incarnation.load(std::memory_order_relaxed);
   try {
     nn::Matrix x(n, static_cast<std::size_t>(input_dim_));
     for (std::size_t b = 0; b < n; ++b) {
@@ -349,17 +390,32 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
       std::copy(group[b].input.begin(), group[b].input.end(), row.begin());
     }
 
+    // The batch span adopts the head request's trace (a batch serves many
+    // traces; the head names the tree it renders under), and the TraceScope
+    // makes every span built inside forward_batch — per-layer nn spans,
+    // GEMM dispatch — a child of this batch span with zero changes at
+    // those sites.
     std::optional<telemetry::Span> span;
+    std::optional<telemetry::TraceScope> scope;
+    telemetry::TraceContext batch_ctx;
     if (telem) {
       span.emplace("serving/batch" + std::to_string(n) + "/replica" +
                        std::to_string(replica.index) +
                        (served == ServingTier::kFast ? "/fast" : ""),
-                   "serving");
+                   "serving", group.front().trace,
+                   "\"replica\":" + std::to_string(replica.index) +
+                       ",\"incarnation\":" + std::to_string(incarnation) +
+                       ",\"batch\":" + std::to_string(n) + ",\"tier\":\"" +
+                       (served == ServingTier::kFast ? "fast" : "exact") +
+                       "\"");
+      batch_ctx = span->context();
+      scope.emplace(batch_ctx);
     }
     const Clock::time_point start = Clock::now();
     const nn::BatchForwardTrace trace =
         replica.model.forward_batch(x, backend);
     const Clock::time_point done = Clock::now();
+    scope.reset();
     span.reset();
 
     const nn::Matrix& logits = trace.activations.back();
@@ -370,11 +426,13 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
         // caller; the request goes back for another attempt.
         retry_or_fail(std::move(group[b]),
                       "non-finite output from replica " +
-                          std::to_string(replica.index));
+                          std::to_string(replica.index),
+                      replica.index, incarnation);
         continue;
       }
       Response response;
       response.id = group[b].id;
+      response.trace_id = group[b].trace.trace_id;
       const auto row = logits.row(b);
       response.output.assign(row.begin(), row.end());
       response.batch_size = cut_size;
@@ -421,6 +479,56 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
         if (violated) {
           m.slo_violations.add(1);
         }
+        // Retro-dated per-request phases with the request's OWN trace id
+        // (the batch span carries the head's): queue wait measured from
+        // admission to the batch cut, then the service attempt.  Together
+        // with the retry events these render one request as a single
+        // causal tree in Perfetto.
+        telemetry::TraceBuffer& tb = telemetry::TraceBuffer::global();
+        telemetry::TraceEvent qe;
+        qe.name = "request/queue_wait";
+        qe.category = "serving";
+        qe.ts_us = tb.to_us(group[b].admitted);
+        qe.dur_us = response.timing.queue_wait_s * 1e6;
+        qe.trace_id = group[b].trace.trace_id;
+        qe.args = "\"id\":" + std::to_string(group[b].id) +
+                  ",\"attempt\":" + std::to_string(response.attempts);
+        tb.record(std::move(qe));
+        telemetry::TraceEvent se;
+        se.name = "request/serve";
+        se.category = "serving";
+        se.ts_us = tb.to_us(start);
+        se.dur_us = service_s * 1e6;
+        se.trace_id = group[b].trace.trace_id;
+        se.parent_id = batch_ctx.trace_id == group[b].trace.trace_id
+                           ? batch_ctx.span_id
+                           : 0;
+        se.args = "\"id\":" + std::to_string(group[b].id) +
+                  ",\"replica\":" + std::to_string(replica.index) +
+                  ",\"incarnation\":" + std::to_string(incarnation) +
+                  ",\"attempt\":" + std::to_string(response.attempts) +
+                  ",\"tier\":\"" +
+                  (served == ServingTier::kFast ? "fast" : "exact") + "\"";
+        tb.record(std::move(se));
+      }
+      if (flight_) {
+        FlightRecord rec;
+        rec.trace_id = group[b].trace.trace_id;
+        rec.request_id = group[b].id;
+        rec.outcome = "ok";
+        rec.tier = served;
+        rec.tier_fallback =
+            group[b].tier == ServingTier::kFast && served == ServingTier::kExact;
+        rec.attempts = response.attempts;
+        rec.replica = replica.index;
+        rec.incarnation = incarnation;
+        rec.batch_size = cut_size;
+        rec.slo_violated =
+            violated || group[b].deadline_violation_counted;
+        rec.deadline_missed = response.deadline_missed;
+        rec.attempt_log = std::move(group[b].attempt_log);
+        rec.timing = response.timing;
+        flight_->observe(std::move(rec));
       }
       group[b].promise.set_value(std::move(response));
     }
@@ -430,24 +538,29 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
     // member still burns one attempt — a request that keeps landing on
     // dying hardware must eventually resolve.
     for (Request& r : group) {
-      retry_or_fail(std::move(r), hf.what());
+      retry_or_fail(std::move(r), hf.what(), replica.index, incarnation);
     }
     return false;
   } catch (const std::exception& e) {
     for (Request& r : group) {
-      retry_or_fail(std::move(r), e.what());
+      retry_or_fail(std::move(r), e.what(), replica.index, incarnation);
     }
     return true;
   } catch (...) {
     for (Request& r : group) {
-      retry_or_fail(std::move(r), "unknown error");
+      retry_or_fail(std::move(r), "unknown error", replica.index, incarnation);
     }
     return true;
   }
 }
 
-void Server::retry_or_fail(Request&& r, const std::string& why) {
+void Server::retry_or_fail(Request&& r, const std::string& why, int replica,
+                           int incarnation) {
   ++r.attempts;
+  // The spent attempt joins the request's history either way: a kFailed
+  // response and a flight record both carry the full cross-incarnation
+  // hop list.
+  r.attempt_log.push_back(AttemptNote{replica, incarnation, why});
   if (r.attempts >= config_.max_attempts) {
     fail_request(std::move(r), why);
     return;
@@ -455,6 +568,21 @@ void Server::retry_or_fail(Request&& r, const std::string& why) {
   retries_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry::enabled()) {
     server_metrics().retries.add(1);
+    // The retry edge: an instant-like event on the request's trace naming
+    // the attempt that failed and where it failed.
+    telemetry::TraceBuffer& tb = telemetry::TraceBuffer::global();
+    telemetry::TraceEvent ev;
+    ev.name = "request/retry";
+    ev.category = "serving";
+    ev.ts_us = tb.now_us();
+    ev.dur_us = 0.0;
+    ev.trace_id = r.trace.trace_id;
+    ev.args = "\"id\":" + std::to_string(r.id) +
+              ",\"attempt\":" + std::to_string(r.attempts) +
+              ",\"replica\":" + std::to_string(replica) +
+              ",\"incarnation\":" + std::to_string(incarnation) +
+              ",\"error\":\"" + telemetry::json_escape(why) + "\"";
+    tb.record(std::move(ev));
   }
   queue_.requeue(std::move(r));
 }
@@ -463,6 +591,7 @@ void Server::fail_request(Request&& r, const std::string& why) {
   const Clock::time_point now = Clock::now();
   Response response;
   response.id = r.id;
+  response.trace_id = r.trace.trace_id;
   response.status = ResponseStatus::kFailed;
   response.attempts = r.attempts;
   response.error = why;
@@ -473,6 +602,18 @@ void Server::fail_request(Request&& r, const std::string& why) {
   failed_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry::enabled()) {
     server_metrics().failed.add(1);
+  }
+  if (flight_) {
+    FlightRecord rec;
+    rec.trace_id = r.trace.trace_id;
+    rec.request_id = r.id;
+    rec.outcome = "failed";
+    rec.tier = r.tier;
+    rec.attempts = r.attempts;
+    rec.deadline_missed = response.deadline_missed;
+    rec.attempt_log = std::move(r.attempt_log);
+    rec.timing = response.timing;
+    flight_->observe(std::move(rec));
   }
   r.promise.set_value(std::move(response));
 }
@@ -496,6 +637,9 @@ void Server::supervisor_loop() {
       const ReplicaState state =
           replica->state.load(std::memory_order_acquire);
       if (state == ReplicaState::kDead) {
+        // Postmortem first: the dump captures the ring as the death left
+        // it, before the restarted incarnation's traffic dilutes it.
+        flight_autodump("replica_death");
         if (config_.restart_dead_replicas && !queue_.closed() &&
             replica->incarnation.load(std::memory_order_relaxed) <
                 config_.max_restarts) {
@@ -702,6 +846,8 @@ void Server::drain() {
   fail_leftovers();
   drained_ = true;
   publish_slo_gauges(sojourn_.summary());
+  // Exit dump: the black box survives the process.
+  flight_autodump("exit");
 }
 
 ServerStats Server::stats() const {

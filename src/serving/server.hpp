@@ -59,6 +59,7 @@
 #include "core/photonic_backend.hpp"
 #include "core/quantized_backend.hpp"
 #include "nn/mlp.hpp"
+#include "serving/flight_recorder.hpp"
 #include "serving/request.hpp"
 #include "serving/request_queue.hpp"
 #include "serving/slo.hpp"
@@ -127,6 +128,11 @@ struct ServerConfig {
   /// or corrupt snapshot falls back to the current published weights (and
   /// counts a snapshot_restore_failure).
   std::string snapshot_path;
+  /// Black-box flight recorder (tail-based request retention + postmortem
+  /// dumps).  Disabled by default: the serving hot path then never touches
+  /// it.  With flight.dump_path set, the supervisor dumps on every replica
+  /// death and drain() dumps on exit.
+  FlightRecorderConfig flight;
 };
 
 /// Lifecycle of one replica worker, as the supervisor sees it.
@@ -234,6 +240,13 @@ class Server {
   [[nodiscard]] ServerStats stats() const;
   /// Per-replica lifecycle/heartbeat view (cheap, lock-free).
   [[nodiscard]] std::vector<ReplicaHealth> health() const;
+  /// The flight recorder, when ServerConfig::flight.enabled (else null).
+  /// Callers (chaos harness, serve_loop) may dump() it on demand — e.g.
+  /// when a chaos fault fires — in addition to the automatic
+  /// replica-death and drain dumps.
+  [[nodiscard]] FlightRecorder* flight_recorder() const {
+    return flight_.get();
+  }
   [[nodiscard]] const ServerConfig& config() const { return config_; }
   [[nodiscard]] int replicas() const { return static_cast<int>(replicas_.size()); }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
@@ -281,9 +294,18 @@ class Server {
                                  Clock::time_point formed,
                                  std::size_t cut_size);
   /// Requeues `r` for another attempt, or fulfils it as kFailed when the
-  /// attempt budget is spent.
-  void retry_or_fail(Request&& r, const std::string& why);
+  /// attempt budget is spent.  `replica`/`incarnation` name the attempt
+  /// that just failed (appended to the request's attempt log; -1/0 when no
+  /// replica was involved) — this is the retry edge the flight recorder
+  /// and trace tree preserve across incarnations.
+  void retry_or_fail(Request&& r, const std::string& why, int replica,
+                     int incarnation);
   void fail_request(Request&& r, const std::string& why);
+  /// Feeds one terminal outcome to the flight recorder (no-op when the
+  /// recorder is off).
+  void flight_observe_shed(std::uint64_t id, ServingTier tier);
+  /// Auto-dump helper: dumps to config_.flight.dump_path when set.
+  void flight_autodump(std::string_view reason);
   void heartbeat(Replica& replica) const;
   void supervisor_loop();
   void restart_replica(Replica& replica);
@@ -306,6 +328,7 @@ class Server {
   int input_dim_ = 0;
   RequestQueue queue_;
   std::vector<std::unique_ptr<Replica>> replicas_;
+  std::unique_ptr<FlightRecorder> flight_;  ///< null unless flight.enabled
 
   std::atomic<std::uint64_t> next_id_{0};
   std::atomic<std::uint64_t> submitted_{0};

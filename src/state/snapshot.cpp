@@ -32,16 +32,6 @@ constexpr std::uint32_t kTagTraining = fourcc('T', 'R', 'N', 'G');
 
 constexpr char kMagic[8] = {'T', 'R', 'I', 'D', 'S', 'N', 'A', 'P'};
 
-/// FNV-1a 64: tiny, dependency-free, and plenty to catch torn or
-/// bit-flipped files (this is an integrity check, not authentication).
-std::uint64_t fnv1a(std::string_view bytes) {
-  std::uint64_t h = 1469598103934665603ull;
-  for (const char c : bytes) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ull;
-  }
-  return h;
-}
 
 /// Little-endian byte-buffer writer.  All integers are written explicitly
 /// byte by byte so the format is identical across hosts.
@@ -329,6 +319,50 @@ double seconds_since(std::chrono::steady_clock::time_point t0) {
 
 }  // namespace
 
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : bytes) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  TRIDENT_REQUIRE(f != nullptr, "cannot open temp file for writing");
+  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  bool ok = written == bytes.size() && std::fflush(f) == 0;
+#if defined(__unix__) || defined(__APPLE__)
+  // fsync before rename: the rename must not become durable before the
+  // data it points at.
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    TRIDENT_REQUIRE(false, "atomic temp write failed");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    TRIDENT_REQUIRE(false, "atomic rename failed");
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Best-effort directory fsync so the rename itself is durable.
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int dirfd = ::open(dir.c_str(), O_RDONLY);
+  if (dirfd >= 0) {
+    ::fsync(dirfd);
+    ::close(dirfd);
+  }
+#endif
+}
+
 std::string Snapshot::serialize() const {
   Writer w;
   w.bytes(std::string_view(kMagic, sizeof(kMagic)));
@@ -343,7 +377,7 @@ std::string Snapshot::serialize() const {
   if (training.has_value()) {
     write_section(w, kTagTraining, encode_training(*training));
   }
-  const std::uint64_t checksum = fnv1a(w.str());
+  const std::uint64_t checksum = fnv1a64(w.str());
   w.u64(checksum);
   return std::move(w.str());
 }
@@ -355,7 +389,7 @@ Snapshot Snapshot::deserialize(std::string_view bytes) {
   // file must fail here, not as a confusing parse error downstream.
   const std::string_view body = bytes.substr(0, bytes.size() - 8);
   const std::uint64_t stored = Reader(bytes.substr(bytes.size() - 8)).u64();
-  TRIDENT_REQUIRE(fnv1a(body) == stored,
+  TRIDENT_REQUIRE(fnv1a64(body) == stored,
                   "snapshot checksum mismatch (corrupted file)");
 
   Reader r(body);
@@ -392,38 +426,7 @@ Snapshot Snapshot::deserialize(std::string_view bytes) {
 void Snapshot::save(const std::string& path) const {
   const auto t0 = std::chrono::steady_clock::now();
   const std::string bytes = serialize();
-  const std::string tmp = path + ".tmp";
-
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  TRIDENT_REQUIRE(f != nullptr, "cannot open snapshot temp file for writing");
-  const std::size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
-  bool ok = written == bytes.size() && std::fflush(f) == 0;
-#if defined(__unix__) || defined(__APPLE__)
-  // fsync before rename: the rename must not become durable before the
-  // data it points at.
-  ok = ok && ::fsync(::fileno(f)) == 0;
-#endif
-  ok = std::fclose(f) == 0 && ok;
-  if (!ok) {
-    std::remove(tmp.c_str());
-    TRIDENT_REQUIRE(false, "snapshot temp write failed");
-  }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
-    std::remove(tmp.c_str());
-    TRIDENT_REQUIRE(false, "snapshot rename failed");
-  }
-#if defined(__unix__) || defined(__APPLE__)
-  // Best-effort directory fsync so the rename itself is durable.
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos
-                              ? std::string(".")
-                              : path.substr(0, slash == 0 ? 1 : slash);
-  const int dirfd = ::open(dir.c_str(), O_RDONLY);
-  if (dirfd >= 0) {
-    ::fsync(dirfd);
-    ::close(dirfd);
-  }
-#endif
+  atomic_write_file(path, bytes);
   if (telemetry::enabled()) {
     StateMetrics& m = metrics();
     m.writes.add(1);

@@ -42,6 +42,20 @@ namespace trident::state {
 /// Bump on any incompatible layout change; readers reject other versions.
 constexpr std::uint32_t kSnapshotVersion = 1;
 
+/// FNV-1a 64 over `bytes` — the integrity hash every state/ artifact uses
+/// (snapshot trailer, flight-recorder dump header).  Tiny, dependency-free,
+/// and trivially re-implementable in the Python validators; an integrity
+/// check, not authentication.
+[[nodiscard]] std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Crash-safe whole-file write: `path.tmp` + fflush + fsync + rename over
+/// the target + best-effort directory fsync.  A crash at any point leaves
+/// either the previous complete file or the new complete file, never a
+/// torn one.  Throws trident::Error on any I/O failure (the temp file is
+/// removed).  This is the same path Snapshot::save uses; the serving
+/// flight recorder reuses it for postmortem dumps.
+void atomic_write_file(const std::string& path, std::string_view bytes);
+
 /// Logical model weights: enough to rebuild an nn::Mlp exactly.
 struct ModelState {
   std::vector<std::int32_t> layer_sizes;

@@ -117,6 +117,12 @@ ChromeTraceWriter::~ChromeTraceWriter() { finish(); }
 void ChromeTraceWriter::event(std::string_view name, std::string_view category,
                               double ts_us, double dur_us, int pid,
                               std::uint64_t tid) {
+  event(name, category, ts_us, dur_us, pid, tid, {});
+}
+
+void ChromeTraceWriter::event(std::string_view name, std::string_view category,
+                              double ts_us, double dur_us, int pid,
+                              std::uint64_t tid, std::string_view args_json) {
   if (!first_) {
     os_ << ',';
   }
@@ -126,7 +132,11 @@ void ChromeTraceWriter::event(std::string_view name, std::string_view category,
       << "\"ph\":\"X\","
       << "\"ts\":" << format_trace_us(ts_us) << ','
       << "\"dur\":" << format_trace_us(dur_us) << ','
-      << "\"pid\":" << pid << ",\"tid\":" << tid << '}';
+      << "\"pid\":" << pid << ",\"tid\":" << tid;
+  if (!args_json.empty()) {
+    os_ << ",\"args\":{" << args_json << '}';
+  }
+  os_ << '}';
 }
 
 void ChromeTraceWriter::finish() {
@@ -139,8 +149,25 @@ void ChromeTraceWriter::finish() {
 
 void write_chrome_trace(std::span<const TraceEvent> events, std::ostream& os) {
   ChromeTraceWriter writer(os);
+  std::string args;
   for (const TraceEvent& e : events) {
-    writer.event(e.name, e.category, e.ts_us, e.dur_us, 0, e.tid);
+    // Request-scoped correlation renders as Chrome-trace args so Perfetto
+    // shows one causal tree per trace id next to the thread tracks.
+    args.clear();
+    if (e.trace_id != 0) {
+      args += "\"trace\":" + std::to_string(e.trace_id);
+      args += ",\"span\":" + std::to_string(e.span_id);
+      if (e.parent_id != 0) {
+        args += ",\"parent\":" + std::to_string(e.parent_id);
+      }
+    }
+    if (!e.args.empty()) {
+      if (!args.empty()) {
+        args += ',';
+      }
+      args += e.args;
+    }
+    writer.event(e.name, e.category, e.ts_us, e.dur_us, 0, e.tid, args);
   }
   writer.finish();
 }

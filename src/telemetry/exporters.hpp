@@ -48,6 +48,13 @@ class ChromeTraceWriter {
   void event(std::string_view name, std::string_view category, double ts_us,
              double dur_us, int pid, std::uint64_t tid);
 
+  /// Same, with a Chrome-trace `args` object.  `args_json` is the object's
+  /// member list *without* the surrounding braces (already valid JSON, e.g.
+  /// `"trace":7,"replica":0`); empty emits no args key.
+  void event(std::string_view name, std::string_view category, double ts_us,
+             double dur_us, int pid, std::uint64_t tid,
+             std::string_view args_json);
+
   /// Closes the traceEvents array and the document (idempotent).
   void finish();
 

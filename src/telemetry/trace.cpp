@@ -1,9 +1,79 @@
 #include "telemetry/trace.hpp"
 
 #include <algorithm>
+#include <shared_mutex>
+#include <unordered_set>
 #include <utility>
 
+#include "telemetry/metrics.hpp"
+
 namespace trident::telemetry {
+
+namespace {
+
+/// Monotonic span-id source.  Ids are only consumed by traced spans, so an
+/// untraced workload never touches this cache line.
+std::atomic<std::uint64_t> g_next_span_id{0};
+
+[[nodiscard]] std::uint64_t next_span_id() {
+  return g_next_span_id.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+/// The calling thread's installed trace context ({0,0} = none).
+thread_local TraceContext t_current_trace{};
+
+/// Registry mirror of TraceBuffer::dropped(): lifetime-monotonic, so the
+/// exporters surface buffer overflow without polling the buffer.
+Counter& dropped_counter() {
+  static Counter& c = MetricsRegistry::global().counter(
+      "trident_trace_dropped_total",
+      "trace events dropped at the per-thread buffer cap");
+  return c;
+}
+
+/// Transparent hash/equality so interning looks up by string_view without
+/// allocating a temporary std::string per span.
+struct TransparentHash {
+  using is_transparent = void;
+  [[nodiscard]] std::size_t operator()(std::string_view s) const {
+    return std::hash<std::string_view>{}(s);
+  }
+};
+struct TransparentEq {
+  using is_transparent = void;
+  [[nodiscard]] bool operator()(std::string_view a, std::string_view b) const {
+    return a == b;
+  }
+};
+
+}  // namespace
+
+const char* intern_category(std::string_view category) {
+  // Leaked, like the registry: spans on pool workers may intern during
+  // static destruction.  unordered_set gives stable element addresses
+  // (rehash moves buckets, not nodes), so the returned c_str() pointers
+  // live as long as the process.
+  static std::shared_mutex* mutex = new std::shared_mutex();
+  static auto* table =
+      new std::unordered_set<std::string, TransparentHash, TransparentEq>();
+  {
+    std::shared_lock lock(*mutex);
+    const auto it = table->find(category);
+    if (it != table->end()) {
+      return it->c_str();
+    }
+  }
+  std::unique_lock lock(*mutex);
+  return table->emplace(category).first->c_str();
+}
+
+TraceContext current_trace() { return t_current_trace; }
+
+TraceScope::TraceScope(TraceContext ctx) : previous_(t_current_trace) {
+  t_current_trace = ctx;
+}
+
+TraceScope::~TraceScope() { t_current_trace = previous_; }
 
 TraceBuffer::TraceBuffer() : epoch_(std::chrono::steady_clock::now()) {}
 
@@ -27,14 +97,25 @@ TraceBuffer::ThreadChunk& TraceBuffer::local_chunk() {
 
 void TraceBuffer::record(std::string name, const char* category, double ts_us,
                          double dur_us) {
+  TraceEvent event;
+  event.name = std::move(name);
+  event.category = category;
+  event.ts_us = ts_us;
+  event.dur_us = dur_us;
+  record(std::move(event));
+}
+
+void TraceBuffer::record(TraceEvent event) {
+  event.category = intern_category(event.category);
   ThreadChunk& chunk = local_chunk();
+  event.tid = chunk.tid;
   std::lock_guard lock(chunk.mutex);
   if (chunk.events.size() >= thread_capacity_.load(std::memory_order_relaxed)) {
     dropped_.fetch_add(1, std::memory_order_relaxed);
+    dropped_counter().add(1);
     return;
   }
-  chunk.events.push_back(
-      {std::move(name), category, ts_us, dur_us, chunk.tid});
+  chunk.events.push_back(std::move(event));
 }
 
 std::vector<TraceEvent> TraceBuffer::snapshot() const {
@@ -90,18 +171,30 @@ void TraceBuffer::set_thread_capacity(std::size_t cap) {
   thread_capacity_.store(cap, std::memory_order_relaxed);
 }
 
-double TraceBuffer::now_us() const {
-  return std::chrono::duration<double, std::micro>(
-             std::chrono::steady_clock::now() - epoch_)
-      .count();
+double TraceBuffer::now_us() const { return to_us(std::chrono::steady_clock::now()); }
+
+double TraceBuffer::to_us(std::chrono::steady_clock::time_point tp) const {
+  const double us =
+      std::chrono::duration<double, std::micro>(tp - epoch_).count();
+  return us < 0.0 ? 0.0 : us;
 }
 
-Span::Span(std::string name, const char* category) {
+Span::Span(std::string name, const char* category)
+    : Span(std::move(name), category, current_trace()) {}
+
+Span::Span(std::string name, const char* category, TraceContext parent,
+           std::string args) {
   if (!enabled()) {
     return;
   }
   name_ = std::move(name);
-  category_ = category;
+  category_ = intern_category(category);
+  args_ = std::move(args);
+  if (parent.active()) {
+    trace_id_ = parent.trace_id;
+    parent_id_ = parent.span_id;
+    span_id_ = next_span_id();
+  }
   start_us_ = TraceBuffer::global().now_us();
   active_ = true;
 }
@@ -110,7 +203,11 @@ Span::Span(Span&& other) noexcept
     : name_(std::move(other.name_)),
       category_(other.category_),
       start_us_(other.start_us_),
-      active_(other.active_) {
+      active_(other.active_),
+      trace_id_(other.trace_id_),
+      span_id_(other.span_id_),
+      parent_id_(other.parent_id_),
+      args_(std::move(other.args_)) {
   other.active_ = false;
 }
 
@@ -121,9 +218,19 @@ Span& Span::operator=(Span&& other) noexcept {
     category_ = other.category_;
     start_us_ = other.start_us_;
     active_ = other.active_;
+    trace_id_ = other.trace_id_;
+    span_id_ = other.span_id_;
+    parent_id_ = other.parent_id_;
+    args_ = std::move(other.args_);
     other.active_ = false;
   }
   return *this;
+}
+
+void Span::set_args(std::string args) {
+  if (active_) {
+    args_ = std::move(args);
+  }
 }
 
 void Span::end() {
@@ -132,8 +239,16 @@ void Span::end() {
   }
   active_ = false;
   TraceBuffer& buffer = TraceBuffer::global();
-  const double dur = buffer.now_us() - start_us_;
-  buffer.record(std::move(name_), category_, start_us_, dur);
+  TraceEvent event;
+  event.name = std::move(name_);
+  event.category = category_;  // already interned at construction
+  event.ts_us = start_us_;
+  event.dur_us = buffer.now_us() - start_us_;
+  event.trace_id = trace_id_;
+  event.span_id = span_id_;
+  event.parent_id = parent_id_;
+  event.args = std::move(args_);
+  buffer.record(std::move(event));
 }
 
 }  // namespace trident::telemetry

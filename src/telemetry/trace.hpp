@@ -1,5 +1,5 @@
 // Live trace spans: RAII scoped timers feeding a per-thread in-memory
-// trace buffer.
+// trace buffer, with optional request-scoped trace correlation.
 //
 // A Span measures one scope on the steady clock and, at destruction,
 // appends a complete event to the calling thread's buffer.  Buffers are
@@ -16,6 +16,15 @@
 //     span.emplace("forward/layer" + std::to_string(k), "mlp");
 //   }
 //
+// Request-scoped tracing: a TraceContext {trace id, span id} names one
+// causal tree.  The serving runtime mints a trace id per admitted request;
+// a TraceScope installs a context as the calling thread's *current* trace,
+// and every Span built underneath inherits it automatically — so the
+// per-layer nn spans and the GEMM dispatch spans nest under the serving
+// batch span with zero changes at those sites.  Trace/span/parent ids are
+// exported as Chrome-trace `args`, so one request renders as a single
+// causal tree in Perfetto next to the existing thread tracks.
+//
 // The exported form (exporters.hpp) is Chrome-tracing JSON, the same
 // format core/trace_export.cpp writes for ArraySim schedules — so a live
 // training run opens in Perfetto next to an offline array schedule.
@@ -27,19 +36,66 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "telemetry/telemetry.hpp"
 
 namespace trident::telemetry {
 
+/// Identity of one causal trace: which tree an event belongs to
+/// (`trace_id`, 0 = untraced) and the span acting as parent for children
+/// created underneath (`span_id`).
+struct TraceContext {
+  std::uint64_t trace_id = 0;
+  std::uint64_t span_id = 0;
+
+  [[nodiscard]] bool active() const { return trace_id != 0; }
+  friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// Returns a pointer to the process-lifetime interned copy of `category`.
+/// Idempotent and thread-safe; equal strings intern to the same pointer.
+/// This is what makes TraceEvent::category safe to snapshot: a caller may
+/// build the category dynamically and free it immediately — the event
+/// stores the interned copy, never the caller's buffer.
+[[nodiscard]] const char* intern_category(std::string_view category);
+
+/// The calling thread's current trace context ({0,0} when none is
+/// installed).  Spans inherit this as their parent by default.
+[[nodiscard]] TraceContext current_trace();
+
+/// RAII: installs `ctx` as the calling thread's current trace context and
+/// restores the previous one on destruction.  Cheap (two thread-local
+/// stores); used by the serving runtime around each micro-batch so the
+/// nn/GEMM spans underneath attach to the batch's trace.
+class TraceScope {
+ public:
+  explicit TraceScope(TraceContext ctx);
+  TraceScope(const TraceScope&) = delete;
+  TraceScope& operator=(const TraceScope&) = delete;
+  ~TraceScope();
+
+ private:
+  TraceContext previous_;
+};
+
 /// One completed span ("X" event in the Chrome trace format).
 struct TraceEvent {
   std::string name;
-  const char* category = "app";  ///< static string supplied by the site
-  double ts_us = 0.0;            ///< start, µs since the trace epoch
+  /// Interned category string (see intern_category); callers constructing
+  /// events directly may pass any string — record() interns it.
+  const char* category = "app";
+  double ts_us = 0.0;  ///< start, µs since the trace epoch
   double dur_us = 0.0;
-  std::uint32_t tid = 0;         ///< small per-thread id (first-use order)
+  std::uint32_t tid = 0;  ///< small per-thread id (first-use order)
+  // --- request-scoped correlation (all 0 / empty when untraced) ----------
+  std::uint64_t trace_id = 0;  ///< causal tree this event belongs to
+  std::uint64_t span_id = 0;   ///< this event's own id within the trace
+  std::uint64_t parent_id = 0;  ///< parent span id (0 = trace root)
+  /// Extra Chrome-trace `args` members, as a pre-rendered JSON fragment
+  /// without braces (e.g. `"replica":0,"attempt":2`).  Empty = none.
+  std::string args;
 };
 
 /// Process-wide collector of per-thread span buffers.
@@ -55,6 +111,12 @@ class TraceBuffer {
   void record(std::string name, const char* category, double ts_us,
               double dur_us);
 
+  /// Full-fidelity append: interns `event.category`, stamps the calling
+  /// thread's tid, and buffers the event (same capacity/drop rules).  This
+  /// is how the serving runtime records retro-dated request phases (queue
+  /// wait measured at the batch cut) with trace correlation attached.
+  void record(TraceEvent event);
+
   /// Copy of all recorded events, sorted by start time.
   [[nodiscard]] std::vector<TraceEvent> snapshot() const;
 
@@ -65,6 +127,8 @@ class TraceBuffer {
   void clear();
 
   /// Events dropped due to the per-thread cap since the last clear().
+  /// (`trident_trace_dropped_total` mirrors the lifetime total — it is a
+  /// monotonic counter and does not rewind on clear().)
   [[nodiscard]] std::uint64_t dropped() const;
 
   /// Per-thread buffer cap (default 1M events ≈ 64 MB worst case).
@@ -72,6 +136,10 @@ class TraceBuffer {
 
   /// Microseconds since the trace epoch (first use of the buffer).
   [[nodiscard]] double now_us() const;
+
+  /// Converts a steady-clock time point to µs since the trace epoch
+  /// (clamped at 0 for pre-epoch stamps).
+  [[nodiscard]] double to_us(std::chrono::steady_clock::time_point tp) const;
 
  private:
   struct ThreadChunk {
@@ -97,9 +165,16 @@ class Span {
   /// Inert span (records nothing).
   Span() = default;
 
-  /// Starts timing immediately when telemetry is enabled.  `category` must
-  /// be a static string (it is stored by pointer).
+  /// Starts timing immediately when telemetry is enabled.  `category` is
+  /// interned (a dynamically built string is safe).  The span inherits the
+  /// calling thread's current trace context as its parent.
   explicit Span(std::string name, const char* category = "app");
+
+  /// Starts timing with an explicit parent context (overrides the thread's
+  /// current trace).  `args` is a pre-rendered JSON fragment without
+  /// braces, attached to the exported event.
+  Span(std::string name, const char* category, TraceContext parent,
+       std::string args = {});
 
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -112,11 +187,24 @@ class Span {
 
   [[nodiscard]] bool active() const { return active_; }
 
+  /// This span's own context (its trace id + span id) — what children
+  /// should use as their parent.  {0,0} when the span is untraced.
+  [[nodiscard]] TraceContext context() const {
+    return {trace_id_, span_id_};
+  }
+
+  /// Replaces the exported args fragment (no-op on an inert span).
+  void set_args(std::string args);
+
  private:
   std::string name_;
   const char* category_ = "app";
   double start_us_ = 0.0;
   bool active_ = false;
+  std::uint64_t trace_id_ = 0;
+  std::uint64_t span_id_ = 0;
+  std::uint64_t parent_id_ = 0;
+  std::string args_;
 };
 
 }  // namespace trident::telemetry

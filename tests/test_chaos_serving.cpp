@@ -16,6 +16,7 @@
 #include <fstream>
 #include <future>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -27,6 +28,7 @@
 #include "core/photonic_backend.hpp"
 #include "core/quantized_backend.hpp"
 #include "nn/mlp.hpp"
+#include "serving/flight_recorder.hpp"
 #include "serving/load_gen.hpp"
 #include "serving/server.hpp"
 #include "state/snapshot.hpp"
@@ -713,6 +715,98 @@ TEST(ChaosRestore, CorruptSnapshotDegradesToPublishedWeights) {
                                             &injected, /*ledger_books=*/true);
   EXPECT_TRUE(report.ok()) << report.to_string();
   std::filesystem::remove(snap_path);
+}
+
+// --- flight-recorder postmortem (observability acceptance) ------------------
+
+/// One deterministic kill-and-heal pass: a single replica whose first
+/// incarnation is scripted to die at op 4 (the third single-request
+/// batch's first matmul), driven by sequential submit-and-wait so the
+/// batch contents — and therefore the fault plan's op stream — are
+/// identical run to run.  Returns the bytes of the exit flight dump.
+std::string deterministic_soak_dump(const std::string& dump_path,
+                                    std::uint64_t seed) {
+  FaultPlanConfig plan_cfg;
+  plan_cfg.horizon_ops = 4096;
+  plan_cfg.deaths = {{0, 4}};
+  auto plan = std::make_shared<FaultPlan>(plan_cfg, seed);
+  auto log = std::make_shared<InjectionLog>();
+
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 1;  // one request per batch: deterministic op stream
+  cfg.max_wait = 200us;
+  cfg.max_attempts = 5;
+  cfg.supervision_interval = 200us;
+  cfg.backend_factory = chaos_photonic_factory(plan, log);
+  cfg.flight.enabled = true;
+  cfg.flight.sample_every = 1;
+  cfg.flight.deterministic = true;
+  cfg.flight.dump_path = dump_path;
+  Server server(test_model(), cfg);
+
+  constexpr int kRequests = 8;
+  for (int i = 0; i < kRequests; ++i) {
+    auto fut =
+        server.submit(seeded_input(seed + static_cast<std::uint64_t>(i)));
+    EXPECT_TRUE(fut.has_value());
+    if (fut.has_value()) {
+      // Waiting on each response before the next submit is what pins the
+      // schedule: one request in flight at a time, ids in program order,
+      // and the scripted kill lands on the same request every run.
+      const Response r = fut->get();
+      EXPECT_EQ(r.status, ResponseStatus::kOk);
+    }
+  }
+  server.drain();
+
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.replica_deaths, 1u);
+  EXPECT_GE(stats.replica_restarts, 1u);
+  EXPECT_EQ(stats.completed, static_cast<std::uint64_t>(kRequests));
+  EXPECT_EQ(log->snapshot().deaths, 1u);
+
+  std::ifstream in(dump_path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "drain wrote no flight dump at " << dump_path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+TEST(ChaosSoak, FlightDumpCapturesKillAndHealByteForByte) {
+  reset_telemetry();
+  const std::uint64_t seed = soak_seed();
+  const std::string path_a =
+      (std::filesystem::temp_directory_path() / "trident_flight_a.json")
+          .string();
+  const std::string path_b =
+      (std::filesystem::temp_directory_path() / "trident_flight_b.json")
+          .string();
+
+  const std::string dump_a = deterministic_soak_dump(path_a, seed);
+  const std::string dump_b = deterministic_soak_dump(path_b, seed);
+  ASSERT_FALSE(dump_a.empty());
+  // Reproducibility: the same seed regenerates the postmortem byte for
+  // byte (deterministic mode drops wall-clock timings and orders records
+  // by trace id; the kill schedule and request ids are seed-pinned).
+  EXPECT_EQ(dump_a, dump_b)
+      << "flight dump is not reproducible from seed " << seed;
+
+  // The artifact is atomic + checksummed, and shows the full causal story:
+  // the request that was on the dying incarnation carries a retry edge
+  // hopping from incarnation 0 to incarnation 1.
+  const serving::FlightDumpInfo info =
+      serving::FlightRecorder::verify(dump_a);
+  EXPECT_NE(info.payload.find("\"reason\":\"exit\""), std::string::npos);
+  EXPECT_NE(info.payload.find("\"deterministic\":true"), std::string::npos);
+  EXPECT_NE(info.payload.find("\"keep\":\"retried\""), std::string::npos);
+  EXPECT_NE(info.payload.find("\"attempts\":2"), std::string::npos);
+  EXPECT_NE(info.payload.find("\"incarnation\":0"), std::string::npos);
+  EXPECT_NE(info.payload.find("\"incarnation\":1"), std::string::npos);
+  EXPECT_NE(info.payload.find("replica death"), std::string::npos);
+
+  std::filesystem::remove(path_a);
+  std::filesystem::remove(path_b);
 }
 
 }  // namespace

@@ -1,0 +1,209 @@
+// Flight recorder: tail-based keep rules, bounded-ring eviction, the
+// checksummed two-line dump format, and deterministic reproducibility.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "serving/flight_recorder.hpp"
+#include "state/snapshot.hpp"
+
+namespace trident::serving {
+namespace {
+
+FlightRecord ok_record(std::uint64_t request_id) {
+  FlightRecord r;
+  r.request_id = request_id;
+  r.trace_id = request_id + 1;
+  r.outcome = "ok";
+  r.attempts = 1;
+  r.replica = 0;
+  return r;
+}
+
+FlightRecorderConfig base_config() {
+  FlightRecorderConfig cfg;
+  cfg.enabled = true;
+  cfg.capacity = 1024;
+  cfg.sample_every = 0;  // isolate the anomaly rules
+  return cfg;
+}
+
+// --- keep rules -------------------------------------------------------------
+
+TEST(FlightRecorderTest, HealthyUnsampledTrafficIsDiscarded) {
+  FlightRecorder rec(base_config());
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.observe(ok_record(i));
+  }
+  EXPECT_EQ(rec.observed(), 10u);
+  EXPECT_EQ(rec.kept(), 0u);
+  EXPECT_EQ(rec.size(), 0u);
+}
+
+TEST(FlightRecorderTest, AnomalyRulesKeepInPriorityOrder) {
+  FlightRecorder rec(base_config());
+  FlightRecord failed = ok_record(0);
+  failed.outcome = "failed";
+  failed.slo_violated = true;  // failed outranks slo_violated
+  rec.observe(failed);
+  FlightRecord shed = ok_record(1);
+  shed.outcome = "shed";
+  rec.observe(shed);
+  FlightRecord slo = ok_record(2);
+  slo.slo_violated = true;
+  rec.observe(slo);
+  FlightRecord deadline = ok_record(3);
+  deadline.deadline_missed = true;
+  rec.observe(deadline);
+  FlightRecord retried = ok_record(4);
+  retried.attempts = 2;
+  rec.observe(retried);
+  FlightRecord hopped = ok_record(5);
+  hopped.attempt_log.push_back({0, 1, "replica death"});
+  rec.observe(hopped);
+
+  const auto records = rec.records();
+  ASSERT_EQ(records.size(), 6u);
+  EXPECT_EQ(records[0].keep_reason, "failed");
+  EXPECT_EQ(records[1].keep_reason, "shed");
+  EXPECT_EQ(records[2].keep_reason, "slo_violated");
+  EXPECT_EQ(records[3].keep_reason, "deadline_missed");
+  EXPECT_EQ(records[4].keep_reason, "retried");
+  EXPECT_EQ(records[5].keep_reason, "retried");
+}
+
+TEST(FlightRecorderTest, SlowThresholdAndSamplingKeepHealthyTraffic) {
+  FlightRecorderConfig cfg = base_config();
+  cfg.sample_every = 4;
+  cfg.slow_threshold_s = 0.1;
+  FlightRecorder rec(cfg);
+  FlightRecord slow = ok_record(10);  // trace 11: not in the 1-in-4 sample
+  slow.timing.sojourn_s = 0.25;
+  rec.observe(slow);
+  rec.observe(ok_record(7));   // trace 8 % 4 == 0 -> sampled
+  rec.observe(ok_record(8));   // trace 9: healthy, fast, unsampled
+  const auto records = rec.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].keep_reason, "slow");
+  EXPECT_EQ(records[1].keep_reason, "sampled");
+  EXPECT_EQ(rec.observed(), 3u);
+}
+
+TEST(FlightRecorderTest, RingEvictsOldestAndCountsTheLoss) {
+  FlightRecorderConfig cfg = base_config();
+  cfg.capacity = 3;
+  cfg.sample_every = 1;  // keep everything
+  FlightRecorder rec(cfg);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    rec.observe(ok_record(i));
+  }
+  EXPECT_EQ(rec.size(), 3u);
+  EXPECT_EQ(rec.kept(), 5u);
+  EXPECT_EQ(rec.evicted(), 2u);
+  const auto records = rec.records();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records.front().request_id, 2u);  // 0 and 1 evicted
+  EXPECT_EQ(records.back().request_id, 4u);
+}
+
+TEST(FlightRecorderTest, RejectsZeroCapacity) {
+  FlightRecorderConfig cfg = base_config();
+  cfg.capacity = 0;
+  EXPECT_THROW(FlightRecorder rec(cfg), Error);
+}
+
+// --- dump format ------------------------------------------------------------
+
+TEST(FlightRecorderTest, RenderVerifyRoundTrip) {
+  FlightRecorderConfig cfg = base_config();
+  cfg.sample_every = 1;
+  FlightRecorder rec(cfg);
+  FlightRecord r = ok_record(3);
+  r.attempt_log.push_back({1, 0, "induced \"fault\""});
+  r.timing.sojourn_s = 0.5;
+  rec.observe(r);
+
+  const std::string bytes = rec.render("chaos_fault");
+  const FlightDumpInfo info = FlightRecorder::verify(bytes);
+  EXPECT_EQ(info.payload_bytes, info.payload.size());
+  EXPECT_EQ(state::fnv1a64(info.payload), info.checksum);
+  EXPECT_NE(info.payload.find("\"flight_recorder_version\":1"),
+            std::string::npos);
+  EXPECT_NE(info.payload.find("\"reason\":\"chaos_fault\""),
+            std::string::npos);
+  EXPECT_NE(info.payload.find("\"trace\":4"), std::string::npos);
+  EXPECT_NE(info.payload.find("\"error\":\"induced \\\"fault\\\"\""),
+            std::string::npos);
+  EXPECT_NE(info.payload.find("\"timing\":{"), std::string::npos);
+}
+
+TEST(FlightRecorderTest, VerifyRejectsCorruption) {
+  FlightRecorderConfig cfg = base_config();
+  cfg.sample_every = 1;
+  FlightRecorder rec(cfg);
+  rec.observe(ok_record(0));
+  std::string bytes = rec.render("exit");
+
+  // Flip one payload byte: the checksum must catch it.
+  std::string corrupted = bytes;
+  corrupted[corrupted.find("\"outcome\":\"ok\"") + 12] = 'x';
+  EXPECT_THROW((void)FlightRecorder::verify(corrupted), Error);
+  // Truncated payload.
+  EXPECT_THROW((void)FlightRecorder::verify(bytes.substr(0, bytes.size() - 5)),
+               Error);
+  // Missing header entirely.
+  EXPECT_THROW((void)FlightRecorder::verify("not a dump"), Error);
+  // The pristine artifact still verifies.
+  EXPECT_NO_THROW((void)FlightRecorder::verify(bytes));
+}
+
+TEST(FlightRecorderTest, DumpWritesVerifiableFileAtomically) {
+  FlightRecorderConfig cfg = base_config();
+  cfg.sample_every = 1;
+  FlightRecorder rec(cfg);
+  rec.observe(ok_record(0));
+  const std::string path = ::testing::TempDir() + "flight_dump_test.json";
+  rec.dump(path, "replica_death");
+  EXPECT_EQ(rec.dumps(), 1u);
+
+  std::ifstream in(path, std::ios::binary);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const FlightDumpInfo info = FlightRecorder::verify(buf.str());
+  EXPECT_NE(info.payload.find("\"reason\":\"replica_death\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorderTest, DeterministicDumpsAreByteIdentical) {
+  FlightRecorderConfig cfg = base_config();
+  cfg.sample_every = 1;
+  cfg.deterministic = true;
+  FlightRecorder a(cfg);
+  FlightRecorder b(cfg);
+  // Same records, different arrival interleavings and wall-clock timings:
+  // deterministic mode sorts by trace id and drops timings, so the dumps
+  // must match byte for byte.
+  for (std::uint64_t i = 0; i < 8; ++i) {
+    FlightRecord r = ok_record(i);
+    r.timing.sojourn_s = 0.001 * static_cast<double>(i);
+    a.observe(r);
+  }
+  for (std::uint64_t i = 8; i-- > 0;) {
+    FlightRecord r = ok_record(i);
+    r.timing.sojourn_s = 0.002 * static_cast<double>(i);
+    b.observe(r);
+  }
+  const std::string dump_a = a.render("exit");
+  const std::string dump_b = b.render("exit");
+  EXPECT_EQ(dump_a, dump_b);
+  EXPECT_EQ(dump_a.find("\"timing\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace trident::serving

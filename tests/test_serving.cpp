@@ -770,6 +770,92 @@ TEST(Server, FastTierSurvivesHotSwap) {
   EXPECT_EQ(server.stats().failed, 0u);
 }
 
+// --- request-scoped tracing + flight recorder --------------------------------
+
+TEST(Server, ResponsesCarryMintedTraceIds) {
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  cfg.max_batch = 4;
+  cfg.max_wait = std::chrono::microseconds(100);
+  Server server(test_model(), cfg);
+  const auto inputs = seeded_inputs(12);
+  std::vector<std::future<Response>> futures;
+  for (const auto& x : inputs) {
+    auto fut = server.submit(x);
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  server.drain();
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const Response r = futures[i].get();
+    // Trace identity is minted at admission as id + 1, so 0 stays free to
+    // mean "untraced" and the mapping is deterministic for tooling.
+    EXPECT_EQ(r.trace_id, r.id + 1);
+  }
+}
+
+TEST(Server, FlightRecorderSamplesHealthyTraffic) {
+  ServerConfig cfg;
+  cfg.replicas = 1;
+  cfg.max_batch = 4;
+  cfg.max_wait = std::chrono::microseconds(100);
+  cfg.flight.enabled = true;
+  cfg.flight.sample_every = 1;  // keep every request
+  cfg.flight.deterministic = true;
+  Server server(test_model(), cfg);
+  ASSERT_NE(server.flight_recorder(), nullptr);
+
+  const auto inputs = seeded_inputs(10);
+  std::vector<std::future<Response>> futures;
+  for (const auto& x : inputs) {
+    auto fut = server.submit(x);
+    ASSERT_TRUE(fut.has_value());
+    futures.push_back(std::move(*fut));
+  }
+  for (auto& f : futures) {
+    (void)f.get();
+  }
+  server.drain();
+
+  const FlightRecorder& flight = *server.flight_recorder();
+  EXPECT_EQ(flight.observed(), 10u);
+  EXPECT_EQ(flight.kept(), 10u);
+  for (const FlightRecord& rec : flight.records()) {
+    EXPECT_EQ(rec.outcome, "ok");
+    EXPECT_EQ(rec.keep_reason, "sampled");
+    EXPECT_EQ(rec.trace_id, rec.request_id + 1);
+    EXPECT_GE(rec.batch_size, 1u);
+    EXPECT_EQ(rec.attempts, 1);
+  }
+  // The deterministic ring renders as a verifiable artifact.
+  const FlightDumpInfo info =
+      FlightRecorder::verify(flight.render("exit"));
+  EXPECT_NE(info.payload.find("\"deterministic\":true"), std::string::npos);
+}
+
+TEST(Server, FlightRecorderKeepsShedRequests) {
+  ServerConfig cfg;
+  cfg.flight.enabled = true;
+  cfg.flight.sample_every = 0;  // anomalies only
+  Server server(test_model(), cfg);
+  server.drain();
+  // Post-drain submissions are shed at the door — anomalous, so kept even
+  // with sampling off.
+  EXPECT_FALSE(server.submit(nn::Vector(8, 0.5)).has_value());
+  const FlightRecorder& flight = *server.flight_recorder();
+  ASSERT_EQ(flight.size(), 1u);
+  const FlightRecord rec = flight.records().front();
+  EXPECT_EQ(rec.outcome, "shed");
+  EXPECT_EQ(rec.keep_reason, "shed");
+  EXPECT_EQ(rec.trace_id, rec.request_id + 1);
+}
+
+TEST(Server, FlightRecorderDisabledByDefault) {
+  Server server(test_model(), ServerConfig{});
+  EXPECT_EQ(server.flight_recorder(), nullptr);
+  server.drain();
+}
+
 // --- load generator ---------------------------------------------------------
 
 TEST(LoadGen, OffersEverythingAndMeasuresSojourn) {

@@ -264,6 +264,137 @@ TEST_F(TelemetryTest, CapacityDropsAreCounted) {
   EXPECT_EQ(buf.dropped(), 0u);
 }
 
+// --- request-scoped tracing -------------------------------------------------
+
+TEST_F(TelemetryTest, InternCategoryIsIdempotentAndOutlivesCaller) {
+  const char* a;
+  {
+    // Dynamically built, immediately destroyed — the interned copy must
+    // not dangle.
+    std::string transient = std::string("serving/") + "batch";
+    a = intern_category(transient);
+  }
+  const char* b = intern_category(std::string("serving/") + "batch");
+  EXPECT_EQ(a, b);  // same pointer, not just equal content
+  EXPECT_STREQ(a, "serving/batch");
+  EXPECT_NE(intern_category("serving/other"), a);
+}
+
+TEST_F(TelemetryTest, CurrentTraceDefaultsInactive) {
+  EXPECT_FALSE(current_trace().active());
+  EXPECT_EQ(current_trace(), (TraceContext{}));
+}
+
+TEST_F(TelemetryTest, TraceScopeInstallsAndRestoresContext) {
+  const TraceContext outer{7, 3};
+  {
+    TraceScope a(outer);
+    EXPECT_EQ(current_trace(), outer);
+    {
+      TraceScope b(TraceContext{9, 1});
+      EXPECT_EQ(current_trace(), (TraceContext{9, 1}));
+    }
+    EXPECT_EQ(current_trace(), outer);
+  }
+  EXPECT_FALSE(current_trace().active());
+}
+
+TEST_F(TelemetryTest, SpanInheritsCurrentTraceAsParent) {
+  TRIDENT_SKIP_IF_TELEMETRY_COMPILED_OUT();
+  set_enabled(true);
+  std::uint64_t root_span = 0;
+  {
+    Span root("request", "serving", TraceContext{42, 0});
+    ASSERT_TRUE(root.context().active());
+    root_span = root.context().span_id;
+    EXPECT_NE(root_span, 0u);
+    TraceScope scope(root.context());
+    Span child("layer0", "mlp");  // default ctor: inherits thread context
+    EXPECT_EQ(child.context().trace_id, 42u);
+    EXPECT_NE(child.context().span_id, root_span);
+  }
+  const auto events = TraceBuffer::global().snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  for (const auto& e : events) {
+    EXPECT_EQ(e.trace_id, 42u);
+    if (e.name == "layer0") {
+      EXPECT_EQ(e.parent_id, root_span);
+    } else {
+      EXPECT_EQ(e.parent_id, 0u);  // trace root
+    }
+  }
+}
+
+TEST_F(TelemetryTest, UntracedSpanAllocatesNoSpanId) {
+  TRIDENT_SKIP_IF_TELEMETRY_COMPILED_OUT();
+  set_enabled(true);
+  {
+    Span s("plain", "test");
+    EXPECT_FALSE(s.context().active());
+  }
+  const auto events = TraceBuffer::global().snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].trace_id, 0u);
+  EXPECT_EQ(events[0].span_id, 0u);
+  EXPECT_EQ(events[0].parent_id, 0u);
+}
+
+TEST_F(TelemetryTest, RecordEventInternsCategoryAndStampsTid) {
+  TRIDENT_SKIP_IF_TELEMETRY_COMPILED_OUT();
+  TraceBuffer& buf = TraceBuffer::global();
+  TraceEvent ev;
+  ev.name = "request/queue_wait";
+  {
+    const std::string transient = "serving";
+    ev.category = transient.c_str();
+    ev.trace_id = 5;
+    ev.args = "\"id\":4";
+    buf.record(std::move(ev));
+  }
+  const auto events = buf.snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].category, intern_category("serving"));  // same pointer
+  EXPECT_EQ(events[0].trace_id, 5u);
+  EXPECT_EQ(events[0].args, "\"id\":4");
+}
+
+TEST_F(TelemetryTest, DroppedCounterMirrorsMultiThreadPressure) {
+  TRIDENT_SKIP_IF_TELEMETRY_COMPILED_OUT();
+  TraceBuffer& buf = TraceBuffer::global();
+  const MetricsSnapshot before = MetricsRegistry::global().snapshot();
+  const std::uint64_t counter_before =
+      before.counter_value("trident_trace_dropped_total");
+  buf.set_thread_capacity(4);
+  set_enabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([] {
+      for (int i = 0; i < 100; ++i) {
+        Span s("pressure", "test");
+      }
+    });
+  }
+  for (auto& t : threads) {
+    t.join();
+  }
+  set_enabled(false);
+  // Each fresh thread buffers its first 4 events and drops the other 96.
+  EXPECT_EQ(buf.size(), 16u);
+  EXPECT_EQ(buf.dropped(), 384u);
+  const MetricsSnapshot after = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(after.counter_value("trident_trace_dropped_total") -
+                counter_before,
+            384u);
+  buf.set_thread_capacity(1u << 20);
+  buf.clear();
+  // clear() rewinds the buffer's own tally but never the lifetime counter.
+  EXPECT_EQ(buf.dropped(), 0u);
+  const MetricsSnapshot final_snap = MetricsRegistry::global().snapshot();
+  EXPECT_EQ(final_snap.counter_value("trident_trace_dropped_total") -
+                counter_before,
+            384u);
+}
+
 // --- chrome trace exporter --------------------------------------------------
 
 TEST_F(TelemetryTest, EmptyTraceIsExactMinimalDocument) {
@@ -304,6 +435,40 @@ TEST_F(TelemetryTest, FormatTraceUsTrimsAndClamps) {
   EXPECT_EQ(format_trace_us(0.001), "0.001");
   EXPECT_EQ(format_trace_us(-1.0), "0");  // clock misuse clamps
   EXPECT_EQ(format_trace_us(std::nan("")), "0");
+}
+
+TEST_F(TelemetryTest, ChromeTraceExportsTraceCorrelationArgs) {
+  std::vector<TraceEvent> events;
+  TraceEvent traced;
+  traced.name = "serve";
+  traced.category = "serving";
+  traced.ts_us = 1.0;
+  traced.dur_us = 2.0;
+  traced.trace_id = 7;
+  traced.span_id = 12;
+  traced.parent_id = 3;
+  traced.args = "\"replica\":1,\"attempt\":2";
+  events.push_back(traced);
+  TraceEvent root = traced;
+  root.name = "request";
+  root.parent_id = 0;  // trace root: parent key omitted entirely
+  root.args.clear();
+  events.push_back(root);
+  TraceEvent untraced;
+  untraced.name = "gemm";
+  untraced.category = "kernel";
+  events.push_back(untraced);
+  const std::string json = chrome_trace_json(events);
+  EXPECT_NE(json.find("\"args\":{\"trace\":7,\"span\":12,\"parent\":3,"
+                      "\"replica\":1,\"attempt\":2}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"trace\":7,\"span\":12}"),
+            std::string::npos);
+  EXPECT_EQ(json.find("\"parent\":0"), std::string::npos);
+  // The untraced event carries no args object at all.
+  const auto gemm = json.find("\"gemm\"");
+  ASSERT_NE(gemm, std::string::npos);
+  EXPECT_EQ(json.find("\"args\"", gemm), std::string::npos);
 }
 
 // --- prometheus exporter ----------------------------------------------------
@@ -373,6 +538,42 @@ TEST_F(TelemetryTest, PrometheusOmitsPercentilesForEmptyHistogram) {
   EXPECT_EQ(text.find("lat_p50_seconds"), std::string::npos);
   EXPECT_EQ(text.find("quantile"), std::string::npos);
   EXPECT_NE(text.find("lat_seconds_count 0\n"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SingleBucketMassQuantileGaugesCollapseToSample) {
+  // All mass in one bucket with min == max: the companion percentile
+  // gauges must all report that single value, not a bucket edge.
+  MetricsSnapshot snap;
+  HistogramSample h;
+  h.name = "lat_seconds";
+  h.data.bounds = {10.0};
+  h.data.counts = {4, 0};
+  h.data.count = 4;
+  h.data.sum = 13.0;
+  h.data.min = 3.25;
+  h.data.max = 3.25;
+  snap.histograms.push_back(h);
+  const std::string text = prometheus_text(snap);
+  EXPECT_NE(text.find("lat_p50_seconds 3.25\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_p90_seconds 3.25\n"), std::string::npos);
+  EXPECT_NE(text.find("lat_p99_seconds 3.25\n"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, SnapshotIsDecoupledFromResetValuesMidExport) {
+  // A snapshot taken before reset_values() must export the old values
+  // unchanged (deep copy, not a live view), and a snapshot taken after
+  // must show zeros.
+  MetricsRegistry& reg = MetricsRegistry::global();
+  Counter& c = reg.counter("test_mid_export_total");
+  c.reset();
+  c.add(9);
+  const MetricsSnapshot before = reg.snapshot();
+  reg.reset_values();
+  const std::string text = prometheus_text(before);
+  EXPECT_NE(text.find("test_mid_export_total 9\n"), std::string::npos);
+  const std::string json = json_snapshot(before);
+  EXPECT_NE(json.find("\"test_mid_export_total\":9"), std::string::npos);
+  EXPECT_EQ(reg.snapshot().counter_value("test_mid_export_total"), 0u);
 }
 
 TEST_F(TelemetryTest, RegisteredGaugeOwnsPercentileNameOverEstimate) {
