@@ -7,10 +7,17 @@ the int8-over-double multiplier for every shape both kernels ran, and
 exits nonzero unless the multiplier at the acceptance shape (256x256,
 batch 32 by default) reaches the target (2.0x by default).
 
+With --fleet the artifact is a `bench/fleet_serving --json-out` file
+instead: the gate is the queueing-theory cross-check — per-shard M/M/1
+split-oracle error for the consistent-hash policy and the M/M/k
+central-queue error for least-loaded — at every simulated node count.
+
 Stdlib-only.  Usage:
     summarize_bench.py BENCH_micro_kernels.json [--min 2.0]
         [--shape 256/32] [--double BM_MatmulBlocked]
         [--int8 BM_Int8GemmBlocked]
+    summarize_bench.py --fleet BENCH_fleet_serving.json
+        [--hash-max-err 0.10] [--mmk-max-err 0.25] [--min-nodes 10]
 """
 
 import argparse
@@ -28,6 +35,58 @@ def load_times(doc):
     return times
 
 
+def summarize_fleet(doc, artifact, hash_max_err, mmk_max_err, min_nodes):
+    """Gate the fleet_serving M/M/k / split-M/M/1 cross-check.
+
+    Every row must hold its analytic error bound; rows at or above
+    `min_nodes` are the acceptance line (the ISSUE criterion is "passes at
+    >= 10 nodes"), smaller rows are reported but not gated.
+    """
+    if doc.get("benchmark") != "fleet_serving":
+        print("%s is not a fleet_serving artifact (benchmark=%r)"
+              % (artifact, doc.get("benchmark")), file=sys.stderr)
+        return 1
+    rows = doc.get("rows", [])
+    if not rows:
+        print("%s has no rows" % artifact, file=sys.stderr)
+        return 1
+
+    print("fleet_serving cross-check (utilization %.2f, service %.1f us):"
+          % (doc.get("utilization", float("nan")),
+             doc.get("service_mean_s", float("nan")) * 1e6))
+    status = 0
+    gated = 0
+    for row in rows:
+        nodes = row["nodes"]
+        hash_err = row["hash"]["rel_err"]
+        included = row["hash"]["included_fraction"]
+        mmk_err = row["least_loaded"]["rel_err"]
+        gate = nodes >= min_nodes
+        ok = hash_err <= hash_max_err and included >= 0.8 \
+            and mmk_err <= mmk_max_err
+        flag = "OK " if ok else ("FAIL" if gate else "warn")
+        print("  %4d nodes  %9.3g req/s   hash err %6.2f%% "
+              "(%.0f%% shards included)   M/M/k err %6.2f%%   %s"
+              % (nodes, row["arrival_rate"], hash_err * 100, included * 100,
+                 mmk_err * 100, flag))
+        if gate:
+            gated += 1
+            if not ok:
+                status = 1
+    if gated == 0:
+        print("no rows at >= %d nodes to gate" % min_nodes, file=sys.stderr)
+        return 1
+    if status:
+        print("FAIL: analytic cross-check exceeded its error bounds "
+              "(hash <= %.0f%%, M/M/k <= %.0f%%)"
+              % (hash_max_err * 100, mmk_max_err * 100), file=sys.stderr)
+    else:
+        print("OK: %d gated row(s) within bounds (hash <= %.0f%%, "
+              "M/M/k <= %.0f%%)"
+              % (gated, hash_max_err * 100, mmk_max_err * 100))
+    return status
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("artifact", help="micro_kernels --json-out file")
@@ -41,10 +100,24 @@ def main(argv=None):
     parser.add_argument("--int8", dest="int8_bench",
                         default="BM_Int8GemmBlocked",
                         help="int8 benchmark name")
+    parser.add_argument("--fleet", action="store_true",
+                        help="treat the artifact as bench/fleet_serving "
+                             "--json-out and gate the M/M/k cross-check")
+    parser.add_argument("--hash-max-err", type=float, default=0.10,
+                        help="[--fleet] max split-M/M/1 relative error")
+    parser.add_argument("--mmk-max-err", type=float, default=0.25,
+                        help="[--fleet] max M/M/k relative error")
+    parser.add_argument("--min-nodes", type=int, default=10,
+                        help="[--fleet] gate rows at or above this size")
     args = parser.parse_args(argv)
 
     with open(args.artifact, "r", encoding="utf-8") as f:
         doc = json.load(f)
+
+    if args.fleet:
+        return summarize_fleet(doc, args.artifact, args.hash_max_err,
+                               args.mmk_max_err, args.min_nodes)
+
     times = load_times(doc)
 
     double_prefix = args.double_bench + "/"

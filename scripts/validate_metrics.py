@@ -176,10 +176,53 @@ def check_flight_dump(path):
     return doc
 
 
+def _check_request_books(counters, prefix, path):
+    """Admission-book inequalities for one submitted/accepted/shed/
+    completed/failed counter family.
+
+    Snapshots may be taken mid-run (a submit can be counted before its
+    accept/shed lands, and accepted requests may still be in flight), so
+    the at-rest equalities relax to one-sided bounds here; the exact
+    fleet-wide equalities are enforced post-drain by the C++ invariant
+    sweep (chaos::check_fleet_soak).
+    """
+    names = {
+        field: "%s_requests_%s_total" % (prefix, field)
+        for field in ("submitted", "accepted", "shed", "completed", "failed")
+    }
+    if not any(name in counters for name in names.values()):
+        return
+    submitted, accepted, shed, completed, failed = (
+        counters.get(name, 0) for name in names.values())
+    if accepted + shed > submitted:
+        raise ValidationError(
+            "%s:counters" % path,
+            "%s books: %d accepted + %d shed > %d submitted"
+            % (prefix, accepted, shed, submitted))
+    if completed + failed > accepted:
+        raise ValidationError(
+            "%s:counters" % path,
+            "%s books: %d completed + %d failed > %d accepted"
+            % (prefix, completed, failed, accepted))
+
+
 def check_snapshot_invariants(doc, path):
     """Cross-field checks the schema grammar cannot express."""
     counters = doc.get("counters", {})
     gauges = doc.get("gauges", {})
+    # Fleet front-door and per-tenant admission books.  Tenant families are
+    # discovered by name: trident_tenant_<name>_requests_submitted_total.
+    _check_request_books(counters, "trident_fleet", path)
+    suffix = "_requests_submitted_total"
+    for name in counters:
+        if name.startswith("trident_tenant_") and name.endswith(suffix):
+            _check_request_books(counters, name[:-len(suffix)], path)
+    if "trident_fleet_nodes" in gauges:
+        nodes = gauges["trident_fleet_nodes"]
+        if nodes is None or nodes < 0:
+            raise ValidationError(
+                "%s:gauges" % path,
+                "trident_fleet_nodes must be >= 0, got %r" % nodes)
     if "trident_health_state" in gauges:
         state = gauges["trident_health_state"]
         if state not in (0, 1, 2):

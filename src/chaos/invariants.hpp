@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "chaos/chaos_backend.hpp"
+#include "fleet/fleet.hpp"
 #include "serving/load_gen.hpp"
 #include "serving/server.hpp"
 #include "telemetry/metrics.hpp"
@@ -279,6 +280,193 @@ inline void expect_le(InvariantReport& report, std::uint64_t lhs,
     report.merge(check_ledger_conservation(stats));
   }
   report.merge(check_queue_bounds(server));
+  return report;
+}
+
+/// Fleet-wide request conservation across node churn.  The same laws as
+/// check_server_conservation, lifted over the whole cluster: the front
+/// door's books must balance, and must agree with the SUM of every node's
+/// books — live nodes plus the folds of retired and dead ones.  This is
+/// the property node death, drain-retire and autoscaling must not break:
+/// a request accepted by a node that later died must still appear as
+/// exactly one completion or one explicit failure.
+[[nodiscard]] inline InvariantReport check_fleet_conservation(
+    const fleet::FleetStats& stats, bool drained = true) {
+  InvariantReport report;
+  detail::expect_eq(report, stats.submitted, stats.accepted + stats.shed,
+                    "fleet: submitted == accepted + shed");
+  detail::expect_eq(report, stats.shed,
+                    stats.shed_no_node + stats.shed_class + stats.shed_node,
+                    "fleet: shed == no_node + class + node sheds");
+  if (drained) {
+    detail::expect_eq(report, stats.accepted, stats.completed + stats.failed,
+                      "fleet: accepted == completed + failed (drained)");
+    // Node-book agreement.  The fleet's hook-driven counters and the summed
+    // node counters must be two views of the same events.  (Node-level
+    // `submitted` is NOT compared: a submit refused by a draining corpse
+    // increments the node's submitted without a matching node-side
+    // accepted/shed — the fleet reroutes it — so only the terminal books
+    // are comparable.)
+    detail::expect_eq(report, stats.node_accepted, stats.accepted,
+                      "fleet: sum(node accepted) == fleet accepted");
+    detail::expect_eq(report, stats.node_completed, stats.completed,
+                      "fleet: sum(node completed) == fleet completed");
+    detail::expect_eq(report, stats.node_failed, stats.failed,
+                      "fleet: sum(node failed) == fleet failed");
+    detail::expect_eq(report, stats.node_shed, stats.shed_node,
+                      "fleet: sum(node shed) == fleet node-admission sheds");
+    detail::expect_eq(report, stats.sojourn.count, stats.completed,
+                      "fleet: sojourn samples == completed");
+  } else {
+    detail::expect_le(report, stats.completed + stats.failed, stats.accepted,
+                      "fleet: completed + failed <= accepted (serving)");
+  }
+  return report;
+}
+
+/// Per-tenant partition of the fleet books: every front-door event belongs
+/// to exactly one tenant, so the tenant counters must sum back to the
+/// fleet totals, and each tenant's own books must balance like a miniature
+/// fleet.
+[[nodiscard]] inline InvariantReport check_fleet_tenant_conservation(
+    const std::vector<fleet::TenantStats>& tenants,
+    const fleet::FleetStats& stats, bool drained = true) {
+  InvariantReport report;
+  std::uint64_t submitted = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t shed = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t failed = 0;
+  for (const fleet::TenantStats& t : tenants) {
+    submitted += t.submitted;
+    accepted += t.accepted;
+    shed += t.shed;
+    completed += t.completed;
+    failed += t.failed;
+    detail::expect_eq(report, t.submitted, t.accepted + t.shed,
+                      "tenant " + t.name + ": submitted == accepted + shed");
+    if (drained) {
+      detail::expect_eq(report, t.accepted, t.completed + t.failed,
+                        "tenant " + t.name +
+                            ": accepted == completed + failed (drained)");
+      detail::expect_eq(report, t.sojourn.count, t.completed,
+                        "tenant " + t.name + ": sojourn samples == completed");
+    }
+  }
+  detail::expect_eq(report, submitted, stats.submitted,
+                    "sum(tenant submitted) == fleet submitted");
+  detail::expect_eq(report, accepted, stats.accepted,
+                    "sum(tenant accepted) == fleet accepted");
+  detail::expect_eq(report, shed, stats.shed,
+                    "sum(tenant shed) == fleet shed");
+  if (drained) {
+    detail::expect_eq(report, completed, stats.completed,
+                      "sum(tenant completed) == fleet completed");
+    detail::expect_eq(report, failed, stats.failed,
+                      "sum(tenant failed) == fleet failed");
+  }
+  return report;
+}
+
+/// Fleet energy-book conservation: the drained fleet ledger (live folds +
+/// retired folds, across every node death and autoscale) must equal the
+/// process-global trident_ledger_* mirror.  Same preconditions as
+/// check_ledger_conservation — registry reset at experiment start, and the
+/// fleet's backends are the only ones that ran since.  No-op when
+/// telemetry is off.
+[[nodiscard]] inline InvariantReport check_fleet_ledger_conservation(
+    const fleet::FleetStats& stats) {
+  InvariantReport report;
+  if (!telemetry::enabled()) {
+    return report;
+  }
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  detail::expect_eq(report, stats.ledger.weight_writes,
+                    snap.counter_value("trident_ledger_weight_writes_total"),
+                    "fleet ledger weight_writes == "
+                    "trident_ledger_weight_writes_total");
+  detail::expect_eq(report, stats.ledger.program_events,
+                    snap.counter_value("trident_ledger_program_events_total"),
+                    "fleet ledger program_events == "
+                    "trident_ledger_program_events_total");
+  detail::expect_eq(report, stats.ledger.symbols,
+                    snap.counter_value("trident_ledger_symbols_total"),
+                    "fleet ledger symbols == trident_ledger_symbols_total");
+  detail::expect_eq(report, stats.ledger.macs,
+                    snap.counter_value("trident_ledger_macs_total"),
+                    "fleet ledger macs == trident_ledger_macs_total");
+  detail::expect_eq(report, stats.ledger.activations,
+                    snap.counter_value("trident_ledger_activations_total"),
+                    "fleet ledger activations == "
+                    "trident_ledger_activations_total");
+  return report;
+}
+
+/// Fleet telemetry double-entry: the fleet's own counters against their
+/// trident_fleet_* registry twins.  Preconditions as check_telemetry_mirror
+/// (registry reset at start, one fleet since); no-op when telemetry is off.
+[[nodiscard]] inline InvariantReport check_fleet_telemetry_mirror(
+    const fleet::FleetStats& stats) {
+  InvariantReport report;
+  if (!telemetry::enabled()) {
+    return report;
+  }
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  detail::expect_eq(
+      report, stats.submitted,
+      snap.counter_value("trident_fleet_requests_submitted_total"),
+      "fleet submitted == trident_fleet_requests_submitted_total");
+  detail::expect_eq(
+      report, stats.accepted,
+      snap.counter_value("trident_fleet_requests_accepted_total"),
+      "fleet accepted == trident_fleet_requests_accepted_total");
+  detail::expect_eq(report, stats.shed,
+                    snap.counter_value("trident_fleet_requests_shed_total"),
+                    "fleet shed == trident_fleet_requests_shed_total");
+  detail::expect_eq(
+      report, stats.completed,
+      snap.counter_value("trident_fleet_requests_completed_total"),
+      "fleet completed == trident_fleet_requests_completed_total");
+  detail::expect_eq(report, stats.failed,
+                    snap.counter_value("trident_fleet_requests_failed_total"),
+                    "fleet failed == trident_fleet_requests_failed_total");
+  detail::expect_eq(report, stats.node_spawns,
+                    snap.counter_value("trident_fleet_node_spawns_total"),
+                    "fleet node_spawns == trident_fleet_node_spawns_total");
+  detail::expect_eq(report, stats.node_retires,
+                    snap.counter_value("trident_fleet_node_retires_total"),
+                    "fleet node_retires == trident_fleet_node_retires_total");
+  detail::expect_eq(report, stats.node_deaths,
+                    snap.counter_value("trident_fleet_node_deaths_total"),
+                    "fleet node_deaths == trident_fleet_node_deaths_total");
+  detail::expect_eq(report, stats.reroutes,
+                    snap.counter_value("trident_fleet_reroutes_total"),
+                    "fleet reroutes == trident_fleet_reroutes_total");
+  detail::expect_eq(report, stats.scale_ups,
+                    snap.counter_value("trident_fleet_scale_ups_total"),
+                    "fleet scale_ups == trident_fleet_scale_ups_total");
+  detail::expect_eq(report, stats.scale_downs,
+                    snap.counter_value("trident_fleet_scale_downs_total"),
+                    "fleet scale_downs == trident_fleet_scale_downs_total");
+  return report;
+}
+
+/// The full post-drain sweep for a fleet soak: request conservation,
+/// tenant partition, telemetry mirror, and (opt-in, same caveat as
+/// check_soak) the fleet-wide energy books.
+[[nodiscard]] inline InvariantReport check_fleet_soak(
+    const fleet::FleetStats& stats,
+    const std::vector<fleet::TenantStats>& tenants,
+    bool ledger_books = false) {
+  InvariantReport report = check_fleet_conservation(stats, /*drained=*/true);
+  report.merge(check_fleet_tenant_conservation(tenants, stats,
+                                               /*drained=*/true));
+  report.merge(check_fleet_telemetry_mirror(stats));
+  if (ledger_books) {
+    report.merge(check_fleet_ledger_conservation(stats));
+  }
   return report;
 }
 

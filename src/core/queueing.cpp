@@ -87,4 +87,41 @@ QueueingResult simulate_service(Time service_time,
   return result;
 }
 
+MmkResult analytic_mmk(Time service_mean, int k, double arrival_rate) {
+  TRIDENT_REQUIRE(service_mean.s() > 0.0, "service time must be positive");
+  TRIDENT_REQUIRE(k >= 1, "need at least one server");
+  TRIDENT_REQUIRE(arrival_rate > 0.0, "arrival rate must be positive");
+  const double mu = 1.0 / service_mean.s();
+  const double a = arrival_rate / mu;  // offered load in erlangs
+  const double rho = a / static_cast<double>(k);
+  TRIDENT_REQUIRE(rho < 1.0, "M/M/k requires lambda < k*mu (stable queue)");
+
+  // Erlang-B recurrence: B(0, a) = 1; B(j, a) = a·B(j−1)/(j + a·B(j−1)).
+  // Each step stays in (0, 1], so the computation is stable for any k.
+  double b = 1.0;
+  for (int j = 1; j <= k; ++j) {
+    b = a * b / (static_cast<double>(j) + a * b);
+  }
+  // Erlang C from Erlang B: C = B / (1 − ρ·(1 − B)).
+  const double c = b / (1.0 - rho * (1.0 - b));
+
+  MmkResult result;
+  result.servers = k;
+  result.arrival_rate = arrival_rate;
+  result.utilization = rho;
+  result.erlang_c = c;
+  result.mean_wait =
+      Time::seconds(c / (static_cast<double>(k) * mu - arrival_rate));
+  result.mean_sojourn = Time::seconds(result.mean_wait.s() + 1.0 / mu);
+  return result;
+}
+
+Time mm1_mean_sojourn(Time service_mean, double arrival_rate) {
+  TRIDENT_REQUIRE(service_mean.s() > 0.0, "service time must be positive");
+  const double mu = 1.0 / service_mean.s();
+  TRIDENT_REQUIRE(arrival_rate >= 0.0 && arrival_rate < mu,
+                  "M/M/1 requires 0 <= lambda < mu");
+  return Time::seconds(1.0 / (mu - arrival_rate));
+}
+
 }  // namespace trident::core

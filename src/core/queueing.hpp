@@ -57,4 +57,34 @@ struct QueueingResult {
 [[nodiscard]] QueueingResult simulate_service(Time service_time,
                                               const QueueingConfig& config = {});
 
+/// Closed-form M/M/k (Erlang-C) fleet model: Poisson arrivals at rate
+/// `arrival_rate` offered to `k` exponential servers of mean service time
+/// `service_mean`, drawn from ONE shared queue.  This is the fleet-serving
+/// analogue of the M/D/1 anchor in `simulate_service`: a cluster router
+/// with a perfect least-loaded view approaches this bound from above
+/// (join-shortest-queue with per-node queues can never beat the central
+/// queue), while hash routing decomposes into independent per-node M/M/1s
+/// instead — both cross-checks `bench/fleet_serving` runs against the real
+/// Router.
+struct MmkResult {
+  int servers = 0;
+  double arrival_rate = 0.0;    ///< λ, requests/s
+  double utilization = 0.0;     ///< ρ = λ / (k·μ)
+  double erlang_c = 0.0;        ///< P(wait > 0), the Erlang-C probability
+  Time mean_wait;               ///< E[W_q] = C · 1/(kμ − λ)
+  Time mean_sojourn;            ///< E[W_q] + 1/μ
+};
+
+/// Evaluates the M/M/k closed form.  Requires k ≥ 1 and λ < k·μ (a stable
+/// queue).  The Erlang-C probability is computed through the numerically
+/// stable Erlang-B recurrence, so k up to the thousands is exact in
+/// doubles — no factorials.
+[[nodiscard]] MmkResult analytic_mmk(Time service_mean, int k,
+                                     double arrival_rate);
+
+/// Degenerate single-server form: M/M/1 mean sojourn 1/(μ − λ).  The
+/// per-node cross-check for hash-routed fleets (a Poisson stream thinned
+/// onto one node is still Poisson).
+[[nodiscard]] Time mm1_mean_sojourn(Time service_mean, double arrival_rate);
+
 }  // namespace trident::core

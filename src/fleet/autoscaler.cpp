@@ -1,0 +1,62 @@
+#include "fleet/autoscaler.hpp"
+
+#include "common/error.hpp"
+
+namespace trident::fleet {
+
+Autoscaler::Autoscaler(const AutoscalerConfig& config) : config_(config) {
+  TRIDENT_REQUIRE(config.up_streak >= 1, "up_streak must be at least 1");
+  TRIDENT_REQUIRE(config.down_streak >= 1, "down_streak must be at least 1");
+  TRIDENT_REQUIRE(config.hold_s >= 0.0, "hold_s must be nonnegative");
+}
+
+ScaleDecision Autoscaler::evaluate(const ScaleSample& sample) {
+  ++stats_.samples;
+
+  const bool hot =
+      sample.slo_burn >= config_.up_burn || sample.shed_burn >= config_.up_burn ||
+      sample.mean_depth >= config_.up_depth ||
+      (config_.up_p99_s > 0.0 && sample.p99_s >= config_.up_p99_s);
+  const bool cold = sample.slo_burn < config_.down_burn &&
+                    sample.shed_burn < config_.down_burn &&
+                    sample.mean_depth < config_.down_depth;
+
+  // Hot and cold are mutually exclusive by construction when the config is
+  // sane (up thresholds above down thresholds); hot wins if they overlap.
+  if (hot) {
+    ++hot_streak_;
+    cold_streak_ = 0;
+  } else if (cold) {
+    ++cold_streak_;
+    hot_streak_ = 0;
+  } else {
+    hot_streak_ = 0;
+    cold_streak_ = 0;
+  }
+
+  const bool cooling = sample.t_s - last_action_s_ < config_.hold_s;
+
+  if (hot_streak_ >= config_.up_streak) {
+    if (cooling) {
+      ++stats_.held_by_cooldown;
+      return ScaleDecision::kHold;
+    }
+    hot_streak_ = 0;
+    last_action_s_ = sample.t_s;
+    ++stats_.scale_ups;
+    return ScaleDecision::kScaleUp;
+  }
+  if (cold_streak_ >= config_.down_streak) {
+    if (cooling) {
+      ++stats_.held_by_cooldown;
+      return ScaleDecision::kHold;
+    }
+    cold_streak_ = 0;
+    last_action_s_ = sample.t_s;
+    ++stats_.scale_downs;
+    return ScaleDecision::kScaleDown;
+  }
+  return ScaleDecision::kHold;
+}
+
+}  // namespace trident::fleet

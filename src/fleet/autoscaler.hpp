@@ -1,0 +1,102 @@
+// Telemetry-driven fleet autoscaling.
+//
+// The Autoscaler is a pure decision engine, deliberately split from the
+// Fleet that acts on its decisions: `evaluate` consumes one telemetry
+// sample (burn rates in the HealthMonitor's sense, the fleet-mean queue
+// depth gauge, and the sliding p99) and returns hold / scale-up /
+// scale-down.  No threads, no clock reads — the same design that makes
+// HealthMonitor and the Router testable with synthetic inputs applies
+// here, and the unit tests drive the full state machine from a script.
+//
+// The state machine guards against the two classic autoscaler failure
+// modes:
+//
+//   flapping     Scaling reacts to streaks, not single samples: a breach
+//                must persist for `up_streak` consecutive samples before
+//                a scale-up fires (and `down_streak` quiet samples before
+//                a scale-down), and every action starts a cooldown of
+//                `hold_s` during which further actions are suppressed.
+//                Scale-down needs a longer streak than scale-up because
+//                the cost asymmetry is real: a late scale-up burns SLO,
+//                a late scale-down burns only energy.
+//
+//   runaway      Decisions are clamped to [min_nodes, max_nodes] by the
+//                Fleet, and the cooldown means at most one node joins or
+//                leaves per hold window, so a pathological signal cannot
+//                double the fleet in one tick.
+#pragma once
+
+#include <cstdint>
+
+namespace trident::fleet {
+
+/// One telemetry sample for the autoscaler (fleet-aggregated).
+struct ScaleSample {
+  double t_s = 0.0;         ///< sample time, caller's monotonic scale
+  double slo_burn = 0.0;    ///< SLO-violation burn rate (1.0 = on budget)
+  double shed_burn = 0.0;   ///< shed-rate burn (1.0 = spending the budget)
+  double mean_depth = 0.0;  ///< fleet-mean queue depth gauge
+  double p99_s = 0.0;       ///< sliding p99 sojourn, seconds (0 = unknown)
+};
+
+struct AutoscalerConfig {
+  /// Scale-up triggers: any one breached counts the sample as hot.
+  double up_burn = 2.0;        ///< slo/shed burn at or above this is hot
+  double up_depth = 8.0;       ///< mean queue depth at or above this is hot
+  double up_p99_s = 0.0;       ///< p99 at or above this is hot (0 disables)
+  /// Scale-down triggers: all must hold for the sample to count as cold.
+  double down_burn = 0.5;      ///< slo/shed burn strictly below this
+  double down_depth = 1.0;     ///< mean depth strictly below this
+  /// Streak lengths (consecutive samples) before acting.
+  int up_streak = 2;
+  int down_streak = 5;
+  /// Cooldown after any action; samples inside it update streaks but
+  /// cannot trigger.
+  double hold_s = 2.0;
+};
+
+/// Decision for one sample.
+enum class ScaleDecision {
+  kHold,
+  kScaleUp,
+  kScaleDown,
+};
+
+[[nodiscard]] inline const char* to_string(ScaleDecision d) {
+  switch (d) {
+    case ScaleDecision::kScaleUp:
+      return "scale_up";
+    case ScaleDecision::kScaleDown:
+      return "scale_down";
+    default:
+      return "hold";
+  }
+}
+
+struct AutoscalerStats {
+  std::uint64_t samples = 0;
+  std::uint64_t scale_ups = 0;
+  std::uint64_t scale_downs = 0;
+  std::uint64_t held_by_cooldown = 0;  ///< streak met but cooldown active
+};
+
+class Autoscaler {
+ public:
+  explicit Autoscaler(const AutoscalerConfig& config = {});
+
+  /// Classifies one sample and advances the state machine.  Samples must
+  /// arrive in nondecreasing `t_s` order.
+  [[nodiscard]] ScaleDecision evaluate(const ScaleSample& sample);
+
+  [[nodiscard]] AutoscalerStats stats() const { return stats_; }
+  [[nodiscard]] AutoscalerConfig config() const { return config_; }
+
+ private:
+  AutoscalerConfig config_;
+  AutoscalerStats stats_;
+  int hot_streak_ = 0;
+  int cold_streak_ = 0;
+  double last_action_s_ = -1e300;  // effectively "never"
+};
+
+}  // namespace trident::fleet

@@ -1,0 +1,227 @@
+#include "fleet/router.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace trident::fleet {
+
+namespace {
+
+// splitmix64 finalizer — the same mixing the Rng::split tree uses, applied
+// here as a standalone hash so ring points and tenant keys scatter
+// uniformly regardless of how structured the inputs are.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+ConsistentHashRing::ConsistentHashRing(int vnodes) : vnodes_(vnodes) {
+  TRIDENT_REQUIRE(vnodes >= 1, "ring needs at least one vnode per node");
+}
+
+void ConsistentHashRing::add_node(int node) {
+  if (contains(node)) {
+    return;
+  }
+  for (int v = 0; v < vnodes_; ++v) {
+    // Mix node and vnode through two rounds so (1, 2) and (2, 1) land
+    // nowhere near each other.
+    const std::uint64_t point =
+        mix64(mix64(static_cast<std::uint64_t>(node) + 1) +
+              static_cast<std::uint64_t>(v));
+    ring_.emplace(point, node);
+  }
+  ++nodes_;
+}
+
+void ConsistentHashRing::remove_node(int node) {
+  if (!contains(node)) {
+    return;
+  }
+  for (auto it = ring_.begin(); it != ring_.end();) {
+    it = it->second == node ? ring_.erase(it) : std::next(it);
+  }
+  --nodes_;
+}
+
+bool ConsistentHashRing::contains(int node) const {
+  for (const auto& [point, owner] : ring_) {
+    if (owner == node) {
+      return true;
+    }
+  }
+  return false;
+}
+
+int ConsistentHashRing::route(std::uint64_t key) const {
+  if (ring_.empty()) {
+    return -1;
+  }
+  auto it = ring_.lower_bound(mix64(key));
+  if (it == ring_.end()) {
+    it = ring_.begin();  // wrap around
+  }
+  return it->second;
+}
+
+std::uint64_t ConsistentHashRing::key_of(const std::string& name) {
+  // FNV-1a folded through the splitmix finalizer; never returns 0 so the
+  // "untenanted" sentinel key stays reserved.
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (const char c : name) {
+    h = (h ^ static_cast<unsigned char>(c)) * 0x100000001B3ULL;
+  }
+  const std::uint64_t key = mix64(h);
+  return key == 0 ? 1 : key;
+}
+
+Router::Router(const RouterConfig& config)
+    : config_(config), ring_(config.vnodes) {
+  TRIDENT_REQUIRE(config.heartbeat_timeout_s > 0.0,
+                  "heartbeat timeout must be positive");
+}
+
+void Router::add_node(int node, double now_s) {
+  std::lock_guard lock(mutex_);
+  ring_.add_node(node);
+  view_[node] = NodeView{0, now_s};
+}
+
+void Router::remove_node(int node) {
+  std::lock_guard lock(mutex_);
+  ring_.remove_node(node);
+  view_.erase(node);
+}
+
+void Router::heartbeat(int node, int queue_depth, double now_s) {
+  std::lock_guard lock(mutex_);
+  if (partitioned_) {
+    return;  // frozen view: the partition fault swallows heartbeats
+  }
+  auto it = view_.find(node);
+  if (it == view_.end()) {
+    return;  // heartbeat from a node already removed — late and harmless
+  }
+  it->second.depth = queue_depth;
+  it->second.last_heartbeat_s = now_s;
+}
+
+bool Router::fresh(const NodeView& view, double now_s) const {
+  return now_s - view.last_heartbeat_s <= config_.heartbeat_timeout_s;
+}
+
+Placement Router::place(std::uint64_t key, double now_s) {
+  std::lock_guard lock(mutex_);
+  Placement p = config_.policy == RoutePolicy::kConsistentHash
+                    ? place_hash(key, now_s)
+                    : place_least_loaded(now_s);
+  ++stats_.placements;
+  stats_.reroutes += static_cast<std::uint64_t>(p.hops);
+  if (p.node < 0) {
+    ++stats_.no_node;
+  } else if (p.stale) {
+    ++stats_.stale_placements;
+  }
+  return p;
+}
+
+Placement Router::place_hash(std::uint64_t key, double now_s) {
+  Placement p;
+  if (ring_.ring_.empty()) {
+    return p;
+  }
+  auto it = ring_.ring_.lower_bound(mix64(key));
+  if (it == ring_.ring_.end()) {
+    it = ring_.ring_.begin();
+  }
+  // Walk clockwise past expired owners, at most once around.  Counting
+  // distinct *points* (not nodes) visited keeps the loop bound simple; a
+  // hop is only charged when the owner actually changes.
+  const int owner0 = it->second;
+  int last_owner = owner0;
+  for (std::size_t visited = 0; visited < ring_.ring_.size(); ++visited) {
+    const int node = it->second;
+    if (node != last_owner) {
+      ++p.hops;
+      last_owner = node;
+    }
+    const auto v = view_.find(node);
+    if (v != view_.end() && fresh(v->second, now_s)) {
+      p.node = node;
+      return p;
+    }
+    ++it;
+    if (it == ring_.ring_.end()) {
+      it = ring_.ring_.begin();
+    }
+  }
+  // Nobody is fresh.  Under a partition the contract is to keep placing
+  // onto the stale owner (that is the fault being modelled); otherwise
+  // report no node and let the caller shed.
+  if (partitioned_) {
+    p.node = owner0;
+    p.stale = true;
+    p.hops = 0;
+  }
+  return p;
+}
+
+Placement Router::place_least_loaded(double now_s) {
+  Placement p;
+  int best = -1;
+  int best_depth = std::numeric_limits<int>::max();
+  for (const auto& [node, view] : view_) {
+    if (!fresh(view, now_s)) {
+      continue;
+    }
+    if (view.depth < best_depth || (view.depth == best_depth && node < best)) {
+      best = node;
+      best_depth = view.depth;
+    }
+  }
+  if (best < 0 && partitioned_ && !view_.empty()) {
+    // Frozen view with everything expired: fall back to the stale
+    // least-loaded snapshot rather than shedding the whole fleet.
+    for (const auto& [node, view] : view_) {
+      if (view.depth < best_depth || (view.depth == best_depth && node < best)) {
+        best = node;
+        best_depth = view.depth;
+      }
+    }
+    p.stale = true;
+  }
+  p.node = best;
+  return p;
+}
+
+void Router::set_partitioned(bool on) {
+  std::lock_guard lock(mutex_);
+  partitioned_ = on;
+}
+
+bool Router::partitioned() const {
+  std::lock_guard lock(mutex_);
+  return partitioned_;
+}
+
+RouterStats Router::stats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
+}
+
+std::vector<int> Router::nodes() const {
+  std::lock_guard lock(mutex_);
+  std::vector<int> out;
+  out.reserve(view_.size());
+  for (const auto& [node, view] : view_) {
+    out.push_back(node);
+  }
+  return out;
+}
+
+}  // namespace trident::fleet

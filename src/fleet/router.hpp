@@ -1,0 +1,156 @@
+// Fleet request routing: consistent-hash ring and least-loaded placement
+// over a heartbeat-refreshed node view.
+//
+// The Router is deliberately clock-free: every call that involves
+// liveness takes the current time as a parameter (`now_s`, seconds on any
+// monotonic scale the caller likes).  That makes the staleness machinery
+// — heartbeat expiry, partitioned views that keep placing onto a dead
+// node — exactly reproducible in tests and in the virtual-time benchmark,
+// where "time" is simulation time rather than wall clock.
+//
+// Two placement policies:
+//
+//   kConsistentHash  Each node contributes `vnodes` points to a hash
+//                    ring; a tenant key routes to the first point at or
+//                    after its own hash.  Adding or removing one node
+//                    moves only the keys in that node's arcs — expected
+//                    K/N of them — which is the bounded-disruption
+//                    property the property tests pin down.  If the owning
+//                    node's heartbeat has expired the walk continues
+//                    around the ring (each skip counted as a hop), so a
+//                    single dead node degrades to rerouting, not loss.
+//
+//   kLeastLoaded     Place on the fresh node with the smallest reported
+//                    queue depth (ties broken by lowest id).  This is
+//                    join-shortest-queue against the *reported* gauge, so
+//                    its quality is bounded by heartbeat freshness — the
+//                    M/M/k cross-check in bench/fleet_serving quantifies
+//                    the gap to the central-queue ideal.
+//
+// Partition fault: `set_partitioned(true)` freezes the view — heartbeats
+// are accepted but ignored — while expiry keeps running against the
+// frozen timestamps.  A router partitioned just before a node dies keeps
+// placing traffic onto the corpse until the stale heartbeat ages out,
+// which is precisely the window the fleet chaos soak measures.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace trident::fleet {
+
+/// Routing policy for Router::place.
+enum class RoutePolicy {
+  kConsistentHash,  ///< tenant-sticky, bounded disruption on churn
+  kLeastLoaded,     ///< join-shortest-queue on reported depth gauges
+};
+
+[[nodiscard]] inline const char* to_string(RoutePolicy p) {
+  return p == RoutePolicy::kConsistentHash ? "consistent_hash" : "least_loaded";
+}
+
+/// Result of one placement decision.
+struct Placement {
+  int node = -1;   ///< chosen node id, -1 when no fresh node exists
+  bool stale = false;  ///< true when the chosen node's heartbeat had expired
+                       ///< (partitioned view) — traffic lands on a corpse
+  int hops = 0;    ///< ring points skipped past expired owners (hash policy)
+};
+
+/// Consistent-hash ring mapping 64-bit keys to node ids.  Not thread-safe
+/// on its own; the Router wraps it under its mutex.  Exposed separately so
+/// the ring's distribution and disruption properties can be tested in
+/// isolation.
+class ConsistentHashRing {
+ public:
+  explicit ConsistentHashRing(int vnodes = 64);
+
+  void add_node(int node);
+  void remove_node(int node);
+  [[nodiscard]] bool contains(int node) const;
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_); }
+
+  /// Owner of `key`: the first ring point clockwise from hash(key).
+  /// Returns -1 on an empty ring.
+  [[nodiscard]] int route(std::uint64_t key) const;
+
+  /// Hashes a tenant name to its ring key (stable across processes —
+  /// pure arithmetic, no std::hash).
+  [[nodiscard]] static std::uint64_t key_of(const std::string& name);
+
+ private:
+  int vnodes_;
+  std::size_t nodes_ = 0;
+  // point hash -> node id; std::map gives the clockwise successor lookup.
+  std::map<std::uint64_t, int> ring_;
+
+  friend class Router;
+};
+
+struct RouterConfig {
+  RoutePolicy policy = RoutePolicy::kConsistentHash;
+  int vnodes = 64;
+  /// A node whose last heartbeat is older than this is skipped (hash
+  /// policy walks past it; least-loaded excludes it).
+  double heartbeat_timeout_s = 1.0;
+};
+
+/// Point-in-time routing counters.
+struct RouterStats {
+  std::uint64_t placements = 0;
+  std::uint64_t reroutes = 0;        ///< hash-ring hops past expired owners
+  std::uint64_t stale_placements = 0;  ///< placements onto expired nodes
+                                       ///< (only possible when partitioned)
+  std::uint64_t no_node = 0;         ///< placements with no live node at all
+};
+
+/// Thread-safe routing front end over a heartbeat view.
+class Router {
+ public:
+  explicit Router(const RouterConfig& config = {});
+
+  /// Registers `node` and records an initial heartbeat at `now_s`.
+  void add_node(int node, double now_s);
+
+  /// Removes `node` from the ring and the view (a clean retire; for a
+  /// crash, simply stop heartbeating and let the timeout work).
+  void remove_node(int node);
+
+  /// Refreshes `node`'s liveness and queue-depth gauge.  Ignored while
+  /// the router is partitioned (the frozen-view fault).
+  void heartbeat(int node, int queue_depth, double now_s);
+
+  /// Chooses a node for `key` under the configured policy at time `now_s`.
+  [[nodiscard]] Placement place(std::uint64_t key, double now_s);
+
+  /// Freezes (true) or thaws (false) the heartbeat view.
+  void set_partitioned(bool on);
+  [[nodiscard]] bool partitioned() const;
+
+  [[nodiscard]] RouterStats stats() const;
+  [[nodiscard]] std::vector<int> nodes() const;
+  [[nodiscard]] RouterConfig config() const { return config_; }
+
+ private:
+  struct NodeView {
+    int depth = 0;
+    double last_heartbeat_s = 0.0;
+  };
+
+  [[nodiscard]] bool fresh(const NodeView& view, double now_s) const;
+  [[nodiscard]] Placement place_hash(std::uint64_t key, double now_s);
+  [[nodiscard]] Placement place_least_loaded(double now_s);
+
+  RouterConfig config_;
+  mutable std::mutex mutex_;
+  ConsistentHashRing ring_;
+  std::unordered_map<int, NodeView> view_;
+  bool partitioned_ = false;
+  RouterStats stats_;
+};
+
+}  // namespace trident::fleet

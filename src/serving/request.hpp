@@ -60,6 +60,18 @@ enum class ResponseStatus {
   kFailed,  ///< retry budget exhausted (or no replica left); `error` says why
 };
 
+/// Per-submit knobs beyond the input itself.  The fleet layer routes by
+/// `tenant_key` and stamps class deadlines/tiers here; plain Server users
+/// can ignore it (all fields have the legacy defaults).
+struct SubmitOptions {
+  /// Absolute deadline; the epoch default means "no deadline".
+  Clock::time_point deadline{};
+  ServingTier tier = ServingTier::kExact;
+  /// Opaque tenant identity (0 = untenanted).  Carried through to the
+  /// response so completion hooks can attribute per-tenant accounting.
+  std::uint64_t tenant_key = 0;
+};
+
 /// One completed inference.
 struct Response {
   std::uint64_t id = 0;
@@ -79,6 +91,8 @@ struct Response {
   /// one).  Grep it in a trace dump or flight-recorder postmortem to see
   /// every span and attempt this response rode through.
   std::uint64_t trace_id = 0;
+  /// Tenant the request was submitted under (0 = untenanted).
+  std::uint64_t tenant_key = 0;
 };
 
 /// One in-flight inference (move-only: it carries the response promise).
@@ -92,6 +106,8 @@ struct Request {
   std::optional<Clock::time_point> deadline;
   /// Requested execution tier (per-request fast/exact knob).
   ServingTier tier = ServingTier::kExact;
+  /// Tenant identity from SubmitOptions (0 = untenanted).
+  std::uint64_t tenant_key = 0;
   int attempts = 0;  ///< failed service attempts so far (retry accounting)
   bool deadline_violation_counted = false;  ///< avoid double-counting
   /// Request-scoped trace identity, minted at admission (trace_id = id+1,

@@ -206,12 +206,24 @@ void Server::start_worker(Replica& replica) {
 
 std::optional<std::future<Response>> Server::submit(nn::Vector input,
                                                     ServingTier tier) {
-  return submit(std::move(input), Clock::time_point{}, tier);
+  SubmitOptions options;
+  options.tier = tier;
+  return submit(std::move(input), options);
 }
 
 std::optional<std::future<Response>> Server::submit(nn::Vector input,
                                                     Clock::time_point deadline,
                                                     ServingTier tier) {
+  SubmitOptions options;
+  options.deadline = deadline;
+  options.tier = tier;
+  return submit(std::move(input), options);
+}
+
+std::optional<std::future<Response>> Server::submit(
+    nn::Vector input, const SubmitOptions& options) {
+  const Clock::time_point deadline = options.deadline;
+  const ServingTier tier = options.tier;
   TRIDENT_REQUIRE(static_cast<int>(input.size()) == input_dim_,
                   "input width " + std::to_string(input.size()) +
                       " does not match the model input " +
@@ -228,6 +240,7 @@ std::optional<std::future<Response>> Server::submit(nn::Vector input,
   request.id = next_id_.fetch_add(1, std::memory_order_relaxed);
   request.input = std::move(input);
   request.tier = tier;
+  request.tenant_key = options.tenant_key;
   // Trace identity is minted here, at admission — id + 1, so trace id 0
   // keeps meaning "untraced" and a fixed submission order reproduces the
   // same trace ids (what makes flight-recorder dumps seed-deterministic).
@@ -433,6 +446,7 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
       Response response;
       response.id = group[b].id;
       response.trace_id = group[b].trace.trace_id;
+      response.tenant_key = group[b].tenant_key;
       const auto row = logits.row(b);
       response.output.assign(row.begin(), row.end());
       response.batch_size = cut_size;
@@ -530,6 +544,9 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
         rec.timing = response.timing;
         flight_->observe(std::move(rec));
       }
+      if (config_.on_response) {
+        config_.on_response(response);
+      }
       group[b].promise.set_value(std::move(response));
     }
     return true;
@@ -592,6 +609,7 @@ void Server::fail_request(Request&& r, const std::string& why) {
   Response response;
   response.id = r.id;
   response.trace_id = r.trace.trace_id;
+  response.tenant_key = r.tenant_key;
   response.status = ResponseStatus::kFailed;
   response.attempts = r.attempts;
   response.error = why;
@@ -614,6 +632,9 @@ void Server::fail_request(Request&& r, const std::string& why) {
     rec.attempt_log = std::move(r.attempt_log);
     rec.timing = response.timing;
     flight_->observe(std::move(rec));
+  }
+  if (config_.on_response) {
+    config_.on_response(response);
   }
   r.promise.set_value(std::move(response));
 }
@@ -848,6 +869,14 @@ void Server::drain() {
   publish_slo_gauges(sojourn_.summary());
   // Exit dump: the black box survives the process.
   flight_autodump("exit");
+}
+
+ServerStats Server::retire() {
+  drain();
+  // After drain() the books are final: admission is closed, every accepted
+  // request has a terminal response, and stats() folds the retired ledgers
+  // with the (now quiescent) live replica ledgers.
+  return stats();
 }
 
 ServerStats Server::stats() const {

@@ -133,6 +133,15 @@ struct ServerConfig {
   /// it.  With flight.dump_path set, the supervisor dumps on every replica
   /// death and drain() dumps on exit.
   FlightRecorderConfig flight;
+  /// Completion hook: called with every terminal response (kOk and kFailed
+  /// alike) just before its promise is fulfilled, from whatever thread
+  /// resolved the request (replica workers; the draining thread for
+  /// leftovers).  This is how a fleet layer sees per-node completions
+  /// without wrapping futures: the hook observes exactly the responses the
+  /// conservation law counts, so an accounting built on it balances with
+  /// the server's own books.  Must be thread-safe and must not call back
+  /// into this Server.  Null disables.
+  std::function<void(const Response&)> on_response;
 };
 
 /// Lifecycle of one replica worker, as the supervisor sees it.
@@ -219,10 +228,25 @@ class Server {
       nn::Vector input, Clock::time_point deadline,
       ServingTier tier = ServingTier::kExact);
 
+  /// Submit with the full option set (deadline, tier, tenant key).  The
+  /// other overloads delegate here.
+  [[nodiscard]] std::optional<std::future<Response>> submit(
+      nn::Vector input, const SubmitOptions& options);
+
   /// Closes admission, serves every accepted request, joins all replica
   /// workers, then fails any leftovers explicitly if no replica survived.
   /// Idempotent.
   void drain();
+
+  /// Graceful decommission: stops admission, completes (or explicitly
+  /// fails) every in-flight request, and returns the final books — counters
+  /// plus the folded hardware ledger across every incarnation of every
+  /// replica.  This is the node-retire primitive the fleet autoscaler
+  /// uses: after retire() the returned stats are immutable truth, so a
+  /// cluster can fold them into its own accounting without violating
+  /// `accepted == completed + failed` or dropping ledger pulses.
+  /// Idempotent (a second call returns the same final stats).
+  [[nodiscard]] ServerStats retire();
 
   /// Atomically publishes new weights to all replicas.  Each replica
   /// adopts at its next batch boundary — never mid-forward, so no request

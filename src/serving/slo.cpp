@@ -15,6 +15,31 @@ void LatencyRecorder::record(double seconds) {
   samples_.push_back(seconds);
 }
 
+void LatencyRecorder::merge(const LatencyRecorder& other) {
+  if (&other == this) {
+    return;
+  }
+  // Copy out under the source lock, then fold under the destination lock:
+  // never both at once, so two threads cross-merging recorders cannot
+  // deadlock on lock order.
+  std::vector<double> theirs;
+  std::uint64_t their_dropped = 0;
+  {
+    std::lock_guard lock(other.mutex_);
+    theirs = other.samples_;
+    their_dropped = other.dropped_;
+  }
+  std::lock_guard lock(mutex_);
+  dropped_ += their_dropped;
+  for (double v : theirs) {
+    if (samples_.size() >= cap_) {
+      ++dropped_;
+      continue;
+    }
+    samples_.push_back(v);
+  }
+}
+
 LatencySummary LatencyRecorder::summary() const {
   std::vector<double> sorted;
   {

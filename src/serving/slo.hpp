@@ -34,6 +34,16 @@ class LatencyRecorder {
 
   void record(double seconds);
 
+  /// Folds another recorder's samples into this one — the fleet-wide
+  /// aggregation primitive: per-node recorders merge into one population so
+  /// cluster p50/p99 are exact order statistics, not an average of per-node
+  /// percentiles (which would be meaningless for tails).  Samples beyond
+  /// this recorder's cap are dropped and counted, and the other recorder's
+  /// own drop count carries over, so `summary().count + dropped()` stays
+  /// conserved across any merge tree.  Safe against concurrent record()
+  /// on either side; merging a recorder into itself is a no-op.
+  void merge(const LatencyRecorder& other);
+
   /// Exact order-statistic summary of everything recorded so far.
   [[nodiscard]] LatencySummary summary() const;
 

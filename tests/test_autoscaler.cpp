@@ -1,0 +1,155 @@
+// Autoscaler state-machine tests: the decision engine is pure (no clocks,
+// no threads), so every anti-flapping behaviour — streaks, cooldown,
+// cross-resets — is driven here with scripted sample sequences.
+#include "fleet/autoscaler.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace trident::fleet {
+namespace {
+
+ScaleSample hot(double t_s) {
+  // Breaches the depth trigger only; burn triggers are tested separately.
+  return ScaleSample{.t_s = t_s, .mean_depth = 100.0};
+}
+
+ScaleSample cold(double t_s) {
+  return ScaleSample{.t_s = t_s};  // zero burns, zero depth
+}
+
+ScaleSample lukewarm(double t_s) {
+  // Above the cold ceiling, below the hot floor: neither streak advances.
+  return ScaleSample{.t_s = t_s, .shed_burn = 1.0, .mean_depth = 4.0};
+}
+
+AutoscalerConfig fast_config() {
+  AutoscalerConfig cfg;
+  cfg.up_streak = 2;
+  cfg.down_streak = 3;
+  cfg.hold_s = 2.0;
+  return cfg;
+}
+
+TEST(Autoscaler, RejectsDegenerateConfig) {
+  AutoscalerConfig bad;
+  bad.up_streak = 0;
+  EXPECT_THROW(Autoscaler{bad}, Error);
+  bad = AutoscalerConfig{};
+  bad.down_streak = 0;
+  EXPECT_THROW(Autoscaler{bad}, Error);
+  bad = AutoscalerConfig{};
+  bad.hold_s = -1.0;
+  EXPECT_THROW(Autoscaler{bad}, Error);
+}
+
+TEST(Autoscaler, SingleHotSampleDoesNotScale) {
+  Autoscaler scaler(fast_config());
+  EXPECT_EQ(scaler.evaluate(hot(0.0)), ScaleDecision::kHold);
+  EXPECT_EQ(scaler.stats().scale_ups, 0u);
+}
+
+TEST(Autoscaler, HotStreakTriggersScaleUpOnce) {
+  Autoscaler scaler(fast_config());
+  EXPECT_EQ(scaler.evaluate(hot(0.0)), ScaleDecision::kHold);
+  EXPECT_EQ(scaler.evaluate(hot(0.1)), ScaleDecision::kScaleUp);
+  // The action consumed the streak: the very next hot sample starts over.
+  EXPECT_EQ(scaler.evaluate(hot(0.2)), ScaleDecision::kHold);
+  EXPECT_EQ(scaler.stats().scale_ups, 1u);
+}
+
+TEST(Autoscaler, EachUpTriggerAloneCountsAsHot) {
+  const AutoscalerConfig cfg = fast_config();
+  for (const ScaleSample breach :
+       {ScaleSample{.slo_burn = cfg.up_burn},
+        ScaleSample{.shed_burn = cfg.up_burn},
+        ScaleSample{.mean_depth = cfg.up_depth}}) {
+    Autoscaler scaler(cfg);
+    ScaleSample first = breach;
+    ScaleSample second = breach;
+    second.t_s = 0.1;
+    (void)scaler.evaluate(first);
+    EXPECT_EQ(scaler.evaluate(second), ScaleDecision::kScaleUp);
+  }
+}
+
+TEST(Autoscaler, P99TriggerIsOffByDefault) {
+  Autoscaler scaler(fast_config());  // up_p99_s == 0 → disabled
+  ScaleSample slow;
+  slow.p99_s = 1e9;
+  EXPECT_EQ(scaler.evaluate(slow), ScaleDecision::kHold);
+  slow.t_s = 0.1;
+  EXPECT_EQ(scaler.evaluate(slow), ScaleDecision::kHold);
+  EXPECT_EQ(scaler.stats().scale_ups, 0u);
+
+  AutoscalerConfig cfg = fast_config();
+  cfg.up_p99_s = 0.5;
+  Autoscaler armed(cfg);
+  ScaleSample breach;
+  breach.p99_s = 0.6;
+  (void)armed.evaluate(breach);
+  breach.t_s = 0.1;
+  EXPECT_EQ(armed.evaluate(breach), ScaleDecision::kScaleUp);
+}
+
+TEST(Autoscaler, CooldownSuppressesBackToBackActions) {
+  Autoscaler scaler(fast_config());  // hold_s = 2.0
+  (void)scaler.evaluate(hot(0.0));
+  ASSERT_EQ(scaler.evaluate(hot(0.1)), ScaleDecision::kScaleUp);
+  // Streak re-met inside the hold window: suppressed, and counted.
+  (void)scaler.evaluate(hot(0.2));
+  EXPECT_EQ(scaler.evaluate(hot(0.3)), ScaleDecision::kHold);
+  EXPECT_GE(scaler.stats().held_by_cooldown, 1u);
+  // Once the window passes the persisting breach fires again.
+  EXPECT_EQ(scaler.evaluate(hot(2.5)), ScaleDecision::kScaleUp);
+  EXPECT_EQ(scaler.stats().scale_ups, 2u);
+}
+
+TEST(Autoscaler, ColdStreakTriggersScaleDown) {
+  Autoscaler scaler(fast_config());  // down_streak = 3
+  EXPECT_EQ(scaler.evaluate(cold(0.0)), ScaleDecision::kHold);
+  EXPECT_EQ(scaler.evaluate(cold(1.0)), ScaleDecision::kHold);
+  EXPECT_EQ(scaler.evaluate(cold(2.0)), ScaleDecision::kScaleDown);
+  EXPECT_EQ(scaler.stats().scale_downs, 1u);
+}
+
+TEST(Autoscaler, LukewarmSamplesResetBothStreaks) {
+  Autoscaler scaler(fast_config());
+  (void)scaler.evaluate(hot(0.0));
+  (void)scaler.evaluate(lukewarm(0.1));  // hot streak dies here
+  EXPECT_EQ(scaler.evaluate(hot(0.2)), ScaleDecision::kHold)
+      << "hot streak survived a lukewarm sample";
+  (void)scaler.evaluate(cold(1.0));
+  (void)scaler.evaluate(cold(2.0));
+  (void)scaler.evaluate(lukewarm(3.0));  // cold streak dies here
+  (void)scaler.evaluate(cold(4.0));
+  EXPECT_EQ(scaler.evaluate(cold(5.0)), ScaleDecision::kHold)
+      << "cold streak survived a lukewarm sample";
+  EXPECT_EQ(scaler.stats().scale_ups, 0u);
+  EXPECT_EQ(scaler.stats().scale_downs, 0u);
+}
+
+TEST(Autoscaler, HotSampleResetsColdStreakAndViceVersa) {
+  Autoscaler scaler(fast_config());
+  (void)scaler.evaluate(cold(0.0));
+  (void)scaler.evaluate(cold(1.0));
+  (void)scaler.evaluate(hot(2.0));  // cross-reset: cold streak back to zero
+  (void)scaler.evaluate(cold(3.0));
+  (void)scaler.evaluate(cold(4.0));
+  EXPECT_EQ(scaler.evaluate(cold(5.0)), ScaleDecision::kScaleDown);
+  EXPECT_EQ(scaler.stats().scale_downs, 1u);
+}
+
+TEST(Autoscaler, StatsCountSamples) {
+  Autoscaler scaler(fast_config());
+  for (int i = 0; i < 7; ++i) {
+    (void)scaler.evaluate(lukewarm(0.1 * i));
+  }
+  EXPECT_EQ(scaler.stats().samples, 7u);
+  EXPECT_EQ(scaler.stats().scale_ups, 0u);
+  EXPECT_EQ(scaler.stats().scale_downs, 0u);
+}
+
+}  // namespace
+}  // namespace trident::fleet

@@ -1,0 +1,278 @@
+// Property tests for the fleet routing layer: consistent-hash ring
+// distribution and bounded disruption, heartbeat-driven liveness in the
+// Router, and the partitioned (frozen-view) fault.
+//
+// The ring properties are statistical, so every test draws its key
+// population from a fixed-seed Rng — the assertions are tight enough to
+// catch a broken hash or a rebuild-the-world rehash, loose enough to hold
+// for any reasonable seed.
+#include "fleet/router.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace trident::fleet {
+namespace {
+
+constexpr std::uint64_t kSeed = 0x51A7ull;
+
+std::vector<std::uint64_t> random_keys(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::uint64_t> keys;
+  keys.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    keys.push_back(static_cast<std::uint64_t>(
+        rng.uniform_int(0, std::numeric_limits<std::int64_t>::max())));
+  }
+  return keys;
+}
+
+// --- ring: distribution -----------------------------------------------------
+
+TEST(ConsistentHashRing, KeyOfIsStableAndNonzero) {
+  const std::uint64_t a = ConsistentHashRing::key_of("tenant-a");
+  EXPECT_EQ(a, ConsistentHashRing::key_of("tenant-a"));
+  EXPECT_NE(a, 0u) << "0 is the untenanted sentinel; names must never map to it";
+  EXPECT_NE(a, ConsistentHashRing::key_of("tenant-b"));
+  EXPECT_NE(ConsistentHashRing::key_of(""), 0u);
+}
+
+TEST(ConsistentHashRing, EmptyRingRoutesNowhere) {
+  ConsistentHashRing ring;
+  EXPECT_EQ(ring.route(123u), -1);
+  EXPECT_EQ(ring.size(), 0);
+}
+
+TEST(ConsistentHashRing, SpreadIsUniformWithinTolerance) {
+  constexpr int kNodes = 10;
+  constexpr int kKeys = 100'000;
+  ConsistentHashRing ring(/*vnodes=*/64);
+  for (int n = 0; n < kNodes; ++n) {
+    ring.add_node(n);
+  }
+
+  std::map<int, int> owned;
+  for (std::uint64_t key : random_keys(kKeys, kSeed)) {
+    const int node = ring.route(key);
+    ASSERT_GE(node, 0);
+    ASSERT_LT(node, kNodes);
+    ++owned[node];
+  }
+
+  // With 64 vnodes per node the arc-length variance gives each node a
+  // share near 1/N; a broken mix (all keys on one node, or a node with an
+  // empty arc) lands far outside [0.5, 1.7]x fair share.
+  const double fair = static_cast<double>(kKeys) / kNodes;
+  ASSERT_EQ(owned.size(), static_cast<std::size_t>(kNodes))
+      << "some node owns no keys at all";
+  for (const auto& [node, count] : owned) {
+    EXPECT_GT(count, 0.5 * fair) << "node " << node << " starved";
+    EXPECT_LT(count, 1.7 * fair) << "node " << node << " overloaded";
+  }
+}
+
+// --- ring: bounded disruption -----------------------------------------------
+
+TEST(ConsistentHashRing, NodeAddMovesAboutOneNPlusOnethOfKeys) {
+  constexpr int kNodes = 8;
+  constexpr int kKeys = 50'000;
+  ConsistentHashRing ring(/*vnodes=*/64);
+  for (int n = 0; n < kNodes; ++n) {
+    ring.add_node(n);
+  }
+  const std::vector<std::uint64_t> keys = random_keys(kKeys, kSeed ^ 0xADDull);
+
+  std::vector<int> before;
+  before.reserve(keys.size());
+  for (std::uint64_t key : keys) {
+    before.push_back(ring.route(key));
+  }
+
+  ring.add_node(kNodes);  // the (N+1)th node
+
+  int moved = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const int after = ring.route(keys[i]);
+    if (after != before[i]) {
+      ++moved;
+      // Disruption is one-directional: a key that moves, moves to the new
+      // node — never between two old nodes.
+      EXPECT_EQ(after, kNodes)
+          << "key migrated between two pre-existing nodes on an add";
+    }
+  }
+
+  const double expected = static_cast<double>(kKeys) / (kNodes + 1);
+  EXPECT_GT(moved, 0.4 * expected) << "new node took almost no keys";
+  EXPECT_LT(moved, 2.0 * expected)
+      << "node add reshuffled far more than its fair share of keys";
+}
+
+TEST(ConsistentHashRing, NodeRemovalMovesOnlyTheRemovedNodesKeys) {
+  constexpr int kNodes = 8;
+  constexpr int kKeys = 50'000;
+  constexpr int kVictim = 3;
+  ConsistentHashRing ring(/*vnodes=*/64);
+  for (int n = 0; n < kNodes; ++n) {
+    ring.add_node(n);
+  }
+  const std::vector<std::uint64_t> keys = random_keys(kKeys, kSeed ^ 0xD3Dull);
+
+  std::vector<int> before;
+  before.reserve(keys.size());
+  for (std::uint64_t key : keys) {
+    before.push_back(ring.route(key));
+  }
+
+  ring.remove_node(kVictim);
+  EXPECT_FALSE(ring.contains(kVictim));
+
+  int orphaned = 0;
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    const int after = ring.route(keys[i]);
+    ASSERT_NE(after, kVictim);
+    if (before[i] == kVictim) {
+      ++orphaned;
+    } else {
+      // The exact consistent-hashing guarantee: keys owned by survivors do
+      // not move at all when someone else leaves.
+      EXPECT_EQ(after, before[i])
+          << "a surviving node's key moved when an unrelated node left";
+    }
+  }
+  // The victim owned roughly K/N keys and all of them were re-homed.
+  const double expected = static_cast<double>(kKeys) / kNodes;
+  EXPECT_GT(orphaned, 0.4 * expected);
+  EXPECT_LT(orphaned, 2.0 * expected);
+}
+
+TEST(ConsistentHashRing, AddThenRemoveRestoresEveryOwner) {
+  constexpr int kNodes = 5;
+  ConsistentHashRing ring(/*vnodes=*/32);
+  for (int n = 0; n < kNodes; ++n) {
+    ring.add_node(n);
+  }
+  const std::vector<std::uint64_t> keys = random_keys(5'000, kSeed ^ 0xABAull);
+  std::vector<int> before;
+  before.reserve(keys.size());
+  for (std::uint64_t key : keys) {
+    before.push_back(ring.route(key));
+  }
+  ring.add_node(99);
+  ring.remove_node(99);
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(ring.route(keys[i]), before[i])
+        << "ring state is not restored by an add/remove round trip";
+  }
+}
+
+// --- router: liveness and policies ------------------------------------------
+
+TEST(Router, HashPlacementIsSticky) {
+  Router router(RouterConfig{.policy = RoutePolicy::kConsistentHash});
+  router.add_node(0, 0.0);
+  router.add_node(1, 0.0);
+  router.add_node(2, 0.0);
+  const std::uint64_t key = ConsistentHashRing::key_of("tenant-sticky");
+  const Placement first = router.place(key, 0.0);
+  ASSERT_GE(first.node, 0);
+  for (int i = 0; i < 10; ++i) {
+    const Placement p = router.place(key, 0.1 * i);
+    EXPECT_EQ(p.node, first.node);
+    EXPECT_FALSE(p.stale);
+    EXPECT_EQ(p.hops, 0);
+  }
+  EXPECT_EQ(router.stats().placements, 11u);
+  EXPECT_EQ(router.stats().reroutes, 0u);
+}
+
+TEST(Router, HashWalksPastExpiredOwner) {
+  RouterConfig cfg;
+  cfg.policy = RoutePolicy::kConsistentHash;
+  cfg.heartbeat_timeout_s = 1.0;
+  Router router(cfg);
+  router.add_node(0, 0.0);
+  router.add_node(1, 0.0);
+  const std::uint64_t key = ConsistentHashRing::key_of("tenant-walk");
+  const int owner = router.place(key, 0.0).node;
+  ASSERT_GE(owner, 0);
+  const int other = owner == 0 ? 1 : 0;
+
+  // Only the non-owner keeps heartbeating; the owner's view expires.
+  router.heartbeat(other, 0, 5.0);
+  const Placement p = router.place(key, 5.0);
+  EXPECT_EQ(p.node, other) << "placement did not walk past the expired owner";
+  EXPECT_FALSE(p.stale);
+  EXPECT_GE(p.hops, 1);
+  EXPECT_GE(router.stats().reroutes, 1u);
+}
+
+TEST(Router, NoFreshNodeMeansNoPlacement) {
+  Router router;
+  router.add_node(0, 0.0);
+  const Placement p =
+      router.place(ConsistentHashRing::key_of("t"), /*now_s=*/100.0);
+  EXPECT_EQ(p.node, -1);
+  EXPECT_EQ(router.stats().no_node, 1u);
+}
+
+TEST(Router, LeastLoadedPicksSmallestReportedDepth) {
+  Router router(RouterConfig{.policy = RoutePolicy::kLeastLoaded});
+  router.add_node(0, 0.0);
+  router.add_node(1, 0.0);
+  router.add_node(2, 0.0);
+  router.heartbeat(0, 7, 0.0);
+  router.heartbeat(1, 2, 0.0);
+  router.heartbeat(2, 5, 0.0);
+  EXPECT_EQ(router.place(1u, 0.0).node, 1);
+  // Ties break toward the lowest id: deterministic, testable placement.
+  router.heartbeat(0, 2, 0.0);
+  EXPECT_EQ(router.place(2u, 0.0).node, 0);
+  // An expired node never wins, however empty it claims to be.
+  router.heartbeat(0, 0, 0.0);
+  router.heartbeat(1, 4, 3.0);
+  router.heartbeat(2, 9, 3.0);
+  EXPECT_EQ(router.place(3u, 3.0).node, 1);
+}
+
+// --- router: partition fault -------------------------------------------------
+
+TEST(Router, PartitionFreezesViewAndPlacesOntoCorpse) {
+  RouterConfig cfg;
+  cfg.heartbeat_timeout_s = 1.0;
+  Router router(cfg);
+  router.add_node(0, 0.0);
+  router.add_node(1, 0.0);
+  const std::uint64_t key = ConsistentHashRing::key_of("tenant-part");
+  const int owner = router.place(key, 0.0).node;
+  const int other = owner == 0 ? 1 : 0;
+
+  router.set_partitioned(true);
+  ASSERT_TRUE(router.partitioned());
+  // Heartbeats during the partition are swallowed: the survivor cannot
+  // refresh itself, so from the frozen view EVERY node looks expired...
+  router.heartbeat(other, 0, 10.0);
+  const Placement stale = router.place(key, 10.0);
+  // ...and the partitioned router falls back to the stale owner — the
+  // keeps-placing-onto-a-dead-node window the chaos soak measures.
+  EXPECT_EQ(stale.node, owner);
+  EXPECT_TRUE(stale.stale);
+  EXPECT_GE(router.stats().stale_placements, 1u);
+
+  // Healing the partition lets fresh heartbeats through again.
+  router.set_partitioned(false);
+  router.heartbeat(other, 0, 10.0);
+  const Placement healed = router.place(key, 10.0);
+  EXPECT_EQ(healed.node, other);
+  EXPECT_FALSE(healed.stale);
+}
+
+}  // namespace
+}  // namespace trident::fleet

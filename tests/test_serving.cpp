@@ -297,6 +297,61 @@ TEST(LatencyRecorder, CapBoundsMemory) {
   EXPECT_EQ(rec.dropped(), 6u);
 }
 
+TEST(LatencyRecorder, MergeEqualsSingleRecorderOverTheUnion) {
+  // The fleet-wide aggregation property: merging per-node recorders must
+  // give the same exact order statistics as one recorder that saw every
+  // sample.  An average of per-node p99s would not — tails don't average.
+  LatencyRecorder a;
+  LatencyRecorder b;
+  LatencyRecorder all;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = static_cast<double>(i);
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  const LatencySummary merged = a.summary();
+  const LatencySummary expected = all.summary();
+  EXPECT_EQ(merged.count, expected.count);
+  EXPECT_DOUBLE_EQ(merged.mean_s, expected.mean_s);
+  EXPECT_DOUBLE_EQ(merged.p50_s, expected.p50_s);
+  EXPECT_DOUBLE_EQ(merged.p90_s, expected.p90_s);
+  EXPECT_DOUBLE_EQ(merged.p99_s, expected.p99_s);
+  EXPECT_DOUBLE_EQ(merged.max_s, expected.max_s);
+  // The source recorder is untouched.
+  EXPECT_EQ(b.summary().count, 50u);
+}
+
+TEST(LatencyRecorder, MergeConservesCountPlusDroppedAcrossCaps) {
+  LatencyRecorder small(4);
+  LatencyRecorder other;
+  for (int i = 0; i < 3; ++i) {
+    small.record(1.0);
+  }
+  for (int i = 0; i < 5; ++i) {
+    other.record(2.0);
+  }
+  small.merge(other);
+  // 3 own + 1 merged fit under the cap of 4; the other 4 merged samples
+  // are dropped and counted, so count + dropped stays conserved.
+  EXPECT_EQ(small.summary().count, 4u);
+  EXPECT_EQ(small.dropped(), 4u);
+}
+
+TEST(LatencyRecorder, MergeWithSelfAndEmptyAreNoOps) {
+  LatencyRecorder rec;
+  rec.record(1.0);
+  rec.record(2.0);
+  rec.merge(rec);
+  EXPECT_EQ(rec.summary().count, 2u);
+  LatencyRecorder empty;
+  rec.merge(empty);
+  EXPECT_EQ(rec.summary().count, 2u);
+  empty.merge(rec);
+  EXPECT_EQ(empty.summary().count, 2u);
+  EXPECT_DOUBLE_EQ(empty.summary().max_s, 2.0);
+}
+
 // --- server end-to-end ------------------------------------------------------
 
 nn::Mlp test_model(std::uint64_t seed = 0x5eedu) {
