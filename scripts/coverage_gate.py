@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Line-coverage ratchet gate over a gcovr JSON summary.
+
+Reads the ``--json-summary`` artifact gcovr emits, computes line coverage
+for (a) one or more gated directories and (b) the whole tree, and fails
+when either drops below its bound:
+
+* each ``--dir DIR:MIN`` enforces a fixed per-directory minimum (the
+  learning pipeline ships with ``src/learning:90``);
+* ``--floor-file PATH`` holds the committed repo-wide floor — a single
+  number that can only go up.  The gate fails when measured coverage falls
+  below the floor.  When the measurement comfortably exceeds it
+  (``--ratchet-slack`` above, default 2 points) it prints a bump request —
+  and with ``--strict-ratchet`` fails on it — so improvements get locked
+  in rather than quietly lost again.
+
+Stdlib only, mirroring the other scripts/ checkers, so it runs anywhere a
+Python 3 interpreter exists (no gcovr needed at gate time — only the JSON
+artifact).
+
+Usage:
+    gcovr -r . --filter src/ --json-summary-pretty -o coverage.json
+    python3 scripts/coverage_gate.py coverage.json \
+        --dir src/learning:90 --floor-file scripts/coverage_floor.txt
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_summary(path: str) -> list[dict]:
+    with open(path) as f:
+        summary = json.load(f)
+    files = summary.get("files")
+    if not isinstance(files, list) or not files:
+        raise SystemExit(f"{path}: no per-file coverage entries")
+    return files
+
+
+def line_coverage(files: list[dict], prefix: str | None = None) -> tuple[float, int, int]:
+    """(percent, covered, total) over files whose path starts with prefix."""
+    covered = 0
+    total = 0
+    for entry in files:
+        name = entry.get("filename", "")
+        if prefix is not None and not name.startswith(prefix):
+            continue
+        covered += int(entry.get("line_covered", 0))
+        total += int(entry.get("line_total", 0))
+    if total == 0:
+        return 0.0, 0, 0
+    return 100.0 * covered / total, covered, total
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("summary", help="gcovr --json-summary output")
+    parser.add_argument(
+        "--dir",
+        action="append",
+        default=[],
+        metavar="DIR:MIN",
+        help="directory prefix with its fixed minimum percent, e.g. src/learning:90",
+    )
+    parser.add_argument(
+        "--floor-file",
+        help="file holding the committed repo-wide floor percent (ratchet)",
+    )
+    parser.add_argument(
+        "--ratchet-slack",
+        type=float,
+        default=2.0,
+        help="points above the floor at which the gate demands a floor bump",
+    )
+    parser.add_argument(
+        "--strict-ratchet",
+        action="store_true",
+        help="fail (instead of warn) when the floor is overdue for a bump",
+    )
+    args = parser.parse_args()
+
+    files = load_summary(args.summary)
+    failures = 0
+
+    for spec in args.dir:
+        prefix, sep, bound = spec.rpartition(":")
+        if not sep:
+            raise SystemExit(f"--dir {spec!r}: expected DIR:MIN")
+        minimum = float(bound)
+        pct, covered, total = line_coverage(files, prefix)
+        status = "OK" if pct >= minimum and total > 0 else "FAIL"
+        print(f"[{status}] {prefix}: {pct:.2f}% ({covered}/{total} lines), "
+              f"minimum {minimum:.2f}%")
+        if total == 0:
+            print(f"FAIL: no lines measured under {prefix} — filter mismatch?")
+            failures += 1
+        elif pct < minimum:
+            failures += 1
+
+    if args.floor_file:
+        with open(args.floor_file) as f:
+            floor = float(f.read().strip())
+        pct, covered, total = line_coverage(files)
+        print(f"repo-wide: {pct:.2f}% ({covered}/{total} lines), "
+              f"committed floor {floor:.2f}%")
+        if pct < floor:
+            print(f"FAIL: repo-wide coverage {pct:.2f}% fell below the "
+                  f"committed floor {floor:.2f}% — the floor only goes up")
+            failures += 1
+        elif pct >= floor + args.ratchet_slack:
+            level = "FAIL" if args.strict_ratchet else "NOTE"
+            print(f"{level}: repo-wide coverage {pct:.2f}% exceeds the floor "
+                  f"by >= {args.ratchet_slack:.1f} points — raise "
+                  f"{args.floor_file} to {pct - 1.0:.1f} to lock the "
+                  f"improvement in")
+            if args.strict_ratchet:
+                failures += 1
+
+    if failures == 0:
+        print("coverage gate: OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

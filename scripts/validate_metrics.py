@@ -249,6 +249,32 @@ def check_snapshot_invariants(doc, path):
                 "tier dispatches must partition completions: "
                 "%d quantized + %d exact != %d completed"
                 % (quantized, exact, completed))
+    arm_keys = ("trident_canary_dispatch_total",
+                "trident_incumbent_dispatch_total",
+                "trident_serving_requests_completed_total")
+    if all(k in counters for k in arm_keys):
+        # Every completed response was served on exactly one weights arm
+        # (the canary partition is orthogonal to the tier partition).
+        canary, incumbent, completed = (counters[k] for k in arm_keys)
+        if canary + incumbent != completed:
+            raise ValidationError(
+                "%s:counters" % path,
+                "canary arms must partition completions: "
+                "%d canary + %d incumbent != %d completed"
+                % (canary, incumbent, completed))
+    canary_keys = ("trident_serving_canary_starts_total",
+                   "trident_serving_canary_promotes_total",
+                   "trident_serving_canary_rollbacks_total")
+    if all(k in counters for k in canary_keys):
+        starts, promotes, rollbacks = (counters[k] for k in canary_keys)
+        live = gauges.get("trident_serving_canary_version")
+        active = 1 if live else 0
+        if promotes + rollbacks + active != starts:
+            raise ValidationError(
+                "%s:counters" % path,
+                "canary lifecycle books: %d promotes + %d rollbacks + "
+                "%d active != %d starts"
+                % (promotes, rollbacks, active, starts))
     for name, hist in doc.get("histograms", {}).items():
         hpath = "%s:histograms.%s" % (path, name)
         buckets = hist["buckets"]

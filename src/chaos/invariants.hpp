@@ -102,6 +102,22 @@ inline void expect_le(InvariantReport& report, std::uint64_t lhs,
                     stats.quantized_dispatches + stats.exact_dispatches,
                     stats.completed,
                     "quantized + exact dispatches == completed");
+  // Arm accounting: the canary stage partitions completions the same way —
+  // every response was served by exactly one weight set, even across
+  // replica deaths mid-canary and promote/rollback transitions.
+  detail::expect_eq(report,
+                    stats.canary_dispatches + stats.incumbent_dispatches,
+                    stats.completed,
+                    "canary + incumbent dispatches == completed");
+  // Canary lifecycle books: every canary started resolves to exactly one
+  // promote or one rollback, unless it is the still-live one.
+  detail::expect_eq(report, stats.canary_starts,
+                    stats.canary_promotes + stats.canary_rollbacks +
+                        (stats.canary_version != 0 ? 1u : 0u),
+                    "canary starts == promotes + rollbacks + active");
+  // Every promotion IS a hot_swap, so swaps can never undercount promotes.
+  detail::expect_le(report, stats.canary_promotes, stats.weight_swaps,
+                    "canary promotes <= weight swaps");
   return report;
 }
 
@@ -189,6 +205,24 @@ inline void expect_le(InvariantReport& report, std::uint64_t lhs,
       report, stats.fast_fallbacks,
       snap.counter_value("trident_serving_fast_fallbacks_total"),
       "fast_fallbacks == trident_serving_fast_fallbacks_total");
+  detail::expect_eq(report, stats.canary_dispatches,
+                    snap.counter_value("trident_canary_dispatch_total"),
+                    "canary_dispatches == trident_canary_dispatch_total");
+  detail::expect_eq(report, stats.incumbent_dispatches,
+                    snap.counter_value("trident_incumbent_dispatch_total"),
+                    "incumbent_dispatches == trident_incumbent_dispatch_total");
+  detail::expect_eq(
+      report, stats.canary_starts,
+      snap.counter_value("trident_serving_canary_starts_total"),
+      "canary_starts == trident_serving_canary_starts_total");
+  detail::expect_eq(
+      report, stats.canary_promotes,
+      snap.counter_value("trident_serving_canary_promotes_total"),
+      "canary_promotes == trident_serving_canary_promotes_total");
+  detail::expect_eq(
+      report, stats.canary_rollbacks,
+      snap.counter_value("trident_serving_canary_rollbacks_total"),
+      "canary_rollbacks == trident_serving_canary_rollbacks_total");
   if (injections != nullptr) {
     detail::expect_eq(
         report, injections->transient_errors,

@@ -1,0 +1,212 @@
+// Conservation-law checks for continuous-learning soaks (header-only).
+//
+// Extends chaos/invariants.hpp to the learning pipeline's books.  The laws
+// a chaos soak over shadow retraining + canary hot-swap must not break,
+// for ANY interleaving of trainer deaths, checkpoint kills, and serving
+// replica deaths mid-canary:
+//
+//   * feedback conservation    offered  == enqueued + dropped
+//                              enqueued == consumed + depth + discarded
+//                              consumed == trained + lost
+//   * canary lifecycle books   publications == promotes + rollbacks
+//                                              + (active ? 1 : 0)
+//                              and the server's own canary books agree
+//   * telemetry mirror         every pipeline counter equals its
+//                              trident_learning_* twin
+//   * never-torn checkpoint    whatever is on disk at the checkpoint path
+//                              LOADS — a kill mid-checkpoint must leave
+//                              the previous complete snapshot, never a
+//                              torn one
+//   * combined energy books    server ledger + trainer ledger equals the
+//                              process-global trident_ledger_* mirror
+#pragma once
+
+#include <exception>
+
+#include "chaos/invariants.hpp"
+#include "learning/pipeline.hpp"
+#include "state/snapshot.hpp"
+
+namespace trident::chaos {
+
+/// Feedback-stream + pulse + canary-lifecycle books of the pipeline.
+[[nodiscard]] inline InvariantReport check_learning_conservation(
+    const learning::LearningStats& stats) {
+  InvariantReport report;
+  detail::expect_eq(report, stats.offered, stats.enqueued + stats.dropped,
+                    "learning: offered == enqueued + dropped");
+  detail::expect_eq(
+      report, stats.enqueued,
+      stats.consumed + stats.queue_depth + stats.discarded,
+      "learning: enqueued == consumed + depth + discarded");
+  detail::expect_eq(report, stats.consumed,
+                    stats.samples_trained + stats.samples_lost,
+                    "learning: consumed == trained + lost");
+  detail::expect_eq(report, stats.canary_publications,
+                    stats.promotes + stats.rollbacks +
+                        (stats.canary_active ? 1u : 0u),
+                    "learning: publications == promotes + rollbacks + active");
+  detail::expect_eq(report, stats.trainer_deaths,
+                    stats.trainer_restarts +
+                        (stats.trainer_restarts < stats.trainer_deaths ? 1u
+                                                                       : 0u),
+                    "learning: deaths == restarts (+1 if budget exhausted)");
+  return report;
+}
+
+/// The pipeline's counters against their trident_learning_* registry
+/// twins.  Preconditions as check_telemetry_mirror: registry reset at
+/// experiment start and exactly one pipeline ran since (and every sample
+/// entered through LearningPipeline::feed, not the raw queue).  No-op when
+/// telemetry is off.
+[[nodiscard]] inline InvariantReport check_learning_telemetry_mirror(
+    const learning::LearningStats& stats) {
+  InvariantReport report;
+  if (!telemetry::enabled()) {
+    return report;
+  }
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  detail::expect_eq(
+      report, stats.offered,
+      snap.counter_value("trident_learning_feedback_offered_total"),
+      "learning offered == trident_learning_feedback_offered_total");
+  detail::expect_eq(
+      report, stats.dropped,
+      snap.counter_value("trident_learning_feedback_dropped_total"),
+      "learning dropped == trident_learning_feedback_dropped_total");
+  detail::expect_eq(
+      report, stats.samples_trained,
+      snap.counter_value("trident_learning_samples_trained_total"),
+      "learning trained == trident_learning_samples_trained_total");
+  detail::expect_eq(report, stats.samples_lost,
+                    snap.counter_value("trident_learning_samples_lost_total"),
+                    "learning lost == trident_learning_samples_lost_total");
+  detail::expect_eq(report, stats.train_pulses,
+                    snap.counter_value("trident_learning_train_pulses_total"),
+                    "learning pulses == trident_learning_train_pulses_total");
+  detail::expect_eq(
+      report, stats.trainer_deaths,
+      snap.counter_value("trident_learning_trainer_deaths_total"),
+      "learning deaths == trident_learning_trainer_deaths_total");
+  detail::expect_eq(
+      report, stats.trainer_restarts,
+      snap.counter_value("trident_learning_trainer_restarts_total"),
+      "learning restarts == trident_learning_trainer_restarts_total");
+  detail::expect_eq(report, stats.checkpoints,
+                    snap.counter_value("trident_learning_checkpoints_total"),
+                    "learning checkpoints == trident_learning_checkpoints_total");
+  detail::expect_eq(
+      report, stats.checkpoint_failures,
+      snap.counter_value("trident_learning_checkpoint_failures_total"),
+      "learning checkpoint_failures == "
+      "trident_learning_checkpoint_failures_total");
+  detail::expect_eq(
+      report, stats.checkpoint_restores,
+      snap.counter_value("trident_learning_checkpoint_restores_total"),
+      "learning checkpoint_restores == "
+      "trident_learning_checkpoint_restores_total");
+  detail::expect_eq(
+      report, stats.canary_publications,
+      snap.counter_value("trident_learning_canary_publications_total"),
+      "learning publications == trident_learning_canary_publications_total");
+  detail::expect_eq(report, stats.promotes,
+                    snap.counter_value("trident_learning_promotes_total"),
+                    "learning promotes == trident_learning_promotes_total");
+  detail::expect_eq(report, stats.rollbacks,
+                    snap.counter_value("trident_learning_rollbacks_total"),
+                    "learning rollbacks == trident_learning_rollbacks_total");
+  return report;
+}
+
+/// Combined energy books: serving ledger (drained) + trainer ledger must
+/// equal the process-global trident_ledger_* mirror — no pulse of either
+/// side dropped or double-counted across replica/trainer deaths.  Same
+/// preconditions as check_ledger_conservation, lifted over both ledgers.
+[[nodiscard]] inline InvariantReport check_combined_ledger_conservation(
+    const serving::ServerStats& server,
+    const learning::LearningStats& learning) {
+  InvariantReport report;
+  if (!telemetry::enabled()) {
+    return report;
+  }
+  const core::PhotonicLedger total = server.ledger + learning.ledger;
+  const telemetry::MetricsSnapshot snap =
+      telemetry::MetricsRegistry::global().snapshot();
+  detail::expect_eq(report, total.weight_writes,
+                    snap.counter_value("trident_ledger_weight_writes_total"),
+                    "combined weight_writes == "
+                    "trident_ledger_weight_writes_total");
+  detail::expect_eq(report, total.program_events,
+                    snap.counter_value("trident_ledger_program_events_total"),
+                    "combined program_events == "
+                    "trident_ledger_program_events_total");
+  detail::expect_eq(report, total.symbols,
+                    snap.counter_value("trident_ledger_symbols_total"),
+                    "combined symbols == trident_ledger_symbols_total");
+  detail::expect_eq(report, total.macs,
+                    snap.counter_value("trident_ledger_macs_total"),
+                    "combined macs == trident_ledger_macs_total");
+  detail::expect_eq(report, total.activations,
+                    snap.counter_value("trident_ledger_activations_total"),
+                    "combined activations == trident_ledger_activations_total");
+  return report;
+}
+
+/// Never-torn checkpoint: if the pipeline ever wrote (or tried to write) a
+/// checkpoint, the file on disk must parse and checksum clean.  A kill
+/// mid-checkpoint may only lose the LATEST attempt, never corrupt the
+/// previous image — that is atomic_write_file's contract under test.
+[[nodiscard]] inline InvariantReport check_checkpoint_integrity(
+    const std::string& checkpoint_path,
+    const learning::LearningStats& stats) {
+  InvariantReport report;
+  if (checkpoint_path.empty() || stats.checkpoints == 0) {
+    return report;  // nothing was ever durably written
+  }
+  try {
+    (void)state::Snapshot::load(checkpoint_path);
+  } catch (const std::exception& e) {
+    report.violations.push_back(
+        "checkpoint at " + checkpoint_path +
+        " failed to load (torn snapshot adopted?): " + e.what());
+  }
+  return report;
+}
+
+/// The full post-drain sweep for a learning soak: serving laws (canary
+/// books included), learning books, both telemetry mirrors, checkpoint
+/// integrity, and (opt-in, same caveat as check_soak) the combined energy
+/// books.  The server-side canary books must also agree with the
+/// pipeline's view when the pipeline is the only publisher.
+[[nodiscard]] inline InvariantReport check_learning_soak(
+    const serving::Server& server, const serving::ServerStats& server_stats,
+    const learning::LearningStats& learning_stats,
+    const std::string& checkpoint_path = "", bool ledger_books = false,
+    bool sole_publisher = true) {
+  InvariantReport report =
+      check_server_conservation(server_stats, /*drained=*/true);
+  report.merge(check_telemetry_mirror(server_stats));
+  report.merge(check_queue_bounds(server));
+  report.merge(check_learning_conservation(learning_stats));
+  report.merge(check_learning_telemetry_mirror(learning_stats));
+  report.merge(check_checkpoint_integrity(checkpoint_path, learning_stats));
+  if (sole_publisher) {
+    detail::expect_eq(report, server_stats.canary_starts,
+                      learning_stats.canary_publications,
+                      "server canary starts == pipeline publications");
+    detail::expect_eq(report, server_stats.canary_promotes,
+                      learning_stats.promotes,
+                      "server canary promotes == pipeline promotes");
+    detail::expect_eq(report, server_stats.canary_rollbacks,
+                      learning_stats.rollbacks,
+                      "server canary rollbacks == pipeline rollbacks");
+  }
+  if (ledger_books) {
+    report.merge(
+        check_combined_ledger_conservation(server_stats, learning_stats));
+  }
+  return report;
+}
+
+}  // namespace trident::chaos

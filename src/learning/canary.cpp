@@ -1,0 +1,117 @@
+#include "learning/canary.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "state/snapshot.hpp"
+
+namespace trident::learning {
+
+namespace {
+
+/// Fixed-format double: printf %.6f is locale-independent in the "C"
+/// locale the tests run under and stable across platforms for the value
+/// ranges here (accuracies and small ratios), which keeps the log
+/// byte-reproducible.  NaN prints as the literal "nan".
+[[nodiscard]] std::string fmt(double v) {
+  char buf[64];
+  if (std::isnan(v)) {
+    return "nan";
+  }
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  return buf;
+}
+
+}  // namespace
+
+const char* to_string(CanaryVerdict v) {
+  switch (v) {
+    case CanaryVerdict::kPending:
+      return "pending";
+    case CanaryVerdict::kPromote:
+      return "promote";
+    case CanaryVerdict::kRollback:
+      return "rollback";
+  }
+  return "unknown";
+}
+
+CanaryController::CanaryController(const CanaryPolicy& policy)
+    : policy_(policy) {
+  if (policy_.min_samples_per_arm == 0) {
+    policy_.min_samples_per_arm = 1;
+  }
+}
+
+void CanaryController::observe(bool canary_arm, bool correct,
+                               double latency_s) {
+  ArmWindow& arm = canary_arm ? candidate_ : incumbent_;
+  ++arm.total;
+  if (correct) {
+    ++arm.correct;
+  }
+  arm.latencies_s.push_back(latency_s);
+}
+
+CanaryEvaluation CanaryController::evaluate() const {
+  CanaryEvaluation eval;
+  eval.incumbent_accuracy = incumbent_.accuracy();
+  eval.candidate_accuracy = candidate_.accuracy();
+  eval.latency = serving::compare_latency_windows(
+      incumbent_.latencies_s, candidate_.latencies_s,
+      policy_.min_samples_per_arm);
+  // The sample floor guards BOTH gates: an accuracy read off three
+  // requests is as degenerate as a p99 off three samples, so neither gate
+  // may fire until both arms cleared the floor.
+  if (incumbent_.total < policy_.min_samples_per_arm ||
+      candidate_.total < policy_.min_samples_per_arm) {
+    eval.verdict = CanaryVerdict::kPending;
+    eval.reason = "window below sample floor";
+    return eval;
+  }
+  if (eval.candidate_accuracy <
+      eval.incumbent_accuracy - policy_.max_accuracy_drop) {
+    eval.verdict = CanaryVerdict::kRollback;
+    eval.reason = "accuracy regression";
+    return eval;
+  }
+  if (eval.latency.comparable &&
+      eval.latency.ratio > policy_.max_p99_ratio) {
+    eval.verdict = CanaryVerdict::kRollback;
+    eval.reason = "p99 regression";
+    return eval;
+  }
+  eval.verdict = CanaryVerdict::kPromote;
+  eval.reason = "gates clear";
+  return eval;
+}
+
+void CanaryController::reset() {
+  incumbent_ = ArmWindow{};
+  candidate_ = ArmWindow{};
+}
+
+void DecisionLog::append(std::uint64_t round, std::uint64_t canary_seq,
+                         const CanaryEvaluation& eval) {
+  text_ += "round=" + std::to_string(round) +
+           " canary=" + std::to_string(canary_seq) +
+           " verdict=" + to_string(eval.verdict) +
+           " inc_acc=" + fmt(eval.incumbent_accuracy) +
+           " can_acc=" + fmt(eval.candidate_accuracy) +
+           " inc_n=" + std::to_string(eval.latency.incumbent_count) +
+           " can_n=" + std::to_string(eval.latency.candidate_count) +
+           " p99_ratio=" + fmt(eval.latency.ratio) + " reason=\"" +
+           eval.reason + "\"\n";
+  ++lines_;
+}
+
+void DecisionLog::note(std::uint64_t round, const std::string& text) {
+  text_ += "round=" + std::to_string(round) + " note=\"" + text + "\"\n";
+  ++lines_;
+}
+
+void DecisionLog::write(const std::string& path) const {
+  state::atomic_write_file(path, text_);
+}
+
+}  // namespace trident::learning

@@ -1,0 +1,131 @@
+// Canary decision machinery: per-arm observation windows, the promote /
+// rollback gate, and the byte-reproducible decision log.
+//
+// The controller is deliberately pure bookkeeping — observe() accumulates
+// (arm, correct, latency) triples and evaluate() is a pure function of the
+// accumulated windows and the policy.  No clocks, no randomness: under the
+// deterministic harness (same seed, same scripted stream) the sequence of
+// verdicts — and therefore the decision log — is byte-identical across
+// runs.  The state machine it drives:
+//
+//            canary_start                evaluate() == kPromote
+//   [idle] ───────────────▶ [observing] ───────────────────────▶ promote
+//                               │                                (hot_swap)
+//                               │ evaluate() == kRollback
+//                               ▼
+//                           rollback (incumbent untouched)
+//
+// Gates, in order (first failure wins; both arms must clear the sample
+// floor before ANY verdict is possible — a degenerate window can neither
+// promote nor roll back):
+//
+//   1. accuracy   candidate accuracy < incumbent accuracy - max_accuracy_drop
+//                 → kRollback;
+//   2. latency    candidate p99 / incumbent p99 > max_p99_ratio → kRollback
+//                 (serving::compare_latency_windows — exact order statistics
+//                 over unequal window sizes, NaN-ratio on degenerate ones);
+//   3. otherwise  kPromote.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serving/slo.hpp"
+
+namespace trident::learning {
+
+/// Gate thresholds for one canary stage.
+struct CanaryPolicy {
+  /// Share of traffic routed to the candidate, by trace id (0..100).
+  std::uint32_t traffic_percent = 25;
+  /// Observations each arm must accumulate before any verdict.  Clamped to
+  /// >= 1; windows below the floor always evaluate to kPending.
+  std::size_t min_samples_per_arm = 20;
+  /// Candidate accuracy may trail the incumbent's by at most this much.
+  double max_accuracy_drop = 0.02;
+  /// Candidate p99 may exceed incumbent p99 by at most this factor.
+  double max_p99_ratio = 1.5;
+};
+
+enum class CanaryVerdict {
+  kPending,   ///< a window is below the sample floor; keep observing
+  kPromote,   ///< candidate cleared both gates
+  kRollback,  ///< candidate regressed accuracy or p99
+};
+
+[[nodiscard]] const char* to_string(CanaryVerdict v);
+
+/// One arm's observation window.
+struct ArmWindow {
+  std::uint64_t total = 0;
+  std::uint64_t correct = 0;
+  std::vector<double> latencies_s;
+
+  [[nodiscard]] double accuracy() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(correct) /
+                            static_cast<double>(total);
+  }
+};
+
+/// evaluate()'s full reasoning, for the decision log and tests.
+struct CanaryEvaluation {
+  CanaryVerdict verdict = CanaryVerdict::kPending;
+  std::string reason;
+  double incumbent_accuracy = 0.0;
+  double candidate_accuracy = 0.0;
+  serving::WindowComparison latency;
+};
+
+class CanaryController {
+ public:
+  explicit CanaryController(const CanaryPolicy& policy);
+
+  /// Accumulates one served-response outcome into its arm's window.
+  void observe(bool canary_arm, bool correct, double latency_s);
+
+  /// Pure function of the windows: no observation is consumed or mutated.
+  [[nodiscard]] CanaryEvaluation evaluate() const;
+
+  /// Drops both windows (a new canary stage starts clean).
+  void reset();
+
+  [[nodiscard]] const ArmWindow& incumbent() const { return incumbent_; }
+  [[nodiscard]] const ArmWindow& candidate() const { return candidate_; }
+  [[nodiscard]] const CanaryPolicy& policy() const { return policy_; }
+
+ private:
+  CanaryPolicy policy_;
+  ArmWindow incumbent_;
+  ArmWindow candidate_;
+};
+
+/// Append-only, byte-reproducible record of every canary decision.  All
+/// numbers are printed with fixed formatting (printf-stable, no locale), so
+/// two runs that make the same decisions produce bit-identical logs — the
+/// property the determinism harness and the learning-smoke CI job diff on.
+class DecisionLog {
+ public:
+  /// Appends one line:
+  ///   round=R canary=S verdict=V inc_acc=A can_acc=B inc_n=N can_n=M
+  ///   p99_ratio=X reason="..."
+  void append(std::uint64_t round, std::uint64_t canary_seq,
+              const CanaryEvaluation& eval);
+
+  /// Appends a lifecycle marker (start / trainer-death / checkpoint...).
+  void note(std::uint64_t round, const std::string& text);
+
+  [[nodiscard]] const std::string& text() const { return text_; }
+  [[nodiscard]] std::uint64_t lines() const { return lines_; }
+
+  /// Atomic write (temp + fsync + rename) via state::atomic_write_file —
+  /// a crash mid-write never leaves a torn log.
+  void write(const std::string& path) const;
+
+ private:
+  std::string text_;
+  std::uint64_t lines_ = 0;
+};
+
+}  // namespace trident::learning

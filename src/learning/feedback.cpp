@@ -1,0 +1,120 @@
+#include "learning/feedback.hpp"
+
+#include <utility>
+
+namespace trident::learning {
+
+FeedbackQueue::FeedbackQueue(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity) {}
+
+bool FeedbackQueue::push(FeedbackSample sample) {
+  {
+    std::lock_guard lock(mutex_);
+    ++offered_;
+    if (closed_ || queue_.size() >= capacity_) {
+      ++dropped_;
+      return false;
+    }
+    ++enqueued_;
+    queue_.push_back(std::move(sample));
+  }
+  // notify_all, not notify_one: a wait_for_depth() waiter parked for a
+  // full pulse and a pop_batch() popper may both be waiting, and waking
+  // only one could strand the other past its wake condition.
+  not_empty_cv_.notify_all();
+  return true;
+}
+
+std::vector<FeedbackSample> FeedbackQueue::pop_batch(
+    std::size_t max_batch, std::chrono::microseconds max_wait) {
+  std::vector<FeedbackSample> batch;
+  if (max_batch == 0) {
+    return batch;
+  }
+  std::unique_lock lock(mutex_);
+  if (max_wait.count() > 0) {
+    ++poppers_waiting_;
+    not_empty_cv_.wait_for(lock, max_wait,
+                           [&] { return closed_ || !queue_.empty(); });
+    --poppers_waiting_;
+  }
+  while (!queue_.empty() && batch.size() < max_batch) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+    ++consumed_;
+  }
+  return batch;
+}
+
+std::size_t FeedbackQueue::wait_for_depth(std::size_t n,
+                                          std::chrono::microseconds timeout) {
+  std::unique_lock lock(mutex_);
+  ++poppers_waiting_;
+  not_empty_cv_.wait_for(lock, timeout,
+                         [&] { return closed_ || queue_.size() >= n; });
+  --poppers_waiting_;
+  return queue_.size();
+}
+
+void FeedbackQueue::close() {
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+  }
+  not_empty_cv_.notify_all();
+}
+
+std::uint64_t FeedbackQueue::close_and_discard() {
+  std::uint64_t n = 0;
+  {
+    std::lock_guard lock(mutex_);
+    closed_ = true;
+    n = queue_.size();
+    discarded_ += n;
+    queue_.clear();
+  }
+  not_empty_cv_.notify_all();
+  return n;
+}
+
+bool FeedbackQueue::closed() const {
+  std::lock_guard lock(mutex_);
+  return closed_;
+}
+
+std::size_t FeedbackQueue::depth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
+}
+
+std::uint64_t FeedbackQueue::offered() const {
+  std::lock_guard lock(mutex_);
+  return offered_;
+}
+
+std::uint64_t FeedbackQueue::enqueued() const {
+  std::lock_guard lock(mutex_);
+  return enqueued_;
+}
+
+std::uint64_t FeedbackQueue::dropped() const {
+  std::lock_guard lock(mutex_);
+  return dropped_;
+}
+
+std::uint64_t FeedbackQueue::consumed() const {
+  std::lock_guard lock(mutex_);
+  return consumed_;
+}
+
+std::uint64_t FeedbackQueue::discarded() const {
+  std::lock_guard lock(mutex_);
+  return discarded_;
+}
+
+std::size_t FeedbackQueue::poppers_waiting() const {
+  std::lock_guard lock(mutex_);
+  return poppers_waiting_;
+}
+
+}  // namespace trident::learning

@@ -1,0 +1,104 @@
+// Bounded MPMC feedback stream for the continuous-learning pipeline.
+//
+// The labelled feedback a deployed edge device collects (user corrections,
+// delayed ground truth) arrives on the serving side and is consumed by the
+// shadow trainer.  The buffer between the two reuses the serving queue
+// discipline (serving::RequestQueue): a hard capacity bound, push/pop_batch
+// under one mutex, close-and-drain shutdown, and double-entry counters so
+// the chaos suite can assert conservation over every interleaving:
+//
+//   offered  == enqueued + dropped          (admission partition)
+//   enqueued == consumed + depth            (while open)
+//   enqueued == consumed + discarded        (after close_and_discard)
+//
+// Unlike the request queue there is no retry path and no promise to keep:
+// feedback is advisory, so overload policy is always drop-new-and-count
+// (training can tolerate sample loss; serving latency cannot tolerate a
+// blocked producer in its completion hook).
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "nn/matrix.hpp"
+
+namespace trident::learning {
+
+/// One labelled observation: the input the server served plus the ground
+/// truth that later became known for it.  `id` ties the sample back to the
+/// request that produced it (deterministic replay keys off it).
+struct FeedbackSample {
+  std::uint64_t id = 0;
+  nn::Vector input;
+  int label = 0;
+};
+
+class FeedbackQueue {
+ public:
+  explicit FeedbackQueue(std::size_t capacity);
+
+  FeedbackQueue(const FeedbackQueue&) = delete;
+  FeedbackQueue& operator=(const FeedbackQueue&) = delete;
+
+  /// Offers one sample.  Returns true when enqueued; false when dropped
+  /// (full or closed) — dropped samples are counted, never silently lost
+  /// from the books.
+  bool push(FeedbackSample sample);
+
+  /// Pops up to `max_batch` samples.  Waits at most `max_wait` for the
+  /// first sample (a close wakes the wait early); a zero `max_wait` makes
+  /// the call non-blocking.  Either way it returns whatever is available —
+  /// possibly nothing on a timeout or once the queue is closed and drained.
+  [[nodiscard]] std::vector<FeedbackSample> pop_batch(
+      std::size_t max_batch, std::chrono::microseconds max_wait);
+
+  /// Blocks until at least `n` samples are queued, the queue closes, or
+  /// `timeout` elapses — whichever first.  Returns the depth observed.
+  /// Lets a trainer thread park for a full pulse without consuming
+  /// anything (pop would eat samples a below-threshold pulse must leave).
+  std::size_t wait_for_depth(std::size_t n, std::chrono::microseconds timeout);
+
+  /// Closes admission: later pushes drop, poppers drain then observe
+  /// empty-and-closed.
+  void close();
+
+  /// Closes and discards whatever is still queued (counted as discarded),
+  /// so the books balance without requiring a consumer to drain.  Returns
+  /// the number discarded.
+  std::uint64_t close_and_discard();
+
+  [[nodiscard]] bool closed() const;
+  [[nodiscard]] std::size_t depth() const;
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  /// Double-entry counters (monotonic).
+  [[nodiscard]] std::uint64_t offered() const;
+  [[nodiscard]] std::uint64_t enqueued() const;
+  [[nodiscard]] std::uint64_t dropped() const;
+  [[nodiscard]] std::uint64_t consumed() const;
+  [[nodiscard]] std::uint64_t discarded() const;
+
+  /// Threads currently blocked inside pop_batch — the same deterministic
+  /// synchronization hook RequestQueue exposes for its fuzz suite.
+  [[nodiscard]] std::size_t poppers_waiting() const;
+
+ private:
+  const std::size_t capacity_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_cv_;
+  std::deque<FeedbackSample> queue_;
+  bool closed_ = false;
+  std::uint64_t offered_ = 0;
+  std::uint64_t enqueued_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::uint64_t consumed_ = 0;
+  std::uint64_t discarded_ = 0;
+  std::size_t poppers_waiting_ = 0;
+};
+
+}  // namespace trident::learning

@@ -1,0 +1,225 @@
+#include "learning/harness.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <utility>
+
+#include "common/error.hpp"
+#include "core/photonic_backend.hpp"
+#include "nn/train.hpp"
+
+namespace trident::learning {
+
+namespace {
+
+[[nodiscard]] int argmax(const nn::Vector& v) {
+  int best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i) {
+    if (v[i] > v[static_cast<std::size_t>(best)]) {
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+[[nodiscard]] bool bit_equal(const nn::Vector& a, const nn::Vector& b) {
+  if (a.size() != b.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i] != b[i]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Synthetic service latency for request `id`: an independent Rng::split
+/// stream per id, so the value is a pure function of (seed, id) no matter
+/// what order responses resolve in.
+[[nodiscard]] double synth_latency(const Rng& lat_master, std::uint64_t id) {
+  Rng r = lat_master.split(id);
+  return r.uniform(900e-6, 1100e-6);
+}
+
+}  // namespace
+
+std::uint64_t learning_seed_from_env(std::uint64_t fallback) {
+  const char* env = std::getenv(kLearningSeedEnv);
+  if (env == nullptr || *env == '\0') {
+    return fallback;
+  }
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 0);
+  if (end == env || (end != nullptr && *end != '\0')) {
+    return fallback;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+HarnessReport run_learning_harness(const HarnessConfig& user_cfg) {
+  HarnessConfig cfg = user_cfg;
+  if (cfg.phases.empty()) {
+    // Default script: a stable warm-up phase on the incumbent's templates,
+    // then a concept drift (new template seed) the shadow must learn.
+    cfg.phases = {
+        DriftPhase{10 * cfg.round_size, 1, 0.05, 0.0, 1.0},
+        DriftPhase{30 * cfg.round_size, 2, 0.05, 0.0, 1.0},
+    };
+  }
+  if (cfg.learning.feedback_capacity == 0) {
+    cfg.learning.feedback_capacity = 4096;
+  }
+  TRIDENT_REQUIRE(cfg.features >= 1 && cfg.classes >= 2,
+                  "harness task shape invalid");
+
+  ScriptedStream stream(cfg.phases, cfg.features, cfg.classes, cfg.seed);
+  const Rng master(cfg.seed);
+  const Rng lat_master = master.split(0x1a7e);
+
+  // --- incumbent: init + offline pre-training on phase 0's world --------
+  std::vector<int> layers;
+  layers.push_back(cfg.features);
+  layers.insert(layers.end(), cfg.hidden.begin(), cfg.hidden.end());
+  layers.push_back(cfg.classes);
+  Rng init_rng = master.split(0x0de1);
+  nn::Mlp incumbent(layers, nn::Activation::kGstPhotonic, init_rng);
+  {
+    Rng data_rng = master.split(cfg.phases.front().template_seed);
+    nn::Dataset warmup = nn::pattern_classes(
+        static_cast<int>(cfg.incumbent_train_samples), cfg.classes,
+        cfg.features, cfg.phases.front().pixel_flip_probability, data_rng);
+    core::PhotonicBackendConfig bc = cfg.learning.backend;
+    bc.seed = master.split(0xb007).seed();
+    core::PhotonicBackend pretrain_backend(bc);
+    nn::TrainConfig tc;
+    tc.epochs = cfg.incumbent_epochs;
+    tc.learning_rate = cfg.learning.learning_rate;
+    tc.shuffle = true;
+    tc.shuffle_seed = master.split(0x5fff).seed();
+    (void)nn::fit(incumbent, std::move(warmup), tc, pretrain_backend);
+  }
+
+  // --- serving + pipeline ----------------------------------------------
+  serving::ServerConfig sc;
+  sc.replicas = cfg.replicas;
+  sc.max_batch = cfg.max_batch;
+  sc.admission.capacity =
+      std::max<std::size_t>(1024, cfg.round_size * 4);
+  sc.backend = cfg.learning.backend;
+  serving::Server server(incumbent, sc);
+  LearningPipeline pipeline(server, incumbent, cfg.learning);
+
+  // Local reference copies of what each arm serves; the audit below
+  // re-derives every response through ref_backend.  Noise-free quantized
+  // forwards are pure functions of (weights, input), so any response that
+  // fails this check was served by torn or stale weights.
+  nn::Mlp incumbent_ref = incumbent;
+  nn::Mlp candidate_ref = incumbent;
+  core::PhotonicBackend ref_backend(cfg.learning.backend);
+
+  HarnessReport report;
+  DecisionLog log;
+  std::uint64_t current_seq = 0;
+  std::uint64_t round = 0;
+  std::uint64_t submitted = 0;
+
+  for (;; ++round) {
+    std::vector<StreamSample> samples;
+    samples.reserve(cfg.round_size);
+    StreamSample s;
+    while (samples.size() < cfg.round_size && stream.next(s)) {
+      samples.push_back(s);
+    }
+    if (samples.empty()) {
+      break;
+    }
+
+    std::vector<std::future<serving::Response>> futures;
+    futures.reserve(samples.size());
+    for (const StreamSample& smp : samples) {
+      auto fut = server.submit(smp.input);
+      TRIDENT_REQUIRE(fut.has_value(),
+                      "harness sized admission to never shed");
+      TRIDENT_REQUIRE(smp.id == submitted,
+                      "stream ids must match submission order");
+      ++submitted;
+      futures.push_back(std::move(*fut));
+    }
+
+    // Quiesce: every future resolves before anything is published or
+    // decided, and observations land in request-id order.
+    std::uint64_t correct_count = 0;
+    for (std::size_t i = 0; i < futures.size(); ++i) {
+      const serving::Response resp = futures[i].get();
+      const StreamSample& smp = samples[i];
+      TRIDENT_REQUIRE(resp.status == serving::ResponseStatus::kOk,
+                      "fault-free harness request failed: " + resp.error);
+      const bool correct = argmax(resp.output) == smp.true_label;
+      correct_count += correct ? 1u : 0u;
+
+      const nn::Mlp& arm_model = resp.canary ? candidate_ref : incumbent_ref;
+      const nn::ForwardTrace ref = arm_model.forward(smp.input, ref_backend);
+      if (!bit_equal(ref.activations.back(), resp.output)) {
+        ++report.bit_exact_mismatches;
+      }
+      if (resp.canary) {
+        ++report.canary_responses;
+      } else {
+        ++report.incumbent_responses;
+      }
+
+      double latency = synth_latency(lat_master, smp.id);
+      if (resp.canary) {
+        latency *= smp.canary_latency_scale;
+      }
+      pipeline.observe_response(resp.canary, correct, latency);
+      (void)pipeline.feed(FeedbackSample{smp.id, smp.input,
+                                         smp.feedback_label});
+    }
+    report.final_round_accuracy =
+        static_cast<double>(correct_count) /
+        static_cast<double>(samples.size());
+
+    if (pipeline.canary_active()) {
+      const CanaryEvaluation eval = pipeline.maybe_decide(round, &log);
+      if (eval.verdict != CanaryVerdict::kPending) {
+        report.decisions.push_back(
+            DecisionRecord{round, current_seq, eval.verdict, eval.reason});
+        if (eval.verdict == CanaryVerdict::kPromote) {
+          incumbent_ref = candidate_ref;
+        }
+        current_seq = 0;
+      }
+    } else {
+      // Training is paused while a canary runs (the candidate under
+      // evaluation must be the candidate that was published).
+      while (pipeline.feedback().depth() >= cfg.learning.pulse_threshold) {
+        if (pipeline.train_pulse() == 0) {
+          break;
+        }
+      }
+      if (cfg.checkpoint_every_rounds != 0 &&
+          (round + 1) % cfg.checkpoint_every_rounds == 0) {
+        (void)pipeline.checkpoint();
+      }
+      if (pipeline.stats().shadow_generation >= cfg.publish_after_pulses) {
+        candidate_ref = pipeline.shadow_model();
+        const std::uint64_t seq = pipeline.publish_canary();
+        if (seq != 0) {
+          current_seq = seq;
+          log.note(round, "canary published seq=" + std::to_string(seq));
+        }
+      }
+    }
+  }
+
+  server.drain();
+  report.server = server.stats();
+  report.learning = pipeline.stats();
+  report.decision_log = log.text();
+  report.rounds = round;
+  return report;
+}
+
+}  // namespace trident::learning

@@ -1,0 +1,96 @@
+// Deterministic virtual-time end-to-end harness for the learning loop.
+//
+// The harness stands up a real multi-replica serving::Server plus a
+// LearningPipeline and drives both through a ScriptedStream in quiesced
+// rounds.  Determinism is by construction, not by luck:
+//
+//   * one submitting thread → request ids (and therefore trace ids, and
+//     therefore canary-arm routing) are a pure function of the script;
+//   * every round's futures are drained before anything is published or
+//     decided → no in-flight batch ever straddles a weight transition;
+//   * observations are fed to the controller in request-id order with
+//     SYNTHETIC seeded latencies (Rng::split per request id, scaled by the
+//     phase's canary_latency_scale) — wall clock never enters a decision;
+//   * training consumes feedback in arrival order with shuffling off.
+//
+// Net effect: the promote/rollback decision sequence — and the byte-exact
+// DecisionLog — is a pure function of (seed, config).  Two runs with the
+// same TRIDENT_LEARNING_SEED diff clean; a scripted accuracy regression
+// rolls back with the incumbent still serving bit-identical outputs.  The
+// harness also re-derives every response on a local reference backend, so
+// each run doubles as a full never-torn audit: every output must be
+// bit-exactly the incumbent's or the candidate's, per its stamped arm.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "learning/pipeline.hpp"
+#include "learning/scripted_stream.hpp"
+#include "serving/server.hpp"
+
+namespace trident::learning {
+
+/// Environment override for the master seed (strtoull base 0, so 0x...
+/// hex literals work) — the TRIDENT_CHAOS_SEED idiom for learning runs.
+inline constexpr const char* kLearningSeedEnv = "TRIDENT_LEARNING_SEED";
+
+/// Reads kLearningSeedEnv, falling back to `fallback` when unset/invalid.
+[[nodiscard]] std::uint64_t learning_seed_from_env(std::uint64_t fallback);
+
+struct HarnessConfig {
+  std::uint64_t seed = 0x5eedull;
+  /// Task shape + model (features and classes bound the MLP ends).
+  int features = 12;
+  int classes = 3;
+  std::vector<int> hidden = {16};
+  /// The scripted world.  Defaults (empty) to a two-phase drift script:
+  /// phase 0 on the incumbent's templates, phase 1 drifted.
+  std::vector<DriftPhase> phases;
+  /// Requests per quiesced round.
+  std::size_t round_size = 24;
+  /// Incumbent pre-training (offline, before serving starts).
+  std::size_t incumbent_train_samples = 240;
+  int incumbent_epochs = 6;
+  /// Serving shape.
+  int replicas = 2;
+  std::size_t max_batch = 8;
+  /// Learning knobs (backend seed, canary policy, pulse shape...).  The
+  /// harness fills feedback_capacity generously if left at 0.
+  LearningConfig learning;
+  /// Publish a canary once the shadow has this many pulses on it.
+  std::uint64_t publish_after_pulses = 2;
+  /// checkpoint() cadence in rounds (0 = never).
+  std::uint64_t checkpoint_every_rounds = 0;
+};
+
+/// One resolved canary, as the report records it.
+struct DecisionRecord {
+  std::uint64_t round = 0;
+  std::uint64_t canary_seq = 0;
+  CanaryVerdict verdict = CanaryVerdict::kPending;
+  std::string reason;
+};
+
+struct HarnessReport {
+  /// Byte-reproducible decision log (same seed ⇒ same bytes).
+  std::string decision_log;
+  std::vector<DecisionRecord> decisions;
+  std::uint64_t rounds = 0;
+  /// Responses whose output was NOT bit-exactly the reference forward of
+  /// the arm that stamped them (must be 0 — the never-torn audit).
+  std::uint64_t bit_exact_mismatches = 0;
+  /// Responses served per arm, recomputed by the harness (cross-checked
+  /// against the server's canary/incumbent dispatch counters).
+  std::uint64_t canary_responses = 0;
+  std::uint64_t incumbent_responses = 0;
+  /// Accuracy over the final round's responses (true labels).
+  double final_round_accuracy = 0.0;
+  serving::ServerStats server;
+  LearningStats learning;
+};
+
+[[nodiscard]] HarnessReport run_learning_harness(const HarnessConfig& cfg);
+
+}  // namespace trident::learning

@@ -1,0 +1,72 @@
+#include "learning/scripted_stream.hpp"
+
+#include "common/error.hpp"
+
+namespace trident::learning {
+
+ScriptedStream::ScriptedStream(std::vector<DriftPhase> phases, int features,
+                               int classes, std::uint64_t seed)
+    : phases_(std::move(phases)),
+      features_(features),
+      classes_(classes),
+      master_(seed),
+      poison_rng_(master_.split(0x901501)) {
+  TRIDENT_REQUIRE(!phases_.empty(), "scripted stream needs at least one phase");
+  load_phase(0);
+}
+
+void ScriptedStream::load_phase(std::size_t index) {
+  phase_index_ = index;
+  phase_cursor_ = 0;
+  const DriftPhase& phase = phases_[index];
+  // Templates are a function of template_seed alone (pattern_classes draws
+  // them before any sample), so phases sharing a template_seed share class
+  // prototypes — the definition of "no drift".  The per-phase shuffle is
+  // keyed off the phase INDEX, so even a repeated template_seed replays its
+  // samples in a fresh order.
+  Rng rng = master_.split(phase.template_seed);
+  phase_data_ =
+      nn::pattern_classes(static_cast<int>(phase.samples), classes_, features_,
+                          phase.pixel_flip_probability, rng);
+  Rng shuffle = master_.split(0x5481ff).split(index);
+  phase_data_.shuffle(shuffle);
+}
+
+bool ScriptedStream::next(StreamSample& out) {
+  while (phase_cursor_ >= phase_data_.size()) {
+    if (phase_index_ + 1 >= phases_.size()) {
+      return false;
+    }
+    load_phase(phase_index_ + 1);
+  }
+  const DriftPhase& phase = phases_[phase_index_];
+  out.id = drawn_;
+  out.input = phase_data_.inputs[phase_cursor_];
+  out.true_label = phase_data_.labels[phase_cursor_];
+  out.feedback_label = out.true_label;
+  // Label poisoning draws ONE bernoulli per sample regardless of outcome,
+  // so the poison stream's draw count — and with it every later draw — is
+  // a pure function of the sample index.
+  if (poison_rng_.bernoulli(phase.label_flip_probability)) {
+    const int offset = static_cast<int>(
+        poison_rng_.uniform_int(1, static_cast<std::int64_t>(classes_) - 1));
+    out.feedback_label = (out.true_label + offset) % classes_;
+  }
+  out.phase = phase_index_;
+  out.canary_latency_scale = phase.canary_latency_scale;
+  ++phase_cursor_;
+  ++drawn_;
+  return true;
+}
+
+nn::Dataset ScriptedStream::eval_set(std::size_t phase,
+                                     std::size_t count) const {
+  TRIDENT_REQUIRE(phase < phases_.size(), "eval phase out of range");
+  // Same split as load_phase, so the templates are the phase's own; clean
+  // samples (no pixel noise) make this the held-out ground-truth probe.
+  Rng rng = master_.split(phases_[phase].template_seed);
+  return nn::pattern_classes(static_cast<int>(count), classes_, features_,
+                             0.0, rng);
+}
+
+}  // namespace trident::learning

@@ -1,0 +1,93 @@
+// Seeded, scripted feedback stream: the deterministic "world" of the
+// learning harness.
+//
+// Real continuous learning faces concept drift: the input distribution the
+// incumbent was trained on shifts, its accuracy decays, and a shadow model
+// retrained on fresh labels must take over.  The scripted stream replays
+// exactly that, deterministically: a sequence of phases, each generating
+// labelled pattern-classes samples (nn::pattern_classes) from its OWN
+// template seed.  A phase with a new template_seed IS the drift — the
+// class prototypes change under the model.  label_flip_probability poisons
+// the labels fed to the trainer (scripted training regression → the canary
+// gate must roll back), and canary_latency_scale inflates the synthetic
+// service latencies attributed to the candidate arm (scripted p99
+// regression).  Everything derives from Rng::split streams of one master
+// seed, so the full sample sequence is a pure function of (seed, phases).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "learning/feedback.hpp"
+#include "nn/dataset.hpp"
+
+namespace trident::learning {
+
+/// One segment of the scripted world.
+struct DriftPhase {
+  std::size_t samples = 0;
+  /// Keys the pattern templates: phases sharing a template_seed draw from
+  /// the same class prototypes; a new seed is a concept drift.
+  std::uint64_t template_seed = 1;
+  /// Pixel-flip noise within the phase (sample difficulty, not drift).
+  double pixel_flip_probability = 0.05;
+  /// Probability a sample's label is flipped to a wrong class *in the
+  /// feedback fed to the trainer* (the served ground truth stays correct):
+  /// label poisoning that degrades the candidate, not the evaluation.
+  double label_flip_probability = 0.0;
+  /// Multiplier on synthetic service latencies attributed to the canary
+  /// arm during this phase (1.0 = no scripted latency regression).
+  double canary_latency_scale = 1.0;
+};
+
+/// One drawn sample, with both the true label (used to score served
+/// responses) and the feedback label (possibly poisoned, fed to the
+/// trainer).
+struct StreamSample {
+  std::uint64_t id = 0;
+  nn::Vector input;
+  int true_label = 0;
+  int feedback_label = 0;
+  std::size_t phase = 0;
+  double canary_latency_scale = 1.0;
+};
+
+class ScriptedStream {
+ public:
+  /// `features`/`classes` fix the task shape; `seed` keys every stream
+  /// (templates per phase, sample noise, label poisoning) via Rng::split.
+  ScriptedStream(std::vector<DriftPhase> phases, int features, int classes,
+                 std::uint64_t seed);
+
+  /// Draws the next sample; false once every phase is exhausted.
+  bool next(StreamSample& out);
+
+  /// Samples drawn so far (== the next sample's id).
+  [[nodiscard]] std::uint64_t drawn() const { return drawn_; }
+
+  /// Dataset of `count` clean evaluation samples from phase `phase`'s
+  /// templates (an ever-fresh held-out set keyed off a disjoint split).
+  [[nodiscard]] nn::Dataset eval_set(std::size_t phase,
+                                     std::size_t count) const;
+
+  [[nodiscard]] const std::vector<DriftPhase>& phases() const {
+    return phases_;
+  }
+
+ private:
+  /// (Re)generates the sample block for phase `index`.
+  void load_phase(std::size_t index);
+
+  std::vector<DriftPhase> phases_;
+  int features_;
+  int classes_;
+  Rng master_;
+  std::size_t phase_index_ = 0;
+  std::size_t phase_cursor_ = 0;
+  nn::Dataset phase_data_;
+  Rng poison_rng_;
+  std::uint64_t drawn_ = 0;
+};
+
+}  // namespace trident::learning

@@ -93,6 +93,17 @@ struct Response {
   std::uint64_t trace_id = 0;
   /// Tenant the request was submitted under (0 = untenanted).
   std::uint64_t tenant_key = 0;
+  /// Version of the weights that actually served this response: the
+  /// incumbent's published version, or — when `canary` is set — the canary
+  /// publication sequence number of the candidate.  The per-version stamp
+  /// is what lets a continuous-learning controller attribute an outcome to
+  /// exactly one weight set, and what the never-torn regression test keys
+  /// its bit-exactness check on.
+  std::uint64_t weights_version = 0;
+  /// True when the candidate (canary) weights served this response.
+  /// Routing is by trace id, so a retried request lands on the same arm on
+  /// every attempt and the flag is stable across replica hops.
+  bool canary = false;
 };
 
 /// One in-flight inference (move-only: it carries the response promise).

@@ -1,6 +1,7 @@
 #include "serving/server.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <exception>
 #include <optional>
@@ -102,6 +103,26 @@ struct ServerMetrics {
       reg.counter("trident_serving_fast_fallbacks_total",
                   "kFast requests served exact (replica has no quantized "
                   "tier)");
+  // Canary arm dispatch: the two counters partition completed responses
+  // exactly (canary + incumbent == completed), mirroring the tier law.
+  telemetry::Counter& canary_dispatch =
+      reg.counter("trident_canary_dispatch_total",
+                  "responses served by the candidate (canary) weights");
+  telemetry::Counter& incumbent_dispatch =
+      reg.counter("trident_incumbent_dispatch_total",
+                  "responses served by the incumbent weights");
+  telemetry::Counter& canary_starts =
+      reg.counter("trident_serving_canary_starts_total",
+                  "candidate weight sets published to the canary stage");
+  telemetry::Counter& canary_promotes =
+      reg.counter("trident_serving_canary_promotes_total",
+                  "canaries promoted to incumbent via hot_swap");
+  telemetry::Counter& canary_rollbacks =
+      reg.counter("trident_serving_canary_rollbacks_total",
+                  "canaries rolled back (candidate discarded)");
+  telemetry::Gauge& canary_version =
+      reg.gauge("trident_serving_canary_version",
+                "live canary publication sequence (0 = none active)");
 };
 
 ServerMetrics& server_metrics() {
@@ -126,6 +147,28 @@ ServerMetrics& server_metrics() {
     }
   }
   return true;
+}
+
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// Canary arm selection: a pure function of (trace id, percent), so the
+/// arm a request rides is fixed at admission — stable across retries and
+/// replica hops, deterministic under a fixed submission order, and
+/// greppable from any trace or flight dump by the same arithmetic.
+[[nodiscard]] bool route_to_canary(std::uint64_t trace_id,
+                                   std::uint32_t percent) {
+  if (percent == 0) {
+    return false;
+  }
+  if (percent >= 100) {
+    return true;
+  }
+  return splitmix64(trace_id) % 100 < percent;
 }
 
 }  // namespace
@@ -348,51 +391,77 @@ bool Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
     queue_wait_.record(seconds_between(r.admitted, formed));
   }
 
-  // Tier split: a batch may mix fast and exact requests; each tier runs as
-  // one forward pass on its backend.  kFast degrades to exact — counted,
-  // and visible in the response — when the replica has no quantized tier.
-  std::vector<Request> exact_group;
-  std::vector<Request> fast_group;
+  // (Tier × arm) split: a batch may mix fast and exact requests, and — when
+  // a canary this replica has adopted is live — incumbent- and
+  // canary-routed ones.  Each combination runs as one forward pass with the
+  // right weights on the right backend, so no request can ever see a torn
+  // mix of the two weight sets.  kFast degrades to exact — counted, and
+  // visible in the response — when the replica has no quantized tier.
+  const bool canary_live =
+      replica.canary_seen != 0 && replica.canary_model.has_value();
+  const std::uint32_t percent = canary_live ? replica.canary_percent : 0;
+  struct Group {
+    std::vector<Request> requests;
+    ServingTier tier = ServingTier::kExact;
+    bool canary = false;
+  };
+  std::array<Group, 4> groups;  // [exact/inc, exact/can, fast/inc, fast/can]
+  groups[1].canary = true;
+  groups[2].tier = ServingTier::kFast;
+  groups[3].tier = ServingTier::kFast;
+  groups[3].canary = true;
   for (Request& r : batch) {
-    if (r.tier == ServingTier::kFast && replica.backend.fast != nullptr) {
-      fast_group.push_back(std::move(r));
-      continue;
-    }
-    if (r.tier == ServingTier::kFast) {
+    const bool fast = r.tier == ServingTier::kFast &&
+                      replica.backend.fast != nullptr;
+    if (r.tier == ServingTier::kFast && !fast) {
       fast_fallbacks_.fetch_add(1, std::memory_order_relaxed);
       if (telem) {
         server_metrics().fast_fallbacks.add(1);
       }
     }
-    exact_group.push_back(std::move(r));
+    const bool canary = canary_live && route_to_canary(r.trace.trace_id,
+                                                       percent);
+    groups[(fast ? 2u : 0u) + (canary ? 1u : 0u)].requests.push_back(
+        std::move(r));
   }
   batch.clear();
 
-  if (!exact_group.empty() &&
-      !serve_group(replica, exact_group, *replica.backend.backend,
-                   ServingTier::kExact, formed, n)) {
-    // Hardware died under the exact pass: the fast share of the batch has
-    // nowhere to run on this replica either — requeue it alongside.
-    const int incarnation = replica.incarnation.load(std::memory_order_relaxed);
-    for (Request& r : fast_group) {
-      retry_or_fail(std::move(r),
-                    "replica " + std::to_string(replica.index) +
-                        " died before its fast-tier pass",
-                    replica.index, incarnation);
+  const int incarnation = replica.incarnation.load(std::memory_order_relaxed);
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    Group& group = groups[g];
+    if (group.requests.empty()) {
+      continue;
     }
-    return false;
-  }
-  if (!fast_group.empty() &&
-      !serve_group(replica, fast_group, *replica.backend.fast,
-                   ServingTier::kFast, formed, n)) {
-    return false;
+    const nn::Mlp& model =
+        group.canary ? *replica.canary_model : replica.model;
+    nn::MatvecBackend& backend = group.tier == ServingTier::kFast
+                                     ? *replica.backend.fast
+                                     : *replica.backend.backend;
+    const std::uint64_t version =
+        group.canary ? replica.canary_seen : replica.weights_seen;
+    if (!serve_group(replica, group.requests, model, backend, group.tier,
+                     group.canary, version, formed, n)) {
+      // Hardware died under this pass: the rest of the batch has nowhere
+      // to run on this replica either — requeue it alongside.
+      for (std::size_t rest = g + 1; rest < groups.size(); ++rest) {
+        for (Request& r : groups[rest].requests) {
+          retry_or_fail(std::move(r),
+                        "replica " + std::to_string(replica.index) +
+                            " died before this share of its batch",
+                        replica.index, incarnation);
+        }
+      }
+      return false;
+    }
   }
   return true;
 }
 
 bool Server::serve_group(Replica& replica, std::vector<Request>& group,
-                         nn::MatvecBackend& backend, ServingTier served,
-                         Clock::time_point formed, std::size_t cut_size) {
+                         const nn::Mlp& model, nn::MatvecBackend& backend,
+                         ServingTier served, bool canary_arm,
+                         std::uint64_t served_version, Clock::time_point formed,
+                         std::size_t cut_size) {
   const std::size_t n = group.size();
   const bool telem = telemetry::enabled();
   const int incarnation = replica.incarnation.load(std::memory_order_relaxed);
@@ -425,8 +494,7 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
       scope.emplace(batch_ctx);
     }
     const Clock::time_point start = Clock::now();
-    const nn::BatchForwardTrace trace =
-        replica.model.forward_batch(x, backend);
+    const nn::BatchForwardTrace trace = model.forward_batch(x, backend);
     const Clock::time_point done = Clock::now();
     scope.reset();
     span.reset();
@@ -453,6 +521,8 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
       response.replica = replica.index;
       response.attempts = group[b].attempts + 1;
       response.tier = served;
+      response.weights_version = served_version;
+      response.canary = canary_arm;
       response.timing.queue_wait_s = seconds_between(group[b].admitted, formed);
       response.timing.service_s = service_s;
       response.timing.sojourn_s = seconds_between(group[b].admitted, done);
@@ -480,6 +550,14 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
       } else {
         exact_dispatches_.fetch_add(1, std::memory_order_relaxed);
       }
+      // The arm counters partition completed responses exactly the same
+      // way the tier counters do — canary + incumbent == completed is a
+      // checked invariant.
+      if (canary_arm) {
+        canary_dispatches_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        incumbent_dispatches_.fetch_add(1, std::memory_order_relaxed);
+      }
       if (telem) {
         ServerMetrics& m = server_metrics();
         m.service.observe(service_s);
@@ -489,6 +567,11 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
           m.quantized_dispatch.add(1);
         } else {
           m.exact_dispatch.add(1);
+        }
+        if (canary_arm) {
+          m.canary_dispatch.add(1);
+        } else {
+          m.incumbent_dispatch.add(1);
         }
         if (violated) {
           m.slo_violations.add(1);
@@ -731,32 +814,122 @@ void Server::hot_swap(const nn::Mlp& model) {
   // published_ / the snapshot instead, so they never serve stale weights.
 }
 
+std::uint64_t Server::canary_start(const nn::Mlp& candidate,
+                                   std::uint32_t traffic_percent) {
+  TRIDENT_REQUIRE(candidate.layer_sizes() == model_.layer_sizes(),
+                  "canary model architecture does not match the server");
+  TRIDENT_REQUIRE(candidate.hidden_activation() == model_.hidden_activation(),
+                  "canary model activation does not match the server");
+  const std::uint32_t percent = std::min<std::uint32_t>(traffic_percent, 100);
+  std::uint64_t seq = 0;
+  {
+    std::lock_guard lock(swap_mutex_);
+    if (canary_published_ != nullptr) {
+      // One canary at a time: overlapping candidates would make the
+      // per-version response stamp ambiguous.  The caller must resolve the
+      // live one (canary_end) before publishing another.
+      return 0;
+    }
+    seq = ++canary_seq_;
+    canary_published_ = std::make_shared<const PublishedModel>(
+        PublishedModel{seq, candidate, now_ns()});
+    canary_percent_.store(percent, std::memory_order_relaxed);
+    // Release pairs with the workers' acquire in maybe_adopt_weights: a
+    // worker that observes the sequence also observes the pointer above.
+    canary_version_.store(seq, std::memory_order_release);
+  }
+  canary_starts_.fetch_add(1, std::memory_order_relaxed);
+  if (telemetry::enabled()) {
+    ServerMetrics& m = server_metrics();
+    m.canary_starts.add(1);
+    m.canary_version.set(static_cast<double>(seq));
+  }
+  return seq;
+}
+
+bool Server::canary_end(bool promote) {
+  std::shared_ptr<const PublishedModel> candidate;
+  {
+    std::lock_guard lock(swap_mutex_);
+    if (canary_published_ == nullptr) {
+      return false;
+    }
+    candidate = std::move(canary_published_);
+    canary_published_.reset();
+    canary_percent_.store(0, std::memory_order_relaxed);
+    // Workers observing 0 clear their canary arm at the next batch
+    // boundary; in-flight batches finish on whichever weights they started
+    // with — still one definite version per response.
+    canary_version_.store(0, std::memory_order_release);
+  }
+  if (promote) {
+    // Outside the lock: hot_swap takes swap_mutex_ itself.  Promotion IS a
+    // hot_swap, so it inherits the never-torn publication guarantee and
+    // bills re-programming through each replica's ledger on adoption.
+    hot_swap(candidate->model);
+    canary_promotes_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      server_metrics().canary_promotes.add(1);
+    }
+  } else {
+    // Rollback is pure bookkeeping: the incumbent was never displaced, so
+    // restoring it is a no-op by construction.
+    canary_rollbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      server_metrics().canary_rollbacks.add(1);
+    }
+  }
+  if (telemetry::enabled()) {
+    server_metrics().canary_version.set(0.0);
+  }
+  return true;
+}
+
 void Server::maybe_adopt_weights(Replica& replica) {
-  // Fast path: one acquire-load; nothing to do while no swap happened.
+  // Fast path: two acquire-loads; nothing to do while neither the
+  // incumbent publication nor the canary stage moved.
   if (weights_version_.load(std::memory_order_acquire) ==
-      replica.weights_seen) {
+          replica.weights_seen &&
+      canary_version_.load(std::memory_order_acquire) == replica.canary_seen) {
     return;
   }
   std::shared_ptr<const PublishedModel> published;
+  std::shared_ptr<const PublishedModel> canary;
+  std::uint32_t percent = 0;
   {
     std::lock_guard lock(swap_mutex_);
     published = published_;
+    canary = canary_published_;
+    percent = canary_percent_.load(std::memory_order_relaxed);
   }
-  if (published->version == replica.weights_seen) {
-    return;
+  if (published->version != replica.weights_seen) {
+    // Copy outside the lock: the publication is immutable, only the worker
+    // touches replica.model, and the fresh Matrix addresses make the next
+    // forward's ensure_programmed() re-program the GST bank — billing the
+    // swap's write pulses through this replica's existing ledger.
+    replica.model = published->model;
+    replica.weights_seen = published->version;
+    adoptions_.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::enabled()) {
+      ServerMetrics& m = server_metrics();
+      m.swap_adoptions.add(1);
+      m.swap_latency.observe(
+          static_cast<double>(now_ns() - published->published_ns) * 1e-9);
+    }
   }
-  // Copy outside the lock: the publication is immutable, only the worker
-  // touches replica.model, and the fresh Matrix addresses make the next
-  // forward's ensure_programmed() re-program the GST bank — billing the
-  // swap's write pulses through this replica's existing ledger.
-  replica.model = published->model;
-  replica.weights_seen = published->version;
-  adoptions_.fetch_add(1, std::memory_order_relaxed);
-  if (telemetry::enabled()) {
-    ServerMetrics& m = server_metrics();
-    m.swap_adoptions.add(1);
-    m.swap_latency.observe(
-        static_cast<double>(now_ns() - published->published_ns) * 1e-9);
+  // Canary adoption/clearing happens at the same batch boundary, so a
+  // worker can never serve half a batch on one candidate and half on
+  // another: the (model, percent, sequence) triple changes only here.
+  const std::uint64_t canary_version = canary ? canary->version : 0;
+  if (canary_version != replica.canary_seen) {
+    if (canary) {
+      replica.canary_model = canary->model;
+      replica.canary_percent = percent;
+    } else {
+      replica.canary_model.reset();
+      replica.canary_percent = 0;
+    }
+    replica.canary_seen = canary_version;
   }
 }
 
@@ -820,6 +993,12 @@ void Server::restart_replica(Replica& replica) {
   std::uint64_t seen = 0;
   replica.model = restore_model_for_restart(seen);
   replica.weights_seen = seen;
+  // Canary state is NOT carried across the death: the fresh incarnation
+  // re-adopts any still-live canary at its first batch boundary, so a
+  // node killed mid-canary heals onto the current stage, not a stale one.
+  replica.canary_model.reset();
+  replica.canary_seen = 0;
+  replica.canary_percent = 0;
   replica.backend = make_backend(replica.index, incarnation);
   restarts_.fetch_add(1, std::memory_order_relaxed);
   if (telemetry::enabled()) {
@@ -906,6 +1085,13 @@ ServerStats Server::stats() const {
   s.quantized_dispatches = quantized_dispatches_.load(std::memory_order_relaxed);
   s.exact_dispatches = exact_dispatches_.load(std::memory_order_relaxed);
   s.fast_fallbacks = fast_fallbacks_.load(std::memory_order_relaxed);
+  s.canary_starts = canary_starts_.load(std::memory_order_relaxed);
+  s.canary_promotes = canary_promotes_.load(std::memory_order_relaxed);
+  s.canary_rollbacks = canary_rollbacks_.load(std::memory_order_relaxed);
+  s.canary_version = canary_version_.load(std::memory_order_relaxed);
+  s.canary_dispatches = canary_dispatches_.load(std::memory_order_relaxed);
+  s.incumbent_dispatches =
+      incumbent_dispatches_.load(std::memory_order_relaxed);
   {
     std::lock_guard lock(drain_mutex_);
     if (drained_) {

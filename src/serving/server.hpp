@@ -186,6 +186,20 @@ struct ServerStats {
   std::uint64_t swap_adoptions = 0;    ///< replica adoptions at batch bounds
   std::uint64_t snapshot_restores = 0; ///< restarts healed from the snapshot
   std::uint64_t snapshot_restore_failures = 0;  ///< fell back to published
+  /// Canary lifecycle (continuous-learning publication stage).  Every
+  /// canary started resolves to exactly one promote or one rollback unless
+  /// it is still live: starts == promotes + rollbacks + (active ? 1 : 0) —
+  /// the promote/rollback books the chaos invariants check.
+  std::uint64_t canary_starts = 0;
+  std::uint64_t canary_promotes = 0;   ///< ended via hot_swap of the candidate
+  std::uint64_t canary_rollbacks = 0;  ///< candidate discarded
+  /// Live canary's publication sequence (0 = no canary active).
+  std::uint64_t canary_version = 0;
+  /// Arm dispatch accounting: every completed response was served by
+  /// exactly one weight set (canary + incumbent == completed — the canary
+  /// conservation law).
+  std::uint64_t canary_dispatches = 0;
+  std::uint64_t incumbent_dispatches = 0;
   /// Tier dispatch accounting.  Every completed response is exactly one of
   /// the two (quantized + exact == completed — the metrics validator checks
   /// the telemetry mirror of this invariant).
@@ -261,6 +275,32 @@ class Server {
     return weights_version_.load(std::memory_order_acquire);
   }
 
+  /// Publishes `candidate` as a canary: `traffic_percent`% of subsequent
+  /// traffic (selected by a splitmix64 hash of the trace id, so the arm a
+  /// request lands on is a pure function of its identity and composes with
+  /// request tracing — retries stay on their arm) is served by the
+  /// candidate weights, the rest by the incumbent.  Replicas adopt the
+  /// candidate at batch boundaries exactly like a hot swap: no response is
+  /// ever a torn mix of the two weight sets, and the candidate's GST
+  /// programming is billed through the adopting replica's ledger.  Returns
+  /// the canary publication sequence (> 0), or 0 when a canary is already
+  /// active (one candidate at a time; end it first).  The architecture
+  /// must match the serving model.  Thread-safe.
+  [[nodiscard]] std::uint64_t canary_start(const nn::Mlp& candidate,
+                                           std::uint32_t traffic_percent);
+
+  /// Resolves the live canary: promote publishes the candidate as the new
+  /// incumbent through the hot_swap path (version bump, batch-boundary
+  /// adoption); rollback discards it and all traffic reverts to the
+  /// untouched incumbent.  No-op (returns false) when no canary is active.
+  /// Thread-safe; serialises with canary_start and hot_swap.
+  bool canary_end(bool promote);
+
+  /// Live canary's publication sequence (0 = none active).
+  [[nodiscard]] std::uint64_t canary_version() const {
+    return canary_version_.load(std::memory_order_acquire);
+  }
+
   [[nodiscard]] ServerStats stats() const;
   /// Per-replica lifecycle/heartbeat view (cheap, lock-free).
   [[nodiscard]] std::vector<ReplicaHealth> health() const;
@@ -291,6 +331,14 @@ class Server {
     /// while alive (only touched by the worker thread and, between
     /// incarnations, by the supervisor holding the joined thread).
     std::uint64_t weights_seen = 0;
+    /// Candidate (canary) weights this replica serves, when a canary is
+    /// live and adopted.  Worker-private like `model`; cleared at the
+    /// batch boundary after the canary ends.
+    std::optional<nn::Mlp> canary_model;
+    std::uint64_t canary_seen = 0;  ///< canary sequence adopted (0 = none)
+    /// Traffic split cached at adoption, so routing within a batch is a
+    /// pure function of replica state (no racing reads of the knob).
+    std::uint32_t canary_percent = 0;
 
     Replica(int idx, const nn::Mlp& m) : index(idx), model(m) {}
   };
@@ -310,11 +358,16 @@ class Server {
   /// Serves one batch.  Returns false when the replica's hardware died
   /// (batch already requeued) and the worker must exit.
   [[nodiscard]] bool serve_batch(Replica& replica, std::vector<Request>& batch);
-  /// Runs one tier's share of a batch through `backend` and fulfils its
-  /// promises.  `cut_size` is the size of the originally cut batch (what
-  /// responses report).  Returns false on HardwareFailure (group requeued).
+  /// Runs one (tier, arm) share of a batch through `backend` with `model`'s
+  /// weights and fulfils its promises.  `canary_arm`/`served_version` stamp
+  /// the responses (incumbent version, or the canary sequence when the
+  /// candidate served).  `cut_size` is the size of the originally cut batch
+  /// (what responses report).  Returns false on HardwareFailure (group
+  /// requeued).
   [[nodiscard]] bool serve_group(Replica& replica, std::vector<Request>& group,
+                                 const nn::Mlp& model,
                                  nn::MatvecBackend& backend, ServingTier served,
+                                 bool canary_arm, std::uint64_t served_version,
                                  Clock::time_point formed,
                                  std::size_t cut_size);
   /// Requeues `r` for another attempt, or fulfils it as kFailed when the
@@ -375,10 +428,24 @@ class Server {
 
   /// Hot-swap publication point.  weights_version_ mirrors
   /// published_->version so workers can check currency with one
-  /// acquire-load before taking the mutex.
+  /// acquire-load before taking the mutex.  The canary publication shares
+  /// the same mutex: canary_version_ == 0 means no candidate; a non-zero
+  /// value is the live canary's sequence number and canary_published_
+  /// holds its immutable weights.  Sequences are never reused (canary_seq_
+  /// is monotone), so a worker detects "ended then restarted" purely by
+  /// comparing its adopted sequence against the live one.
   mutable std::mutex swap_mutex_;
   std::shared_ptr<const PublishedModel> published_;
+  std::shared_ptr<const PublishedModel> canary_published_;
   std::atomic<std::uint64_t> weights_version_{0};
+  std::atomic<std::uint64_t> canary_version_{0};
+  std::atomic<std::uint32_t> canary_percent_{0};
+  std::uint64_t canary_seq_ = 0;  ///< monotone canary ids (under swap_mutex_)
+  std::atomic<std::uint64_t> canary_starts_{0};
+  std::atomic<std::uint64_t> canary_promotes_{0};
+  std::atomic<std::uint64_t> canary_rollbacks_{0};
+  std::atomic<std::uint64_t> canary_dispatches_{0};
+  std::atomic<std::uint64_t> incumbent_dispatches_{0};
   LatencyRecorder sojourn_;
   LatencyRecorder queue_wait_;
   LatencyRecorder service_;

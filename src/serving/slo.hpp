@@ -11,6 +11,7 @@
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <vector>
 
 namespace trident::serving {
@@ -24,6 +25,40 @@ struct LatencySummary {
   double p99_s = 0.0;
   double max_s = 0.0;
 };
+
+/// Exact order-statistic quantile of one sample window: sorts a copy and
+/// returns element floor(q * (n-1)).  Total over every window shape the
+/// canary gate can see — empty (nullopt), singleton (its only element for
+/// every q), all-tied (the tied value) — so callers never divide by zero
+/// or read past the end on a degenerate window.
+[[nodiscard]] std::optional<double> exact_quantile(std::vector<double> window,
+                                                   double q);
+
+/// Outcome of comparing one latency quantile across two observation
+/// windows (incumbent vs candidate).  The windows may hold unequal sample
+/// counts — each side's quantile is its own exact order statistic — but a
+/// comparison is only `comparable` when BOTH windows carry at least
+/// `min_samples` observations.  A degenerate window (empty, singleton
+/// below the floor, or simply too small) yields comparable == false and a
+/// NaN ratio: a gate built on this cannot promote or roll back on noise,
+/// it must wait for more data.
+struct WindowComparison {
+  bool comparable = false;
+  std::uint64_t incumbent_count = 0;
+  std::uint64_t candidate_count = 0;
+  double incumbent_q_s = 0.0;  ///< quantile of the incumbent window
+  double candidate_q_s = 0.0;  ///< quantile of the candidate window
+  /// candidate_q_s / incumbent_q_s; NaN when not comparable, +inf when the
+  /// incumbent quantile is exactly zero and the candidate's is not.
+  double ratio = 0.0;
+};
+
+/// Compares quantile `q` (default p99) of two windows with a per-window
+/// sample floor.  `min_samples` is clamped to >= 1 so an empty window can
+/// never be comparable.
+[[nodiscard]] WindowComparison compare_latency_windows(
+    const std::vector<double>& incumbent, const std::vector<double>& candidate,
+    std::size_t min_samples, double q = 0.99);
 
 /// Thread-safe sample recorder with exact percentiles.  Bounded: beyond
 /// `cap` samples new observations are dropped (and counted) so a runaway

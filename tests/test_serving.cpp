@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <map>
@@ -674,6 +675,161 @@ TEST(Server, RepeatedHotSwapsBumpVersionMonotonically) {
   EXPECT_GE(stats.swap_adoptions, 1u);
   EXPECT_LE(stats.swap_adoptions,
             static_cast<std::uint64_t>(server.config().replicas));
+}
+
+// --- canary publication (PR-9) ----------------------------------------------
+
+TEST(Server, CanaryRoutesSharePerArmBitExactAndNeverTorn) {
+  // Regression pin for the hot_swap never-torn guarantee under CONCURRENT
+  // canary publication: while canaries start and end (rollback) in a churn
+  // loop on one thread, every served response must be bit-exactly the
+  // incumbent's output or bit-exactly the candidate's output — matching its
+  // own canary stamp.  Three seeds vary the churn/submission interleaving;
+  // the property must hold for all of them (and under TSan in CI).
+  for (const std::uint64_t seed : {0x7EA1u, 0x7EA2u, 0x7EA3u}) {
+    const nn::Mlp incumbent = test_model(0x5eedu);
+    const nn::Mlp candidate = test_model(0xB0Bu);
+    const nn::Vector probe = seeded_inputs(1, seed)[0];
+    const nn::Vector expected_inc = reference_output(incumbent, probe);
+    const nn::Vector expected_can = reference_output(candidate, probe);
+    ASSERT_NE(expected_inc, expected_can)
+        << "probe must distinguish the arms";
+
+    ServerConfig cfg;
+    cfg.replicas = 2;
+    cfg.max_batch = 4;
+    cfg.max_wait = std::chrono::microseconds(100);
+    cfg.admission.capacity = 256;
+    Server server(incumbent, cfg);
+
+    std::atomic<bool> stop_churn{false};
+    std::thread churn([&] {
+      Rng rng(seed);
+      while (!stop_churn.load(std::memory_order_relaxed)) {
+        const std::uint64_t seq = server.canary_start(candidate, 50);
+        if (seq != 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(
+              rng.uniform_int(0, 300)));
+          EXPECT_TRUE(server.canary_end(/*promote=*/false));
+        }
+        std::this_thread::yield();
+      }
+    });
+
+    std::uint64_t torn = 0;
+    std::uint64_t wrong_arm = 0;
+    std::uint64_t canary_seen = 0;
+    constexpr int kRequests = 400;
+    for (int i = 0; i < kRequests; ++i) {
+      auto fut = server.submit(probe);
+      ASSERT_TRUE(fut.has_value());
+      const Response resp = fut->get();
+      ASSERT_EQ(resp.status, ResponseStatus::kOk);
+      const bool is_inc = resp.output == expected_inc;
+      const bool is_can = resp.output == expected_can;
+      if (!is_inc && !is_can) {
+        ++torn;  // a third value = torn weights
+      } else if (resp.canary ? !is_can : !is_inc) {
+        ++wrong_arm;  // stamped one arm, served the other
+      }
+      canary_seen += resp.canary ? 1u : 0u;
+    }
+    stop_churn.store(true);
+    churn.join();
+    // Close out a canary the churn loop may have left live, then drain.
+    (void)server.canary_end(false);
+    server.drain();
+
+    EXPECT_EQ(torn, 0u) << "seed=" << seed;
+    EXPECT_EQ(wrong_arm, 0u) << "seed=" << seed;
+
+    const ServerStats stats = server.stats();
+    EXPECT_EQ(stats.canary_dispatches + stats.incumbent_dispatches,
+              stats.completed)
+        << "seed=" << seed;
+    EXPECT_EQ(stats.canary_dispatches, canary_seen) << "seed=" << seed;
+    EXPECT_EQ(stats.canary_starts,
+              stats.canary_promotes + stats.canary_rollbacks)
+        << "seed=" << seed;
+    EXPECT_EQ(stats.canary_promotes, 0u);
+    EXPECT_EQ(stats.weight_swaps, 0u) << "rollback must not displace";
+    EXPECT_EQ(stats.canary_version, 0u);
+  }
+}
+
+TEST(Server, CanaryRoutingIsAPureFunctionOfTraceId) {
+  // The arm a request lands on is a splitmix64 hash of its trace id: with
+  // a quiesced server (single outstanding request), re-submitting in the
+  // same order must reproduce the same arm sequence, and the canary share
+  // at 50% must be neither 0 nor 100%.
+  const nn::Mlp incumbent = test_model(0x5eedu);
+  const nn::Mlp candidate = test_model(0xB0Bu);
+  const nn::Vector probe = seeded_inputs(1)[0];
+
+  std::vector<bool> arms;
+  for (int run = 0; run < 2; ++run) {
+    ServerConfig cfg;
+    cfg.replicas = 1;
+    cfg.admission.capacity = 64;
+    Server server(incumbent, cfg);
+    ASSERT_NE(server.canary_start(candidate, 50), 0u);
+    std::vector<bool> seen;
+    for (int i = 0; i < 64; ++i) {
+      auto fut = server.submit(probe);
+      ASSERT_TRUE(fut.has_value());
+      seen.push_back(fut->get().canary);
+    }
+    EXPECT_TRUE(server.canary_end(false));
+    server.drain();
+    if (run == 0) {
+      arms = seen;
+      const auto hits = static_cast<std::size_t>(
+          std::count(seen.begin(), seen.end(), true));
+      EXPECT_GT(hits, 0u);
+      EXPECT_LT(hits, seen.size());
+    } else {
+      EXPECT_EQ(arms, seen) << "routing must replay identically";
+    }
+  }
+}
+
+TEST(Server, CanaryPromoteIsAHotSwap) {
+  const nn::Mlp incumbent = test_model(0x5eedu);
+  const nn::Mlp candidate = test_model(0xB0Bu);
+  const nn::Vector probe = seeded_inputs(1)[0];
+  const nn::Vector expected_can = reference_output(candidate, probe);
+
+  Server server(incumbent, ServerConfig{});
+  ASSERT_NE(server.canary_start(candidate, 25), 0u);
+  // Only one canary at a time: a second publication is refused.
+  EXPECT_EQ(server.canary_start(candidate, 25), 0u);
+  EXPECT_TRUE(server.canary_end(/*promote=*/true));
+  // Promotion went through the hot_swap path: version bumped, and all
+  // traffic now serves the promoted weights on the incumbent arm.
+  EXPECT_EQ(server.weights_version(), 1u);
+  EXPECT_EQ(server.canary_version(), 0u);
+  auto fut = server.submit(probe);
+  ASSERT_TRUE(fut.has_value());
+  const Response resp = fut->get();
+  EXPECT_FALSE(resp.canary);
+  EXPECT_EQ(resp.output, expected_can);
+  server.drain();
+  const ServerStats stats = server.stats();
+  EXPECT_EQ(stats.canary_starts, 1u);
+  EXPECT_EQ(stats.canary_promotes, 1u);
+  EXPECT_EQ(stats.canary_rollbacks, 0u);
+  EXPECT_EQ(stats.weight_swaps, 1u);
+  // Ending with nothing live is a no-op, not an error state.
+  EXPECT_FALSE(server.canary_end(false));
+}
+
+TEST(Server, CanaryRejectsMismatchedArchitecture) {
+  Server server(test_model(), ServerConfig{});
+  Rng rng(1);
+  const nn::Mlp wrong_hidden({8, 12, 4}, nn::Activation::kGstPhotonic, rng);
+  EXPECT_THROW((void)server.canary_start(wrong_hidden, 25), Error);
+  EXPECT_EQ(server.canary_version(), 0u);
+  server.drain();
 }
 
 // --- quantized fast tier (per-request fast/exact knob) ----------------------
