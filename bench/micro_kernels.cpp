@@ -20,6 +20,7 @@
 #include "nn/int8_gemm.hpp"
 #include "dataflow/analyzer.hpp"
 #include "nn/mlp.hpp"
+#include "nn/plan.hpp"
 #include "nn/zoo.hpp"
 #include "parallel/thread_pool.hpp"
 #include "state/snapshot.hpp"
@@ -546,6 +547,87 @@ void BM_TelemetryCounter(benchmark::State& state) {
   telemetry::set_enabled(false);
 }
 BENCHMARK(BM_TelemetryCounter);
+
+// --- plan runtime vs per-op dispatch ---------------------------------------
+//
+// Whole-model forward through a compiled ExecutionPlan against the per-op
+// Mlp::forward_batch dispatch on the same backend, at the serving batch
+// sizes the acceptance gate cares about (B=1 and B=32).
+// scripts/summarize_bench.py --plan pairs each BM_MlpForwardPerOp* row
+// with its BM_MlpForwardPlan* twin and requires the plan path to be at
+// least as fast.
+
+nn::Matrix plan_bench_input(const nn::Mlp& model, std::size_t batch) {
+  Rng rng(7);
+  nn::Matrix x(batch, static_cast<std::size_t>(model.layer_sizes().front()));
+  for (double& v : x.data()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  return x;
+}
+
+void BM_MlpForwardPerOpPhotonic(benchmark::State& state) {
+  const nn::Mlp model = nn::zoo::surrogate_mlp(nn::zoo::lenet5());
+  core::PhotonicBackend backend;
+  const nn::Matrix x =
+      plan_bench_input(model, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const nn::BatchForwardTrace trace = model.forward_batch(x, backend);
+    benchmark::DoNotOptimize(trace.activations.back().data().data());
+  }
+}
+BENCHMARK(BM_MlpForwardPerOpPhotonic)->Arg(1)->Arg(32);
+
+void BM_MlpForwardPlanPhotonic(benchmark::State& state) {
+  const nn::Mlp model = nn::zoo::surrogate_mlp(nn::zoo::lenet5());
+  core::PhotonicBackend backend;
+  const auto plan = nn::ExecutionPlan::compile(model);
+  nn::PlanArena arena;
+  const nn::Matrix x =
+      plan_bench_input(model, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const nn::Matrix& y = plan->run(backend, x, arena);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_MlpForwardPlanPhotonic)->Arg(1)->Arg(32);
+
+void BM_MlpForwardPerOpQuantized(benchmark::State& state) {
+  const nn::Mlp model = nn::zoo::surrogate_mlp(nn::zoo::lenet5());
+  core::QuantizedBackend backend;
+  const nn::Matrix x =
+      plan_bench_input(model, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const nn::BatchForwardTrace trace = model.forward_batch(x, backend);
+    benchmark::DoNotOptimize(trace.activations.back().data().data());
+  }
+}
+BENCHMARK(BM_MlpForwardPerOpQuantized)->Arg(1)->Arg(32);
+
+void BM_MlpForwardPlanQuantized(benchmark::State& state) {
+  const nn::Mlp model = nn::zoo::surrogate_mlp(nn::zoo::lenet5());
+  core::QuantizedBackend backend;
+  const auto plan = nn::ExecutionPlan::compile(model);
+  nn::PlanArena arena;
+  const nn::Matrix x =
+      plan_bench_input(model, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const nn::Matrix& y = plan->run(backend, x, arena);
+    benchmark::DoNotOptimize(y.data().data());
+  }
+}
+BENCHMARK(BM_MlpForwardPlanQuantized)->Arg(1)->Arg(32);
+
+void BM_PlanCompile(benchmark::State& state) {
+  // The cost hot_swap / canary_start pay per publication (off the serving
+  // path); documented in docs/performance.md.
+  const nn::Mlp model = nn::zoo::surrogate_mlp(nn::zoo::lenet5());
+  for (auto _ : state) {
+    const auto plan = nn::ExecutionPlan::compile(model);
+    benchmark::DoNotOptimize(plan->id());
+  }
+}
+BENCHMARK(BM_PlanCompile);
 
 }  // namespace
 

@@ -12,12 +12,19 @@ instead: the gate is the queueing-theory cross-check — per-shard M/M/1
 split-oracle error for the consistent-hash policy and the M/M/k
 central-queue error for least-loaded — at every simulated node count.
 
+With --plan the artifact is again a micro_kernels file: every
+BM_MlpForwardPerOp*/B row is paired with its BM_MlpForwardPlan*/B twin
+and the gate requires the compiled-plan path to be at least as fast as
+per-op dispatch (within --plan-tolerance) at every batch size ran.
+
 Stdlib-only.  Usage:
     summarize_bench.py BENCH_micro_kernels.json [--min 2.0]
         [--shape 256/32] [--double BM_MatmulBlocked]
         [--int8 BM_Int8GemmBlocked]
     summarize_bench.py --fleet BENCH_fleet_serving.json
         [--hash-max-err 0.10] [--mmk-max-err 0.25] [--min-nodes 10]
+    summarize_bench.py --plan BENCH_micro_kernels.json
+        [--plan-tolerance 1.0]
 """
 
 import argparse
@@ -26,11 +33,18 @@ import sys
 
 
 def load_times(doc):
-    """name -> real_time (ns per iteration) for every run in the artifact."""
+    """name -> real_time (ns per iteration) for every run in the artifact.
+
+    Iteration rows are kept under their plain name; with
+    --benchmark_repetitions the median aggregate is also kept (as
+    "<name>_median") so gates can prefer the noise-robust statistic.
+    Mean/stddev/cv aggregates are dropped.
+    """
     times = {}
     for bench in doc.get("benchmarks", []):
-        if bench.get("run_type", "iteration") != "iteration":
-            continue  # skip aggregate rows (mean/median/stddev)
+        if bench.get("run_type", "iteration") != "iteration" \
+                and bench.get("aggregate_name") != "median":
+            continue
         times[bench["name"]] = float(bench["real_time"])
     return times
 
@@ -87,6 +101,48 @@ def summarize_fleet(doc, artifact, hash_max_err, mmk_max_err, min_nodes):
     return status
 
 
+def summarize_plan(times, artifact, tolerance):
+    """Gate the compiled-plan forward against per-op dispatch.
+
+    Pairs BM_MlpForwardPerOp<Tier>/<B> with BM_MlpForwardPlan<Tier>/<B>
+    and requires plan_time <= per_op_time * tolerance for every pair.
+    When the artifact was produced with --benchmark_repetitions, the
+    median aggregate is used instead of the (noisier) last repetition.
+    """
+    per_op_prefix = "BM_MlpForwardPerOp"
+    plan_prefix = "BM_MlpForwardPlan"
+    pairs = sorted(
+        name[len(per_op_prefix):] for name in times
+        if name.startswith(per_op_prefix) and not name.endswith("_median")
+        and (plan_prefix + name[len(per_op_prefix):]) in times)
+    if not pairs:
+        print("no %s*/%s* pairs in %s"
+              % (per_op_prefix, plan_prefix, artifact), file=sys.stderr)
+        return 1
+
+    def pick(name):
+        return times.get(name + "_median", times[name])
+
+    print("plan path over per-op dispatch (real_time ratio, < 1 is faster):")
+    status = 0
+    for suffix in pairs:
+        per_op = pick(per_op_prefix + suffix)
+        plan = pick(plan_prefix + suffix)
+        ratio = plan / per_op
+        ok = plan <= per_op * tolerance
+        print("  %-14s %6.3f  (per-op %10.0f ns, plan %10.0f ns)  %s"
+              % (suffix, ratio, per_op, plan, "OK" if ok else "FAIL"))
+        if not ok:
+            status = 1
+    if status:
+        print("FAIL: plan path slower than per-op dispatch "
+              "(tolerance %.2fx)" % tolerance, file=sys.stderr)
+    else:
+        print("OK: plan path at or under per-op dispatch for %d pair(s) "
+              "(tolerance %.2fx)" % (len(pairs), tolerance))
+    return status
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("artifact", help="micro_kernels --json-out file")
@@ -109,6 +165,11 @@ def main(argv=None):
                         help="[--fleet] max M/M/k relative error")
     parser.add_argument("--min-nodes", type=int, default=10,
                         help="[--fleet] gate rows at or above this size")
+    parser.add_argument("--plan", action="store_true",
+                        help="gate the compiled-plan forward against per-op "
+                             "dispatch (BM_MlpForwardPlan* vs *PerOp*)")
+    parser.add_argument("--plan-tolerance", type=float, default=1.0,
+                        help="[--plan] allowed plan/per-op time ratio")
     args = parser.parse_args(argv)
 
     with open(args.artifact, "r", encoding="utf-8") as f:
@@ -119,6 +180,9 @@ def main(argv=None):
                                args.mmk_max_err, args.min_nodes)
 
     times = load_times(doc)
+
+    if args.plan:
+        return summarize_plan(times, args.artifact, args.plan_tolerance)
 
     double_prefix = args.double_bench + "/"
     int8_prefix = args.int8_bench + "/"

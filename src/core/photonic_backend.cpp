@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/plan.hpp"
 #include "photonics/constants.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
@@ -282,6 +283,78 @@ nn::Matrix PhotonicBackend::matmul(const nn::Matrix& w, const nn::Matrix& x) {
     metrics().quantize_passes.add(1);
   }
   return y;
+}
+
+bool PhotonicBackend::run_plan(const nn::ExecutionPlan& plan,
+                               const nn::Matrix& x, nn::PlanArena& arena) {
+  const std::size_t batch = x.rows();
+  const int depth = plan.depth();
+  const nn::Matrix* cur = &x;
+  nn::Vector& scale = arena.scale();
+  nn::Matrix& xq = arena.quantized();
+  for (int k = 0; k < depth; ++k) {
+    const nn::PlanLayer& layer = plan.layer(k);
+    // Programming is keyed on the plan's own panel: with depth ≥ 2 the
+    // bank churns through the layers exactly as the per-op path churns
+    // through the model's matrices, so the billing pattern is identical.
+    ensure_programmed(layer.weights);
+
+    // Input DAC, same pass as matmul but into arena scratch.
+    xq.reshape(batch, layer.cols);
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto row = cur->row(b);
+      double s = 1.0;
+      for (double v : row) {
+        s = std::max(s, std::abs(v));
+      }
+      scale[b] = s;
+      auto q = xq.row(b);
+      for (std::size_t c = 0; c < row.size(); ++c) {
+        q[c] = input_quantizer_.quantize(row[c] / s);
+      }
+    }
+
+    const bool last = (k == depth - 1);
+    nn::Matrix& y = last ? arena.out() : arena.act(k);
+    y.reshape(batch, layer.rows);
+    // The pre-clamped panel replaces the fresh saturated copy matmul makes
+    // per call — same values, no allocation.
+    layer.clamped.matmul_into(xq, y);
+    // Read-out noise and TIA re-scaling, in the same draw order as matmul
+    // (per sample, then per row).
+    for (std::size_t b = 0; b < batch; ++b) {
+      auto yr = y.row(b);
+      for (double& v : yr) {
+        if (config_.readout_noise > 0.0) {
+          v += rng_.normal(0.0, config_.readout_noise);
+        }
+        v *= scale[b];
+      }
+    }
+    // Hidden-layer activation as its own whole-buffer pass, mirroring
+    // forward_batch: the branch-free loop vectorizes, where folding the
+    // activation into the noise/re-scale loop above measurably does not.
+    if (!last) {
+      for (double& v : y.data()) {
+        v = nn::apply_activation(layer.activation, v);
+      }
+    }
+
+    ledger_.symbols += batch;
+    ledger_.macs += batch * layer.weights.size();
+    ledger_.activations += batch * layer.weights.rows();
+    if (telemetry::enabled()) {
+      note_ledger(0, 0, batch, batch * layer.weights.size(),
+                  batch * layer.weights.rows());
+      metrics().matmul_calls.add(1);
+      metrics().quantize_passes.add(1);
+    }
+
+    if (!last) {
+      cur = &y;
+    }
+  }
+  return true;
 }
 
 nn::Matrix PhotonicBackend::matmul_transposed(const nn::Matrix& w,

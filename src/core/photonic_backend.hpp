@@ -105,6 +105,15 @@ class PhotonicBackend final : public nn::MatvecBackend {
   // GST programming quantizes after every sample, so the batched result is
   // defined BY the per-sample order.
 
+  /// Fused plan execution: per layer, programs the plan's own weight panel,
+  /// quantizes the block into the arena, multiplies against the pre-clamped
+  /// panel, then applies noise/re-scale and the activation epilogue in
+  /// place.  Outputs, RNG draws, and ledger counters are bit-identical to
+  /// Mlp::forward_batch through matmul; the per-call clamped weight copy is
+  /// the only work removed.  Zero steady-state heap allocation.
+  bool run_plan(const nn::ExecutionPlan& plan, const nn::Matrix& x,
+                nn::PlanArena& arena) override;
+
   [[nodiscard]] const PhotonicLedger& ledger() const { return ledger_; }
   [[nodiscard]] const PhotonicBackendConfig& config() const { return config_; }
 

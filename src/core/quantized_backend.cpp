@@ -8,6 +8,7 @@
 
 #include "common/error.hpp"
 #include "nn/int8_gemm.hpp"
+#include "nn/plan.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/telemetry.hpp"
 
@@ -192,6 +193,83 @@ nn::Matrix QuantizedBackend::matmul(const nn::Matrix& w, const nn::Matrix& x) {
   d.activations = batch * w.rows();
   detail::mirror_ledger_delta(d);
   return y;
+}
+
+bool QuantizedBackend::run_plan(const nn::ExecutionPlan& plan,
+                                const nn::Matrix& x, nn::PlanArena& arena) {
+  if (plan.config().weight_bits != config_.weight_bits) {
+    return false;  // panel grid mismatch — interpret per-op (re-packs right)
+  }
+  const std::size_t batch = x.rows();
+  const int depth = plan.depth();
+  const double unit = weight_quantizer_.step() * input_quantizer_.step();
+  const nn::Matrix* cur = &x;
+  nn::Vector& scale = arena.scale();
+  nn::Vector& scaled = arena.scratch();
+  std::vector<std::int8_t>& xq = arena.int8_input();
+  std::vector<std::int32_t>& acc = arena.int32_acc();
+  for (int k = 0; k < depth; ++k) {
+    const nn::PlanLayer& layer = plan.layer(k);
+    const std::size_t rows = layer.rows;
+    const std::size_t cols = layer.cols;
+    TRIDENT_REQUIRE(cols <= nn::kInt8GemmMaxCols,
+                    "layer fan-in too large for exact int32 accumulation");
+    ensure_programmed(layer.weights);
+
+    for (std::size_t b = 0; b < batch; ++b) {
+      const auto row = cur->row(b);
+      const double s = dac_scale(row);
+      scale[b] = s;
+      for (std::size_t c = 0; c < cols; ++c) {
+        scaled[c] = row[c] / s;
+      }
+      input_quantizer_.to_levels(
+          std::span<const double>(scaled.data(), cols),
+          std::span<std::int8_t>(xq.data() + b * cols, cols));
+    }
+
+    // The plan's immutable panel replaces plan_for: no per-call content
+    // fingerprint, because published plans never mutate.
+    nn::int8_gemm(layer.levels.data(), rows, cols, xq.data(), batch,
+                  acc.data());
+
+    // Fused epilogue: the TIA re-scale and the activation land in one pass
+    // over the output block.  Routing the rescaled value through a register
+    // instead of memory does not change its bits, so this matches the
+    // legacy rescale-then-activate sequence exactly.
+    const bool last = (k == depth - 1);
+    nn::Matrix& y = last ? arena.out() : arena.act(k);
+    y.reshape(batch, rows);
+    for (std::size_t b = 0; b < batch; ++b) {
+      auto yr = y.row(b);
+      const std::int32_t* ar = acc.data() + b * rows;
+      if (last) {
+        for (std::size_t r = 0; r < rows; ++r) {
+          yr[r] = static_cast<double>(ar[r]) * unit * scale[b];
+        }
+      } else {
+        for (std::size_t r = 0; r < rows; ++r) {
+          yr[r] = nn::apply_activation(
+              layer.activation,
+              static_cast<double>(ar[r]) * unit * scale[b]);
+        }
+      }
+    }
+
+    ledger_.symbols += batch;
+    ledger_.macs += batch * layer.weights.size();
+    ledger_.activations += batch * rows;
+    PhotonicLedger d;
+    d.symbols = batch;
+    d.macs = batch * layer.weights.size();
+    d.activations = batch * rows;
+    detail::mirror_ledger_delta(d);
+
+    if (!last) {
+      cur = &y;
+    }
+  }
+  return true;
 }
 
 nn::Vector QuantizedBackend::matvec(const nn::Matrix& w, const nn::Vector& x) {

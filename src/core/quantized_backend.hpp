@@ -73,6 +73,16 @@ class QuantizedBackend final : public nn::MatvecBackend {
   [[nodiscard]] nn::Matrix matmul_transposed(const nn::Matrix& w,
                                              const nn::Matrix& x) override;
 
+  /// Fused plan execution: streams the plan's pre-packed int8 panels
+  /// through int8_gemm with arena-resident scratch — no per-lookup content
+  /// fingerprint (plan immutability replaces it) and zero steady-state
+  /// heap allocation.  Only taken when the plan's weight grid matches this
+  /// backend's (otherwise the per-op interpreter runs, which re-packs at
+  /// the right grid through plan_for); outputs and ledger counters are
+  /// bit-identical to Mlp::forward_batch through matmul either way.
+  bool run_plan(const nn::ExecutionPlan& plan, const nn::Matrix& x,
+                nn::PlanArena& arena) override;
+
   [[nodiscard]] const PhotonicLedger& ledger() const { return ledger_; }
   [[nodiscard]] const QuantizedBackendConfig& config() const {
     return config_;

@@ -87,6 +87,10 @@ serving::ServerConfig Fleet::node_config(int node_id) {
     cfg.backend_factory = config_.node_backend_factory(node_id);
   }
   cfg.on_response = [this](const serving::Response& r) { observe_response(r); };
+  // All nodes launch from the same weights, so they share one compiled plan
+  // instead of each paying a compile at construction.  Per-node hot_swaps
+  // diverge from here as before — each publishes its own plan.
+  cfg.initial_plan = init_plan_;
   return cfg;
 }
 
@@ -103,6 +107,13 @@ Fleet::Fleet(const nn::Mlp& model, const FleetConfig& config)
   TRIDENT_REQUIRE(!config.node.on_response,
                   "FleetConfig::node.on_response must be null (the fleet "
                   "installs its own accounting hook)");
+  TRIDENT_REQUIRE(config.node.initial_plan == nullptr,
+                  "FleetConfig::node.initial_plan must be null (the fleet "
+                  "compiles one shared plan for all nodes)");
+  if (config_.node.use_plan) {
+    init_plan_ = nn::ExecutionPlan::compile(
+        model_, serving::Server::plan_config_for(config_.node));
+  }
   {
     std::lock_guard lock(nodes_mutex_);
     for (int i = 0; i < config.initial_nodes; ++i) {

@@ -257,6 +257,10 @@ class Fleet {
 
   FleetConfig config_;
   nn::Mlp model_;
+  /// One plan compiled at construction and shared by every node's version-0
+  /// publication (via ServerConfig::initial_plan).  Null when the node
+  /// config disables plan serving.
+  std::shared_ptr<const nn::ExecutionPlan> init_plan_;
   Router router_;
   Autoscaler autoscaler_;
   telemetry::HealthMonitor health_;

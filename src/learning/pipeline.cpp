@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "nn/plan.hpp"
 #include "nn/train.hpp"
 #include "state/snapshot.hpp"
 #include "telemetry/metrics.hpp"
@@ -274,8 +275,15 @@ std::uint64_t LearningPipeline::publish_canary() {
   if (active_seq_ != 0) {
     return 0;
   }
-  const std::uint64_t seq =
-      server_.canary_start(shadow_, config_.canary.traffic_percent);
+  // Compile the candidate's plan here, off the serving path: canary_start
+  // would otherwise build it itself, and on promotion the same plan object
+  // carries straight into the incumbent publication without a recompile.
+  std::shared_ptr<const nn::ExecutionPlan> plan;
+  if (server_.config().use_plan) {
+    plan = nn::ExecutionPlan::compile(shadow_, server_.plan_config());
+  }
+  const std::uint64_t seq = server_.canary_start(
+      shadow_, config_.canary.traffic_percent, std::move(plan));
   if (seq == 0) {
     return 0;
   }

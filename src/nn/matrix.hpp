@@ -50,6 +50,18 @@ class Matrix {
   [[nodiscard]] std::vector<double>& data() { return data_; }
   [[nodiscard]] const std::vector<double>& data() const { return data_; }
 
+  /// Re-shapes to (rows × cols) in place, discarding the contents.  The
+  /// backing vector only grows — shrinking and re-growing within the
+  /// high-water mark never reallocates, which is what lets a PlanArena
+  /// (nn/plan.hpp) reuse one Matrix across layers of different widths with
+  /// zero steady-state allocation.
+  void reshape(std::size_t rows, std::size_t cols) {
+    TRIDENT_REQUIRE(rows > 0 && cols > 0, "matrix dimensions must be positive");
+    rows_ = rows;
+    cols_ = cols;
+    data_.resize(rows * cols);
+  }
+
   /// y = W x
   [[nodiscard]] Vector matvec(const Vector& x) const;
   /// y = Wᵀ x

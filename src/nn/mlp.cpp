@@ -22,31 +22,6 @@ namespace {
 
 }  // namespace
 
-double apply_activation(Activation a, double h) {
-  switch (a) {
-    case Activation::kReLU:
-      return h > 0.0 ? h : 0.0;
-    case Activation::kGstPhotonic:
-      return h > 0.0 ? phot::kActivationDerivativeHigh * h : 0.0;
-    case Activation::kIdentity:
-      return h;
-  }
-  return h;
-}
-
-double activation_derivative(Activation a, double h) {
-  switch (a) {
-    case Activation::kReLU:
-      return h > 0.0 ? 1.0 : 0.0;
-    case Activation::kGstPhotonic:
-      return h > 0.0 ? phot::kActivationDerivativeHigh
-                     : phot::kActivationDerivativeLow;
-    case Activation::kIdentity:
-      return 1.0;
-  }
-  return 1.0;
-}
-
 void MatvecBackend::matvec_into(const Matrix& w, const Vector& x, Vector& y) {
   y = matvec(w, x);
 }
@@ -59,11 +34,16 @@ void MatvecBackend::matvec_transposed_into(const Matrix& w, const Vector& x,
 Matrix MatvecBackend::matmul(const Matrix& w, const Matrix& x) {
   TRIDENT_REQUIRE(x.cols() == w.cols(), "matmul dimension mismatch");
   Matrix y(x.rows(), w.rows());
+  // Both scratch vectors are hoisted out of the sample loop, and the output
+  // goes through matvec_into so backends with an in-place override allocate
+  // nothing per sample (the matvec_into base delegates to matvec, keeping
+  // per-sample semantics — noise draws, ledger order — unchanged).
   Vector xb(w.cols());
+  Vector yb(w.rows());
   for (std::size_t b = 0; b < x.rows(); ++b) {
     const auto row = x.row(b);
     std::copy(row.begin(), row.end(), xb.begin());
-    const Vector yb = matvec(w, xb);
+    matvec_into(w, xb, yb);
     std::copy(yb.begin(), yb.end(), y.row(b).begin());
   }
   return y;
@@ -73,10 +53,11 @@ Matrix MatvecBackend::matmul_transposed(const Matrix& w, const Matrix& x) {
   TRIDENT_REQUIRE(x.cols() == w.rows(), "transposed matmul dimension mismatch");
   Matrix y(x.rows(), w.cols());
   Vector xb(w.rows());
+  Vector yb(w.cols());
   for (std::size_t b = 0; b < x.rows(); ++b) {
     const auto row = x.row(b);
     std::copy(row.begin(), row.end(), xb.begin());
-    const Vector yb = matvec_transposed(w, xb);
+    matvec_transposed_into(w, xb, yb);
     std::copy(yb.begin(), yb.end(), y.row(b).begin());
   }
   return y;

@@ -20,6 +20,7 @@
 
 #include "common/rng.hpp"
 #include "nn/matrix.hpp"
+#include "photonics/constants.hpp"
 
 namespace trident::nn {
 
@@ -30,8 +31,39 @@ enum class Activation {
   kIdentity,
 };
 
-[[nodiscard]] double apply_activation(Activation a, double h);
-[[nodiscard]] double activation_derivative(Activation a, double h);
+// Both activation helpers are defined inline: the compiled-plan fused
+// epilogues (core/*_backend run_plan) evaluate them per output element, and
+// an out-of-line call there measurably dominates the B=32 forward.
+[[nodiscard]] inline double apply_activation(Activation a, double h) {
+  switch (a) {
+    case Activation::kReLU:
+      return h > 0.0 ? h : 0.0;
+    case Activation::kGstPhotonic:
+      return h > 0.0 ? phot::kActivationDerivativeHigh * h : 0.0;
+    case Activation::kIdentity:
+      return h;
+  }
+  // A value outside the enum (a new Activation missing its case above, or a
+  // corrupted enum) must fail loudly — silently computing identity here
+  // would mask the missing device model.
+  TRIDENT_REQUIRE(false, "unhandled Activation in apply_activation");
+}
+
+[[nodiscard]] inline double activation_derivative(Activation a, double h) {
+  switch (a) {
+    case Activation::kReLU:
+      return h > 0.0 ? 1.0 : 0.0;
+    case Activation::kGstPhotonic:
+      return h > 0.0 ? phot::kActivationDerivativeHigh
+                     : phot::kActivationDerivativeLow;
+    case Activation::kIdentity:
+      return 1.0;
+  }
+  TRIDENT_REQUIRE(false, "unhandled Activation in activation_derivative");
+}
+
+class ExecutionPlan;  // nn/plan.hpp: compiled layer schedule + packed panels
+class PlanArena;      // nn/plan.hpp: per-replica scratch for Plan runs
 
 /// Linear-primitive backend.  Implementations may quantize, add noise, and
 /// keep energy/latency accounts.
@@ -82,6 +114,16 @@ class MatvecBackend {
   /// depends on the order — the default loop IS the semantics).
   virtual void update_batch(Matrix& w, const Matrix& dh, const Matrix& y_prev,
                             double lr);
+
+  /// Fused whole-model execution of a compiled ExecutionPlan (nn/plan.hpp):
+  /// runs every layer of `plan` on `x` (batch × input), leaving the output
+  /// logits in `arena.out()`, with outputs, RNG draws, and ledger counters
+  /// bit-identical to forward_batch through the per-op entry points above.
+  /// Returns false when this backend has no fused path for `plan` (the base
+  /// default) — the caller then interprets the plan per-op instead, so
+  /// decorated/custom backends keep their exact call sequence.
+  virtual bool run_plan(const ExecutionPlan& plan, const Matrix& x,
+                        PlanArena& arena);
 };
 
 /// Exact double-precision backend (the digital reference).
@@ -100,6 +142,10 @@ class FloatBackend final : public MatvecBackend {
                                          const Matrix& x) override;
   void update_batch(Matrix& w, const Matrix& dh, const Matrix& y_prev,
                     double lr) override;
+  /// Fused plan path: per-layer matmul_into + activation into the arena,
+  /// zero steady-state allocation, bit-identical to forward_batch.
+  bool run_plan(const ExecutionPlan& plan, const Matrix& x,
+                PlanArena& arena) override;
 };
 
 /// Activations and logits recorded during a forward pass (needed by

@@ -139,28 +139,22 @@ ThreadPool& global_pool() {
   return pool;
 }
 
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn,
-                  std::size_t grain) {
-  TRIDENT_REQUIRE(begin <= end, "empty or inverted range");
-  const std::size_t n = end - begin;
-  if (n == 0) {
-    return;
-  }
+namespace detail {
 
+bool pool_is_serial() { return global_pool().size() <= 1; }
+
+void note_for_inline() {
+  if (telemetry::enabled()) {
+    pool_metrics().for_inline.add(1);
+  }
+}
+
+void parallel_dispatch(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn,
+                       std::size_t grain) {
+  const std::size_t n = end - begin;
   ThreadPool& pool = global_pool();
   const std::size_t workers = pool.size();
-  // Not worth dispatching if the whole range fits one grain or there is a
-  // single worker.
-  if (n <= grain || workers <= 1) {
-    if (telemetry::enabled()) {
-      pool_metrics().for_inline.add(1);
-    }
-    for (std::size_t i = begin; i < end; ++i) {
-      fn(i);
-    }
-    return;
-  }
   if (telemetry::enabled()) {
     pool_metrics().for_dispatched.add(1);
   }
@@ -197,5 +191,7 @@ void parallel_for(std::size_t begin, std::size_t end,
     std::rethrow_exception(first_error);
   }
 }
+
+}  // namespace detail
 
 }  // namespace trident

@@ -71,11 +71,46 @@ class ThreadPool {
 /// Global pool shared by the simulator's sweeps (constructed on first use).
 ThreadPool& global_pool();
 
+namespace detail {
+/// True when the pool has ≤ 1 worker — dispatch would serialize anyway.
+[[nodiscard]] bool pool_is_serial();
+/// Telemetry tick for an inline (non-dispatched) parallel_for run.
+void note_for_inline();
+/// Chunked dispatch across the pool: the allocating arm of parallel_for
+/// (futures + queue nodes).  Callers reach it through the template below,
+/// never directly.
+void parallel_dispatch(std::size_t begin, std::size_t end,
+                       const std::function<void(std::size_t)>& fn,
+                       std::size_t grain);
+}  // namespace detail
+
 /// Runs fn(i) for every i in [begin, end), split into contiguous chunks
 /// across the pool.  Exceptions from workers are propagated to the caller
-/// (first one wins).  Serial fallback for tiny ranges avoids task overhead.
-void parallel_for(std::size_t begin, std::size_t end,
-                  const std::function<void(std::size_t)>& fn,
-                  std::size_t grain = 1);
+/// (first one wins).  Serial fallback for tiny ranges avoids task overhead
+/// — and, because the callable is invoked directly rather than through a
+/// std::function, an inline run performs no heap allocation at all (the
+/// plan runtime's steady-state zero-alloc guarantee rides on this).
+template <typename Fn>
+void parallel_for(std::size_t begin, std::size_t end, Fn&& fn,
+                  std::size_t grain = 1) {
+  TRIDENT_REQUIRE(begin <= end, "empty or inverted range");
+  const std::size_t n = end - begin;
+  if (n == 0) {
+    return;
+  }
+  if (n <= grain || detail::pool_is_serial()) {
+    detail::note_for_inline();
+    for (std::size_t i = begin; i < end; ++i) {
+      fn(i);
+    }
+    return;
+  }
+  // std::ref keeps the callable wrapper inside std::function's small-object
+  // buffer, so even the dispatch arm only allocates its futures/queue
+  // nodes, never the functor copy.
+  detail::parallel_dispatch(begin, end,
+                            std::function<void(std::size_t)>(std::ref(fn)),
+                            grain);
+}
 
 }  // namespace trident

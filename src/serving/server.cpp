@@ -190,8 +190,23 @@ Server::Server(const nn::Mlp& model, const ServerConfig& config)
                   "max_restarts must be non-negative");
   // Version 0 = the init model; hot_swap bumps from here.  Publishing it
   // up front means restarts and adoption checks never see a null pointer.
+  // The plan rides every publication: a shared one when the caller
+  // pre-compiled (fleet), compiled here otherwise.
+  std::shared_ptr<const nn::ExecutionPlan> plan;
+  if (config_.use_plan) {
+    if (config_.initial_plan != nullptr) {
+      TRIDENT_REQUIRE(config_.initial_plan->matches(model),
+                      "initial_plan does not match the serving model");
+      TRIDENT_REQUIRE(config_.initial_plan->config().weight_bits ==
+                          plan_config().weight_bits,
+                      "initial_plan weight grid does not match the server");
+      plan = config_.initial_plan;
+    } else {
+      plan = compile_plan(model);
+    }
+  }
   published_ = std::make_shared<const PublishedModel>(
-      PublishedModel{0, model, now_ns()});
+      PublishedModel{0, model, now_ns(), plan});
   if (config_.flight.enabled) {
     flight_ = std::make_unique<FlightRecorder>(config_.flight);
   }
@@ -199,6 +214,7 @@ Server::Server(const nn::Mlp& model, const ServerConfig& config)
   for (int r = 0; r < config.replicas; ++r) {
     auto replica = std::make_unique<Replica>(r, model);
     replica->backend = make_backend(r, 0);
+    replica->plan = plan;
     replicas_.push_back(std::move(replica));
   }
   for (auto& replica : replicas_) {
@@ -437,9 +453,15 @@ bool Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
     nn::MatvecBackend& backend = group.tier == ServingTier::kFast
                                      ? *replica.backend.fast
                                      : *replica.backend.backend;
+    // The plan travels with the weights it was compiled from: a canary group
+    // runs the canary's plan, never the incumbent's, and a null plan (plan
+    // serving off, or a snapshot-restored replica whose weights predate the
+    // published plan) falls back to the per-op path.
+    const nn::ExecutionPlan* plan =
+        group.canary ? replica.canary_plan.get() : replica.plan.get();
     const std::uint64_t version =
         group.canary ? replica.canary_seen : replica.weights_seen;
-    if (!serve_group(replica, group.requests, model, backend, group.tier,
+    if (!serve_group(replica, group.requests, model, plan, backend, group.tier,
                      group.canary, version, formed, n)) {
       // Hardware died under this pass: the rest of the batch has nowhere
       // to run on this replica either — requeue it alongside.
@@ -458,10 +480,10 @@ bool Server::serve_batch(Replica& replica, std::vector<Request>& batch) {
 }
 
 bool Server::serve_group(Replica& replica, std::vector<Request>& group,
-                         const nn::Mlp& model, nn::MatvecBackend& backend,
-                         ServingTier served, bool canary_arm,
-                         std::uint64_t served_version, Clock::time_point formed,
-                         std::size_t cut_size) {
+                         const nn::Mlp& model, const nn::ExecutionPlan* plan,
+                         nn::MatvecBackend& backend, ServingTier served,
+                         bool canary_arm, std::uint64_t served_version,
+                         Clock::time_point formed, std::size_t cut_size) {
   const std::size_t n = group.size();
   const bool telem = telemetry::enabled();
   const int incarnation = replica.incarnation.load(std::memory_order_relaxed);
@@ -493,16 +515,22 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
       batch_ctx = span->context();
       scope.emplace(batch_ctx);
     }
+    nn::BatchForwardTrace trace;
+    const nn::Matrix* logits = nullptr;
     const Clock::time_point start = Clock::now();
-    const nn::BatchForwardTrace trace = model.forward_batch(x, backend);
+    if (plan != nullptr) {
+      logits = &plan->run(backend, x, replica.arena);
+    } else {
+      trace = model.forward_batch(x, backend);
+      logits = &trace.activations.back();
+    }
     const Clock::time_point done = Clock::now();
     scope.reset();
     span.reset();
 
-    const nn::Matrix& logits = trace.activations.back();
     const double service_s = seconds_between(start, done);
     for (std::size_t b = 0; b < n; ++b) {
-      if (!row_finite(logits.row(b))) {
+      if (!row_finite(logits->row(b))) {
         // Silent-corruption scrub: a non-finite row never reaches the
         // caller; the request goes back for another attempt.
         retry_or_fail(std::move(group[b]),
@@ -515,7 +543,7 @@ bool Server::serve_group(Replica& replica, std::vector<Request>& group,
       response.id = group[b].id;
       response.trace_id = group[b].trace.trace_id;
       response.tenant_key = group[b].tenant_key;
-      const auto row = logits.row(b);
+      const auto row = logits->row(b);
       response.output.assign(row.begin(), row.end());
       response.batch_size = cut_size;
       response.replica = replica.index;
@@ -792,11 +820,31 @@ void Server::hot_swap(const nn::Mlp& model) {
                   "hot_swap model architecture does not match the server");
   TRIDENT_REQUIRE(model.hidden_activation() == model_.hidden_activation(),
                   "hot_swap model activation does not match the server");
+  // Compile before taking swap_mutex_: the plan build walks every weight
+  // panel, and serving workers block on this mutex at batch boundaries.
+  publish_incumbent(model, compile_plan(model));
+}
+
+std::shared_ptr<const nn::ExecutionPlan> Server::compile_plan(
+    const nn::Mlp& model) const {
+  if (!config_.use_plan) {
+    return nullptr;
+  }
+  return nn::ExecutionPlan::compile(model, plan_config());
+}
+
+std::shared_ptr<const nn::ExecutionPlan> Server::published_plan() const {
+  std::lock_guard lock(swap_mutex_);
+  return published_->plan;
+}
+
+void Server::publish_incumbent(const nn::Mlp& model,
+                               std::shared_ptr<const nn::ExecutionPlan> plan) {
   {
     std::lock_guard lock(swap_mutex_);
     const std::uint64_t version = published_->version + 1;
     published_ = std::make_shared<const PublishedModel>(
-        PublishedModel{version, model, now_ns()});
+        PublishedModel{version, model, now_ns(), std::move(plan)});
     // Release so a worker's acquire-load of the version observes the
     // pointer published above (the mutex alone would do; the atomic is the
     // lock-free fast path).
@@ -816,10 +864,24 @@ void Server::hot_swap(const nn::Mlp& model) {
 
 std::uint64_t Server::canary_start(const nn::Mlp& candidate,
                                    std::uint32_t traffic_percent) {
+  return canary_start(candidate, traffic_percent, nullptr);
+}
+
+std::uint64_t Server::canary_start(
+    const nn::Mlp& candidate, std::uint32_t traffic_percent,
+    std::shared_ptr<const nn::ExecutionPlan> plan) {
   TRIDENT_REQUIRE(candidate.layer_sizes() == model_.layer_sizes(),
                   "canary model architecture does not match the server");
   TRIDENT_REQUIRE(candidate.hidden_activation() == model_.hidden_activation(),
                   "canary model activation does not match the server");
+  if (plan != nullptr) {
+    TRIDENT_REQUIRE(plan->matches(candidate),
+                    "canary plan does not match the candidate model");
+    TRIDENT_REQUIRE(plan->config().weight_bits == plan_config().weight_bits,
+                    "canary plan weight grid does not match the server");
+  } else {
+    plan = compile_plan(candidate);
+  }
   const std::uint32_t percent = std::min<std::uint32_t>(traffic_percent, 100);
   std::uint64_t seq = 0;
   {
@@ -832,7 +894,7 @@ std::uint64_t Server::canary_start(const nn::Mlp& candidate,
     }
     seq = ++canary_seq_;
     canary_published_ = std::make_shared<const PublishedModel>(
-        PublishedModel{seq, candidate, now_ns()});
+        PublishedModel{seq, candidate, now_ns(), std::move(plan)});
     canary_percent_.store(percent, std::memory_order_relaxed);
     // Release pairs with the workers' acquire in maybe_adopt_weights: a
     // worker that observes the sequence also observes the pointer above.
@@ -863,10 +925,14 @@ bool Server::canary_end(bool promote) {
     canary_version_.store(0, std::memory_order_release);
   }
   if (promote) {
-    // Outside the lock: hot_swap takes swap_mutex_ itself.  Promotion IS a
-    // hot_swap, so it inherits the never-torn publication guarantee and
-    // bills re-programming through each replica's ledger on adoption.
-    hot_swap(candidate->model);
+    // Outside the lock: publish_incumbent takes swap_mutex_ itself.
+    // Promotion IS a hot_swap, so it inherits the never-torn publication
+    // guarantee and bills re-programming through each replica's ledger on
+    // adoption.  The candidate's plan is REUSED, not recompiled: the exact
+    // object the canary arm was serving becomes the incumbent's, so the
+    // promote path never pays a compile and the plan id is stable across
+    // the promotion.
+    publish_incumbent(candidate->model, candidate->plan);
     canary_promotes_.fetch_add(1, std::memory_order_relaxed);
     if (telemetry::enabled()) {
       server_metrics().canary_promotes.add(1);
@@ -908,6 +974,7 @@ void Server::maybe_adopt_weights(Replica& replica) {
     // forward's ensure_programmed() re-program the GST bank — billing the
     // swap's write pulses through this replica's existing ledger.
     replica.model = published->model;
+    replica.plan = published->plan;
     replica.weights_seen = published->version;
     adoptions_.fetch_add(1, std::memory_order_relaxed);
     if (telemetry::enabled()) {
@@ -924,22 +991,27 @@ void Server::maybe_adopt_weights(Replica& replica) {
   if (canary_version != replica.canary_seen) {
     if (canary) {
       replica.canary_model = canary->model;
+      replica.canary_plan = canary->plan;
       replica.canary_percent = percent;
     } else {
       replica.canary_model.reset();
+      replica.canary_plan.reset();
       replica.canary_percent = 0;
     }
     replica.canary_seen = canary_version;
   }
 }
 
-nn::Mlp Server::restore_model_for_restart(std::uint64_t& seen_version) {
+nn::Mlp Server::restore_model_for_restart(
+    std::uint64_t& seen_version,
+    std::shared_ptr<const nn::ExecutionPlan>& plan) {
   std::shared_ptr<const PublishedModel> published;
   {
     std::lock_guard lock(swap_mutex_);
     published = published_;
   }
   seen_version = published->version;
+  plan = published->plan;
   if (!config_.snapshot_path.empty()) {
     try {
       const state::Snapshot snap = state::Snapshot::load(config_.snapshot_path);
@@ -950,6 +1022,11 @@ nn::Mlp Server::restore_model_for_restart(std::uint64_t& seen_version) {
       if (telemetry::enabled()) {
         server_metrics().snapshot_restores.add(1);
       }
+      // Snapshot weights are whatever the snapshot holds — generally NOT
+      // the published weights the plan was compiled from — so this
+      // incarnation serves per-op until its next adoption re-pairs a
+      // published (model, plan).
+      plan = nullptr;
       return restored;
     } catch (const std::exception&) {
       // Missing/corrupt snapshot: degrade to the published weights rather
@@ -991,12 +1068,15 @@ void Server::restart_replica(Replica& replica) {
   // publication, yet still adopts any later hot_swap.  Fresh RNG split
   // per incarnation, as before.
   std::uint64_t seen = 0;
-  replica.model = restore_model_for_restart(seen);
+  std::shared_ptr<const nn::ExecutionPlan> restored_plan;
+  replica.model = restore_model_for_restart(seen, restored_plan);
+  replica.plan = std::move(restored_plan);
   replica.weights_seen = seen;
   // Canary state is NOT carried across the death: the fresh incarnation
   // re-adopts any still-live canary at its first batch boundary, so a
   // node killed mid-canary heals onto the current stage, not a stale one.
   replica.canary_model.reset();
+  replica.canary_plan.reset();
   replica.canary_seen = 0;
   replica.canary_percent = 0;
   replica.backend = make_backend(replica.index, incarnation);

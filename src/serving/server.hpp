@@ -59,6 +59,7 @@
 #include "core/photonic_backend.hpp"
 #include "core/quantized_backend.hpp"
 #include "nn/mlp.hpp"
+#include "nn/plan.hpp"
 #include "serving/flight_recorder.hpp"
 #include "serving/request.hpp"
 #include "serving/request_queue.hpp"
@@ -133,6 +134,20 @@ struct ServerConfig {
   /// it.  With flight.dump_path set, the supervisor dumps on every replica
   /// death and drain() dumps on exit.
   FlightRecorderConfig flight;
+  /// Run replica forward passes through compiled ExecutionPlans
+  /// (nn/plan.hpp): every publication — construction, hot_swap,
+  /// canary_start — carries an immutable plan all replicas share, adopted
+  /// at the same batch boundaries as the weights (the never-torn guarantee
+  /// covers the pair).  Outputs, noise draws, and ledger bills stay
+  /// bit-identical to the per-op path; set false to serve through
+  /// Mlp::forward_batch dispatch instead.
+  bool use_plan = true;
+  /// Pre-compiled plan for the construction-time model, so a fleet compiles
+  /// once and every node shares the panels instead of re-deriving them.
+  /// Must match the model architecture and the server's plan_config();
+  /// null (the default) compiles in the constructor.  Ignored when
+  /// use_plan is false.
+  std::shared_ptr<const nn::ExecutionPlan> initial_plan;
   /// Completion hook: called with every terminal response (kOk and kFailed
   /// alike) just before its promise is fulfilled, from whatever thread
   /// resolved the request (replica workers; the draining thread for
@@ -289,6 +304,16 @@ class Server {
   [[nodiscard]] std::uint64_t canary_start(const nn::Mlp& candidate,
                                            std::uint32_t traffic_percent);
 
+  /// canary_start with a pre-compiled plan for `candidate`, so the caller
+  /// (the learning pipeline's trainer thread) pays the compile cost off the
+  /// serving path.  The plan must match the candidate's architecture and
+  /// this server's plan_config(); null compiles here (when use_plan is on).
+  /// On promote the SAME plan object becomes the incumbent's — shared, not
+  /// re-derived.
+  [[nodiscard]] std::uint64_t canary_start(
+      const nn::Mlp& candidate, std::uint32_t traffic_percent,
+      std::shared_ptr<const nn::ExecutionPlan> plan);
+
   /// Resolves the live canary: promote publishes the candidate as the new
   /// incumbent through the hot_swap path (version bump, batch-boundary
   /// adoption); rollback discards it and all traffic reverts to the
@@ -312,6 +337,20 @@ class Server {
     return flight_.get();
   }
   [[nodiscard]] const ServerConfig& config() const { return config_; }
+  /// PlanConfig this server compiles published weights with: the packed
+  /// int8 grid follows the fast tier's weight grid (so the quantized
+  /// backend takes its fused path).  Static so plan-sharing layers (fleet)
+  /// can pre-compile against a node config before any server exists.
+  [[nodiscard]] static nn::PlanConfig plan_config_for(
+      const ServerConfig& config) {
+    return nn::PlanConfig{config.fast_backend.weight_bits};
+  }
+  [[nodiscard]] nn::PlanConfig plan_config() const {
+    return plan_config_for(config_);
+  }
+  /// Plan of the current incumbent publication (null when use_plan is off).
+  [[nodiscard]] std::shared_ptr<const nn::ExecutionPlan> published_plan()
+      const;
   [[nodiscard]] int replicas() const { return static_cast<int>(replicas_.size()); }
   [[nodiscard]] std::size_t queue_depth() const { return queue_.depth(); }
   [[nodiscard]] bool draining() const { return queue_.closed(); }
@@ -339,6 +378,14 @@ class Server {
     /// Traffic split cached at adoption, so routing within a batch is a
     /// pure function of replica state (no racing reads of the knob).
     std::uint32_t canary_percent = 0;
+    /// Compiled plans adopted alongside the models above (worker-private
+    /// the same way).  Null runs the group through per-op dispatch — the
+    /// snapshot-restore path, where the healed weights have no published
+    /// plan, and use_plan == false.
+    std::shared_ptr<const nn::ExecutionPlan> plan;
+    std::shared_ptr<const nn::ExecutionPlan> canary_plan;
+    /// Plan-run scratch: grown at adoption, allocation-free per batch.
+    nn::PlanArena arena;
 
     Replica(int idx, const nn::Mlp& m) : index(idx), model(m) {}
   };
@@ -350,6 +397,10 @@ class Server {
     std::uint64_t version = 0;
     nn::Mlp model;
     std::int64_t published_ns = 0;  ///< steady-clock stamp of hot_swap()
+    /// Compiled plan of `model` (null when use_plan is off).  Published and
+    /// adopted atomically with the weights, so a replica's (model, plan)
+    /// pair always describes one publication.
+    std::shared_ptr<const nn::ExecutionPlan> plan;
   };
 
   [[nodiscard]] ReplicaBackend make_backend(int replica, int incarnation) const;
@@ -364,8 +415,12 @@ class Server {
   /// candidate served).  `cut_size` is the size of the originally cut batch
   /// (what responses report).  Returns false on HardwareFailure (group
   /// requeued).
+  /// `plan` selects the execution path: non-null runs Plan::run in the
+  /// replica's arena (bit-identical, allocation-free), null dispatches
+  /// per-op through Mlp::forward_batch.
   [[nodiscard]] bool serve_group(Replica& replica, std::vector<Request>& group,
                                  const nn::Mlp& model,
+                                 const nn::ExecutionPlan* plan,
                                  nn::MatvecBackend& backend, ServingTier served,
                                  bool canary_arm, std::uint64_t served_version,
                                  Clock::time_point formed,
@@ -392,7 +447,20 @@ class Server {
   /// Model a restarted incarnation should serve: the snapshot when
   /// configured and loadable, the latest published weights otherwise.
   /// `seen_version` is set to the published version the choice reflects.
-  [[nodiscard]] nn::Mlp restore_model_for_restart(std::uint64_t& seen_version);
+  /// `plan` is the published plan when the published weights were chosen,
+  /// null when the snapshot was — snapshot weights have no published plan,
+  /// so the healed replica serves per-op until the next publication.
+  [[nodiscard]] nn::Mlp restore_model_for_restart(
+      std::uint64_t& seen_version,
+      std::shared_ptr<const nn::ExecutionPlan>& plan);
+  /// Compiles `model` for publication, or returns null when use_plan is
+  /// off.
+  [[nodiscard]] std::shared_ptr<const nn::ExecutionPlan> compile_plan(
+      const nn::Mlp& model) const;
+  /// Shared tail of hot_swap and canary promotion: publishes (model, plan)
+  /// as the new incumbent version under swap_mutex_ and books the swap.
+  void publish_incumbent(const nn::Mlp& model,
+                         std::shared_ptr<const nn::ExecutionPlan> plan);
   /// Fails everything still queued after the workers exited (all replicas
   /// dead): the explicit degraded-drain path.
   void fail_leftovers();

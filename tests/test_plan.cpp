@@ -1,0 +1,414 @@
+// ExecutionPlan tests: bit-identity of the fused plan paths against the
+// per-op forward, the zero-steady-state-allocation contract, the
+// interpreter fallback's op-sequence fidelity, plan versioning, and the
+// serving runtime's plan publication (hot_swap / canary promote).
+#include "nn/plan.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.hpp"
+#include "core/photonic_backend.hpp"
+#include "core/quantized_backend.hpp"
+#include "nn/mlp.hpp"
+#include "nn/zoo.hpp"
+#include "serving/server.hpp"
+#include "telemetry/telemetry.hpp"
+
+// --- counting global allocator ----------------------------------------------
+// Every heap allocation in this binary bumps one counter; the zero-alloc
+// tests snapshot it around Plan::run.  Frees are deliberately not counted:
+// the contract is "no allocation", not "balanced allocation".
+
+namespace {
+std::atomic<std::uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n != 0 ? n : 1)) {
+    return p;
+  }
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) { return ::operator new(n); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace trident::nn {
+namespace {
+
+Matrix seeded_batch(std::size_t batch, std::size_t dim, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix x(batch, dim);
+  for (double& v : x.data()) {
+    v = rng.uniform(-1.0, 1.0);
+  }
+  return x;
+}
+
+std::vector<ModelSpec> plan_suite_specs() {
+  return {zoo::lenet5(), zoo::alexnet(), zoo::mobilenet_v2()};
+}
+
+/// Runs `model` through forward_batch on `legacy` and through a compiled
+/// plan on `fused`, asserting outputs bit-equal.  The two backends must be
+/// freshly constructed with identical configs so noise draws and ledgers
+/// stay comparable at the call site.
+void expect_plan_bit_identity(const Mlp& model, MatvecBackend& legacy,
+                              MatvecBackend& fused, const Matrix& x,
+                              const PlanConfig& config,
+                              const std::string& what) {
+  const BatchForwardTrace trace = model.forward_batch(x, legacy);
+  const Matrix& want = trace.activations.back();
+
+  const auto plan = ExecutionPlan::compile(model, config);
+  PlanArena arena;
+  const Matrix& got = plan->run(fused, x, arena);
+
+  ASSERT_EQ(got.rows(), want.rows()) << what;
+  ASSERT_EQ(got.cols(), want.cols()) << what;
+  for (std::size_t i = 0; i < want.data().size(); ++i) {
+    ASSERT_EQ(got.data()[i], want.data()[i]) << what << " element " << i;
+  }
+}
+
+// --- bit-identity: fused paths vs the per-op forward ------------------------
+
+TEST(PlanBitIdentity, FloatBackendAcrossZooModels) {
+  for (const ModelSpec& spec : plan_suite_specs()) {
+    const Mlp model = zoo::surrogate_mlp(spec);
+    for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+      FloatBackend legacy;
+      FloatBackend fused;
+      const Matrix x = seeded_batch(
+          batch, static_cast<std::size_t>(model.layer_sizes().front()),
+          0xF00Du + batch);
+      expect_plan_bit_identity(model, legacy, fused, x, PlanConfig{},
+                               spec.name + "/float/B=" +
+                                   std::to_string(batch));
+    }
+  }
+}
+
+TEST(PlanBitIdentity, PhotonicBackendWithNoiseMatchesDrawForDraw) {
+  core::PhotonicBackendConfig bc;
+  bc.readout_noise = 0.05;  // nonzero: the fused path must consume the RNG
+                            // in exactly the legacy order
+  bc.seed = 0xBEEFu;
+  for (const ModelSpec& spec : plan_suite_specs()) {
+    const Mlp model = zoo::surrogate_mlp(spec);
+    for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+      core::PhotonicBackend legacy(bc);
+      core::PhotonicBackend fused(bc);
+      const Matrix x = seeded_batch(
+          batch, static_cast<std::size_t>(model.layer_sizes().front()),
+          0xF00Du + batch);
+      expect_plan_bit_identity(model, legacy, fused, x, PlanConfig{},
+                               spec.name + "/photonic/B=" +
+                                   std::to_string(batch));
+      // Same draws, same bill: the fused path consumed exactly the RNG
+      // stream and ledger pulses of the per-op path.
+      EXPECT_EQ(fused.rng_state(), legacy.rng_state()) << spec.name;
+      EXPECT_EQ(fused.ledger(), legacy.ledger()) << spec.name;
+    }
+  }
+}
+
+TEST(PlanBitIdentity, QuantizedBackendAcrossZooModels) {
+  for (const ModelSpec& spec : plan_suite_specs()) {
+    const Mlp model = zoo::surrogate_mlp(spec);
+    for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+      core::QuantizedBackend legacy;
+      core::QuantizedBackend fused;
+      const Matrix x = seeded_batch(
+          batch, static_cast<std::size_t>(model.layer_sizes().front()),
+          0xF00Du + batch);
+      expect_plan_bit_identity(model, legacy, fused, x, PlanConfig{},
+                               spec.name + "/quantized/B=" +
+                                   std::to_string(batch));
+      EXPECT_EQ(fused.ledger(), legacy.ledger()) << spec.name;
+    }
+  }
+}
+
+TEST(PlanBitIdentity, FusedPathGridMismatchFallsBackAndStaysExact) {
+  // A 6-bit plan on an 8-bit QuantizedBackend has no fused path (the
+  // packed panel is on the wrong grid); Plan::run must interpret per-op —
+  // which re-packs on the backend's own grid — and stay bit-identical.
+  Rng rng(0x51edu);
+  const Mlp model({10, 20, 5}, Activation::kReLU, rng);
+  const Matrix x = seeded_batch(4, 10, 0xABCDu);
+  core::QuantizedBackend legacy;
+  core::QuantizedBackend fused;
+  expect_plan_bit_identity(model, legacy, fused, x, PlanConfig{6},
+                           "grid-mismatch fallback");
+}
+
+// --- zero steady-state allocation -------------------------------------------
+
+/// Widths stay ≤ 32 so the GEMM grain keeps every kernel inline (no thread
+/// pool dispatch); that is the regime the zero-allocation contract covers
+/// (docs/performance.md).  Telemetry must be off (the default) — spans
+/// allocate.
+Mlp small_model() {
+  Rng rng(0x7157u);
+  return Mlp({16, 32, 24, 8}, Activation::kReLU, rng);
+}
+
+template <typename Backend>
+void expect_zero_steady_state_allocs(Backend& backend,
+                                     const std::string& what) {
+  ASSERT_FALSE(telemetry::enabled());
+  const Mlp model = small_model();
+  const auto plan = ExecutionPlan::compile(model);
+  PlanArena arena;
+  for (std::size_t batch : {std::size_t{1}, std::size_t{32}}) {
+    const Matrix x = seeded_batch(batch, 16, 0x1234u + batch);
+    (void)plan->run(backend, x, arena);  // warm-up: arena grows here
+    (void)plan->run(backend, x, arena);
+    const std::uint64_t before =
+        g_alloc_count.load(std::memory_order_relaxed);
+    for (int i = 0; i < 10; ++i) {
+      (void)plan->run(backend, x, arena);
+    }
+    const std::uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+    EXPECT_EQ(after, before) << what << " allocated at B=" << batch;
+  }
+}
+
+TEST(PlanZeroAlloc, FloatBackendSteadyState) {
+  FloatBackend backend;
+  expect_zero_steady_state_allocs(backend, "float");
+}
+
+TEST(PlanZeroAlloc, PhotonicBackendSteadyState) {
+  core::PhotonicBackendConfig bc;
+  bc.readout_noise = 0.05;  // the noisy loop must not allocate either
+  core::PhotonicBackend backend(bc);
+  expect_zero_steady_state_allocs(backend, "photonic");
+}
+
+TEST(PlanZeroAlloc, QuantizedBackendSteadyState) {
+  core::QuantizedBackend backend;
+  expect_zero_steady_state_allocs(backend, "quantized");
+}
+
+// --- interpreter fallback ---------------------------------------------------
+
+/// Overrides only the per-sample pure virtuals plus a counting matmul shim:
+/// exactly the shape of a chaos injector or accounting decorator.  The plan
+/// runtime must route it through the interpreter with the per-op call
+/// sequence intact.
+class TracingBackend final : public MatvecBackend {
+ public:
+  int matmul_calls = 0;
+
+  [[nodiscard]] Vector matvec(const Matrix& w, const Vector& x) override {
+    return w.matvec(x);
+  }
+  [[nodiscard]] Vector matvec_transposed(const Matrix& w,
+                                         const Vector& x) override {
+    return w.matvec_transposed(x);
+  }
+  void rank1_update(Matrix& w, const Vector& dh, const Vector& y_prev,
+                    double lr) override {
+    for (std::size_t r = 0; r < w.rows(); ++r) {
+      for (std::size_t c = 0; c < w.cols(); ++c) {
+        w.at(r, c) -= lr * dh[r] * y_prev[c];
+      }
+    }
+  }
+  [[nodiscard]] Matrix matmul(const Matrix& w, const Matrix& x) override {
+    ++matmul_calls;
+    return MatvecBackend::matmul(w, x);
+  }
+};
+
+TEST(PlanInterpreter, FallbackPreservesPerOpSequenceAndBits) {
+  Rng rng(0xFA11u);
+  const Mlp model({12, 18, 14, 6}, Activation::kGstPhotonic, rng);
+  const Matrix x = seeded_batch(5, 12, 0x900Du);
+
+  TracingBackend legacy;
+  const BatchForwardTrace trace = model.forward_batch(x, legacy);
+
+  TracingBackend fused;  // no run_plan override → interpreter path
+  const auto plan = ExecutionPlan::compile(model);
+  PlanArena arena;
+  const Matrix& got = plan->run(fused, x, arena);
+
+  EXPECT_EQ(fused.matmul_calls, legacy.matmul_calls);
+  EXPECT_EQ(fused.matmul_calls, model.depth());
+  const Matrix& want = trace.activations.back();
+  ASSERT_EQ(got.rows(), want.rows());
+  ASSERT_EQ(got.cols(), want.cols());
+  for (std::size_t i = 0; i < want.data().size(); ++i) {
+    ASSERT_EQ(got.data()[i], want.data()[i]);
+  }
+}
+
+// --- plan identity / compatibility ------------------------------------------
+
+TEST(PlanVersioning, IdsAreProcessWideMonotone) {
+  Rng rng(0x1Du);
+  const Mlp model({6, 9, 3}, Activation::kReLU, rng);
+  const auto a = ExecutionPlan::compile(model);
+  const auto b = ExecutionPlan::compile(model);
+  EXPECT_GT(a->id(), 0u);
+  EXPECT_GT(b->id(), a->id());
+}
+
+TEST(PlanVersioning, MatchesChecksArchitectureNotWeights) {
+  Rng rng(0x2Du);
+  const Mlp model({6, 9, 3}, Activation::kReLU, rng);
+  const auto plan = ExecutionPlan::compile(model);
+  EXPECT_TRUE(plan->matches(model));
+
+  Rng rng2(0x3Du);
+  const Mlp same_arch({6, 9, 3}, Activation::kReLU, rng2);
+  EXPECT_TRUE(plan->matches(same_arch));  // weights differ, shape agrees
+
+  Rng rng3(0x4Du);
+  const Mlp other_width({6, 8, 3}, Activation::kReLU, rng3);
+  EXPECT_FALSE(plan->matches(other_width));
+  Rng rng4(0x5Du);
+  const Mlp other_act({6, 9, 3}, Activation::kGstPhotonic, rng4);
+  EXPECT_FALSE(plan->matches(other_act));
+}
+
+TEST(PlanVersioning, RejectsOutOfRangeWeightGrid) {
+  Rng rng(0x6Du);
+  const Mlp model({4, 4, 2}, Activation::kReLU, rng);
+  EXPECT_THROW((void)ExecutionPlan::compile(model, PlanConfig{0}), Error);
+  EXPECT_THROW((void)ExecutionPlan::compile(model, PlanConfig{9}), Error);
+}
+
+TEST(PlanVersioning, RunRejectsWrongInputWidth) {
+  Rng rng(0x7Du);
+  const Mlp model({4, 4, 2}, Activation::kReLU, rng);
+  const auto plan = ExecutionPlan::compile(model);
+  FloatBackend backend;
+  PlanArena arena;
+  EXPECT_THROW((void)plan->run(backend, Matrix(1, 5), arena), Error);
+}
+
+}  // namespace
+}  // namespace trident::nn
+
+// --- serving plan publication -----------------------------------------------
+
+namespace trident::serving {
+namespace {
+
+nn::Mlp serving_model(std::uint64_t seed) {
+  Rng rng(seed);
+  return nn::Mlp({8, 16, 4}, nn::Activation::kGstPhotonic, rng);
+}
+
+TEST(ServingPlan, HotSwapPublishesANewPlanVersion) {
+  Server server(serving_model(0x5eedu), ServerConfig{});
+  const auto before = server.published_plan();
+  ASSERT_NE(before, nullptr);
+  server.hot_swap(serving_model(0xB0Bu));
+  const auto after = server.published_plan();
+  ASSERT_NE(after, nullptr);
+  EXPECT_GT(after->id(), before->id());
+}
+
+TEST(ServingPlan, CanaryPromoteReusesTheCandidatePlan) {
+  Server server(serving_model(0x5eedu), ServerConfig{});
+  const nn::Mlp candidate = serving_model(0xCAFEu);
+  // Pre-compile off the serving path (the learning pipeline's shape) and
+  // verify the exact object survives promotion into the incumbent slot.
+  const auto plan = nn::ExecutionPlan::compile(candidate,
+                                               server.plan_config());
+  ASSERT_NE(server.canary_start(candidate, 10, plan), 0u);
+  ASSERT_TRUE(server.canary_end(true));
+  EXPECT_EQ(server.published_plan(), plan);
+}
+
+TEST(ServingPlan, RejectsMismatchedPreCompiledCanaryPlan) {
+  Server server(serving_model(0x5eedu), ServerConfig{});
+  Rng rng(0x77u);
+  const nn::Mlp narrow({8, 12, 4}, nn::Activation::kGstPhotonic, rng);
+  const auto wrong_shape = nn::ExecutionPlan::compile(narrow);
+  EXPECT_THROW((void)server.canary_start(serving_model(0xCAFEu), 10,
+                                         wrong_shape),
+               Error);
+}
+
+TEST(ServingPlan, DisabledPlanServesNullAndStillAnswers) {
+  ServerConfig cfg;
+  cfg.use_plan = false;
+  const nn::Mlp model = serving_model(0x5eedu);
+  Server server(model, cfg);
+  EXPECT_EQ(server.published_plan(), nullptr);
+  auto fut = server.submit(nn::Vector(8, 0.25));
+  ASSERT_TRUE(fut.has_value());
+  const Response r = fut->get();
+  EXPECT_EQ(r.output.size(), 4u);
+}
+
+TEST(ServingPlan, PlanAndPerOpServingAgreeBitForBit) {
+  const nn::Mlp model = serving_model(0x5eedu);
+  ServerConfig with_plan;
+  with_plan.replicas = 1;
+  with_plan.enable_fast_tier = true;
+  ServerConfig without_plan = with_plan;
+  without_plan.use_plan = false;
+  Server a(model, with_plan);
+  Server b(model, without_plan);
+  Rng rng(0xD00Du);
+  for (int i = 0; i < 8; ++i) {
+    nn::Vector x(8);
+    for (double& v : x) {
+      v = rng.uniform(-1.0, 1.0);
+    }
+    const ServingTier tier =
+        (i % 2 == 0) ? ServingTier::kExact : ServingTier::kFast;
+    auto fa = a.submit(x, tier);
+    auto fb = b.submit(x, tier);
+    ASSERT_TRUE(fa.has_value() && fb.has_value());
+    EXPECT_EQ(fa->get().output, fb->get().output) << "request " << i;
+  }
+}
+
+TEST(ServingPlan, HotSwapChurnUnderLoadStaysCoherent) {
+  // Plan-publication churn: swaps race served batches; every response must
+  // come from a single (version, plan) pairing — the never-torn guarantee
+  // with plans riding the publications.  Run under TSan in CI.
+  ServerConfig cfg;
+  cfg.replicas = 2;
+  const nn::Mlp base = serving_model(0x5eedu);
+  Server server(base, cfg);
+  std::atomic<bool> stop{false};
+  std::thread swapper([&] {
+    std::uint64_t seed = 1;
+    while (!stop.load(std::memory_order_relaxed)) {
+      server.hot_swap(serving_model(seed++));
+    }
+  });
+  for (int i = 0; i < 200; ++i) {
+    auto fut = server.submit(nn::Vector(8, 0.1));
+    if (!fut.has_value()) {
+      continue;  // shed under churn is fine; torn state is not
+    }
+    const Response r = fut->get();
+    EXPECT_EQ(r.output.size(), 4u);
+  }
+  stop.store(true, std::memory_order_relaxed);
+  swapper.join();
+}
+
+}  // namespace
+}  // namespace trident::serving

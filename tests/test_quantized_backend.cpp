@@ -8,6 +8,7 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -277,4 +278,45 @@ TEST(QuantizedBackend, RejectsGridsWiderThanInt8) {
   cfg.weight_bits = 8;
   cfg.input_bits = 12;
   EXPECT_THROW(core::QuantizedBackend{cfg}, trident::Error);
+}
+
+TEST(QuantizedBackend, PlanCacheSurvivesAddressReuseWithNewContent) {
+  // The weight-plan cache is keyed by Matrix address but guarded by a
+  // content fingerprint checked on every lookup.  The ABA hazard: free a
+  // cached matrix, allocate a different one at the same address, and serve
+  // the stale packed panel.  Loop a few times so the allocator has every
+  // chance to reuse the address; correctness must hold either way.
+  core::QuantizedBackend backend;
+  Rng rng(0xABAu);
+  auto first = std::make_unique<nn::Matrix>(random_matrix(6, 10, -1.0, 1.0,
+                                                          rng));
+  const void* first_addr = first.get();
+  (void)backend.matmul(*first, random_matrix(2, 10, -1.0, 1.0, rng));
+
+  bool address_reused = false;
+  for (int attempt = 0; attempt < 32; ++attempt) {
+    first.reset();
+    auto second = std::make_unique<nn::Matrix>(
+        random_matrix(6, 10, -1.0, 1.0, rng));
+    address_reused = address_reused || second.get() == first_addr;
+    const nn::Matrix x = random_matrix(3, 10, -1.0, 1.0, rng);
+    const nn::Matrix got = backend.matmul(*second, x);
+    // A fresh backend cannot have a stale cache entry: its output is the
+    // ground truth for these weights.  Bit-equality proves the fingerprint
+    // — not the address — decided the cache hit.
+    core::QuantizedBackend fresh;
+    const nn::Matrix want = fresh.matmul(*second, x);
+    for (std::size_t b = 0; b < x.rows(); ++b) {
+      for (std::size_t r = 0; r < second->rows(); ++r) {
+        ASSERT_EQ(got.at(b, r), want.at(b, r))
+            << "attempt " << attempt << " (address reused: " << address_reused
+            << "), sample " << b << " row " << r;
+      }
+    }
+    first = std::move(second);
+  }
+  // make_unique of an identically-sized object straight after the free:
+  // every mainstream allocator hands the block back, so the loop above
+  // genuinely exercised the stale-plan path at least once.
+  EXPECT_TRUE(address_reused);
 }
